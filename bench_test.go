@@ -1,0 +1,243 @@
+// Benchmarks regenerating every figure of the paper's evaluation, plus
+// micro-benchmarks of the scheduling-critical paths. Figure benchmarks
+// report the headline quantity of the figure as a custom metric so
+// `go test -bench .` doubles as a regression check on the reproduced
+// shapes (see EXPERIMENTS.md for the paper-vs-measured discussion).
+package grout
+
+import (
+	"testing"
+
+	"grout/internal/bench"
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+// BenchmarkFig1BlackScholesOversub regenerates Figure 1: Black–Scholes
+// execution time vs input size on one node. Reports the oversubscription
+// wall (time ratio 96 GiB / 64 GiB) as "wall_x".
+func BenchmarkFig1BlackScholesOversub(b *testing.B) {
+	var wall float64
+	for i := 0; i < b.N; i++ {
+		s := bench.Fig1()
+		wall = s.Points[3].Value / s.Points[2].Value
+	}
+	b.ReportMetric(wall, "wall_x")
+}
+
+// BenchmarkFig6aSingleNodeSlowdown regenerates Figure 6a. Reports MV's
+// 64→96 GiB step (paper: 342.6×) as "mv_step_x".
+func BenchmarkFig6aSingleNodeSlowdown(b *testing.B) {
+	var step float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range bench.Fig6a() {
+			if s.Name == "mv" {
+				step = s.Points[3].Value / s.Points[2].Value
+			}
+		}
+	}
+	b.ReportMetric(step, "mv_step_x")
+}
+
+// BenchmarkFig6bGroutSlowdown regenerates Figure 6b. Reports MV's 64→96
+// GiB step under GrOUT (paper: 4.1×) as "mv_step_x".
+func BenchmarkFig6bGroutSlowdown(b *testing.B) {
+	var step float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range bench.Fig6b() {
+			if s.Name == "mv" {
+				step = s.Points[3].Value / s.Points[2].Value
+			}
+		}
+	}
+	b.ReportMetric(step, "mv_step_x")
+}
+
+// BenchmarkFig7Speedup regenerates Figure 7. Reports MV's speedup at 5×
+// oversubscription (paper: >24.42×) as "mv_speedup_x".
+func BenchmarkFig7Speedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range bench.Fig7() {
+			if s.Name == "mv" {
+				speedup = s.Points[5].Value
+			}
+		}
+	}
+	b.ReportMetric(speedup, "mv_speedup_x")
+}
+
+// BenchmarkFig8PolicyComparison regenerates Figure 8. Reports the MV
+// online-policy pathology (normalized vs round-robin; paper: ≥100×) as
+// "mv_online_norm".
+func BenchmarkFig8PolicyComparison(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		for _, e := range bench.Fig8() {
+			if e.Workload == "mv" && e.Policy == "min-transfer-size" && e.Level == policy.Low {
+				norm = e.Normalized
+			}
+		}
+	}
+	b.ReportMetric(norm, "mv_online_norm")
+}
+
+// BenchmarkFig9SchedulingOverhead regenerates Figure 9. Reports the
+// informed-policy overhead at 256 nodes (paper: ~200 µs) as "us_256nodes".
+func BenchmarkFig9SchedulingOverhead(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range bench.Fig9(128) {
+			if s.Name == "min-transfer-time" {
+				us = s.Points[len(s.Points)-1].Value
+			}
+		}
+	}
+	b.ReportMetric(us, "us_256nodes")
+}
+
+// --- Micro-benchmarks of the scheduling-critical paths. ---
+
+// BenchmarkPolicyAssign measures one inter-node scheduling decision at the
+// paper's largest cluster size (the inner loop of Figure 9).
+func BenchmarkPolicyAssign(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		pol  policy.Policy
+	}{
+		{"round-robin/256", policy.NewRoundRobin()},
+		{"min-transfer-size/256", policy.NewMinTransferSize(policy.Medium)},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			nodes := make([]policy.NodeInfo, 256)
+			for i := range nodes {
+				nodes[i] = policy.NodeInfo{
+					ID:       cluster.NodeID(i + 1),
+					UpToDate: memmodel.Bytes(i) * memmodel.MiB,
+					Transfer: memmodel.Bytes(256-i) * memmodel.MiB,
+				}
+			}
+			req := policy.Request{Total: 256 * memmodel.MiB, Nodes: nodes}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mk.pol.Assign(req)
+			}
+		})
+	}
+}
+
+// BenchmarkDAGAdd measures dependency resolution per CE on a growing
+// Global DAG (Algorithm 1's first phase).
+func BenchmarkDAGAdd(b *testing.B) {
+	g := dag.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ce := g.NewCE("k", []dag.Access{
+			{Array: dag.ArrayID(i%16 + 1), Mode: memmodel.ReadWrite},
+			{Array: dag.ArrayID(i%7 + 20), Mode: memmodel.Read},
+		}, nil)
+		g.Add(ce)
+	}
+}
+
+// BenchmarkUVMLaunch measures one simulated kernel launch including page
+// accounting at 8 GiB working set.
+func BenchmarkUVMLaunch(b *testing.B) {
+	node := gpusim.NewNode(gpusim.OCIWorkerSpec("bench"))
+	id, err := node.Alloc(8 * memmodel.GiB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := memmodel.Access{Mode: memmodel.ReadWrite, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	var ready int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := node.Launch(0, 0, gpusim.KernelCost{Elements: 1 << 20, OpsPerElement: 1},
+			[]gpusim.ArgBinding{{Alloc: id, Access: acc}}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ready = int64(res.Interval.End)
+	}
+	_ = ready
+}
+
+// BenchmarkMinicudaCompile measures runtime kernel compilation (the NVRTC
+// path of buildkernel).
+func BenchmarkMinicudaCompile(b *testing.B) {
+	src := `
+extern "C" __global__ void saxpy(float *y, const float *x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = y[i] + a * x[i]; }
+}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := minicuda.Compile(src, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinicudaInterpret measures interpreted kernel throughput
+// (elements per launch = 4096).
+func BenchmarkMinicudaInterpret(b *testing.B) {
+	src := `
+extern "C" __global__ void saxpy(float *y, const float *x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = y[i] + a * x[i]; }
+}`
+	def, err := minicuda.Compile(src, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := kernels.NewBuffer(memmodel.Float32, 4096)
+	x := kernels.NewBuffer(memmodel.Float32, 4096)
+	args := []kernels.Arg{kernels.BufArg(y), kernels.BufArg(x),
+		kernels.ScalarArg(2), kernels.ScalarArg(4096)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := def.ExecuteLaunch(16, 256, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerLaunch measures a full Algorithm-1 scheduling round
+// trip on the in-process fabric (DAG add + policy + movement planning +
+// worker submit), cost-model-only.
+func BenchmarkControllerLaunch(b *testing.B) {
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewMinTransferSize(policy.Medium), core.Options{})
+	arr, err := ctl.NewArray(memmodel.Float32, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inv := core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(arr.ID), core.ScalarRef(float64(1 << 20))}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.Launch(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadBuildMV measures full workload submission (25 CEs) at
+// 8 GiB on the baseline, the end-to-end cost of the simulation approach.
+func BenchmarkWorkloadBuildMV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunSingle("mv", workloads.Params{Footprint: 8 * memmodel.GiB})
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package grout_test
+
+import (
+	"fmt"
+	"log"
+
+	"grout"
+)
+
+// The paper's Listing 1, ported to Go: build a kernel from CUDA-C source
+// at runtime, fill a framework-managed array, launch, read results back.
+// Swapping GrCUDA for GrOUT (and the matching constructor) is the entire
+// port between single-node and distributed execution — paper Listing 2.
+func Example() {
+	cluster, err := grout.NewSimulatedCluster(grout.Config{
+		Workers: 2, Policy: "round-robin", Numeric: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := cluster.Context
+
+	build, err := ctx.Eval(grout.GrOUT, "buildkernel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	square, err := build.Build.Build(`
+extern "C" __global__ void square(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = x[i] * x[i]; }
+}`, "pointer float, sint32")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xv, err := ctx.Eval(grout.GrOUT, "float[100]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := xv.Array
+	for i := int64(0); i < 100; i++ {
+		if err := x.Set(i, float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := square.Configure(4, 32).Launch(x, 100); err != nil {
+		log.Fatal(err)
+	}
+	for _, i := range []int64{2, 9, 99} {
+		v, err := x.Get(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("x[%d] = %g\n", i, v)
+	}
+	// Output:
+	// x[2] = 4
+	// x[9] = 81
+	// x[99] = 9801
+}
+
+// Pre-compiled (native) kernels resolve by name, without source.
+func Example_prebuiltKernel() {
+	single := grout.NewSingleNode(true)
+	ctx := single.Context
+
+	build, _ := ctx.Eval(grout.GrCUDA, "buildkernel")
+	axpy, err := build.Build.Prebuilt("axpy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	yv, _ := ctx.Eval(grout.GrCUDA, "float[4]")
+	xv, _ := ctx.Eval(grout.GrCUDA, "float[4]")
+	for i := int64(0); i < 4; i++ {
+		_ = yv.Array.Set(i, 1)
+		_ = xv.Array.Set(i, float64(i))
+	}
+	if err := axpy.Configure(1, 4).Launch(yv.Array, xv.Array, 10.0, 4); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := yv.Array.Get(3)
+	fmt.Println(v)
+	// Output:
+	// 31
+}
+
+// Validate configuration before constructing a deployment.
+func ExampleConfig_Validate() {
+	good := grout.Config{Workers: 4, Policy: "min-transfer-time", Level: "high"}
+	fmt.Println(good.Validate())
+
+	bad := grout.Config{Policy: "teleport"}
+	fmt.Println(bad.Validate() != nil)
+	// Output:
+	// <nil>
+	// true
+}

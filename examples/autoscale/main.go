@@ -1,0 +1,63 @@
+// Autoscaling sketch — the paper's §V-F discussion: "a heuristical model
+// could be built to autonomously allocate more resources at runtime after
+// reaching the steep increase in execution time". This example implements
+// that KPI-driven loop over the simulator: given a target execution time,
+// it grows the cluster until either the knee of the oversubscription
+// curve is escaped and the KPI is met, or adding nodes stops helping
+// (Amdahl's wall on the workload's serial fraction).
+package main
+
+import (
+	"fmt"
+
+	"grout/internal/bench"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+func main() {
+	const footprint = 128 * memmodel.GiB // 4x oversubscription on one node
+	const targetSeconds = 60.0           // the KPI
+
+	fmt.Printf("workload: MV, footprint %v (%.2gx oversubscription per node)\n",
+		footprint, bench.OversubscriptionFactor(footprint))
+	fmt.Printf("KPI: complete in under %.0fs of simulated time\n\n", targetSeconds)
+
+	single := bench.RunSingle("mv", workloads.Params{Footprint: footprint})
+	fmt.Printf("%8s %14s %14s\n", "nodes", "time (s)", "vs KPI")
+	fmt.Printf("%8d %14.2f %14s\n", 1, single.Seconds(), verdict(single.Seconds(), targetSeconds))
+
+	prev := single.Seconds()
+	for nodes := 2; nodes <= 16; nodes *= 2 {
+		vs, err := policy.NewVectorStep([]int{1})
+		if err != nil {
+			panic(err)
+		}
+		r := bench.RunGrout("mv", workloads.Params{Footprint: footprint, Blocks: 2 * nodes}, nodes, vs)
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		fmt.Printf("%8d %14.2f %14s\n", nodes, r.Seconds(), verdict(r.Seconds(), targetSeconds))
+		if r.Seconds() <= targetSeconds {
+			fmt.Printf("\nKPI met with %d nodes: the oversubscription knee "+
+				"(factor %.2g per node) is below the storm threshold.\n",
+				nodes, bench.OversubscriptionFactor(footprint)/float64(nodes))
+			return
+		}
+		if r.Seconds() > prev*0.9 {
+			fmt.Printf("\nscaling stopped helping at %d nodes "+
+				"(network-bound); KPI unreachable for this workload shape.\n", nodes)
+			return
+		}
+		prev = r.Seconds()
+	}
+	fmt.Println("\nKPI not met within 16 nodes.")
+}
+
+func verdict(got, target float64) string {
+	if got <= target {
+		return "MET"
+	}
+	return fmt.Sprintf("%.1fx over", got/target)
+}

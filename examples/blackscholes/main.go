@@ -1,0 +1,136 @@
+// Black–Scholes option pricing — the paper's Figure 1 workload. This
+// example does two things:
+//
+//  1. Prices a small portfolio numerically on a distributed GrOUT cluster
+//     and verifies put-call parity, demonstrating correct distributed
+//     execution with real data.
+//
+//  2. Sweeps the portfolio's memory footprint past the GPUs' capacity in
+//     cost-model-only mode, reproducing Figure 1's oversubscription wall
+//     on a single node and GrOUT's recovery on two nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"grout"
+	"grout/internal/bench"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+const bsKernel = `
+extern "C" __global__ void bs_price(float *call, float *put, const float *spot, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float K = 100.0f;
+        float r = 0.05f;
+        float vol = 0.2f;
+        float T = 1.0f;
+        float s = spot[i];
+        if (s <= 0.0f) {
+            call[i] = 0.0f;
+            put[i] = K * expf(0.0f - r * T);
+            return;
+        }
+        float sigRt = vol * sqrtf(T);
+        float d1 = (logf(s / K) + (r + vol * vol / 2.0f) * T) / sigRt;
+        float d2 = d1 - sigRt;
+        float nd1 = 0.5f * erfcf((0.0f - d1) / sqrtf(2.0f));
+        float nd2 = 0.5f * erfcf((0.0f - d2) / sqrtf(2.0f));
+        float nmd1 = 0.5f * erfcf(d1 / sqrtf(2.0f));
+        float nmd2 = 0.5f * erfcf(d2 / sqrtf(2.0f));
+        call[i] = s * nd1 - K * expf(0.0f - r * T) * nd2;
+        put[i] = K * expf(0.0f - r * T) * nmd2 - s * nmd1;
+    }
+}`
+
+func main() {
+	priceNumerically()
+	sweepOversubscription()
+}
+
+// priceNumerically runs the runtime-compiled kernel on real data across
+// two workers and checks put-call parity.
+func priceNumerically() {
+	cluster, err := grout.NewSimulatedCluster(grout.Config{
+		Workers: 2, Policy: "round-robin", Numeric: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := cluster.Context
+	build, err := ctx.Eval(grout.GrOUT, "buildkernel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	price, err := build.Build.Build(bsKernel,
+		"pointer float, pointer float, const pointer float, sint32")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 1024
+	mk := func() *grout.DeviceArray {
+		v, err := ctx.Eval(grout.GrOUT, fmt.Sprintf("float[%d]", n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v.Array
+	}
+	spot, call, put := mk(), mk(), mk()
+	for i := int64(0); i < n; i++ {
+		if err := spot.Set(i, 40+float64(i)*0.12); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := price.Configure(8, 128).Launch(call, put, spot, n); err != nil {
+		log.Fatal(err)
+	}
+
+	worst := 0.0
+	for i := int64(0); i < n; i++ {
+		s, _ := spot.Get(i)
+		c, _ := call.Get(i)
+		p, _ := put.Get(i)
+		parity := math.Abs((c - p) - (s - 100*math.Exp(-0.05)))
+		if parity > worst {
+			worst = parity
+		}
+	}
+	fmt.Printf("priced %d options on 2 nodes; worst put-call parity error %.2e\n", n, worst)
+	if worst > 1e-2 {
+		log.Fatalf("put-call parity violated")
+	}
+	c0, _ := call.Get(500)
+	s0, _ := spot.Get(500)
+	fmt.Printf("  e.g. spot %.2f -> call %.4f\n", s0, c0)
+}
+
+// sweepOversubscription reproduces Figure 1's shape: execution time vs
+// footprint on one node, plus the two-node recovery.
+func sweepOversubscription() {
+	fmt.Println("\nFigure 1 sweep (simulated time, seconds; * = capped at 2.5h):")
+	fmt.Printf("%12s %16s %16s\n", "size", "single node", "GrOUT 2 nodes")
+	for _, size := range []memmodel.Bytes{
+		4 * memmodel.GiB, 32 * memmodel.GiB, 64 * memmodel.GiB, 96 * memmodel.GiB,
+	} {
+		p := workloads.Params{Footprint: size}
+		single := bench.RunSingle("bs", p)
+		vs, _ := policy.NewVectorStep([]int{1})
+		dist := bench.RunGrout("bs", p, 2, vs)
+		fmt.Printf("%12v %15.2f%s %15.2f%s\n", size,
+			single.Seconds(), capMark(single.Capped),
+			dist.Seconds(), capMark(dist.Capped))
+	}
+}
+
+func capMark(capped bool) string {
+	if capped {
+		return "*"
+	}
+	return " "
+}

@@ -1,0 +1,80 @@
+// Custom scheduling policies — the paper's §IV-D opens with "Policies can
+// be easily implemented into the framework to match user-specific
+// scenarios". This example does exactly that, twice:
+//
+//  1. It implements a user-defined policy in ~30 lines (power-of-two-
+//     choices over transferred bytes) against the policy.Policy interface
+//     and plugs it into a live controller.
+//
+//  2. It demonstrates the library's UVM-aware policy (an extension built
+//     where the paper's §V-E points) eliminating Figure 8's pathology:
+//     min-transfer-size piles the whole MV working set onto one node and
+//     recreates the single-node storm; the pressure-capped policy does not.
+package main
+
+import (
+	"fmt"
+
+	"grout/internal/bench"
+	"grout/internal/cluster"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+// powerOfTwo is the user-defined policy: deterministically pick two
+// candidate nodes per CE and take the one that would transfer fewer
+// bytes — the classic load-balancing trick, here written by a framework
+// *user*, not the framework.
+type powerOfTwo struct {
+	tick int
+}
+
+func (p *powerOfTwo) Name() string        { return "user/power-of-two" }
+func (p *powerOfTwo) NeedsDataView() bool { return true }
+
+func (p *powerOfTwo) Assign(req policy.Request) cluster.NodeID {
+	n := len(req.Nodes)
+	a := req.Nodes[p.tick%n]
+	b := req.Nodes[(p.tick+1+p.tick%(n*2-1))%n]
+	p.tick++
+	if b.Transfer < a.Transfer {
+		return b.ID
+	}
+	return a.ID
+}
+
+func main() {
+	const foot = 96 * memmodel.GiB // the paper's 3x oversubscription point
+	p := workloads.Params{Footprint: foot}
+
+	fmt.Println("MV at 96 GiB on 2 nodes (the paper's Figure 8 setting):")
+	rows := []struct {
+		label string
+		pol   policy.Policy
+	}{
+		{"round-robin (baseline)", policy.NewRoundRobin()},
+		{"min-transfer-size (paper's online)", policy.NewMinTransferSize(policy.Low)},
+		{"uvm-aware (extension)", policy.NewUVMAware(policy.Low, 64*memmodel.GiB)},
+		{"user/power-of-two (this file)", &powerOfTwo{}},
+	}
+	base := 0.0
+	for _, row := range rows {
+		r := bench.RunGrout("mv", p, 2, row.pol)
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		if base == 0 {
+			base = r.Seconds()
+		}
+		mark := ""
+		if r.Capped {
+			mark = " (capped)"
+		}
+		fmt.Printf("  %-36s %9.1fs   %5.2fx vs round-robin%s\n",
+			row.label, r.Seconds(), r.Seconds()/base, mark)
+	}
+	fmt.Println("\nmin-transfer-size chases the shared input vector onto one node and")
+	fmt.Println("recreates the single-node UVM storm; the pressure-capped and")
+	fmt.Println("user-defined policies keep the working set split.")
+}

@@ -1,0 +1,84 @@
+// Monte-Carlo estimation of pi, written entirely in the mini-CUDA dialect
+// and distributed over two simulated nodes: each partition's kernel draws
+// quasi-random points from a Weyl sequence (deterministic, so the run is
+// reproducible), counts hits in the unit circle with atomicAdd, and the
+// host combines the per-partition counts. Exercises runtime compilation,
+// __device__ helpers, atomics and scale-out in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"grout"
+)
+
+const mcSrc = `
+__device__ double weyl(double n, double alpha) {
+    double v = n * alpha;
+    return v - floor(v);
+}
+
+extern "C" __global__ void mc_pi(float *hits, double seed, int samples) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < samples) {
+        double n = (double) i + seed;
+        double x = weyl(n, 0.7548776662466927);
+        double y = weyl(n, 0.5698402909980532);
+        if (x * x + y * y <= 1.0) {
+            atomicAdd(&hits[0], 1.0);
+        }
+    }
+}`
+
+func main() {
+	cluster, err := grout.NewSimulatedCluster(grout.Config{
+		Workers: 2, Policy: "round-robin", Numeric: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := cluster.Context
+	build, err := ctx.Eval(grout.GrOUT, "buildkernel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := build.Build.Build(mcSrc, "pointer float, double, sint32")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const partitions = 4
+	const samplesPerPartition = 200_000
+	var counters []*grout.DeviceArray
+	for p := 0; p < partitions; p++ {
+		hv, err := ctx.Eval(grout.GrOUT, "float[1]")
+		if err != nil {
+			log.Fatal(err)
+		}
+		counters = append(counters, hv.Array)
+		grid := (samplesPerPartition + 255) / 256
+		if err := mc.Configure(grid, 256).Launch(
+			hv.Array, float64(p*samplesPerPartition), samplesPerPartition); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var hits float64
+	for _, c := range counters {
+		v, err := c.Get(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits += v
+	}
+	total := float64(partitions * samplesPerPartition)
+	pi := 4 * hits / total
+	fmt.Printf("samples: %.0f across %d partitions on 2 nodes\n", total, partitions)
+	fmt.Printf("pi ~= %.5f (error %.2e)\n", pi, math.Abs(pi-math.Pi))
+	if math.Abs(pi-math.Pi) > 0.01 {
+		log.Fatalf("estimate too far off")
+	}
+	fmt.Printf("simulated time: %v\n", cluster.Controller.Elapsed())
+}

@@ -1,0 +1,78 @@
+// Quickstart: the paper's Listing 1 program — build a kernel from CUDA-C
+// source at runtime, allocate a framework-managed array, launch, read the
+// result — running transparently on a simulated two-node GrOUT cluster.
+// Porting from single-node GrCUDA is the one-line language change of the
+// paper's Listing 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grout"
+)
+
+const kernelSrc = `
+extern "C" __global__ void square(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        x[i] = x[i] * x[i];
+    }
+}`
+
+func main() {
+	// Two workers, each the paper's 2xV100 16 GiB node.
+	cluster, err := grout.NewSimulatedCluster(grout.Config{
+		Workers: 2,
+		Policy:  "round-robin",
+		Numeric: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := cluster.Context
+
+	// build = polyglot.eval(GrOUT, "buildkernel")
+	build, err := ctx.Eval(grout.GrOUT, "buildkernel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// square = build(KERNEL, KERNEL_SIGNATURE)
+	square, err := build.Build.Build(kernelSrc, "pointer float, sint32")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// x = polyglot.eval(GrOUT, "float[100]")
+	xv, err := ctx.Eval(grout.GrOUT, "float[100]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := xv.Array
+
+	// for i in range(100): x[i] = i
+	for i := int64(0); i < 100; i++ {
+		if err := x.Set(i, float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// square(GRID_SIZE, BLOCK_SIZE)(x, 100)
+	if err := square.Configure(4, 32).Launch(x, 100); err != nil {
+		log.Fatal(err)
+	}
+	// print(x)
+	fmt.Print("x = [")
+	for i := int64(0); i < 10; i++ {
+		v, err := x.Get(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%g ", v)
+	}
+	fmt.Println("... ]")
+
+	fmt.Printf("simulated execution time: %v\n", cluster.Controller.Elapsed())
+	for _, tr := range cluster.Controller.Traces() {
+		fmt.Printf("  CE %-3d %-12s -> %-10s [%v, %v)\n",
+			tr.CE, tr.Label, tr.Node, tr.Start, tr.End)
+	}
+}

@@ -1,0 +1,3 @@
+module grout
+
+go 1.22

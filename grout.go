@@ -1,0 +1,182 @@
+// Package grout is a Go reproduction of "GrOUT: Transparent Scale-Out to
+// Overcome UVM's Oversubscription Slowdowns" (Di Dio Lavore et al.,
+// IPDPSW 2024): a language- and domain-agnostic runtime that distributes
+// GPU workloads over multiple multi-GPU nodes to escape the performance
+// collapse of oversubscribed Unified Virtual Memory.
+//
+// Since no GPUs are assumed, workers run over a calibrated discrete-event
+// GPU/UVM simulator (see internal/gpusim); kernels additionally carry
+// numeric host implementations, so programs compute real results while
+// execution time is modelled. A real TCP deployment mode
+// (internal/transport, cmd/grout-worker, cmd/grout-controller) runs the
+// identical controller against remote worker processes.
+//
+// The primary entry points:
+//
+//   - NewSimulatedCluster: a controller plus N in-process simulated
+//     workers — the configuration all paper experiments use.
+//   - NewSingleNode: the GrCUDA single-node baseline.
+//   - Connect: a controller over real TCP workers.
+//
+// Each returns a polyglot Context exposing the paper's API (Listing 1):
+// Eval(language, "float[N]"), Eval(language, "buildkernel"), kernel
+// Configure(grid, block).Launch(args...).
+package grout
+
+import (
+	"fmt"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/policy"
+	"grout/internal/polyglot"
+	"grout/internal/transport"
+)
+
+// Re-exported types: the public names a downstream user needs.
+type (
+	// Controller is GrOUT's scheduling front end (paper Algorithm 1).
+	Controller = core.Controller
+	// Context is the polyglot evaluation context (paper Listing 1).
+	Context = polyglot.Context
+	// DeviceArray is a framework-managed UVM array.
+	DeviceArray = polyglot.DeviceArray
+	// Language selects GrCUDA (single node) or GrOUT (distributed).
+	Language = polyglot.Language
+	// Policy is an inter-node scheduling policy (paper §IV-D).
+	Policy = policy.Policy
+	// NodeID identifies cluster endpoints.
+	NodeID = cluster.NodeID
+)
+
+// The two polyglot languages (paper Listing 2's one-line change).
+const (
+	GrCUDA = polyglot.GrCUDA
+	GrOUT  = polyglot.GrOUT
+)
+
+// Config shapes a simulated deployment.
+type Config struct {
+	// Workers is the number of GPU nodes (each the paper's 2×V100
+	// 16 GiB OCI shape). Default 2, as in the paper's main evaluation.
+	Workers int
+	// Policy is the inter-node scheduling policy name: "round-robin",
+	// "vector-step", "min-transfer-size" or "min-transfer-time".
+	// Default "vector-step" (the paper's offline roofline).
+	Policy string
+	// Vector parameterizes vector-step (default [1]).
+	Vector []int
+	// Level is the online policies' exploration level: "low", "medium"
+	// or "high" (default medium).
+	Level string
+	// Numeric enables real data: kernels execute host implementations
+	// and transfers ship buffer contents. Use for correctness-sensitive
+	// programs; disable for large cost-model-only sweeps.
+	Numeric bool
+}
+
+func (c Config) policy() (policy.Policy, error) {
+	name := c.Policy
+	if name == "" {
+		name = "vector-step"
+	}
+	level := policy.Medium
+	if c.Level != "" {
+		var err error
+		level, err = policy.LevelFromName(c.Level)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return policy.New(name, c.Vector, level)
+}
+
+// Cluster is a simulated GrOUT deployment.
+type Cluster struct {
+	// Controller is the scheduling front end.
+	Controller *core.Controller
+	// Context is the polyglot API surface.
+	Context *polyglot.Context
+	// Fabric exposes the in-process workers (inspection and tests).
+	Fabric *core.LocalFabric
+}
+
+// NewSimulatedCluster builds a controller over cfg.Workers in-process
+// simulated GPU nodes joined by the paper's OCI interconnect.
+func NewSimulatedCluster(cfg Config) (*Cluster, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	pol, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	clu := cluster.New(cluster.PaperSpec(workers))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), cfg.Numeric)
+	ctl := core.NewController(fab, pol, core.Options{Numeric: cfg.Numeric})
+	return &Cluster{
+		Controller: ctl,
+		Context:    polyglot.NewGroutContext(ctl),
+		Fabric:     fab,
+	}, nil
+}
+
+// SingleNode is the GrCUDA baseline: one simulated two-GPU node.
+type SingleNode struct {
+	// Runtime is the GrCUDA engine.
+	Runtime *grcuda.Runtime
+	// Context is the polyglot API surface (language GrCUDA).
+	Context *polyglot.Context
+}
+
+// NewSingleNode builds the paper's single-node baseline.
+func NewSingleNode(numeric bool) *SingleNode {
+	rt := grcuda.NewRuntime(gpusim.NewNode(gpusim.OCIWorkerSpec("single")),
+		kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: numeric})
+	return &SingleNode{Runtime: rt, Context: polyglot.NewSingleNodeContext(rt)}
+}
+
+// Remote is a GrOUT deployment over real TCP workers.
+type Remote struct {
+	Controller *core.Controller
+	Context    *polyglot.Context
+	Fabric     *transport.TCPFabric
+}
+
+// Connect dials worker processes (started with cmd/grout-worker) and
+// builds a controller over them. Data is always numeric in this mode.
+func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
+	pol, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := transport.Dial(workerAddrs)
+	if err != nil {
+		return nil, err
+	}
+	ctl := core.NewController(fab, pol, core.Options{Numeric: true})
+	return &Remote{
+		Controller: ctl,
+		Context:    polyglot.NewGroutContext(ctl),
+		Fabric:     fab,
+	}, nil
+}
+
+// Close releases the remote deployment's connections.
+func (r *Remote) Close() error { return r.Fabric.Close() }
+
+// Policies lists the available inter-node policy names.
+func Policies() []string { return policy.Names() }
+
+// Validate sanity-checks a config without building anything.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("grout: negative worker count %d", c.Workers)
+	}
+	_, err := c.policy()
+	return err
+}

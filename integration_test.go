@@ -1,0 +1,242 @@
+package grout
+
+import (
+	"testing"
+
+	"grout/internal/bench"
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+// integrationFootprint keeps numeric integration runs fast.
+const integrationFootprint = 8 * memmodel.MiB
+
+// allPolicies instantiates every inter-node policy.
+func allPolicies() map[string]func() policy.Policy {
+	return map[string]func() policy.Policy{
+		"round-robin": func() policy.Policy { return policy.NewRoundRobin() },
+		"vector-step": func() policy.Policy {
+			p, _ := policy.NewVectorStep([]int{2, 1})
+			return p
+		},
+		"min-transfer-size": func() policy.Policy { return policy.NewMinTransferSize(policy.Low) },
+		"min-transfer-time": func() policy.Policy { return policy.NewMinTransferTime(policy.High) },
+	}
+}
+
+// snapshotBuffers captures every host-consistent array's contents after
+// forcing a host read of all arrays.
+func snapshotBuffers(t *testing.T, ctl *core.Controller, maxID int64) map[int64][]float64 {
+	t.Helper()
+	out := make(map[int64][]float64)
+	for id := int64(1); id <= maxID; id++ {
+		arr := ctl.Array(dag.ArrayID(id))
+		if arr == nil || arr.Buf == nil {
+			continue
+		}
+		if _, err := ctl.HostRead(arr.ID); err != nil {
+			t.Fatalf("host read %d: %v", id, err)
+		}
+		vals := make([]float64, arr.Buf.Len())
+		for i := range vals {
+			vals[i] = arr.Buf.At(i)
+		}
+		out[id] = vals
+	}
+	return out
+}
+
+// TestPolicyChoiceDoesNotChangeResults is the correctness invariant behind
+// the whole scheduling design: whatever placement a policy picks, the
+// dependency DAG must force the same numeric outcome.
+func TestPolicyChoiceDoesNotChangeResults(t *testing.T) {
+	for _, wl := range []string{"bs", "mle", "cg", "mv"} {
+		var reference map[int64][]float64
+		var refPolicy string
+		for name, mk := range allPolicies() {
+			clu := cluster.New(cluster.PaperSpec(2))
+			fab := core.NewLocalFabric(clu, kernels.StdRegistry(), true)
+			ctl := core.NewController(fab, mk(), core.Options{Numeric: true})
+			s := &workloads.Grout{Ctl: ctl}
+			w := workloads.Suite()[wl]
+			if err := w.Build(s, workloads.Params{Footprint: integrationFootprint, Blocks: 2, Iterations: 4}); err != nil {
+				t.Fatalf("%s/%s: %v", wl, name, err)
+			}
+			snap := snapshotBuffers(t, ctl, 128)
+			if reference == nil {
+				reference, refPolicy = snap, name
+				continue
+			}
+			if len(snap) != len(reference) {
+				t.Fatalf("%s: %s produced %d arrays, %s produced %d",
+					wl, name, len(snap), refPolicy, len(reference))
+			}
+			for id, vals := range reference {
+				got := snap[id]
+				for i := range vals {
+					d := got[i] - vals[i]
+					if d > 1e-5 || d < -1e-5 {
+						t.Fatalf("%s: array %d differs between %s and %s at %d: %v vs %v",
+							wl, id, name, refPolicy, i, got[i], vals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimulationIsDeterministic: identical configurations must produce
+// identical schedules and identical virtual times — the property that
+// makes the reproduced figures stable.
+func TestSimulationIsDeterministic(t *testing.T) {
+	run := func() []core.CETrace {
+		clu := cluster.New(cluster.PaperSpec(2))
+		fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+		ctl := core.NewController(fab, policy.NewMinTransferSize(policy.Medium), core.Options{})
+		s := &workloads.Grout{Ctl: ctl}
+		if err := workloads.MLE().Build(s, workloads.Params{Footprint: 16 * memmodel.GiB}); err != nil {
+			t.Fatal(err)
+		}
+		return ctl.Traces()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].CE != b[i].CE || a[i].Node != b[i].Node ||
+			a[i].Start != b[i].Start || a[i].End != b[i].End {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTraceSanity: every CE interval is well-formed and dependencies never
+// run backwards in virtual time.
+func TestTraceSanity(t *testing.T) {
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{})
+	s := &workloads.Grout{Ctl: ctl}
+	if err := workloads.CG().Build(s, workloads.Params{Footprint: 8 * memmodel.GiB, Iterations: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ends := map[dag.CEID]int64{}
+	for _, tr := range ctl.Traces() {
+		if tr.End < tr.Start {
+			t.Fatalf("CE %d has negative interval: %+v", tr.CE, tr)
+		}
+		ends[tr.CE] = int64(tr.End)
+	}
+	// Every CE must end no earlier than all its DAG ancestors.
+	g := ctl.Graph()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range order {
+		v := g.Vertex(ce.ID)
+		for _, p := range v.Parents() {
+			if ends[ce.ID] < ends[p.CE.ID] {
+				t.Fatalf("CE %d (end %d) finished before ancestor %d (end %d)",
+					ce.ID, ends[ce.ID], p.CE.ID, ends[p.CE.ID])
+			}
+		}
+	}
+}
+
+// TestWorkerHostMemoryExhaustion: a worker whose host memory cannot hold
+// the mirrored arrays must surface a clean error through the controller.
+func TestWorkerHostMemoryExhaustion(t *testing.T) {
+	spec := cluster.PaperSpec(1)
+	spec.Workers[0].HostMemory = 1 * memmodel.GiB
+	clu := cluster.New(spec)
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{})
+	arr, err := ctl.NewArray(memmodel.Float32, int64(2*memmodel.GiB/4))
+	if err != nil {
+		t.Fatal(err) // controller host memory is not the worker's
+	}
+	_, err = ctl.Launch(core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(arr.ID), core.ScalarRef(float64(2 * memmodel.GiB / 4))}})
+	if err == nil {
+		t.Fatalf("launch exceeding worker host memory succeeded")
+	}
+}
+
+// TestUtilizationAfterWorkload: the user-facing report reflects real
+// device activity and balances across workers under round-robin.
+func TestUtilizationAfterWorkload(t *testing.T) {
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{})
+	s := &workloads.Grout{Ctl: ctl}
+	if err := workloads.MV().Build(s, workloads.Params{Footprint: 16 * memmodel.GiB, Blocks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rep := bench.Utilization(ctl, fab)
+	if rep.Workers[0].KernelsRun == 0 || rep.Workers[1].KernelsRun == 0 {
+		t.Fatalf("round-robin left a worker idle: %+v", rep.Workers)
+	}
+	if rep.Workers[0].PagesMigratedIn == 0 {
+		t.Fatalf("no UVM migration recorded")
+	}
+	if rep.Moved == 0 {
+		t.Fatalf("no network traffic recorded")
+	}
+}
+
+// TestScaleOutToFourWorkers exercises a larger fleet end to end with
+// numeric verification.
+func TestScaleOutToFourWorkers(t *testing.T) {
+	clu := cluster.New(cluster.PaperSpec(4))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), true)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true})
+	s := &workloads.Grout{Ctl: ctl}
+	if err := workloads.MV().Build(s, workloads.Params{Footprint: 32 * memmodel.MiB, Blocks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// All four workers must have executed kernels.
+	seen := map[cluster.NodeID]bool{}
+	for _, tr := range ctl.Traces() {
+		if tr.Node.IsWorker() && tr.Label == "gemv" {
+			seen[tr.Node] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("gemv CEs reached %d of 4 workers", len(seen))
+	}
+}
+
+// TestGpusimAdviseThroughStack: the hand-tuning path (§II-A) is reachable
+// from the public runtime and actually changes behaviour.
+func TestGpusimAdviseThroughStack(t *testing.T) {
+	single := NewSingleNode(false)
+	rt := single.Runtime
+	arr, err := rt.NewArray(memmodel.Float32, int64(8*memmodel.GiB/4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Advise(arr.ID, gpusim.AdvisePreferredLocation, 0); err != nil {
+		t.Fatal(err)
+	}
+	pref, err := rt.Prefetch(arr.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref == 0 {
+		t.Fatalf("prefetch of 8 GiB took no time")
+	}
+	if err := rt.Advise(999, gpusim.AdviseReadMostly, 0); err == nil {
+		t.Fatalf("advise on unknown array accepted")
+	}
+	if _, err := rt.Prefetch(999, 0, 0); err == nil {
+		t.Fatalf("prefetch of unknown array accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+// This file holds the ablation experiments that go beyond the paper's
+// figures but directly test its design arguments:
+//
+//   - AblationHandTuning: the paper's §I alternative to scale-out —
+//     hand-tuned prefetch + memory-advise — helps only while the working
+//     set fits; past the oversubscription knee it cannot remove the root
+//     cause, which is GrOUT's motivation.
+//
+//   - AblationStreamOverlap: §IV-A claims automatic transfer/computation
+//     overlap via multi-stream scheduling; disabling stream parallelism
+//     quantifies that claim.
+//
+//   - StrongScaling: §V-F discusses scaling past two nodes; this sweep
+//     measures where adding nodes stops paying (the controller's NIC).
+
+// AblationHandTuning compares three ways of running Black–Scholes across
+// footprints: naive UVM, hand-tuned UVM (advise + prefetch, the paper's
+// §II-A manual path), and GrOUT on two nodes.
+func AblationHandTuning() []Series {
+	naive := Series{Name: "uvm-naive"}
+	tuned := Series{Name: "uvm-hand-tuned"}
+	scaled := Series{Name: "grout-2-nodes"}
+	for _, size := range PaperSizes {
+		p := workloads.Params{Footprint: size}
+		n := RunSingle("bs", p)
+		naive.Points = append(naive.Points, Point{X: size.GiBf(), Value: n.Seconds(), Capped: n.Capped})
+
+		t := runHandTunedBS(size)
+		tuned.Points = append(tuned.Points, Point{X: size.GiBf(), Value: t.Seconds(), Capped: t.Capped})
+
+		vs, _ := policy.NewVectorStep([]int{1})
+		g := RunGrout("bs", p, 2, vs)
+		scaled.Points = append(scaled.Points, Point{X: size.GiBf(), Value: g.Seconds(), Capped: g.Capped})
+	}
+	return []Series{naive, tuned, scaled}
+}
+
+// runHandTunedBS is the §II-A manual optimization: each partition's
+// arrays are advised to a preferred GPU and prefetched before the kernel,
+// so migrations overlap compute — exactly what an expert CUDA programmer
+// would do before giving up and distributing.
+func runHandTunedBS(footprint memmodel.Bytes) Result {
+	rt := grcuda.NewRuntime(gpusim.NewNode(gpusim.OCIWorkerSpec("tuned")),
+		kernels.StdRegistry(), grcuda.Options{})
+	res := Result{
+		Workload:  "bs-hand-tuned",
+		Footprint: footprint,
+		Factor:    OversubscriptionFactor(footprint),
+		Policy:    "hand-tuned",
+	}
+	const blocks = 4
+	perArray := int64(footprint) / int64(3*blocks) / 4
+	if perArray < 1 {
+		res.Err = fmt.Errorf("bench: footprint %v too small", footprint)
+		return res
+	}
+	devices := len(rt.Node().Devices())
+	for b := 0; b < blocks; b++ {
+		dev := b % devices
+		spot, err := rt.NewArray(memmodel.Float32, perArray)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		call, err := rt.NewArray(memmodel.Float32, perArray)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		put, err := rt.NewArray(memmodel.Float32, perArray)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if _, err := rt.HostWrite(spot.ID, 0); err != nil {
+			res.Err = err
+			return res
+		}
+		// The manual tuning: pin and prefetch every operand.
+		for _, arr := range []*grcuda.Array{spot, call, put} {
+			if err := rt.Advise(arr.ID, gpusim.AdvisePreferredLocation, dev); err != nil {
+				res.Err = err
+				return res
+			}
+		}
+		if _, err := rt.Prefetch(spot.ID, dev, 0); err != nil {
+			res.Err = err
+			return res
+		}
+		if _, err := rt.Submit(grcuda.Invocation{Kernel: "blackscholes", Grid: 1024, Block: 256,
+			Args: []grcuda.Value{grcuda.ArrValue(call), grcuda.ArrValue(put),
+				grcuda.ArrValue(spot), grcuda.ScalarValue(float64(perArray))}}, 0); err != nil {
+			res.Err = err
+			return res
+		}
+		if _, err := rt.HostRead(call.ID, 0); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	res.Elapsed = rt.Elapsed()
+	return res.cap()
+}
+
+// AblationStreamOverlap quantifies §IV-A's automatic transfer/computation
+// overlap: the compute-heavy Black–Scholes workload on one node with the
+// full multi-stream scheduler vs a single stream per device (one block's
+// compute overlaps the next block's migrations only with independent
+// streams).
+func AblationStreamOverlap(footprint memmodel.Bytes) (multi, single Result) {
+	run := func(maxStreams int) Result {
+		rt := grcuda.NewRuntime(gpusim.NewNode(gpusim.OCIWorkerSpec("ov")),
+			kernels.StdRegistry(), grcuda.Options{MaxStreamsPerDevice: maxStreams})
+		s := &workloads.SingleNode{RT: rt}
+		r := Result{Workload: "bs", Footprint: footprint, Policy: fmt.Sprintf("streams=%d", maxStreams)}
+		if err := workloads.BlackScholes().Build(s, workloads.Params{Footprint: footprint, Blocks: 8}); err != nil {
+			r.Err = err
+			return r
+		}
+		r.Elapsed = s.Elapsed()
+		return r.cap()
+	}
+	return run(16), run(1)
+}
+
+// StrongScaling sweeps GrOUT's node count for one workload at a fixed
+// footprint. Partitions scale with the cluster (two blocks per node, at
+// least the workload's default four) so every configuration can use every
+// GPU.
+func StrongScaling(workload string, footprint memmodel.Bytes, nodeCounts []int) Series {
+	s := Series{Name: workload}
+	for _, nodes := range nodeCounts {
+		blocks := 2 * nodes
+		if blocks < 4 {
+			blocks = 4
+		}
+		var r Result
+		if nodes <= 1 {
+			r = RunSingle(workload, workloads.Params{Footprint: footprint, Blocks: blocks})
+		} else {
+			vs, _ := policy.NewVectorStep(TunedVector(workload))
+			r = RunGrout(workload, workloads.Params{Footprint: footprint, Blocks: blocks}, nodes, vs)
+		}
+		s.Points = append(s.Points, Point{X: float64(nodes), Value: r.Seconds(), Capped: r.Capped})
+	}
+	return s
+}
+
+// UtilizationReport summarizes a finished GrOUT run: per-worker device
+// statistics and network volume — the kind of dashboard a user consults
+// to understand a placement (ships with the library, not in the paper).
+type UtilizationReport struct {
+	Workers []WorkerUtilization
+	Moved   memmodel.Bytes
+	P2P     int
+}
+
+// WorkerUtilization aggregates one worker's devices.
+type WorkerUtilization struct {
+	Node             cluster.NodeID
+	KernelsRun       int64
+	PagesMigratedIn  int64
+	PagesEvicted     int64
+	PagesWrittenBack int64
+}
+
+// Utilization builds the report from a controller and its local fabric.
+func Utilization(ctl *core.Controller, fab *core.LocalFabric) UtilizationReport {
+	rep := UtilizationReport{Moved: ctl.MovedBytes(), P2P: ctl.P2PMoves()}
+	for _, w := range fab.Workers() {
+		var u WorkerUtilization
+		u.Node = w
+		for _, st := range fab.WorkerStats(w) {
+			u.KernelsRun += st.KernelsRun
+			u.PagesMigratedIn += st.PagesMigratedIn
+			u.PagesEvicted += st.PagesEvicted
+			u.PagesWrittenBack += st.PagesWrittenBack
+		}
+		rep.Workers = append(rep.Workers, u)
+	}
+	return rep
+}
+
+// WhatIfHardware sweeps Black–Scholes footprints on a single node built
+// from each device generation: scale-up moves the oversubscription knee
+// (V100: 32 GiB per node, A100: 80 GiB per node) but cannot remove it —
+// the paper's §V-F argument that scale-up runs out at 16 GPUs and
+// oversubscription eventually returns.
+func WhatIfHardware() []Series {
+	specs := map[string]gpusim.NodeSpec{
+		"2x V100 16GiB": gpusim.OCIWorkerSpec("v100"),
+		"2x A100 40GiB": gpusim.A100WorkerSpec("a100"),
+	}
+	sizes := []memmodel.Bytes{
+		4 * memmodel.GiB, 32 * memmodel.GiB, 64 * memmodel.GiB, 80 * memmodel.GiB,
+		96 * memmodel.GiB, 160 * memmodel.GiB, 240 * memmodel.GiB,
+	}
+	var out []Series
+	for _, name := range []string{"2x V100 16GiB", "2x A100 40GiB"} {
+		s := Series{Name: name}
+		for _, size := range sizes {
+			rt := grcuda.NewRuntime(gpusim.NewNode(specs[name]),
+				kernels.StdRegistry(), grcuda.Options{})
+			sess := &workloads.SingleNode{RT: rt}
+			r := Result{Footprint: size}
+			if err := workloads.BlackScholes().Build(sess, workloads.Params{Footprint: size}); err != nil {
+				s.Points = append(s.Points, Point{X: size.GiBf(), Value: -1})
+				continue
+			}
+			r.Elapsed = sess.Elapsed()
+			r = r.cap()
+			s.Points = append(s.Points, Point{X: size.GiBf(), Value: r.Seconds(), Capped: r.Capped})
+		}
+		out = append(out, s)
+	}
+	return out
+}

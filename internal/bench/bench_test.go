@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+func TestOversubscriptionFactor(t *testing.T) {
+	if f := OversubscriptionFactor(32 * memmodel.GiB); f != 1.0 {
+		t.Fatalf("factor(32GiB) = %v", f)
+	}
+	if f := OversubscriptionFactor(160 * memmodel.GiB); f != 5.0 {
+		t.Fatalf("factor(160GiB) = %v", f)
+	}
+}
+
+func TestRunSingleUnknownWorkload(t *testing.T) {
+	r := RunSingle("nope", workloads.Params{Footprint: memmodel.GiB})
+	if r.Err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+	r2 := RunGrout("nope", workloads.Params{Footprint: memmodel.GiB}, 2, policy.NewRoundRobin())
+	if r2.Err == nil {
+		t.Fatalf("unknown workload accepted by RunGrout")
+	}
+}
+
+func TestRunSingleAndGrout(t *testing.T) {
+	p := workloads.Params{Footprint: 8 * memmodel.GiB}
+	s := RunSingle("mv", p)
+	if s.Err != nil || s.Elapsed <= 0 || s.Capped {
+		t.Fatalf("single run = %+v", s)
+	}
+	if s.Factor != 0.25 {
+		t.Fatalf("factor = %v", s.Factor)
+	}
+	g := RunGrout("mv", p, 2, policy.NewRoundRobin())
+	if g.Err != nil || g.Elapsed <= 0 {
+		t.Fatalf("grout run = %+v", g)
+	}
+	if g.Moved == 0 {
+		t.Fatalf("grout run moved no data")
+	}
+}
+
+func TestRunCapApplies(t *testing.T) {
+	// 160 GiB CG single-node storms far past the 2.5 h cap.
+	r := RunSingle("cg", workloads.Params{Footprint: 160 * memmodel.GiB, Iterations: 8})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.Capped || r.Elapsed != RunCap {
+		t.Fatalf("cap not applied: %+v", r)
+	}
+}
+
+// The headline claims of the paper, asserted as invariants of the
+// regenerated figures.
+
+func TestFig1Shape(t *testing.T) {
+	s := Fig1()
+	if len(s.Points) != len(PaperSizes) {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Within capacity: roughly linear. 4 -> 32 GiB is 8x data.
+	if ratio := s.Points[1].Value / s.Points[0].Value; ratio > 20 {
+		t.Fatalf("in-capacity growth %.1fx, want roughly linear", ratio)
+	}
+	// The oversubscription wall: 96 GiB must cost two orders of
+	// magnitude over 64 GiB (the paper's red bars).
+	if ratio := s.Points[3].Value / s.Points[2].Value; ratio < 50 {
+		t.Fatalf("Fig 1 wall ratio = %.1f, want > 50", ratio)
+	}
+}
+
+func TestFig6aCliffs(t *testing.T) {
+	series := Fig6a()
+	byName := map[string][]Point{}
+	for _, s := range series {
+		byName[s.Name] = s.Points
+	}
+	// Sizes: 4, 32, 64, 96, 128, 160 GiB.
+	// MLE collapses first (random access): the 32->64 step is huge.
+	mle := byName["mle"]
+	if step := mle[2].Value / mle[1].Value; step < 20 {
+		t.Fatalf("MLE 32->64 step = %.1f, want > 20 (paper: 72x)", step)
+	}
+	// CG collapses at 64->96 (paper: 77.3x).
+	cg := byName["cg"]
+	if step := cg[3].Value / cg[2].Value; step < 20 {
+		t.Fatalf("CG 64->96 step = %.1f, want > 20 (paper: 77.3x)", step)
+	}
+	// MV collapses at 64->96 with the largest factor (paper: 342.6x).
+	mv := byName["mv"]
+	if step := mv[3].Value / mv[2].Value; step < 50 {
+		t.Fatalf("MV 64->96 step = %.1f, want > 50 (paper: 342.6x)", step)
+	}
+	// Below the cliff MV grows roughly linearly.
+	if step := mv[1].Value / mv[0].Value; step > 16 {
+		t.Fatalf("MV 4->32 step = %.1f, want <= 16 (linear region)", step)
+	}
+}
+
+func TestFig6bDistributionTamesCliffs(t *testing.T) {
+	single := Fig6a()
+	dist := Fig6b()
+	for i, s := range single {
+		d := dist[i]
+		if s.Name != d.Name {
+			t.Fatalf("series order mismatch")
+		}
+		// At 96 GiB (index 3) the distributed slowdown must be far below
+		// the single-node slowdown (paper: 342.6 -> 4.1 for MV etc.).
+		if d.Points[3].Value*5 > s.Points[3].Value {
+			t.Fatalf("%s: 2-node slowdown %.1f not far below single %.1f",
+				s.Name, d.Points[3].Value, s.Points[3].Value)
+		}
+	}
+}
+
+func TestFig7Crossovers(t *testing.T) {
+	series := Fig7()
+	for _, s := range series {
+		// Under normal conditions (factor 0.125, index 0) the single
+		// node must win: speedup < 1 (paper §V-D).
+		if s.Points[0].Value >= 1 {
+			t.Fatalf("%s: GrOUT wins below capacity (%.2f)", s.Name, s.Points[0].Value)
+		}
+		// At 3x (index 3) every workload must be faster distributed.
+		if s.Points[3].Value <= 1 {
+			t.Fatalf("%s: no speedup at 3x (%.2f)", s.Name, s.Points[3].Value)
+		}
+	}
+	// MV at 2x still loses (paper: only CG benefits at 2x).
+	for _, s := range series {
+		if s.Name == "mv" && s.Points[2].Value >= 1 {
+			t.Fatalf("MV should lose at 2x, got %.2f", s.Points[2].Value)
+		}
+		if s.Name == "cg" && s.Points[2].Value <= 1 {
+			t.Fatalf("CG should win at 2x, got %.2f", s.Points[2].Value)
+		}
+	}
+}
+
+func TestFig8PolicyFindings(t *testing.T) {
+	entries := Fig8()
+	byKey := map[string]Fig8Entry{}
+	for _, e := range entries {
+		if e.Level == policy.Low {
+			byKey[e.Workload+"/"+e.Policy] = e
+		}
+	}
+	// MLE: online policies match the offline roofline (paper §V-E).
+	mleOff := byKey["mle/vector-step"].Normalized
+	mleOn := byKey["mle/min-transfer-size"].Normalized
+	if mleOn > mleOff*1.2 {
+		t.Fatalf("MLE online %.3f far above offline %.3f", mleOn, mleOff)
+	}
+	// MV: online policies catastrophically worse than round-robin
+	// (paper: >= 100x; shape requirement: an order of magnitude).
+	if mv := byKey["mv/min-transfer-size"].Normalized; mv < 5 {
+		t.Fatalf("MV online pathology missing: normalized %.2f, want > 5", mv)
+	}
+	// Round-robin normalizes to 1 by construction.
+	if rr := byKey["cg/round-robin"].Normalized; rr != 1 {
+		t.Fatalf("round-robin normalization = %v", rr)
+	}
+	// The exploration level has no noteworthy impact (paper §V-E).
+	var lowMV, highMV float64
+	for _, e := range entries {
+		if e.Workload == "mv" && e.Policy == "min-transfer-size" {
+			switch e.Level {
+			case policy.Low:
+				lowMV = e.Seconds
+			case policy.High:
+				highMV = e.Seconds
+			}
+		}
+	}
+	if lowMV == 0 || highMV == 0 || lowMV/highMV > 2 || highMV/lowMV > 2 {
+		t.Fatalf("exploration level changed MV drastically: low %.1f vs high %.1f", lowMV, highMV)
+	}
+}
+
+func TestFig9OverheadShape(t *testing.T) {
+	series := Fig9(128)
+	byName := map[string][]Point{}
+	for _, s := range series {
+		byName[s.Name] = s.Points
+	}
+	last := len(Fig9NodeCounts) - 1
+	// Static policies stay cheap even at 256 nodes (paper: < 30 µs).
+	for _, name := range []string{"round-robin", "vector-step"} {
+		if v := byName[name][last].Value; v > 30 {
+			t.Fatalf("%s overhead at 256 nodes = %.1fµs, want < 30", name, v)
+		}
+	}
+	// Informed policies grow with node count (paper: up to ~200 µs).
+	for _, name := range []string{"min-transfer-size", "min-transfer-time"} {
+		pts := byName[name]
+		if pts[last].Value < 2*pts[0].Value {
+			t.Fatalf("%s overhead does not grow with nodes: %v -> %v",
+				name, pts[0].Value, pts[last].Value)
+		}
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var b strings.Builder
+	PrintSeries(&b, "title", "x", "%.1f", []Series{
+		{Name: "s", Points: []Point{{X: 1, Value: 2}, {X: 2, Value: 3, Capped: true}}},
+	})
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "3.0*") {
+		t.Fatalf("series table malformed:\n%s", out)
+	}
+	b.Reset()
+	PrintSeries(&b, "empty", "x", "%v", nil)
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatalf("empty table missing title")
+	}
+	b.Reset()
+	PrintFig8(&b, []Fig8Entry{{Workload: "mv", Policy: "round-robin",
+		Level: policy.Low, Seconds: 1, Normalized: 1, Capped: true}})
+	if !strings.Contains(b.String(), "capped") || !strings.Contains(b.String(), "low") {
+		t.Fatalf("fig8 table malformed:\n%s", b.String())
+	}
+}
+
+func TestTunedVector(t *testing.T) {
+	if v := TunedVector("mle"); len(v) != 1 || v[0] != 8 {
+		t.Fatalf("mle vector = %v", v)
+	}
+	if v := TunedVector("mv"); len(v) != 1 || v[0] != 1 {
+		t.Fatalf("mv vector = %v", v)
+	}
+}
+
+func TestAblationHandTuning(t *testing.T) {
+	series := AblationHandTuning()
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	naive, tuned, scaled := series[0].Points, series[1].Points, series[2].Points
+	// Below capacity (4 GiB) the hand tuning helps.
+	if tuned[0].Value >= naive[0].Value {
+		t.Fatalf("hand tuning did not help below capacity: %.2f vs %.2f",
+			tuned[0].Value, naive[0].Value)
+	}
+	// At 3x (96 GiB, index 3) hand tuning cannot remove the collapse:
+	// still within 20% of naive, while scale-out is orders faster.
+	if tuned[3].Value < naive[3].Value*0.8 {
+		t.Fatalf("hand tuning unexpectedly fixed the collapse: %.1f vs %.1f",
+			tuned[3].Value, naive[3].Value)
+	}
+	if scaled[3].Value*10 > naive[3].Value {
+		t.Fatalf("scale-out did not beat naive at 3x: %.1f vs %.1f",
+			scaled[3].Value, naive[3].Value)
+	}
+}
+
+func TestAblationStreamOverlap(t *testing.T) {
+	multi, single := AblationStreamOverlap(16 * memmodel.GiB)
+	if multi.Err != nil || single.Err != nil {
+		t.Fatal(multi.Err, single.Err)
+	}
+	if multi.Seconds() >= single.Seconds() {
+		t.Fatalf("multi-stream (%.3f) not faster than single-stream (%.3f)",
+			multi.Seconds(), single.Seconds())
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	s := StrongScaling("mv", 96*memmodel.GiB, []int{1, 2, 4})
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// 2 nodes must beat 1 at 3x oversubscription.
+	if s.Points[1].Value >= s.Points[0].Value {
+		t.Fatalf("2 nodes (%.1f) not faster than 1 (%.1f)",
+			s.Points[1].Value, s.Points[0].Value)
+	}
+	// Additional nodes never make it slower than 2x the best seen.
+	best := s.Points[1].Value
+	if s.Points[2].Value > 2*best {
+		t.Fatalf("4 nodes regressed: %.1f vs best %.1f", s.Points[2].Value, best)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{})
+	g := &workloads.Grout{Ctl: ctl}
+	if err := workloads.MV().Build(g, workloads.Params{Footprint: 8 * memmodel.GiB}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Utilization(ctl, fab)
+	if len(rep.Workers) != 2 {
+		t.Fatalf("workers = %d", len(rep.Workers))
+	}
+	var kernels64 int64
+	for _, w := range rep.Workers {
+		kernels64 += w.KernelsRun
+	}
+	if kernels64 == 0 {
+		t.Fatalf("no kernels recorded")
+	}
+}
+
+// The UVM-aware extension policy (built where the paper's §V-E points)
+// must eliminate the MV pile-on pathology of Figure 8 while staying
+// locality-friendly.
+func TestUVMAwareFixesFig8Pathology(t *testing.T) {
+	const foot = 96 * memmodel.GiB
+	p := workloads.Params{Footprint: foot}
+	rr := RunGrout("mv", p, 2, policy.NewRoundRobin())
+	online := RunGrout("mv", p, 2, policy.NewMinTransferSize(policy.Low))
+	aware := RunGrout("mv", p, 2, policy.NewUVMAware(policy.Low, 64*memmodel.GiB))
+	if online.Seconds() < 5*rr.Seconds() {
+		t.Fatalf("setup: pathology missing (online %.0fs vs rr %.0fs)",
+			online.Seconds(), rr.Seconds())
+	}
+	if aware.Seconds() > 1.5*rr.Seconds() {
+		t.Fatalf("uvm-aware did not fix the pile-on: %.0fs vs rr %.0fs",
+			aware.Seconds(), rr.Seconds())
+	}
+	// And it must not regress the workloads where locality-chasing is
+	// right (MLE matches the offline roofline).
+	vs, _ := policy.NewVectorStep(TunedVector("mle"))
+	off := RunGrout("mle", p, 2, vs)
+	mleAware := RunGrout("mle", p, 2, policy.NewUVMAware(policy.Low, 64*memmodel.GiB))
+	if mleAware.Seconds() > 1.3*off.Seconds() {
+		t.Fatalf("uvm-aware regressed MLE: %.0fs vs offline %.0fs",
+			mleAware.Seconds(), off.Seconds())
+	}
+}
+
+func TestWhatIfHardwareMovesTheKnee(t *testing.T) {
+	series := WhatIfHardware()
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	v100, a100 := series[0], series[1]
+	// Sizes: 4, 32, 64, 80, 96, 160, 240 GiB.
+	// At 96 GiB the V100 node storms (3x) while the A100 node (1.2x) is
+	// still near-linear.
+	if ratio := v100.Points[4].Value / a100.Points[4].Value; ratio < 20 {
+		t.Fatalf("A100 did not defer the knee: v100/a100 = %.1f at 96GiB", ratio)
+	}
+	// But at 240 GiB (3x of the A100 node) the knee is back.
+	if step := a100.Points[6].Value / a100.Points[5].Value; step < 20 {
+		t.Fatalf("A100 knee missing at 240GiB: step = %.1f", step)
+	}
+}

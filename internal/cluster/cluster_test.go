@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+func TestPaperSpec(t *testing.T) {
+	s := PaperSpec(2)
+	if len(s.Workers) != 2 {
+		t.Fatalf("workers = %d", len(s.Workers))
+	}
+	if s.Workers[0].TotalDeviceMemory() != 32*memmodel.GiB {
+		t.Fatalf("worker device memory = %v", s.Workers[0].TotalDeviceMemory())
+	}
+	if s.ControllerEgressBW != 2*s.WorkerNICBW {
+		t.Fatalf("controller NIC should be 2x worker NIC")
+	}
+}
+
+func TestNodeIDs(t *testing.T) {
+	if ControllerID.IsWorker() {
+		t.Fatalf("controller is a worker")
+	}
+	if !NodeID(1).IsWorker() {
+		t.Fatalf("worker1 not a worker")
+	}
+	if ControllerID.String() != "controller" || NodeID(3).String() != "worker3" {
+		t.Fatalf("ID strings wrong")
+	}
+}
+
+func TestBandwidthMinOfEndpoints(t *testing.T) {
+	c := New(PaperSpec(2))
+	// Controller (1 GB/s) -> worker (500 MB/s): min is the worker NIC.
+	if bw := c.Bandwidth(ControllerID, 1); bw != 500e6 {
+		t.Fatalf("controller->worker bw = %v", bw)
+	}
+	if bw := c.Bandwidth(1, 2); bw != 500e6 {
+		t.Fatalf("worker->worker bw = %v", bw)
+	}
+}
+
+func TestPairOverride(t *testing.T) {
+	s := PaperSpec(2)
+	s.PairBW = map[[2]NodeID]float64{{1, 2}: 100e6}
+	c := New(s)
+	if bw := c.Bandwidth(1, 2); bw != 100e6 {
+		t.Fatalf("override not applied: %v", bw)
+	}
+	if bw := c.Bandwidth(2, 1); bw != 500e6 {
+		t.Fatalf("reverse direction affected by override: %v", bw)
+	}
+}
+
+func TestEstimateTransfer(t *testing.T) {
+	c := New(PaperSpec(2))
+	// 500 MB at 500 MB/s = 1 s + latency.
+	got := c.EstimateTransfer(ControllerID, 1, 500*1000*1000)
+	want := c.Spec().Latency + sim.VirtualTime(1e9)
+	if got != want {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+	if c.EstimateTransfer(1, 1, memmodel.GiB) != 0 {
+		t.Fatalf("self transfer not free")
+	}
+	if c.EstimateTransfer(1, 2, 0) != 0 {
+		t.Fatalf("empty transfer not free")
+	}
+}
+
+func TestTransferOccupiesNICs(t *testing.T) {
+	c := New(PaperSpec(3))
+	// 500 MB to worker1: the worker NIC (500 MB/s) is the bottleneck, so
+	// the transfer takes ~1s, but the controller's 1 GB/s egress is only
+	// occupied for 0.5s.
+	iv1 := c.Transfer(ControllerID, 1, 500*1000*1000, 0)
+	if iv1.Start != 0 {
+		t.Fatalf("first transfer start = %v", iv1.Start)
+	}
+	if iv1.End < sim.VirtualTime(1e9) {
+		t.Fatalf("transfer faster than the worker NIC allows: %v", iv1.End)
+	}
+	// A second transfer to a DIFFERENT worker starts as soon as the
+	// controller egress frees (0.5s), overlapping the first — the reason
+	// the paper gives the controller a 2x NIC.
+	iv2 := c.Transfer(ControllerID, 2, 500*1000*1000, 0)
+	if iv2.Start >= iv1.End {
+		t.Fatalf("controller could not feed two workers concurrently: start %v", iv2.Start)
+	}
+	if iv2.Start < sim.VirtualTime(5e8) {
+		t.Fatalf("controller egress oversubscribed: start %v", iv2.Start)
+	}
+	// Worker1 -> worker3 uses different NICs entirely and starts at once.
+	iv3 := c.Transfer(1, 3, 500*1000*1000, 0)
+	if iv3.Start != 0 {
+		t.Fatalf("independent transfer queued unnecessarily: start %v", iv3.Start)
+	}
+}
+
+func TestTransferIngressContention(t *testing.T) {
+	c := New(PaperSpec(3))
+	iv1 := c.Transfer(1, 3, 500*1000*1000, 0)
+	// Another sender targeting worker3 must wait for its ingress NIC,
+	// which is busy for the full second (it is the bottleneck).
+	iv2 := c.Transfer(2, 3, 500*1000*1000, 0)
+	if iv2.Start < sim.VirtualTime(1e9) {
+		t.Fatalf("ingress NIC overlapped: %v < 1s", iv2.Start)
+	}
+	_ = iv1
+}
+
+func TestWorkerAccessors(t *testing.T) {
+	c := New(PaperSpec(2))
+	if c.WorkerCount() != 2 {
+		t.Fatalf("worker count = %d", c.WorkerCount())
+	}
+	ids := c.Workers()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("workers = %v", ids)
+	}
+	if c.Worker(1) == nil || c.Worker(2) == nil {
+		t.Fatalf("worker accessor returned nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Worker(0) did not panic")
+		}
+	}()
+	c.Worker(ControllerID)
+}
+
+func TestInterconnectMatrix(t *testing.T) {
+	c := New(PaperSpec(2))
+	m := c.InterconnectMatrix()
+	if len(m) != 3 {
+		t.Fatalf("matrix size = %d", len(m))
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+	}
+	if m[0][1] != 500e6 || m[1][2] != 500e6 {
+		t.Fatalf("matrix bandwidths wrong: %v", m)
+	}
+}
+
+// Property: transfers to the same worker never start before its ingress
+// NIC has drained the previous one, starts are monotone, and estimates are
+// monotone in size.
+func TestTransferProperties(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		c := New(PaperSpec(2))
+		var prevStart sim.VirtualTime
+		var prevIngressBusy sim.VirtualTime
+		for _, s := range sizes {
+			n := memmodel.Bytes(s%(1<<28)) + 1
+			iv := c.Transfer(ControllerID, 1, n, 0)
+			// The worker's ingress is the bottleneck: a new transfer
+			// cannot start before the previous bytes drained through it.
+			if iv.Start < prevStart+prevIngressBusy {
+				return false
+			}
+			prevStart = iv.Start
+			prevIngressBusy = sim.VirtualTime(float64(n) / 500e6 * 1e9)
+			if iv.End < iv.Start {
+				return false
+			}
+		}
+		small := c.EstimateTransfer(ControllerID, 1, memmodel.MiB)
+		big := c.EstimateTransfer(ControllerID, 1, memmodel.GiB)
+		return big > small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,586 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"grout/internal/cluster"
+	"grout/internal/dag"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+	"grout/internal/policy"
+	"grout/internal/sim"
+)
+
+// GlobalArray is a framework-managed array as the Controller sees it:
+// metadata, the controller-side host buffer (numeric mode), and the
+// data-location registry entry — which nodes hold an up-to-date copy and
+// since when.
+type GlobalArray struct {
+	grcuda.ArrayMeta
+	// Buf is the controller's host copy (nil in cost-only mode).
+	Buf *kernels.Buffer
+	// upToDate[n] holds the virtual time the copy on node n became
+	// valid; a node absent from the map is stale.
+	upToDate map[cluster.NodeID]sim.VirtualTime
+}
+
+// UpToDateOn reports whether node n holds a valid copy.
+func (g *GlobalArray) UpToDateOn(n cluster.NodeID) bool {
+	_, ok := g.upToDate[n]
+	return ok
+}
+
+// ReadyAt reports when node n's copy became valid (0, false if stale).
+func (g *GlobalArray) ReadyAt(n cluster.NodeID) (sim.VirtualTime, bool) {
+	t, ok := g.upToDate[n]
+	return t, ok
+}
+
+// Locations lists the nodes holding valid copies.
+func (g *GlobalArray) Locations() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(g.upToDate))
+	for n := range g.upToDate {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CETrace records one scheduled CE for reports and tests.
+type CETrace struct {
+	CE          dag.CEID
+	Label       string
+	Node        cluster.NodeID
+	Start       sim.VirtualTime
+	End         sim.VirtualTime
+	MovedBytes  memmodel.Bytes
+	P2PMoves    int
+	SchedOverhd time.Duration // wall-clock controller scheduling cost
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Numeric allocates controller-side buffers and ships real data.
+	Numeric bool
+	// Registry is the kernel registry; defaults to kernels.StdRegistry.
+	Registry *kernels.Registry
+	// Failover makes the Controller survive worker failures: a CE whose
+	// worker errors is marked against that worker and rescheduled on the
+	// survivors, re-shipping inputs from a live source. Arrays whose only
+	// valid copy died surface a data-loss error instead.
+	Failover bool
+}
+
+// Controller is GrOUT's front end: the component user programs talk to.
+type Controller struct {
+	fabric   Fabric
+	pol      policy.Policy
+	reg      *kernels.Registry
+	numeric  bool
+	failover bool
+
+	graph   *dag.Graph
+	arrays  map[dag.ArrayID]*GlobalArray
+	nextArr dag.ArrayID
+	ceEnd   map[dag.CEID]sim.VirtualTime
+	traces  []CETrace
+	elapsed sim.VirtualTime
+
+	// dead records workers the controller has written off (Failover).
+	dead map[cluster.NodeID]bool
+
+	// totals
+	movedBytes memmodel.Bytes
+	p2pMoves   int
+	schedTime  time.Duration
+	schedCEs   int
+	failovers  int
+}
+
+// NewController builds a controller over a fabric with an inter-node
+// policy.
+func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
+	reg := opts.Registry
+	if reg == nil {
+		reg = kernels.StdRegistry()
+	}
+	return &Controller{
+		fabric:   fabric,
+		pol:      pol,
+		reg:      reg,
+		numeric:  opts.Numeric,
+		failover: opts.Failover,
+		graph:    dag.New(),
+		arrays:   make(map[dag.ArrayID]*GlobalArray),
+		nextArr:  1,
+		ceEnd:    make(map[dag.CEID]sim.VirtualTime),
+		dead:     make(map[cluster.NodeID]bool),
+	}
+}
+
+// aliveWorkers filters the fabric's workers through the dead list.
+func (c *Controller) aliveWorkers() []cluster.NodeID {
+	all := c.fabric.Workers()
+	if len(c.dead) == 0 {
+		return all
+	}
+	alive := make([]cluster.NodeID, 0, len(all))
+	for _, w := range all {
+		if !c.dead[w] {
+			alive = append(alive, w)
+		}
+	}
+	return alive
+}
+
+// markDead writes a worker off: it disappears from scheduling candidates
+// and from every array's valid-location set.
+func (c *Controller) markDead(w cluster.NodeID) {
+	if c.dead[w] {
+		return
+	}
+	c.dead[w] = true
+	c.failovers++
+	for _, arr := range c.arrays {
+		delete(arr.upToDate, w)
+	}
+}
+
+// Failovers reports how many workers the controller has written off.
+func (c *Controller) Failovers() int { return c.failovers }
+
+// DeadWorkers lists written-off workers.
+func (c *Controller) DeadWorkers() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(c.dead))
+	for w := range c.dead {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Policy returns the active inter-node policy.
+func (c *Controller) Policy() policy.Policy { return c.pol }
+
+// SetPolicy swaps the inter-node policy (between workloads).
+func (c *Controller) SetPolicy(p policy.Policy) { c.pol = p }
+
+// Graph exposes the Global DAG.
+func (c *Controller) Graph() *dag.Graph { return c.graph }
+
+// Registry exposes the kernel registry.
+func (c *Controller) Registry() *kernels.Registry { return c.reg }
+
+// Traces returns the per-CE schedule trace.
+func (c *Controller) Traces() []CETrace { return c.traces }
+
+// Elapsed reports the workload makespan in virtual time.
+func (c *Controller) Elapsed() sim.VirtualTime { return c.elapsed }
+
+// MovedBytes reports total bytes shipped over the network.
+func (c *Controller) MovedBytes() memmodel.Bytes { return c.movedBytes }
+
+// P2PMoves reports how many worker-to-worker transfers were issued.
+func (c *Controller) P2PMoves() int { return c.p2pMoves }
+
+// MeanSchedulingOverhead reports the mean wall-clock time the Controller
+// spent deciding placement per CE — the quantity of the paper's Figure 9.
+func (c *Controller) MeanSchedulingOverhead() time.Duration {
+	if c.schedCEs == 0 {
+		return 0
+	}
+	return c.schedTime / time.Duration(c.schedCEs)
+}
+
+// NewArray allocates a global array, initially up to date on the
+// controller only (time 0).
+func (c *Controller) NewArray(kind memmodel.ElemKind, n int64) (*GlobalArray, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: invalid array length %d", n)
+	}
+	id := c.nextArr
+	c.nextArr++
+	arr := &GlobalArray{
+		ArrayMeta: grcuda.ArrayMeta{ID: id, Kind: kind, Len: n},
+		upToDate:  map[cluster.NodeID]sim.VirtualTime{cluster.ControllerID: 0},
+	}
+	if c.numeric {
+		arr.Buf = kernels.NewBuffer(kind, int(n))
+	}
+	c.arrays[id] = arr
+	return arr, nil
+}
+
+// Array returns a global array by ID, or nil.
+func (c *Controller) Array(id dag.ArrayID) *GlobalArray { return c.arrays[id] }
+
+// FreeArray releases a global array everywhere.
+func (c *Controller) FreeArray(id dag.ArrayID) error {
+	if _, ok := c.arrays[id]; !ok {
+		return fmt.Errorf("core: free of unknown array %d", id)
+	}
+	for _, w := range c.fabric.Workers() {
+		if err := c.fabric.FreeArray(w, id); err != nil {
+			return err
+		}
+	}
+	delete(c.arrays, id)
+	return nil
+}
+
+// Launch submits a kernel CE: paper Algorithm 1. The CE enters the Global
+// DAG, the policy picks a Worker, the minimal data movements are issued
+// (controller→worker or P2P), and the CE is forwarded to the Worker's
+// intra-node scheduler. Returns the CE's completion time.
+func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
+	def, ok := c.reg.Lookup(inv.Kernel)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown kernel %q", inv.Kernel)
+	}
+	if len(inv.Args) != len(def.Sig.Params) {
+		return 0, fmt.Errorf("core: %s wants %d arguments, got %d",
+			inv.Kernel, len(def.Sig.Params), len(inv.Args))
+	}
+	if len(c.aliveWorkers()) == 0 {
+		return 0, fmt.Errorf("core: no workers available")
+	}
+
+	// Argument metadata and access derivation.
+	metas := make([]kernels.ArgMeta, len(inv.Args))
+	for i, a := range inv.Args {
+		if a.IsArray {
+			if !def.Sig.Params[i].Pointer {
+				return 0, fmt.Errorf("core: %s argument %d must be a scalar", inv.Kernel, i)
+			}
+			arr, ok := c.arrays[a.Array]
+			if !ok {
+				return 0, fmt.Errorf("core: %s references unknown array %d", inv.Kernel, a.Array)
+			}
+			metas[i] = kernels.ArgMeta{IsBuffer: true, Len: arr.Len}
+		} else {
+			if def.Sig.Params[i].Pointer {
+				return 0, fmt.Errorf("core: %s argument %d must be an array", inv.Kernel, i)
+			}
+			metas[i] = kernels.ArgMeta{Scalar: a.Scalar}
+		}
+	}
+	accs := def.Access(metas)
+
+	// --- Scheduling decision (timed: this is Figure 9's overhead). ---
+	schedStart := time.Now()
+
+	// Add CE to the Global DAG's frontier.
+	var dagAccs []dag.Access
+	for i, a := range inv.Args {
+		if a.IsArray {
+			dagAccs = append(dagAccs, dag.Access{Array: a.Array, Mode: accs[i].Mode})
+		}
+	}
+	ce := c.graph.NewCE(inv.Kernel, dagAccs, nil)
+	ancestors := c.graph.Add(ce)
+	depReady := sim.VirtualTime(0)
+	for _, a := range ancestors {
+		if end := c.ceEnd[a.CE.ID]; end > depReady {
+			depReady = end
+		}
+	}
+
+	// Apply the node-level scheduling policy.
+	req := c.buildRequest(ce, inv.Args, accs)
+	target := c.pol.Assign(req)
+
+	schedDur := time.Since(schedStart)
+	c.schedTime += schedDur
+	c.schedCEs++
+	// --- End of timed scheduling section. ---
+
+	// Issue the data movements and forward the CE; under Failover a
+	// failing worker is written off and the CE rescheduled on survivors.
+	var end sim.VirtualTime
+	var ready sim.VirtualTime
+	var moved memmodel.Bytes
+	var p2p int
+	for {
+		transferReady, m, p, err := c.ensureArgs(target, inv.Args, accs)
+		if err == nil {
+			ready = sim.Max(depReady, transferReady)
+			moved, p2p = m, p
+			end, err = c.fabric.Launch(target, inv, ready)
+		}
+		if err == nil {
+			break
+		}
+		if !c.failover || errorIsDataLoss(err) {
+			return 0, err
+		}
+		// Identify which worker actually died (the error may come from
+		// the CE's target or from a transfer source) and write it off.
+		anyDead := false
+		for _, w := range c.aliveWorkers() {
+			if !c.fabric.Healthy(w) {
+				c.markDead(w)
+				anyDead = true
+			}
+		}
+		if !anyDead {
+			return 0, err // not a worker failure; don't spin
+		}
+		if len(c.aliveWorkers()) == 0 {
+			return 0, fmt.Errorf("core: no workers left after failover: %w", err)
+		}
+		req = c.buildRequest(ce, inv.Args, accs)
+		target = c.pol.Assign(req)
+	}
+
+	// Update the data-location registry.
+	for i, a := range inv.Args {
+		if !a.IsArray {
+			continue
+		}
+		arr := c.arrays[a.Array]
+		if accs[i].Mode.Writes() {
+			// The writer's copy is now the only valid one.
+			arr.upToDate = map[cluster.NodeID]sim.VirtualTime{target: end}
+		} else if _, ok := arr.upToDate[target]; !ok {
+			arr.upToDate[target] = end
+		}
+	}
+
+	c.ceEnd[ce.ID] = end
+	if end > c.elapsed {
+		c.elapsed = end
+	}
+	c.movedBytes += moved
+	c.p2pMoves += p2p
+	c.traces = append(c.traces, CETrace{
+		CE: ce.ID, Label: inv.Kernel, Node: target,
+		Start: ready, End: end, MovedBytes: moved, P2PMoves: p2p,
+		SchedOverhd: schedDur,
+	})
+	return end, nil
+}
+
+// errDataLoss marks errors no failover can fix: the only valid copy of an
+// array died with its worker.
+type errDataLoss struct{ id dag.ArrayID }
+
+func (e *errDataLoss) Error() string {
+	return fmt.Sprintf("core: array %d lost: its only valid copy was on a failed worker", e.id)
+}
+
+func errorIsDataLoss(err error) bool {
+	var dl *errDataLoss
+	return errors.As(err, &dl)
+}
+
+// buildRequest assembles the policy's view: per worker, the bytes of the
+// CE's parameters already up to date there, the bytes that would move, and
+// the estimated transfer time from the interconnection matrix.
+func (c *Controller) buildRequest(ce *dag.CE, args []ArgRef, accs []memmodel.Access) policy.Request {
+	workers := c.aliveWorkers()
+	req := policy.Request{CE: ce, Nodes: make([]policy.NodeInfo, len(workers))}
+	if !c.pol.NeedsDataView() {
+		// Static policies only need the candidate list.
+		for wi, w := range workers {
+			req.Nodes[wi] = policy.NodeInfo{ID: w}
+		}
+		return req
+	}
+	var total memmodel.Bytes
+	for i, a := range args {
+		if !a.IsArray {
+			continue
+		}
+		// Write-only full overwrites don't need their old bytes moved.
+		if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
+			continue
+		}
+		total += c.arrays[a.Array].Bytes()
+	}
+	req.Total = total
+	for wi, w := range workers {
+		info := policy.NodeInfo{ID: w}
+		for i, a := range args {
+			if !a.IsArray {
+				continue
+			}
+			if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
+				continue
+			}
+			arr := c.arrays[a.Array]
+			if arr.UpToDateOn(w) {
+				info.UpToDate += arr.Bytes()
+			} else {
+				info.Transfer += arr.Bytes()
+				src := c.bestSource(arr, w)
+				info.TransferTime += c.fabric.EstimateTransfer(src, w, arr.Bytes())
+			}
+		}
+		req.Nodes[wi] = info
+	}
+	return req
+}
+
+// bestSource picks where to pull a stale array from: the up-to-date node
+// with the fastest link to the target, preferring workers (P2P) over the
+// controller when both hold valid copies, as in Algorithm 1.
+func (c *Controller) bestSource(arr *GlobalArray, target cluster.NodeID) cluster.NodeID {
+	best := cluster.ControllerID
+	bestTime := sim.Infinity
+	haveWorker := false
+	for n := range arr.upToDate {
+		if n == target || c.dead[n] {
+			continue
+		}
+		est := c.fabric.EstimateTransfer(n, target, arr.Bytes())
+		isWorker := n.IsWorker()
+		// Prefer P2P sources; among equals, the fastest link.
+		better := false
+		switch {
+		case isWorker && !haveWorker:
+			better = true
+		case isWorker == haveWorker && est < bestTime:
+			better = true
+		}
+		if better {
+			best, bestTime, haveWorker = n, est, isWorker
+		}
+	}
+	return best
+}
+
+// ensureArgs issues the data movements Algorithm 1 requires: every array
+// parameter that is not up to date on the target is shipped from its best
+// source. Write-only full overwrites skip the transfer but still allocate.
+func (c *Controller) ensureArgs(target cluster.NodeID, args []ArgRef, accs []memmodel.Access) (ready sim.VirtualTime, moved memmodel.Bytes, p2p int, err error) {
+	for i, a := range args {
+		if !a.IsArray {
+			continue
+		}
+		arr := c.arrays[a.Array]
+		if err := c.fabric.EnsureArray(target, arr.ArrayMeta); err != nil {
+			return 0, 0, 0, err
+		}
+		if arr.UpToDateOn(target) {
+			if t := arr.upToDate[target]; t > ready {
+				ready = t
+			}
+			continue
+		}
+		if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
+			continue // full overwrite: old contents don't matter
+		}
+		if len(arr.upToDate) == 0 {
+			return 0, 0, 0, &errDataLoss{id: a.Array}
+		}
+		src := c.bestSource(arr, target)
+		srcReady := arr.upToDate[src]
+		arrival, err := c.fabric.MoveArray(a.Array, src, target, srcReady, arr.Buf, nil)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		arr.upToDate[target] = arrival
+		moved += arr.Bytes()
+		if src.IsWorker() {
+			p2p++
+		}
+		if arrival > ready {
+			ready = arrival
+		}
+		if arrival > c.elapsed {
+			c.elapsed = arrival
+		}
+	}
+	return ready, moved, p2p, nil
+}
+
+// HostRead makes the controller's copy of an array consistent (the user
+// reading results, paper Listing 1's print(x)): a read CE that may pull
+// the array back from the worker that last wrote it.
+func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
+	arr, ok := c.arrays[id]
+	if !ok {
+		return 0, fmt.Errorf("core: host read of unknown array %d", id)
+	}
+	ce := c.graph.NewCE("host-read", []dag.Access{{Array: id, Mode: memmodel.Read}}, nil)
+	ancestors := c.graph.Add(ce)
+	depReady := sim.VirtualTime(0)
+	for _, a := range ancestors {
+		if end := c.ceEnd[a.CE.ID]; end > depReady {
+			depReady = end
+		}
+	}
+	end := depReady
+	if !arr.UpToDateOn(cluster.ControllerID) {
+		if len(arr.upToDate) == 0 {
+			return 0, &errDataLoss{id: id}
+		}
+		src := c.bestSource(arr, cluster.ControllerID)
+		arrival, err := c.fabric.MoveArray(id, src, cluster.ControllerID,
+			sim.Max(arr.upToDate[src], depReady), nil, arr.Buf)
+		if err != nil {
+			return 0, err
+		}
+		arr.upToDate[cluster.ControllerID] = arrival
+		c.movedBytes += arr.Bytes()
+		end = arrival
+	} else if t := arr.upToDate[cluster.ControllerID]; t > end {
+		end = t
+	}
+	c.ceEnd[ce.ID] = end
+	if end > c.elapsed {
+		c.elapsed = end
+	}
+	c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-read",
+		Node: cluster.ControllerID, Start: depReady, End: end})
+	return end, nil
+}
+
+// HostWrite marks an array as (re)initialized by the controller's host
+// code: the controller copy becomes the only valid one. In numeric mode
+// the caller mutates arr.Buf directly around this call.
+func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
+	arr, ok := c.arrays[id]
+	if !ok {
+		return 0, fmt.Errorf("core: host write of unknown array %d", id)
+	}
+	ce := c.graph.NewCE("host-write", []dag.Access{{Array: id, Mode: memmodel.Write}}, nil)
+	ancestors := c.graph.Add(ce)
+	depReady := sim.VirtualTime(0)
+	for _, a := range ancestors {
+		if end := c.ceEnd[a.CE.ID]; end > depReady {
+			depReady = end
+		}
+	}
+	arr.upToDate = map[cluster.NodeID]sim.VirtualTime{cluster.ControllerID: depReady}
+	c.ceEnd[ce.ID] = depReady
+	if depReady > c.elapsed {
+		c.elapsed = depReady
+	}
+	c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-write",
+		Node: cluster.ControllerID, Start: depReady, End: depReady})
+	return depReady, nil
+}
+
+// BuildKernel compiles a mini-CUDA kernel from source (the NVRTC path of
+// buildkernel) and registers it with the controller and, through the
+// fabric, with every worker.
+func (c *Controller) BuildKernel(src, signature string) (*kernels.Def, error) {
+	def, err := minicuda.Compile(src, signature)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := c.reg.Lookup(def.Name); !exists {
+		if err := c.reg.Register(def); err != nil {
+			return nil, err
+		}
+	}
+	if kb, ok := c.fabric.(KernelBuilder); ok {
+		if err := kb.BuildKernel(src, signature); err != nil {
+			return nil, err
+		}
+	}
+	return def, nil
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+)
+
+// newSystem builds a controller over n in-process workers.
+func newSystem(t testing.TB, n int, pol policy.Policy, numeric bool) (*Controller, *LocalFabric) {
+	t.Helper()
+	clu := cluster.New(cluster.PaperSpec(n))
+	fab := NewLocalFabric(clu, kernels.StdRegistry(), numeric)
+	ctl := NewController(fab, pol, Options{Numeric: numeric})
+	return ctl, fab
+}
+
+func TestNewArrayRegistry(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	a, err := ctl.NewArray(memmodel.Float32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.UpToDateOn(cluster.ControllerID) {
+		t.Fatalf("fresh array not up to date on controller")
+	}
+	if a.UpToDateOn(1) {
+		t.Fatalf("fresh array up to date on worker")
+	}
+	if ctl.Array(a.ID) != a {
+		t.Fatalf("array lookup failed")
+	}
+	if _, err := ctl.NewArray(memmodel.Float32, -1); err == nil {
+		t.Fatalf("negative length accepted")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	ctl, _ := newSystem(t, 1, policy.NewRoundRobin(), false)
+	a, _ := ctl.NewArray(memmodel.Float32, 128)
+	if _, err := ctl.Launch(Invocation{Kernel: "nope"}); err == nil {
+		t.Fatalf("unknown kernel accepted")
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(a.ID)}}); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ScalarRef(0), ScalarRef(0), ScalarRef(128)}}); err == nil {
+		t.Fatalf("scalar-for-pointer accepted")
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(999), ScalarRef(0), ScalarRef(128)}}); err == nil {
+		t.Fatalf("unknown array accepted")
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(a.ID), ArrRef(a.ID), ScalarRef(128)}}); err == nil {
+		t.Fatalf("array-for-scalar accepted")
+	}
+}
+
+func TestLaunchMovesDataAndTracksLocations(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 26) // 256 MiB
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	// relu reads+writes x: the controller copy must ship to worker 1.
+	end, err := ctl.Launch(Invocation{Kernel: "relu",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(float64(n))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatalf("zero completion time")
+	}
+	if ctl.MovedBytes() != 256*memmodel.MiB {
+		t.Fatalf("moved = %v, want 256MiB", ctl.MovedBytes())
+	}
+	// After the write, only worker1 is up to date.
+	if x.UpToDateOn(cluster.ControllerID) || !x.UpToDateOn(1) || x.UpToDateOn(2) {
+		t.Fatalf("locations after write: %v", x.Locations())
+	}
+}
+
+func TestWriteOnlyFullOverwriteSkipsTransfer(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 26)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	// fill writes the whole array: no transfer needed.
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.MovedBytes() != 0 {
+		t.Fatalf("full overwrite moved %v bytes", ctl.MovedBytes())
+	}
+	if !x.UpToDateOn(1) {
+		t.Fatalf("fill result not registered on worker")
+	}
+}
+
+func TestP2PTransferBetweenWorkers(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 26)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	// fill on worker1 (round-robin), then relu must run on worker2 and
+	// pull x peer-to-peer.
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "relu",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.P2PMoves() != 1 {
+		t.Fatalf("p2p moves = %d, want 1", ctl.P2PMoves())
+	}
+	tr := ctl.Traces()
+	if tr[0].Node != 1 || tr[1].Node != 2 {
+		t.Fatalf("round-robin placement = %v, %v", tr[0].Node, tr[1].Node)
+	}
+}
+
+func TestHostReadPullsResultBack(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 26)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	end1, _ := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}})
+	end2, err := ctl.HostRead(x.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end2 <= end1 {
+		t.Fatalf("host read did not account transfer: %v <= %v", end2, end1)
+	}
+	if !x.UpToDateOn(cluster.ControllerID) || !x.UpToDateOn(1) {
+		t.Fatalf("read should leave both copies valid: %v", x.Locations())
+	}
+	// Second read is free (already consistent).
+	end3, _ := ctl.HostRead(x.ID)
+	if end3 != end2 {
+		t.Fatalf("cached host read = %v, want %v", end3, end2)
+	}
+}
+
+func TestHostWriteInvalidatesWorkers(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 20)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if x.UpToDateOn(1) || !x.UpToDateOn(cluster.ControllerID) {
+		t.Fatalf("host write locations: %v", x.Locations())
+	}
+}
+
+func TestHostOpsUnknownArray(t *testing.T) {
+	ctl, _ := newSystem(t, 1, policy.NewRoundRobin(), false)
+	if _, err := ctl.HostRead(42); err == nil {
+		t.Fatalf("host read of unknown array succeeded")
+	}
+	if _, err := ctl.HostWrite(42); err == nil {
+		t.Fatalf("host write of unknown array succeeded")
+	}
+}
+
+func TestNumericDistributedExecution(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), true)
+	const n = int64(1000)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	y, _ := ctl.NewArray(memmodel.Float32, n)
+	// Initialize x on the host.
+	for i := 0; i < int(n); i++ {
+		x.Buf.Set(i, float64(i))
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	// y = 0; y += 2x, distributed across workers.
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(y.ID), ScalarRef(0), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "axpy",
+		Args: []ArgRef{ArrRef(y.ID), ArrRef(x.ID), ScalarRef(2), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostRead(y.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if got := y.Buf.At(i); got != 2*float64(i) {
+			t.Fatalf("y[%d] = %v, want %v", i, got, 2*float64(i))
+		}
+	}
+}
+
+// Distributed numeric execution must match a single-node GrCUDA run.
+func TestDistributedMatchesSingleNodeNumerically(t *testing.T) {
+	const n = int64(512)
+	// Single node.
+	single := func() []float64 {
+		node := newSingleNode(t)
+		spot, _ := node.NewArray(memmodel.Float32, n)
+		call, _ := node.NewArray(memmodel.Float32, n)
+		put, _ := node.NewArray(memmodel.Float32, n)
+		for i := 0; i < int(n); i++ {
+			spot.Buf.Set(i, 80+float64(i)*0.1)
+		}
+		if _, err := node.Submit(grcuda.Invocation{Kernel: "blackscholes",
+			Args: []grcuda.Value{grcuda.ArrValue(call), grcuda.ArrValue(put),
+				grcuda.ArrValue(spot), grcuda.ScalarValue(float64(n))}}, 0); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = call.Buf.At(i)
+		}
+		return out
+	}()
+
+	// Distributed (2 workers).
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), true)
+	spot, _ := ctl.NewArray(memmodel.Float32, n)
+	call, _ := ctl.NewArray(memmodel.Float32, n)
+	put, _ := ctl.NewArray(memmodel.Float32, n)
+	for i := 0; i < int(n); i++ {
+		spot.Buf.Set(i, 80+float64(i)*0.1)
+	}
+	if _, err := ctl.HostWrite(spot.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "blackscholes",
+		Args: []ArgRef{ArrRef(call.ID), ArrRef(put.ID), ArrRef(spot.ID), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostRead(call.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if d := math.Abs(call.Buf.At(i) - single[i]); d > 1e-6 {
+			t.Fatalf("distributed differs from single node at %d by %v", i, d)
+		}
+	}
+}
+
+func TestSchedulingOverheadRecorded(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewMinTransferSize(policy.Low), false)
+	a, _ := ctl.NewArray(memmodel.Float32, 1<<20)
+	for i := 0; i < 5; i++ {
+		if _, err := ctl.Launch(Invocation{Kernel: "relu",
+			Args: []ArgRef{ArrRef(a.ID), ScalarRef(float64(1 << 20))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctl.MeanSchedulingOverhead() <= 0 {
+		t.Fatalf("scheduling overhead not measured")
+	}
+	for _, tr := range ctl.Traces() {
+		if tr.Label == "relu" && tr.SchedOverhd <= 0 {
+			t.Fatalf("per-CE overhead missing: %+v", tr)
+		}
+	}
+}
+
+func TestMinTransferSizeKeepsDataLocal(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewMinTransferSize(policy.Low), false)
+	const n = int64(1 << 26)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	first := ctl.Traces()[0].Node
+	// Ten follow-up kernels on the same array must stay on that worker.
+	for i := 0; i < 10; i++ {
+		if _, err := ctl.Launch(Invocation{Kernel: "relu",
+			Args: []ArgRef{ArrRef(x.ID), ScalarRef(float64(n))}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctl.Traces()[i+1].Node; got != first {
+			t.Fatalf("min-transfer-size migrated CE %d to %v", i, got)
+		}
+	}
+	if ctl.P2PMoves() != 0 {
+		t.Fatalf("unnecessary p2p moves: %d", ctl.P2PMoves())
+	}
+}
+
+func TestFreeArrayEverywhere(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 20)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.FreeArray(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.FreeArray(x.ID); err == nil {
+		t.Fatalf("double free accepted")
+	}
+	if ctl.Array(x.ID) != nil {
+		t.Fatalf("freed array still registered")
+	}
+}
+
+func TestNoWorkersError(t *testing.T) {
+	ctl, _ := newSystem(t, 0, policy.NewRoundRobin(), false)
+	a, _ := ctl.NewArray(memmodel.Float32, 16)
+	if _, err := ctl.Launch(Invocation{Kernel: "relu",
+		Args: []ArgRef{ArrRef(a.ID), ScalarRef(16)}}); err == nil {
+		t.Fatalf("launch with no workers succeeded")
+	}
+}
+
+func TestDependencyOrderingAcrossNodes(t *testing.T) {
+	// A chain of dependent CEs forced round-robin across two workers must
+	// still serialize: each CE starts after its ancestor plus transfer.
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	const n = int64(1 << 26)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	var prevEnd int64
+	if _, err := ctl.Launch(Invocation{Kernel: "fill",
+		Args: []ArgRef{ArrRef(x.ID), ScalarRef(1), ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		end, err := ctl.Launch(Invocation{Kernel: "relu",
+			Args: []ArgRef{ArrRef(x.ID), ScalarRef(float64(n))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(end) <= prevEnd {
+			t.Fatalf("dependent CE %d did not serialize: %v <= %v", i, end, prevEnd)
+		}
+		prevEnd = int64(end)
+	}
+	if ctl.P2PMoves() != 4 {
+		t.Fatalf("expected 4 p2p bounces, got %d", ctl.P2PMoves())
+	}
+}
+
+func TestSetPolicy(t *testing.T) {
+	ctl, _ := newSystem(t, 2, policy.NewRoundRobin(), false)
+	if ctl.Policy().Name() != "round-robin" {
+		t.Fatalf("initial policy = %s", ctl.Policy().Name())
+	}
+	ctl.SetPolicy(policy.NewMinTransferTime(policy.High))
+	if ctl.Policy().Name() != "min-transfer-time" {
+		t.Fatalf("swapped policy = %s", ctl.Policy().Name())
+	}
+}
+
+// newSingleNode builds a standalone GrCUDA runtime (the paper's baseline)
+// with numeric execution for equivalence tests.
+func newSingleNode(t testing.TB) *grcuda.Runtime {
+	t.Helper()
+	return grcuda.NewRuntime(
+		gpusimNewNode(),
+		kernels.StdRegistry(),
+		grcuda.Options{ExecuteNumeric: true},
+	)
+}

@@ -1,0 +1,280 @@
+// Package core implements GrOUT itself: the Controller/Worker architecture
+// of paper §IV. The Controller keeps the Global DAG of Computational
+// Elements, tracks which nodes hold an up-to-date copy of every
+// framework-managed array, applies an inter-node scheduling policy
+// (Algorithm 1) and issues the minimal data movements
+// (controller→worker sends and worker↔worker P2P). Each Worker runs the
+// GrCUDA intra-node engine (Algorithm 2) over its simulated GPUs.
+//
+// The Controller talks to workers through the Fabric interface. LocalFabric
+// runs every worker in-process over the cluster simulator in virtual time —
+// this is the configuration all experiments use. The transport package
+// provides a TCP fabric with the same semantics over real sockets.
+package core
+
+import (
+	"fmt"
+
+	"grout/internal/cluster"
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+	"grout/internal/sim"
+)
+
+// ArgRef is a kernel argument by global array ID (or a scalar).
+type ArgRef struct {
+	IsArray bool
+	Array   dag.ArrayID
+	Scalar  float64
+}
+
+// ArrRef makes an array argument reference.
+func ArrRef(id dag.ArrayID) ArgRef { return ArgRef{IsArray: true, Array: id} }
+
+// ScalarRef makes a scalar argument reference.
+func ScalarRef(v float64) ArgRef { return ArgRef{Scalar: v} }
+
+// Invocation is a kernel launch expressed against global array IDs.
+type Invocation struct {
+	Kernel      string
+	Grid, Block int
+	Args        []ArgRef
+}
+
+// Fabric is the Controller's view of the worker fleet and interconnect.
+type Fabric interface {
+	// Workers lists the worker node IDs.
+	Workers() []cluster.NodeID
+	// EnsureArray mirrors a global array's metadata on a worker
+	// (idempotent; allocates host memory there).
+	EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error
+	// MoveArray ships array id from src to dst (either may be the
+	// controller, ControllerID). srcBuf carries the payload when src is
+	// the controller; dstBuf, when non-nil and dst is the controller,
+	// receives the payload. The move may not start before srcReady.
+	// Returns the arrival time at dst.
+	MoveArray(id dag.ArrayID, src, dst cluster.NodeID, srcReady sim.VirtualTime,
+		srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error)
+	// Launch executes a kernel on worker w, starting no earlier than
+	// ready; returns the completion time.
+	Launch(w cluster.NodeID, inv Invocation, ready sim.VirtualTime) (sim.VirtualTime, error)
+	// EstimateTransfer predicts an idle-network transfer duration, for
+	// the min-transfer-time policy's interconnection matrix.
+	EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime
+	// FreeArray drops a worker's replica of an array, if present.
+	FreeArray(w cluster.NodeID, id dag.ArrayID) error
+	// Healthy reports whether a worker currently responds; the
+	// Controller's failover uses it to identify which node an operation
+	// actually died on.
+	Healthy(w cluster.NodeID) bool
+}
+
+// LocalFabric runs workers in-process over the cluster simulator.
+type LocalFabric struct {
+	clu     *cluster.Cluster
+	reg     *kernels.Registry
+	numeric bool
+	workers map[cluster.NodeID]*grcuda.Runtime
+}
+
+// NewLocalFabric builds an in-process fabric: one GrCUDA runtime per
+// worker in the cluster spec. With numeric set, kernels execute their host
+// implementations and transfers copy real buffers.
+func NewLocalFabric(clu *cluster.Cluster, reg *kernels.Registry, numeric bool) *LocalFabric {
+	f := &LocalFabric{
+		clu:     clu,
+		reg:     reg,
+		numeric: numeric,
+		workers: make(map[cluster.NodeID]*grcuda.Runtime),
+	}
+	for _, id := range clu.Workers() {
+		f.workers[id] = grcuda.NewRuntime(clu.Worker(id), reg, grcuda.Options{ExecuteNumeric: numeric})
+	}
+	return f
+}
+
+// Runtime exposes a worker's GrCUDA engine (tests and traces).
+func (f *LocalFabric) Runtime(w cluster.NodeID) *grcuda.Runtime { return f.workers[w] }
+
+// Cluster exposes the underlying cluster simulator.
+func (f *LocalFabric) Cluster() *cluster.Cluster { return f.clu }
+
+// Workers implements Fabric.
+func (f *LocalFabric) Workers() []cluster.NodeID { return f.clu.Workers() }
+
+// EnsureArray implements Fabric.
+func (f *LocalFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error {
+	rt, ok := f.workers[w]
+	if !ok {
+		return fmt.Errorf("core: unknown worker %v", w)
+	}
+	if rt.Array(meta.ID) != nil {
+		return nil
+	}
+	_, err := rt.NewArrayWithID(meta.ID, meta.Kind, meta.Len)
+	return err
+}
+
+// MoveArray implements Fabric.
+func (f *LocalFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
+	srcReady sim.VirtualTime, srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error) {
+	if src == dst {
+		return srcReady, nil
+	}
+
+	var payload *kernels.Buffer
+	ready := srcReady
+	var size memmodel.Bytes
+
+	if src.IsWorker() {
+		rt, ok := f.workers[src]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown source worker %v", src)
+		}
+		arr := rt.Array(id)
+		if arr == nil {
+			return 0, fmt.Errorf("core: array %d not present on %v", id, src)
+		}
+		// Dirty device pages must reach the worker's host copy first.
+		flushed, err := rt.Node().FlushForSend(arr.Alloc, srcReady)
+		if err != nil {
+			return 0, err
+		}
+		ready = flushed
+		payload = arr.Buf
+		size = arr.Bytes()
+	} else {
+		payload = srcBuf
+		if payload != nil {
+			size = payload.Bytes()
+		}
+	}
+
+	if dst.IsWorker() {
+		rt, ok := f.workers[dst]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown destination worker %v", dst)
+		}
+		arr := rt.Array(id)
+		if arr == nil {
+			return 0, fmt.Errorf("core: array %d not ensured on %v before move", id, dst)
+		}
+		size = arr.Bytes()
+		iv := f.clu.Transfer(src, dst, size, ready)
+		// The arriving data overwrites the worker's host copy; stale
+		// device pages drop without write-back.
+		if err := rt.Node().Invalidate(arr.Alloc); err != nil {
+			return 0, err
+		}
+		if f.numeric && payload != nil && arr.Buf != nil {
+			copyBuffer(arr.Buf, payload)
+		}
+		return iv.End, nil
+	}
+
+	// Worker -> controller.
+	iv := f.clu.Transfer(src, dst, size, ready)
+	if f.numeric && payload != nil && dstBuf != nil {
+		copyBuffer(dstBuf, payload)
+	}
+	return iv.End, nil
+}
+
+// copyBuffer copies src's contents into dst (same kind and length by
+// construction; shorter of the two otherwise).
+func copyBuffer(dst, src *kernels.Buffer) {
+	n := dst.Len()
+	if src.Len() < n {
+		n = src.Len()
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(i, src.At(i))
+	}
+}
+
+// Launch implements Fabric.
+func (f *LocalFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	rt, ok := f.workers[w]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown worker %v", w)
+	}
+	vals := make([]grcuda.Value, len(inv.Args))
+	for i, a := range inv.Args {
+		if !a.IsArray {
+			vals[i] = grcuda.ScalarValue(a.Scalar)
+			continue
+		}
+		arr := rt.Array(a.Array)
+		if arr == nil {
+			return 0, fmt.Errorf("core: worker %v launch references unknown array %d", w, a.Array)
+		}
+		vals[i] = grcuda.ArrValue(arr)
+	}
+	return rt.Submit(grcuda.Invocation{
+		Kernel: inv.Kernel, Grid: inv.Grid, Block: inv.Block, Args: vals,
+	}, ready)
+}
+
+// EstimateTransfer implements Fabric.
+func (f *LocalFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
+	return f.clu.EstimateTransfer(src, dst, n)
+}
+
+// FreeArray implements Fabric.
+func (f *LocalFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
+	rt, ok := f.workers[w]
+	if !ok {
+		return fmt.Errorf("core: unknown worker %v", w)
+	}
+	if rt.Array(id) == nil {
+		return nil
+	}
+	return rt.FreeArray(id)
+}
+
+// Healthy implements Fabric: in-process workers cannot die.
+func (f *LocalFabric) Healthy(w cluster.NodeID) bool {
+	_, ok := f.workers[w]
+	return ok
+}
+
+// WorkerStats aggregates a worker's device counters for reports.
+func (f *LocalFabric) WorkerStats(w cluster.NodeID) []gpusim.Stats {
+	rt, ok := f.workers[w]
+	if !ok {
+		return nil
+	}
+	devs := rt.Node().Devices()
+	out := make([]gpusim.Stats, len(devs))
+	for i, d := range devs {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// KernelBuilder is implemented by fabrics that can distribute
+// runtime-compiled kernels to their workers (the buildkernel path of the
+// paper's Listing 1: the Controller issues the NVRTC build and every
+// Worker must know the resulting kernel).
+type KernelBuilder interface {
+	// BuildKernel compiles source with an NFI signature and registers
+	// the kernel wherever workers resolve kernels.
+	BuildKernel(src, signature string) error
+}
+
+// BuildKernel implements KernelBuilder: the kernel is compiled once and
+// registered in the registry shared by every in-process worker.
+func (f *LocalFabric) BuildKernel(src, signature string) error {
+	def, err := minicuda.Compile(src, signature)
+	if err != nil {
+		return err
+	}
+	if _, exists := f.reg.Lookup(def.Name); exists {
+		return nil
+	}
+	return f.reg.Register(def)
+}

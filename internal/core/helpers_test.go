@@ -1,0 +1,7 @@
+package core
+
+import "grout/internal/gpusim"
+
+func gpusimNewNode() *gpusim.Node {
+	return gpusim.NewNode(gpusim.OCIWorkerSpec("baseline"))
+}

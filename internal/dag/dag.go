@@ -1,0 +1,335 @@
+// Package dag implements GrOUT's Computational Element (CE) dependency
+// graph. A CE wraps a kernel launch or a host read/write on a
+// framework-managed array (paper §IV-B). As the host program submits CEs,
+// the graph derives true dependencies from array access modes (RAW, WAR,
+// WAW), filters redundant edges (if B already depends on A, a new CE
+// depending on both only links to B), and maintains the frontier — the set
+// of CEs a future submission can still depend on.
+//
+// The same structure serves as the Controller's Global DAG and each
+// Worker's Local DAG (paper Algorithms 1 and 2).
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grout/internal/memmodel"
+)
+
+// ArrayID identifies a framework-managed array, globally across the
+// cluster.
+type ArrayID int64
+
+// CEID identifies a Computational Element in submission order.
+type CEID int64
+
+// Access records that a CE touches an array with a given mode.
+type Access struct {
+	Array ArrayID
+	Mode  memmodel.AccessMode
+}
+
+// CE is a Computational Element: the unit the scheduler places on nodes
+// and streams. Payload carries runtime-specific data (kernel invocation,
+// host-op descriptor) opaque to the graph.
+type CE struct {
+	ID       CEID
+	Label    string
+	Accesses []Access
+	Payload  any
+}
+
+func (ce *CE) String() string {
+	return fmt.Sprintf("CE%d(%s)", ce.ID, ce.Label)
+}
+
+// Vertex is a CE plus its graph linkage.
+type Vertex struct {
+	CE       *CE
+	parents  map[CEID]*Vertex
+	children map[CEID]*Vertex
+}
+
+// Parents returns the vertex's direct ancestors, sorted by CE ID.
+func (v *Vertex) Parents() []*Vertex { return sortedVertices(v.parents) }
+
+// Children returns the vertex's direct descendants, sorted by CE ID.
+func (v *Vertex) Children() []*Vertex { return sortedVertices(v.children) }
+
+func sortedVertices(m map[CEID]*Vertex) []*Vertex {
+	out := make([]*Vertex, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CE.ID < out[j].CE.ID })
+	return out
+}
+
+// arrayState tracks, per array, the CE that last wrote it and the readers
+// since that write — exactly the live accessors a new CE can conflict
+// with.
+type arrayState struct {
+	lastWriter *Vertex
+	readers    map[CEID]*Vertex
+}
+
+// Graph is the CE dependency DAG. The zero value is not usable; call New.
+type Graph struct {
+	vertices map[CEID]*Vertex
+	arrays   map[ArrayID]*arrayState
+	nextID   CEID
+	edges    int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[CEID]*Vertex),
+		arrays:   make(map[ArrayID]*arrayState),
+		nextID:   1,
+	}
+}
+
+// Size reports the number of CEs in the graph.
+func (g *Graph) Size() int { return len(g.vertices) }
+
+// Edges reports the number of dependency edges (after redundancy
+// filtering).
+func (g *Graph) Edges() int { return g.edges }
+
+// Vertex returns the vertex for a CE ID, or nil.
+func (g *Graph) Vertex(id CEID) *Vertex { return g.vertices[id] }
+
+// NewCE allocates a CE with the next submission ID. The CE is not yet in
+// the graph; pass it to Add.
+func (g *Graph) NewCE(label string, accesses []Access, payload any) *CE {
+	ce := &CE{ID: g.nextID, Label: label, Accesses: accesses, Payload: payload}
+	g.nextID++
+	return ce
+}
+
+// Add inserts a CE into the graph, computes its dependencies against the
+// frontier, filters redundant edges and updates the frontier (the
+// dependency half of paper Algorithm 1). It returns the CE's direct
+// ancestors after filtering, sorted by ID.
+func (g *Graph) Add(ce *CE) []*Vertex {
+	if _, dup := g.vertices[ce.ID]; dup {
+		panic(fmt.Sprintf("dag: duplicate CE %d", ce.ID))
+	}
+	v := &Vertex{CE: ce, parents: make(map[CEID]*Vertex), children: make(map[CEID]*Vertex)}
+
+	// Gather ancestors from per-array live accessors.
+	ancestors := make(map[CEID]*Vertex)
+	for _, acc := range ce.Accesses {
+		st := g.arrays[acc.Array]
+		if st == nil {
+			continue
+		}
+		if acc.Mode.Reads() && st.lastWriter != nil {
+			ancestors[st.lastWriter.CE.ID] = st.lastWriter // RAW
+		}
+		if acc.Mode.Writes() {
+			if st.lastWriter != nil {
+				ancestors[st.lastWriter.CE.ID] = st.lastWriter // WAW
+			}
+			for id, r := range st.readers {
+				ancestors[id] = r // WAR
+			}
+		}
+	}
+	delete(ancestors, ce.ID)
+
+	// filterRedundant: drop any ancestor reachable from another ancestor
+	// (paper: "A and B have dependencies against a new CE called C, but B
+	// depends on A" — keep only B).
+	filtered := g.filterRedundant(ancestors)
+
+	// addEdges
+	for _, p := range filtered {
+		p.children[ce.ID] = v
+		v.parents[p.CE.ID] = p
+		g.edges++
+	}
+	g.vertices[ce.ID] = v
+
+	// updateFrontier: refresh per-array live accessors.
+	for _, acc := range ce.Accesses {
+		st := g.arrays[acc.Array]
+		if st == nil {
+			st = &arrayState{readers: make(map[CEID]*Vertex)}
+			g.arrays[acc.Array] = st
+		}
+		if acc.Mode.Writes() {
+			st.lastWriter = v
+			st.readers = make(map[CEID]*Vertex)
+		}
+		if acc.Mode.Reads() && !acc.Mode.Writes() {
+			st.readers[ce.ID] = v
+		}
+	}
+
+	return sortedVertices(toMap(filtered))
+}
+
+func toMap(vs []*Vertex) map[CEID]*Vertex {
+	m := make(map[CEID]*Vertex, len(vs))
+	for _, v := range vs {
+		m[v.CE.ID] = v
+	}
+	return m
+}
+
+// filterRedundant removes ancestors that are transitive ancestors of
+// other ancestors: an edge to A is redundant if some other candidate B can
+// reach A through the DAG.
+func (g *Graph) filterRedundant(cands map[CEID]*Vertex) []*Vertex {
+	if len(cands) <= 1 {
+		out := make([]*Vertex, 0, len(cands))
+		for _, v := range cands {
+			out = append(out, v)
+		}
+		return out
+	}
+	var out []*Vertex
+	for id, v := range cands {
+		redundant := false
+		for otherID, other := range cands {
+			if otherID == id {
+				continue
+			}
+			if g.reaches(other, id) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// reaches reports whether target is an ancestor of (reachable backwards
+// from) from. Dependencies always point from ancestor to descendant, and
+// descendants have larger IDs, so the walk prunes on ID.
+func (g *Graph) reaches(from *Vertex, target CEID) bool {
+	if from.CE.ID <= target {
+		return false
+	}
+	seen := map[CEID]bool{from.CE.ID: true}
+	stack := []*Vertex{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for id, p := range v.parents {
+			if id == target {
+				return true
+			}
+			if !seen[id] && id > target {
+				seen[id] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Frontier returns the CEs a future submission could depend on: every
+// array's last writer and post-write readers, deduplicated and sorted.
+func (g *Graph) Frontier() []*Vertex {
+	set := make(map[CEID]*Vertex)
+	for _, st := range g.arrays {
+		if st.lastWriter != nil {
+			set[st.lastWriter.CE.ID] = st.lastWriter
+		}
+		for id, r := range st.readers {
+			set[id] = r
+		}
+	}
+	return sortedVertices(set)
+}
+
+// TopoOrder returns all CEs in a topological order (submission-ID order is
+// one, since edges only point forward; this validates that invariant).
+func (g *Graph) TopoOrder() ([]*CE, error) {
+	ids := make([]CEID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []*CE
+	for _, id := range ids {
+		v := g.vertices[id]
+		for pid := range v.parents {
+			if pid >= id {
+				return nil, fmt.Errorf("dag: edge %d -> %d violates submission order", pid, id)
+			}
+		}
+		out = append(out, v.CE)
+	}
+	return out, nil
+}
+
+// Roots returns CEs with no parents, sorted by ID.
+func (g *Graph) Roots() []*Vertex {
+	set := make(map[CEID]*Vertex)
+	for id, v := range g.vertices {
+		if len(v.parents) == 0 {
+			set[id] = v
+		}
+	}
+	return sortedVertices(set)
+}
+
+// MaxDepth returns the length (in vertices) of the longest dependency
+// chain — the critical path of the workload's structure.
+func (g *Graph) MaxDepth() int {
+	depth := make(map[CEID]int, len(g.vertices))
+	ids := make([]CEID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	max := 0
+	for _, id := range ids {
+		v := g.vertices[id]
+		d := 1
+		for pid := range v.parents {
+			if depth[pid]+1 > d {
+				d = depth[pid] + 1
+			}
+		}
+		depth[id] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DOT renders the graph in Graphviz format (the paper's Figure 5 shows
+// exactly these CE-dependency DAGs). Vertices are labelled with their CE
+// label and ID.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n", name)
+	ids := make([]CEID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		v := g.vertices[id]
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, fmt.Sprintf("%s\n#%d", v.CE.Label, id))
+	}
+	for _, id := range ids {
+		v := g.vertices[id]
+		for _, child := range v.Children() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, child.CE.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

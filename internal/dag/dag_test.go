@@ -1,0 +1,265 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"grout/internal/memmodel"
+)
+
+func rd(a ArrayID) Access { return Access{Array: a, Mode: memmodel.Read} }
+func wr(a ArrayID) Access { return Access{Array: a, Mode: memmodel.Write} }
+func rw(a ArrayID) Access { return Access{Array: a, Mode: memmodel.ReadWrite} }
+
+// add creates and inserts a CE, returning it and its ancestors' IDs.
+func add(g *Graph, label string, accs ...Access) (*CE, []CEID) {
+	ce := g.NewCE(label, accs, nil)
+	anc := g.Add(ce)
+	ids := make([]CEID, len(anc))
+	for i, v := range anc {
+		ids[i] = v.CE.ID
+	}
+	return ce, ids
+}
+
+func TestRAWDependency(t *testing.T) {
+	g := New()
+	w, _ := add(g, "write", wr(1))
+	_, anc := add(g, "read", rd(1))
+	if len(anc) != 1 || anc[0] != w.ID {
+		t.Fatalf("RAW ancestors = %v, want [%d]", anc, w.ID)
+	}
+}
+
+func TestWARDependency(t *testing.T) {
+	g := New()
+	add(g, "init", wr(1))
+	r, _ := add(g, "read", rd(1))
+	_, anc := add(g, "overwrite", wr(1))
+	// Overwrite depends on the reader (WAR); the writer edge is redundant
+	// because the reader already depends on the writer.
+	if len(anc) != 1 || anc[0] != r.ID {
+		t.Fatalf("WAR ancestors = %v, want [%d]", anc, r.ID)
+	}
+}
+
+func TestWAWDependency(t *testing.T) {
+	g := New()
+	w1, _ := add(g, "w1", wr(1))
+	_, anc := add(g, "w2", wr(1))
+	if len(anc) != 1 || anc[0] != w1.ID {
+		t.Fatalf("WAW ancestors = %v, want [%d]", anc, w1.ID)
+	}
+}
+
+func TestIndependentReadsShareNoDependency(t *testing.T) {
+	g := New()
+	add(g, "init", wr(1))
+	_, anc1 := add(g, "r1", rd(1))
+	_, anc2 := add(g, "r2", rd(1))
+	if len(anc1) != 1 || len(anc2) != 1 || anc1[0] != anc2[0] {
+		t.Fatalf("parallel readers should both depend only on writer: %v %v", anc1, anc2)
+	}
+	// Both readers are in the frontier; a subsequent writer collects both.
+	_, anc3 := add(g, "w2", wr(1))
+	if len(anc3) != 2 {
+		t.Fatalf("writer after two readers: ancestors = %v, want 2", anc3)
+	}
+}
+
+func TestRedundantEdgeFiltered(t *testing.T) {
+	// Paper's example: C depends on A and B, but B depends on A -> only
+	// the B edge is kept.
+	g := New()
+	a, _ := add(g, "A", wr(1))
+	b, _ := add(g, "B", rw(1), wr(2))
+	_, anc := add(g, "C", rd(1), rd(2))
+	if len(anc) != 1 || anc[0] != b.ID {
+		t.Fatalf("C ancestors = %v, want only B (%d); A=%d", anc, b.ID, a.ID)
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2 (A->B, B->C)", g.Edges())
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	g := New()
+	add(g, "src", wr(1))
+	l, _ := add(g, "left", rd(1), wr(2))
+	r, _ := add(g, "right", rd(1), wr(3))
+	_, anc := add(g, "join", rd(2), rd(3))
+	if len(anc) != 2 || anc[0] != l.ID || anc[1] != r.ID {
+		t.Fatalf("join ancestors = %v, want [%d %d]", anc, l.ID, r.ID)
+	}
+	if g.MaxDepth() != 3 {
+		t.Fatalf("diamond depth = %d, want 3", g.MaxDepth())
+	}
+}
+
+func TestDisjointArraysNoDependency(t *testing.T) {
+	g := New()
+	add(g, "a", wr(1))
+	_, anc := add(g, "b", wr(2))
+	if len(anc) != 0 {
+		t.Fatalf("disjoint CEs have ancestors: %v", anc)
+	}
+	if len(g.Roots()) != 2 {
+		t.Fatalf("roots = %d, want 2", len(g.Roots()))
+	}
+}
+
+func TestFrontierEvolution(t *testing.T) {
+	g := New()
+	add(g, "w1", wr(1))
+	if f := g.Frontier(); len(f) != 1 {
+		t.Fatalf("frontier after w1 = %d", len(f))
+	}
+	add(g, "r1", rd(1))
+	// Frontier holds the writer (still last writer) and the reader.
+	if f := g.Frontier(); len(f) != 2 {
+		t.Fatalf("frontier after r1 = %d", len(f))
+	}
+	w2, _ := add(g, "w2", wr(1))
+	// Overwrite supersedes both.
+	f := g.Frontier()
+	if len(f) != 1 || f[0].CE.ID != w2.ID {
+		t.Fatalf("frontier after w2 = %v", f)
+	}
+}
+
+func TestReadWriteActsAsBoth(t *testing.T) {
+	g := New()
+	w, _ := add(g, "init", wr(1))
+	u, anc := add(g, "update", rw(1))
+	if len(anc) != 1 || anc[0] != w.ID {
+		t.Fatalf("rw ancestors = %v", anc)
+	}
+	_, anc2 := add(g, "update2", rw(1))
+	if len(anc2) != 1 || anc2[0] != u.ID {
+		t.Fatalf("chained rw ancestors = %v, want [%d]", anc2, u.ID)
+	}
+}
+
+func TestTopoOrderAndAcyclicity(t *testing.T) {
+	g := New()
+	add(g, "a", wr(1))
+	add(g, "b", rd(1), wr(2))
+	add(g, "c", rd(2))
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("topo order size = %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i].ID <= order[i-1].ID {
+			t.Fatalf("topo order not increasing")
+		}
+	}
+}
+
+func TestVertexAccessors(t *testing.T) {
+	g := New()
+	a, _ := add(g, "a", wr(1))
+	b, _ := add(g, "b", rd(1))
+	va, vb := g.Vertex(a.ID), g.Vertex(b.ID)
+	if va == nil || vb == nil {
+		t.Fatalf("vertices missing")
+	}
+	if len(va.Children()) != 1 || va.Children()[0] != vb {
+		t.Fatalf("children linkage wrong")
+	}
+	if len(vb.Parents()) != 1 || vb.Parents()[0] != va {
+		t.Fatalf("parents linkage wrong")
+	}
+	if g.Vertex(999) != nil {
+		t.Fatalf("unknown vertex not nil")
+	}
+	if a.String() == "" {
+		t.Fatalf("CE string empty")
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	g := New()
+	ce := g.NewCE("x", []Access{wr(1)}, nil)
+	g.Add(ce)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate add did not panic")
+		}
+	}()
+	g.Add(ce)
+}
+
+// Property: random CE streams always yield acyclic graphs in submission
+// order with no redundant edges (no parent reachable from another parent).
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		count := int(n%40) + 2
+		for i := 0; i < count; i++ {
+			var accs []Access
+			arrays := rng.Intn(3) + 1
+			for j := 0; j < arrays; j++ {
+				accs = append(accs, Access{
+					Array: ArrayID(rng.Intn(5) + 1),
+					Mode:  memmodel.AccessMode(rng.Intn(3)),
+				})
+			}
+			add(g, "ce", accs...)
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			return false
+		}
+		// No redundant direct edges.
+		for id, v := range g.vertices {
+			for p1 := range v.parents {
+				for p2, vp2 := range v.parents {
+					if p1 != p2 && g.reaches(vp2, p1) {
+						t.Logf("redundant edge %d->%d (via %d)", p1, id, p2)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDepthChain(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		add(g, "step", rw(1))
+	}
+	if d := g.MaxDepth(); d != 10 {
+		t.Fatalf("chain depth = %d, want 10", d)
+	}
+	if g.Size() != 10 || g.Edges() != 9 {
+		t.Fatalf("size/edges = %d/%d", g.Size(), g.Edges())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New()
+	a, _ := add(g, "producer", wr(1))
+	b, _ := add(g, "consumer", rd(1))
+	dot := g.DOT("test")
+	for _, want := range []string{
+		"digraph \"test\"", "producer", "consumer",
+		"n1 -> n2",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	_ = a
+	_ = b
+}

@@ -1,0 +1,130 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// Device is one simulated GPU: stream timelines, copy engines and resident
+// page accounting.
+type Device struct {
+	spec  DeviceSpec
+	index int
+	// streams are the CUDA streams created on this device. Stream 0 is
+	// the default stream, always present.
+	streams []*sim.Timeline
+	// h2d and d2h are the two copy engines (as on Volta).
+	h2d *sim.Timeline
+	d2h *sim.Timeline
+	// faultEngine serializes all demand-paged migration traffic of the
+	// device: concurrent kernels on different streams share one fault
+	// path (GPU MMU + PCIe link), so their migration phases queue here.
+	faultEngine *sim.Timeline
+	// residentPages counts pages currently resident across all allocs.
+	residentPages int64
+	// stats
+	pagesMigratedIn  int64
+	pagesEvicted     int64
+	pagesWrittenBack int64
+	kernelsRun       int64
+}
+
+func newDevice(spec DeviceSpec, index int) *Device {
+	d := &Device{
+		spec:        spec,
+		index:       index,
+		h2d:         sim.NewTimeline(spec.Name + "/h2d"),
+		d2h:         sim.NewTimeline(spec.Name + "/d2h"),
+		faultEngine: sim.NewTimeline(spec.Name + "/fault-engine"),
+	}
+	d.streams = []*sim.Timeline{sim.NewTimeline(spec.Name + "/stream0")}
+	return d
+}
+
+// Spec returns the device's static specification.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Index returns the device's position within its node.
+func (d *Device) Index() int { return d.index }
+
+// CapacityPages reports device memory capacity in pages.
+func (d *Device) CapacityPages() int64 { return d.spec.Memory.Pages() }
+
+// FreePages reports currently unoccupied pages.
+func (d *Device) FreePages() int64 { return d.CapacityPages() - d.residentPages }
+
+// ResidentPages reports currently occupied pages.
+func (d *Device) ResidentPages() int64 { return d.residentPages }
+
+// NewStream creates an additional CUDA stream and returns its index.
+func (d *Device) NewStream() int {
+	idx := len(d.streams)
+	d.streams = append(d.streams, sim.NewTimeline(fmt.Sprintf("%s/stream%d", d.spec.Name, idx)))
+	return idx
+}
+
+// StreamCount reports how many streams exist on the device.
+func (d *Device) StreamCount() int { return len(d.streams) }
+
+// Stream returns the timeline for stream idx; it panics on a bad index,
+// which indicates a scheduler bug.
+func (d *Device) Stream(idx int) *sim.Timeline {
+	if idx < 0 || idx >= len(d.streams) {
+		panic(fmt.Sprintf("gpusim: %s has no stream %d", d.spec.Name, idx))
+	}
+	return d.streams[idx]
+}
+
+// FreeAt reports the earliest time at which any stream on the device is
+// free, and the index of that stream. Used by round-robin/least-busy
+// stream policies in the intra-node scheduler.
+func (d *Device) FreeAt() (sim.VirtualTime, int) {
+	best, bestIdx := d.streams[0].FreeAt(), 0
+	for i := 1; i < len(d.streams); i++ {
+		if f := d.streams[i].FreeAt(); f < best {
+			best, bestIdx = f, i
+		}
+	}
+	return best, bestIdx
+}
+
+// Stats is a snapshot of per-device counters.
+type Stats struct {
+	PagesMigratedIn  int64
+	PagesEvicted     int64
+	PagesWrittenBack int64
+	KernelsRun       int64
+	ResidentPages    int64
+}
+
+// Stats returns a snapshot of the device's counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		PagesMigratedIn:  d.pagesMigratedIn,
+		PagesEvicted:     d.pagesEvicted,
+		PagesWrittenBack: d.pagesWrittenBack,
+		KernelsRun:       d.kernelsRun,
+		ResidentPages:    d.residentPages,
+	}
+}
+
+// bytesOf converts pages to bytes.
+func bytesOf(pages int64) memmodel.Bytes { return memmodel.Bytes(pages) * memmodel.PageSize }
+
+// secondsToVT converts a floating-point duration in seconds to VirtualTime.
+func secondsToVT(s float64) sim.VirtualTime {
+	if s < 0 {
+		s = 0
+	}
+	return sim.VirtualTime(s * 1e9)
+}
+
+// xferTime computes the virtual time to move n bytes at bw bytes/second.
+func xferTime(n memmodel.Bytes, bw float64) sim.VirtualTime {
+	if n <= 0 || bw <= 0 {
+		return 0
+	}
+	return secondsToVT(float64(n) / bw)
+}

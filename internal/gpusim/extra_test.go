@@ -1,0 +1,196 @@
+package gpusim
+
+import (
+	"testing"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// TestAllocationPressureTriggersStorm: even when each kernel's own working
+// set fits comfortably, a node-wide allocation far beyond device memory
+// (the paper's oversubscription factor) pushes substantial kernels into
+// the storm regime — the mechanism behind MV's Figure 6a collapse despite
+// its small per-partition kernels.
+func TestAllocationPressureTriggersStorm(t *testing.T) {
+	n := testNode(t)
+	// Allocate 96 GiB total (3x the node's 32 GiB) in 12 GiB chunks.
+	var ids []AllocID
+	for i := 0; i < 8; i++ {
+		id, err := n.Alloc(12 * memmodel.GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Each kernel touches only 12 GiB (< 16 GiB capacity), but the
+	// allocation pressure is 3x.
+	res, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: ids[0], Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Storm {
+		t.Fatalf("regime = %v under 3x allocation pressure, want storm", res.Regime)
+	}
+}
+
+// TestSmallHotKernelsExemptFromAllocationPressure: tiny working sets (the
+// CG scalar plumbing) stay cached even on a thrashing node.
+func TestSmallHotKernelsExemptFromAllocationPressure(t *testing.T) {
+	n := testNode(t)
+	for i := 0; i < 8; i++ {
+		if _, err := n.Alloc(12 * memmodel.GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small, err := n.Alloc(4 * memmodel.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: small, Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Resident {
+		t.Fatalf("tiny kernel regime = %v on a 3x node, want resident", res.Regime)
+	}
+}
+
+// TestStormPenaltyGrowsWithPressure: Figure 1's super-linear tail — the
+// same sweep gets slower per byte as the oversubscription factor rises.
+func TestStormPenaltyGrowsWithPressure(t *testing.T) {
+	perByte := func(total memmodel.Bytes) float64 {
+		n := testNode(t)
+		id, err := n.Alloc(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regime != Storm {
+			t.Fatalf("size %v regime = %v, want storm", total, res.Regime)
+		}
+		return res.Interval.Length().Seconds() / float64(total)
+	}
+	at3x := perByte(96 * memmodel.GiB)
+	at5x := perByte(160 * memmodel.GiB)
+	if at5x <= at3x {
+		t.Fatalf("per-byte storm cost did not grow: 3x %.3g vs 5x %.3g", at3x, at5x)
+	}
+}
+
+func TestDeviceAccessorPanicsOnBadIndex(t *testing.T) {
+	n := testNode(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Device(9) did not panic")
+		}
+	}()
+	n.Device(9)
+}
+
+func TestStreamAccessorPanicsOnBadIndex(t *testing.T) {
+	n := testNode(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Stream(9) did not panic")
+		}
+	}()
+	n.Device(0).Stream(9)
+}
+
+func TestLaunchRespectsReadyTime(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(memmodel.GiB)
+	res, err := n.Launch(0, 0, KernelCost{Elements: 1000, OpsPerElement: 1},
+		[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, sim.VirtualTime(5e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval.Start < sim.VirtualTime(5e9) {
+		t.Fatalf("launch started at %v before ready time", res.Interval.Start)
+	}
+}
+
+func TestHostTouchPartialFraction(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB)
+	if _, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := n.ResidentPagesOf(id, 0)
+	if _, err := n.HostTouch(id, memmodel.Read, 0.25, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := n.ResidentPagesOf(id, 0)
+	pulled := before - after
+	want := int64(float64(before) * 0.25)
+	if pulled != want {
+		t.Fatalf("partial host touch pulled %d pages, want %d", pulled, want)
+	}
+	// Invalid fractions normalize to a full touch.
+	if _, err := n.HostTouch(id, memmodel.Read, -3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.ResidentPagesOf(id, 0) != 0 {
+		t.Fatalf("normalized full touch left pages resident")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(20 * memmodel.GiB) // forces eviction churn on a 16 GiB device
+	wr := memmodel.Access{Mode: memmodel.Write, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	if _, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: wr}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.HostTouch(id, memmodel.Read, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Device(0).Stats()
+	if st.KernelsRun != 1 {
+		t.Fatalf("kernels = %d", st.KernelsRun)
+	}
+	if st.PagesMigratedIn == 0 {
+		t.Fatalf("no migrations counted")
+	}
+	if st.PagesWrittenBack == 0 {
+		t.Fatalf("no write-backs counted after dirty host touch")
+	}
+	if st.ResidentPages != 0 {
+		t.Fatalf("resident pages after full host touch = %d", st.ResidentPages)
+	}
+}
+
+func TestSetAdviseUnknownAlloc(t *testing.T) {
+	n := testNode(t)
+	if err := n.SetAdvise(99, AdviseReadMostly, 0); err == nil {
+		t.Fatalf("advise on unknown alloc succeeded")
+	}
+	if _, err := n.Prefetch(99, 0, 0); err == nil {
+		t.Fatalf("prefetch of unknown alloc succeeded")
+	}
+	if _, err := n.FlushForSend(99, 0); err == nil {
+		t.Fatalf("flush of unknown alloc succeeded")
+	}
+	if err := n.Invalidate(99); err == nil {
+		t.Fatalf("invalidate of unknown alloc succeeded")
+	}
+	if _, err := n.HostTouch(99, memmodel.Read, 1, 0); err == nil {
+		t.Fatalf("host touch of unknown alloc succeeded")
+	}
+	if _, err := n.AllocSize(99); err == nil {
+		t.Fatalf("size of unknown alloc succeeded")
+	}
+}
+
+func TestAllocSizeReporting(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(3 * memmodel.GiB)
+	sz, err := n.AllocSize(id)
+	if err != nil || sz != 3*memmodel.GiB {
+		t.Fatalf("AllocSize = %v, %v", sz, err)
+	}
+}

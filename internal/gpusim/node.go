@@ -1,0 +1,771 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// Regime classifies which migration regime a kernel launch executed in.
+type Regime int
+
+const (
+	// Resident: working set fits in device memory.
+	Resident Regime = iota
+	// Streaming: oversubscribed but below the collapse threshold.
+	Streaming
+	// Storm: fault handling has collapsed (the paper's slowdown regime).
+	Storm
+)
+
+func (r Regime) String() string {
+	switch r {
+	case Resident:
+		return "resident"
+	case Streaming:
+		return "streaming"
+	default:
+		return "storm"
+	}
+}
+
+// KernelCost is the execution-cost descriptor of a kernel.
+type KernelCost struct {
+	// Name labels the kernel in traces and stats.
+	Name string
+	// Elements is the number of logical work items (threads doing work).
+	Elements int64
+	// OpsPerElement is the per-element cost in device element-ops.
+	OpsPerElement float64
+}
+
+// ArgBinding ties one kernel parameter to an allocation and describes how
+// the kernel accesses it.
+type ArgBinding struct {
+	Alloc  AllocID
+	Access memmodel.Access
+}
+
+// LaunchResult reports what a simulated kernel launch did and cost.
+type LaunchResult struct {
+	Interval      sim.Interval
+	Regime        Regime
+	Compute       sim.VirtualTime
+	MemTime       sim.VirtualTime
+	BytesMigrated memmodel.Bytes
+	BytesEvicted  memmodel.Bytes
+	Pressure      float64
+}
+
+// Node is a simulated multi-GPU server with UVM-managed memory.
+type Node struct {
+	spec      NodeSpec
+	devices   []*Device
+	allocs    map[AllocID]*alloc
+	allocated memmodel.Bytes
+	nextID    AllocID
+}
+
+// NewNode builds a node from its specification.
+func NewNode(spec NodeSpec) *Node {
+	n := &Node{
+		spec:   spec,
+		allocs: make(map[AllocID]*alloc),
+		nextID: 1,
+	}
+	for i, ds := range spec.Devices {
+		n.devices = append(n.devices, newDevice(ds, i))
+	}
+	return n
+}
+
+// Spec returns the node's static specification.
+func (n *Node) Spec() NodeSpec { return n.spec }
+
+// Devices returns the node's simulated GPUs.
+func (n *Node) Devices() []*Device { return n.devices }
+
+// Device returns device i; it panics on a bad index (scheduler bug).
+func (n *Node) Device(i int) *Device {
+	if i < 0 || i >= len(n.devices) {
+		panic(fmt.Sprintf("gpusim: node %s has no device %d", n.spec.Name, i))
+	}
+	return n.devices[i]
+}
+
+// AllocatedBytes reports total live UVM allocation on the node.
+func (n *Node) AllocatedBytes() memmodel.Bytes { return n.allocated }
+
+// ErrHostMemoryExhausted is returned by Alloc when the node's host memory
+// cannot hold the new allocation.
+var ErrHostMemoryExhausted = errors.New("gpusim: host memory exhausted")
+
+// Alloc creates a UVM allocation of the given size, initially resident in
+// host memory, and returns its ID.
+func (n *Node) Alloc(size memmodel.Bytes) (AllocID, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpusim: invalid allocation size %d", int64(size))
+	}
+	if n.allocated+size > n.spec.HostMemory {
+		return 0, fmt.Errorf("%w: %v + %v > %v", ErrHostMemoryExhausted,
+			n.allocated, size, n.spec.HostMemory)
+	}
+	id := n.nextID
+	n.nextID++
+	n.allocs[id] = newAlloc(id, size, len(n.devices))
+	n.allocated += size
+	return id, nil
+}
+
+// AllocWithID creates an allocation under a caller-chosen ID (used by the
+// distributed runtime to mirror global array IDs onto workers).
+func (n *Node) AllocWithID(id AllocID, size memmodel.Bytes) error {
+	if _, exists := n.allocs[id]; exists {
+		return fmt.Errorf("gpusim: allocation %d already exists on %s", id, n.spec.Name)
+	}
+	if size <= 0 {
+		return fmt.Errorf("gpusim: invalid allocation size %d", int64(size))
+	}
+	if n.allocated+size > n.spec.HostMemory {
+		return fmt.Errorf("%w: %v + %v > %v", ErrHostMemoryExhausted,
+			n.allocated, size, n.spec.HostMemory)
+	}
+	n.allocs[id] = newAlloc(id, size, len(n.devices))
+	n.allocated += size
+	if id >= n.nextID {
+		n.nextID = id + 1
+	}
+	return nil
+}
+
+// Free releases an allocation and its device residency.
+func (n *Node) Free(id AllocID) error {
+	a, ok := n.allocs[id]
+	if !ok {
+		return fmt.Errorf("gpusim: free of unknown allocation %d", id)
+	}
+	for d, r := range a.residentOn {
+		n.devices[d].residentPages -= r
+	}
+	n.allocated -= a.size
+	delete(n.allocs, id)
+	return nil
+}
+
+// AllocSize reports the size of an allocation.
+func (n *Node) AllocSize(id AllocID) (memmodel.Bytes, error) {
+	a, ok := n.allocs[id]
+	if !ok {
+		return 0, fmt.Errorf("gpusim: unknown allocation %d", id)
+	}
+	return a.size, nil
+}
+
+// SetAdvise applies a cudaMemAdvise-style hint to an allocation.
+// preferredDevice is only meaningful for AdvisePreferredLocation.
+func (n *Node) SetAdvise(id AllocID, adv Advise, preferredDevice int) error {
+	a, ok := n.allocs[id]
+	if !ok {
+		return fmt.Errorf("gpusim: advise on unknown allocation %d", id)
+	}
+	a.advise = adv
+	a.preferred = preferredDevice
+	return nil
+}
+
+// ResidentPagesOf reports how many pages of alloc id are resident on dev.
+func (n *Node) ResidentPagesOf(id AllocID, dev int) int64 {
+	a, ok := n.allocs[id]
+	if !ok {
+		return 0
+	}
+	return a.residentOn[dev]
+}
+
+// argPlan is the per-allocation working plan computed during a launch.
+type argPlan struct {
+	a        *alloc
+	access   memmodel.Access
+	touched  int64 // pages touched per pass
+	hits     int64 // pages already resident on the target device
+	missHost int64 // misses served from host
+	missPeer int64 // misses served from a peer device
+	peerDev  int
+}
+
+// Launch simulates one kernel launch on device dev, stream streamIdx. The
+// launch may not start before ready (dependency barrier). It returns the
+// occupied interval and a cost breakdown.
+func (n *Node) Launch(dev, streamIdx int, k KernelCost, args []ArgBinding, ready sim.VirtualTime) (LaunchResult, error) {
+	d := n.Device(dev)
+	stream := d.Stream(streamIdx)
+
+	// Aggregate accesses per allocation (a kernel may bind the same array
+	// to several parameters; count its pages once, worst-case pattern).
+	plans, err := n.buildPlans(dev, args)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	var working int64
+	for _, p := range plans {
+		working += p.touched
+	}
+	capacity := d.CapacityPages()
+
+	// Pressure has two components. The kernel's own working set over
+	// device capacity captures per-launch thrashing. The node's
+	// allocated-over-available ratio is the paper's oversubscription
+	// factor: once the UVM driver juggles far more allocation than
+	// device memory, eviction churn degrades every substantial kernel,
+	// not only the ones whose own set overflows. Small hot working sets
+	// (under a quarter of the device) stay cached and are exempt.
+	pressure := 0.0
+	if capacity > 0 {
+		pressure = float64(working) / float64(capacity)
+		if working*4 >= capacity {
+			if ap := n.allocationPressure(); ap > pressure {
+				pressure = ap
+			}
+		}
+	}
+
+	regime := n.classify(plans, pressure)
+	memTime, migrated, evicted := n.memoryCost(d, plans, regime, working, capacity, pressure)
+
+	compute := d.spec.LaunchLatency
+	if k.Elements > 0 && k.OpsPerElement > 0 && d.spec.Throughput > 0 {
+		compute += secondsToVT(float64(k.Elements) * k.OpsPerElement / d.spec.Throughput)
+	}
+
+	// Demand-paged migration traffic serializes on the device's single
+	// fault path, shared by all streams; the SMs then compute. With
+	// every argument prefetched to its preferred location the copy
+	// engines overlap the kernel instead.
+	start := sim.Max(ready, stream.FreeAt())
+	var end sim.VirtualTime
+	if regime == Resident && n.allPreferredHere(plans, dev) {
+		end = start + sim.Max(compute, memTime)
+	} else if memTime > 0 {
+		faultIv := d.faultEngine.Reserve(start, memTime)
+		end = faultIv.End + compute
+	} else {
+		end = start + compute
+	}
+	interval := stream.Reserve(start, end-start)
+
+	// Keep the copy engines accounted for (other explicit transfers queue
+	// behind kernel-driven migration traffic).
+	if migrated > 0 {
+		d.h2d.Reserve(interval.Start, xferTime(migrated, d.spec.BulkBW))
+	}
+	if evicted > 0 {
+		d.d2h.Reserve(interval.Start, xferTime(evicted, d.spec.BulkBW))
+	}
+
+	n.applyResidency(d, plans, working, capacity, interval.End)
+	d.kernelsRun++
+
+	return LaunchResult{
+		Interval:      interval,
+		Regime:        regime,
+		Compute:       compute,
+		MemTime:       memTime,
+		BytesMigrated: migrated,
+		BytesEvicted:  evicted,
+		Pressure:      pressure,
+	}, nil
+}
+
+// buildPlans validates bindings and computes per-allocation touch/miss
+// figures against the target device.
+func (n *Node) buildPlans(dev int, args []ArgBinding) ([]*argPlan, error) {
+	byAlloc := make(map[AllocID]*argPlan)
+	var order []*argPlan
+	for _, b := range args {
+		a, ok := n.allocs[b.Alloc]
+		if !ok {
+			return nil, fmt.Errorf("gpusim: launch references unknown allocation %d", b.Alloc)
+		}
+		acc := b.Access.Normalize()
+		p, seen := byAlloc[b.Alloc]
+		if !seen {
+			p = &argPlan{a: a, access: acc, peerDev: hostLocation}
+			byAlloc[b.Alloc] = p
+			order = append(order, p)
+		} else {
+			// Merge: widen the mode, keep the costlier pattern, the
+			// larger fraction and the larger pass count.
+			if acc.Mode.Writes() && !p.access.Mode.Writes() {
+				if p.access.Mode.Reads() || acc.Mode.Reads() {
+					p.access.Mode = memmodel.ReadWrite
+				} else {
+					p.access.Mode = memmodel.Write
+				}
+			}
+			if collapseThreshold(acc.Pattern) < collapseThreshold(p.access.Pattern) {
+				p.access.Pattern = acc.Pattern
+			}
+			if acc.Fraction > p.access.Fraction {
+				p.access.Fraction = acc.Fraction
+			}
+			if acc.Passes > p.access.Passes {
+				p.access.Passes = acc.Passes
+			}
+		}
+	}
+	for _, p := range order {
+		p.touched = p.access.TouchedPages(p.a.size)
+		hits := p.a.residentOn[dev]
+		if hits > p.touched {
+			hits = p.touched
+		}
+		p.hits = hits
+		miss := p.touched - hits
+		// Serve misses from a peer device if the pages live there.
+		for peer := range p.a.residentOn {
+			if peer == dev || miss == 0 {
+				continue
+			}
+			avail := p.a.residentOn[peer]
+			take := avail
+			if take > miss {
+				take = miss
+			}
+			if take > 0 {
+				p.missPeer += take
+				p.peerDev = peer
+				miss -= take
+			}
+		}
+		p.missHost = miss
+	}
+	return order, nil
+}
+
+// allocationPressure is the node-level oversubscription factor: live UVM
+// allocation over total device memory (the paper's x-axis).
+func (n *Node) allocationPressure() float64 {
+	total := n.spec.TotalDeviceMemory()
+	if total <= 0 {
+		return 0
+	}
+	return float64(n.allocated) / float64(total)
+}
+
+// residentTolerance absorbs the sliver of allocation pressure contributed
+// by scalar plumbing arrays around an exactly-fitting working set.
+const residentTolerance = 1.02
+
+// classify picks the migration regime for a launch: the collapse threshold
+// is the byte-weighted mean of the per-pattern thresholds, so a kernel
+// dominated by a dense sweep tolerates more oversubscription than one
+// dominated by random access.
+func (n *Node) classify(plans []*argPlan, pressure float64) Regime {
+	if pressure <= residentTolerance {
+		return Resident
+	}
+	if pressure <= weightedThreshold(plans) {
+		return Streaming
+	}
+	return Storm
+}
+
+// weightedThreshold is the byte-weighted mean of the per-pattern collapse
+// thresholds over the kernel's arguments.
+func weightedThreshold(plans []*argPlan) float64 {
+	var weighted, total float64
+	for _, p := range plans {
+		w := float64(p.touched)
+		weighted += w * collapseThreshold(p.access.Pattern)
+		total += w
+	}
+	if total == 0 {
+		return 2.0
+	}
+	return weighted / total
+}
+
+// memoryCost computes the serialized migration time and traffic volumes of
+// a launch under the chosen regime.
+func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, capacity int64, pressure float64) (memTime sim.VirtualTime, migrated, evicted memmodel.Bytes) {
+	overflow := working - capacity
+	if overflow < 0 {
+		overflow = 0
+	}
+	// Past the collapse threshold, ping-pong worsens super-linearly with
+	// the oversubscription factor (Fig. 1's exponential tail).
+	stormPenalty := 1.0
+	if regime == Storm {
+		if w := weightedThreshold(plans); w > 0 && pressure > w {
+			stormPenalty = pressure / w
+		}
+	}
+	for _, p := range plans {
+		eff := batchEfficiency(p.access.Pattern)
+		passes := int64(p.access.Passes)
+		writes := p.access.Mode.Writes()
+
+		if p.a.advise == AdviseReadMostly && !writes {
+			// Read-duplicated pages stream from host copies each pass at
+			// bulk rate and never occupy device residency exclusively.
+			traffic := bytesOf(p.touched * passes)
+			memTime += xferTime(traffic, d.spec.BulkBW*eff)
+			migrated += traffic
+			continue
+		}
+
+		switch regime {
+		case Resident:
+			hostB := bytesOf(p.missHost)
+			peerB := bytesOf(p.missPeer)
+			memTime += xferTime(hostB, d.spec.BulkBW*eff)
+			memTime += xferTime(peerB, d.spec.PeerBW*eff)
+			migrated += hostB + peerB
+
+		case Streaming:
+			// First pass faults every miss; each further pass re-faults
+			// this allocation's share of the overflow (LRU cycled it out).
+			share := int64(0)
+			if working > 0 {
+				share = overflow * p.touched / working
+			}
+			cycled := p.missHost + p.missPeer + (passes-1)*share
+			traffic := bytesOf(cycled)
+			memTime += xferTime(traffic, d.spec.FaultBW*eff)
+			migrated += traffic
+			if writes && share > 0 {
+				wb := bytesOf(share * passes)
+				memTime += xferTime(wb, d.spec.FaultBW*eff)
+				evicted += wb
+			}
+
+		case Storm:
+			// Fault batching has collapsed: every pass re-migrates the
+			// full touched set in splintered chunks, and dirty pages
+			// ping-pong back.
+			bw := d.spec.StormBW * stormEfficiency(p.access.Pattern) / stormPenalty
+			traffic := bytesOf(p.touched * passes)
+			memTime += xferTime(traffic, bw)
+			migrated += traffic
+			if writes {
+				wb := bytesOf(p.touched * passes / 2)
+				memTime += xferTime(wb, bw)
+				evicted += wb
+			}
+		}
+	}
+	return memTime, migrated, evicted
+}
+
+// allPreferredHere reports whether every argument allocation is advised to
+// prefer the launch device (the hand-tuned prefetch scenario).
+func (n *Node) allPreferredHere(plans []*argPlan, dev int) bool {
+	for _, p := range plans {
+		if p.a.advise != AdvisePreferredLocation || p.a.preferred != dev {
+			return false
+		}
+	}
+	return len(plans) > 0
+}
+
+// applyResidency updates page accounting after a launch: argument pages
+// become resident on the device (bounded by capacity, evicting LRU
+// bystander allocations first), dirty bits reflect write accesses.
+func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int64, now sim.VirtualTime) {
+	dev := d.index
+	inPlan := make(map[AllocID]bool, len(plans))
+	var planned int64
+	for _, p := range plans {
+		if p.a.advise == AdviseReadMostly && !p.access.Mode.Writes() {
+			continue // read-duplicated: does not claim residency
+		}
+		inPlan[p.a.id] = true
+		planned += p.touched
+	}
+
+	// Evict bystanders (LRU) until the plan's resident target fits.
+	target := planned
+	if target > capacity {
+		target = capacity
+	}
+	bystanders := d.residentPages - n.residentOfPlans(dev, inPlan)
+	free := capacity - bystanders - n.residentOfPlans(dev, inPlan)
+	need := target - n.residentOfPlans(dev, inPlan)
+	if need > free {
+		n.evictLRU(d, inPlan, need-free, now)
+	}
+
+	// Distribute residency among plan allocations. If everything fits
+	// each keeps its touched set; otherwise they share capacity
+	// proportionally (the cycling steady state).
+	for _, p := range plans {
+		if p.a.advise == AdviseReadMostly && !p.access.Mode.Writes() {
+			p.a.lastUse[dev] = now
+			continue
+		}
+		newResident := p.touched
+		if planned > target && planned > 0 {
+			newResident = target * p.touched / planned
+		}
+		n.setResident(d, p.a, newResident)
+		if p.access.Mode.Writes() {
+			p.a.dirtyOn[dev] = newResident
+		} else if p.a.dirtyOn[dev] > newResident {
+			p.a.dirtyOn[dev] = newResident
+		}
+		p.a.lastUse[dev] = now
+		d.pagesMigratedIn += p.missHost + p.missPeer
+		p.a.checkInvariants()
+	}
+}
+
+// residentOfPlans sums current device residency of the plan allocations.
+func (n *Node) residentOfPlans(dev int, inPlan map[AllocID]bool) int64 {
+	var sum int64
+	for id := range inPlan {
+		sum += n.allocs[id].residentOn[dev]
+	}
+	return sum
+}
+
+// setResident adjusts an allocation's residency on a device. When pages
+// move onto the device they are taken from the host first, then from the
+// peer with the most copies (migration empties the source under UVM).
+func (n *Node) setResident(d *Device, a *alloc, pages int64) {
+	dev := d.index
+	cur := a.residentOn[dev]
+	if pages == cur {
+		return
+	}
+	if pages < cur {
+		// Shrink: pages fall back to host.
+		delta := cur - pages
+		a.residentOn[dev] = pages
+		if a.dirtyOn[dev] > pages {
+			d.pagesWrittenBack += a.dirtyOn[dev] - pages
+			a.dirtyOn[dev] = pages
+		}
+		d.residentPages -= delta
+		return
+	}
+	grow := pages - cur
+	// Source from host.
+	host := a.hostPages()
+	fromHost := grow
+	if fromHost > host {
+		fromHost = host
+	}
+	grow -= fromHost
+	// Then from peers.
+	for peer := range a.residentOn {
+		if grow == 0 {
+			break
+		}
+		if peer == dev {
+			continue
+		}
+		take := a.residentOn[peer]
+		if take > grow {
+			take = grow
+		}
+		if take > 0 {
+			a.residentOn[peer] -= take
+			if a.dirtyOn[peer] > a.residentOn[peer] {
+				a.dirtyOn[peer] = a.residentOn[peer]
+			}
+			n.devices[peer].residentPages -= take
+			grow -= take
+		}
+	}
+	moved := pages - cur - grow // pages actually sourced
+	a.residentOn[dev] = cur + moved
+	d.residentPages += moved
+}
+
+// evictLRU evicts up to need pages of bystander allocations (not in the
+// current plan), oldest last-use first. Dirty pages count as write-backs.
+func (n *Node) evictLRU(d *Device, inPlan map[AllocID]bool, need int64, now sim.VirtualTime) {
+	dev := d.index
+	type victim struct {
+		a    *alloc
+		used sim.VirtualTime
+	}
+	var victims []victim
+	for _, a := range n.allocs {
+		if inPlan[a.id] || a.residentOn[dev] == 0 {
+			continue
+		}
+		if a.advise == AdvisePreferredLocation && a.preferred == dev {
+			continue // pinned
+		}
+		victims = append(victims, victim{a: a, used: a.lastUse[dev]})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].used != victims[j].used {
+			return victims[i].used < victims[j].used
+		}
+		return victims[i].a.id < victims[j].a.id
+	})
+	for _, v := range victims {
+		if need <= 0 {
+			return
+		}
+		take := v.a.residentOn[dev]
+		if take > need {
+			take = need
+		}
+		dirtyDrop := v.a.dirtyOn[dev]
+		v.a.residentOn[dev] -= take
+		if v.a.dirtyOn[dev] > v.a.residentOn[dev] {
+			d.pagesWrittenBack += dirtyDrop - v.a.residentOn[dev]
+			v.a.dirtyOn[dev] = v.a.residentOn[dev]
+		}
+		d.residentPages -= take
+		d.pagesEvicted += take
+		need -= take
+		v.a.checkInvariants()
+	}
+}
+
+// HostTouch simulates the host CPU reading or writing a fraction of an
+// allocation (e.g. the controller initializing an array or consuming a
+// result). Device-dirty pages flush back first; touched pages migrate to
+// the host. Returns the interval occupied on the node's D2H engines.
+func (n *Node) HostTouch(id AllocID, mode memmodel.AccessMode, fraction float64, ready sim.VirtualTime) (sim.Interval, error) {
+	a, ok := n.allocs[id]
+	if !ok {
+		return sim.Interval{}, fmt.Errorf("gpusim: host touch of unknown allocation %d", id)
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	end := ready
+	start := sim.Infinity
+	any := false
+	for devIdx, dev := range n.devices {
+		res := a.residentOn[devIdx]
+		if res == 0 {
+			continue
+		}
+		// CPU touch migrates the touched share of device pages home.
+		pull := int64(float64(res) * fraction)
+		if pull == 0 {
+			continue
+		}
+		iv := dev.d2h.Reserve(ready, xferTime(bytesOf(pull), dev.spec.BulkBW))
+		a.residentOn[devIdx] -= pull
+		if a.dirtyOn[devIdx] > a.residentOn[devIdx] {
+			dev.pagesWrittenBack += a.dirtyOn[devIdx] - a.residentOn[devIdx]
+			a.dirtyOn[devIdx] = a.residentOn[devIdx]
+		}
+		dev.residentPages -= pull
+		if iv.End > end {
+			end = iv.End
+		}
+		if iv.Start < start {
+			start = iv.Start
+		}
+		any = true
+	}
+	a.checkInvariants()
+	if !any {
+		start = ready
+	}
+	return sim.Interval{Start: start, End: end}, nil
+}
+
+// Prefetch simulates cudaMemPrefetchAsync: moves the allocation's host
+// pages to the device at bulk bandwidth on the H2D engine (up to free
+// capacity; no eviction is forced by a prefetch).
+func (n *Node) Prefetch(id AllocID, dev int, ready sim.VirtualTime) (sim.Interval, error) {
+	a, ok := n.allocs[id]
+	if !ok {
+		return sim.Interval{}, fmt.Errorf("gpusim: prefetch of unknown allocation %d", id)
+	}
+	d := n.Device(dev)
+	pull := a.hostPages()
+	if free := d.FreePages(); pull > free {
+		pull = free
+	}
+	if pull <= 0 {
+		return sim.Interval{Start: ready, End: ready}, nil
+	}
+	iv := d.h2d.Reserve(ready, xferTime(bytesOf(pull), d.spec.BulkBW))
+	a.residentOn[dev] += pull
+	d.residentPages += pull
+	d.pagesMigratedIn += pull
+	a.lastUse[dev] = iv.End
+	a.checkInvariants()
+	return iv, nil
+}
+
+// FlushForSend prepares an allocation for network transmission: all dirty
+// device pages are written back so the host copy is coherent. Residency is
+// retained (pages stay cached clean). Returns when the host copy is ready.
+func (n *Node) FlushForSend(id AllocID, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	a, ok := n.allocs[id]
+	if !ok {
+		return 0, fmt.Errorf("gpusim: flush of unknown allocation %d", id)
+	}
+	end := ready
+	for devIdx, dev := range n.devices {
+		dirty := a.dirtyOn[devIdx]
+		if dirty == 0 {
+			continue
+		}
+		iv := dev.d2h.Reserve(ready, xferTime(bytesOf(dirty), dev.spec.BulkBW))
+		dev.pagesWrittenBack += dirty
+		a.dirtyOn[devIdx] = 0
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return end, nil
+}
+
+// Invalidate marks an allocation's device copies stale (the host copy was
+// just overwritten, e.g. by a network receive): device pages are dropped
+// without write-back.
+func (n *Node) Invalidate(id AllocID) error {
+	a, ok := n.allocs[id]
+	if !ok {
+		return fmt.Errorf("gpusim: invalidate of unknown allocation %d", id)
+	}
+	for devIdx, dev := range n.devices {
+		dev.residentPages -= a.residentOn[devIdx]
+		a.residentOn[devIdx] = 0
+		a.dirtyOn[devIdx] = 0
+	}
+	a.checkInvariants()
+	return nil
+}
+
+// CheckInvariants verifies global page accounting; tests call it after
+// mutation sequences.
+func (n *Node) CheckInvariants() error {
+	perDev := make([]int64, len(n.devices))
+	for _, a := range n.allocs {
+		a.checkInvariants()
+		for d, r := range a.residentOn {
+			perDev[d] += r
+		}
+	}
+	for i, d := range n.devices {
+		if perDev[i] != d.residentPages {
+			return fmt.Errorf("gpusim: device %d resident mismatch: sum %d, counter %d",
+				i, perDev[i], d.residentPages)
+		}
+		if d.residentPages > d.CapacityPages() {
+			return fmt.Errorf("gpusim: device %d over capacity: %d > %d",
+				i, d.residentPages, d.CapacityPages())
+		}
+		if d.residentPages < 0 {
+			return fmt.Errorf("gpusim: device %d negative residency %d", i, d.residentPages)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,567 @@
+package gpusim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// testNode returns a 2×V100 node like the paper's OCI worker.
+func testNode(t testing.TB) *Node {
+	t.Helper()
+	return NewNode(OCIWorkerSpec("w0"))
+}
+
+func seqRead(frac float64) memmodel.Access {
+	return memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Sequential, Fraction: frac, Passes: 1}
+}
+
+func TestAllocFree(t *testing.T) {
+	n := testNode(t)
+	id, err := n.Alloc(4 * memmodel.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := n.AllocSize(id); err != nil || sz != 4*memmodel.GiB {
+		t.Fatalf("AllocSize = %v, %v", sz, err)
+	}
+	if n.AllocatedBytes() != 4*memmodel.GiB {
+		t.Fatalf("allocated = %v", n.AllocatedBytes())
+	}
+	if err := n.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if n.AllocatedBytes() != 0 {
+		t.Fatalf("allocated after free = %v", n.AllocatedBytes())
+	}
+	if err := n.Free(id); err == nil {
+		t.Fatalf("double free succeeded")
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	n := testNode(t)
+	if _, err := n.Alloc(0); err == nil {
+		t.Fatalf("zero-size alloc succeeded")
+	}
+	if _, err := n.Alloc(-memmodel.GiB); err == nil {
+		t.Fatalf("negative alloc succeeded")
+	}
+}
+
+func TestAllocHostMemoryExhaustion(t *testing.T) {
+	n := testNode(t) // 180 GiB host memory
+	if _, err := n.Alloc(100 * memmodel.GiB); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.Alloc(100 * memmodel.GiB)
+	if !errors.Is(err, ErrHostMemoryExhausted) {
+		t.Fatalf("expected host exhaustion, got %v", err)
+	}
+}
+
+func TestAllocWithID(t *testing.T) {
+	n := testNode(t)
+	if err := n.AllocWithID(42, memmodel.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AllocWithID(42, memmodel.GiB); err == nil {
+		t.Fatalf("duplicate AllocWithID succeeded")
+	}
+	// Subsequent automatic IDs must not collide.
+	id, err := n.Alloc(memmodel.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 42 {
+		t.Fatalf("Alloc reused explicit ID")
+	}
+}
+
+func TestLaunchUnknownAlloc(t *testing.T) {
+	n := testNode(t)
+	_, err := n.Launch(0, 0, KernelCost{Name: "k"},
+		[]ArgBinding{{Alloc: 999, Access: seqRead(1)}}, 0)
+	if err == nil {
+		t.Fatalf("launch with unknown alloc succeeded")
+	}
+}
+
+func TestLaunchResidentRegime(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB) // fits 16 GiB device easily
+	res, err := n.Launch(0, 0, KernelCost{Name: "k", Elements: 1 << 20, OpsPerElement: 1},
+		[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Resident {
+		t.Fatalf("regime = %v, want resident", res.Regime)
+	}
+	// First touch migrates everything.
+	if res.BytesMigrated != 4*memmodel.GiB {
+		t.Fatalf("migrated = %v, want 4GiB", res.BytesMigrated)
+	}
+	// Second launch: all pages resident, no migration.
+	res2, err := n.Launch(0, 0, KernelCost{Name: "k", Elements: 1 << 20, OpsPerElement: 1},
+		[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, res.Interval.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BytesMigrated != 0 {
+		t.Fatalf("second launch migrated %v, want 0", res2.BytesMigrated)
+	}
+	if res2.Interval.End <= res2.Interval.Start {
+		t.Fatalf("second launch has empty interval")
+	}
+	if res2.Interval.Length() >= res.Interval.Length() {
+		t.Fatalf("warm launch (%v) not faster than cold (%v)",
+			res2.Interval.Length(), res.Interval.Length())
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchStreamingRegime(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(24 * memmodel.GiB) // 1.5x one device: oversubscribed, below seq collapse
+	res, err := n.Launch(0, 0, KernelCost{Name: "k"},
+		[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Streaming {
+		t.Fatalf("regime = %v (pressure %.2f), want streaming", res.Regime, res.Pressure)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Device(0).ResidentPages(); got > n.Device(0).CapacityPages() {
+		t.Fatalf("device over capacity: %d", got)
+	}
+}
+
+func TestLaunchStormRegime(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(48 * memmodel.GiB) // 3x one device: past sequential collapse (2.6)
+	res, err := n.Launch(0, 0, KernelCost{Name: "k"},
+		[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Storm {
+		t.Fatalf("regime = %v (pressure %.2f), want storm", res.Regime, res.Pressure)
+	}
+}
+
+func TestRandomPatternCollapsesImmediately(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(18 * memmodel.GiB) // barely oversubscribed (1.125x)
+	acc := memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Random, Fraction: 1, Passes: 1}
+	res, err := n.Launch(0, 0, KernelCost{Name: "k"}, []ArgBinding{{Alloc: id, Access: acc}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != Storm {
+		t.Fatalf("random oversubscribed regime = %v, want storm", res.Regime)
+	}
+}
+
+// The headline UVM behaviour: crossing the collapse threshold must cost
+// orders of magnitude, not a constant factor (paper Fig. 1 / Fig. 6a).
+func TestOversubscriptionCliff(t *testing.T) {
+	times := map[memmodel.Bytes]sim.VirtualTime{}
+	for _, size := range []memmodel.Bytes{8 * memmodel.GiB, 32 * memmodel.GiB, 48 * memmodel.GiB} {
+		n := testNode(t)
+		id, err := n.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Launch(0, 0,
+			KernelCost{Name: "sweep", Elements: int64(size / 4), OpsPerElement: 1},
+			[]ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[size] = res.Interval.Length()
+	}
+	// 8 -> 32 GiB (4x data, crossing into streaming): below ~20x.
+	ratioModerate := float64(times[32*memmodel.GiB]) / float64(times[8*memmodel.GiB])
+	if ratioModerate > 20 {
+		t.Fatalf("moderate oversubscription ratio = %.1f, want < 20", ratioModerate)
+	}
+	// 32 -> 48 GiB (1.5x data, crossing into storm): must exceed 20x.
+	ratioCliff := float64(times[48*memmodel.GiB]) / float64(times[32*memmodel.GiB])
+	if ratioCliff < 20 {
+		t.Fatalf("storm cliff ratio = %.1f, want > 20 (times: %v)", ratioCliff, times)
+	}
+}
+
+func TestMultiPassStreamingChargesOverflow(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(24 * memmodel.GiB)
+	one := memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	five := one
+	five.Passes = 5
+	r1, err := n.Launch(0, 0, KernelCost{Name: "k"}, []ArgBinding{{Alloc: id, Access: one}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := testNode(t)
+	id2, _ := n2.Alloc(24 * memmodel.GiB)
+	r5, err := n2.Launch(0, 0, KernelCost{Name: "k"}, []ArgBinding{{Alloc: id2, Access: five}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.BytesMigrated <= r1.BytesMigrated {
+		t.Fatalf("multi-pass migrated %v, single pass %v: want more", r5.BytesMigrated, r1.BytesMigrated)
+	}
+}
+
+func TestWriteAccessCausesWriteBackTraffic(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(48 * memmodel.GiB)
+	rd := memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	wr := rd
+	wr.Mode = memmodel.ReadWrite
+	rRes, _ := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: rd}}, 0)
+	n2 := testNode(t)
+	id2, _ := n2.Alloc(48 * memmodel.GiB)
+	wRes, _ := n2.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id2, Access: wr}}, 0)
+	if wRes.BytesEvicted <= rRes.BytesEvicted {
+		t.Fatalf("write evicted %v, read evicted %v: want more", wRes.BytesEvicted, rRes.BytesEvicted)
+	}
+	if wRes.MemTime <= rRes.MemTime {
+		t.Fatalf("write mem time %v not above read %v", wRes.MemTime, rRes.MemTime)
+	}
+}
+
+func TestPeerMigration(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(8 * memmodel.GiB)
+	// Warm device 0.
+	if _, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.ResidentPagesOf(id, 0) == 0 {
+		t.Fatalf("pages not resident on dev0 after launch")
+	}
+	// Launch on device 1: pages must migrate from the peer.
+	res, err := n.Launch(1, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: seqRead(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesMigrated != 8*memmodel.GiB {
+		t.Fatalf("peer launch migrated %v, want 8GiB", res.BytesMigrated)
+	}
+	if n.ResidentPagesOf(id, 0) != 0 || n.ResidentPagesOf(id, 1) == 0 {
+		t.Fatalf("peer migration did not move residency: dev0=%d dev1=%d",
+			n.ResidentPagesOf(id, 0), n.ResidentPagesOf(id, 1))
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionOfBystanders(t *testing.T) {
+	n := testNode(t)
+	a, _ := n.Alloc(10 * memmodel.GiB)
+	b, _ := n.Alloc(10 * memmodel.GiB)
+	if _, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: a, Access: seqRead(1)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// b needs 10 GiB on a 16 GiB device: a must shrink.
+	if _, err := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: b, Access: seqRead(1)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Device(0).ResidentPages(); got > n.Device(0).CapacityPages() {
+		t.Fatalf("over capacity after eviction: %d", got)
+	}
+	if n.ResidentPagesOf(id0(b), 0) == 0 {
+		t.Fatalf("b not resident after its own launch")
+	}
+	if n.Device(0).Stats().PagesEvicted == 0 {
+		t.Fatalf("no eviction recorded")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func id0(id AllocID) AllocID { return id }
+
+func TestHostTouchPullsPagesHome(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB)
+	wr := memmodel.Access{Mode: memmodel.Write, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	res, _ := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: wr}}, 0)
+	iv, err := n.HostTouch(id, memmodel.Read, 1, res.Interval.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.End <= res.Interval.End {
+		t.Fatalf("host touch of dirty pages took no time")
+	}
+	if n.ResidentPagesOf(id, 0) != 0 {
+		t.Fatalf("pages still on device after full host touch")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostTouchOfHostResidentIsFree(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB)
+	iv, err := n.HostTouch(id, memmodel.Write, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Start != 100 || iv.End != 100 {
+		t.Fatalf("host-resident touch interval = %v, want empty at 100", iv)
+	}
+}
+
+func TestPrefetchAndPreferredLocationOverlap(t *testing.T) {
+	// With advise+prefetch, kernel time should be max(compute, mem)
+	// rather than compute+mem.
+	nCold := testNode(t)
+	idCold, _ := nCold.Alloc(8 * memmodel.GiB)
+	cold, _ := nCold.Launch(0, 0, KernelCost{Name: "k", Elements: 1 << 28, OpsPerElement: 4},
+		[]ArgBinding{{Alloc: idCold, Access: seqRead(1)}}, 0)
+
+	nHint := testNode(t)
+	idHint, _ := nHint.Alloc(8 * memmodel.GiB)
+	if err := nHint.SetAdvise(idHint, AdvisePreferredLocation, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nHint.Prefetch(idHint, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	hinted, _ := nHint.Launch(0, 0, KernelCost{Name: "k", Elements: 1 << 28, OpsPerElement: 4},
+		[]ArgBinding{{Alloc: idHint, Access: seqRead(1)}}, 0)
+	if hinted.Interval.Length() >= cold.Interval.Length() {
+		t.Fatalf("hinted launch (%v) not faster than cold (%v)",
+			hinted.Interval.Length(), cold.Interval.Length())
+	}
+	if hinted.BytesMigrated != 0 {
+		t.Fatalf("hinted launch migrated %v, want 0 (prefetched)", hinted.BytesMigrated)
+	}
+}
+
+func TestPrefetchRespectsCapacity(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(40 * memmodel.GiB)
+	if _, err := n.Prefetch(id, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, cap := n.Device(0).ResidentPages(), n.Device(0).CapacityPages(); got > cap {
+		t.Fatalf("prefetch overfilled device: %d > %d", got, cap)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMostlyAdviseAvoidsStorm(t *testing.T) {
+	// A broadcast array under AdviseReadMostly streams at bulk rate even
+	// when oversubscribed, instead of ping-ponging.
+	plain := testNode(t)
+	idP, _ := plain.Alloc(24 * memmodel.GiB)
+	accB := memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Broadcast, Fraction: 1, Passes: 1}
+	resPlain, _ := plain.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: idP, Access: accB}}, 0)
+
+	hinted := testNode(t)
+	idH, _ := hinted.Alloc(24 * memmodel.GiB)
+	if err := hinted.SetAdvise(idH, AdviseReadMostly, 0); err != nil {
+		t.Fatal(err)
+	}
+	resHint, _ := hinted.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: idH, Access: accB}}, 0)
+	if resHint.Interval.Length() >= resPlain.Interval.Length() {
+		t.Fatalf("read-mostly (%v) not faster than plain (%v)",
+			resHint.Interval.Length(), resPlain.Interval.Length())
+	}
+}
+
+func TestFlushForSendAndInvalidate(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB)
+	wr := memmodel.Access{Mode: memmodel.Write, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}
+	res, _ := n.Launch(0, 0, KernelCost{}, []ArgBinding{{Alloc: id, Access: wr}}, 0)
+	ready, err := n.FlushForSend(id, res.Interval.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready <= res.Interval.End {
+		t.Fatalf("flush of dirty pages was free")
+	}
+	// Pages stay cached after flush.
+	if n.ResidentPagesOf(id, 0) == 0 {
+		t.Fatalf("flush dropped residency")
+	}
+	// Second flush: nothing dirty, free.
+	ready2, _ := n.FlushForSend(id, ready)
+	if ready2 != ready {
+		t.Fatalf("second flush not free: %v vs %v", ready2, ready)
+	}
+	if err := n.Invalidate(id); err != nil {
+		t.Fatal(err)
+	}
+	if n.ResidentPagesOf(id, 0) != 0 {
+		t.Fatalf("invalidate left pages resident")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsIndependence(t *testing.T) {
+	n := testNode(t)
+	d := n.Device(0)
+	s1 := d.NewStream()
+	if d.StreamCount() != 2 {
+		t.Fatalf("stream count = %d", d.StreamCount())
+	}
+	a, _ := n.Alloc(memmodel.GiB)
+	b, _ := n.Alloc(memmodel.GiB)
+	r0, _ := n.Launch(0, 0, KernelCost{Elements: 1 << 28, OpsPerElement: 8}, []ArgBinding{{Alloc: a, Access: seqRead(1)}}, 0)
+	r1, _ := n.Launch(0, s1, KernelCost{Elements: 1 << 28, OpsPerElement: 8}, []ArgBinding{{Alloc: b, Access: seqRead(1)}}, 0)
+	// Independent streams start concurrently.
+	if r1.Interval.Start != 0 {
+		t.Fatalf("second stream start = %v, want 0", r1.Interval.Start)
+	}
+	if r0.Interval.Start != 0 {
+		t.Fatalf("first stream start = %v, want 0", r0.Interval.Start)
+	}
+	// Same stream serializes.
+	r2, _ := n.Launch(0, 0, KernelCost{Elements: 1 << 20, OpsPerElement: 1}, []ArgBinding{{Alloc: a, Access: seqRead(1)}}, 0)
+	if r2.Interval.Start < r0.Interval.End {
+		t.Fatalf("same-stream launch overlapped: %v < %v", r2.Interval.Start, r0.Interval.End)
+	}
+}
+
+func TestDeviceFreeAtPicksLeastBusyStream(t *testing.T) {
+	n := testNode(t)
+	d := n.Device(0)
+	d.NewStream()
+	a, _ := n.Alloc(memmodel.GiB)
+	if _, err := n.Launch(0, 0, KernelCost{Elements: 1 << 28, OpsPerElement: 8}, []ArgBinding{{Alloc: a, Access: seqRead(1)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	free, idx := d.FreeAt()
+	if idx != 1 || free != 0 {
+		t.Fatalf("FreeAt = %v,%d, want 0,1", free, idx)
+	}
+}
+
+func TestMergedDuplicateArgBindings(t *testing.T) {
+	n := testNode(t)
+	id, _ := n.Alloc(4 * memmodel.GiB)
+	args := []ArgBinding{
+		{Alloc: id, Access: memmodel.Access{Mode: memmodel.Read, Pattern: memmodel.Sequential, Fraction: 1, Passes: 1}},
+		{Alloc: id, Access: memmodel.Access{Mode: memmodel.Write, Pattern: memmodel.Random, Fraction: 0.5, Passes: 2}},
+	}
+	res, err := n.Launch(0, 0, KernelCost{}, args, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merged: counted once, not twice.
+	if res.BytesMigrated > 4*memmodel.GiB {
+		t.Fatalf("duplicate binding double-counted: migrated %v", res.BytesMigrated)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any random sequence of launches, host touches and prefetches
+// preserves page-accounting invariants.
+func TestRandomOpsInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := testNode(t)
+		var ids []AllocID
+		for i := 0; i < 4; i++ {
+			id, err := n.Alloc(memmodel.Bytes(rng.Int63n(20)+1) * memmodel.GiB)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		var now sim.VirtualTime
+		for op := 0; op < 30; op++ {
+			id := ids[rng.Intn(len(ids))]
+			switch rng.Intn(4) {
+			case 0, 1:
+				acc := memmodel.Access{
+					Mode:     memmodel.AccessMode(rng.Intn(3)),
+					Pattern:  memmodel.Pattern(rng.Intn(4)),
+					Fraction: rng.Float64(),
+					Passes:   rng.Intn(3) + 1,
+				}
+				res, err := n.Launch(rng.Intn(2), 0, KernelCost{Elements: 1000, OpsPerElement: 1},
+					[]ArgBinding{{Alloc: id, Access: acc}}, now)
+				if err != nil {
+					return false
+				}
+				now = res.Interval.End
+			case 2:
+				iv, err := n.HostTouch(id, memmodel.Read, rng.Float64(), now)
+				if err != nil {
+					return false
+				}
+				now = iv.End
+			case 3:
+				iv, err := n.Prefetch(id, rng.Intn(2), now)
+				if err != nil {
+					return false
+				}
+				now = iv.End
+			}
+			if err := n.CheckInvariants(); err != nil {
+				t.Logf("invariant violated at op %d: %v", op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeSpecTotals(t *testing.T) {
+	spec := OCIWorkerSpec("w")
+	if spec.TotalDeviceMemory() != 32*memmodel.GiB {
+		t.Fatalf("total device memory = %v, want 32GiB", spec.TotalDeviceMemory())
+	}
+	if len(spec.Devices) != 2 {
+		t.Fatalf("device count = %d", len(spec.Devices))
+	}
+}
+
+func TestRegimeAndAdviseStrings(t *testing.T) {
+	if Resident.String() != "resident" || Streaming.String() != "streaming" || Storm.String() != "storm" {
+		t.Fatalf("regime strings wrong")
+	}
+	if AdviseNone.String() != "none" || AdvisePreferredLocation.String() != "preferred-location" ||
+		AdviseReadMostly.String() != "read-mostly" {
+		t.Fatalf("advise strings wrong")
+	}
+}
+
+func TestCollapseThresholdOrdering(t *testing.T) {
+	if !(collapseThreshold(memmodel.Sequential) > collapseThreshold(memmodel.Strided) &&
+		collapseThreshold(memmodel.Strided) > collapseThreshold(memmodel.Broadcast) &&
+		collapseThreshold(memmodel.Broadcast) > collapseThreshold(memmodel.Random)) {
+		t.Fatalf("collapse thresholds not ordered")
+	}
+	if collapseThreshold(memmodel.Random) != 1.0 {
+		t.Fatalf("random collapse threshold != 1.0")
+	}
+}

@@ -1,0 +1,438 @@
+// Package grcuda implements the single-node polyglot GPU runtime GrOUT
+// builds on (Parravicini et al., IPDPS'21): a Local DAG of Computational
+// Elements, automatic dependency tracking, and a runtime stream scheduler
+// that spreads independent CEs over the node's GPUs and CUDA streams
+// (paper Algorithm 2). GrOUT embeds one instance per Worker; used
+// standalone it is the paper's single-node baseline.
+package grcuda
+
+import (
+	"fmt"
+
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+	"grout/internal/sim"
+)
+
+// ArrayMeta is the location-independent description of a framework-managed
+// array.
+type ArrayMeta struct {
+	ID   dag.ArrayID
+	Kind memmodel.ElemKind
+	Len  int64
+}
+
+// Bytes reports the array's size.
+func (m ArrayMeta) Bytes() memmodel.Bytes {
+	return memmodel.Bytes(m.Len) * m.Kind.Size()
+}
+
+// Array is a UVM array managed by a runtime instance.
+type Array struct {
+	ArrayMeta
+	// Alloc is the backing simulated UVM allocation.
+	Alloc gpusim.AllocID
+	// Buf holds real element data when the runtime executes numerically;
+	// nil in cost-model-only simulations.
+	Buf *kernels.Buffer
+}
+
+// Value is one actual argument of a kernel invocation: an array or a
+// scalar.
+type Value struct {
+	Arr    *Array
+	Scalar float64
+}
+
+// ArrValue wraps an array argument.
+func ArrValue(a *Array) Value { return Value{Arr: a} }
+
+// ScalarValue wraps a scalar argument.
+func ScalarValue(v float64) Value { return Value{Scalar: v} }
+
+// Invocation is a kernel launch request.
+type Invocation struct {
+	Kernel string
+	// Grid and Block are the launch configuration; they are carried for
+	// API fidelity (the cost model derives work from arguments).
+	Grid, Block int
+	Args        []Value
+}
+
+// Options tunes a runtime instance.
+type Options struct {
+	// MaxStreamsPerDevice caps stream creation (GrCUDA creates streams on
+	// demand). Zero means the default of 16.
+	MaxStreamsPerDevice int
+	// ExecuteNumeric makes the runtime allocate host buffers and run
+	// kernels' numeric implementations alongside the cost model.
+	ExecuteNumeric bool
+}
+
+// CERecord is the execution record of one CE, for tests and traces.
+type CERecord struct {
+	CE     dag.CEID
+	Label  string
+	Device int
+	Stream int
+	Start  sim.VirtualTime
+	End    sim.VirtualTime
+	Regime gpusim.Regime
+}
+
+// Runtime is a single-node GrCUDA engine.
+type Runtime struct {
+	node    *gpusim.Node
+	reg     *kernels.Registry
+	opts    Options
+	graph   *dag.Graph
+	arrays  map[dag.ArrayID]*Array
+	nextArr dag.ArrayID
+	// ceEnd maps each CE to its completion time; ceDev/ceStream record
+	// placement for stream reuse.
+	ceEnd    map[dag.CEID]sim.VirtualTime
+	ceDev    map[dag.CEID]int
+	ceStream map[dag.CEID]int
+	records  []CERecord
+	elapsed  sim.VirtualTime
+}
+
+// NewRuntime builds a runtime over a simulated node and kernel registry.
+func NewRuntime(node *gpusim.Node, reg *kernels.Registry, opts Options) *Runtime {
+	if opts.MaxStreamsPerDevice <= 0 {
+		opts.MaxStreamsPerDevice = 16
+	}
+	return &Runtime{
+		node:     node,
+		reg:      reg,
+		opts:     opts,
+		graph:    dag.New(),
+		arrays:   make(map[dag.ArrayID]*Array),
+		nextArr:  1,
+		ceEnd:    make(map[dag.CEID]sim.VirtualTime),
+		ceDev:    make(map[dag.CEID]int),
+		ceStream: make(map[dag.CEID]int),
+	}
+}
+
+// Node exposes the underlying simulated node.
+func (r *Runtime) Node() *gpusim.Node { return r.node }
+
+// Graph exposes the Local DAG.
+func (r *Runtime) Graph() *dag.Graph { return r.graph }
+
+// Registry exposes the kernel registry.
+func (r *Runtime) Registry() *kernels.Registry { return r.reg }
+
+// Records returns the per-CE execution trace.
+func (r *Runtime) Records() []CERecord { return r.records }
+
+// Elapsed reports the makespan: the completion time of the latest CE.
+func (r *Runtime) Elapsed() sim.VirtualTime { return r.elapsed }
+
+// NewArray allocates a framework-managed array with an automatic ID.
+func (r *Runtime) NewArray(kind memmodel.ElemKind, n int64) (*Array, error) {
+	id := r.nextArr
+	r.nextArr++
+	return r.NewArrayWithID(id, kind, n)
+}
+
+// NewArrayWithID allocates an array under a caller-chosen global ID (used
+// by GrOUT workers mirroring controller arrays).
+func (r *Runtime) NewArrayWithID(id dag.ArrayID, kind memmodel.ElemKind, n int64) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("grcuda: invalid array length %d", n)
+	}
+	if _, dup := r.arrays[id]; dup {
+		return nil, fmt.Errorf("grcuda: array %d already exists", id)
+	}
+	meta := ArrayMeta{ID: id, Kind: kind, Len: n}
+	if err := r.node.AllocWithID(gpusim.AllocID(id), meta.Bytes()); err != nil {
+		return nil, fmt.Errorf("grcuda: allocating array %d: %w", id, err)
+	}
+	arr := &Array{ArrayMeta: meta, Alloc: gpusim.AllocID(id)}
+	if r.opts.ExecuteNumeric {
+		arr.Buf = kernels.NewBuffer(kind, int(n))
+	}
+	r.arrays[id] = arr
+	if id >= r.nextArr {
+		r.nextArr = id + 1
+	}
+	return arr, nil
+}
+
+// Array returns the array with the given ID, or nil.
+func (r *Runtime) Array(id dag.ArrayID) *Array { return r.arrays[id] }
+
+// FreeArray releases an array.
+func (r *Runtime) FreeArray(id dag.ArrayID) error {
+	arr, ok := r.arrays[id]
+	if !ok {
+		return fmt.Errorf("grcuda: free of unknown array %d", id)
+	}
+	if err := r.node.Free(arr.Alloc); err != nil {
+		return err
+	}
+	delete(r.arrays, id)
+	return nil
+}
+
+// metasOf builds scheduler-visible argument metadata from values.
+func metasOf(args []Value) []kernels.ArgMeta {
+	metas := make([]kernels.ArgMeta, len(args))
+	for i, v := range args {
+		if v.Arr != nil {
+			metas[i] = kernels.ArgMeta{IsBuffer: true, Len: v.Arr.Len}
+		} else {
+			metas[i] = kernels.ArgMeta{Scalar: v.Scalar}
+		}
+	}
+	return metas
+}
+
+// Submit schedules a kernel invocation: it enters the Local DAG, gets a
+// device and stream from the intra-node policy, and executes on the
+// simulated node. The launch starts no earlier than ready (the Controller
+// passes transfer-completion times here). Returns the completion time.
+func (r *Runtime) Submit(inv Invocation, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	def, ok := r.reg.Lookup(inv.Kernel)
+	if !ok {
+		return 0, fmt.Errorf("grcuda: unknown kernel %q", inv.Kernel)
+	}
+	if len(inv.Args) != len(def.Sig.Params) {
+		return 0, fmt.Errorf("grcuda: %s wants %d arguments, got %d",
+			inv.Kernel, len(def.Sig.Params), len(inv.Args))
+	}
+	for i, v := range inv.Args {
+		if def.Sig.Params[i].Pointer && v.Arr == nil {
+			return 0, fmt.Errorf("grcuda: %s argument %d must be an array", inv.Kernel, i)
+		}
+		if !def.Sig.Params[i].Pointer && v.Arr != nil {
+			return 0, fmt.Errorf("grcuda: %s argument %d must be a scalar", inv.Kernel, i)
+		}
+	}
+
+	metas := metasOf(inv.Args)
+	accs := def.Access(metas)
+
+	// Build the CE and resolve dependencies (Local DAG).
+	var dagAccs []dag.Access
+	for i, v := range inv.Args {
+		if v.Arr == nil {
+			continue
+		}
+		dagAccs = append(dagAccs, dag.Access{Array: v.Arr.ID, Mode: accs[i].Mode})
+	}
+	ce := r.graph.NewCE(inv.Kernel, dagAccs, inv)
+	ancestors := r.graph.Add(ce)
+
+	depReady := ready
+	for _, a := range ancestors {
+		if end := r.ceEnd[a.CE.ID]; end > depReady {
+			depReady = end
+		}
+	}
+
+	dev := r.pickDevice(inv.Args)
+	stream := r.pickStream(dev, ancestors, depReady)
+
+	// Bind gpusim arguments.
+	var bindings []gpusim.ArgBinding
+	for i, v := range inv.Args {
+		if v.Arr == nil {
+			continue
+		}
+		bindings = append(bindings, gpusim.ArgBinding{Alloc: v.Arr.Alloc, Access: accs[i]})
+	}
+	cost := def.CostLaunch(inv.Grid, inv.Block, metas)
+	res, err := r.node.Launch(dev, stream, gpusim.KernelCost{
+		Name:          inv.Kernel,
+		Elements:      cost.Elements,
+		OpsPerElement: cost.OpsPerElement,
+	}, bindings, depReady)
+	if err != nil {
+		return 0, err
+	}
+
+	r.ceEnd[ce.ID] = res.Interval.End
+	r.ceDev[ce.ID] = dev
+	r.ceStream[ce.ID] = stream
+	if res.Interval.End > r.elapsed {
+		r.elapsed = res.Interval.End
+	}
+	r.records = append(r.records, CERecord{
+		CE: ce.ID, Label: inv.Kernel, Device: dev, Stream: stream,
+		Start: res.Interval.Start, End: res.Interval.End, Regime: res.Regime,
+	})
+
+	if r.opts.ExecuteNumeric {
+		if err := r.executeNumeric(def, inv); err != nil {
+			return 0, err
+		}
+	}
+	return res.Interval.End, nil
+}
+
+// executeNumeric runs the kernel's host implementation on the arrays'
+// buffers.
+func (r *Runtime) executeNumeric(def *kernels.Def, inv Invocation) error {
+	kargs := make([]kernels.Arg, len(inv.Args))
+	for i, v := range inv.Args {
+		if v.Arr != nil {
+			if v.Arr.Buf == nil {
+				return fmt.Errorf("grcuda: array %d has no buffer for numeric execution", v.Arr.ID)
+			}
+			kargs[i] = kernels.BufArg(v.Arr.Buf)
+		} else {
+			kargs[i] = kernels.ScalarArg(v.Scalar)
+		}
+	}
+	return def.ExecuteLaunch(inv.Grid, inv.Block, kargs)
+}
+
+// pickDevice implements the data-aware device policy: prefer the device
+// holding the most argument bytes; break ties toward the device with fewer
+// kernels run so cold CEs spread across GPUs.
+func (r *Runtime) pickDevice(args []Value) int {
+	devs := r.node.Devices()
+	best, bestScore, bestKernels := 0, int64(-1), int64(-1)
+	for i, d := range devs {
+		var score int64
+		for _, v := range args {
+			if v.Arr != nil {
+				score += r.node.ResidentPagesOf(v.Arr.Alloc, i)
+			}
+		}
+		k := d.Stats().KernelsRun
+		if score > bestScore || (score == bestScore && (bestKernels == -1 || k < bestKernels)) {
+			best, bestScore, bestKernels = i, score, k
+		}
+	}
+	return best
+}
+
+// pickStream implements Algorithm 2's stream assignment: a CE with a
+// single same-device ancestor reuses that ancestor's stream (FIFO ordering
+// replaces an explicit wait event); otherwise it takes the earliest-free
+// stream, creating a new one if every stream is still busy at depReady and
+// the cap allows.
+func (r *Runtime) pickStream(dev int, ancestors []*dag.Vertex, depReady sim.VirtualTime) int {
+	if len(ancestors) == 1 {
+		aid := ancestors[0].CE.ID
+		if d, ok := r.ceDev[aid]; ok && d == dev {
+			return r.ceStream[aid]
+		}
+	}
+	device := r.node.Device(dev)
+	free, idx := device.FreeAt()
+	if free > depReady && device.StreamCount() < r.opts.MaxStreamsPerDevice {
+		return device.NewStream()
+	}
+	return idx
+}
+
+// HostRead simulates the host consuming an array (e.g. printing results):
+// a CE that reads the array after all its producers, pulling device pages
+// home. Returns when the host copy is consistent.
+func (r *Runtime) HostRead(id dag.ArrayID, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	return r.hostOp(id, memmodel.Read, ready)
+}
+
+// HostWrite simulates the host (re)initializing an array: device copies
+// become stale and the host copy is the only valid one.
+func (r *Runtime) HostWrite(id dag.ArrayID, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	return r.hostOp(id, memmodel.Write, ready)
+}
+
+func (r *Runtime) hostOp(id dag.ArrayID, mode memmodel.AccessMode, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	arr, ok := r.arrays[id]
+	if !ok {
+		return 0, fmt.Errorf("grcuda: host op on unknown array %d", id)
+	}
+	label := "host-read"
+	if mode.Writes() {
+		label = "host-write"
+	}
+	ce := r.graph.NewCE(label, []dag.Access{{Array: id, Mode: mode}}, nil)
+	ancestors := r.graph.Add(ce)
+	depReady := ready
+	for _, a := range ancestors {
+		if end := r.ceEnd[a.CE.ID]; end > depReady {
+			depReady = end
+		}
+	}
+	var end sim.VirtualTime
+	if mode.Writes() {
+		// Overwrite: stale device pages are dropped, no write-back.
+		if err := r.node.Invalidate(arr.Alloc); err != nil {
+			return 0, err
+		}
+		end = depReady
+	} else {
+		iv, err := r.node.HostTouch(arr.Alloc, mode, 1, depReady)
+		if err != nil {
+			return 0, err
+		}
+		end = iv.End
+	}
+	r.ceEnd[ce.ID] = end
+	if end > r.elapsed {
+		r.elapsed = end
+	}
+	r.records = append(r.records, CERecord{CE: ce.ID, Label: label, Device: -1, Stream: -1,
+		Start: depReady, End: end})
+	return end, nil
+}
+
+// CEEnd reports the completion time of a CE (0 if unknown).
+func (r *Runtime) CEEnd(id dag.CEID) sim.VirtualTime { return r.ceEnd[id] }
+
+// BuildKernel compiles a mini-CUDA kernel from source (the NVRTC path of
+// GrCUDA's buildkernel) and registers it with the runtime.
+func (r *Runtime) BuildKernel(src, signature string) (*kernels.Def, error) {
+	def, err := minicuda.Compile(src, signature)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := r.reg.Lookup(def.Name); !exists {
+		if err := r.reg.Register(def); err != nil {
+			return nil, err
+		}
+	}
+	return def, nil
+}
+
+// ArrayCount reports how many arrays the runtime currently manages.
+func (r *Runtime) ArrayCount() int { return len(r.arrays) }
+
+// Advise applies a cudaMemAdvise-style hint to an array (the manual
+// hand-tuning path of paper §II-A). preferredDevice is used by
+// AdvisePreferredLocation.
+func (r *Runtime) Advise(id dag.ArrayID, adv gpusim.Advise, preferredDevice int) error {
+	arr, ok := r.arrays[id]
+	if !ok {
+		return fmt.Errorf("grcuda: advise on unknown array %d", id)
+	}
+	return r.node.SetAdvise(arr.Alloc, adv, preferredDevice)
+}
+
+// Prefetch issues a cudaMemPrefetchAsync-style bulk migration of the
+// array to a device, overlapping with other work. Returns its completion
+// time.
+func (r *Runtime) Prefetch(id dag.ArrayID, device int, ready sim.VirtualTime) (sim.VirtualTime, error) {
+	arr, ok := r.arrays[id]
+	if !ok {
+		return 0, fmt.Errorf("grcuda: prefetch of unknown array %d", id)
+	}
+	iv, err := r.node.Prefetch(arr.Alloc, device, ready)
+	if err != nil {
+		return 0, err
+	}
+	if iv.End > r.elapsed {
+		r.elapsed = iv.End
+	}
+	return iv.End, nil
+}

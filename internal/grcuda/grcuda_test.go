@@ -1,0 +1,427 @@
+package grcuda
+
+import (
+	"math"
+	"testing"
+
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+func newRuntime(t testing.TB, numeric bool) *Runtime {
+	t.Helper()
+	node := gpusim.NewNode(gpusim.OCIWorkerSpec("test"))
+	return NewRuntime(node, kernels.StdRegistry(), Options{ExecuteNumeric: numeric})
+}
+
+func TestNewArrayAndFree(t *testing.T) {
+	r := newRuntime(t, false)
+	a, err := r.NewArray(memmodel.Float32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes() != 4096 {
+		t.Fatalf("array bytes = %v", a.Bytes())
+	}
+	if r.Array(a.ID) != a {
+		t.Fatalf("array lookup failed")
+	}
+	if err := r.FreeArray(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if r.Array(a.ID) != nil {
+		t.Fatalf("freed array still present")
+	}
+	if err := r.FreeArray(a.ID); err == nil {
+		t.Fatalf("double free succeeded")
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	r := newRuntime(t, false)
+	if _, err := r.NewArray(memmodel.Float32, 0); err == nil {
+		t.Fatalf("zero-length array accepted")
+	}
+	if _, err := r.NewArrayWithID(7, memmodel.Float32, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewArrayWithID(7, memmodel.Float32, 10); err == nil {
+		t.Fatalf("duplicate ID accepted")
+	}
+	// Auto IDs skip past explicit ones.
+	a, err := r.NewArray(memmodel.Float32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID <= 7 {
+		t.Fatalf("auto ID %d collided with explicit 7", a.ID)
+	}
+}
+
+func TestSubmitUnknownKernel(t *testing.T) {
+	r := newRuntime(t, false)
+	if _, err := r.Submit(Invocation{Kernel: "nope"}, 0); err == nil {
+		t.Fatalf("unknown kernel accepted")
+	}
+}
+
+func TestSubmitArgValidation(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 128)
+	// fill(x, value, n)
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a)}}, 0); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+	if _, err := r.Submit(Invocation{Kernel: "fill",
+		Args: []Value{ScalarValue(1), ScalarValue(1), ScalarValue(1)}}, 0); err == nil {
+		t.Fatalf("scalar for pointer accepted")
+	}
+	if _, err := r.Submit(Invocation{Kernel: "fill",
+		Args: []Value{ArrValue(a), ArrValue(a), ScalarValue(1)}}, 0); err == nil {
+		t.Fatalf("array for scalar accepted")
+	}
+}
+
+func TestSubmitBuildsDependencies(t *testing.T) {
+	r := newRuntime(t, false)
+	x, _ := r.NewArray(memmodel.Float32, 1<<20)
+	y, _ := r.NewArray(memmodel.Float32, 1<<20)
+	n := ScalarValue(float64(1 << 20))
+
+	e1, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(x), ScalarValue(1), n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// axpy(y, x, 2, n) depends on fill(x) via RAW and on fill(y) if any.
+	e2, err := r.Submit(Invocation{Kernel: "axpy",
+		Args: []Value{ArrValue(y), ArrValue(x), ScalarValue(2), n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= e1 {
+		t.Fatalf("dependent kernel finished (%v) before ancestor (%v)", e2, e1)
+	}
+	if g := r.Graph(); g.Size() != 2 || g.Edges() != 1 {
+		t.Fatalf("graph size/edges = %d/%d, want 2/1", g.Size(), g.Edges())
+	}
+}
+
+func TestIndependentKernelsOverlap(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1<<26)
+	b, _ := r.NewArray(memmodel.Float32, 1<<26)
+	n := ScalarValue(float64(1 << 26))
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(b), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Independent fills must start at the same time (different devices or
+	// streams) — transfer/computation overlap.
+	if recs[0].Start != 0 || recs[1].Start != 0 {
+		t.Fatalf("independent kernels serialized: %+v", recs)
+	}
+	if recs[0].Device == recs[1].Device && recs[0].Stream == recs[1].Stream {
+		t.Fatalf("independent kernels share a stream")
+	}
+}
+
+func TestDataAwareDevicePlacement(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1<<28) // 1 GiB
+	n := ScalarValue(float64(1 << 28))
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	dev0 := r.Records()[0].Device
+	// A second kernel on the same array should follow the data.
+	if _, err := r.Submit(Invocation{Kernel: "relu", Args: []Value{ArrValue(a), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Records()[1].Device; got != dev0 {
+		t.Fatalf("data-aware placement failed: first on %d, second on %d", dev0, got)
+	}
+}
+
+func TestSingleAncestorReusesStream(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1<<20)
+	n := ScalarValue(float64(1 << 20))
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(Invocation{Kernel: "relu", Args: []Value{ArrValue(a), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Records()
+	if recs[0].Stream != recs[1].Stream || recs[0].Device != recs[1].Device {
+		t.Fatalf("chained CE did not reuse ancestor's stream: %+v", recs)
+	}
+}
+
+func TestNumericExecution(t *testing.T) {
+	r := newRuntime(t, true)
+	x, _ := r.NewArray(memmodel.Float32, 100)
+	n := ScalarValue(100)
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(x), ScalarValue(3), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := r.NewArray(memmodel.Float32, 100)
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(y), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(Invocation{Kernel: "axpy",
+		Args: []Value{ArrValue(y), ArrValue(x), ScalarValue(2), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := y.Buf.At(i); got != 7 { // 1 + 2*3
+			t.Fatalf("y[%d] = %v, want 7", i, got)
+		}
+	}
+}
+
+func TestBlackScholesEndToEnd(t *testing.T) {
+	r := newRuntime(t, true)
+	const n = 1000
+	spot, _ := r.NewArray(memmodel.Float32, n)
+	call, _ := r.NewArray(memmodel.Float32, n)
+	put, _ := r.NewArray(memmodel.Float32, n)
+	for i := 0; i < n; i++ {
+		spot.Buf.Set(i, 50+float64(i)*0.1)
+	}
+	if _, err := r.Submit(Invocation{Kernel: "blackscholes", Grid: 32, Block: 128,
+		Args: []Value{ArrValue(call), ArrValue(put), ArrValue(spot), ScalarValue(n)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Spot check put-call parity on a few entries.
+	for _, i := range []int{0, 500, 999} {
+		s := spot.Buf.At(i)
+		parity := call.Buf.At(i) - put.Buf.At(i) - (s - 100*math.Exp(-0.05))
+		if math.Abs(parity) > 1e-2 {
+			t.Fatalf("parity violated at %d by %v", i, parity)
+		}
+	}
+}
+
+func TestHostReadAfterKernel(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1<<28)
+	n := ScalarValue(float64(1 << 28))
+	end, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readEnd, err := r.HostRead(a.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readEnd <= end {
+		t.Fatalf("host read (%v) did not wait for producer (%v) + migration", readEnd, end)
+	}
+	if r.Elapsed() != readEnd {
+		t.Fatalf("elapsed = %v, want %v", r.Elapsed(), readEnd)
+	}
+}
+
+func TestHostWriteInvalidatesDeviceCopies(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1<<28)
+	n := ScalarValue(float64(1 << 28))
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HostWrite(a.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Node().ResidentPagesOf(a.Alloc, 0) + r.Node().ResidentPagesOf(a.Alloc, 1); got != 0 {
+		t.Fatalf("device copies survive host write: %d pages", got)
+	}
+	// The next kernel depends on the host write.
+	recs := len(r.Records())
+	if _, err := r.Submit(Invocation{Kernel: "relu", Args: []Value{ArrValue(a), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = recs
+	if g := r.Graph(); g.Edges() < 2 {
+		t.Fatalf("host write did not enter dependency graph: %d edges", g.Edges())
+	}
+}
+
+func TestHostOpUnknownArray(t *testing.T) {
+	r := newRuntime(t, false)
+	if _, err := r.HostRead(99, 0); err == nil {
+		t.Fatalf("host read of unknown array succeeded")
+	}
+	if _, err := r.HostWrite(99, 0); err == nil {
+		t.Fatalf("host write of unknown array succeeded")
+	}
+}
+
+func TestMultiGPUSpreadsLargeWorkload(t *testing.T) {
+	r := newRuntime(t, false)
+	// Two independent 8 GiB pipelines: the device policy must use both
+	// GPUs.
+	const elems = int64(8 * memmodel.GiB / 4) // 8 GiB of float32
+	a, _ := r.NewArray(memmodel.Float32, elems)
+	b, _ := r.NewArray(memmodel.Float32, elems)
+	n := ScalarValue(float64(elems))
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(Invocation{Kernel: "fill", Args: []Value{ArrValue(b), ScalarValue(1), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Records()
+	if recs[0].Device == recs[1].Device {
+		t.Fatalf("independent large fills share device %d", recs[0].Device)
+	}
+}
+
+func TestOversubscriptionVisibleThroughRuntime(t *testing.T) {
+	// The same workload at 4 GiB vs 96 GiB per the paper: slowdown far
+	// beyond the 24x size ratio.
+	run := func(bytes memmodel.Bytes) float64 {
+		r := newRuntime(t, false)
+		elems := int64(bytes / 4)
+		a, err := r.NewArray(memmodel.Float32, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ScalarValue(float64(elems))
+		if _, err := r.Submit(Invocation{Kernel: "relu", Args: []Value{ArrValue(a), n}}, 0); err != nil {
+			t.Fatal(err)
+		}
+		return r.Elapsed().Seconds()
+	}
+	small := run(4 * memmodel.GiB)
+	big := run(96 * memmodel.GiB)
+	if big/small < 100 {
+		t.Fatalf("96GiB/4GiB slowdown = %.1f, want > 100 (storm regime)", big/small)
+	}
+}
+
+func TestCERecordRegimes(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, int64(48*memmodel.GiB/4))
+	n := ScalarValue(float64(48 * memmodel.GiB / 4))
+	if _, err := r.Submit(Invocation{Kernel: "relu", Args: []Value{ArrValue(a), n}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Records()[0].Regime; got != gpusim.Storm {
+		t.Fatalf("48GiB relu regime = %v, want storm", got)
+	}
+}
+
+func TestCEEndLookup(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, 1024)
+	end, _ := r.Submit(Invocation{Kernel: "relu",
+		Args: []Value{ArrValue(a), ScalarValue(1024)}}, 0)
+	var firstCE dag.CEID = 1
+	if r.CEEnd(firstCE) != end {
+		t.Fatalf("CEEnd = %v, want %v", r.CEEnd(firstCE), end)
+	}
+	if r.CEEnd(999) != 0 {
+		t.Fatalf("unknown CE end != 0")
+	}
+}
+
+func TestStreamCapReached(t *testing.T) {
+	node := gpusim.NewNode(gpusim.OCIWorkerSpec("cap"))
+	r := NewRuntime(node, kernels.StdRegistry(), Options{MaxStreamsPerDevice: 2})
+	// Many big independent kernels: streams are created on demand but
+	// never beyond the cap.
+	n := ScalarValue(float64(1 << 26))
+	for i := 0; i < 6; i++ {
+		a, err := r.NewArray(memmodel.Float32, 1<<26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Submit(Invocation{Kernel: "fill",
+			Args: []Value{ArrValue(a), ScalarValue(1), n}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range node.Devices() {
+		if d.StreamCount() > 2 {
+			t.Fatalf("stream cap exceeded: %d", d.StreamCount())
+		}
+	}
+}
+
+func TestPinnedDataHoldsDevice(t *testing.T) {
+	r := newRuntime(t, false)
+	a, _ := r.NewArray(memmodel.Float32, int64(memmodel.GiB/4))
+	if err := r.Advise(a.ID, gpusim.AdvisePreferredLocation, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Prefetch(a.ID, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The data-aware device policy must now follow the pinned pages.
+	if _, err := r.Submit(Invocation{Kernel: "relu",
+		Args: []Value{ArrValue(a), ScalarValue(float64(memmodel.GiB / 4))}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Records()[0].Device; got != 1 {
+		t.Fatalf("kernel ran on device %d, want pinned device 1", got)
+	}
+}
+
+func TestBuildKernelOnRuntime(t *testing.T) {
+	r := newRuntime(t, true)
+	def, err := r.BuildKernel(`
+__global__ void halve(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = x[i] / 2.0; }
+}`, "pointer float, sint32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "halve" {
+		t.Fatalf("name = %q", def.Name)
+	}
+	// Idempotent re-registration.
+	if _, err := r.BuildKernel(`
+__global__ void halve(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = x[i] / 2.0; }
+}`, ""); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.NewArray(memmodel.Float32, 8)
+	a.Buf.Fill(10)
+	if _, err := r.Submit(Invocation{Kernel: "halve", Grid: 1, Block: 8,
+		Args: []Value{ArrValue(a), ScalarValue(8)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Buf.At(0) != 5 {
+		t.Fatalf("halve result = %v", a.Buf.At(0))
+	}
+	if _, err := r.BuildKernel("junk", ""); err == nil {
+		t.Fatalf("junk source accepted")
+	}
+}
+
+func TestArrayCount(t *testing.T) {
+	r := newRuntime(t, false)
+	if r.ArrayCount() != 0 {
+		t.Fatalf("fresh runtime has arrays")
+	}
+	a, _ := r.NewArray(memmodel.Float32, 8)
+	if r.ArrayCount() != 1 {
+		t.Fatalf("count = %d", r.ArrayCount())
+	}
+	_ = r.FreeArray(a.ID)
+	if r.ArrayCount() != 0 {
+		t.Fatalf("count after free = %d", r.ArrayCount())
+	}
+}

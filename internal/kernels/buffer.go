@@ -1,0 +1,144 @@
+// Package kernels defines the kernel abstraction shared by the GrOUT
+// runtime, the mini-CUDA compiler and the workload suite: typed host-side
+// buffers, NFI-style signatures, and kernel definitions that carry both a
+// numeric implementation (so examples compute real results) and a cost
+// descriptor (so the simulator can price a launch without executing it).
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"grout/internal/memmodel"
+)
+
+// Buffer is the host-visible storage of a framework-managed array. Exactly
+// one of the typed slices is non-nil, matching Kind.
+type Buffer struct {
+	Kind memmodel.ElemKind
+	F32  []float32
+	F64  []float64
+	I32  []int32
+	I64  []int64
+}
+
+// NewBuffer allocates a zeroed buffer of n elements of the given kind.
+func NewBuffer(kind memmodel.ElemKind, n int) *Buffer {
+	b := &Buffer{Kind: kind}
+	switch kind {
+	case memmodel.Float32:
+		b.F32 = make([]float32, n)
+	case memmodel.Float64:
+		b.F64 = make([]float64, n)
+	case memmodel.Int32:
+		b.I32 = make([]int32, n)
+	case memmodel.Int64:
+		b.I64 = make([]int64, n)
+	default:
+		panic(fmt.Sprintf("kernels: unknown element kind %v", kind))
+	}
+	return b
+}
+
+// Len reports the element count.
+func (b *Buffer) Len() int {
+	switch b.Kind {
+	case memmodel.Float32:
+		return len(b.F32)
+	case memmodel.Float64:
+		return len(b.F64)
+	case memmodel.Int32:
+		return len(b.I32)
+	default:
+		return len(b.I64)
+	}
+}
+
+// Bytes reports the buffer's size in bytes.
+func (b *Buffer) Bytes() memmodel.Bytes {
+	return memmodel.Bytes(b.Len()) * b.Kind.Size()
+}
+
+// At reads element i as float64 (lossless for all kinds except very large
+// int64 values; fine for numeric kernels and tests).
+func (b *Buffer) At(i int) float64 {
+	switch b.Kind {
+	case memmodel.Float32:
+		return float64(b.F32[i])
+	case memmodel.Float64:
+		return b.F64[i]
+	case memmodel.Int32:
+		return float64(b.I32[i])
+	default:
+		return float64(b.I64[i])
+	}
+}
+
+// Set stores v into element i, converting to the buffer's kind.
+func (b *Buffer) Set(i int, v float64) {
+	switch b.Kind {
+	case memmodel.Float32:
+		b.F32[i] = float32(v)
+	case memmodel.Float64:
+		b.F64[i] = v
+	case memmodel.Int32:
+		b.I32[i] = int32(v)
+	default:
+		b.I64[i] = int64(v)
+	}
+}
+
+// Fill sets every element to v.
+func (b *Buffer) Fill(v float64) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		b.Set(i, v)
+	}
+}
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	c := &Buffer{Kind: b.Kind}
+	switch b.Kind {
+	case memmodel.Float32:
+		c.F32 = append([]float32(nil), b.F32...)
+	case memmodel.Float64:
+		c.F64 = append([]float64(nil), b.F64...)
+	case memmodel.Int32:
+		c.I32 = append([]int32(nil), b.I32...)
+	default:
+		c.I64 = append([]int64(nil), b.I64...)
+	}
+	return c
+}
+
+// MaxAbsDiff reports the largest absolute element difference between two
+// buffers of equal length; used by equivalence tests.
+func (b *Buffer) MaxAbsDiff(o *Buffer) float64 {
+	n := b.Len()
+	if o.Len() < n {
+		n = o.Len()
+	}
+	var max float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(b.At(i) - o.At(i)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Arg is one actual argument of a kernel invocation: a buffer for pointer
+// parameters or a scalar for value parameters.
+type Arg struct {
+	Buf    *Buffer
+	Scalar float64
+}
+
+// BufArg wraps a buffer argument.
+func BufArg(b *Buffer) Arg { return Arg{Buf: b} }
+
+// ScalarArg wraps a scalar argument.
+func ScalarArg(v float64) Arg { return Arg{Scalar: v} }
+
+// Int reads the scalar as an int (grid sizes, element counts).
+func (a Arg) Int() int { return int(a.Scalar) }

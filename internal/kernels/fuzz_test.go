@@ -1,0 +1,26 @@
+package kernels
+
+import "testing"
+
+// FuzzParseSignature: arbitrary signature strings must never panic, and
+// accepted signatures must round-trip through String.
+func FuzzParseSignature(f *testing.F) {
+	f.Add("pointer float, const pointer double, sint32")
+	f.Add("sint64, float, double")
+	f.Add("const pointer")
+	f.Add("")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		sig, err := ParseSignature(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseSignature(sig.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q -> %q failed: %v", s, sig.String(), err)
+		}
+		if len(again.Params) != len(sig.Params) {
+			t.Fatalf("round-trip changed arity: %q", s)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"grout/internal/memmodel"
+)
+
+// Param describes one parameter in a kernel signature.
+type Param struct {
+	// Name is optional (signatures parsed from strings are positional).
+	Name string
+	// Kind is the element kind for pointers, or the scalar kind.
+	Kind memmodel.ElemKind
+	// Pointer marks a device-array parameter.
+	Pointer bool
+	// Const marks a read-only pointer ("const pointer" in GrCUDA NFI
+	// signatures); the scheduler uses it to derive access modes.
+	Const bool
+}
+
+// Signature is a kernel's parameter list.
+type Signature struct {
+	Params []Param
+}
+
+// ParseSignature parses a GrCUDA-style NFI signature string such as
+//
+//	"const pointer float, pointer float, sint32"
+//
+// Each comma-separated entry is a parameter: an optional "const" modifier,
+// then either "pointer <kind>" (device array) or a scalar type
+// (sint32/sint64/float/double). A bare "pointer" defaults to float.
+func ParseSignature(s string) (Signature, error) {
+	var sig Signature
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sig, nil
+	}
+	for i, field := range strings.Split(s, ",") {
+		toks := strings.Fields(field)
+		if len(toks) == 0 {
+			return Signature{}, fmt.Errorf("kernels: empty parameter %d in signature %q", i, s)
+		}
+		var p Param
+		if toks[0] == "const" {
+			p.Const = true
+			toks = toks[1:]
+			if len(toks) == 0 {
+				return Signature{}, fmt.Errorf("kernels: dangling const in parameter %d of %q", i, s)
+			}
+		}
+		switch toks[0] {
+		case "pointer":
+			p.Pointer = true
+			p.Kind = memmodel.Float32
+			if len(toks) > 1 {
+				k, ok := memmodel.KindFromName(toks[1])
+				if !ok {
+					return Signature{}, fmt.Errorf("kernels: unknown pointer kind %q in %q", toks[1], s)
+				}
+				p.Kind = k
+			}
+		case "sint32", "uint32":
+			p.Kind = memmodel.Int32
+		case "sint64", "uint64":
+			p.Kind = memmodel.Int64
+		case "float":
+			p.Kind = memmodel.Float32
+		case "double":
+			p.Kind = memmodel.Float64
+		default:
+			return Signature{}, fmt.Errorf("kernels: unknown parameter type %q in %q", toks[0], s)
+		}
+		if p.Const && !p.Pointer {
+			return Signature{}, fmt.Errorf("kernels: const scalar parameter %d in %q", i, s)
+		}
+		sig.Params = append(sig.Params, p)
+	}
+	return sig, nil
+}
+
+// String renders the signature back in NFI style.
+func (s Signature) String() string {
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		var b strings.Builder
+		if p.Const {
+			b.WriteString("const ")
+		}
+		if p.Pointer {
+			b.WriteString("pointer ")
+			b.WriteString(p.Kind.String())
+		} else {
+			switch p.Kind {
+			case memmodel.Int32:
+				b.WriteString("sint32")
+			case memmodel.Int64:
+				b.WriteString("sint64")
+			case memmodel.Float64:
+				b.WriteString("double")
+			default:
+				b.WriteString("float")
+			}
+		}
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks an argument list against the signature.
+func (s Signature) Validate(args []Arg) error {
+	if len(args) != len(s.Params) {
+		return fmt.Errorf("kernels: got %d arguments, signature has %d", len(args), len(s.Params))
+	}
+	for i, p := range s.Params {
+		if p.Pointer && args[i].Buf == nil {
+			return fmt.Errorf("kernels: argument %d must be a device array", i)
+		}
+		if !p.Pointer && args[i].Buf != nil {
+			return fmt.Errorf("kernels: argument %d must be a scalar", i)
+		}
+		if p.Pointer && args[i].Buf != nil && args[i].Buf.Kind != p.Kind {
+			return fmt.Errorf("kernels: argument %d kind %v, signature wants %v",
+				i, args[i].Buf.Kind, p.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package memmodel defines the memory-footprint vocabulary shared by the
+// UVM simulator, the kernel cost model and the scheduler: byte sizes, page
+// ranges and kernel access patterns.
+//
+// The simulator manages memory at UVM migration granularity. Real UVM uses
+// 64 KiB basic blocks coalesced up to 2 MiB; we model the coalesced 2 MiB
+// granule directly, which keeps page counts tractable at the paper's
+// 160 GiB scale (81,920 pages) while preserving the thrashing dynamics.
+package memmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Bytes is a size in bytes.
+type Bytes int64
+
+// Common size units.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// PageSize is the UVM migration granule modelled by the simulator.
+const PageSize = 2 * MiB
+
+// String renders the size with a binary-unit suffix.
+func (b Bytes) String() string {
+	switch {
+	case b >= GiB && b%GiB == 0:
+		return fmt.Sprintf("%dGiB", b/GiB)
+	case b >= MiB && b%MiB == 0:
+		return fmt.Sprintf("%dMiB", b/MiB)
+	case b >= KiB && b%KiB == 0:
+		return fmt.Sprintf("%dKiB", b/KiB)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// GiBf reports the size in floating-point GiB.
+func (b Bytes) GiBf() float64 { return float64(b) / float64(GiB) }
+
+// Pages reports how many whole pages are needed to hold b bytes.
+func (b Bytes) Pages() int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64((b + PageSize - 1) / PageSize)
+}
+
+// PageID identifies one page within an allocation (zero-based).
+type PageID int64
+
+// PageRange is a half-open range [First, First+Count) of pages within a
+// single allocation.
+type PageRange struct {
+	First PageID
+	Count int64
+}
+
+// Contains reports whether p falls inside the range.
+func (r PageRange) Contains(p PageID) bool {
+	return p >= r.First && p < r.First+PageID(r.Count)
+}
+
+// Bytes reports the byte size covered by the range.
+func (r PageRange) Bytes() Bytes { return Bytes(r.Count) * PageSize }
+
+// Pattern classifies how a kernel walks an array. The pattern drives both
+// which pages are touched and how efficiently the UVM fault engine can
+// batch the resulting migrations.
+type Pattern int
+
+const (
+	// Sequential: a dense streaming walk; faults batch perfectly and the
+	// prefetcher tracks it well.
+	Sequential Pattern = iota
+	// Strided: regular but non-unit stride; faults batch moderately.
+	Strided
+	// Random: data-dependent accesses (hash joins, sparse gathers);
+	// faults arrive one page at a time and defeat the prefetcher.
+	Random
+	// Broadcast: every thread reads the same small region (e.g. the dense
+	// vector in MV); the region is hot on every device that runs a kernel
+	// touching it — the canonical FALL (Frequently Accessed, Low Locality)
+	// page situation from Shao et al.
+	Broadcast
+)
+
+var patternNames = [...]string{"sequential", "strided", "random", "broadcast"}
+
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// BatchFactor reports how many pages the fault engine can service per
+// fault-handling round trip under this pattern. Sequential misses coalesce
+// into large migrations; random misses pay a full round trip per page.
+func (p Pattern) BatchFactor() int64 {
+	switch p {
+	case Sequential:
+		return 64
+	case Strided:
+		return 16
+	case Broadcast:
+		return 8
+	default: // Random
+		return 1
+	}
+}
+
+// Access describes how a kernel uses one of its array parameters.
+type Access struct {
+	// Param is the parameter index in the kernel signature.
+	Param int
+	// Mode is read, write or read-write.
+	Mode AccessMode
+	// Pattern is the page-visit order.
+	Pattern Pattern
+	// Fraction of the array actually touched (0,1]. 1 means the whole
+	// array. A row-partitioned kernel that reads 1/N of a matrix uses 1/N.
+	Fraction float64
+	// Passes is how many times the kernel sweeps the touched region.
+	// Iterative kernels (CG's matrix) revisit pages; under eviction
+	// pressure every pass re-faults.
+	Passes int
+}
+
+// AccessMode distinguishes reads from writes; writes dirty pages and force
+// write-backs on eviction.
+type AccessMode int
+
+const (
+	Read AccessMode = iota
+	Write
+	ReadWrite
+)
+
+var modeNames = [...]string{"r", "w", "rw"}
+
+func (m AccessMode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// Reads reports whether the access includes reading.
+func (m AccessMode) Reads() bool { return m == Read || m == ReadWrite }
+
+// Writes reports whether the access includes writing.
+func (m AccessMode) Writes() bool { return m == Write || m == ReadWrite }
+
+// Normalize clamps the access into a valid state: Fraction into (0,1],
+// Passes to at least 1.
+func (a Access) Normalize() Access {
+	if a.Fraction <= 0 || a.Fraction > 1 {
+		a.Fraction = 1
+	}
+	if a.Passes < 1 {
+		a.Passes = 1
+	}
+	return a
+}
+
+// TouchedPages reports how many pages of an allocation of the given size
+// this access visits per pass.
+func (a Access) TouchedPages(size Bytes) int64 {
+	a = a.Normalize()
+	n := int64(float64(size.Pages()) * a.Fraction)
+	if n < 1 && size > 0 {
+		n = 1
+	}
+	return n
+}
+
+// ElemKind is the element type of a device array.
+type ElemKind int
+
+const (
+	Float32 ElemKind = iota
+	Float64
+	Int32
+	Int64
+)
+
+var kindNames = [...]string{"float", "double", "int", "long"}
+var kindSizes = [...]Bytes{4, 8, 4, 8}
+
+func (k ElemKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("ElemKind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Size reports the element size in bytes.
+func (k ElemKind) Size() Bytes {
+	if k < 0 || int(k) >= len(kindSizes) {
+		return 4
+	}
+	return kindSizes[k]
+}
+
+// KindFromName parses a mini-CUDA type name into an ElemKind.
+func KindFromName(name string) (ElemKind, bool) {
+	switch name {
+	case "float", "float32":
+		return Float32, true
+	case "double", "float64":
+		return Float64, true
+	case "int", "int32":
+		return Int32, true
+	case "long", "int64", "int64_t", "long long":
+		return Int64, true
+	}
+	return 0, false
+}
+
+// ParseBytes parses a human-readable size: "96GiB", "512MiB", "64KiB",
+// "4G" (binary GiB shorthand), "1024" (bytes). Case-insensitive suffixes.
+func ParseBytes(s string) (Bytes, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("memmodel: empty size")
+	}
+	mult := Bytes(1)
+	lower := strings.ToLower(s)
+	for _, suf := range []struct {
+		name string
+		m    Bytes
+	}{
+		{"gib", GiB}, {"mib", MiB}, {"kib", KiB},
+		{"gb", GiB}, {"mb", MiB}, {"kb", KiB},
+		{"g", GiB}, {"m", MiB}, {"k", KiB}, {"b", 1},
+	} {
+		if strings.HasSuffix(lower, suf.name) {
+			mult = suf.m
+			lower = strings.TrimSpace(strings.TrimSuffix(lower, suf.name))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(lower, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("memmodel: bad size %q", s)
+	}
+	return Bytes(v * float64(mult)), nil
+}

@@ -1,0 +1,211 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{4 * GiB, "4GiB"},
+		{2 * MiB, "2MiB"},
+		{64 * KiB, "64KiB"},
+		{1000, "1000B"},
+		{3*GiB + 5*MiB, "3077MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesPages(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{PageSize, 1},
+		{PageSize + 1, 2},
+		{160 * GiB, 81920},
+	}
+	for _, c := range cases {
+		if got := c.in.Pages(); got != c.want {
+			t.Errorf("Bytes(%d).Pages() = %d, want %d", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesGiBf(t *testing.T) {
+	if got := (32 * GiB).GiBf(); got != 32.0 {
+		t.Fatalf("GiBf = %v, want 32", got)
+	}
+}
+
+func TestPageRange(t *testing.T) {
+	r := PageRange{First: 10, Count: 5}
+	if !r.Contains(10) || !r.Contains(14) {
+		t.Fatalf("range should contain endpoints")
+	}
+	if r.Contains(9) || r.Contains(15) {
+		t.Fatalf("range contains out-of-range page")
+	}
+	if r.Bytes() != 5*PageSize {
+		t.Fatalf("range bytes = %v", r.Bytes())
+	}
+}
+
+func TestPatternBatchFactors(t *testing.T) {
+	// The physical story: sequential misses coalesce best, random worst.
+	if !(Sequential.BatchFactor() > Strided.BatchFactor() &&
+		Strided.BatchFactor() > Broadcast.BatchFactor() &&
+		Broadcast.BatchFactor() > Random.BatchFactor()) {
+		t.Fatalf("batch factors not strictly ordered: %d %d %d %d",
+			Sequential.BatchFactor(), Strided.BatchFactor(),
+			Broadcast.BatchFactor(), Random.BatchFactor())
+	}
+	if Random.BatchFactor() != 1 {
+		t.Fatalf("random batch factor must be 1")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Sequential: "sequential", Strided: "strided",
+		Random: "random", Broadcast: "broadcast",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Errorf("out-of-range pattern string = %q", Pattern(99).String())
+	}
+}
+
+func TestAccessModes(t *testing.T) {
+	if !Read.Reads() || Read.Writes() {
+		t.Fatalf("Read mode flags wrong")
+	}
+	if Write.Reads() || !Write.Writes() {
+		t.Fatalf("Write mode flags wrong")
+	}
+	if !ReadWrite.Reads() || !ReadWrite.Writes() {
+		t.Fatalf("ReadWrite mode flags wrong")
+	}
+	if Read.String() != "r" || Write.String() != "w" || ReadWrite.String() != "rw" {
+		t.Fatalf("mode strings wrong")
+	}
+}
+
+func TestAccessNormalize(t *testing.T) {
+	a := Access{Fraction: -1, Passes: 0}.Normalize()
+	if a.Fraction != 1 || a.Passes != 1 {
+		t.Fatalf("normalize = %+v", a)
+	}
+	b := Access{Fraction: 0.25, Passes: 3}.Normalize()
+	if b.Fraction != 0.25 || b.Passes != 3 {
+		t.Fatalf("normalize changed valid access: %+v", b)
+	}
+}
+
+func TestAccessTouchedPages(t *testing.T) {
+	a := Access{Fraction: 0.5, Passes: 1}
+	if got := a.TouchedPages(100 * PageSize); got != 50 {
+		t.Fatalf("touched = %d, want 50", got)
+	}
+	// Tiny arrays still touch at least one page.
+	tiny := Access{Fraction: 0.001}
+	if got := tiny.TouchedPages(PageSize); got != 1 {
+		t.Fatalf("tiny touched = %d, want 1", got)
+	}
+	if got := a.TouchedPages(0); got != 0 {
+		t.Fatalf("zero-size touched = %d, want 0", got)
+	}
+}
+
+// Property: TouchedPages never exceeds the allocation's page count and is
+// monotone in Fraction.
+func TestTouchedPagesProperty(t *testing.T) {
+	f := func(sizeGiB uint8, fracPct uint8) bool {
+		size := Bytes(int64(sizeGiB%64)+1) * GiB
+		frac := float64(fracPct%100+1) / 100
+		a := Access{Fraction: frac}
+		got := a.TouchedPages(size)
+		if got < 1 || got > size.Pages() {
+			return false
+		}
+		bigger := Access{Fraction: 1}
+		return bigger.TouchedPages(size) >= got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemKind(t *testing.T) {
+	if Float32.Size() != 4 || Float64.Size() != 8 || Int32.Size() != 4 || Int64.Size() != 8 {
+		t.Fatalf("elem sizes wrong")
+	}
+	if Float32.String() != "float" || Int64.String() != "long" {
+		t.Fatalf("kind names wrong")
+	}
+	for name, want := range map[string]ElemKind{
+		"float": Float32, "float32": Float32,
+		"double": Float64, "float64": Float64,
+		"int": Int32, "int32": Int32,
+		"long": Int64, "int64": Int64,
+	} {
+		got, ok := KindFromName(name)
+		if !ok || got != want {
+			t.Errorf("KindFromName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := KindFromName("quaternion"); ok {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]Bytes{
+		"96GiB":  96 * GiB,
+		"512MiB": 512 * MiB,
+		"64KiB":  64 * KiB,
+		"4G":     4 * GiB,
+		"2g":     2 * GiB,
+		"100MB":  100 * MiB,
+		"1024":   1024,
+		"0.5GiB": GiB / 2,
+		" 8 GiB": 8 * GiB,
+		"7b":     7,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "GiB", "-4GiB", "x12", "12XB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: String() of whole binary sizes round-trips through ParseBytes.
+func TestParseBytesRoundTripProperty(t *testing.T) {
+	f := func(gib uint8) bool {
+		b := Bytes(int64(gib%200)+1) * GiB
+		parsed, err := ParseBytes(b.String())
+		return err == nil && parsed == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package minicuda
+
+import (
+	"grout/internal/memmodel"
+)
+
+// Param is one kernel parameter.
+type Param struct {
+	Name    string
+	Kind    memmodel.ElemKind
+	Pointer bool
+	Const   bool
+	Pos     Pos
+}
+
+// Kernel is a parsed __global__ function.
+type Kernel struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+	Pos    Pos
+	// funcs are the module's __device__ helper functions, visible to the
+	// kernel's body.
+	funcs map[string]*DeviceFunc
+}
+
+// DeviceFunc is a parsed __device__ helper function. Helpers take scalar
+// parameters and return a scalar; pointer parameters are rejected (their
+// aliasing semantics are out of the dialect's scope).
+type DeviceFunc struct {
+	Name   string
+	Params []Param
+	Ret    memmodel.ElemKind
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local scalar: "int i = expr;".
+type DeclStmt struct {
+	Name string
+	Kind memmodel.ElemKind
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt assigns to an identifier or array element. Op is "=", "+=",
+// "-=", "*=", "/=" or "%=".
+type AssignStmt struct {
+	Target Expr // *IdentExpr or *IndexExpr
+	Op     string
+	Value  Expr
+	Pos    Pos
+}
+
+// IncStmt is "x++;" or "x--;".
+type IncStmt struct {
+	Target Expr // *IdentExpr or *IndexExpr
+	Decr   bool
+	Pos    Pos
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil; DeclStmt, AssignStmt or IncStmt
+	Cond Expr // may be nil (infinite loops are rejected at parse time)
+	Post Stmt // may be nil
+	Body []Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Pos  Pos
+}
+
+// ReturnStmt exits the thread (kernels, Value nil) or returns a scalar
+// from a __device__ helper.
+type ReturnStmt struct {
+	Value Expr // nil in kernels
+	Pos   Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt skips to the innermost loop's next iteration.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncStmt) stmtNode()      {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumberExpr is a numeric literal.
+type NumberExpr struct {
+	Val   float64
+	IsInt bool
+	Pos   Pos
+}
+
+// IdentExpr references a parameter or local variable.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is base[idx] where base names a pointer parameter.
+type IndexExpr struct {
+	Base string
+	Idx  Expr
+	Pos  Pos
+}
+
+// MemberExpr is one of the CUDA builtin vectors: threadIdx.x, blockIdx.y,
+// blockDim.z, gridDim.x.
+type MemberExpr struct {
+	Base  string
+	Field string
+	Pos   Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// CastExpr is "(float) x" style conversion.
+type CastExpr struct {
+	Kind memmodel.ElemKind
+	X    Expr
+	Pos  Pos
+}
+
+// CallExpr invokes a math builtin or atomicAdd.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// AddrExpr is &base[idx], only valid as atomicAdd's first argument.
+type AddrExpr struct {
+	X   *IndexExpr
+	Pos Pos
+}
+
+// CondExpr is the ternary c ? t : f.
+type CondExpr struct {
+	C, T, F Expr
+	Pos     Pos
+}
+
+func (*NumberExpr) exprNode() {}
+func (*IdentExpr) exprNode()  {}
+func (*IndexExpr) exprNode()  {}
+func (*MemberExpr) exprNode() {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CastExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+func (*AddrExpr) exprNode()   {}
+func (*CondExpr) exprNode()   {}

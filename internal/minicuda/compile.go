@@ -1,0 +1,143 @@
+package minicuda
+
+import (
+	"fmt"
+
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+// Compile parses a kernel source string and returns the kernels.Def for
+// the (single) kernel it contains, optionally checked against an NFI
+// signature string ("pointer float, const pointer float, sint32"). An
+// empty signature accepts the parameter list as written — paper Listing 1
+// passes both the source and the signature to buildkernel.
+func Compile(src, signature string) (*kernels.Def, error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ks) != 1 {
+		return nil, fmt.Errorf("minicuda: source contains %d kernels; name one with CompileNamed", len(ks))
+	}
+	return buildDef(ks[0], signature)
+}
+
+// CompileNamed compiles one kernel from a source module that may define
+// several.
+func CompileNamed(src, name, signature string) (*kernels.Def, error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range ks {
+		if k.Name == name {
+			return buildDef(k, signature)
+		}
+	}
+	return nil, fmt.Errorf("minicuda: kernel %q not found in source", name)
+}
+
+// CompileAll compiles every kernel in a source module.
+func CompileAll(src string) ([]*kernels.Def, error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]*kernels.Def, len(ks))
+	for i, k := range ks {
+		d, err := buildDef(k, "")
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = d
+	}
+	return defs, nil
+}
+
+// buildDef assembles the kernels.Def from the parsed kernel and its
+// static analysis.
+func buildDef(k *Kernel, signature string) (*kernels.Def, error) {
+	sig := signatureOf(k)
+	if signature != "" {
+		declared, err := kernels.ParseSignature(signature)
+		if err != nil {
+			return nil, err
+		}
+		if err := matchSignatures(k, declared); err != nil {
+			return nil, err
+		}
+		sig = declared
+	}
+
+	an := analyze(k)
+	kcopy := k // capture
+
+	// scalarOf resolves a scalar parameter's runtime value from argument
+	// metadata, for loop-bound-dependent cost estimates.
+	scalarOf := func(meta []kernels.ArgMeta) func(string) (float64, bool) {
+		return func(name string) (float64, bool) {
+			for i, p := range kcopy.Params {
+				if p.Name == name && !p.Pointer && i < len(meta) {
+					return meta[i].Scalar, true
+				}
+			}
+			return 0, false
+		}
+	}
+
+	return &kernels.Def{
+		Name: k.Name,
+		Sig:  sig,
+		CostOfLaunch: func(grid, block int, meta []kernels.ArgMeta) kernels.Cost {
+			threads := int64(grid) * int64(block)
+			if threads < 1 {
+				threads = 1
+			}
+			return kernels.Cost{
+				Elements:      threads,
+				OpsPerElement: an.ops(scalarOf(meta)),
+			}
+		},
+		AccessOf: func(meta []kernels.ArgMeta) []memmodel.Access {
+			return an.access
+		},
+		RunLaunch: func(grid, block int, args []kernels.Arg) error {
+			return runLaunch(kcopy, grid, block, args)
+		},
+	}, nil
+}
+
+// signatureOf derives the NFI signature from the parameter list.
+func signatureOf(k *Kernel) kernels.Signature {
+	var sig kernels.Signature
+	for _, p := range k.Params {
+		sig.Params = append(sig.Params, kernels.Param{
+			Name:    p.Name,
+			Kind:    p.Kind,
+			Pointer: p.Pointer,
+			Const:   p.Const,
+		})
+	}
+	return sig
+}
+
+// matchSignatures verifies a declared NFI signature against the kernel's
+// parameter list.
+func matchSignatures(k *Kernel, declared kernels.Signature) error {
+	if len(declared.Params) != len(k.Params) {
+		return fmt.Errorf("minicuda: %s has %d parameters, signature declares %d",
+			k.Name, len(k.Params), len(declared.Params))
+	}
+	for i, dp := range declared.Params {
+		kp := k.Params[i]
+		if dp.Pointer != kp.Pointer {
+			return fmt.Errorf("minicuda: %s parameter %d pointer-ness mismatch", k.Name, i)
+		}
+		if dp.Pointer && dp.Kind != kp.Kind {
+			return fmt.Errorf("minicuda: %s parameter %d kind mismatch: source %v, signature %v",
+				k.Name, i, kp.Kind, dp.Kind)
+		}
+	}
+	return nil
+}

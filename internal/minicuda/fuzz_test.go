@@ -1,0 +1,26 @@
+package minicuda
+
+import "testing"
+
+// FuzzParse drives the lexer+parser with arbitrary inputs; the invariant
+// is no panic and, on success, a non-empty kernel list that re-analyzes
+// without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(saxpySrc)
+	f.Add(gemvSrc)
+	f.Add(deviceFuncSrc)
+	f.Add(`__global__ void k(float *x, int n) { x[0] = 1.0; }`)
+	f.Add(`__device__ float h(float a) { return a; } __global__ void k(float *x, int n) { x[0] = h(2.0); }`)
+	f.Add(`/* comment */ extern "C" __global__ void k(int n) { return; }`)
+	f.Add(`__global__`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		ks, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, k := range ks {
+			_ = analyze(k) // must not panic either
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package minicuda
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns source text into tokens. It handles // and /* */ comments
+// and multi-character operators.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// twoCharOps are the recognized two-character operators. Order matters
+// only for readability; lookup is exact.
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"++": true, "--": true, "<<": true, ">>": true, "::": true,
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByteAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace and both comment styles.
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{Kind: tokEOF, Pos: pos}, nil
+	}
+	c := l.peekByte()
+
+	if isIdentStart(c) {
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			b.WriteByte(l.advance())
+		}
+		return token{Kind: tokIdent, Lit: b.String(), Pos: pos}, nil
+	}
+
+	if unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peekByteAt(1)))) {
+		var b strings.Builder
+		seenDot, seenExp := false, false
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				b.WriteByte(l.advance())
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				b.WriteByte(l.advance())
+			case (c == 'e' || c == 'E') && !seenExp:
+				seenExp = true
+				b.WriteByte(l.advance())
+				if s := l.peekByte(); s == '+' || s == '-' {
+					b.WriteByte(l.advance())
+				}
+			case c == 'f' || c == 'F': // float suffix
+				l.advance()
+				return token{Kind: tokNumber, Lit: b.String(), Pos: pos}, nil
+			default:
+				return token{Kind: tokNumber, Lit: b.String(), Pos: pos}, nil
+			}
+		}
+		return token{Kind: tokNumber, Lit: b.String(), Pos: pos}, nil
+	}
+
+	if c == '"' {
+		l.advance()
+		var b strings.Builder
+		for l.off < len(l.src) && l.peekByte() != '"' {
+			b.WriteByte(l.advance())
+		}
+		if l.off >= len(l.src) {
+			return token{}, errf(pos, "unterminated string literal")
+		}
+		l.advance()
+		return token{Kind: tokString, Lit: b.String(), Pos: pos}, nil
+	}
+
+	// Operators and punctuation.
+	if l.off+1 < len(l.src) {
+		two := l.src[l.off : l.off+2]
+		if twoCharOps[two] {
+			l.advance()
+			l.advance()
+			return token{Kind: tokPunct, Lit: two, Pos: pos}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ',', ';', '.', '?', ':':
+		l.advance()
+		return token{Kind: tokPunct, Lit: string(c), Pos: pos}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the entire source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

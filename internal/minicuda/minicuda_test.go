@@ -1,0 +1,510 @@
+package minicuda
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+const saxpySrc = `
+extern "C" __global__ void saxpy(float *y, const float *x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = y[i] + a * x[i];
+    }
+}`
+
+func compile(t *testing.T, src, sig string) *kernels.Def {
+	t.Helper()
+	def, err := Compile(src, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll(`foo 12 3.5 1e-3 2.0f <= ++ // comment
+	/* block
+	comment */ bar "C"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var lits []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		lits = append(lits, tk.Lit)
+	}
+	want := []string{"foo", "12", "3.5", "1e-3", "2.0", "<=", "++", "bar", "C", ""}
+	if len(lits) != len(want) {
+		t.Fatalf("tokens = %v", lits)
+	}
+	for i := range want {
+		if lits[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, lits[i], want[i], lits)
+		}
+	}
+	if kinds[8] != tokString {
+		t.Fatalf("string literal kind = %v", kinds[8])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lexAll("a $ b"); err == nil {
+		t.Fatalf("bad character accepted")
+	}
+	if _, err := lexAll("/* unterminated"); err == nil {
+		t.Fatalf("unterminated comment accepted")
+	}
+	if _, err := lexAll(`"unterminated`); err == nil {
+		t.Fatalf("unterminated string accepted")
+	}
+}
+
+func TestParseSaxpy(t *testing.T) {
+	ks, err := Parse(saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 {
+		t.Fatalf("kernel count = %d", len(ks))
+	}
+	k := ks[0]
+	if k.Name != "saxpy" || len(k.Params) != 4 {
+		t.Fatalf("kernel = %s/%d params", k.Name, len(k.Params))
+	}
+	if !k.Params[0].Pointer || k.Params[0].Const {
+		t.Fatalf("param y = %+v", k.Params[0])
+	}
+	if !k.Params[1].Pointer || !k.Params[1].Const {
+		t.Fatalf("param x = %+v", k.Params[1])
+	}
+	if k.Params[2].Pointer || k.Params[2].Kind != memmodel.Float32 {
+		t.Fatalf("param a = %+v", k.Params[2])
+	}
+	if k.Params[3].Kind != memmodel.Int32 {
+		t.Fatalf("param n = %+v", k.Params[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              ``,
+		"no global":          `void f(int n) {}`,
+		"bad type":           `__global__ void f(quaternion q) {}`,
+		"dup param":          `__global__ void f(int a, float a) {}`,
+		"ptr-to-ptr":         `__global__ void f(float **x) {}`,
+		"unterminated block": `__global__ void f(int n) { if (n) {`,
+		"assign to call":     `__global__ void f(int n) { sqrt(n) = 3; }`,
+		"bare expr":          `__global__ void f(int n) { n + 1; }`,
+		"infinite for":       `__global__ void f(int n) { for (;;) { n = 1; } }`,
+		"index non-pointer":  `__global__ void f(int n) { int i = 0; i[0] = 1; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestCompileAndRunSaxpy(t *testing.T) {
+	def := compile(t, saxpySrc, "pointer float, const pointer float, float, sint32")
+	const n = 100
+	y := kernels.NewBuffer(memmodel.Float32, n)
+	x := kernels.NewBuffer(memmodel.Float32, n)
+	for i := 0; i < n; i++ {
+		y.Set(i, 1)
+		x.Set(i, float64(i))
+	}
+	args := []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(x),
+		kernels.ScalarArg(2), kernels.ScalarArg(n),
+	}
+	// 4 blocks x 32 threads = 128 threads covering n=100 with a guard.
+	if err := def.ExecuteLaunch(4, 32, args); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if want := 1 + 2*float64(i); y.At(i) != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y.At(i), want)
+		}
+	}
+}
+
+func TestCompiledMatchesNativeAxpy(t *testing.T) {
+	def := compile(t, saxpySrc, "")
+	native, _ := kernels.StdRegistry().Lookup("axpy")
+	f := func(seed uint8) bool {
+		const n = 64
+		yc := kernels.NewBuffer(memmodel.Float32, n)
+		xc := kernels.NewBuffer(memmodel.Float32, n)
+		for i := 0; i < n; i++ {
+			yc.Set(i, float64((int(seed)+i)%17))
+			xc.Set(i, float64((int(seed)*3+i)%23))
+		}
+		yn := yc.Clone()
+		xn := xc.Clone()
+		alpha := float64(seed%7) + 0.5
+		if err := def.ExecuteLaunch(2, 32, []kernels.Arg{
+			kernels.BufArg(yc), kernels.BufArg(xc),
+			kernels.ScalarArg(alpha), kernels.ScalarArg(n)}); err != nil {
+			return false
+		}
+		if err := native.Execute([]kernels.Arg{
+			kernels.BufArg(yn), kernels.BufArg(xn),
+			kernels.ScalarArg(alpha), kernels.ScalarArg(n)}); err != nil {
+			return false
+		}
+		return yc.MaxAbsDiff(yn) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessAnalysisSaxpy(t *testing.T) {
+	def := compile(t, saxpySrc, "")
+	accs := def.Access(nil)
+	if accs[0].Mode != memmodel.ReadWrite {
+		t.Fatalf("y mode = %v, want rw", accs[0].Mode)
+	}
+	if accs[1].Mode != memmodel.Read {
+		t.Fatalf("x mode = %v, want r", accs[1].Mode)
+	}
+	if accs[0].Pattern != memmodel.Sequential || accs[1].Pattern != memmodel.Sequential {
+		t.Fatalf("saxpy patterns = %v/%v, want sequential", accs[0].Pattern, accs[1].Pattern)
+	}
+}
+
+const gemvSrc = `
+__global__ void gemv(float *y, const float *A, const float *x, int rows, int cols) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float sum = 0.0;
+        for (int j = 0; j < cols; j++) {
+            sum += A[row * cols + j] * x[j];
+        }
+        y[row] = sum;
+    }
+}`
+
+func TestAccessAnalysisGemv(t *testing.T) {
+	def := compile(t, gemvSrc, "")
+	accs := def.Access(nil)
+	if accs[0].Pattern != memmodel.Sequential || accs[0].Mode != memmodel.Write {
+		t.Fatalf("y access = %+v", accs[0])
+	}
+	// A[row*cols+j]: per-thread contiguous row sweep -> sequential.
+	if accs[1].Pattern != memmodel.Sequential || accs[1].Mode != memmodel.Read {
+		t.Fatalf("A access = %+v", accs[1])
+	}
+	// x[j]: loop-only index, every thread reads it all -> broadcast.
+	if accs[2].Pattern != memmodel.Broadcast {
+		t.Fatalf("x pattern = %v, want broadcast", accs[2].Pattern)
+	}
+}
+
+func TestGemvNumeric(t *testing.T) {
+	def := compile(t, gemvSrc, "")
+	// 3x2 matrix [[1,2],[3,4],[5,6]] * [10,100] = [210, 430, 650]
+	A := kernels.NewBuffer(memmodel.Float32, 6)
+	for i := 0; i < 6; i++ {
+		A.Set(i, float64(i+1))
+	}
+	x := kernels.NewBuffer(memmodel.Float32, 2)
+	x.Set(0, 10)
+	x.Set(1, 100)
+	y := kernels.NewBuffer(memmodel.Float32, 3)
+	if err := def.ExecuteLaunch(1, 4, []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(A), kernels.BufArg(x),
+		kernels.ScalarArg(3), kernels.ScalarArg(2)}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{210, 430, 650} {
+		if y.At(i) != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y.At(i), want)
+		}
+	}
+}
+
+const gatherSrc = `
+__global__ void gather(float *out, const float *src, const int *idx, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        out[i] = src[idx[i]];
+    }
+}`
+
+func TestAccessAnalysisGather(t *testing.T) {
+	def := compile(t, gatherSrc, "")
+	accs := def.Access(nil)
+	// src[idx[i]]: data-dependent index -> random.
+	if accs[1].Pattern != memmodel.Random {
+		t.Fatalf("src pattern = %v, want random", accs[1].Pattern)
+	}
+	// idx[i] itself is a sequential read.
+	if accs[2].Pattern != memmodel.Sequential {
+		t.Fatalf("idx pattern = %v, want sequential", accs[2].Pattern)
+	}
+}
+
+const stridedSrc = `
+__global__ void transposeish(float *out, const float *in, int n, int stride) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        out[i] = in[i * stride];
+    }
+}`
+
+func TestAccessAnalysisStrided(t *testing.T) {
+	def := compile(t, stridedSrc, "")
+	accs := def.Access(nil)
+	if accs[1].Pattern != memmodel.Strided {
+		t.Fatalf("in pattern = %v, want strided", accs[1].Pattern)
+	}
+}
+
+const atomicSrc = `
+__global__ void reduce_sum(float *out, const float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        atomicAdd(&out[0], x[i]);
+    }
+}`
+
+func TestAtomicAddReduction(t *testing.T) {
+	def := compile(t, atomicSrc, "")
+	const n = 50
+	out := kernels.NewBuffer(memmodel.Float32, 1)
+	x := kernels.NewBuffer(memmodel.Float32, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		x.Set(i, float64(i))
+		want += float64(i)
+	}
+	if err := def.ExecuteLaunch(2, 32, []kernels.Arg{
+		kernels.BufArg(out), kernels.BufArg(x), kernels.ScalarArg(n)}); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0) != want {
+		t.Fatalf("reduction = %v, want %v", out.At(0), want)
+	}
+	accs := def.Access(nil)
+	if !accs[0].Mode.Writes() || !accs[0].Mode.Reads() {
+		t.Fatalf("atomic target mode = %v, want rw", accs[0].Mode)
+	}
+}
+
+const mathSrc = `
+__global__ void mathy(float *y, const float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float v = x[i];
+        y[i] = sqrtf(fabsf(v)) + expf(0.0f - v) + fmaxf(v, 1.0f);
+    }
+}`
+
+func TestMathBuiltins(t *testing.T) {
+	// fmaxf is fmax+f suffix; ensure the f-suffix resolution works.
+	src := strings.ReplaceAll(mathSrc, "fmaxf", "fmax")
+	def := compile(t, src, "")
+	const n = 8
+	y := kernels.NewBuffer(memmodel.Float32, n)
+	x := kernels.NewBuffer(memmodel.Float32, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, float64(i)-3)
+	}
+	if err := def.ExecuteLaunch(1, n, []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(x), kernels.ScalarArg(n)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := x.At(i)
+		want := math.Sqrt(math.Abs(v)) + math.Exp(-v) + math.Max(v, 1)
+		if math.Abs(y.At(i)-want) > 1e-4 {
+			t.Fatalf("y[%d] = %v, want %v", i, y.At(i), want)
+		}
+	}
+}
+
+func TestWhileAndIncDec(t *testing.T) {
+	src := `
+__global__ void countdown(float *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int c = 0;
+        int k = i;
+        while (k > 0) {
+            k--;
+            c++;
+        }
+        y[i] = (float) c;
+    }
+}`
+	def := compile(t, src, "")
+	const n = 10
+	y := kernels.NewBuffer(memmodel.Float32, n)
+	if err := def.ExecuteLaunch(1, 16, []kernels.Arg{
+		kernels.BufArg(y), kernels.ScalarArg(n)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if y.At(i) != float64(i) {
+			t.Fatalf("y[%d] = %v, want %v", i, y.At(i), i)
+		}
+	}
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	src := `
+__global__ void clampsign(float *y, const float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n && i >= 0) {
+        y[i] = x[i] > 0.0 ? 1.0 : (x[i] < 0.0 ? 0.0 - 1.0 : 0.0);
+    }
+}`
+	def := compile(t, src, "")
+	y := kernels.NewBuffer(memmodel.Float32, 3)
+	x := kernels.NewBuffer(memmodel.Float32, 3)
+	x.Set(0, -5)
+	x.Set(1, 0)
+	x.Set(2, 9)
+	if err := def.ExecuteLaunch(1, 4, []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(x), kernels.ScalarArg(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0) != -1 || y.At(1) != 0 || y.At(2) != 1 {
+		t.Fatalf("signs = [%v %v %v]", y.At(0), y.At(1), y.At(2))
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	def := compile(t, saxpySrc, "")
+	y := kernels.NewBuffer(memmodel.Float32, 4)
+	x := kernels.NewBuffer(memmodel.Float32, 4)
+	// n larger than buffers: guarded by i<n, so this writes out of
+	// bounds and must error.
+	err := def.ExecuteLaunch(1, 32, []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(x),
+		kernels.ScalarArg(1), kernels.ScalarArg(32)})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-bounds write not caught: %v", err)
+	}
+	// Bad launch config.
+	if err := def.ExecuteLaunch(0, 32, []kernels.Arg{
+		kernels.BufArg(y), kernels.BufArg(x),
+		kernels.ScalarArg(1), kernels.ScalarArg(4)}); err == nil {
+		t.Fatalf("zero grid accepted")
+	}
+	// Division by zero.
+	divSrc := `
+__global__ void div0(float *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int z = 0;
+    if (i < n) { y[i] = (float)(i / z); }
+}`
+	d2 := compile(t, divSrc, "")
+	if err := d2.ExecuteLaunch(1, 1, []kernels.Arg{
+		kernels.BufArg(y), kernels.ScalarArg(1)}); err == nil {
+		t.Fatalf("integer division by zero accepted")
+	}
+}
+
+func TestInfiniteLoopGuard(t *testing.T) {
+	src := `
+__global__ void spin(float *y, int n) {
+    int i = 0;
+    while (n >= 0) {
+        i++;
+    }
+    y[0] = (float) i;
+}`
+	def := compile(t, src, "")
+	y := kernels.NewBuffer(memmodel.Float32, 1)
+	err := def.ExecuteLaunch(1, 1, []kernels.Arg{kernels.BufArg(y), kernels.ScalarArg(1)})
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("infinite loop not caught: %v", err)
+	}
+}
+
+func TestCostEstimateUsesLoopBounds(t *testing.T) {
+	def := compile(t, gemvSrc, "")
+	meta := []kernels.ArgMeta{
+		{IsBuffer: true, Len: 1 << 20}, {IsBuffer: true, Len: 1 << 20},
+		{IsBuffer: true, Len: 1024},
+		{Scalar: 1024}, {Scalar: 1024},
+	}
+	small := def.CostLaunch(4, 256, meta)
+	metaBig := append([]kernels.ArgMeta(nil), meta...)
+	metaBig[4] = kernels.ArgMeta{Scalar: 4096}
+	big := def.CostLaunch(4, 256, metaBig)
+	if big.OpsPerElement <= small.OpsPerElement {
+		t.Fatalf("cost not scaled by loop bound: %v vs %v",
+			big.OpsPerElement, small.OpsPerElement)
+	}
+	if small.Elements != 4*256 {
+		t.Fatalf("elements = %d, want grid*block", small.Elements)
+	}
+}
+
+func TestCompileNamedAndAll(t *testing.T) {
+	src := saxpySrc + "\n" + gemvSrc
+	if _, err := Compile(src, ""); err == nil {
+		t.Fatalf("multi-kernel Compile without name accepted")
+	}
+	def, err := CompileNamed(src, "gemv", "")
+	if err != nil || def.Name != "gemv" {
+		t.Fatalf("CompileNamed = %v, %v", def, err)
+	}
+	if _, err := CompileNamed(src, "missing", ""); err == nil {
+		t.Fatalf("missing kernel accepted")
+	}
+	defs, err := CompileAll(src)
+	if err != nil || len(defs) != 2 {
+		t.Fatalf("CompileAll = %d defs, %v", len(defs), err)
+	}
+}
+
+func TestSignatureMismatch(t *testing.T) {
+	if _, err := Compile(saxpySrc, "pointer float, pointer float"); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+	if _, err := Compile(saxpySrc, "sint32, const pointer float, float, sint32"); err == nil {
+		t.Fatalf("pointer-ness mismatch accepted")
+	}
+	if _, err := Compile(saxpySrc, "pointer double, const pointer float, float, sint32"); err == nil {
+		t.Fatalf("kind mismatch accepted")
+	}
+	// A matching signature is accepted and used.
+	def, err := Compile(saxpySrc, "pointer float, const pointer float, float, sint32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Sig.Params[1].Const {
+		t.Fatalf("declared const lost")
+	}
+}
+
+// Property: parser never panics on mutated sources.
+func TestParserRobustness(t *testing.T) {
+	base := saxpySrc
+	f := func(cut uint16, insert byte) bool {
+		pos := int(cut) % len(base)
+		mutated := base[:pos] + string(insert) + base[pos:]
+		defer func() {
+			if recover() != nil {
+				t.Errorf("parser panicked on mutated input")
+			}
+		}()
+		_, _ = Parse(mutated) // errors are fine; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,839 @@
+package minicuda
+
+import (
+	"strconv"
+	"strings"
+
+	"grout/internal/memmodel"
+)
+
+// parser is a recursive-descent parser for the kernel dialect.
+type parser struct {
+	toks []token
+	pos  int
+	// pointerParams tracks pointer parameter names of the kernel being
+	// parsed, to distinguish a[i] indexing from misuse.
+	pointerParams map[string]bool
+	// loopDepth tracks loop nesting so break/continue outside a loop are
+	// rejected at parse time.
+	loopDepth int
+}
+
+// Parse parses a source string into its __global__ kernels (with any
+// __device__ helpers attached).
+func Parse(src string) ([]*Kernel, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	funcs := make(map[string]*DeviceFunc)
+	var kernels []*Kernel
+	for !p.at(tokEOF, "") {
+		// Skip the optional extern "C" linkage on either kind.
+		if p.accept(tokIdent, "extern") {
+			if _, err := p.expect(tokString, ""); err != nil {
+				return nil, err
+			}
+		}
+		switch {
+		case p.at(tokIdent, "__device__"):
+			f, err := p.parseDeviceFunc()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := funcs[f.Name]; dup {
+				return nil, errf(f.Pos, "duplicate __device__ function %q", f.Name)
+			}
+			funcs[f.Name] = f
+		default:
+			k, err := p.parseKernel()
+			if err != nil {
+				return nil, err
+			}
+			k.funcs = funcs
+			kernels = append(kernels, k)
+		}
+	}
+	if len(kernels) == 0 {
+		return nil, errf(Pos{1, 1}, "no kernels in source")
+	}
+	if err := checkDeviceFuncs(funcs); err != nil {
+		return nil, err
+	}
+	return kernels, nil
+}
+
+// parseDeviceFunc parses "__device__ <type> name(scalar params) { body }".
+func (p *parser) parseDeviceFunc() (*DeviceFunc, error) {
+	start := p.cur().Pos
+	if _, err := p.expect(tokIdent, "__device__"); err != nil {
+		return nil, err
+	}
+	retTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ret, ok := scalarKind(retTok.Lit)
+	if !ok {
+		return nil, errf(retTok.Pos, "__device__ functions must return a scalar type, got %q", retTok.Lit)
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &DeviceFunc{Name: nameTok.Lit, Ret: ret, Pos: start}
+	// Device-function bodies may not index arrays; suspend the kernel's
+	// pointer-parameter scope.
+	savedPtrs := p.pointerParams
+	savedDepth := p.loopDepth
+	p.pointerParams = map[string]bool{}
+	p.loopDepth = 0
+	defer func() { p.pointerParams = savedPtrs; p.loopDepth = savedDepth }()
+	for !p.at(tokPunct, ")") {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		if prm.Pointer {
+			return nil, errf(prm.Pos, "__device__ function parameters must be scalars")
+		}
+		f.Params = append(f.Params, prm)
+	}
+	p.next() // consume )
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// checkDeviceFuncs rejects recursion (direct or mutual): the interpreter
+// and the cost model both require a call DAG.
+func checkDeviceFuncs(funcs map[string]*DeviceFunc) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(funcs))
+	var visit func(name string) error
+	visit = func(name string) error {
+		f, ok := funcs[name]
+		if !ok {
+			return nil // math builtin or unknown; resolved at runtime
+		}
+		switch state[name] {
+		case grey:
+			return errf(f.Pos, "recursive __device__ function %q", name)
+		case black:
+			return nil
+		}
+		state[name] = grey
+		for _, callee := range calledNames(f.Body) {
+			if err := visit(callee); err != nil {
+				return err
+			}
+		}
+		state[name] = black
+		return nil
+	}
+	for name := range funcs {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// calledNames collects function names invoked anywhere in a body.
+func calledNames(stmts []Stmt) []string {
+	var names []string
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *CallExpr:
+			names = append(names, x.Name)
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *BinaryExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *UnaryExpr:
+			walkExpr(x.X)
+		case *CastExpr:
+			walkExpr(x.X)
+		case *CondExpr:
+			walkExpr(x.C)
+			walkExpr(x.T)
+			walkExpr(x.F)
+		case *IndexExpr:
+			walkExpr(x.Idx)
+		case *AddrExpr:
+			walkExpr(x.X.Idx)
+		}
+	}
+	var walkStmt func(s Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *DeclStmt:
+			if st.Init != nil {
+				walkExpr(st.Init)
+			}
+		case *AssignStmt:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *IncStmt:
+			walkExpr(st.Target)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			for _, t := range st.Then {
+				walkStmt(t)
+			}
+			for _, e := range st.Else {
+				walkStmt(e)
+			}
+		case *ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walkStmt(st.Post)
+			}
+			for _, b := range st.Body {
+				walkStmt(b)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			for _, b := range st.Body {
+				walkStmt(b)
+			}
+		case *ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value)
+			}
+		case *ExprStmt:
+			walkExpr(st.X)
+		}
+	}
+	for _, s := range stmts {
+		walkStmt(s)
+	}
+	return names
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// at reports whether the current token matches kind (and literal, when
+// non-empty).
+func (p *parser) at(kind tokKind, lit string) bool {
+	t := p.cur()
+	return t.Kind == kind && (lit == "" || t.Lit == lit)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokKind, lit string) bool {
+	if p.at(kind, lit) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or fails.
+func (p *parser) expect(kind tokKind, lit string) (token, error) {
+	if !p.at(kind, lit) {
+		t := p.cur()
+		want := lit
+		if want == "" {
+			want = kind.String()
+		}
+		return token{}, errf(t.Pos, "expected %q, found %q", want, t.Lit)
+	}
+	return p.next(), nil
+}
+
+// scalarKinds maps type names to element kinds.
+func scalarKind(name string) (memmodel.ElemKind, bool) {
+	return memmodel.KindFromName(name)
+}
+
+// parseKernel parses: __global__ void name(params) { body } (any
+// extern "C" linkage was consumed by the caller).
+func (p *parser) parseKernel() (*Kernel, error) {
+	start := p.cur().Pos
+	if _, err := p.expect(tokIdent, "__global__"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "void"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: nameTok.Lit, Pos: start}
+	p.pointerParams = make(map[string]bool)
+	for !p.at(tokPunct, ")") {
+		if len(k.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		for _, existing := range k.Params {
+			if existing.Name == param.Name {
+				return nil, errf(param.Pos, "duplicate parameter %q", param.Name)
+			}
+		}
+		if param.Pointer {
+			p.pointerParams[param.Name] = true
+		}
+		k.Params = append(k.Params, param)
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	return k, nil
+}
+
+// parseParam parses "const float *x", "float* y", "int n", "long long k".
+func (p *parser) parseParam() (Param, error) {
+	start := p.cur().Pos
+	var prm Param
+	prm.Pos = start
+	if p.accept(tokIdent, "const") {
+		prm.Const = true
+	}
+	typTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return prm, err
+	}
+	typName := typTok.Lit
+	if typName == "long" && p.at(tokIdent, "long") {
+		p.next()
+		typName = "long long"
+	}
+	if typName == "unsigned" { // accept "unsigned int" as int
+		if p.at(tokIdent, "int") || p.at(tokIdent, "long") {
+			p.next()
+		}
+		typName = "int"
+	}
+	kind, ok := scalarKind(typName)
+	if !ok {
+		return prm, errf(typTok.Pos, "unknown type %q", typName)
+	}
+	prm.Kind = kind
+	for p.accept(tokPunct, "*") {
+		if prm.Pointer {
+			return prm, errf(start, "pointers to pointers are not supported")
+		}
+		prm.Pointer = true
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return prm, err
+	}
+	prm.Name = nameTok.Lit
+	if !prm.Pointer && prm.Const {
+		prm.Const = false // const scalars are just scalars
+	}
+	return prm, nil
+}
+
+// parseBlock parses "{ stmt* }".
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errf(p.cur().Pos, "unexpected end of source in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // consume }
+	return stmts, nil
+}
+
+// parseBody parses either a block or a single statement (if/for bodies).
+func (p *parser) parseBody() ([]Stmt, error) {
+	if p.at(tokPunct, "{") {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == tokIdent && t.Lit == "if":
+		return p.parseIf()
+	case t.Kind == tokIdent && t.Lit == "for":
+		return p.parseFor()
+	case t.Kind == tokIdent && t.Lit == "while":
+		return p.parseWhile()
+	case t.Kind == tokIdent && t.Lit == "break":
+		if p.loopDepth == 0 {
+			return nil, errf(t.Pos, "break outside a loop")
+		}
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case t.Kind == tokIdent && t.Lit == "continue":
+		if p.loopDepth == 0 {
+			return nil, errf(t.Pos, "continue outside a loop")
+		}
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case t.Kind == tokIdent && t.Lit == "return":
+		p.next()
+		st := &ReturnStmt{Pos: t.Pos}
+		if !p.at(tokPunct, ";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case t.Kind == tokIdent && isTypeName(t.Lit):
+		return p.parseDecl(true)
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func isTypeName(s string) bool {
+	switch s {
+	case "int", "long", "float", "double", "unsigned":
+		return true
+	}
+	return false
+}
+
+// parseDecl parses "int i = 0;" (semi controls whether ';' is consumed).
+func (p *parser) parseDecl(semi bool) (Stmt, error) {
+	start := p.cur().Pos
+	typTok := p.next()
+	typName := typTok.Lit
+	if typName == "long" && p.at(tokIdent, "long") {
+		p.next()
+		typName = "long long"
+	}
+	if typName == "unsigned" {
+		if p.at(tokIdent, "int") || p.at(tokIdent, "long") {
+			p.next()
+		}
+		typName = "int"
+	}
+	kind, ok := scalarKind(typName)
+	if !ok {
+		return nil, errf(typTok.Pos, "unknown type %q", typName)
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: nameTok.Lit, Kind: kind, Pos: start}
+	if p.accept(tokPunct, "=") {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if semi {
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment, inc/dec or expression statement
+// without consuming the trailing semicolon.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == tokPunct {
+		switch t.Lit {
+		case "=", "+=", "-=", "*=", "/=", "%=":
+			if !isLValue(lhs) {
+				return nil, errf(t.Pos, "left side of %s is not assignable", t.Lit)
+			}
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: lhs, Op: t.Lit, Value: rhs, Pos: start}, nil
+		case "++", "--":
+			if !isLValue(lhs) {
+				return nil, errf(t.Pos, "operand of %s is not assignable", t.Lit)
+			}
+			p.next()
+			return &IncStmt{Target: lhs, Decr: t.Lit == "--", Pos: start}, nil
+		}
+	}
+	if _, ok := lhs.(*CallExpr); !ok {
+		return nil, errf(start, "expression statement must be a call")
+	}
+	return &ExprStmt{X: lhs, Pos: start}, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *IdentExpr, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	start := p.next().Pos // "if"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: start}
+	if p.accept(tokIdent, "else") {
+		if p.at(tokIdent, "if") {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{nested}
+		} else {
+			st.Else, err = p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	start := p.next().Pos // "for"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: start}
+	if !p.at(tokPunct, ";") {
+		var err error
+		if isTypeName(p.cur().Lit) && p.cur().Kind == tokIdent {
+			st.Init, err = p.parseDecl(false)
+		} else {
+			st.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if p.at(tokPunct, ";") {
+		return nil, errf(p.cur().Pos, "for loop requires a condition")
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Cond = cond
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		st.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	p.loopDepth++
+	st.Body, err = p.parseBody()
+	p.loopDepth--
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	start := p.next().Pos // "while"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	p.loopDepth++
+	body, err := p.parseBody()
+	p.loopDepth--
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: start}, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, "?") {
+		return cond, nil
+	}
+	pos := p.next().Pos
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{C: cond, T: t, F: f, Pos: pos}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := precedence[t.Lit]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.Lit, L: left, R: right, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == tokPunct {
+		switch t.Lit {
+		case "-", "!", "~":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: t.Lit, X: x, Pos: t.Pos}, nil
+		case "&":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			idx, ok := x.(*IndexExpr)
+			if !ok {
+				return nil, errf(t.Pos, "& is only supported on array elements")
+			}
+			return &AddrExpr{X: idx, Pos: t.Pos}, nil
+		case "(":
+			// Either a cast "(float) x" or a parenthesized expression.
+			if p.pos+2 < len(p.toks) {
+				n1, n2 := p.toks[p.pos+1], p.toks[p.pos+2]
+				if n1.Kind == tokIdent && isTypeName(n1.Lit) && n2.Kind == tokPunct && n2.Lit == ")" {
+					p.next() // (
+					kind, _ := scalarKind(n1.Lit)
+					p.next() // type
+					p.next() // )
+					x, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return &CastExpr{Kind: kind, X: x, Pos: t.Pos}, nil
+				}
+			}
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return p.parsePostfix(x)
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokNumber:
+		p.next()
+		isInt := !strings.ContainsAny(t.Lit, ".eE")
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad number %q", t.Lit)
+		}
+		return &NumberExpr{Val: v, IsInt: isInt, Pos: t.Pos}, nil
+	case tokIdent:
+		p.next()
+		// Builtin vector members.
+		if isBuiltinVector(t.Lit) {
+			if _, err := p.expect(tokPunct, "."); err != nil {
+				return nil, err
+			}
+			f, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if f.Lit != "x" && f.Lit != "y" && f.Lit != "z" {
+				return nil, errf(f.Pos, "unknown member %s.%s", t.Lit, f.Lit)
+			}
+			return &MemberExpr{Base: t.Lit, Field: f.Lit, Pos: t.Pos}, nil
+		}
+		// Call.
+		if p.at(tokPunct, "(") {
+			p.next()
+			call := &CallExpr{Name: t.Lit, Pos: t.Pos}
+			for !p.at(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next()
+			return call, nil
+		}
+		return p.parsePostfix(&IdentExpr{Name: t.Lit, Pos: t.Pos})
+	}
+	return nil, errf(t.Pos, "unexpected token %q", t.Lit)
+}
+
+// parsePostfix applies array indexing to a primary expression.
+func (p *parser) parsePostfix(x Expr) (Expr, error) {
+	for p.at(tokPunct, "[") {
+		open := p.next()
+		id, ok := x.(*IdentExpr)
+		if !ok || !p.pointerParams[id.Name] {
+			return nil, errf(open.Pos, "only pointer parameters can be indexed")
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: id.Name, Idx: idx, Pos: open.Pos}
+	}
+	return x, nil
+}
+
+func isBuiltinVector(name string) bool {
+	switch name {
+	case "threadIdx", "blockIdx", "blockDim", "gridDim":
+		return true
+	}
+	return false
+}

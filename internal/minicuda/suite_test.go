@@ -1,0 +1,217 @@
+package minicuda
+
+// Cross-validation of the runtime compiler against the native kernel
+// library: the paper's suite kernels written in the CUDA dialect must
+// produce the same numbers AND the same static access classification as
+// their hand-written Go counterparts — the property that makes
+// runtime-compiled and pre-compiled kernels interchangeable in the
+// scheduler.
+
+import (
+	"math/rand"
+	"testing"
+
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+const suiteGemvSrc = `
+extern "C" __global__ void gemv(float *y, const float *A, const float *x, int rows, int cols) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float sum = 0.0;
+        for (int j = 0; j < cols; j++) {
+            sum += A[row * cols + j] * x[j];
+        }
+        y[row] = sum;
+    }
+}`
+
+const suiteBSSrc = `
+extern "C" __global__ void blackscholes(float *call, float *put, const float *spot, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float K = 100.0;
+        float r = 0.05;
+        float vol = 0.2;
+        float T = 1.0;
+        float s = spot[i];
+        if (s <= 0.0) {
+            call[i] = 0.0;
+            put[i] = K * expf(0.0 - r * T);
+            return;
+        }
+        float sigRt = vol * sqrtf(T);
+        float d1 = (logf(s / K) + (r + vol * vol / 2.0) * T) / sigRt;
+        float d2 = d1 - sigRt;
+        float df = K * expf(0.0 - r * T);
+        call[i] = s * 0.5 * erfcf((0.0 - d1) / sqrtf(2.0)) - df * 0.5 * erfcf((0.0 - d2) / sqrtf(2.0));
+        put[i] = df * 0.5 * erfcf(d2 / sqrtf(2.0)) - s * 0.5 * erfcf(d1 / sqrtf(2.0));
+    }
+}`
+
+const suiteAxpySSrc = `
+extern "C" __global__ void axpy_s(float *y, const float *x, const float *coef, float sign, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = y[i] + sign * coef[0] * x[i];
+    }
+}`
+
+const suiteSpmvSrc = `
+extern "C" __global__ void spmv_csr(float *y, const int *rowptr, const int *colidx,
+                                    const float *vals, const float *x, int rows) {
+    int r = blockIdx.x * blockDim.x + threadIdx.x;
+    if (r < rows) {
+        float sum = 0.0;
+        for (int k = rowptr[r]; k < rowptr[r + 1]; k++) {
+            sum += vals[k] * x[colidx[k]];
+        }
+        y[r] = sum;
+    }
+}`
+
+func randBuf(rng *rand.Rand, kind memmodel.ElemKind, n int) *kernels.Buffer {
+	b := kernels.NewBuffer(kind, n)
+	for i := 0; i < n; i++ {
+		b.Set(i, rng.Float64()*10-5)
+	}
+	return b
+}
+
+func TestSuiteGemvMatchesNative(t *testing.T) {
+	compiled := compile(t, suiteGemvSrc, "")
+	native, _ := kernels.StdRegistry().Lookup("gemv")
+	rng := rand.New(rand.NewSource(7))
+	const rows, cols = 33, 17
+	A := randBuf(rng, memmodel.Float32, rows*cols)
+	x := randBuf(rng, memmodel.Float32, cols)
+	yc := kernels.NewBuffer(memmodel.Float32, rows)
+	yn := kernels.NewBuffer(memmodel.Float32, rows)
+	if err := compiled.ExecuteLaunch(2, 32, []kernels.Arg{
+		kernels.BufArg(yc), kernels.BufArg(A), kernels.BufArg(x),
+		kernels.ScalarArg(rows), kernels.ScalarArg(cols)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := native.Execute([]kernels.Arg{
+		kernels.BufArg(yn), kernels.BufArg(A), kernels.BufArg(x),
+		kernels.ScalarArg(rows), kernels.ScalarArg(cols)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := yc.MaxAbsDiff(yn); d > 1e-4 {
+		t.Fatalf("compiled gemv differs from native by %v", d)
+	}
+	// Access classifications must also agree: A sequential read, x
+	// broadcast read, y sequential write.
+	cAccs := compiled.Access(nil)
+	nAccs := native.Access([]kernels.ArgMeta{
+		{IsBuffer: true, Len: rows * cols}, {IsBuffer: true, Len: rows * cols},
+		{IsBuffer: true, Len: cols}, {Scalar: rows}, {Scalar: cols}})
+	for i := 0; i < 3; i++ {
+		if cAccs[i].Pattern != nAccs[i].Pattern || cAccs[i].Mode != nAccs[i].Mode {
+			t.Fatalf("gemv access %d: compiled %v/%v vs native %v/%v",
+				i, cAccs[i].Mode, cAccs[i].Pattern, nAccs[i].Mode, nAccs[i].Pattern)
+		}
+	}
+}
+
+func TestSuiteBlackScholesMatchesNative(t *testing.T) {
+	compiled := compile(t, suiteBSSrc, "")
+	native, _ := kernels.StdRegistry().Lookup("blackscholes")
+	const n = 257
+	spot := kernels.NewBuffer(memmodel.Float32, n)
+	for i := 0; i < n; i++ {
+		spot.Set(i, float64(i)) // includes the degenerate s=0 case
+	}
+	cc := kernels.NewBuffer(memmodel.Float32, n)
+	pc := kernels.NewBuffer(memmodel.Float32, n)
+	cn := kernels.NewBuffer(memmodel.Float32, n)
+	pn := kernels.NewBuffer(memmodel.Float32, n)
+	if err := compiled.ExecuteLaunch(3, 128, []kernels.Arg{
+		kernels.BufArg(cc), kernels.BufArg(pc), kernels.BufArg(spot), kernels.ScalarArg(n)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := native.Execute([]kernels.Arg{
+		kernels.BufArg(cn), kernels.BufArg(pn), kernels.BufArg(spot), kernels.ScalarArg(n)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := cc.MaxAbsDiff(cn); d > 1e-3 {
+		t.Fatalf("compiled BS call prices differ by %v", d)
+	}
+	if d := pc.MaxAbsDiff(pn); d > 1e-3 {
+		t.Fatalf("compiled BS put prices differ by %v", d)
+	}
+}
+
+func TestSuiteAxpySMatchesNative(t *testing.T) {
+	compiled := compile(t, suiteAxpySSrc, "")
+	native, _ := kernels.StdRegistry().Lookup("axpy_s")
+	rng := rand.New(rand.NewSource(11))
+	const n = 100
+	x := randBuf(rng, memmodel.Float32, n)
+	coef := kernels.NewBuffer(memmodel.Float32, 1)
+	coef.Set(0, 1.75)
+	yc := randBuf(rng, memmodel.Float32, n)
+	yn := yc.Clone()
+	argsC := []kernels.Arg{kernels.BufArg(yc), kernels.BufArg(x), kernels.BufArg(coef),
+		kernels.ScalarArg(-1), kernels.ScalarArg(n)}
+	argsN := []kernels.Arg{kernels.BufArg(yn), kernels.BufArg(x), kernels.BufArg(coef),
+		kernels.ScalarArg(-1), kernels.ScalarArg(n)}
+	if err := compiled.ExecuteLaunch(1, 128, argsC); err != nil {
+		t.Fatal(err)
+	}
+	if err := native.Execute(argsN); err != nil {
+		t.Fatal(err)
+	}
+	if d := yc.MaxAbsDiff(yn); d > 1e-4 {
+		t.Fatalf("compiled axpy_s differs from native by %v", d)
+	}
+}
+
+func TestSuiteSpmvMatchesNative(t *testing.T) {
+	compiled := compile(t, suiteSpmvSrc, "")
+	native, _ := kernels.StdRegistry().Lookup("spmv_csr")
+	rng := rand.New(rand.NewSource(13))
+	// Random sparse 20x20 matrix, ~4 entries per row.
+	const rows = 20
+	rowptr := kernels.NewBuffer(memmodel.Int32, rows+1)
+	var colidx, vals []float64
+	nnz := 0
+	for r := 0; r < rows; r++ {
+		rowptr.Set(r, float64(nnz))
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			colidx = append(colidx, float64(rng.Intn(rows)))
+			vals = append(vals, rng.Float64()*4-2)
+			nnz++
+		}
+	}
+	rowptr.Set(rows, float64(nnz))
+	ci := kernels.NewBuffer(memmodel.Int32, nnz)
+	va := kernels.NewBuffer(memmodel.Float32, nnz)
+	for i := 0; i < nnz; i++ {
+		ci.Set(i, colidx[i])
+		va.Set(i, vals[i])
+	}
+	x := randBuf(rng, memmodel.Float32, rows)
+	yc := kernels.NewBuffer(memmodel.Float32, rows)
+	yn := kernels.NewBuffer(memmodel.Float32, rows)
+	argsC := []kernels.Arg{kernels.BufArg(yc), kernels.BufArg(rowptr), kernels.BufArg(ci),
+		kernels.BufArg(va), kernels.BufArg(x), kernels.ScalarArg(rows)}
+	argsN := []kernels.Arg{kernels.BufArg(yn), kernels.BufArg(rowptr), kernels.BufArg(ci),
+		kernels.BufArg(va), kernels.BufArg(x), kernels.ScalarArg(rows)}
+	if err := compiled.ExecuteLaunch(1, 32, argsC); err != nil {
+		t.Fatal(err)
+	}
+	if err := native.Execute(argsN); err != nil {
+		t.Fatal(err)
+	}
+	if d := yc.MaxAbsDiff(yn); d > 1e-4 {
+		t.Fatalf("compiled spmv differs from native by %v", d)
+	}
+	// The data-dependent gather on x must classify as Random, exactly as
+	// the native kernel declares it.
+	accs := compiled.Access(nil)
+	if accs[4].Pattern != memmodel.Random {
+		t.Fatalf("compiled spmv x pattern = %v, want random", accs[4].Pattern)
+	}
+}

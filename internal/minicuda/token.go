@@ -1,0 +1,67 @@
+// Package minicuda is the reproduction's stand-in for NVRTC: it compiles
+// kernels written in a restricted CUDA-C dialect from source strings, as
+// GrOUT's buildkernel API does (paper Listing 1). A compiled kernel is a
+// kernels.Def: it carries
+//
+//   - a numeric implementation — the kernel body interpreted per thread
+//     over the launch grid, so examples compute real results;
+//   - a static access-pattern analysis — per pointer parameter, the access
+//     mode (read/write) and page-visit pattern (sequential, strided,
+//     random, broadcast) the UVM cost model needs;
+//   - an operation-count estimate for the compute-time model.
+//
+// The dialect supports the kernel style of the GrCUDA benchmark suite:
+// __global__ void functions; float/double/int/long scalars and pointers
+// (with const); threadIdx/blockIdx/blockDim/gridDim builtins (.x/.y/.z);
+// if/else, for, while, return; arithmetic, comparison and logical
+// operators; calls to a set of math builtins plus atomicAdd. Shared
+// memory, synchronization and dynamic parallelism are out of scope.
+package minicuda
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and punctuation, Lit holds the spelling
+)
+
+var tokKindNames = [...]string{"EOF", "identifier", "number", "string", "punctuation"}
+
+func (k tokKind) String() string {
+	if int(k) < len(tokKindNames) {
+		return tokKindNames[k]
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+// token is one lexical element.
+type token struct {
+	Kind tokKind
+	Lit  string
+	Pos  Pos
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a compilation error with its source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minicuda: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,298 @@
+// Package policy implements GrOUT's inter-node scheduling policies
+// (paper §IV-D): the offline round-robin and vector-step policies and the
+// online, locality-aware min-transfer-size and min-transfer-time policies,
+// the latter two gated by an exploration/exploitation threshold
+// (paper §V-E: Low/Medium/High).
+//
+// A Policy sees a Request — the CE being scheduled plus, per candidate
+// worker, how much of the CE's data is already up to date there and what
+// moving the rest would cost — and returns the chosen worker. Policies are
+// deliberately cheap: the paper's Figure 9 measures their per-CE overhead
+// up to 256 nodes.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grout/internal/cluster"
+	"grout/internal/dag"
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// NodeInfo is the per-candidate view the Controller hands a policy.
+type NodeInfo struct {
+	ID cluster.NodeID
+	// UpToDate is how many bytes of the CE's parameters are already
+	// consistent on this node.
+	UpToDate memmodel.Bytes
+	// Transfer is how many bytes would have to move to this node.
+	Transfer memmodel.Bytes
+	// TransferTime is the estimated time to move the missing bytes,
+	// from the interconnection matrix (min-transfer-time only).
+	TransferTime sim.VirtualTime
+}
+
+// Request is one scheduling decision.
+type Request struct {
+	CE *dag.CE
+	// Total is the combined size of the CE's parameters.
+	Total memmodel.Bytes
+	// Nodes are the candidate workers, ordered by node ID.
+	Nodes []NodeInfo
+}
+
+// Policy assigns CEs to workers. Implementations keep internal state
+// (round-robin position) and are not safe for concurrent use; the
+// Controller serializes scheduling, as in the paper.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Assign picks a worker for the request. It must only be called with
+	// at least one candidate node.
+	Assign(req Request) cluster.NodeID
+	// NeedsDataView reports whether Assign consults per-node data
+	// locality (UpToDate/Transfer/TransferTime). Static policies return
+	// false, letting the Controller skip building the O(nodes) view —
+	// which is why they stay flat in the paper's Figure 9.
+	NeedsDataView() bool
+}
+
+// ExplorationLevel is the exploitation threshold of the online policies: a
+// node is only viable for exploitation if it already holds at least this
+// fraction of the CE's data that is resident on any worker (i.e. relative
+// to the best-provisioned worker). When no worker holds any of the CE's
+// data the policy explores round-robin. Keying viability on
+// worker-resident data rather than total data is what reproduces the
+// paper's Figure 8 pathology: a small shared operand (MV's dense vector)
+// makes one node viable for every CE and the online policies pile the
+// whole working set onto it.
+type ExplorationLevel float64
+
+// The paper's three heuristic levels.
+const (
+	Low    ExplorationLevel = 0.10
+	Medium ExplorationLevel = 0.40
+	High   ExplorationLevel = 0.70
+)
+
+// LevelFromName parses "low", "medium" or "high".
+func LevelFromName(s string) (ExplorationLevel, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return Low, nil
+	case "medium", "med":
+		return Medium, nil
+	case "high":
+		return High, nil
+	}
+	return 0, fmt.Errorf("policy: unknown exploration level %q", s)
+}
+
+func (l ExplorationLevel) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	}
+	return fmt.Sprintf("%.2f", float64(l))
+}
+
+// RoundRobin schedules each CE on the next node in a circular pattern
+// (paper Fig. 4a).
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a fresh round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// NeedsDataView implements Policy.
+func (p *RoundRobin) NeedsDataView() bool { return false }
+
+// Assign implements Policy.
+func (p *RoundRobin) Assign(req Request) cluster.NodeID {
+	id := req.Nodes[p.next%len(req.Nodes)].ID
+	p.next++
+	return id
+}
+
+// VectorStep assigns a pre-defined number of consecutive CEs to each node
+// before switching to the next (paper Fig. 4b): with vector [1,2,3] and
+// two nodes, CE1 goes to node 1, CEs 2-3 to node 2, CEs 4-6 to node 1.
+type VectorStep struct {
+	vector []int
+	// vi is the current vector entry, used counts CEs assigned under it,
+	// node is the current node position.
+	vi, used, node int
+}
+
+// NewVectorStep builds the policy; entries must be positive.
+func NewVectorStep(vector []int) (*VectorStep, error) {
+	if len(vector) == 0 {
+		return nil, fmt.Errorf("policy: vector-step needs a non-empty vector")
+	}
+	for _, v := range vector {
+		if v <= 0 {
+			return nil, fmt.Errorf("policy: vector-step entries must be positive, got %d", v)
+		}
+	}
+	return &VectorStep{vector: append([]int(nil), vector...)}, nil
+}
+
+// Name implements Policy.
+func (p *VectorStep) Name() string { return "vector-step" }
+
+// NeedsDataView implements Policy.
+func (p *VectorStep) NeedsDataView() bool { return false }
+
+// Assign implements Policy.
+func (p *VectorStep) Assign(req Request) cluster.NodeID {
+	id := req.Nodes[p.node%len(req.Nodes)].ID
+	p.used++
+	if p.used >= p.vector[p.vi%len(p.vector)] {
+		p.used = 0
+		p.vi++
+		p.node++
+	}
+	return id
+}
+
+// MinTransferSize assigns the CE to the viable node holding the most
+// up-to-date data, minimizing bytes moved (paper Fig. 4c). Nodes below the
+// exploration threshold are not viable; with no viable node the policy
+// falls back to round-robin (exploration).
+type MinTransferSize struct {
+	level    ExplorationLevel
+	fallback RoundRobin
+}
+
+// NewMinTransferSize builds the policy at an exploration level.
+func NewMinTransferSize(level ExplorationLevel) *MinTransferSize {
+	return &MinTransferSize{level: level}
+}
+
+// Name implements Policy.
+func (p *MinTransferSize) Name() string { return "min-transfer-size" }
+
+// NeedsDataView implements Policy.
+func (p *MinTransferSize) NeedsDataView() bool { return true }
+
+// Assign implements Policy.
+func (p *MinTransferSize) Assign(req Request) cluster.NodeID {
+	maxUp := maxUpToDate(req)
+	best := -1
+	for i, n := range req.Nodes {
+		if !viable(n, maxUp, p.level) {
+			continue
+		}
+		if best == -1 || n.Transfer < req.Nodes[best].Transfer ||
+			(n.Transfer == req.Nodes[best].Transfer && n.ID < req.Nodes[best].ID) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return p.fallback.Assign(req)
+	}
+	return req.Nodes[best].ID
+}
+
+// MinTransferTime assigns the CE to the viable node with the lowest
+// estimated transfer time for the missing data, using the interconnection
+// bandwidth matrix built at startup (paper Fig. 4d). Falls back to
+// round-robin when no node passes the exploration threshold.
+type MinTransferTime struct {
+	level    ExplorationLevel
+	fallback RoundRobin
+}
+
+// NewMinTransferTime builds the policy at an exploration level.
+func NewMinTransferTime(level ExplorationLevel) *MinTransferTime {
+	return &MinTransferTime{level: level}
+}
+
+// Name implements Policy.
+func (p *MinTransferTime) Name() string { return "min-transfer-time" }
+
+// NeedsDataView implements Policy.
+func (p *MinTransferTime) NeedsDataView() bool { return true }
+
+// Assign implements Policy.
+func (p *MinTransferTime) Assign(req Request) cluster.NodeID {
+	maxUp := maxUpToDate(req)
+	best := -1
+	for i, n := range req.Nodes {
+		if !viable(n, maxUp, p.level) {
+			continue
+		}
+		if best == -1 || n.TransferTime < req.Nodes[best].TransferTime ||
+			(n.TransferTime == req.Nodes[best].TransferTime && n.ID < req.Nodes[best].ID) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return p.fallback.Assign(req)
+	}
+	return req.Nodes[best].ID
+}
+
+// maxUpToDate reports the largest worker-resident share of the CE's data.
+func maxUpToDate(req Request) memmodel.Bytes {
+	var max memmodel.Bytes
+	for _, n := range req.Nodes {
+		if n.UpToDate > max {
+			max = n.UpToDate
+		}
+	}
+	return max
+}
+
+// viable applies the exploration threshold: the node must hold at least
+// level × the best worker's share of the CE's data. With no worker data at
+// all (maxUp == 0) nothing is viable and the caller explores round-robin.
+func viable(n NodeInfo, maxUp memmodel.Bytes, level ExplorationLevel) bool {
+	if maxUp <= 0 {
+		return false
+	}
+	return float64(n.UpToDate) >= float64(level)*float64(maxUp)
+}
+
+// New constructs a policy by name: "round-robin", "vector-step" (with the
+// given vector), "min-transfer-size" or "min-transfer-time" (with the
+// given exploration level).
+func New(name string, vector []int, level ExplorationLevel) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return NewRoundRobin(), nil
+	case "vector-step", "vs":
+		if len(vector) == 0 {
+			vector = []int{1}
+		}
+		return NewVectorStep(vector)
+	case "min-transfer-size", "mts":
+		return NewMinTransferSize(level), nil
+	case "min-transfer-time", "mtt":
+		return NewMinTransferTime(level), nil
+	case "uvm-aware", "uvm":
+		// Default cap: 2x one paper node's device memory — the dense
+		// sweep collapse threshold.
+		return NewUVMAware(level, 64*memmodel.GiB), nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the available policy names.
+func Names() []string {
+	names := []string{"round-robin", "vector-step", "min-transfer-size",
+		"min-transfer-time", "uvm-aware"}
+	sort.Strings(names)
+	return names
+}

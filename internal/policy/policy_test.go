@@ -1,0 +1,337 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grout/internal/cluster"
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+func nodes(n int) []NodeInfo {
+	out := make([]NodeInfo, n)
+	for i := range out {
+		out[i] = NodeInfo{ID: cluster.NodeID(i + 1)}
+	}
+	return out
+}
+
+func req(ns []NodeInfo, total memmodel.Bytes) Request {
+	return Request{Total: total, Nodes: ns}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	ns := nodes(3)
+	var got []cluster.NodeID
+	for i := 0; i < 7; i++ {
+		got = append(got, p.Assign(req(ns, 0)))
+	}
+	want := []cluster.NodeID{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVectorStepPaperExample(t *testing.T) {
+	// Paper: vector [1,2,3] with two nodes -> first CE to node 1, two CEs
+	// to node 2, three CEs to node 1.
+	p, err := NewVectorStep([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := nodes(2)
+	var got []cluster.NodeID
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Assign(req(ns, 0)))
+	}
+	want := []cluster.NodeID{1, 2, 2, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vector-step sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVectorStepValidation(t *testing.T) {
+	if _, err := NewVectorStep(nil); err == nil {
+		t.Fatalf("empty vector accepted")
+	}
+	if _, err := NewVectorStep([]int{1, 0}); err == nil {
+		t.Fatalf("zero entry accepted")
+	}
+	if _, err := NewVectorStep([]int{-1}); err == nil {
+		t.Fatalf("negative entry accepted")
+	}
+}
+
+func TestMinTransferSizePicksLocalData(t *testing.T) {
+	p := NewMinTransferSize(Low)
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: 10 * memmodel.GiB, Transfer: 2 * memmodel.GiB},
+		{ID: 2, UpToDate: 4 * memmodel.GiB, Transfer: 8 * memmodel.GiB},
+	}
+	if got := p.Assign(req(ns, 12*memmodel.GiB)); got != 1 {
+		t.Fatalf("min-transfer-size picked %v, want 1", got)
+	}
+}
+
+func TestMinTransferSizeExplorationFallback(t *testing.T) {
+	// When no worker holds any of the CE's data, nothing is viable: the
+	// policy explores round-robin instead.
+	p := NewMinTransferSize(High)
+	ns := []NodeInfo{
+		{ID: 1, Transfer: 12 * memmodel.GiB},
+		{ID: 2, Transfer: 12 * memmodel.GiB},
+	}
+	r := req(ns, 12*memmodel.GiB)
+	if got := p.Assign(r); got != 1 {
+		t.Fatalf("exploration first pick = %v, want 1 (round-robin)", got)
+	}
+	if got := p.Assign(r); got != 2 {
+		t.Fatalf("exploration second pick = %v, want 2 (round-robin)", got)
+	}
+}
+
+func TestViabilityRelativeToBestWorker(t *testing.T) {
+	// Under High, a node well below the best-provisioned worker's share
+	// is not viable; the best worker is always viable.
+	p := NewMinTransferSize(High)
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: memmodel.GiB, Transfer: 11 * memmodel.GiB},
+		{ID: 2, UpToDate: 10 * memmodel.GiB, Transfer: 2 * memmodel.GiB},
+	}
+	if got := p.Assign(req(ns, 12*memmodel.GiB)); got != 2 {
+		t.Fatalf("best-provisioned worker not chosen: %v", got)
+	}
+}
+
+// The paper's Figure 8 MV pathology: a tiny shared operand resident on one
+// node makes that node viable for every CE, so the online policies pile
+// the whole working set onto it instead of spreading.
+func TestSharedOperandCausesPileOn(t *testing.T) {
+	p := NewMinTransferSize(Low)
+	// Node 1 holds only the small shared vector (64 KiB of a 12 GiB CE).
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: 64 * memmodel.KiB, Transfer: 12 * memmodel.GiB},
+		{ID: 2, UpToDate: 0, Transfer: 12*memmodel.GiB + 64*memmodel.KiB},
+	}
+	for i := 0; i < 5; i++ {
+		if got := p.Assign(req(ns, 12*memmodel.GiB)); got != 1 {
+			t.Fatalf("pile-on pick %d = %v, want 1", i, got)
+		}
+	}
+}
+
+func TestMinTransferSizeThresholdBoundary(t *testing.T) {
+	// Exactly at the threshold is viable.
+	p := NewMinTransferSize(Medium) // 0.40
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: 4 * memmodel.GiB, Transfer: 6 * memmodel.GiB},
+		{ID: 2, UpToDate: 0, Transfer: 10 * memmodel.GiB},
+	}
+	if got := p.Assign(req(ns, 10*memmodel.GiB)); got != 1 {
+		t.Fatalf("at-threshold node not chosen: %v", got)
+	}
+}
+
+func TestMinTransferTimePicksFastestLink(t *testing.T) {
+	p := NewMinTransferTime(Low)
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: 6 * memmodel.GiB, Transfer: 6 * memmodel.GiB, TransferTime: sim.VirtualTime(5e9)},
+		{ID: 2, UpToDate: 6 * memmodel.GiB, Transfer: 6 * memmodel.GiB, TransferTime: sim.VirtualTime(2e9)},
+	}
+	if got := p.Assign(req(ns, 12*memmodel.GiB)); got != 2 {
+		t.Fatalf("min-transfer-time picked %v, want 2", got)
+	}
+}
+
+func TestMinTransferTimeFallback(t *testing.T) {
+	p := NewMinTransferTime(High)
+	ns := []NodeInfo{
+		{ID: 1, TransferTime: sim.VirtualTime(1e9)},
+		{ID: 2, TransferTime: sim.VirtualTime(2e9)},
+	}
+	r := req(ns, 10*memmodel.GiB)
+	if got := p.Assign(r); got != 1 {
+		t.Fatalf("fallback pick = %v", got)
+	}
+	if got := p.Assign(r); got != 2 {
+		t.Fatalf("fallback must round-robin, got %v twice", got)
+	}
+}
+
+func TestZeroTotalAlwaysViable(t *testing.T) {
+	p := NewMinTransferSize(High)
+	ns := nodes(2)
+	if got := p.Assign(req(ns, 0)); got != 1 {
+		t.Fatalf("zero-data CE pick = %v, want 1 (first, all viable, zero transfer)", got)
+	}
+}
+
+func TestTieBreakByNodeID(t *testing.T) {
+	ps := NewMinTransferSize(Low)
+	ns := []NodeInfo{
+		{ID: 2, UpToDate: 5 * memmodel.GiB, Transfer: memmodel.GiB},
+		{ID: 1, UpToDate: 5 * memmodel.GiB, Transfer: memmodel.GiB},
+	}
+	if got := ps.Assign(req(ns, 6*memmodel.GiB)); got != 1 {
+		t.Fatalf("tie break = %v, want lowest ID", got)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"round-robin":       "round-robin",
+		"rr":                "round-robin",
+		"vector-step":       "vector-step",
+		"vs":                "vector-step",
+		"min-transfer-size": "min-transfer-size",
+		"mts":               "min-transfer-size",
+		"min-transfer-time": "min-transfer-time",
+		"mtt":               "min-transfer-time",
+	} {
+		p, err := New(name, []int{2}, Medium)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("New(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := New("bogus", nil, Low); err == nil {
+		t.Fatalf("bogus policy accepted")
+	}
+	// vector-step default vector.
+	if _, err := New("vector-step", nil, Low); err != nil {
+		t.Fatalf("vector-step with default vector: %v", err)
+	}
+}
+
+func TestLevelFromName(t *testing.T) {
+	for name, want := range map[string]ExplorationLevel{
+		"low": Low, "medium": Medium, "med": Medium, "high": High, "HIGH": High,
+	} {
+		got, err := LevelFromName(name)
+		if err != nil || got != want {
+			t.Fatalf("LevelFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := LevelFromName("extreme"); err == nil {
+		t.Fatalf("bad level accepted")
+	}
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Fatalf("level strings wrong")
+	}
+	if ExplorationLevel(0.33).String() != "0.33" {
+		t.Fatalf("custom level string = %q", ExplorationLevel(0.33).String())
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// Property: every policy always returns one of the candidate node IDs, for
+// any request shape.
+func TestPoliciesAlwaysReturnCandidate(t *testing.T) {
+	f := func(nNodes uint8, upToDate []uint32, totalRaw uint32) bool {
+		n := int(nNodes%16) + 1
+		ns := make([]NodeInfo, n)
+		for i := range ns {
+			ns[i].ID = cluster.NodeID(i + 1)
+			if i < len(upToDate) {
+				ns[i].UpToDate = memmodel.Bytes(upToDate[i])
+				ns[i].TransferTime = sim.VirtualTime(upToDate[i])
+			}
+		}
+		total := memmodel.Bytes(totalRaw)
+		vs, _ := NewVectorStep([]int{1, 3})
+		policies := []Policy{
+			NewRoundRobin(), vs,
+			NewMinTransferSize(Medium), NewMinTransferTime(Medium),
+		}
+		for _, p := range policies {
+			got := p.Assign(req(ns, total))
+			ok := false
+			for _, c := range ns {
+				if c.ID == got {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Logf("%s returned non-candidate %v", p.Name(), got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUVMAwareRespectsCap(t *testing.T) {
+	// 10 GiB cap; CEs carry 4 GiB each with false affinity to node 1 (a
+	// tiny shared operand) — the classic MV pile-on setup. The policy
+	// must stop exploiting node 1 after ~2 CEs.
+	p := NewUVMAware(Low, 10*memmodel.GiB)
+	mk := func() []NodeInfo {
+		return []NodeInfo{
+			{ID: 1, UpToDate: 64 * memmodel.KiB, Transfer: 4 * memmodel.GiB},
+			{ID: 2, UpToDate: 0, Transfer: 4 * memmodel.GiB},
+		}
+	}
+	var got []cluster.NodeID
+	for i := 0; i < 4; i++ {
+		got = append(got, p.Assign(req(mk(), 4*memmodel.GiB)))
+	}
+	// First two exploit node 1 (viable and local); the cap then diverts
+	// the rest to node 2.
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("first assignments = %v, want node 1 exploitation", got)
+	}
+	if got[2] != 2 || got[3] != 2 {
+		t.Fatalf("cap not enforced: assignments = %v", got)
+	}
+	if p.AssignedBytes(1) > 10*memmodel.GiB {
+		t.Fatalf("node 1 over cap: %v", p.AssignedBytes(1))
+	}
+	// With every node saturated, overflow spreads by least load instead
+	// of piling back onto the locality target.
+	fifth := p.Assign(req(mk(), 4*memmodel.GiB))
+	sixth := p.Assign(req(mk(), 4*memmodel.GiB))
+	if fifth == sixth {
+		t.Fatalf("saturated overflow piled onto one node: %v, %v", fifth, sixth)
+	}
+}
+
+func TestUVMAwareFallsBackRoundRobinWhenCold(t *testing.T) {
+	p := NewUVMAware(Medium, 32*memmodel.GiB)
+	ns := nodes(3)
+	if got := p.Assign(req(ns, 0)); got != 1 {
+		t.Fatalf("cold first pick = %v", got)
+	}
+	if got := p.Assign(req(ns, 0)); got != 2 {
+		t.Fatalf("cold second pick = %v, want round-robin", got)
+	}
+}
+
+func TestUVMAwareRegistered(t *testing.T) {
+	p, err := New("uvm-aware", nil, Low)
+	if err != nil || p.Name() != "uvm-aware" {
+		t.Fatalf("New(uvm-aware) = %v, %v", p, err)
+	}
+	if !p.NeedsDataView() {
+		t.Fatalf("uvm-aware must need the data view")
+	}
+	if len(Names()) != 5 {
+		t.Fatalf("names = %v", Names())
+	}
+}

@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"grout/internal/cluster"
+	"grout/internal/memmodel"
+)
+
+// UVMAware is an extension beyond the paper's four policies, built exactly
+// where §V-E points: "MV highlights the need for UVM-aware policies. [...]
+// the exponential growth of the execution time given by the
+// oversubscription mechanism of UVM reaches levels where a pure
+// exploration policy reduces its impact by at least 100×."
+//
+// The policy keeps the locality-seeking behaviour of min-transfer-size but
+// tracks how many bytes it has steered to each node and refuses to push a
+// node's projected footprint past a pressure cap (a fraction of its device
+// memory). Below the cap it exploits locality; at the cap it overflows to
+// the least-loaded node — so the MV pile-on that storms one node under
+// min-transfer-size (Figure 8) is structurally impossible.
+type UVMAware struct {
+	level ExplorationLevel
+	// capBytes is the per-node assignment budget before the policy
+	// stops exploiting locality there.
+	capBytes memmodel.Bytes
+	// assigned tracks bytes steered to each node (new data the node did
+	// not already hold).
+	assigned map[cluster.NodeID]memmodel.Bytes
+	fallback RoundRobin
+}
+
+// NewUVMAware builds the policy. capBytes is the per-node footprint budget
+// — typically the node's total device memory times the workload's
+// tolerable oversubscription factor (e.g. 2 × 32 GiB for dense sweeps).
+func NewUVMAware(level ExplorationLevel, capBytes memmodel.Bytes) *UVMAware {
+	return &UVMAware{
+		level:    level,
+		capBytes: capBytes,
+		assigned: make(map[cluster.NodeID]memmodel.Bytes),
+	}
+}
+
+// Name implements Policy.
+func (p *UVMAware) Name() string { return "uvm-aware" }
+
+// NeedsDataView implements Policy.
+func (p *UVMAware) NeedsDataView() bool { return true }
+
+// Assign implements Policy.
+func (p *UVMAware) Assign(req Request) cluster.NodeID {
+	maxUp := maxUpToDate(req)
+	best := -1
+	for i, n := range req.Nodes {
+		if !viable(n, maxUp, p.level) {
+			continue
+		}
+		// The UVM guard: skip nodes whose projected footprint would
+		// exceed the cap (unless the CE adds nothing new there).
+		if p.capBytes > 0 && n.Transfer > 0 && p.assigned[n.ID]+n.Transfer > p.capBytes {
+			continue
+		}
+		if best == -1 || n.Transfer < req.Nodes[best].Transfer ||
+			(n.Transfer == req.Nodes[best].Transfer && n.ID < req.Nodes[best].ID) {
+			best = i
+		}
+	}
+	var chosen cluster.NodeID
+	if best >= 0 {
+		chosen = req.Nodes[best].ID
+	} else {
+		// Nothing viable under the cap: place on the least-loaded node
+		// (pressure-spreading exploration).
+		chosen = p.leastLoaded(req)
+	}
+	for _, n := range req.Nodes {
+		if n.ID == chosen {
+			p.assigned[chosen] += n.Transfer
+			break
+		}
+	}
+	return chosen
+}
+
+// leastLoaded picks the node with the smallest assigned footprint,
+// preferring nodes whose projected footprint stays under the cap and
+// breaking full ties round-robin to keep cold starts spread.
+func (p *UVMAware) leastLoaded(req Request) cluster.NodeID {
+	pick := func(candidates []NodeInfo) (cluster.NodeID, bool) {
+		best := -1
+		allEqual := true
+		for i, n := range candidates {
+			if p.assigned[n.ID] != p.assigned[candidates[0].ID] {
+				allEqual = false
+			}
+			if best == -1 || p.assigned[n.ID] < p.assigned[candidates[best].ID] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return 0, false
+		}
+		if allEqual {
+			return 0, false // let the caller round-robin
+		}
+		return candidates[best].ID, true
+	}
+	// First choice: nodes that stay under the cap.
+	var underCap []NodeInfo
+	for _, n := range req.Nodes {
+		if p.capBytes <= 0 || p.assigned[n.ID]+n.Transfer <= p.capBytes {
+			underCap = append(underCap, n)
+		}
+	}
+	if len(underCap) > 0 {
+		if id, ok := pick(underCap); ok {
+			return id
+		}
+		// Equal loads among under-cap nodes: rotate over them.
+		return p.fallback.Assign(Request{Nodes: underCap})
+	}
+	// Every node is saturated: least-loaded overall, ties round-robin.
+	if id, ok := pick(req.Nodes); ok {
+		return id
+	}
+	return p.fallback.Assign(req)
+}
+
+// AssignedBytes reports the bytes steered to a node so far (tests).
+func (p *UVMAware) AssignedBytes(n cluster.NodeID) memmodel.Bytes { return p.assigned[n] }

@@ -1,0 +1,23 @@
+package polyglot
+
+import "testing"
+
+// FuzzArrayDescriptor: arbitrary Eval descriptors must never panic and
+// accepted ones must describe positive-length arrays.
+func FuzzArrayDescriptor(f *testing.F) {
+	f.Add("float[100]")
+	f.Add("double[1]")
+	f.Add("int[999999]")
+	f.Add("float[")
+	f.Add("[4]")
+	f.Add("float[2][3]")
+	f.Fuzz(func(t *testing.T, code string) {
+		kind, n, err := parseArrayDescriptor(code)
+		if err != nil {
+			return
+		}
+		if n <= 0 {
+			t.Fatalf("accepted non-positive length %d for %q (kind %v)", n, code, kind)
+		}
+	})
+}

@@ -1,0 +1,413 @@
+package polyglot
+
+import (
+	"math"
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+)
+
+const squareSrc = `
+extern "C" __global__ void square(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        x[i] = x[i] * x[i];
+    }
+}`
+
+func singleCtx(t testing.TB) *Context {
+	t.Helper()
+	rt := grcuda.NewRuntime(gpusim.NewNode(gpusim.OCIWorkerSpec("w")),
+		kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true})
+	return NewSingleNodeContext(rt)
+}
+
+func groutCtx(t testing.TB) *Context {
+	t.Helper()
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), true)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true})
+	return NewGroutContext(ctl)
+}
+
+// runListing1 runs the paper's Listing 1 program on any context: build the
+// square kernel, allocate x[100], initialize x[i] = i, launch, read back.
+func runListing1(t *testing.T, ctx *Context, lang Language) {
+	t.Helper()
+	buildVal, err := ctx.Eval(lang, "buildkernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	square, err := buildVal.Build.Build(squareSrc, "pointer float, sint32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xVal, err := ctx.Eval(lang, "float[100]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := xVal.Array
+	for i := int64(0); i < 100; i++ {
+		if err := x.Set(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := square.Configure(4, 32).Launch(x, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, err := x.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != float64(i*i) {
+			t.Fatalf("x[%d] = %v, want %v", i, v, i*i)
+		}
+	}
+	if ctx.Elapsed() == 0 {
+		t.Fatalf("no virtual time elapsed")
+	}
+}
+
+func TestListing1OnGrCUDA(t *testing.T) {
+	runListing1(t, singleCtx(t), GrCUDA)
+}
+
+func TestListing1OnGrOUT(t *testing.T) {
+	// The paper's Listing 2: same program, language switched to GrOUT.
+	runListing1(t, groutCtx(t), GrOUT)
+}
+
+func TestLanguageMismatch(t *testing.T) {
+	ctx := singleCtx(t)
+	if _, err := ctx.Eval(GrOUT, "float[10]"); err == nil {
+		t.Fatalf("wrong language accepted")
+	}
+	if ctx.Language() != GrCUDA {
+		t.Fatalf("language = %v", ctx.Language())
+	}
+}
+
+func TestArrayDescriptors(t *testing.T) {
+	ctx := singleCtx(t)
+	for code, kind := range map[string]memmodel.ElemKind{
+		"float[16]":   memmodel.Float32,
+		"double[8]":   memmodel.Float64,
+		"int[4]":      memmodel.Int32,
+		"long[2]":     memmodel.Int64,
+		" float[16] ": memmodel.Float32,
+	} {
+		v, err := ctx.Eval(GrCUDA, code)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", code, err)
+		}
+		if v.Array == nil || v.Array.Kind() != kind {
+			t.Fatalf("Eval(%q) = %+v", code, v)
+		}
+	}
+	for _, bad := range []string{
+		"float[0]", "float[-3]", "float[x]", "quaternion[4]", "float", "banana",
+	} {
+		if _, err := ctx.Eval(GrCUDA, bad); err == nil {
+			t.Fatalf("Eval(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	ctx := singleCtx(t)
+	v, _ := ctx.Eval(GrCUDA, "float[4]")
+	if err := v.Array.Set(4, 1); err == nil {
+		t.Fatalf("out-of-range set accepted")
+	}
+	if _, err := v.Array.Get(-1); err == nil {
+		t.Fatalf("out-of-range get accepted")
+	}
+	if v.Array.Len() != 4 {
+		t.Fatalf("len = %d", v.Array.Len())
+	}
+}
+
+func TestPrebuiltKernels(t *testing.T) {
+	ctx := singleCtx(t)
+	b, _ := ctx.Eval(GrCUDA, "buildkernel")
+	axpy, err := b.Build.Prebuilt("axpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axpy.Name() != "axpy" {
+		t.Fatalf("name = %q", axpy.Name())
+	}
+	if _, err := b.Build.Prebuilt("nonexistent"); err == nil {
+		t.Fatalf("missing prebuilt accepted")
+	}
+	y, _ := ctx.Eval(GrCUDA, "float[8]")
+	x, _ := ctx.Eval(GrCUDA, "float[8]")
+	for i := int64(0); i < 8; i++ {
+		if err := x.Array.Set(i, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := y.Array.Set(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := axpy.Configure(1, 8).Launch(y.Array, x.Array, 3.0, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := y.Array.Get(0)
+	if got != 7 { // 1 + 3*2
+		t.Fatalf("axpy result = %v, want 7", got)
+	}
+}
+
+func TestLaunchArgValidation(t *testing.T) {
+	ctx := singleCtx(t)
+	b, _ := ctx.Eval(GrCUDA, "buildkernel")
+	square, err := b.Build.Build(squareSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ctx.Eval(GrCUDA, "float[4]")
+	// Unsupported argument type.
+	if err := square.Configure(1, 4).Launch(x.Array, "four"); err == nil {
+		t.Fatalf("string argument accepted")
+	}
+	// Array from another context.
+	other := singleCtx(t)
+	foreign, _ := other.Eval(GrCUDA, "float[4]")
+	if err := square.Configure(1, 4).Launch(foreign.Array, 4); err == nil {
+		t.Fatalf("foreign array accepted")
+	}
+}
+
+func TestHostWriteFlushCreatesDependency(t *testing.T) {
+	// Set -> Launch -> Get must produce host-write, kernel, host-read CEs
+	// in dependency order.
+	rt := grcuda.NewRuntime(gpusim.NewNode(gpusim.OCIWorkerSpec("w")),
+		kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true})
+	ctx := NewSingleNodeContext(rt)
+	b, _ := ctx.Eval(GrCUDA, "buildkernel")
+	square, _ := b.Build.Build(squareSrc, "")
+	x, _ := ctx.Eval(GrCUDA, "float[16]")
+	if err := x.Array.Set(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := square.Configure(1, 16).Launch(x.Array, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Array.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	g := rt.Graph()
+	if g.Size() != 3 {
+		t.Fatalf("CE count = %d, want 3 (host-write, kernel, host-read)", g.Size())
+	}
+	if g.MaxDepth() != 3 {
+		t.Fatalf("chain depth = %d, want 3", g.MaxDepth())
+	}
+	// Repeated Get without intervening kernel must not add CEs.
+	if _, err := x.Array.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("cached read created CE")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ctx := singleCtx(t)
+	b, _ := ctx.Eval(GrCUDA, "buildkernel")
+	if _, err := b.Build.Build("not a kernel", ""); err == nil {
+		t.Fatalf("garbage source accepted")
+	}
+	if _, err := b.Build.Build(squareSrc, "pointer double, sint32"); err == nil {
+		t.Fatalf("mismatched signature accepted")
+	}
+}
+
+func TestGroutDistributesListing1Work(t *testing.T) {
+	clu := cluster.New(cluster.PaperSpec(2))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), true)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true})
+	ctx := NewGroutContext(ctl)
+	b, _ := ctx.Eval(GrOUT, "buildkernel")
+	square, err := b.Build.Build(squareSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent arrays: round-robin should place their kernels on
+	// different workers.
+	for i := 0; i < 2; i++ {
+		v, _ := ctx.Eval(GrOUT, "float[64]")
+		if err := v.Array.Set(0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := square.Configure(2, 32).Launch(v.Array, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[cluster.NodeID]bool{}
+	for _, tr := range ctl.Traces() {
+		if tr.Label == "square" {
+			seen[tr.Node] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("kernels not distributed: %v", seen)
+	}
+}
+
+func TestGetNumericAcrossRuntimesMatch(t *testing.T) {
+	run := func(ctx *Context, lang Language) float64 {
+		b, _ := ctx.Eval(lang, "buildkernel")
+		square, err := b.Build.Build(squareSrc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := ctx.Eval(lang, "float[32]")
+		for i := int64(0); i < 32; i++ {
+			if err := x.Array.Set(i, float64(i)*0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := square.Configure(1, 32).Launch(x.Array, 32); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := int64(0); i < 32; i++ {
+			v, err := x.Array.Get(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum
+	}
+	a := run(singleCtx(t), GrCUDA)
+	g := run(groutCtx(t), GrOUT)
+	if math.Abs(a-g) > 1e-6 {
+		t.Fatalf("results differ: single %v vs grout %v", a, g)
+	}
+}
+
+func TestHandTuningSurface(t *testing.T) {
+	ctx := singleCtx(t)
+	v, _ := ctx.Eval(GrCUDA, "float[1048576]")
+	if err := v.Array.Advise(gpusim.AdvisePreferredLocation, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Array.Prefetch(0); err != nil {
+		t.Fatal(err)
+	}
+	// Under GrOUT the manual surface is rejected: placement is the
+	// scheduler's job.
+	g := groutCtx(t)
+	gv, _ := g.Eval(GrOUT, "float[1024]")
+	if err := gv.Array.Advise(gpusim.AdviseReadMostly, 0); err == nil {
+		t.Fatalf("advise accepted under GrOUT")
+	}
+	if err := gv.Array.Prefetch(0); err == nil {
+		t.Fatalf("prefetch accepted under GrOUT")
+	}
+}
+
+func TestMatrixDescriptor(t *testing.T) {
+	ctx := singleCtx(t)
+	v, err := ctx.Eval(GrCUDA, "float[2][3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.Matrix
+	if m == nil || v.Array != nil {
+		t.Fatalf("2-D descriptor did not return a matrix: %+v", v)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.Array().Len() != 6 {
+		t.Fatalf("matrix shape = %dx%d/%d", m.Rows(), m.Cols(), m.Array().Len())
+	}
+	if err := m.Set(1, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get(1, 2)
+	if err != nil || got != 42 {
+		t.Fatalf("m[1][2] = %v, %v", got, err)
+	}
+	// Row-major layout: element (1,2) is flat index 5.
+	flat, _ := m.Array().Get(5)
+	if flat != 42 {
+		t.Fatalf("flat[5] = %v, want 42", flat)
+	}
+	if err := m.Set(2, 0, 1); err == nil {
+		t.Fatalf("row out of range accepted")
+	}
+	if _, err := m.Get(0, 3); err == nil {
+		t.Fatalf("col out of range accepted")
+	}
+	// 3-D descriptors are rejected.
+	if _, err := ctx.Eval(GrCUDA, "float[2][3][4]"); err == nil {
+		t.Fatalf("3-D descriptor accepted")
+	}
+}
+
+func TestMatrixAsKernelArgument(t *testing.T) {
+	// The gemv native kernel over a matrix built with the 2-D descriptor.
+	ctx := singleCtx(t)
+	b, _ := ctx.Eval(GrCUDA, "buildkernel")
+	gemv, err := b.Build.Prebuilt("gemv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := ctx.Eval(GrCUDA, "float[2][3]")
+	A := av.Matrix
+	for i := int64(0); i < 2; i++ {
+		for j := int64(0); j < 3; j++ {
+			if err := A.Set(i, j, float64(i*3+j+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	xv, _ := ctx.Eval(GrCUDA, "float[3]")
+	for j := int64(0); j < 3; j++ {
+		_ = xv.Array.Set(j, 1)
+	}
+	yv, _ := ctx.Eval(GrCUDA, "float[2]")
+	if err := gemv.Configure(1, 2).Launch(yv.Array, A.Array(), xv.Array, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	y0, _ := yv.Array.Get(0)
+	y1, _ := yv.Array.Get(1)
+	if y0 != 6 || y1 != 15 {
+		t.Fatalf("gemv over matrix = [%v %v], want [6 15]", y0, y1)
+	}
+}
+
+func TestDeviceArrayFree(t *testing.T) {
+	for _, mk := range []func() (*Context, Language){
+		func() (*Context, Language) { return singleCtx(t), GrCUDA },
+		func() (*Context, Language) { return groutCtx(t), GrOUT },
+	} {
+		ctx, lang := mk()
+		v, err := ctx.Eval(lang, "float[64]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Array.Set(0, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Array.Free(); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Array.Free(); err == nil {
+			t.Fatalf("%s: double free accepted", lang)
+		}
+		// A fresh array can be allocated afterwards.
+		if _, err := ctx.Eval(lang, "float[64]"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

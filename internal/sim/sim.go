@@ -1,0 +1,230 @@
+// Package sim provides the discrete-event timing substrate used by the
+// GPU, network and cluster simulators. All simulated durations are
+// expressed as virtual nanoseconds (VirtualTime); nothing in this package
+// ever sleeps or reads the wall clock.
+//
+// The two building blocks are:
+//
+//   - Timeline: a single serially-occupied resource (a CUDA stream, a copy
+//     engine, a NIC link). Work is "reserved" on a timeline: the caller
+//     states the earliest time the work may start and its duration, and the
+//     timeline returns the actual [start, end) interval after queueing
+//     behind previously reserved work.
+//
+//   - EventQueue: a priority queue of timestamped events, for simulations
+//     that need explicit event interleaving (the UVM fault engine uses it
+//     to batch page faults).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// VirtualTime is a point in simulated time, in nanoseconds since the start
+// of the simulation. It is deliberately a distinct type from time.Duration
+// so that wall-clock and virtual quantities cannot be mixed by accident.
+type VirtualTime int64
+
+// Infinity is a virtual time later than any reachable event.
+const Infinity VirtualTime = math.MaxInt64
+
+// Duration converts a virtual-time span to a time.Duration for reporting.
+func (t VirtualTime) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the virtual time as floating-point seconds.
+func (t VirtualTime) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the virtual time using time.Duration notation.
+func (t VirtualTime) String() string {
+	if t == Infinity {
+		return "+inf"
+	}
+	return time.Duration(t).String()
+}
+
+// Max returns the later of a and b.
+func Max(a, b VirtualTime) VirtualTime {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b VirtualTime) VirtualTime {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Interval is a half-open [Start, End) span of virtual time.
+type Interval struct {
+	Start VirtualTime
+	End   VirtualTime
+}
+
+// Length returns End-Start.
+func (iv Interval) Length() VirtualTime { return iv.End - iv.Start }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.Start, iv.End)
+}
+
+// Timeline models a serially occupied resource. The zero value is a free
+// timeline starting at virtual time zero.
+type Timeline struct {
+	name string
+	// freeAt is the earliest time new work can start.
+	freeAt VirtualTime
+	// busy accumulates total occupied time, for utilization reporting.
+	busy VirtualTime
+	// reservations counts Reserve calls.
+	reservations int
+}
+
+// NewTimeline returns a named timeline that is free from time zero.
+func NewTimeline(name string) *Timeline {
+	return &Timeline{name: name}
+}
+
+// Name returns the timeline's diagnostic name.
+func (tl *Timeline) Name() string { return tl.name }
+
+// FreeAt reports the earliest time at which new work could start.
+func (tl *Timeline) FreeAt() VirtualTime { return tl.freeAt }
+
+// BusyTime reports the cumulative occupied time.
+func (tl *Timeline) BusyTime() VirtualTime { return tl.busy }
+
+// Reservations reports how many work items have been reserved.
+func (tl *Timeline) Reservations() int { return tl.reservations }
+
+// Reserve queues work of the given duration that may not start before
+// earliest, and returns the interval actually occupied. A negative duration
+// is treated as zero.
+func (tl *Timeline) Reserve(earliest, duration VirtualTime) Interval {
+	if duration < 0 {
+		duration = 0
+	}
+	start := Max(earliest, tl.freeAt)
+	end := start + duration
+	tl.freeAt = end
+	tl.busy += duration
+	tl.reservations++
+	return Interval{Start: start, End: end}
+}
+
+// AdvanceTo moves the timeline's free point forward to at least t without
+// accounting busy time (models idling until an external event).
+func (tl *Timeline) AdvanceTo(t VirtualTime) {
+	if t > tl.freeAt {
+		tl.freeAt = t
+	}
+}
+
+// Reset returns the timeline to its initial free state.
+func (tl *Timeline) Reset() {
+	tl.freeAt = 0
+	tl.busy = 0
+	tl.reservations = 0
+}
+
+// Utilization reports busy time divided by the horizon (the timeline's
+// current free point). Returns 0 for an unused timeline.
+func (tl *Timeline) Utilization() float64 {
+	if tl.freeAt == 0 {
+		return 0
+	}
+	return float64(tl.busy) / float64(tl.freeAt)
+}
+
+// Event is a timestamped occurrence in an EventQueue.
+type Event struct {
+	At      VirtualTime
+	Seq     int64 // tie-break: FIFO among equal timestamps
+	Payload any
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// EventQueue is a min-heap of events ordered by timestamp, FIFO among ties.
+// The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq int64
+}
+
+// Push enqueues a payload at virtual time t.
+func (q *EventQueue) Push(t VirtualTime, payload any) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: t, Seq: q.seq, Payload: payload})
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *EventQueue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Clock tracks the current virtual time of a simulation. The zero value
+// starts at time zero.
+type Clock struct {
+	now VirtualTime
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() VirtualTime { return c.now }
+
+// AdvanceTo moves the clock forward to t. Moving backwards is a programming
+// error and panics: discrete-event time is monotonic.
+func (c *Clock) AdvanceTo(t VirtualTime) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards: %s -> %s", c.now, t))
+	}
+	c.now = t
+}
+
+// Advance moves the clock forward by d (negative d panics).
+func (c *Clock) Advance(d VirtualTime) {
+	if d < 0 {
+		panic("sim: negative clock advance")
+	}
+	c.now += d
+}
+
+// Reset returns the clock to time zero.
+func (c *Clock) Reset() { c.now = 0 }

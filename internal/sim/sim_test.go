@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimelineReserveSequencing(t *testing.T) {
+	tl := NewTimeline("stream0")
+	iv1 := tl.Reserve(0, 100)
+	if iv1.Start != 0 || iv1.End != 100 {
+		t.Fatalf("first reservation = %v, want [0,100)", iv1)
+	}
+	// Second item wants to start at 50 but must queue behind the first.
+	iv2 := tl.Reserve(50, 25)
+	if iv2.Start != 100 || iv2.End != 125 {
+		t.Fatalf("queued reservation = %v, want [100,125)", iv2)
+	}
+	// Third item arrives after the timeline is idle: gap is allowed.
+	iv3 := tl.Reserve(1000, 10)
+	if iv3.Start != 1000 || iv3.End != 1010 {
+		t.Fatalf("late reservation = %v, want [1000,1010)", iv3)
+	}
+	if got := tl.BusyTime(); got != 135 {
+		t.Fatalf("busy time = %v, want 135", got)
+	}
+	if got := tl.Reservations(); got != 3 {
+		t.Fatalf("reservations = %d, want 3", got)
+	}
+}
+
+func TestTimelineNegativeDuration(t *testing.T) {
+	tl := NewTimeline("x")
+	iv := tl.Reserve(10, -5)
+	if iv.Start != 10 || iv.End != 10 {
+		t.Fatalf("negative duration reservation = %v, want empty at 10", iv)
+	}
+}
+
+func TestTimelineAdvanceToAndReset(t *testing.T) {
+	tl := NewTimeline("x")
+	tl.Reserve(0, 10)
+	tl.AdvanceTo(50)
+	if tl.FreeAt() != 50 {
+		t.Fatalf("FreeAt after AdvanceTo = %v, want 50", tl.FreeAt())
+	}
+	tl.AdvanceTo(20) // no-op backwards
+	if tl.FreeAt() != 50 {
+		t.Fatalf("AdvanceTo moved backwards")
+	}
+	tl.Reset()
+	if tl.FreeAt() != 0 || tl.BusyTime() != 0 || tl.Reservations() != 0 {
+		t.Fatalf("Reset did not clear state: %+v", tl)
+	}
+}
+
+func TestTimelineUtilization(t *testing.T) {
+	tl := NewTimeline("x")
+	if tl.Utilization() != 0 {
+		t.Fatalf("fresh timeline utilization != 0")
+	}
+	tl.Reserve(0, 50)
+	tl.AdvanceTo(100)
+	if got := tl.Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+// Property: reservations never overlap and never start before requested.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTimeline("p")
+		var prevEnd VirtualTime
+		for i := 0; i < int(n%64)+1; i++ {
+			earliest := VirtualTime(rng.Int63n(1000))
+			dur := VirtualTime(rng.Int63n(100))
+			iv := tl.Reserve(earliest, dur)
+			if iv.Start < earliest || iv.Start < prevEnd || iv.End != iv.Start+dur {
+				return false
+			}
+			prevEnd = iv.End
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	q.Push(10, "a2") // FIFO among ties
+	want := []string{"a", "a2", "b", "c"}
+	for i, w := range want {
+		ev := q.Pop()
+		if ev == nil || ev.Payload.(string) != w {
+			t.Fatalf("pop %d = %v, want %q", i, ev, w)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatalf("pop of empty queue != nil")
+	}
+}
+
+func TestEventQueuePeekLen(t *testing.T) {
+	var q EventQueue
+	if q.Peek() != nil || q.Len() != 0 {
+		t.Fatalf("empty queue peek/len wrong")
+	}
+	q.Push(5, 1)
+	q.Push(3, 2)
+	if q.Peek().At != 3 || q.Len() != 2 {
+		t.Fatalf("peek = %v len = %d", q.Peek(), q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("len after pop = %d", q.Len())
+	}
+}
+
+// Property: events always pop in nondecreasing timestamp order.
+func TestEventQueueOrderProperty(t *testing.T) {
+	f := func(stamps []int16) bool {
+		var q EventQueue
+		for _, s := range stamps {
+			v := VirtualTime(s)
+			if v < 0 {
+				v = -v
+			}
+			q.Push(v, s)
+		}
+		last := VirtualTime(-1)
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < last {
+				return false
+			}
+			last = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock != 0")
+	}
+	c.Advance(100)
+	c.AdvanceTo(150)
+	if c.Now() != 150 {
+		t.Fatalf("clock = %v, want 150", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("reset clock != 0")
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AdvanceTo backwards did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(10)
+	c.AdvanceTo(5)
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestVirtualTimeHelpers(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatalf("Max wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatalf("Min wrong")
+	}
+	if VirtualTime(1500000000).Seconds() != 1.5 {
+		t.Fatalf("Seconds wrong")
+	}
+	if VirtualTime(time.Second.Nanoseconds()).Duration() != time.Second {
+		t.Fatalf("Duration wrong")
+	}
+	if Infinity.String() != "+inf" {
+		t.Fatalf("Infinity string = %q", Infinity.String())
+	}
+	iv := Interval{Start: 10, End: 25}
+	if iv.Length() != 15 {
+		t.Fatalf("interval length = %v", iv.Length())
+	}
+	if iv.String() == "" {
+		t.Fatalf("interval string empty")
+	}
+}

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// TCPFabric implements core.Fabric over real sockets: worker i+1 is the
+// process listening at addrs[i]. Returned times are wall-clock nanoseconds
+// since Dial.
+type TCPFabric struct {
+	addrs   []string
+	conns   map[cluster.NodeID]*conn
+	started time.Time
+	// AssumedBandwidth (bytes/s) feeds EstimateTransfer for
+	// min-transfer-time scheduling; defaults to the paper's 500 MB/s
+	// worker NICs.
+	AssumedBandwidth float64
+}
+
+// Dial connects to every worker and verifies liveness.
+func Dial(addrs []string) (*TCPFabric, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: no worker addresses")
+	}
+	f := &TCPFabric{
+		addrs:            addrs,
+		conns:            make(map[cluster.NodeID]*conn),
+		started:          time.Now(),
+		AssumedBandwidth: 500e6,
+	}
+	for i, addr := range addrs {
+		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transport: dial worker %d at %s: %w", i+1, addr, err)
+		}
+		c := newConn(raw)
+		if _, err := c.call(&Request{Kind: MsgPing}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transport: ping worker %d: %w", i+1, err)
+		}
+		f.conns[cluster.NodeID(i+1)] = c
+	}
+	return f, nil
+}
+
+// Close closes all worker connections.
+func (f *TCPFabric) Close() error {
+	var firstErr error
+	for _, c := range f.conns {
+		if err := c.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.conns = make(map[cluster.NodeID]*conn)
+	return firstErr
+}
+
+// Shutdown asks every worker process to exit, then closes connections.
+func (f *TCPFabric) Shutdown() error {
+	for _, c := range f.conns {
+		_, _ = c.call(&Request{Kind: MsgShutdown})
+	}
+	return f.Close()
+}
+
+// now reports wall time since Dial as a virtual timestamp.
+func (f *TCPFabric) now() sim.VirtualTime {
+	return sim.VirtualTime(time.Since(f.started).Nanoseconds())
+}
+
+func (f *TCPFabric) worker(w cluster.NodeID) (*conn, error) {
+	c, ok := f.conns[w]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown worker %v", w)
+	}
+	return c, nil
+}
+
+// Workers implements core.Fabric.
+func (f *TCPFabric) Workers() []cluster.NodeID {
+	ids := make([]cluster.NodeID, len(f.addrs))
+	for i := range f.addrs {
+		ids[i] = cluster.NodeID(i + 1)
+	}
+	return ids
+}
+
+// EnsureArray implements core.Fabric.
+func (f *TCPFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error {
+	c, err := f.worker(w)
+	if err != nil {
+		return err
+	}
+	_, err = c.call(&Request{Kind: MsgEnsureArray, Meta: meta})
+	return err
+}
+
+// MoveArray implements core.Fabric: controller->worker ships srcBuf,
+// worker->controller fetches into dstBuf, worker->worker triggers a direct
+// P2P push.
+func (f *TCPFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
+	_ sim.VirtualTime, srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error) {
+	if src == dst {
+		return f.now(), nil
+	}
+	switch {
+	case src == cluster.ControllerID:
+		c, err := f.worker(dst)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.call(&Request{Kind: MsgReceiveArray, ArrayID: id, Data: srcBuf}); err != nil {
+			return 0, err
+		}
+	case dst == cluster.ControllerID:
+		c, err := f.worker(src)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.call(&Request{Kind: MsgFetchArray, ArrayID: id})
+		if err != nil {
+			return 0, err
+		}
+		if resp.Data != nil && dstBuf != nil {
+			n := dstBuf.Len()
+			if resp.Data.Len() < n {
+				n = resp.Data.Len()
+			}
+			for i := 0; i < n; i++ {
+				dstBuf.Set(i, resp.Data.At(i))
+			}
+		}
+	default: // worker -> worker P2P
+		c, err := f.worker(src)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.call(&Request{Kind: MsgPushTo, ArrayID: id, PeerAddr: f.addrs[dst-1]}); err != nil {
+			return 0, err
+		}
+	}
+	return f.now(), nil
+}
+
+// Launch implements core.Fabric.
+func (f *TCPFabric) Launch(w cluster.NodeID, inv core.Invocation, _ sim.VirtualTime) (sim.VirtualTime, error) {
+	c, err := f.worker(w)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.call(&Request{Kind: MsgLaunch, Inv: inv}); err != nil {
+		return 0, err
+	}
+	return f.now(), nil
+}
+
+// EstimateTransfer implements core.Fabric using the assumed NIC bandwidth.
+func (f *TCPFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
+	if src == dst || n <= 0 || f.AssumedBandwidth <= 0 {
+		return 0
+	}
+	return sim.VirtualTime(float64(n) / f.AssumedBandwidth * 1e9)
+}
+
+// FreeArray implements core.Fabric.
+func (f *TCPFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
+	c, err := f.worker(w)
+	if err != nil {
+		return err
+	}
+	_, err = c.call(&Request{Kind: MsgFreeArray, ArrayID: id})
+	return err
+}
+
+// Healthy implements core.Fabric: a liveness ping over the worker's
+// connection.
+func (f *TCPFabric) Healthy(w cluster.NodeID) bool {
+	c, err := f.worker(w)
+	if err != nil {
+		return false
+	}
+	_, err = c.call(&Request{Kind: MsgPing})
+	return err == nil
+}
+
+// BuildKernel implements core.KernelBuilder: the source compiles on every
+// worker.
+func (f *TCPFabric) BuildKernel(src, signature string) error {
+	for _, id := range f.Workers() {
+		c, err := f.worker(id)
+		if err != nil {
+			return err
+		}
+		if _, err := c.call(&Request{Kind: MsgBuildKernel, Src: src, Signature: signature}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkerStats reports a worker's execution statistics.
+type WorkerStats struct {
+	Kernels int
+	Arrays  int
+	Elapsed time.Duration
+}
+
+// Stats queries one worker.
+func (f *TCPFabric) Stats(w cluster.NodeID) (WorkerStats, error) {
+	c, err := f.worker(w)
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	resp, err := c.call(&Request{Kind: MsgStats})
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	return WorkerStats{
+		Kernels: resp.Kernels,
+		Arrays:  resp.Arrays,
+		Elapsed: time.Duration(resp.Elapsed),
+	}, nil
+}
+
+var _ core.Fabric = (*TCPFabric)(nil)
+var _ core.KernelBuilder = (*TCPFabric)(nil)

@@ -1,0 +1,147 @@
+// Package transport provides GrOUT's distributed deployment: real TCP
+// sockets between the Controller and Worker processes, with gob-encoded
+// messages. It implements core.Fabric, so the same Controller code that
+// drives the in-process simulation drives genuine remote workers — array
+// payloads are actually serialized and shipped, kernels execute their
+// numeric implementations on the worker, and peer-to-peer transfers open
+// direct worker-to-worker connections, as in the paper's architecture
+// (Figure 3).
+//
+// In this mode time is wall-clock: the sim.VirtualTime values returned by
+// fabric operations are nanoseconds since the fabric connected. The
+// calibrated oversubscription model remains available through each
+// worker's embedded simulator, but the timing authority for distributed
+// runs is reality.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+)
+
+// MsgKind enumerates protocol requests.
+type MsgKind int
+
+const (
+	// MsgPing checks liveness.
+	MsgPing MsgKind = iota
+	// MsgEnsureArray mirrors array metadata on the worker.
+	MsgEnsureArray
+	// MsgReceiveArray delivers array contents to the worker.
+	MsgReceiveArray
+	// MsgFetchArray pulls array contents from the worker (flushing GPU
+	// state first).
+	MsgFetchArray
+	// MsgLaunch executes a kernel CE.
+	MsgLaunch
+	// MsgBuildKernel compiles mini-CUDA source on the worker.
+	MsgBuildKernel
+	// MsgFreeArray drops an array replica.
+	MsgFreeArray
+	// MsgPushTo instructs the worker to send an array directly to a peer
+	// worker (P2P).
+	MsgPushTo
+	// MsgStats returns the worker's execution statistics.
+	MsgStats
+	// MsgShutdown stops the worker server.
+	MsgShutdown
+)
+
+var msgNames = [...]string{
+	"ping", "ensure-array", "receive-array", "fetch-array", "launch",
+	"build-kernel", "free-array", "push-to", "stats", "shutdown",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(msgNames) {
+		return msgNames[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// Request is one controller->worker (or worker->worker) message.
+type Request struct {
+	Kind      MsgKind
+	Meta      grcuda.ArrayMeta
+	ArrayID   dag.ArrayID
+	Data      *kernels.Buffer
+	Inv       core.Invocation
+	Src       string // kernel source for MsgBuildKernel
+	Signature string
+	PeerAddr  string // target address for MsgPushTo
+}
+
+// Response answers a Request.
+type Response struct {
+	Err     string
+	Data    *kernels.Buffer
+	Kernels int   // MsgStats: kernels executed
+	Arrays  int   // MsgStats: arrays resident
+	Elapsed int64 // MsgStats: worker-simulated busy nanoseconds
+}
+
+// ok reports whether the response carries no error.
+func (r *Response) ok() error {
+	if r.Err != "" {
+		return fmt.Errorf("transport: remote error: %s", r.Err)
+	}
+	return nil
+}
+
+// conn wraps a TCP connection with gob codecs.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) send(req *Request) error { return c.enc.Encode(req) }
+
+func (c *conn) recv() (*Request, error) {
+	var req Request
+	if err := c.dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (c *conn) reply(resp *Response) error { return c.enc.Encode(resp) }
+
+func (c *conn) await() (*Response, error) {
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("transport: connection closed by peer")
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// call performs one request/response round trip.
+func (c *conn) call(req *Request) (*Response, error) {
+	if err := c.send(req); err != nil {
+		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, err)
+	}
+	resp, err := c.await()
+	if err != nil {
+		return nil, fmt.Errorf("transport: await %v: %w", req.Kind, err)
+	}
+	if err := resp.ok(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,561 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/workloads"
+)
+
+// startCluster spins up n worker servers on loopback and a controller
+// connected to them over real TCP.
+func startCluster(t *testing.T, n int) (*core.Controller, *TCPFabric, []*WorkerServer) {
+	t.Helper()
+	var workers []*WorkerServer
+	var addrs []string
+	for i := 0; i < n; i++ {
+		w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	fab, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fab.Close() })
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true})
+	return ctl, fab, workers
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatalf("empty address list accepted")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatalf("dead address accepted")
+	}
+}
+
+func TestEndToEndAxpyOverTCP(t *testing.T) {
+	ctl, _, _ := startCluster(t, 2)
+	const n = int64(256)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	y, _ := ctl.NewArray(memmodel.Float32, n)
+	for i := 0; i < int(n); i++ {
+		x.Buf.Set(i, float64(i))
+		y.Buf.Set(i, 1)
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostWrite(y.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(core.Invocation{Kernel: "axpy",
+		Args: []core.ArgRef{core.ArrRef(y.ID), core.ArrRef(x.ID),
+			core.ScalarRef(2), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostRead(y.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if want := 1 + 2*float64(i); y.Buf.At(i) != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Buf.At(i), want)
+		}
+	}
+}
+
+func TestBuildKernelDistributedOverTCP(t *testing.T) {
+	ctl, _, workers := startCluster(t, 2)
+	src := `
+extern "C" __global__ void cube(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = x[i] * x[i] * x[i]; }
+}`
+	if _, err := ctl.BuildKernel(src, "pointer float, sint32"); err != nil {
+		t.Fatal(err)
+	}
+	// Every worker must know the kernel now.
+	for i, w := range workers {
+		if _, ok := w.Runtime().Registry().Lookup("cube"); !ok {
+			t.Fatalf("worker %d missing compiled kernel", i)
+		}
+	}
+	x, _ := ctl.NewArray(memmodel.Float32, 16)
+	for i := 0; i < 16; i++ {
+		x.Buf.Set(i, float64(i))
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(core.Invocation{Kernel: "cube", Grid: 1, Block: 16,
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(16)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if want := math.Pow(float64(i), 3); x.Buf.At(i) != want {
+			t.Fatalf("x[%d] = %v, want %v", i, x.Buf.At(i), want)
+		}
+	}
+}
+
+func TestP2PPushOverTCP(t *testing.T) {
+	ctl, _, workers := startCluster(t, 2)
+	const n = int64(64)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	// fill runs on worker 1 (round-robin); relu must run on worker 2 and
+	// pull the data peer-to-peer over a real socket.
+	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(-3), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if x.Buf.At(i) != 0 { // relu(-3) = 0
+			t.Fatalf("x[%d] = %v, want 0", i, x.Buf.At(i))
+		}
+	}
+	if ctl.P2PMoves() != 1 {
+		t.Fatalf("p2p moves = %d, want 1", ctl.P2PMoves())
+	}
+	// The data physically reached worker 2.
+	w2 := workers[1].Runtime()
+	arr := w2.Array(x.ID)
+	if arr == nil || arr.Buf.At(0) != 0 {
+		t.Fatalf("worker 2 replica wrong")
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	ctl, fab, _ := startCluster(t, 1)
+	x, _ := ctl.NewArray(memmodel.Float32, 32)
+	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(1), core.ScalarRef(32)}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fab.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kernels != 1 || st.Arrays != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := fab.Stats(9); err == nil {
+		t.Fatalf("stats of unknown worker accepted")
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	ctl, fab, _ := startCluster(t, 1)
+	// Launch against an unknown kernel name must round-trip the error.
+	x, _ := ctl.NewArray(memmodel.Float32, 8)
+	_, err := ctl.Launch(core.Invocation{Kernel: "no_such_kernel",
+		Args: []core.ArgRef{core.ArrRef(x.ID)}})
+	if err == nil {
+		t.Fatalf("unknown kernel accepted")
+	}
+	// Malformed kernel source.
+	if err := fab.BuildKernel("garbage(", ""); err == nil ||
+		!strings.Contains(err.Error(), "remote error") {
+		t.Fatalf("remote compile error not propagated: %v", err)
+	}
+}
+
+func TestWorkerDisconnectFailure(t *testing.T) {
+	ctl, _, workers := startCluster(t, 2)
+	x, _ := ctl.NewArray(memmodel.Float32, 8)
+	// Kill worker 1 mid-session; the next CE placed there must error.
+	if err := workers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ctl.Launch(core.Invocation{Kernel: "fill",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(1), core.ScalarRef(8)}})
+	if err == nil {
+		t.Fatalf("launch on dead worker succeeded")
+	}
+}
+
+func TestEstimateTransfer(t *testing.T) {
+	f := &TCPFabric{AssumedBandwidth: 1e9}
+	if got := f.EstimateTransfer(1, 2, memmodel.Bytes(1e9)); got.Seconds() != 1.0 {
+		t.Fatalf("estimate = %v", got)
+	}
+	if f.EstimateTransfer(1, 1, memmodel.GiB) != 0 {
+		t.Fatalf("self estimate nonzero")
+	}
+}
+
+func TestShutdownStopsWorker(t *testing.T) {
+	w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := Dial([]string{w.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// A second dial must fail: the server is gone.
+	if _, err := Dial([]string{w.Addr()}); err == nil {
+		t.Fatalf("dial after shutdown succeeded")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	if MsgPing.String() != "ping" || MsgLaunch.String() != "launch" {
+		t.Fatalf("msg kind strings wrong")
+	}
+	if MsgKind(99).String() == "" {
+		t.Fatalf("unknown kind empty")
+	}
+}
+
+// A client speaking garbage must not crash or wedge the worker; real
+// clients connecting afterwards still work.
+func TestWorkerSurvivesGarbageBytes(t *testing.T) {
+	w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	raw, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("\x00\xffnot gob at all\n\x01\x02\x03")); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.Close()
+	// The server must still accept and serve a well-formed client.
+	fab, err := Dial([]string{w.Addr()})
+	if err != nil {
+		t.Fatalf("worker wedged after garbage: %v", err)
+	}
+	defer fab.Close()
+	if _, err := fab.Stats(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncated frames (connection cut mid-message) must not corrupt worker
+// state for other connections.
+func TestWorkerSurvivesTruncatedMessage(t *testing.T) {
+	w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Send the first bytes of a legitimate gob stream, then cut.
+	legit, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(legit)
+	if err := c.send(&Request{Kind: MsgEnsureArray,
+		Meta: grcuda.ArrayMeta{ID: 1, Kind: memmodel.Float32, Len: 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.await(); err != nil {
+		t.Fatal(err)
+	}
+	// Now write half a message and slam the connection.
+	if _, err := legit.Write([]byte{0x2a, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	_ = legit.Close()
+
+	fab, err := Dial([]string{w.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	st, err := fab.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Arrays != 1 {
+		t.Fatalf("array state lost after truncated peer: %+v", st)
+	}
+}
+
+// Property: protocol messages survive a gob round trip bit-exactly.
+func TestProtocolGobRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, id int64, scalar float64, src, sig string, vals []float32) bool {
+		buf := kernels.NewBuffer(memmodel.Float32, len(vals))
+		for i, v := range vals {
+			buf.Set(i, float64(v))
+		}
+		req := &Request{
+			Kind:      MsgKind(kind % 10),
+			Meta:      grcuda.ArrayMeta{ID: dag.ArrayID(id), Kind: memmodel.Float32, Len: int64(len(vals))},
+			ArrayID:   dag.ArrayID(id),
+			Data:      buf,
+			Src:       src,
+			Signature: sig,
+			Inv: core.Invocation{Kernel: "k", Grid: 2, Block: 3,
+				Args: []core.ArgRef{core.ArrRef(dag.ArrayID(id)), core.ScalarRef(scalar)}},
+		}
+		var wire bytes.Buffer
+		if err := gob.NewEncoder(&wire).Encode(req); err != nil {
+			return false
+		}
+		var got Request
+		if err := gob.NewDecoder(&wire).Decode(&got); err != nil {
+			return false
+		}
+		if got.Kind != req.Kind || got.ArrayID != req.ArrayID ||
+			got.Src != req.Src || got.Signature != req.Signature ||
+			got.Inv.Kernel != req.Inv.Kernel || len(got.Inv.Args) != 2 {
+			return false
+		}
+		if len(vals) > 0 {
+			if got.Data == nil || got.Data.Len() != len(vals) {
+				return false
+			}
+			if got.Data.MaxAbsDiff(req.Data) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failover end to end: kill a worker mid-workload; the controller writes
+// it off and reroutes subsequent CEs to the survivor.
+func TestFailoverReroutesToSurvivor(t *testing.T) {
+	var workers []*WorkerServer
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	fab, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fab.Close() })
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true, Failover: true})
+
+	const n = int64(128)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	for i := 0; i < int(n); i++ {
+		x.Buf.Set(i, float64(i))
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	// First CE lands on worker 1.
+	if _, err := ctl.Launch(core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	// Pull the result home so the controller holds a valid copy, then
+	// kill worker 1.
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := workers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The next CEs must succeed on worker 2 despite round-robin pointing
+	// at the dead node half the time.
+	for i := 0; i < 3; i++ {
+		if _, err := ctl.Launch(core.Invocation{Kernel: "relu",
+			Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}}); err != nil {
+			t.Fatalf("failover launch %d: %v", i, err)
+		}
+	}
+	if ctl.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", ctl.Failovers())
+	}
+	if len(ctl.DeadWorkers()) != 1 {
+		t.Fatalf("dead workers = %v", ctl.DeadWorkers())
+	}
+	// Results still correct.
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if x.Buf.At(i) != float64(i) { // relu of non-negative input
+			t.Fatalf("x[%d] = %v", i, x.Buf.At(i))
+		}
+	}
+}
+
+// Data loss: the only valid copy of an array dies with its worker; the
+// controller must report it instead of rerouting.
+func TestFailoverDataLoss(t *testing.T) {
+	var workers []*WorkerServer
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	fab, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fab.Close() })
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Numeric: true, Failover: true})
+
+	const n = int64(64)
+	x, _ := ctl.NewArray(memmodel.Float32, n)
+	// fill writes x on worker 1: afterwards the ONLY valid copy is there.
+	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(7), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := workers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A reader cannot be salvaged: first failure marks worker 1 dead,
+	// and the reroute discovers the data is gone.
+	_, err = ctl.Launch(core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}})
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("data loss not reported: %v", err)
+	}
+	// A full-overwrite writer is fine: old contents don't matter.
+	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(9), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatalf("overwrite after data loss failed: %v", err)
+	}
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if x.Buf.At(0) != 9 {
+		t.Fatalf("x[0] = %v, want 9", x.Buf.At(0))
+	}
+}
+
+// A full workload over TCP must numerically match the in-process local
+// fabric: the two deployment modes are interchangeable.
+func TestTCPMatchesLocalFabricOnWorkload(t *testing.T) {
+	// Local run.
+	localClu := cluster.New(cluster.PaperSpec(2))
+	localFab := core.NewLocalFabric(localClu, kernels.StdRegistry(), true)
+	localCtl := core.NewController(localFab, policy.NewRoundRobin(), core.Options{Numeric: true})
+	localSession := &workloads.Grout{Ctl: localCtl}
+	hLocal, err := workloads.CGExplicit(localSession, 48, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP run.
+	ctl, _, _ := startCluster(t, 2)
+	tcpSession := &workloads.Grout{Ctl: ctl}
+	hTCP, err := workloads.CGExplicit(tcpSession, 48, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for b := range hLocal.X {
+		lb := localSession.Buffer(hLocal.X[b])
+		tb := tcpSession.Buffer(hTCP.X[b])
+		for i := 0; i < lb.Len(); i++ {
+			d := lb.At(i) - tb.At(i)
+			if d > 1e-6 || d < -1e-6 {
+				t.Fatalf("solution differs at block %d index %d: %v vs %v",
+					b, i, lb.At(i), tb.At(i))
+			}
+		}
+	}
+}
+
+// Concurrent clients hammering one worker must serialize safely on the
+// runtime lock (race detector validates this under -race).
+func TestWorkerConcurrentClients(t *testing.T) {
+	w, err := NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for cidx := 0; cidx < clients; cidx++ {
+		go func(cidx int) {
+			raw, err := net.Dial("tcp", w.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			c := newConn(raw)
+			defer c.close()
+			id := dag.ArrayID(cidx + 1)
+			if _, err := c.call(&Request{Kind: MsgEnsureArray,
+				Meta: grcuda.ArrayMeta{ID: id, Kind: memmodel.Float32, Len: 1024}}); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := c.call(&Request{Kind: MsgLaunch, Inv: core.Invocation{
+					Kernel: "fill",
+					Args: []core.ArgRef{core.ArrRef(id), core.ScalarRef(float64(i)),
+						core.ScalarRef(1024)},
+				}}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.call(&Request{Kind: MsgStats}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(cidx)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Runtime().ArrayCount(); got != clients {
+		t.Fatalf("arrays = %d, want %d", got, clients)
+	}
+	if got := len(w.Runtime().Records()); got != clients*20 {
+		t.Fatalf("kernels = %d, want %d", got, clients*20)
+	}
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"grout/internal/gpusim"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/minicuda"
+)
+
+// WorkerServer hosts a GrCUDA runtime behind a TCP listener: the Worker
+// half of the paper's Figure 3. It executes kernels numerically and keeps
+// its embedded UVM simulator's accounting for statistics.
+type WorkerServer struct {
+	mu       sync.Mutex
+	rt       *grcuda.Runtime
+	listener net.Listener
+	log      *log.Logger
+	done     chan struct{}
+	closed   bool
+	active   map[*conn]struct{}
+}
+
+// NewWorkerServer creates a worker over the given simulated node spec,
+// listening on addr ("host:0" picks a free port). logger may be nil.
+func NewWorkerServer(addr string, spec gpusim.NodeSpec, logger *log.Logger) (*WorkerServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	w := &WorkerServer{
+		rt:       grcuda.NewRuntime(gpusim.NewNode(spec), kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true}),
+		listener: ln,
+		log:      logger,
+		done:     make(chan struct{}),
+		active:   make(map[*conn]struct{}),
+	}
+	go w.acceptLoop()
+	return w, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr returns the worker's listening address.
+func (w *WorkerServer) Addr() string { return w.listener.Addr().String() }
+
+// Runtime exposes the embedded runtime (tests).
+func (w *WorkerServer) Runtime() *grcuda.Runtime { return w.rt }
+
+// Close stops the server and drops every established connection.
+func (w *WorkerServer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.done)
+	conns := make([]*conn, 0, len(w.active))
+	for c := range w.active {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		_ = c.close()
+	}
+	return w.listener.Close()
+}
+
+func (w *WorkerServer) acceptLoop() {
+	for {
+		raw, err := w.listener.Accept()
+		if err != nil {
+			select {
+			case <-w.done:
+				return
+			default:
+				w.log.Printf("worker accept: %v", err)
+				return
+			}
+		}
+		c := newConn(raw)
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			_ = c.close()
+			return
+		}
+		w.active[c] = struct{}{}
+		w.mu.Unlock()
+		go w.serve(c)
+	}
+}
+
+// serve handles one connection until it closes.
+func (w *WorkerServer) serve(c *conn) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.active, c)
+		w.mu.Unlock()
+		_ = c.close()
+	}()
+	for {
+		req, err := c.recv()
+		if err != nil {
+			return // connection closed
+		}
+		resp := w.handle(req)
+		if err := c.reply(resp); err != nil {
+			w.log.Printf("worker reply: %v", err)
+			return
+		}
+		if req.Kind == MsgShutdown {
+			_ = w.Close()
+			return
+		}
+	}
+}
+
+// handle executes one request under the runtime lock.
+func (w *WorkerServer) handle(req *Request) *Response {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	resp := &Response{}
+	if err := w.apply(req, resp); err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+func (w *WorkerServer) apply(req *Request, resp *Response) error {
+	switch req.Kind {
+	case MsgPing, MsgShutdown:
+		return nil
+
+	case MsgEnsureArray:
+		if w.rt.Array(req.Meta.ID) != nil {
+			return nil
+		}
+		_, err := w.rt.NewArrayWithID(req.Meta.ID, req.Meta.Kind, req.Meta.Len)
+		return err
+
+	case MsgReceiveArray:
+		arr := w.rt.Array(req.ArrayID)
+		if arr == nil {
+			return fmt.Errorf("receive of unknown array %d", req.ArrayID)
+		}
+		if err := w.rt.Node().Invalidate(arr.Alloc); err != nil {
+			return err
+		}
+		if req.Data != nil && arr.Buf != nil {
+			n := arr.Buf.Len()
+			if req.Data.Len() < n {
+				n = req.Data.Len()
+			}
+			for i := 0; i < n; i++ {
+				arr.Buf.Set(i, req.Data.At(i))
+			}
+		}
+		return nil
+
+	case MsgFetchArray:
+		arr := w.rt.Array(req.ArrayID)
+		if arr == nil {
+			return fmt.Errorf("fetch of unknown array %d", req.ArrayID)
+		}
+		if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
+			return err
+		}
+		resp.Data = arr.Buf
+		return nil
+
+	case MsgLaunch:
+		vals := make([]grcuda.Value, len(req.Inv.Args))
+		for i, a := range req.Inv.Args {
+			if a.IsArray {
+				arr := w.rt.Array(a.Array)
+				if arr == nil {
+					return fmt.Errorf("launch references unknown array %d", a.Array)
+				}
+				vals[i] = grcuda.ArrValue(arr)
+			} else {
+				vals[i] = grcuda.ScalarValue(a.Scalar)
+			}
+		}
+		_, err := w.rt.Submit(grcuda.Invocation{
+			Kernel: req.Inv.Kernel, Grid: req.Inv.Grid, Block: req.Inv.Block, Args: vals,
+		}, 0)
+		return err
+
+	case MsgBuildKernel:
+		def, err := minicuda.Compile(req.Src, req.Signature)
+		if err != nil {
+			return err
+		}
+		if _, exists := w.rt.Registry().Lookup(def.Name); exists {
+			return nil
+		}
+		return w.rt.Registry().Register(def)
+
+	case MsgFreeArray:
+		if w.rt.Array(req.ArrayID) == nil {
+			return nil
+		}
+		return w.rt.FreeArray(req.ArrayID)
+
+	case MsgPushTo:
+		arr := w.rt.Array(req.ArrayID)
+		if arr == nil {
+			return fmt.Errorf("push of unknown array %d", req.ArrayID)
+		}
+		if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
+			return err
+		}
+		peer, err := net.Dial("tcp", req.PeerAddr)
+		if err != nil {
+			return fmt.Errorf("p2p dial %s: %w", req.PeerAddr, err)
+		}
+		pc := newConn(peer)
+		defer pc.close()
+		_, err = pc.call(&Request{
+			Kind:    MsgReceiveArray,
+			ArrayID: req.ArrayID,
+			Data:    arr.Buf,
+		})
+		return err
+
+	case MsgStats:
+		resp.Kernels = len(w.rt.Records())
+		resp.Arrays = w.rt.ArrayCount()
+		resp.Elapsed = int64(w.rt.Elapsed())
+		return nil
+	}
+	return errors.New("unknown request kind")
+}

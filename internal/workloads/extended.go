@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"fmt"
+
+	"grout/internal/memmodel"
+)
+
+// This file extends the paper's three-workload suite with two more members
+// of the GrCUDA benchmark family the paper draws from (Parravicini et al.,
+// IPDPS'21): an image-processing pipeline and a dense-network inference —
+// additional coverage for the scheduler (deeper DAGs, stencil locality,
+// layered reuse) beyond the paper's evaluation.
+
+// ExtendedSuite returns the paper's suite plus the extension workloads.
+func ExtendedSuite() map[string]*Workload {
+	s := Suite()
+	s["images"] = Images()
+	s["deep"] = Deep()
+	return s
+}
+
+// Images is a three-stage per-partition pipeline: blur (stencil), sharpen
+// (second stencil on the blurred image) and an unsharp-mask combine back
+// into the original — a diamond-shaped DAG per partition.
+func Images() *Workload {
+	return &Workload{
+		Name:        "images",
+		Description: "image pipeline: blur, sharpen, unsharp combine (extension)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			// Footprint across three images per partition.
+			perArray := int64(p.Footprint) / int64(3*blocks) / 4
+			if perArray < 2 {
+				return fmt.Errorf("images: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			cnt := num(float64(perArray))
+			for b := 0; b < blocks; b++ {
+				img, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(img); buf != nil {
+					for i := 0; i < buf.Len(); i++ {
+						buf.Set(i, float64((i*7+b)%255))
+					}
+				}
+				if err := s.HostWrite(img); err != nil {
+					return err
+				}
+				blur, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				sharp, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				if err := s.Launch("stencil3", 1024, 256, arr(blur), arr(img), cnt); err != nil {
+					return err
+				}
+				if err := s.Launch("stencil3", 1024, 256, arr(sharp), arr(blur), cnt); err != nil {
+					return err
+				}
+				// Unsharp mask: img += 0.6 * (img - sharp) approximated
+				// as two axpys through the blurred buffer.
+				if err := s.Launch("axpy", 1024, 256, arr(img), arr(sharp), num(-0.6), cnt); err != nil {
+					return err
+				}
+				if err := s.Launch("axpy", 1024, 256, arr(img), arr(blur), num(0.6), cnt); err != nil {
+					return err
+				}
+				if err := s.HostRead(img); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Deep is a three-layer dense-network inference over row-partitioned
+// batches: per partition, gemv → bias+ReLU → gemv → bias+ReLU → gemv →
+// softmax, with per-partition weight replicas (as in MLE).
+func Deep() *Workload {
+	const features = 2048
+	return &Workload{
+		Name:        "deep",
+		Description: "3-layer dense network inference (extension)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			rowsPerBlock := int64(p.Footprint) / int64(blocks) / 4 / features
+			if rowsPerBlock < 1 {
+				return fmt.Errorf("deep: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			rows := num(float64(rowsPerBlock))
+			feat := num(float64(features))
+			for b := 0; b < blocks; b++ {
+				X, err := s.NewArray(memmodel.Float32, rowsPerBlock*features)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(X); buf != nil {
+					for i := 0; i < buf.Len(); i++ {
+						buf.Set(i, float64((i+b)%9)/9)
+					}
+				}
+				if err := s.HostWrite(X); err != nil {
+					return err
+				}
+				// Per-partition weights and biases (layers 2-3 operate on
+				// the rows-long activation vector).
+				w1, err := s.NewArray(memmodel.Float32, features)
+				if err != nil {
+					return err
+				}
+				bias, err := s.NewArray(memmodel.Float32, 1)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(w1); buf != nil {
+					buf.Fill(0.01)
+				}
+				if err := s.HostWrite(w1); err != nil {
+					return err
+				}
+				if buf := s.Buffer(bias); buf != nil {
+					buf.Fill(0.1)
+				}
+				if err := s.HostWrite(bias); err != nil {
+					return err
+				}
+				h, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				h2, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				// Layer 1: scores over the feature matrix.
+				if err := s.Launch("rowdot", 1024, 256, arr(h), arr(X), arr(w1), rows, feat); err != nil {
+					return err
+				}
+				if err := s.Launch("bias_relu", 1024, 256, arr(h), arr(bias), rows); err != nil {
+					return err
+				}
+				// Layers 2-3: transforms of the activation vector.
+				if err := s.Launch("stencil3", 1024, 256, arr(h2), arr(h), rows); err != nil {
+					return err
+				}
+				if err := s.Launch("bias_relu", 1024, 256, arr(h2), arr(bias), rows); err != nil {
+					return err
+				}
+				if err := s.Launch("softmax", 1, 256, arr(h2), rows); err != nil {
+					return err
+				}
+				if err := s.HostRead(h2); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,605 @@
+package workloads
+
+import (
+	"fmt"
+
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/memmodel"
+)
+
+// Params sizes a workload run.
+type Params struct {
+	// Footprint is the total memory footprint the paper sizes workloads
+	// by (4 GiB ... 160 GiB).
+	Footprint memmodel.Bytes
+	// Iterations applies to iterative workloads (CG). Zero means the
+	// default.
+	Iterations int
+	// Blocks overrides the partition count. Zero means the workload
+	// default.
+	Blocks int
+}
+
+func (p Params) iterations(def int) int {
+	if p.Iterations > 0 {
+		return p.Iterations
+	}
+	return def
+}
+
+func (p Params) blocks(def int) int {
+	if p.Blocks > 0 {
+		return p.Blocks
+	}
+	return def
+}
+
+// Workload is one member of the evaluation suite.
+type Workload struct {
+	// Name is the suite key: "bs", "mle", "cg" or "mv".
+	Name string
+	// Description is a one-line summary for reports.
+	Description string
+	// Build submits the workload's full CE graph to the session.
+	Build func(s Session, p Params) error
+}
+
+// Suite returns the paper's workload suite keyed by name.
+func Suite() map[string]*Workload {
+	return map[string]*Workload{
+		"bs":  BlackScholes(),
+		"mle": MLE(),
+		"cg":  CG(),
+		"mv":  MV(),
+	}
+}
+
+// arr is shorthand for an array argument.
+func arr(id dag.ArrayID) core.ArgRef { return core.ArrRef(id) }
+
+// num is shorthand for a scalar argument.
+func num(v float64) core.ArgRef { return core.ScalarRef(v) }
+
+// BlackScholes prices European options over B independent partitions —
+// the massively parallel workload of the paper's Figure 1. Footprint is
+// split across three arrays (spot, call, put) per partition.
+func BlackScholes() *Workload {
+	return &Workload{
+		Name:        "bs",
+		Description: "Black-Scholes option pricing (Fig. 1)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			perArray := int64(p.Footprint) / int64(3*blocks) / 4 // float32 elements
+			if perArray < 1 {
+				return fmt.Errorf("bs: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			for b := 0; b < blocks; b++ {
+				spot, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				call, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				put, err := s.NewArray(memmodel.Float32, perArray)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(spot); buf != nil {
+					for i := 0; i < buf.Len(); i++ {
+						buf.Set(i, 60+float64((i+b*7)%100))
+					}
+				}
+				if err := s.HostWrite(spot); err != nil {
+					return err
+				}
+				if err := s.Launch("blackscholes", 1024, 256,
+					arr(call), arr(put), arr(spot), num(float64(perArray))); err != nil {
+					return err
+				}
+				if err := s.HostRead(call); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MLE is the Machine-Learning Ensemble of the paper's Figure 5: the input
+// dataset, row-partitioned, flows through two scoring pipelines of
+// different depth (the paper notes the imbalance between branches) whose
+// class scores are combined by a final vote. The feature-matrix gathers
+// are data-dependent (random pattern), which is why MLE collapses at the
+// lowest oversubscription factor in Figure 6a.
+func MLE() *Workload {
+	const features = 4096
+	return &Workload{
+		Name:        "mle",
+		Description: "ML ensemble inference, two imbalanced pipelines (Fig. 5)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			rowsPerBlock := int64(p.Footprint) / int64(blocks) / 4 / features
+			if rowsPerBlock < 1 {
+				return fmt.Errorf("mle: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			rows := num(float64(rowsPerBlock))
+			feat := num(float64(features))
+			for b := 0; b < blocks; b++ {
+				// Per-partition model replicas (small): each data
+				// partition carries its own weight copies, so partitions
+				// share no arrays and the scheduler is free to place
+				// them independently.
+				wr1, err := s.NewArray(memmodel.Float32, features)
+				if err != nil {
+					return err
+				}
+				wr2, err := s.NewArray(memmodel.Float32, features)
+				if err != nil {
+					return err
+				}
+				wn, err := s.NewArray(memmodel.Float32, features)
+				if err != nil {
+					return err
+				}
+				for _, w := range []dag.ArrayID{wr1, wr2, wn} {
+					if buf := s.Buffer(w); buf != nil {
+						for i := 0; i < buf.Len(); i++ {
+							buf.Set(i, float64(i%13)/13-0.5)
+						}
+					}
+					if err := s.HostWrite(w); err != nil {
+						return err
+					}
+				}
+				X, err := s.NewArray(memmodel.Float32, rowsPerBlock*features)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(X); buf != nil {
+					for i := 0; i < buf.Len(); i++ {
+						buf.Set(i, float64((i*31+b)%7)/7)
+					}
+				}
+				if err := s.HostWrite(X); err != nil {
+					return err
+				}
+				sr, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				sr2, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				sn, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				out, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				// Pipeline R: two scoring passes over X (the deep branch).
+				if err := s.Launch("rowdot", 1024, 256, arr(sr), arr(X), arr(wr1), rows, feat); err != nil {
+					return err
+				}
+				if err := s.Launch("relu", 1024, 256, arr(sr), rows); err != nil {
+					return err
+				}
+				if err := s.Launch("rowdot", 1024, 256, arr(sr2), arr(X), arr(wr2), rows, feat); err != nil {
+					return err
+				}
+				if err := s.Launch("axpy", 1024, 256, arr(sr), arr(sr2), num(0.5), rows); err != nil {
+					return err
+				}
+				if err := s.Launch("softmax", 1, 256, arr(sr), rows); err != nil {
+					return err
+				}
+				// Pipeline N: one scoring pass (the shallow branch).
+				if err := s.Launch("rowdot", 1024, 256, arr(sn), arr(X), arr(wn), rows, feat); err != nil {
+					return err
+				}
+				if err := s.Launch("softmax", 1, 256, arr(sn), rows); err != nil {
+					return err
+				}
+				// Ensemble vote.
+				if err := s.Launch("combine_argmax", 1024, 256, arr(out), arr(sr), arr(sn), rows); err != nil {
+					return err
+				}
+				if err := s.HostRead(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// CG solves a row-partitioned dense symmetric system by conjugate
+// gradient: the chain of inter-dependent CEs (per-partition gemv, partial
+// dots, scalar reductions, vector updates) that stresses network
+// communication in the paper's Figure 5. All solver scalars stay in
+// one-element device arrays, so no host synchronization breaks the DAG.
+func CG() *Workload {
+	return &Workload{
+		Name:        "cg",
+		Description: "conjugate gradient on a dense SPD system (Fig. 5)",
+		Build: func(s Session, p Params) error {
+			iters := p.iterations(16)
+			// Row partitions of an N x N matrix; footprint ~= N^2*4.
+			n := int64(1)
+			for n*n*4 < int64(p.Footprint) {
+				n++
+			}
+			_, err := buildCG(s, n, iters, p.blocks(4))
+			return err
+		},
+	}
+}
+
+// CGHandles exposes the solver's result arrays: the solution blocks (in
+// row order) and the final squared residual.
+type CGHandles struct {
+	X  []dag.ArrayID
+	RR dag.ArrayID
+	N  int64
+}
+
+// buildCG submits a CG solve of an N×N system split into B row blocks
+// (one gemv CE per block per iteration, with gather and reduction trees
+// joining the partitions).
+func buildCG(s Session, n int64, iters, nBlocks int) (CGHandles, error) {
+	if n < 2 {
+		return CGHandles{}, fmt.Errorf("cg: system size %d too small", n)
+	}
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	if int64(nBlocks) > n {
+		nBlocks = int(n)
+	}
+	newVec := func(len64 int64) (dag.ArrayID, error) { return s.NewArray(memmodel.Float32, len64) }
+
+	// Row block lengths: n split as evenly as possible.
+	lens := make([]int64, nBlocks)
+	base := n / int64(nBlocks)
+	rem := n % int64(nBlocks)
+	for b := range lens {
+		lens[b] = base
+		if int64(b) < rem {
+			lens[b]++
+		}
+	}
+
+	// Matrix blocks are generated on the GPU (cg_matgen): write-only CEs
+	// the scheduler's exploration phase spreads across nodes, so the big
+	// operand never ships from the controller.
+	a := make([]dag.ArrayID, nBlocks)
+	offset := int64(0)
+	for b := range a {
+		var err error
+		if a[b], err = newVec(lens[b] * n); err != nil {
+			return CGHandles{}, err
+		}
+		if err = s.Launch("cg_matgen", 1024, 256, arr(a[b]),
+			num(float64(offset)), num(float64(lens[b])), num(float64(n))); err != nil {
+			return CGHandles{}, err
+		}
+		offset += lens[b]
+	}
+
+	x := make([]dag.ArrayID, nBlocks)
+	r := make([]dag.ArrayID, nBlocks)
+	pb := make([]dag.ArrayID, nBlocks)
+	q := make([]dag.ArrayID, nBlocks)
+	pqPart := make([]dag.ArrayID, nBlocks)
+	rrPart := make([]dag.ArrayID, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		var err error
+		if x[b], err = newVec(lens[b]); err != nil {
+			return CGHandles{}, err
+		}
+		if r[b], err = newVec(lens[b]); err != nil {
+			return CGHandles{}, err
+		}
+		if pb[b], err = newVec(lens[b]); err != nil {
+			return CGHandles{}, err
+		}
+		if q[b], err = newVec(lens[b]); err != nil {
+			return CGHandles{}, err
+		}
+		if pqPart[b], err = newVec(1); err != nil {
+			return CGHandles{}, err
+		}
+		if rrPart[b], err = newVec(1); err != nil {
+			return CGHandles{}, err
+		}
+	}
+	rr, err := newVec(1)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	rrNew, err := newVec(1)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	pq, err := newVec(1)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	alpha, err := newVec(1)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	beta, err := newVec(1)
+	if err != nil {
+		return CGHandles{}, err
+	}
+
+	// Gather tree: pairwise gather2 CEs reassemble p from its blocks.
+	// Temporaries are allocated once and reused every iteration.
+	gather, err := newGatherTree(s, pb, lens)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	// Reduction trees for the partial scalars.
+	pqTree, err := newAddTree(s, pqPart, pq)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	rrTree, err := newAddTree(s, rrPart, rrNew)
+	if err != nil {
+		return CGHandles{}, err
+	}
+	rrInitTree, err := newAddTree(s, rrPart, rr)
+	if err != nil {
+		return CGHandles{}, err
+	}
+
+	// x = 0, r = b (all ones), p = r.
+	for b := 0; b < nBlocks; b++ {
+		cnt := num(float64(lens[b]))
+		if err := s.Launch("fill", 256, 256, arr(x[b]), num(0), cnt); err != nil {
+			return CGHandles{}, err
+		}
+		if err := s.Launch("fill", 256, 256, arr(r[b]), num(1), cnt); err != nil {
+			return CGHandles{}, err
+		}
+		if err := s.Launch("copy", 256, 256, arr(pb[b]), arr(r[b]), cnt); err != nil {
+			return CGHandles{}, err
+		}
+		if err := s.Launch("dot", 256, 256, arr(rrPart[b]), arr(r[b]), arr(r[b]), cnt); err != nil {
+			return CGHandles{}, err
+		}
+	}
+	if err := rrInitTree.run(s); err != nil {
+		return CGHandles{}, err
+	}
+
+	for it := 0; it < iters; it++ {
+		// p_full = [p_0; ...; p_B-1]; q_b = A_b p_full.
+		if err := gather.run(s); err != nil {
+			return CGHandles{}, err
+		}
+		for b := 0; b < nBlocks; b++ {
+			if err := s.Launch("gemv", 1024, 256, arr(q[b]), arr(a[b]), arr(gather.root),
+				num(float64(lens[b])), num(float64(n))); err != nil {
+				return CGHandles{}, err
+			}
+		}
+		// pq = p.q; alpha = rr/pq.
+		for b := 0; b < nBlocks; b++ {
+			if err := s.Launch("dot", 256, 256, arr(pqPart[b]), arr(pb[b]), arr(q[b]),
+				num(float64(lens[b]))); err != nil {
+				return CGHandles{}, err
+			}
+		}
+		if err := pqTree.run(s); err != nil {
+			return CGHandles{}, err
+		}
+		if err := s.Launch("div_s", 1, 1, arr(alpha), arr(rr), arr(pq)); err != nil {
+			return CGHandles{}, err
+		}
+		// x += alpha p; r -= alpha q; rr_new = r.r.
+		for b := 0; b < nBlocks; b++ {
+			cnt := num(float64(lens[b]))
+			if err := s.Launch("axpy_s", 256, 256, arr(x[b]), arr(pb[b]), arr(alpha), num(1), cnt); err != nil {
+				return CGHandles{}, err
+			}
+			if err := s.Launch("axpy_s", 256, 256, arr(r[b]), arr(q[b]), arr(alpha), num(-1), cnt); err != nil {
+				return CGHandles{}, err
+			}
+			if err := s.Launch("dot", 256, 256, arr(rrPart[b]), arr(r[b]), arr(r[b]), cnt); err != nil {
+				return CGHandles{}, err
+			}
+		}
+		if err := rrTree.run(s); err != nil {
+			return CGHandles{}, err
+		}
+		// beta = rr_new/rr; p = r + beta p; rr = rr_new.
+		if err := s.Launch("div_s", 1, 1, arr(beta), arr(rrNew), arr(rr)); err != nil {
+			return CGHandles{}, err
+		}
+		for b := 0; b < nBlocks; b++ {
+			if err := s.Launch("xpay_s", 256, 256, arr(pb[b]), arr(r[b]), arr(beta),
+				num(float64(lens[b]))); err != nil {
+				return CGHandles{}, err
+			}
+		}
+		if err := s.Launch("copy", 1, 1, arr(rr), arr(rrNew), num(1)); err != nil {
+			return CGHandles{}, err
+		}
+	}
+	// Read back the solution and the final residual norm.
+	for b := 0; b < nBlocks; b++ {
+		if err := s.HostRead(x[b]); err != nil {
+			return CGHandles{}, err
+		}
+	}
+	if err := s.HostRead(rr); err != nil {
+		return CGHandles{}, err
+	}
+	return CGHandles{X: x, RR: rr, N: n}, nil
+}
+
+// gatherTree reassembles partitioned vectors by pairwise gather2 CEs.
+type gatherTree struct {
+	// steps are (dst, src0, src1, n0, n1) gather2 launches in order.
+	steps [][5]any
+	root  dag.ArrayID
+}
+
+func newGatherTree(s Session, blocks []dag.ArrayID, lens []int64) (*gatherTree, error) {
+	t := &gatherTree{}
+	level := append([]dag.ArrayID(nil), blocks...)
+	sizes := append([]int64(nil), lens...)
+	for len(level) > 1 {
+		var next []dag.ArrayID
+		var nextSizes []int64
+		for i := 0; i+1 < len(level); i += 2 {
+			dst, err := s.NewArray(memmodel.Float32, sizes[i]+sizes[i+1])
+			if err != nil {
+				return nil, err
+			}
+			t.steps = append(t.steps, [5]any{dst, level[i], level[i+1], sizes[i], sizes[i+1]})
+			next = append(next, dst)
+			nextSizes = append(nextSizes, sizes[i]+sizes[i+1])
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+			nextSizes = append(nextSizes, sizes[len(sizes)-1])
+		}
+		level, sizes = next, nextSizes
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func (t *gatherTree) run(s Session) error {
+	for _, st := range t.steps {
+		if err := s.Launch("gather2", 256, 256,
+			arr(st[0].(dag.ArrayID)), arr(st[1].(dag.ArrayID)), arr(st[2].(dag.ArrayID)),
+			num(float64(st[3].(int64))), num(float64(st[4].(int64)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addTree reduces partial one-element scalars into a destination scalar by
+// pairwise add_s CEs (copy when there is a single partial).
+type addTree struct {
+	steps [][3]dag.ArrayID // dst, src0, src1
+	copy1 bool
+	src   dag.ArrayID
+	dst   dag.ArrayID
+}
+
+func newAddTree(s Session, parts []dag.ArrayID, dst dag.ArrayID) (*addTree, error) {
+	t := &addTree{dst: dst}
+	if len(parts) == 1 {
+		t.copy1 = true
+		t.src = parts[0]
+		return t, nil
+	}
+	level := append([]dag.ArrayID(nil), parts...)
+	for len(level) > 1 {
+		var next []dag.ArrayID
+		for i := 0; i+1 < len(level); i += 2 {
+			var out dag.ArrayID
+			if len(level) == 2 {
+				out = dst
+			} else {
+				var err error
+				if out, err = s.NewArray(memmodel.Float32, 1); err != nil {
+					return nil, err
+				}
+			}
+			t.steps = append(t.steps, [3]dag.ArrayID{out, level[i], level[i+1]})
+			next = append(next, out)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return t, nil
+}
+
+func (t *addTree) run(s Session) error {
+	if t.copy1 {
+		return s.Launch("copy", 1, 1, arr(t.dst), arr(t.src), num(1))
+	}
+	for _, st := range t.steps {
+		if err := s.Launch("add_s", 1, 1, arr(st[0]), arr(st[1]), arr(st[2])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CGExplicit builds a CG solve of an explicit N×N system (tests and the
+// numeric example use this to control conditioning directly), returning
+// handles to the solution and residual arrays.
+func CGExplicit(s Session, n int64, iters, blocks int) (CGHandles, error) {
+	return buildCG(s, n, iters, blocks)
+}
+
+// MV is the row-partitioned dense matrix-vector product of the paper's
+// Figure 5: independent gemv CEs over matrix row blocks sharing the dense
+// input vector, joined by the result read-back. Its single massive
+// sequential sweep is what makes the storm cliff most dramatic (342× in
+// Figure 6a).
+func MV() *Workload {
+	const cols = 16384
+	return &Workload{
+		Name:        "mv",
+		Description: "row-partitioned dense matrix-vector product (Fig. 5)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(8)
+			rowsPerBlock := int64(p.Footprint) / int64(blocks) / 4 / cols
+			if rowsPerBlock < 1 {
+				return fmt.Errorf("mv: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			x, err := s.NewArray(memmodel.Float32, cols)
+			if err != nil {
+				return err
+			}
+			if buf := s.Buffer(x); buf != nil {
+				buf.Fill(1)
+			}
+			if err := s.HostWrite(x); err != nil {
+				return err
+			}
+			rows := num(float64(rowsPerBlock))
+			for b := 0; b < blocks; b++ {
+				A, err := s.NewArray(memmodel.Float32, rowsPerBlock*cols)
+				if err != nil {
+					return err
+				}
+				if buf := s.Buffer(A); buf != nil {
+					for i := 0; i < buf.Len(); i++ {
+						buf.Set(i, float64((i+b)%5))
+					}
+				}
+				if err := s.HostWrite(A); err != nil {
+					return err
+				}
+				y, err := s.NewArray(memmodel.Float32, rowsPerBlock)
+				if err != nil {
+					return err
+				}
+				if err := s.Launch("gemv", 1024, 256, arr(y), arr(A), arr(x), rows, num(cols)); err != nil {
+					return err
+				}
+				if err := s.HostRead(y); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
