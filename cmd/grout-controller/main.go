@@ -53,10 +53,11 @@ func main() {
 	level := flag.String("level", "medium", "exploration level for online policies")
 	partitions := flag.Int("partitions", 4, "portfolio partitions (CEs)")
 	elems := flag.Int("elems", 4096, "options per partition")
+	pipeline := flag.Bool("pipeline", false, "overlap CE dispatch with scheduling (DESIGN.md §5.1)")
 	flag.Parse()
 
 	addrs := strings.Split(*workers, ",")
-	remote, err := grout.Connect(addrs, grout.Config{Policy: *policyName, Level: *level})
+	remote, err := grout.Connect(addrs, grout.Config{Policy: *policyName, Level: *level, Pipeline: *pipeline})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,6 +108,10 @@ func main() {
 			bench.PrintSeries(os.Stdout,
 				"Fig 9: controller scheduling overhead per CE (wall-clock µs) vs node count",
 				"nodes ->", "%.1f", bench.Fig9(*ces))
+			fmt.Println()
+			bench.PrintSeries(os.Stdout,
+				"Fig 9 companion: caller-blocked wall-clock per CE (µs), serial vs pipelined dispatch",
+				"nodes ->", "%.1f", bench.Fig9Compare(*ces))
 		})
 	}
 	if sel("ablation") {

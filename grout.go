@@ -76,6 +76,12 @@ type Config struct {
 	// and transfers ship buffer contents. Use for correctness-sensitive
 	// programs; disable for large cost-model-only sweeps.
 	Numeric bool
+	// Pipeline overlaps CE dispatch with scheduling: Submit returns after
+	// the scheduling decision and per-worker goroutines issue data
+	// movements and launches in the background (results identical to the
+	// serial schedule; see DESIGN.md §5.1). Launch/HostRead/HostWrite
+	// still synchronize where required.
+	Pipeline bool
 }
 
 func (c Config) policy() (policy.Policy, error) {
@@ -117,7 +123,7 @@ func NewSimulatedCluster(cfg Config) (*Cluster, error) {
 	}
 	clu := cluster.New(cluster.PaperSpec(workers))
 	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), cfg.Numeric)
-	ctl := core.NewController(fab, pol, core.Options{Numeric: cfg.Numeric})
+	ctl := core.NewController(fab, pol, core.Options{Numeric: cfg.Numeric, Pipeline: cfg.Pipeline})
 	return &Cluster{
 		Controller: ctl,
 		Context:    polyglot.NewGroutContext(ctl),
@@ -158,7 +164,7 @@ func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl := core.NewController(fab, pol, core.Options{Numeric: true})
+	ctl := core.NewController(fab, pol, core.Options{Numeric: true, Pipeline: cfg.Pipeline})
 	return &Remote{
 		Controller: ctl,
 		Context:    polyglot.NewGroutContext(ctl),
@@ -166,8 +172,18 @@ func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
 	}, nil
 }
 
-// Close releases the remote deployment's connections.
-func (r *Remote) Close() error { return r.Fabric.Close() }
+// Close releases the remote deployment's connections (draining the
+// dispatch pipeline first when one is running).
+func (r *Remote) Close() error {
+	err := r.Controller.Close()
+	if cerr := r.Fabric.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close drains and stops the controller's dispatch pipeline, if any.
+func (c *Cluster) Close() error { return c.Controller.Close() }
 
 // Policies lists the available inter-node policy names.
 func Policies() []string { return policy.Names() }

@@ -316,6 +316,81 @@ func Fig9(cesPerRun int) []Series {
 	return out
 }
 
+// Fig9Compare contrasts the serial and pipelined submission paths on the
+// Figure 9 synthetic stream: for each policy and node count, the
+// wall-clock time the CE stream is blocked per submission — Launch for the
+// serial path (scheduling + dispatch inline), Submit for the pipelined one
+// (scheduling only; dispatch overlaps with later admissions). Two series
+// per policy — "<policy>/serial" and "<policy>/pipelined" — in
+// microseconds per CE.
+func Fig9Compare(cesPerRun int) []Series {
+	if cesPerRun <= 0 {
+		cesPerRun = 512
+	}
+	names := []string{"round-robin", "vector-step", "min-transfer-size", "min-transfer-time"}
+	mk := func(name string) policy.Policy {
+		p, err := policy.New(name, []int{1}, policy.Medium)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	var out []Series
+	for _, name := range names {
+		serial := Series{Name: name + "/serial"}
+		piped := Series{Name: name + "/pipelined"}
+		for _, nodes := range Fig9NodeCounts {
+			us := submitWallClockProbe(nodes, cesPerRun, mk(name), false)
+			serial.Points = append(serial.Points, Point{X: float64(nodes), Value: us})
+			us = submitWallClockProbe(nodes, cesPerRun, mk(name), true)
+			piped.Points = append(piped.Points, Point{X: float64(nodes), Value: us})
+		}
+		out = append(out, serial, piped)
+	}
+	return out
+}
+
+// submitWallClockProbe measures the wall-clock microseconds per CE the
+// caller is blocked submitting the Fig. 9 stream (the final drain is not
+// part of the per-CE admission cost and is excluded).
+func submitWallClockProbe(nodes, ces int, pol policy.Policy, pipelined bool) float64 {
+	clu := cluster.New(cluster.PaperSpec(nodes))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, pol, core.Options{Pipeline: pipelined})
+	defer ctl.Close()
+	const arrays = 16
+	ids := make([]core.ArgRef, arrays)
+	const elems = int64(16 * memmodel.MiB / 4)
+	for i := range ids {
+		arr, err := ctl.NewArray(memmodel.Float32, elems)
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = core.ArrRef(arr.ID)
+	}
+	start := time.Now()
+	for i := 0; i < ces; i++ {
+		inv := core.Invocation{
+			Kernel: "relu",
+			Args:   []core.ArgRef{ids[i%arrays], core.ScalarRef(float64(elems))},
+		}
+		var err error
+		if pipelined {
+			_, err = ctl.Submit(inv)
+		} else {
+			_, err = ctl.Launch(inv)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	blocked := time.Since(start)
+	if err := ctl.Drain(); err != nil {
+		panic(err)
+	}
+	return float64(blocked.Nanoseconds()) / float64(ces) / 1e3
+}
+
 // schedulingOverheadProbe runs a synthetic CE stream on a cluster of the
 // given size and reports the controller's mean scheduling overhead in
 // microseconds per CE.
@@ -351,13 +426,19 @@ func PrintSeries(w io.Writer, title, xLabel, vFmt string, series []Series) {
 	if len(series) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "%-22s", xLabel)
+	nameW := len(xLabel)
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", nameW, xLabel)
 	for _, p := range series[0].Points {
 		fmt.Fprintf(w, "%12.4g", p.X)
 	}
 	fmt.Fprintln(w)
 	for _, s := range series {
-		fmt.Fprintf(w, "%-22s", s.Name)
+		fmt.Fprintf(w, "%-*s", nameW, s.Name)
 		for _, p := range s.Points {
 			cell := fmt.Sprintf(vFmt, p.Value)
 			if p.Capped {

@@ -151,6 +151,43 @@ func (c *Cluster) EstimateTransfer(src, dst NodeID, n memmodel.Bytes) sim.Virtua
 	return c.spec.Latency + sim.VirtualTime(float64(n)/bw*1e9)
 }
 
+// EstimateTransferAll fills out[dst] with EstimateTransfer(src, dst, n)
+// for every dst in dsts (out is indexed by NodeID). When the spec has no
+// per-pair overrides the estimate depends only on whether dst is the
+// controller, so the common case is one bandwidth computation amortized
+// over all destinations.
+func (c *Cluster) EstimateTransferAll(src NodeID, n memmodel.Bytes, dsts []NodeID, out []sim.VirtualTime) {
+	if len(c.spec.PairBW) != 0 {
+		for _, dst := range dsts {
+			out[dst] = c.EstimateTransfer(src, dst, n)
+		}
+		return
+	}
+	// No overrides: all worker destinations share one rate.
+	workerEst := c.EstimateTransfer(src, pickWorkerDst(src, dsts), n)
+	for _, dst := range dsts {
+		switch {
+		case dst == src:
+			out[dst] = 0
+		case dst == ControllerID:
+			out[dst] = c.EstimateTransfer(src, dst, n)
+		default:
+			out[dst] = workerEst
+		}
+	}
+}
+
+// pickWorkerDst returns a worker destination distinct from src to probe
+// the shared worker rate (any one will do; ControllerID if none exists).
+func pickWorkerDst(src NodeID, dsts []NodeID) NodeID {
+	for _, d := range dsts {
+		if d != src && d.IsWorker() {
+			return d
+		}
+	}
+	return ControllerID
+}
+
 // Transfer simulates moving n bytes from src to dst, not before ready.
 // Each endpoint's NIC is occupied for the time *it* needs to push or pull
 // the bytes at its own line rate, while the transfer completes at the

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"grout/internal/cluster"
@@ -24,13 +25,55 @@ type GlobalArray struct {
 	// Buf is the controller's host copy (nil in cost-only mode).
 	Buf *kernels.Buffer
 	// upToDate[n] holds the virtual time the copy on node n became
-	// valid; a node absent from the map is stale.
+	// valid; a node absent from the map is stale. It is the
+	// authoritative registry, written as CEs actually dispatch.
 	upToDate map[cluster.NodeID]sim.VirtualTime
+	// member is the scheduler's membership view of upToDate: the same
+	// key set, but updated at scheduling time. In serial mode the two
+	// always agree; under pipelined dispatch member runs ahead,
+	// reflecting the post-dispatch locations of every CE already
+	// admitted — exactly the view the next scheduling decision needs.
+	member map[cluster.NodeID]struct{}
+	// mask mirrors member as a NodeID-indexed bitmap so the O(workers)
+	// scheduling loop avoids per-cell map lookups.
+	mask []bool
+	// gen invalidates est: it advances whenever member changes.
+	gen uint64
+	// est caches the per-worker best-source transfer estimates the
+	// informed policies consult, indexed by NodeID. The vector is valid
+	// while estAgen/estDgen match the array's location generation and
+	// the controller's dead-set generation — the only events that can
+	// change a best source or its idle-network estimate (bandwidths are
+	// fixed at cluster construction).
+	est              []sim.VirtualTime
+	estAgen, estDgen uint64
+	// size caches Bytes() for the scheduling hot path.
+	size memmodel.Bytes
 }
 
-// UpToDateOn reports whether node n holds a valid copy.
+// maskHas reports membership via the bitmap.
+func (g *GlobalArray) maskHas(n cluster.NodeID) bool {
+	return int(n) < len(g.mask) && g.mask[n]
+}
+
+func (g *GlobalArray) maskSet(n cluster.NodeID) {
+	if int(n) >= len(g.mask) {
+		grown := make([]bool, int(n)+1)
+		copy(grown, g.mask)
+		g.mask = grown
+	}
+	g.mask[n] = true
+}
+
+func (g *GlobalArray) maskClearAll() {
+	for i := range g.mask {
+		g.mask[i] = false
+	}
+}
+
+// UpToDateOn reports whether node n holds a valid copy (scheduler view).
 func (g *GlobalArray) UpToDateOn(n cluster.NodeID) bool {
-	_, ok := g.upToDate[n]
+	_, ok := g.member[n]
 	return ok
 }
 
@@ -42,8 +85,8 @@ func (g *GlobalArray) ReadyAt(n cluster.NodeID) (sim.VirtualTime, bool) {
 
 // Locations lists the nodes holding valid copies.
 func (g *GlobalArray) Locations() []cluster.NodeID {
-	out := make([]cluster.NodeID, 0, len(g.upToDate))
-	for n := range g.upToDate {
+	out := make([]cluster.NodeID, 0, len(g.member))
+	for n := range g.member {
 		out = append(out, n)
 	}
 	return out
@@ -72,9 +115,28 @@ type Options struct {
 	// survivors, re-shipping inputs from a live source. Arrays whose only
 	// valid copy died surface a data-loss error instead.
 	Failover bool
+	// Pipeline decouples the timed scheduling section from data movement
+	// and launch: Submit admits CEs while per-worker dispatch goroutines
+	// issue transfers and launches in the background. Virtual-time
+	// results are identical to the serial path (see pipeline.go). Call
+	// Close when done to stop the dispatchers.
+	Pipeline bool
+	// PipelineDepth bounds each worker's dispatch queue (default 64).
+	PipelineDepth int
+	// TraceCapacity preallocates the per-CE trace buffer for long
+	// streams (a hint; the buffer still grows past it).
+	TraceCapacity int
+	// DisableTraces stops per-CE trace accumulation entirely so
+	// long-running production streams do not grow memory linearly.
+	// Aggregate counters (Elapsed, MovedBytes, scheduling overhead)
+	// still update; Traces() returns nil and trace export is empty.
+	DisableTraces bool
 }
 
 // Controller is GrOUT's front end: the component user programs talk to.
+// Scheduling methods (Submit, Launch, HostRead, HostWrite, NewArray) must
+// be called from one goroutine; with Options.Pipeline the dispatch stage
+// runs concurrently behind them.
 type Controller struct {
 	fabric   Fabric
 	pol      policy.Policy
@@ -85,12 +147,39 @@ type Controller struct {
 	graph   *dag.Graph
 	arrays  map[dag.ArrayID]*GlobalArray
 	nextArr dag.ArrayID
+
+	// mu guards the dispatch-shared state below (ceEnd, array registry
+	// times, totals, traces, dead set, policy). cond is broadcast
+	// whenever a dispatch commit publishes new state.
+	mu   sync.Mutex
+	cond *sync.Cond
+
 	ceEnd   map[dag.CEID]sim.VirtualTime
 	traces  []CETrace
+	noTrace bool
 	elapsed sim.VirtualTime
 
-	// dead records workers the controller has written off (Failover).
-	dead map[cluster.NodeID]bool
+	// dead records workers the controller has written off (Failover);
+	// deadGen advances on every change, invalidating estimate caches.
+	dead    map[cluster.NodeID]bool
+	deadGen uint64
+	// alive caches the live worker list; nil means rebuild.
+	alive []cluster.NodeID
+
+	// reqNodes is the reusable buildRequest scratch buffer. Policies may
+	// not retain Request.Nodes past Assign.
+	reqNodes []policy.NodeInfo
+	// estScratch is the reusable per-source buffer of refreshEst.
+	estScratch []sim.VirtualTime
+	// metasBuf is validate's argument-metadata scratch (kernel Access
+	// hooks must not retain it).
+	metasBuf []kernels.ArgMeta
+	// schedBuf is the serial path's reusable scheduled record; the
+	// pipelined path allocates per CE since dispatch outlives Submit.
+	schedBuf scheduled
+
+	// pipe is the pipelined dispatch engine (nil in serial mode).
+	pipe *pipeline
 
 	// totals
 	movedBytes memmodel.Bytes
@@ -107,7 +196,7 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 	if reg == nil {
 		reg = kernels.StdRegistry()
 	}
-	return &Controller{
+	c := &Controller{
 		fabric:   fabric,
 		pol:      pol,
 		reg:      reg,
@@ -118,35 +207,75 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 		nextArr:  1,
 		ceEnd:    make(map[dag.CEID]sim.VirtualTime),
 		dead:     make(map[cluster.NodeID]bool),
+		deadGen:  1,
+		noTrace:  opts.DisableTraces,
 	}
+	c.cond = sync.NewCond(&c.mu)
+	if opts.TraceCapacity > 0 && !opts.DisableTraces {
+		c.traces = make([]CETrace, 0, opts.TraceCapacity)
+	}
+	if opts.Pipeline {
+		c.pipe = newPipeline(c, opts.PipelineDepth)
+	}
+	return c
 }
 
-// aliveWorkers filters the fabric's workers through the dead list.
+// Close stops the pipelined dispatchers after draining in-flight CEs. It
+// is a no-op for serial controllers and is idempotent.
+func (c *Controller) Close() error {
+	if c.pipe == nil {
+		return nil
+	}
+	return c.pipe.close()
+}
+
+// Drain waits until every submitted CE has dispatched and reports the
+// first terminal error, if any. A no-op in serial mode.
+func (c *Controller) Drain() error {
+	if c.pipe == nil {
+		return nil
+	}
+	return c.pipe.drain()
+}
+
+// aliveWorkers returns the live worker list, maintained incrementally:
+// the fabric's worker set is fixed, so the list only changes when a
+// worker is written off.
 func (c *Controller) aliveWorkers() []cluster.NodeID {
-	all := c.fabric.Workers()
-	if len(c.dead) == 0 {
-		return all
-	}
-	alive := make([]cluster.NodeID, 0, len(all))
-	for _, w := range all {
-		if !c.dead[w] {
-			alive = append(alive, w)
+	if c.alive == nil {
+		all := c.fabric.Workers()
+		alive := make([]cluster.NodeID, 0, len(all))
+		for _, w := range all {
+			if !c.dead[w] {
+				alive = append(alive, w)
+			}
 		}
+		c.alive = alive
 	}
-	return alive
+	return c.alive
 }
 
 // markDead writes a worker off: it disappears from scheduling candidates
-// and from every array's valid-location set.
+// and from every array's valid-location set. Caller holds mu.
 func (c *Controller) markDead(w cluster.NodeID) {
 	if c.dead[w] {
 		return
 	}
 	c.dead[w] = true
+	c.deadGen++
+	c.alive = nil
 	c.failovers++
 	for _, arr := range c.arrays {
 		delete(arr.upToDate, w)
+		if _, ok := arr.member[w]; ok {
+			delete(arr.member, w)
+			if int(w) < len(arr.mask) {
+				arr.mask[w] = false
+			}
+			arr.gen++
+		}
 	}
+	c.cond.Broadcast()
 }
 
 // Failovers reports how many workers the controller has written off.
@@ -154,6 +283,8 @@ func (c *Controller) Failovers() int { return c.failovers }
 
 // DeadWorkers lists written-off workers.
 func (c *Controller) DeadWorkers() []cluster.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]cluster.NodeID, 0, len(c.dead))
 	for w := range c.dead {
 		out = append(out, w)
@@ -165,7 +296,10 @@ func (c *Controller) DeadWorkers() []cluster.NodeID {
 func (c *Controller) Policy() policy.Policy { return c.pol }
 
 // SetPolicy swaps the inter-node policy (between workloads).
-func (c *Controller) SetPolicy(p policy.Policy) { c.pol = p }
+func (c *Controller) SetPolicy(p policy.Policy) {
+	c.Drain()
+	c.pol = p
+}
 
 // Graph exposes the Global DAG.
 func (c *Controller) Graph() *dag.Graph { return c.graph }
@@ -173,17 +307,29 @@ func (c *Controller) Graph() *dag.Graph { return c.graph }
 // Registry exposes the kernel registry.
 func (c *Controller) Registry() *kernels.Registry { return c.reg }
 
-// Traces returns the per-CE schedule trace.
-func (c *Controller) Traces() []CETrace { return c.traces }
+// Traces returns the per-CE schedule trace (nil with DisableTraces).
+func (c *Controller) Traces() []CETrace {
+	c.Drain()
+	return c.traces
+}
 
 // Elapsed reports the workload makespan in virtual time.
-func (c *Controller) Elapsed() sim.VirtualTime { return c.elapsed }
+func (c *Controller) Elapsed() sim.VirtualTime {
+	c.Drain()
+	return c.elapsed
+}
 
 // MovedBytes reports total bytes shipped over the network.
-func (c *Controller) MovedBytes() memmodel.Bytes { return c.movedBytes }
+func (c *Controller) MovedBytes() memmodel.Bytes {
+	c.Drain()
+	return c.movedBytes
+}
 
 // P2PMoves reports how many worker-to-worker transfers were issued.
-func (c *Controller) P2PMoves() int { return c.p2pMoves }
+func (c *Controller) P2PMoves() int {
+	c.Drain()
+	return c.p2pMoves
+}
 
 // MeanSchedulingOverhead reports the mean wall-clock time the Controller
 // spent deciding placement per CE — the quantity of the paper's Figure 9.
@@ -205,7 +351,11 @@ func (c *Controller) NewArray(kind memmodel.ElemKind, n int64) (*GlobalArray, er
 	arr := &GlobalArray{
 		ArrayMeta: grcuda.ArrayMeta{ID: id, Kind: kind, Len: n},
 		upToDate:  map[cluster.NodeID]sim.VirtualTime{cluster.ControllerID: 0},
+		member:    map[cluster.NodeID]struct{}{cluster.ControllerID: {}},
+		gen:       1,
 	}
+	arr.maskSet(cluster.ControllerID)
+	arr.size = arr.Bytes()
 	if c.numeric {
 		arr.Buf = kernels.NewBuffer(kind, int(n))
 	}
@@ -218,6 +368,7 @@ func (c *Controller) Array(id dag.ArrayID) *GlobalArray { return c.arrays[id] }
 
 // FreeArray releases a global array everywhere.
 func (c *Controller) FreeArray(id dag.ArrayID) error {
+	c.Drain()
 	if _, ok := c.arrays[id]; !ok {
 		return fmt.Errorf("core: free of unknown array %d", id)
 	}
@@ -230,45 +381,136 @@ func (c *Controller) FreeArray(id dag.ArrayID) error {
 	return nil
 }
 
-// Launch submits a kernel CE: paper Algorithm 1. The CE enters the Global
-// DAG, the policy picks a Worker, the minimal data movements are issued
-// (controller→worker or P2P), and the CE is forwarded to the Worker's
-// intra-node scheduler. Returns the CE's completion time.
-func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
+// refreshEst recomputes an array's per-worker transfer-estimate vector:
+// for every worker w, the idle-network time to pull the array from its
+// best live source (workers preferred over the controller, fastest link
+// within a class — bestSource's rule). The vector is then served from
+// cache until the array's location set or the dead set changes.
+func (c *Controller) refreshEst(arr *GlobalArray, workers []cluster.NodeID) {
+	maxID := 0
+	for _, w := range workers {
+		if int(w) > maxID {
+			maxID = int(w)
+		}
+	}
+	if len(arr.est) < maxID+1 {
+		arr.est = make([]sim.VirtualTime, maxID+1)
+	}
+	est := arr.est
+	for i := range est {
+		est[i] = sim.Infinity
+	}
+	if cap(c.estScratch) < maxID+1 {
+		c.estScratch = make([]sim.VirtualTime, maxID+1)
+	}
+	scratch := c.estScratch[:maxID+1]
+
+	merge := func(src cluster.NodeID) {
+		c.bulkEstimate(src, arr.size, workers, scratch)
+		for _, w := range workers {
+			if scratch[w] < est[w] {
+				est[w] = scratch[w]
+			}
+		}
+	}
+	// Worker sources shadow the controller (P2P preference): only fall
+	// back to controller/no-source estimates for workers no live worker
+	// source can serve — with a single shared vector that means "when
+	// there are no worker sources at all", which matches bestSource since
+	// source sets don't vary per target (only the target itself is
+	// excluded, and a target that is its own source is already handled by
+	// the UpToDate branch).
+	haveWorkerSrc := false
+	for n := range arr.member {
+		if n.IsWorker() && !c.dead[n] {
+			haveWorkerSrc = true
+			merge(n)
+		}
+	}
+	if !haveWorkerSrc {
+		// Controller source, or — with no live copy anywhere — the
+		// controller link as a placeholder (the policy's view only; the
+		// dispatch stage surfaces data loss).
+		merge(cluster.ControllerID)
+	}
+	arr.estAgen, arr.estDgen = arr.gen, c.deadGen
+}
+
+// bulkEstimate fills out[w] for every worker with the idle-network
+// estimate for shipping n bytes from src, using the fabric's bulk path
+// when it has one.
+func (c *Controller) bulkEstimate(src cluster.NodeID, n memmodel.Bytes, workers []cluster.NodeID, out []sim.VirtualTime) {
+	if be, ok := c.fabric.(BulkEstimator); ok {
+		be.EstimateTransferAll(src, n, workers, out)
+		return
+	}
+	for _, w := range workers {
+		out[w] = c.fabric.EstimateTransfer(src, w, n)
+	}
+}
+
+// scheduled is the outcome of the timed scheduling section: everything
+// the dispatch stage needs to move data and launch the CE.
+type scheduled struct {
+	ce        *dag.CE
+	ancestors []*dag.Vertex // read-only view owned by the DAG
+	inv       Invocation
+	accs      []memmodel.Access
+	target    cluster.NodeID
+	// upAtSched[i] records, for array argument i, whether the target
+	// already held (or was already scheduled to receive) a valid copy
+	// when this CE was admitted — the dispatch stage waits for that copy
+	// instead of issuing a redundant move.
+	upAtSched []bool
+	schedDur  time.Duration
+}
+
+// validate checks an invocation against the kernel registry and returns
+// its definition and argument metadata.
+func (c *Controller) validate(inv Invocation) (*kernels.Def, []memmodel.Access, error) {
 	def, ok := c.reg.Lookup(inv.Kernel)
 	if !ok {
-		return 0, fmt.Errorf("core: unknown kernel %q", inv.Kernel)
+		return nil, nil, fmt.Errorf("core: unknown kernel %q", inv.Kernel)
 	}
 	if len(inv.Args) != len(def.Sig.Params) {
-		return 0, fmt.Errorf("core: %s wants %d arguments, got %d",
+		return nil, nil, fmt.Errorf("core: %s wants %d arguments, got %d",
 			inv.Kernel, len(def.Sig.Params), len(inv.Args))
 	}
-	if len(c.aliveWorkers()) == 0 {
-		return 0, fmt.Errorf("core: no workers available")
+	if cap(c.metasBuf) < len(inv.Args) {
+		c.metasBuf = make([]kernels.ArgMeta, len(inv.Args))
 	}
-
-	// Argument metadata and access derivation.
-	metas := make([]kernels.ArgMeta, len(inv.Args))
+	metas := c.metasBuf[:len(inv.Args)]
 	for i, a := range inv.Args {
 		if a.IsArray {
 			if !def.Sig.Params[i].Pointer {
-				return 0, fmt.Errorf("core: %s argument %d must be a scalar", inv.Kernel, i)
+				return nil, nil, fmt.Errorf("core: %s argument %d must be a scalar", inv.Kernel, i)
 			}
 			arr, ok := c.arrays[a.Array]
 			if !ok {
-				return 0, fmt.Errorf("core: %s references unknown array %d", inv.Kernel, a.Array)
+				return nil, nil, fmt.Errorf("core: %s references unknown array %d", inv.Kernel, a.Array)
 			}
 			metas[i] = kernels.ArgMeta{IsBuffer: true, Len: arr.Len}
 		} else {
 			if def.Sig.Params[i].Pointer {
-				return 0, fmt.Errorf("core: %s argument %d must be an array", inv.Kernel, i)
+				return nil, nil, fmt.Errorf("core: %s argument %d must be an array", inv.Kernel, i)
 			}
 			metas[i] = kernels.ArgMeta{Scalar: a.Scalar}
 		}
 	}
-	accs := def.Access(metas)
+	return def, def.Access(metas), nil
+}
 
-	// --- Scheduling decision (timed: this is Figure 9's overhead). ---
+// skipOldBytes reports whether argument i's old contents never move: a
+// write-only full overwrite.
+func skipOldBytes(accs []memmodel.Access, i int) bool {
+	return accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1
+}
+
+// schedule runs the timed scheduling section (the paper's Figure 9
+// overhead): DAG insertion, the policy's placement decision, and the
+// membership prediction that lets the next CE be admitted before this one
+// has dispatched. It fills s in place. Caller holds mu.
+func (c *Controller) schedule(inv Invocation, accs []memmodel.Access, s *scheduled) {
 	schedStart := time.Now()
 
 	// Add CE to the Global DAG's frontier.
@@ -280,43 +522,193 @@ func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
 	}
 	ce := c.graph.NewCE(inv.Kernel, dagAccs, nil)
 	ancestors := c.graph.Add(ce)
-	depReady := sim.VirtualTime(0)
-	for _, a := range ancestors {
-		if end := c.ceEnd[a.CE.ID]; end > depReady {
-			depReady = end
-		}
-	}
 
 	// Apply the node-level scheduling policy.
 	req := c.buildRequest(ce, inv.Args, accs)
 	target := c.pol.Assign(req)
 
-	schedDur := time.Since(schedStart)
-	c.schedTime += schedDur
-	c.schedCEs++
-	// --- End of timed scheduling section. ---
+	s.ce, s.ancestors, s.inv, s.accs, s.target = ce, ancestors, inv, accs, target
+	c.predictMembership(s)
 
-	// Issue the data movements and forward the CE; under Failover a
-	// failing worker is written off and the CE rescheduled on survivors.
-	var end sim.VirtualTime
-	var ready sim.VirtualTime
+	s.schedDur = time.Since(schedStart)
+	c.schedTime += s.schedDur
+	c.schedCEs++
+}
+
+// predictMembership applies the CE's effect on the data-location
+// membership view at admission time: moved arrays gain the target, written
+// arrays collapse to it. This is what keeps scheduling decisions identical
+// to the serial schedule while dispatch lags behind.
+func (c *Controller) predictMembership(s *scheduled) {
+	if cap(s.upAtSched) < len(s.inv.Args) {
+		s.upAtSched = make([]bool, len(s.inv.Args))
+	}
+	// Only array-argument slots are written and read; stale scratch in
+	// scalar slots is never consulted.
+	s.upAtSched = s.upAtSched[:len(s.inv.Args)]
+	for i, a := range s.inv.Args {
+		if !a.IsArray {
+			continue
+		}
+		arr := c.arrays[a.Array]
+		_, up := arr.member[s.target]
+		s.upAtSched[i] = up
+		if !up && !skipOldBytes(s.accs, i) {
+			arr.member[s.target] = struct{}{}
+			arr.maskSet(s.target)
+			arr.gen++
+		}
+	}
+	for i, a := range s.inv.Args {
+		if a.IsArray && s.accs[i].Mode.Writes() {
+			arr := c.arrays[a.Array]
+			clear(arr.member)
+			arr.maskClearAll()
+			arr.member[s.target] = struct{}{}
+			arr.maskSet(s.target)
+			arr.gen++
+		}
+	}
+}
+
+// Launch submits a kernel CE and waits for it: paper Algorithm 1. The CE
+// enters the Global DAG, the policy picks a Worker, the minimal data
+// movements are issued (controller→worker or P2P), and the CE is forwarded
+// to the Worker's intra-node scheduler. Returns the CE's completion time.
+//
+// With Options.Pipeline, Launch still blocks until the CE completes; use
+// Submit to overlap scheduling with dispatch.
+func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
+	if c.pipe == nil {
+		// Serial fast path: reuse the controller's scheduled record,
+		// skip the Pending.
+		s, err := c.admit(inv, &c.schedBuf)
+		if err != nil {
+			return 0, err
+		}
+		return c.dispatch(s)
+	}
+	p, err := c.Submit(inv)
+	if err != nil {
+		return 0, err
+	}
+	return p.Wait()
+}
+
+// Submit admits a kernel CE. In serial mode it schedules and dispatches
+// synchronously; with Options.Pipeline it returns as soon as the
+// scheduling decision is made, leaving data movement and launch to the
+// per-worker dispatchers. Validation errors surface here; dispatch errors
+// surface on the returned Pending (and on Drain).
+func (c *Controller) Submit(inv Invocation) (*Pending, error) {
+	s, err := c.admit(inv, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.pipe != nil {
+		return c.pipe.enqueue(s)
+	}
+	end, err := c.dispatch(s)
+	p := &Pending{done: closedChan, end: end, err: err}
+	return p, err
+}
+
+// admit validates an invocation and runs the scheduling stage, filling
+// into (or allocating, when into is nil) the scheduled record.
+func (c *Controller) admit(inv Invocation, into *scheduled) (*scheduled, error) {
+	_, accs, err := c.validate(inv)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pipe != nil {
+		if err := c.pipe.err; err != nil {
+			return nil, err
+		}
+	}
+	if len(c.aliveWorkers()) == 0 {
+		return nil, fmt.Errorf("core: no workers available")
+	}
+	if into == nil {
+		into = new(scheduled)
+	}
+	c.schedule(inv, accs, into)
+	return into, nil
+}
+
+// closedChan is the pre-closed done channel shared by already-completed
+// Pendings.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Pending is a submitted CE whose dispatch may still be in flight.
+type Pending struct {
+	done chan struct{}
+	end  sim.VirtualTime
+	err  error
+}
+
+// Wait blocks until the CE has dispatched and returns its completion time.
+func (p *Pending) Wait() (sim.VirtualTime, error) {
+	<-p.done
+	return p.end, p.err
+}
+
+// Done returns a channel closed when the CE has dispatched.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// dispatch runs the untimed half of Algorithm 1 for a scheduled CE: wait
+// for dependencies, issue the data movements, forward the CE, and commit
+// the results. Under Failover a failing worker is written off and the CE
+// rescheduled on survivors.
+func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
+	depReady, err := c.waitDeps(s)
+	if err != nil {
+		return 0, err
+	}
+
+	target := s.target
+	firstTry := true
+	var end, ready sim.VirtualTime
 	var moved memmodel.Bytes
 	var p2p int
 	for {
-		transferReady, m, p, err := c.ensureArgs(target, inv.Args, accs)
+		// A job scheduled before a failover may carry a target that has
+		// since been written off; reassign before touching the fabric.
+		c.mu.Lock()
+		if c.dead[target] {
+			if len(c.aliveWorkers()) == 0 {
+				c.mu.Unlock()
+				err := fmt.Errorf("core: no workers left after failover")
+				c.commitError(s, err)
+				return 0, err
+			}
+			req := c.buildRequest(s.ce, s.inv.Args, s.accs)
+			target = c.pol.Assign(req)
+			firstTry = false
+		}
+		c.mu.Unlock()
+
+		transferReady, m, p, err := c.ensureArgs(target, s, firstTry)
 		if err == nil {
 			ready = sim.Max(depReady, transferReady)
 			moved, p2p = m, p
-			end, err = c.fabric.Launch(target, inv, ready)
+			end, err = c.fabric.Launch(target, s.inv, ready)
 		}
 		if err == nil {
 			break
 		}
 		if !c.failover || errorIsDataLoss(err) {
+			c.commitError(s, err)
 			return 0, err
 		}
 		// Identify which worker actually died (the error may come from
 		// the CE's target or from a transfer source) and write it off.
+		c.mu.Lock()
 		anyDead := false
 		for _, w := range c.aliveWorkers() {
 			if !c.fabric.Healthy(w) {
@@ -324,42 +716,215 @@ func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
 				anyDead = true
 			}
 		}
-		if !anyDead {
+		if !anyDead && !c.dead[target] {
+			c.mu.Unlock()
+			c.commitError(s, err)
 			return 0, err // not a worker failure; don't spin
 		}
 		if len(c.aliveWorkers()) == 0 {
-			return 0, fmt.Errorf("core: no workers left after failover: %w", err)
+			c.mu.Unlock()
+			err = fmt.Errorf("core: no workers left after failover: %w", err)
+			c.commitError(s, err)
+			return 0, err
 		}
-		req = c.buildRequest(ce, inv.Args, accs)
+		// Reschedule on the survivors. After a failover the schedule-time
+		// membership prediction is void; the retry works from the
+		// authoritative registry alone (firstTry=false).
+		req := c.buildRequest(s.ce, s.inv.Args, s.accs)
 		target = c.pol.Assign(req)
+		c.mu.Unlock()
+		firstTry = false
 	}
 
+	c.commit(s, target, ready, end, moved, p2p)
+	return end, nil
+}
+
+// commit publishes a dispatched CE's results under mu.
+func (c *Controller) commit(s *scheduled, target cluster.NodeID, ready, end sim.VirtualTime, moved memmodel.Bytes, p2p int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
 	// Update the data-location registry.
-	for i, a := range inv.Args {
+	for i, a := range s.inv.Args {
 		if !a.IsArray {
 			continue
 		}
 		arr := c.arrays[a.Array]
-		if accs[i].Mode.Writes() {
-			// The writer's copy is now the only valid one.
-			arr.upToDate = map[cluster.NodeID]sim.VirtualTime{target: end}
-		} else if _, ok := arr.upToDate[target]; !ok {
+		if s.accs[i].Mode.Writes() {
+			// The writer's copy is now the only valid one. Only the
+			// authoritative view changes here: the membership view already
+			// collapsed to the scheduled target in predictMembership, and
+			// later CEs' predictions may have advanced it further — commit
+			// must not rewind them. (After a failover reschedule the views
+			// can drift conservatively; registerCopy and the dead checks
+			// keep dispatch correct regardless.)
+			clear(arr.upToDate)
 			arr.upToDate[target] = end
+		} else {
+			c.registerCopy(arr, target, end, false)
 		}
 	}
 
-	c.ceEnd[ce.ID] = end
+	c.ceEnd[s.ce.ID] = end
 	if end > c.elapsed {
 		c.elapsed = end
 	}
 	c.movedBytes += moved
 	c.p2pMoves += p2p
-	c.traces = append(c.traces, CETrace{
-		CE: ce.ID, Label: inv.Kernel, Node: target,
-		Start: ready, End: end, MovedBytes: moved, P2PMoves: p2p,
-		SchedOverhd: schedDur,
-	})
-	return end, nil
+	if !c.noTrace {
+		c.traces = append(c.traces, CETrace{
+			CE: s.ce.ID, Label: s.inv.Kernel, Node: target,
+			Start: ready, End: end, MovedBytes: moved, P2PMoves: p2p,
+			SchedOverhd: s.schedDur,
+		})
+	}
+	c.cond.Broadcast()
+}
+
+// commitError records a terminally failed CE so dependents stop waiting on
+// it (its end time is its dependencies' ready time; the error itself is
+// propagated by the pipeline's sticky error).
+func (c *Controller) commitError(s *scheduled, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ceEnd[s.ce.ID]; !ok {
+		c.ceEnd[s.ce.ID] = 0
+	}
+	c.cond.Broadcast()
+}
+
+// registerCopy records in the authoritative view that node holds a valid
+// copy since t. Caller holds mu. overwrite resets the time even if the
+// node is already registered. The membership view is deliberately left
+// alone: it belongs to the scheduler's timeline (predictMembership,
+// HostRead/HostWrite, markDead) — a dispatch-time add could resurrect a
+// member that a later CE's schedule-time write collapse already removed.
+func (c *Controller) registerCopy(arr *GlobalArray, node cluster.NodeID, t sim.VirtualTime, overwrite bool) {
+	if _, ok := arr.upToDate[node]; !ok || overwrite {
+		arr.upToDate[node] = t
+	}
+}
+
+// waitDeps blocks until every DAG ancestor of the CE has dispatched and
+// returns the latest ancestor end time. In serial mode ancestors have
+// always already dispatched and this never blocks.
+func (c *Controller) waitDeps(s *scheduled) (sim.VirtualTime, error) {
+	depReady := sim.VirtualTime(0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range s.ancestors {
+		for {
+			if end, ok := c.ceEnd[a.CE.ID]; ok {
+				if end > depReady {
+					depReady = end
+				}
+				break
+			}
+			if c.pipe == nil {
+				// Serial dispatch runs in submission order; a missing
+				// ancestor end is a scheduler bug.
+				panic(fmt.Sprintf("core: serial dispatch missing ancestor CE %d", a.CE.ID))
+			}
+			if err := c.pipe.err; err != nil {
+				return 0, err
+			}
+			c.cond.Wait()
+		}
+	}
+	return depReady, nil
+}
+
+// waitLocalCopy blocks until the target's copy of arr is valid when the
+// scheduler predicted one would appear (expected), returning its ready
+// time. Returns ok=false when no copy is expected or the expectation was
+// voided (the producer's worker died).
+func (c *Controller) waitLocalCopy(arr *GlobalArray, target cluster.NodeID, expected bool) (sim.VirtualTime, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if t, ok := arr.upToDate[target]; ok {
+			return t, true, nil
+		}
+		if !expected {
+			return 0, false, nil
+		}
+		if c.pipe == nil {
+			// Serial mode keeps member and upToDate in lockstep.
+			return 0, false, nil
+		}
+		if err := c.pipe.err; err != nil {
+			return 0, false, err
+		}
+		if _, stillMember := arr.member[target]; !stillMember || c.dead[target] {
+			// The predicted producer was written off; fall back to a
+			// fresh move from the survivors.
+			return 0, false, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// ensureArgs issues the data movements Algorithm 1 requires: every array
+// parameter that is not up to date on the target is shipped from its best
+// source. Write-only full overwrites skip the transfer but still allocate.
+// usePrediction selects whether the schedule-time membership prediction
+// gates waiting for in-flight producer CEs (first dispatch attempt only).
+func (c *Controller) ensureArgs(target cluster.NodeID, s *scheduled, usePrediction bool) (ready sim.VirtualTime, moved memmodel.Bytes, p2p int, err error) {
+	for i, a := range s.inv.Args {
+		if !a.IsArray {
+			continue
+		}
+		arr := c.arrays[a.Array]
+		if err := c.fabric.EnsureArray(target, arr.ArrayMeta); err != nil {
+			return 0, 0, 0, err
+		}
+		expected := usePrediction && s.upAtSched[i]
+		t, ok, werr := c.waitLocalCopy(arr, target, expected)
+		if werr != nil {
+			return 0, 0, 0, werr
+		}
+		if ok {
+			if t > ready {
+				ready = t
+			}
+			continue
+		}
+		if skipOldBytes(s.accs, i) {
+			continue // full overwrite: old contents don't matter
+		}
+
+		c.mu.Lock()
+		if len(arr.upToDate) == 0 {
+			c.mu.Unlock()
+			return 0, 0, 0, &errDataLoss{id: a.Array}
+		}
+		src := c.bestSource(arr, target)
+		srcReady := arr.upToDate[src]
+		c.mu.Unlock()
+
+		arrival, err := c.fabric.MoveArray(a.Array, src, target, srcReady, arr.Buf, nil)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+
+		c.mu.Lock()
+		c.registerCopy(arr, target, arrival, true)
+		if arrival > c.elapsed {
+			c.elapsed = arrival
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+
+		moved += arr.size
+		if src.IsWorker() {
+			p2p++
+		}
+		if arrival > ready {
+			ready = arrival
+		}
+	}
+	return ready, moved, p2p, nil
 }
 
 // errDataLoss marks errors no failover can fix: the only valid copy of an
@@ -377,14 +942,20 @@ func errorIsDataLoss(err error) bool {
 
 // buildRequest assembles the policy's view: per worker, the bytes of the
 // CE's parameters already up to date there, the bytes that would move, and
-// the estimated transfer time from the interconnection matrix.
+// the estimated transfer time from the interconnection matrix. The
+// returned Request reuses the controller's scratch buffer; policies must
+// not retain it past Assign. Caller holds mu.
 func (c *Controller) buildRequest(ce *dag.CE, args []ArgRef, accs []memmodel.Access) policy.Request {
 	workers := c.aliveWorkers()
-	req := policy.Request{CE: ce, Nodes: make([]policy.NodeInfo, len(workers))}
+	if cap(c.reqNodes) < len(workers) {
+		c.reqNodes = make([]policy.NodeInfo, len(workers))
+	}
+	nodes := c.reqNodes[:len(workers)]
+	req := policy.Request{CE: ce, Nodes: nodes}
 	if !c.pol.NeedsDataView() {
 		// Static policies only need the candidate list.
 		for wi, w := range workers {
-			req.Nodes[wi] = policy.NodeInfo{ID: w}
+			nodes[wi] = policy.NodeInfo{ID: w}
 		}
 		return req
 	}
@@ -394,38 +965,45 @@ func (c *Controller) buildRequest(ce *dag.CE, args []ArgRef, accs []memmodel.Acc
 			continue
 		}
 		// Write-only full overwrites don't need their old bytes moved.
-		if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
+		if skipOldBytes(accs, i) {
 			continue
 		}
-		total += c.arrays[a.Array].Bytes()
+		total += c.arrays[a.Array].size
 	}
 	req.Total = total
 	for wi, w := range workers {
-		info := policy.NodeInfo{ID: w}
-		for i, a := range args {
-			if !a.IsArray {
-				continue
-			}
-			if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
-				continue
-			}
-			arr := c.arrays[a.Array]
-			if arr.UpToDateOn(w) {
-				info.UpToDate += arr.Bytes()
+		nodes[wi] = policy.NodeInfo{ID: w}
+	}
+	for i, a := range args {
+		if !a.IsArray || skipOldBytes(accs, i) {
+			continue
+		}
+		arr := c.arrays[a.Array]
+		if arr.estAgen != arr.gen || arr.estDgen != c.deadGen {
+			c.refreshEst(arr, workers)
+		}
+		est, mask, size := arr.est, arr.mask, arr.size
+		for wi, w := range workers {
+			if int(w) < len(mask) && mask[w] {
+				nodes[wi].UpToDate += size
 			} else {
-				info.Transfer += arr.Bytes()
-				src := c.bestSource(arr, w)
-				info.TransferTime += c.fabric.EstimateTransfer(src, w, arr.Bytes())
+				nodes[wi].Transfer += size
+				nodes[wi].TransferTime += est[w]
 			}
 		}
-		req.Nodes[wi] = info
+	}
+	for wi := range nodes {
+		if nodes[wi].UpToDate > req.MaxUp {
+			req.MaxUp = nodes[wi].UpToDate
+		}
 	}
 	return req
 }
 
 // bestSource picks where to pull a stale array from: the up-to-date node
 // with the fastest link to the target, preferring workers (P2P) over the
-// controller when both hold valid copies, as in Algorithm 1.
+// controller when both hold valid copies, as in Algorithm 1. It consults
+// the authoritative registry; caller holds mu.
 func (c *Controller) bestSource(arr *GlobalArray, target cluster.NodeID) cluster.NodeID {
 	best := cluster.ControllerID
 	bestTime := sim.Infinity
@@ -434,14 +1012,16 @@ func (c *Controller) bestSource(arr *GlobalArray, target cluster.NodeID) cluster
 		if n == target || c.dead[n] {
 			continue
 		}
-		est := c.fabric.EstimateTransfer(n, target, arr.Bytes())
+		est := c.fabric.EstimateTransfer(n, target, arr.size)
 		isWorker := n.IsWorker()
-		// Prefer P2P sources; among equals, the fastest link.
+		// Prefer P2P sources; among equals, the fastest link, then the
+		// lowest ID — the deterministic tie-break keeps the schedule
+		// independent of map iteration order.
 		better := false
 		switch {
 		case isWorker && !haveWorker:
 			better = true
-		case isWorker == haveWorker && est < bestTime:
+		case isWorker == haveWorker && (est < bestTime || (est == bestTime && n < best)):
 			better = true
 		}
 		if better {
@@ -451,55 +1031,14 @@ func (c *Controller) bestSource(arr *GlobalArray, target cluster.NodeID) cluster
 	return best
 }
 
-// ensureArgs issues the data movements Algorithm 1 requires: every array
-// parameter that is not up to date on the target is shipped from its best
-// source. Write-only full overwrites skip the transfer but still allocate.
-func (c *Controller) ensureArgs(target cluster.NodeID, args []ArgRef, accs []memmodel.Access) (ready sim.VirtualTime, moved memmodel.Bytes, p2p int, err error) {
-	for i, a := range args {
-		if !a.IsArray {
-			continue
-		}
-		arr := c.arrays[a.Array]
-		if err := c.fabric.EnsureArray(target, arr.ArrayMeta); err != nil {
-			return 0, 0, 0, err
-		}
-		if arr.UpToDateOn(target) {
-			if t := arr.upToDate[target]; t > ready {
-				ready = t
-			}
-			continue
-		}
-		if accs[i].Mode == memmodel.Write && accs[i].Fraction >= 1 {
-			continue // full overwrite: old contents don't matter
-		}
-		if len(arr.upToDate) == 0 {
-			return 0, 0, 0, &errDataLoss{id: a.Array}
-		}
-		src := c.bestSource(arr, target)
-		srcReady := arr.upToDate[src]
-		arrival, err := c.fabric.MoveArray(a.Array, src, target, srcReady, arr.Buf, nil)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		arr.upToDate[target] = arrival
-		moved += arr.Bytes()
-		if src.IsWorker() {
-			p2p++
-		}
-		if arrival > ready {
-			ready = arrival
-		}
-		if arrival > c.elapsed {
-			c.elapsed = arrival
-		}
-	}
-	return ready, moved, p2p, nil
-}
-
 // HostRead makes the controller's copy of an array consistent (the user
 // reading results, paper Listing 1's print(x)): a read CE that may pull
-// the array back from the worker that last wrote it.
+// the array back from the worker that last wrote it. It drains the
+// dispatch pipeline first: a host read is a synchronization point.
 func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
+	if err := c.Drain(); err != nil {
+		return 0, err
+	}
 	arr, ok := c.arrays[id]
 	if !ok {
 		return 0, fmt.Errorf("core: host read of unknown array %d", id)
@@ -513,7 +1052,7 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 		}
 	}
 	end := depReady
-	if !arr.UpToDateOn(cluster.ControllerID) {
+	if _, up := arr.upToDate[cluster.ControllerID]; !up {
 		if len(arr.upToDate) == 0 {
 			return 0, &errDataLoss{id: id}
 		}
@@ -523,8 +1062,15 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 		if err != nil {
 			return 0, err
 		}
-		arr.upToDate[cluster.ControllerID] = arrival
-		c.movedBytes += arr.Bytes()
+		// The pipeline is drained here, so the membership view is in
+		// lockstep with the authoritative one and gains the copy too.
+		c.registerCopy(arr, cluster.ControllerID, arrival, true)
+		if _, ok := arr.member[cluster.ControllerID]; !ok {
+			arr.member[cluster.ControllerID] = struct{}{}
+			arr.maskSet(cluster.ControllerID)
+			arr.gen++
+		}
+		c.movedBytes += arr.size
 		end = arrival
 	} else if t := arr.upToDate[cluster.ControllerID]; t > end {
 		end = t
@@ -533,15 +1079,21 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 	if end > c.elapsed {
 		c.elapsed = end
 	}
-	c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-read",
-		Node: cluster.ControllerID, Start: depReady, End: end})
+	if !c.noTrace {
+		c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-read",
+			Node: cluster.ControllerID, Start: depReady, End: end})
+	}
 	return end, nil
 }
 
 // HostWrite marks an array as (re)initialized by the controller's host
 // code: the controller copy becomes the only valid one. In numeric mode
-// the caller mutates arr.Buf directly around this call.
+// the caller mutates arr.Buf directly around this call. Like HostRead it
+// drains the dispatch pipeline first.
 func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
+	if err := c.Drain(); err != nil {
+		return 0, err
+	}
 	arr, ok := c.arrays[id]
 	if !ok {
 		return 0, fmt.Errorf("core: host write of unknown array %d", id)
@@ -554,13 +1106,21 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 			depReady = end
 		}
 	}
-	arr.upToDate = map[cluster.NodeID]sim.VirtualTime{cluster.ControllerID: depReady}
+	clear(arr.upToDate)
+	arr.upToDate[cluster.ControllerID] = depReady
+	clear(arr.member)
+	arr.maskClearAll()
+	arr.member[cluster.ControllerID] = struct{}{}
+	arr.maskSet(cluster.ControllerID)
+	arr.gen++
 	c.ceEnd[ce.ID] = depReady
 	if depReady > c.elapsed {
 		c.elapsed = depReady
 	}
-	c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-write",
-		Node: cluster.ControllerID, Start: depReady, End: depReady})
+	if !c.noTrace {
+		c.traces = append(c.traces, CETrace{CE: ce.ID, Label: "host-write",
+			Node: cluster.ControllerID, Start: depReady, End: depReady})
+	}
 	return depReady, nil
 }
 

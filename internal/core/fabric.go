@@ -73,12 +73,27 @@ type Fabric interface {
 	Healthy(w cluster.NodeID) bool
 }
 
+// BulkEstimator is an optional Fabric fast path: fill the idle-network
+// estimates from one source to many destinations in a single call, so the
+// controller's O(workers) scheduling loop pays one interface call per
+// (array, source) instead of one per (array, worker) cell. out is indexed
+// by destination NodeID and must be at least max(dsts)+1 long.
+type BulkEstimator interface {
+	EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes, dsts []cluster.NodeID, out []sim.VirtualTime)
+}
+
 // LocalFabric runs workers in-process over the cluster simulator.
+// Operations mutate shared virtual timelines and must not be issued
+// concurrently; the controller's pipelined mode sequences them (it does
+// not implement ConcurrentDispatcher).
 type LocalFabric struct {
 	clu     *cluster.Cluster
 	reg     *kernels.Registry
 	numeric bool
 	workers map[cluster.NodeID]*grcuda.Runtime
+	// valsBuf is Launch's argument scratch; safe because operations are
+	// never concurrent (see above).
+	valsBuf []grcuda.Value
 }
 
 // NewLocalFabric builds an in-process fabric: one GrCUDA runtime per
@@ -202,7 +217,10 @@ func (f *LocalFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.Virtual
 	if !ok {
 		return 0, fmt.Errorf("core: unknown worker %v", w)
 	}
-	vals := make([]grcuda.Value, len(inv.Args))
+	if cap(f.valsBuf) < len(inv.Args) {
+		f.valsBuf = make([]grcuda.Value, len(inv.Args))
+	}
+	vals := f.valsBuf[:len(inv.Args)]
 	for i, a := range inv.Args {
 		if !a.IsArray {
 			vals[i] = grcuda.ScalarValue(a.Scalar)
@@ -222,6 +240,12 @@ func (f *LocalFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.Virtual
 // EstimateTransfer implements Fabric.
 func (f *LocalFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
 	return f.clu.EstimateTransfer(src, dst, n)
+}
+
+// EstimateTransferAll implements BulkEstimator.
+func (f *LocalFabric) EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes,
+	dsts []cluster.NodeID, out []sim.VirtualTime) {
+	f.clu.EstimateTransferAll(src, n, dsts, out)
 }
 
 // FreeArray implements Fabric.

@@ -1,0 +1,225 @@
+// Pipelined CE dispatch.
+//
+// With Options.Pipeline the controller's per-CE work splits in two:
+//
+//   - The scheduling stage (Submit) runs on the caller's goroutine: DAG
+//     insertion, the policy decision, and the membership prediction. This
+//     is the timed section the paper's Figure 9 measures, and it never
+//     blocks on data movement.
+//   - The dispatch stage runs on per-worker dispatcher goroutines fed by
+//     bounded queues: waiting for DAG ancestors, issuing EnsureArray /
+//     MoveArray / Launch, and committing results to the authoritative
+//     registry.
+//
+// Ordering is enforced by dependencies, not by serializing the stages:
+// a dispatcher blocks until (a) every DAG ancestor of its CE has
+// committed (waitDeps) and (b) every array copy the scheduler predicted
+// for its target has been published by the producing CE (waitLocalCopy).
+// Both waits are keyed to earlier-submitted CEs only, so the
+// submission order is a topological order of the wait graph and no
+// deadlock is possible.
+//
+// Virtual-time determinism: fabrics that simulate time (LocalFabric)
+// mutate shared NIC timelines in call order, so bit-identical virtual
+// times additionally require fabric operations to be issued in
+// submission order. The pipeline therefore runs a ticket sequencer —
+// dispatcher i may only touch the fabric when every earlier ticket has
+// finished — unless the fabric declares itself safe for concurrent
+// dispatch via ConcurrentDispatcher. Scheduling still overlaps dispatch
+// either way; the sequencer only orders the dispatch stage itself, and
+// subsumes the two dependency waits (an ancestor always holds an
+// earlier ticket). The scheduler's membership prediction
+// (predictMembership) guarantees every placement decision sees exactly
+// the data-location view the serial controller would have had, so the
+// pipelined schedule — placements, transfers, and virtual times — is
+// identical to the serial one. TestPipelineMatchesSerial checks this
+// property over random DAGs, seeds, and policies.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"grout/internal/cluster"
+)
+
+// ConcurrentDispatcher is implemented by fabrics whose operations are
+// safe to issue from multiple goroutines at once (real transports doing
+// wall-clock I/O). Virtual-time fabrics must not implement it: their
+// shared timelines make operation order observable.
+type ConcurrentDispatcher interface {
+	ConcurrentDispatch() bool
+}
+
+// defaultPipelineDepth bounds each worker's dispatch queue when
+// Options.PipelineDepth is zero.
+const defaultPipelineDepth = 64
+
+// job is one scheduled CE traveling through the dispatch stage.
+type job struct {
+	s   *scheduled
+	seq uint64
+	p   *Pending
+}
+
+// pipeline is the dispatch engine behind Options.Pipeline.
+type pipeline struct {
+	c         *Controller
+	queues    map[cluster.NodeID]chan *job
+	wg        sync.WaitGroup
+	sequenced bool
+
+	// mu guards the submission/completion counters and closed flag.
+	mu        sync.Mutex
+	drainCond *sync.Cond
+	submitted uint64
+	completed uint64
+	closed    bool
+
+	// err is the sticky first terminal error; guarded by c.mu so the
+	// controller's wait loops can check it under their own lock.
+	err error
+
+	// ticket sequencer (virtual-time fabrics only).
+	seqMu   sync.Mutex
+	seqCond *sync.Cond
+	next    uint64
+}
+
+func newPipeline(c *Controller, depth int) *pipeline {
+	if depth <= 0 {
+		depth = defaultPipelineDepth
+	}
+	pl := &pipeline{
+		c:         c,
+		queues:    make(map[cluster.NodeID]chan *job),
+		sequenced: true,
+	}
+	if cd, ok := c.fabric.(ConcurrentDispatcher); ok && cd.ConcurrentDispatch() {
+		pl.sequenced = false
+	}
+	pl.drainCond = sync.NewCond(&pl.mu)
+	pl.seqCond = sync.NewCond(&pl.seqMu)
+	for _, w := range c.fabric.Workers() {
+		q := make(chan *job, depth)
+		pl.queues[w] = q
+		pl.wg.Add(1)
+		go pl.dispatcher(q)
+	}
+	return pl
+}
+
+// enqueue hands a scheduled CE to its target's dispatcher, blocking when
+// the queue is full (backpressure on the scheduling stage). Tickets are
+// issued in call order, which — scheduling methods being single-goroutine
+// by contract — is the schedule order.
+func (pl *pipeline) enqueue(s *scheduled) (*Pending, error) {
+	q, ok := pl.queues[s.target]
+	if !ok {
+		return nil, fmt.Errorf("core: policy assigned unknown worker %v", s.target)
+	}
+	j := &job{s: s, p: &Pending{done: make(chan struct{})}}
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return nil, fmt.Errorf("core: controller closed")
+	}
+	j.seq = pl.submitted
+	pl.submitted++
+	pl.mu.Unlock()
+	q <- j
+	return j.p, nil
+}
+
+func (pl *pipeline) dispatcher(q chan *job) {
+	defer pl.wg.Done()
+	for j := range q {
+		if pl.sequenced {
+			pl.waitTurn(j.seq)
+		}
+		err := pl.sticky()
+		var end = j.p.end
+		if err == nil {
+			end, err = pl.c.dispatch(j.s)
+			if err != nil {
+				pl.fail(err)
+			}
+		} else {
+			// A prior CE failed terminally; record this one as failed
+			// too so dependents stop waiting on it.
+			pl.c.commitError(j.s, err)
+		}
+		j.p.end, j.p.err = end, err
+		close(j.p.done)
+		if pl.sequenced {
+			pl.advance()
+		}
+		pl.mu.Lock()
+		pl.completed++
+		pl.drainCond.Broadcast()
+		pl.mu.Unlock()
+	}
+}
+
+// sticky reads the first terminal error under the controller lock.
+func (pl *pipeline) sticky() error {
+	pl.c.mu.Lock()
+	defer pl.c.mu.Unlock()
+	return pl.err
+}
+
+// fail records the first terminal error and wakes every wait loop.
+func (pl *pipeline) fail(err error) {
+	pl.c.mu.Lock()
+	if pl.err == nil {
+		pl.err = err
+	}
+	pl.c.cond.Broadcast()
+	pl.c.mu.Unlock()
+}
+
+// waitTurn blocks until every earlier ticket has finished dispatching.
+func (pl *pipeline) waitTurn(seq uint64) {
+	pl.seqMu.Lock()
+	for pl.next != seq {
+		pl.seqCond.Wait()
+	}
+	pl.seqMu.Unlock()
+}
+
+func (pl *pipeline) advance() {
+	pl.seqMu.Lock()
+	pl.next++
+	pl.seqCond.Broadcast()
+	pl.seqMu.Unlock()
+}
+
+// drain blocks until every submitted CE has dispatched and returns the
+// sticky error, if any.
+func (pl *pipeline) drain() error {
+	pl.mu.Lock()
+	target := pl.submitted
+	for pl.completed < target {
+		pl.drainCond.Wait()
+	}
+	pl.mu.Unlock()
+	return pl.sticky()
+}
+
+// close drains, stops the dispatchers, and makes further submissions
+// fail. Idempotent.
+func (pl *pipeline) close() error {
+	err := pl.drain()
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return err
+	}
+	pl.closed = true
+	pl.mu.Unlock()
+	for _, q := range pl.queues {
+		close(q)
+	}
+	pl.wg.Wait()
+	return err
+}

@@ -8,6 +8,13 @@
 //
 // The same structure serves as the Controller's Global DAG and each
 // Worker's Local DAG (paper Algorithms 1 and 2).
+//
+// Add is the scheduler's per-CE hot path (the paper's Figure 9 measures
+// the surrounding overhead), so it is written to be allocation-free in the
+// steady state: candidate gathering and the redundant-edge filter use
+// epoch-stamped marks on the vertices plus reusable scratch buffers
+// instead of per-call maps, and redundancy is resolved with one shared
+// backward traversal per Add rather than one DFS per candidate pair.
 package dag
 
 import (
@@ -45,18 +52,60 @@ func (ce *CE) String() string {
 	return fmt.Sprintf("CE%d(%s)", ce.ID, ce.Label)
 }
 
-// Vertex is a CE plus its graph linkage.
+// Vertex is a CE plus its graph linkage. Both adjacency slices are
+// maintained in ascending CE-ID order: parents are linked sorted at Add
+// time, and children arrive in submission order, whose IDs only grow.
 type Vertex struct {
 	CE       *CE
-	parents  map[CEID]*Vertex
-	children map[CEID]*Vertex
+	parents  []*Vertex
+	children []*Vertex
+
+	// candMark and seenMark are epoch stamps replacing per-Add scratch
+	// maps: a mark equals the graph's current epoch iff the vertex is a
+	// dependency candidate / was visited by the redundancy traversal of
+	// the Add in progress.
+	candMark uint64
+	seenMark uint64
 }
 
-// Parents returns the vertex's direct ancestors, sorted by CE ID.
-func (v *Vertex) Parents() []*Vertex { return sortedVertices(v.parents) }
+// Parents returns a copy of the vertex's direct ancestors, sorted by CE
+// ID.
+func (v *Vertex) Parents() []*Vertex {
+	return append([]*Vertex(nil), v.parents...)
+}
 
-// Children returns the vertex's direct descendants, sorted by CE ID.
-func (v *Vertex) Children() []*Vertex { return sortedVertices(v.children) }
+// Children returns a copy of the vertex's direct descendants, sorted by CE
+// ID.
+func (v *Vertex) Children() []*Vertex {
+	return append([]*Vertex(nil), v.children...)
+}
+
+// NumParents reports the number of direct ancestors without copying.
+func (v *Vertex) NumParents() int { return len(v.parents) }
+
+// NumChildren reports the number of direct descendants without copying.
+func (v *Vertex) NumChildren() int { return len(v.children) }
+
+// EachParent visits the direct ancestors in ascending CE-ID order without
+// allocating; returning false stops the walk. This is the iteration path
+// hot loops use instead of Parents().
+func (v *Vertex) EachParent(f func(*Vertex) bool) {
+	for _, p := range v.parents {
+		if !f(p) {
+			return
+		}
+	}
+}
+
+// EachChild visits the direct descendants in ascending CE-ID order without
+// allocating; returning false stops the walk.
+func (v *Vertex) EachChild(f func(*Vertex) bool) {
+	for _, c := range v.children {
+		if !f(c) {
+			return
+		}
+	}
+}
 
 func sortedVertices(m map[CEID]*Vertex) []*Vertex {
 	out := make([]*Vertex, 0, len(m))
@@ -81,6 +130,14 @@ type Graph struct {
 	arrays   map[ArrayID]*arrayState
 	nextID   CEID
 	edges    int
+
+	// epoch validates the vertices' candMark/seenMark stamps; it advances
+	// once per Add, implicitly clearing every mark in O(1).
+	epoch uint64
+	// scratchCands and scratchStack are reused across Adds so the hot
+	// path performs no per-call slice or map allocation.
+	scratchCands []*Vertex
+	scratchStack []*Vertex
 }
 
 // New returns an empty graph.
@@ -114,44 +171,93 @@ func (g *Graph) NewCE(label string, accesses []Access, payload any) *CE {
 // frontier, filters redundant edges and updates the frontier (the
 // dependency half of paper Algorithm 1). It returns the CE's direct
 // ancestors after filtering, sorted by ID.
+//
+// The returned slice is the vertex's own parent list: callers must treat
+// it as read-only. It stays valid across later Adds.
 func (g *Graph) Add(ce *CE) []*Vertex {
 	if _, dup := g.vertices[ce.ID]; dup {
 		panic(fmt.Sprintf("dag: duplicate CE %d", ce.ID))
 	}
-	v := &Vertex{CE: ce, parents: make(map[CEID]*Vertex), children: make(map[CEID]*Vertex)}
+	v := &Vertex{CE: ce}
+	g.epoch++
 
-	// Gather ancestors from per-array live accessors.
-	ancestors := make(map[CEID]*Vertex)
+	// Gather candidate ancestors from per-array live accessors,
+	// deduplicated by epoch mark.
+	cands := g.scratchCands[:0]
+	addCand := func(c *Vertex) {
+		if c.candMark != g.epoch {
+			c.candMark = g.epoch
+			cands = append(cands, c)
+		}
+	}
 	for _, acc := range ce.Accesses {
 		st := g.arrays[acc.Array]
 		if st == nil {
 			continue
 		}
 		if acc.Mode.Reads() && st.lastWriter != nil {
-			ancestors[st.lastWriter.CE.ID] = st.lastWriter // RAW
+			addCand(st.lastWriter) // RAW
 		}
 		if acc.Mode.Writes() {
 			if st.lastWriter != nil {
-				ancestors[st.lastWriter.CE.ID] = st.lastWriter // WAW
+				addCand(st.lastWriter) // WAW
 			}
-			for id, r := range st.readers {
-				ancestors[id] = r // WAR
+			for _, r := range st.readers {
+				addCand(r) // WAR
 			}
 		}
 	}
-	delete(ancestors, ce.ID)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].CE.ID < cands[j].CE.ID })
 
-	// filterRedundant: drop any ancestor reachable from another ancestor
-	// (paper: "A and B have dependencies against a new CE called C, but B
-	// depends on A" — keep only B).
-	filtered := g.filterRedundant(ancestors)
-
-	// addEdges
-	for _, p := range filtered {
-		p.children[ce.ID] = v
-		v.parents[p.CE.ID] = p
-		g.edges++
+	// filterRedundant: drop any candidate reachable from another
+	// candidate (paper: "A and B have dependencies against a new CE
+	// called C, but B depends on A" — keep only B). One backward
+	// traversal seeded at every candidate's parents marks exactly the
+	// strict ancestors of candidates; a marked candidate is redundant.
+	// Edges point to smaller IDs, so the walk prunes below the smallest
+	// candidate.
+	if len(cands) > 1 {
+		minID := cands[0].CE.ID
+		stack := g.scratchStack[:0]
+		visit := func(p *Vertex) {
+			if p.CE.ID >= minID && p.seenMark != g.epoch {
+				p.seenMark = g.epoch
+				stack = append(stack, p)
+			}
+		}
+		for _, c := range cands {
+			for _, p := range c.parents {
+				visit(p)
+			}
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range top.parents {
+				visit(p)
+			}
+		}
+		g.scratchStack = stack[:0]
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.seenMark != g.epoch {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
 	}
+
+	// addEdges: the filtered candidates become the vertex's parent list
+	// (already sorted ascending).
+	if len(cands) > 0 {
+		v.parents = make([]*Vertex, len(cands))
+		copy(v.parents, cands)
+		for _, p := range cands {
+			p.children = append(p.children, v)
+		}
+		g.edges += len(cands)
+	}
+	g.scratchCands = cands[:0]
 	g.vertices[ce.ID] = v
 
 	// updateFrontier: refresh per-array live accessors.
@@ -163,57 +269,21 @@ func (g *Graph) Add(ce *CE) []*Vertex {
 		}
 		if acc.Mode.Writes() {
 			st.lastWriter = v
-			st.readers = make(map[CEID]*Vertex)
+			clear(st.readers)
 		}
 		if acc.Mode.Reads() && !acc.Mode.Writes() {
 			st.readers[ce.ID] = v
 		}
 	}
 
-	return sortedVertices(toMap(filtered))
-}
-
-func toMap(vs []*Vertex) map[CEID]*Vertex {
-	m := make(map[CEID]*Vertex, len(vs))
-	for _, v := range vs {
-		m[v.CE.ID] = v
-	}
-	return m
-}
-
-// filterRedundant removes ancestors that are transitive ancestors of
-// other ancestors: an edge to A is redundant if some other candidate B can
-// reach A through the DAG.
-func (g *Graph) filterRedundant(cands map[CEID]*Vertex) []*Vertex {
-	if len(cands) <= 1 {
-		out := make([]*Vertex, 0, len(cands))
-		for _, v := range cands {
-			out = append(out, v)
-		}
-		return out
-	}
-	var out []*Vertex
-	for id, v := range cands {
-		redundant := false
-		for otherID, other := range cands {
-			if otherID == id {
-				continue
-			}
-			if g.reaches(other, id) {
-				redundant = true
-				break
-			}
-		}
-		if !redundant {
-			out = append(out, v)
-		}
-	}
-	return out
+	return v.parents
 }
 
 // reaches reports whether target is an ancestor of (reachable backwards
 // from) from. Dependencies always point from ancestor to descendant, and
-// descendants have larger IDs, so the walk prunes on ID.
+// descendants have larger IDs, so the walk prunes on ID. It is used by
+// invariant checks; Add's redundancy filter uses the shared-mark
+// traversal instead.
 func (g *Graph) reaches(from *Vertex, target CEID) bool {
 	if from.CE.ID <= target {
 		return false
@@ -223,7 +293,8 @@ func (g *Graph) reaches(from *Vertex, target CEID) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for id, p := range v.parents {
+		for _, p := range v.parents {
+			id := p.CE.ID
 			if id == target {
 				return true
 			}
@@ -262,9 +333,9 @@ func (g *Graph) TopoOrder() ([]*CE, error) {
 	var out []*CE
 	for _, id := range ids {
 		v := g.vertices[id]
-		for pid := range v.parents {
-			if pid >= id {
-				return nil, fmt.Errorf("dag: edge %d -> %d violates submission order", pid, id)
+		for _, p := range v.parents {
+			if p.CE.ID >= id {
+				return nil, fmt.Errorf("dag: edge %d -> %d violates submission order", p.CE.ID, id)
 			}
 		}
 		out = append(out, v.CE)
@@ -296,9 +367,9 @@ func (g *Graph) MaxDepth() int {
 	for _, id := range ids {
 		v := g.vertices[id]
 		d := 1
-		for pid := range v.parents {
-			if depth[pid]+1 > d {
-				d = depth[pid] + 1
+		for _, p := range v.parents {
+			if depth[p.CE.ID]+1 > d {
+				d = depth[p.CE.ID] + 1
 			}
 		}
 		depth[id] = d
@@ -325,8 +396,7 @@ func (g *Graph) DOT(name string) string {
 		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, fmt.Sprintf("%s\n#%d", v.CE.Label, id))
 	}
 	for _, id := range ids {
-		v := g.vertices[id]
-		for _, child := range v.Children() {
+		for _, child := range g.vertices[id].children {
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, child.CE.ID)
 		}
 	}

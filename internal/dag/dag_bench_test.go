@@ -1,0 +1,121 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+
+	"grout/internal/memmodel"
+)
+
+// benchShape builds the access list for the i-th CE of a synthetic stream.
+type benchShape struct {
+	name string
+	// arrays is how many distinct arrays the stream touches.
+	arrays int
+	// accs returns the i-th CE's accesses (may reuse the passed buffer).
+	accs func(i int, buf []Access) []Access
+}
+
+// benchShapes are the stream structures of the controller-throughput
+// story: a deep serial chain (worst case for reachability probes), a wide
+// fan-out (many readers per writer, worst case for WAR gathering), and the
+// Fig. 9 synthetic stream (16 arrays touched round-robin read-write).
+func benchShapes() []benchShape {
+	return []benchShape{
+		{
+			name:   "deep-chain",
+			arrays: 1,
+			accs: func(i int, buf []Access) []Access {
+				return append(buf[:0], Access{Array: 1, Mode: memmodel.ReadWrite})
+			},
+		},
+		{
+			name:   "wide-fanout",
+			arrays: 1,
+			// One writer, 62 readers, repeat: the writer picks up a WAR
+			// edge against every reader of the previous round.
+			accs: func(i int, buf []Access) []Access {
+				mode := memmodel.Read
+				if i%63 == 0 {
+					mode = memmodel.Write
+				}
+				return append(buf[:0], Access{Array: 1, Mode: mode})
+			},
+		},
+		{
+			name:   "fig9-stream",
+			arrays: 16,
+			// The Fig. 9 scheduling-overhead probe: 16 arrays touched
+			// round-robin, each CE read-writing one of them.
+			accs: func(i int, buf []Access) []Access {
+				return append(buf[:0], Access{Array: ArrayID(1 + i%16), Mode: memmodel.ReadWrite})
+			},
+		},
+		{
+			name:   "diamond",
+			arrays: 8,
+			// Fork-join over 8 arrays: a scatter writer, 8 independent
+			// read-writers, a gathering reader of all 8.
+			accs: func(i int, buf []Access) []Access {
+				switch i % 10 {
+				case 0:
+					buf = buf[:0]
+					for a := 1; a <= 8; a++ {
+						buf = append(buf, Access{Array: ArrayID(a), Mode: memmodel.Write})
+					}
+					return buf
+				case 9:
+					buf = buf[:0]
+					for a := 1; a <= 8; a++ {
+						buf = append(buf, Access{Array: ArrayID(a), Mode: memmodel.Read})
+					}
+					return buf
+				default:
+					return append(buf[:0], Access{Array: ArrayID(i % 10), Mode: memmodel.ReadWrite})
+				}
+			},
+		},
+	}
+}
+
+// BenchmarkDAGAdd measures Graph.Add throughput — the dependency-discovery
+// half of the controller's per-CE hot path — across stream shapes.
+func BenchmarkDAGAdd(b *testing.B) {
+	for _, shape := range benchShapes() {
+		b.Run(shape.name, func(b *testing.B) {
+			var buf []Access
+			b.ReportAllocs()
+			g := New()
+			for i := 0; i < b.N; i++ {
+				// Bound graph growth so steady-state Add cost dominates,
+				// not the ever-growing vertex map.
+				if i%65536 == 0 {
+					g = New()
+				}
+				accs := shape.accs(i, buf)
+				ce := g.NewCE("bench", accs, nil)
+				g.Add(ce)
+			}
+		})
+	}
+}
+
+// BenchmarkDAGQueries covers the read-side helpers that back trace export
+// and frontier maintenance.
+func BenchmarkDAGQueries(b *testing.B) {
+	g := New()
+	var buf []Access
+	shape := benchShapes()[3] // diamond
+	for i := 0; i < 4096; i++ {
+		accs := shape.accs(i, buf)
+		g.Add(g.NewCE("bench", accs, nil))
+	}
+	b.Run(fmt.Sprintf("frontier-%d", g.Size()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := g.Frontier(); len(got) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	})
+}

@@ -218,10 +218,10 @@ func TestRandomGraphInvariants(t *testing.T) {
 		}
 		// No redundant direct edges.
 		for id, v := range g.vertices {
-			for p1 := range v.parents {
-				for p2, vp2 := range v.parents {
-					if p1 != p2 && g.reaches(vp2, p1) {
-						t.Logf("redundant edge %d->%d (via %d)", p1, id, p2)
+			for i1, vp1 := range v.parents {
+				for i2, vp2 := range v.parents {
+					if i1 != i2 && g.reaches(vp2, vp1.CE.ID) {
+						t.Logf("redundant edge %d->%d (via %d)", vp1.CE.ID, id, vp2.CE.ID)
 						return false
 					}
 				}

@@ -98,6 +98,9 @@ type Runtime struct {
 	ceStream map[dag.CEID]int
 	records  []CERecord
 	elapsed  sim.VirtualTime
+	// per-Submit scratch buffers (the runtime is single-goroutine).
+	metasBuf    []kernels.ArgMeta
+	bindingsBuf []gpusim.ArgBinding
 }
 
 // NewRuntime builds a runtime over a simulated node and kernel registry.
@@ -183,6 +186,11 @@ func (r *Runtime) FreeArray(id dag.ArrayID) error {
 // metasOf builds scheduler-visible argument metadata from values.
 func metasOf(args []Value) []kernels.ArgMeta {
 	metas := make([]kernels.ArgMeta, len(args))
+	fillMetas(metas, args)
+	return metas
+}
+
+func fillMetas(metas []kernels.ArgMeta, args []Value) {
 	for i, v := range args {
 		if v.Arr != nil {
 			metas[i] = kernels.ArgMeta{IsBuffer: true, Len: v.Arr.Len}
@@ -190,7 +198,6 @@ func metasOf(args []Value) []kernels.ArgMeta {
 			metas[i] = kernels.ArgMeta{Scalar: v.Scalar}
 		}
 	}
-	return metas
 }
 
 // Submit schedules a kernel invocation: it enters the Local DAG, gets a
@@ -215,7 +222,11 @@ func (r *Runtime) Submit(inv Invocation, ready sim.VirtualTime) (sim.VirtualTime
 		}
 	}
 
-	metas := metasOf(inv.Args)
+	if cap(r.metasBuf) < len(inv.Args) {
+		r.metasBuf = make([]kernels.ArgMeta, len(inv.Args))
+	}
+	metas := r.metasBuf[:len(inv.Args)]
+	fillMetas(metas, inv.Args)
 	accs := def.Access(metas)
 
 	// Build the CE and resolve dependencies (Local DAG).
@@ -226,7 +237,7 @@ func (r *Runtime) Submit(inv Invocation, ready sim.VirtualTime) (sim.VirtualTime
 		}
 		dagAccs = append(dagAccs, dag.Access{Array: v.Arr.ID, Mode: accs[i].Mode})
 	}
-	ce := r.graph.NewCE(inv.Kernel, dagAccs, inv)
+	ce := r.graph.NewCE(inv.Kernel, dagAccs, nil)
 	ancestors := r.graph.Add(ce)
 
 	depReady := ready
@@ -239,14 +250,16 @@ func (r *Runtime) Submit(inv Invocation, ready sim.VirtualTime) (sim.VirtualTime
 	dev := r.pickDevice(inv.Args)
 	stream := r.pickStream(dev, ancestors, depReady)
 
-	// Bind gpusim arguments.
-	var bindings []gpusim.ArgBinding
+	// Bind gpusim arguments (gpusim builds its own plans; the binding
+	// slice is scratch).
+	bindings := r.bindingsBuf[:0]
 	for i, v := range inv.Args {
 		if v.Arr == nil {
 			continue
 		}
 		bindings = append(bindings, gpusim.ArgBinding{Alloc: v.Arr.Alloc, Access: accs[i]})
 	}
+	r.bindingsBuf = bindings[:0]
 	cost := def.CostLaunch(inv.Grid, inv.Block, metas)
 	res, err := r.node.Launch(dev, stream, gpusim.KernelCost{
 		Name:          inv.Kernel,

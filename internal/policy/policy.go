@@ -40,8 +40,16 @@ type Request struct {
 	CE *dag.CE
 	// Total is the combined size of the CE's parameters.
 	Total memmodel.Bytes
-	// Nodes are the candidate workers, ordered by node ID.
+	// Nodes are the candidate workers, ordered by node ID. The slice is
+	// only valid for the duration of Assign: the Controller reuses its
+	// backing buffer across requests.
 	Nodes []NodeInfo
+	// MaxUp, when positive, is the precomputed maximum NodeInfo.UpToDate
+	// over Nodes. The Controller fills it while building the data view so
+	// informed policies need not rescan the candidates; a zero value
+	// means "not provided" and policies recompute it (a zero maximum is
+	// handled identically either way: nothing is viable).
+	MaxUp memmodel.Bytes
 }
 
 // Policy assigns CEs to workers. Implementations keep internal state
@@ -188,10 +196,10 @@ func (p *MinTransferSize) NeedsDataView() bool { return true }
 
 // Assign implements Policy.
 func (p *MinTransferSize) Assign(req Request) cluster.NodeID {
-	maxUp := maxUpToDate(req)
+	minViable, anyViable := viabilityFloor(req, p.level)
 	best := -1
 	for i, n := range req.Nodes {
-		if !viable(n, maxUp, p.level) {
+		if !anyViable || float64(n.UpToDate) < minViable {
 			continue
 		}
 		if best == -1 || n.Transfer < req.Nodes[best].Transfer ||
@@ -227,10 +235,10 @@ func (p *MinTransferTime) NeedsDataView() bool { return true }
 
 // Assign implements Policy.
 func (p *MinTransferTime) Assign(req Request) cluster.NodeID {
-	maxUp := maxUpToDate(req)
+	minViable, anyViable := viabilityFloor(req, p.level)
 	best := -1
 	for i, n := range req.Nodes {
-		if !viable(n, maxUp, p.level) {
+		if !anyViable || float64(n.UpToDate) < minViable {
 			continue
 		}
 		if best == -1 || n.TransferTime < req.Nodes[best].TransferTime ||
@@ -244,8 +252,12 @@ func (p *MinTransferTime) Assign(req Request) cluster.NodeID {
 	return req.Nodes[best].ID
 }
 
-// maxUpToDate reports the largest worker-resident share of the CE's data.
+// maxUpToDate reports the largest worker-resident share of the CE's data,
+// preferring the Controller's precomputed value over a rescan.
 func maxUpToDate(req Request) memmodel.Bytes {
+	if req.MaxUp > 0 {
+		return req.MaxUp
+	}
 	var max memmodel.Bytes
 	for _, n := range req.Nodes {
 		if n.UpToDate > max {
@@ -255,14 +267,16 @@ func maxUpToDate(req Request) memmodel.Bytes {
 	return max
 }
 
-// viable applies the exploration threshold: the node must hold at least
-// level × the best worker's share of the CE's data. With no worker data at
-// all (maxUp == 0) nothing is viable and the caller explores round-robin.
-func viable(n NodeInfo, maxUp memmodel.Bytes, level ExplorationLevel) bool {
+// viabilityFloor hoists the exploration threshold out of the candidate
+// loop: a node is viable iff anyViable and its UpToDate bytes reach the
+// returned floor (level × the best worker's share). With no worker data at
+// all nothing is viable and the caller explores round-robin.
+func viabilityFloor(req Request, level ExplorationLevel) (floor float64, anyViable bool) {
+	maxUp := maxUpToDate(req)
 	if maxUp <= 0 {
-		return false
+		return 0, false
 	}
-	return float64(n.UpToDate) >= float64(level)*float64(maxUp)
+	return float64(level) * float64(maxUp), true
 }
 
 // New constructs a policy by name: "round-robin", "vector-step" (with the

@@ -47,10 +47,10 @@ func (p *UVMAware) NeedsDataView() bool { return true }
 
 // Assign implements Policy.
 func (p *UVMAware) Assign(req Request) cluster.NodeID {
-	maxUp := maxUpToDate(req)
+	minViable, anyViable := viabilityFloor(req, p.level)
 	best := -1
 	for i, n := range req.Nodes {
-		if !viable(n, maxUp, p.level) {
+		if !anyViable || float64(n.UpToDate) < minViable {
 			continue
 		}
 		// The UVM guard: skip nodes whose projected footprint would

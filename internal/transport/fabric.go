@@ -165,6 +165,13 @@ func (f *TCPFabric) Launch(w cluster.NodeID, inv core.Invocation, _ sim.VirtualT
 	return f.now(), nil
 }
 
+// ConcurrentDispatch implements core.ConcurrentDispatcher: operations are
+// real I/O over per-worker connections (each serialized by its own lock)
+// and times are wall-clock, not shared virtual timelines — so the
+// pipelined controller may dispatch to different workers concurrently
+// without the global ticket sequencer.
+func (f *TCPFabric) ConcurrentDispatch() bool { return true }
+
 // EstimateTransfer implements core.Fabric using the assumed NIC bandwidth.
 func (f *TCPFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
 	if src == dst || n <= 0 || f.AssumedBandwidth <= 0 {
@@ -235,3 +242,4 @@ func (f *TCPFabric) Stats(w cluster.NodeID) (WorkerStats, error) {
 
 var _ core.Fabric = (*TCPFabric)(nil)
 var _ core.KernelBuilder = (*TCPFabric)(nil)
+var _ core.ConcurrentDispatcher = (*TCPFabric)(nil)

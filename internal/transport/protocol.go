@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"grout/internal/core"
 	"grout/internal/dag"
@@ -95,8 +96,12 @@ func (r *Response) ok() error {
 	return nil
 }
 
-// conn wraps a TCP connection with gob codecs.
+// conn wraps a TCP connection with gob codecs. mu serializes request/
+// response round trips so the pipelined controller's per-worker dispatch
+// goroutines can share connections (a move between two workers uses the
+// source worker's conn, which that worker's own dispatcher may be using).
 type conn struct {
+	mu  sync.Mutex
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
@@ -131,8 +136,11 @@ func (c *conn) await() (*Response, error) {
 
 func (c *conn) close() error { return c.raw.Close() }
 
-// call performs one request/response round trip.
+// call performs one request/response round trip. Round trips are atomic
+// with respect to each other; concurrent callers queue on the connection.
 func (c *conn) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.send(req); err != nil {
 		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, err)
 	}

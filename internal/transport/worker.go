@@ -127,15 +127,58 @@ func (w *WorkerServer) serve(c *conn) {
 	}
 }
 
-// handle executes one request under the runtime lock.
+// handle executes one request under the runtime lock. P2P pushes are the
+// exception: the blocking round trip to the peer happens outside the lock
+// (a snapshot is taken under it), otherwise a cycle of concurrent pushes
+// between workers would deadlock — each one holding its runtime lock while
+// the peer's receive handler waits for that same lock.
 func (w *WorkerServer) handle(req *Request) *Response {
+	resp := &Response{}
+	if req.Kind == MsgPushTo {
+		if err := w.pushTo(req); err != nil {
+			resp.Err = err.Error()
+		}
+		return resp
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	resp := &Response{}
 	if err := w.apply(req, resp); err != nil {
 		resp.Err = err.Error()
 	}
 	return resp
+}
+
+// pushTo ships an array to a peer worker: flush and snapshot under the
+// runtime lock, then perform the network round trip without it.
+func (w *WorkerServer) pushTo(req *Request) error {
+	w.mu.Lock()
+	arr := w.rt.Array(req.ArrayID)
+	if arr == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("push of unknown array %d", req.ArrayID)
+	}
+	if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	snap := kernels.NewBuffer(arr.Buf.Kind, arr.Buf.Len())
+	for i := 0; i < arr.Buf.Len(); i++ {
+		snap.Set(i, arr.Buf.At(i))
+	}
+	w.mu.Unlock()
+
+	peer, err := net.Dial("tcp", req.PeerAddr)
+	if err != nil {
+		return fmt.Errorf("p2p dial %s: %w", req.PeerAddr, err)
+	}
+	pc := newConn(peer)
+	defer pc.close()
+	_, err = pc.call(&Request{
+		Kind:    MsgReceiveArray,
+		ArrayID: req.ArrayID,
+		Data:    snap,
+	})
+	return err
 }
 
 func (w *WorkerServer) apply(req *Request, resp *Response) error {
@@ -215,25 +258,8 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 		return w.rt.FreeArray(req.ArrayID)
 
 	case MsgPushTo:
-		arr := w.rt.Array(req.ArrayID)
-		if arr == nil {
-			return fmt.Errorf("push of unknown array %d", req.ArrayID)
-		}
-		if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
-			return err
-		}
-		peer, err := net.Dial("tcp", req.PeerAddr)
-		if err != nil {
-			return fmt.Errorf("p2p dial %s: %w", req.PeerAddr, err)
-		}
-		pc := newConn(peer)
-		defer pc.close()
-		_, err = pc.call(&Request{
-			Kind:    MsgReceiveArray,
-			ArrayID: req.ArrayID,
-			Data:    arr.Buf,
-		})
-		return err
+		// Handled without the runtime lock in pushTo (see handle).
+		return errors.New("push-to must not reach apply")
 
 	case MsgStats:
 		resp.Kernels = len(w.rt.Records())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ci.sh — the tier-1 gate, a thin wrapper around the repo's own checks:
+#
+#   1. go vet ./...
+#   2. go build ./...
+#   3. go test ./...                                   (full suite)
+#   4. go test -race ./internal/core/... ./internal/dag/...
+#      (the pipelined controller's determinism property test and the DAG
+#      fast path run under the race detector)
+#   5. the controller/DAG micro-benchmarks with -benchtime=1x as a smoke
+#      gate (they must still compile and complete, not regress — use
+#      scripts/bench.sh for numbers)
+#
+# Run from the repo root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core, dag)"
+go test -race ./internal/core/... ./internal/dag/...
+
+echo "== micro-benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput|BenchmarkSchedulingOnly' \
+    -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkDAGAdd' -benchtime=1x ./internal/dag/
+
+echo "CI OK"
