@@ -54,10 +54,15 @@ func main() {
 	partitions := flag.Int("partitions", 4, "portfolio partitions (CEs)")
 	elems := flag.Int("elems", 4096, "options per partition")
 	pipeline := flag.Bool("pipeline", false, "overlap CE dispatch with scheduling (DESIGN.md §5.1)")
+	wire := flag.String("wire", "framed", "wire protocol: framed (binary, dedicated bulk channel) or gob (legacy, one release)")
+	chunk := flag.Int("chunk", 0, "bulk-transfer chunk bytes (0 = 256 KiB default; clamped to [4 KiB, 64 MiB))")
 	flag.Parse()
 
 	addrs := strings.Split(*workers, ",")
-	remote, err := grout.Connect(addrs, grout.Config{Policy: *policyName, Level: *level, Pipeline: *pipeline})
+	remote, err := grout.Connect(addrs, grout.Config{
+		Policy: *policyName, Level: *level, Pipeline: *pipeline,
+		Wire: *wire, ChunkBytes: *chunk,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

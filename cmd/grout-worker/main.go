@@ -26,6 +26,7 @@ func main() {
 	gpuMem := flag.Int("gpu-mem", 16, "GiB of memory per simulated GPU")
 	hostMem := flag.Int("host-mem", 180, "GiB of host memory")
 	name := flag.String("name", "worker", "node name in logs")
+	chunk := flag.Int("chunk", 0, "chunk bytes for outgoing bulk streams (0 = 256 KiB default; clamped to [4 KiB, 64 MiB))")
 	flag.Parse()
 
 	if *gpus < 1 || *gpuMem < 1 || *hostMem < 1 {
@@ -42,7 +43,8 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "grout-worker: ", log.LstdFlags)
-	srv, err := transport.NewWorkerServer(*listen, spec, logger)
+	srv, err := transport.NewWorkerServerOpts(*listen, spec, logger,
+		transport.ServerOptions{ChunkBytes: *chunk})
 	if err != nil {
 		log.Fatal(err)
 	}

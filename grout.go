@@ -82,6 +82,15 @@ type Config struct {
 	// serial schedule; see DESIGN.md §5.1). Launch/HostRead/HostWrite
 	// still synchronize where required.
 	Pipeline bool
+	// Wire selects the TCP wire protocol for Connect: "framed" (default —
+	// binary frames with a dedicated bulk channel per worker, DESIGN.md
+	// §5.2) or "gob" (the legacy codec, kept for one release). Ignored by
+	// simulated clusters.
+	Wire string
+	// ChunkBytes is the bulk-transfer chunk size for Connect (default
+	// 256 KiB; clamped to [4 KiB, 64 MiB) and 8-byte aligned). Ignored by
+	// simulated clusters.
+	ChunkBytes int
 }
 
 func (c Config) policy() (policy.Policy, error) {
@@ -160,7 +169,14 @@ func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
 	if err != nil {
 		return nil, err
 	}
-	fab, err := transport.Dial(workerAddrs)
+	wire, err := transport.ParseWire(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := transport.DialWith(workerAddrs, transport.DialOptions{
+		Wire:       wire,
+		ChunkBytes: cfg.ChunkBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +208,9 @@ func Policies() []string { return policy.Names() }
 func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("grout: negative worker count %d", c.Workers)
+	}
+	if _, err := transport.ParseWire(c.Wire); err != nil {
+		return err
 	}
 	_, err := c.policy()
 	return err

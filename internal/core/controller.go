@@ -935,6 +935,9 @@ func (e *errDataLoss) Error() string {
 	return fmt.Sprintf("core: array %d lost: its only valid copy was on a failed worker", e.id)
 }
 
+// Unwrap surfaces the ErrDataLost sentinel so callers can errors.Is on it.
+func (e *errDataLoss) Unwrap() error { return ErrDataLost }
+
 func errorIsDataLoss(err error) bool {
 	var dl *errDataLoss
 	return errors.As(err, &dl)

@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// Sentinel errors shared by every fabric implementation. Workers and
+// fabrics wrap these with %w (the transport additionally maps them to
+// wire-level error codes so they survive a socket round trip), letting
+// callers branch with errors.Is instead of string matching:
+//
+//   - the Controller's failover must distinguish rerouteable failures from
+//     unsalvageable ones (ErrDataLost),
+//   - tests assert on the failure class, not on message spelling,
+//   - clients can react to OOM (shrink, spill) differently from a missing
+//     array (a scheduling bug) or a compile error (a user bug).
+var (
+	// ErrArrayNotFound: an operation referenced an array the target node
+	// does not hold.
+	ErrArrayNotFound = errors.New("array not found")
+	// ErrKernelCompile: mini-CUDA source failed to compile.
+	ErrKernelCompile = errors.New("kernel compile failed")
+	// ErrOOM: the node could not allocate host memory for an array.
+	ErrOOM = errors.New("out of memory")
+	// ErrDataLost: the only valid copy of an array died with a failed
+	// worker; no failover can recover it.
+	ErrDataLost = errors.New("array data lost")
+)

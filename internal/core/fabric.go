@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"grout/internal/cluster"
@@ -57,6 +58,13 @@ type Fabric interface {
 	// the controller; dstBuf, when non-nil and dst is the controller,
 	// receives the payload. The move may not start before srcReady.
 	// Returns the arrival time at dst.
+	//
+	// Concurrent-bulk contract: a fabric that declares
+	// ConcurrentDispatcher must accept MoveArray calls for *different*
+	// arrays concurrently — with each other and with Launch/EnsureArray/
+	// Healthy on any worker — without blocking small control operations
+	// behind a large payload. Concurrent moves of the same array are the
+	// Controller's responsibility to order (the DAG serializes them).
 	MoveArray(id dag.ArrayID, src, dst cluster.NodeID, srcReady sim.VirtualTime,
 		srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error)
 	// Launch executes a kernel on worker w, starting no earlier than
@@ -131,6 +139,9 @@ func (f *LocalFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error
 		return nil
 	}
 	_, err := rt.NewArrayWithID(meta.ID, meta.Kind, meta.Len)
+	if err != nil && errors.Is(err, gpusim.ErrHostMemoryExhausted) {
+		err = fmt.Errorf("%w: %v", ErrOOM, err)
+	}
 	return err
 }
 
@@ -152,7 +163,7 @@ func (f *LocalFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 		}
 		arr := rt.Array(id)
 		if arr == nil {
-			return 0, fmt.Errorf("core: array %d not present on %v", id, src)
+			return 0, fmt.Errorf("core: array %d not present on %v: %w", id, src, ErrArrayNotFound)
 		}
 		// Dirty device pages must reach the worker's host copy first.
 		flushed, err := rt.Node().FlushForSend(arr.Alloc, srcReady)
@@ -176,7 +187,7 @@ func (f *LocalFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 		}
 		arr := rt.Array(id)
 		if arr == nil {
-			return 0, fmt.Errorf("core: array %d not ensured on %v before move", id, dst)
+			return 0, fmt.Errorf("core: array %d not ensured on %v before move: %w", id, dst, ErrArrayNotFound)
 		}
 		size = arr.Bytes()
 		iv := f.clu.Transfer(src, dst, size, ready)
@@ -228,7 +239,7 @@ func (f *LocalFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.Virtual
 		}
 		arr := rt.Array(a.Array)
 		if arr == nil {
-			return 0, fmt.Errorf("core: worker %v launch references unknown array %d", w, a.Array)
+			return 0, fmt.Errorf("core: worker %v launch references unknown array %d: %w", w, a.Array, ErrArrayNotFound)
 		}
 		vals[i] = grcuda.ArrValue(arr)
 	}
@@ -295,7 +306,7 @@ type KernelBuilder interface {
 func (f *LocalFabric) BuildKernel(src, signature string) error {
 	def, err := minicuda.Compile(src, signature)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrKernelCompile, err)
 	}
 	if _, exists := f.reg.Lookup(def.Name); exists {
 		return nil

@@ -88,10 +88,30 @@ func (b *Buffer) Set(i int, v float64) {
 	}
 }
 
-// Fill sets every element to v.
+// Fill sets every element to v. The kind switch is hoisted out of the
+// loop: each arm is a tight fill over the typed slice rather than a
+// per-element Set dispatch.
 func (b *Buffer) Fill(v float64) {
-	for i, n := 0, b.Len(); i < n; i++ {
-		b.Set(i, v)
+	switch b.Kind {
+	case memmodel.Float32:
+		f := float32(v)
+		for i := range b.F32 {
+			b.F32[i] = f
+		}
+	case memmodel.Float64:
+		for i := range b.F64 {
+			b.F64[i] = v
+		}
+	case memmodel.Int32:
+		n := int32(v)
+		for i := range b.I32 {
+			b.I32[i] = n
+		}
+	default:
+		n := int64(v)
+		for i := range b.I64 {
+			b.I64[i] = n
+		}
 	}
 }
 
@@ -112,13 +132,48 @@ func (b *Buffer) Clone() *Buffer {
 }
 
 // MaxAbsDiff reports the largest absolute element difference between two
-// buffers of equal length; used by equivalence tests.
+// buffers of equal length; used by equivalence tests. Comparing buffers of
+// different lengths is a caller bug — it panics instead of silently
+// comparing the shorter prefix. When both buffers share a kind the
+// element loop runs over the typed slices directly.
 func (b *Buffer) MaxAbsDiff(o *Buffer) float64 {
 	n := b.Len()
-	if o.Len() < n {
-		n = o.Len()
+	if o.Len() != n {
+		panic(fmt.Sprintf("kernels: MaxAbsDiff over mismatched lengths %d vs %d", n, o.Len()))
 	}
 	var max float64
+	if b.Kind == o.Kind {
+		switch b.Kind {
+		case memmodel.Float32:
+			for i, v := range b.F32 {
+				if d := math.Abs(float64(v) - float64(o.F32[i])); d > max {
+					max = d
+				}
+			}
+			return max
+		case memmodel.Float64:
+			for i, v := range b.F64 {
+				if d := math.Abs(v - o.F64[i]); d > max {
+					max = d
+				}
+			}
+			return max
+		case memmodel.Int32:
+			for i, v := range b.I32 {
+				if d := math.Abs(float64(v) - float64(o.I32[i])); d > max {
+					max = d
+				}
+			}
+			return max
+		default:
+			for i, v := range b.I64 {
+				if d := math.Abs(float64(v) - float64(o.I64[i])); d > max {
+					max = d
+				}
+			}
+			return max
+		}
+	}
 	for i := 0; i < n; i++ {
 		if d := math.Abs(b.At(i) - o.At(i)); d > max {
 			max = d

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"grout/internal/memmodel"
+)
+
+// hostLittleEndian reports whether the process runs on a little-endian
+// machine. The wire format is little-endian; on LE hosts the typed slices
+// can alias raw wire bytes directly (zero copy), on BE hosts the slower
+// per-element conversion path keeps the format portable.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aliasBytes reinterprets the buffer's typed storage as its underlying
+// bytes, without copying. Only meaningful on little-endian hosts.
+func (b *Buffer) aliasBytes() []byte {
+	switch b.Kind {
+	case memmodel.Float32:
+		if len(b.F32) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&b.F32[0])), len(b.F32)*4)
+	case memmodel.Float64:
+		if len(b.F64) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&b.F64[0])), len(b.F64)*8)
+	case memmodel.Int32:
+		if len(b.I32) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&b.I32[0])), len(b.I32)*4)
+	default:
+		if len(b.I64) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&b.I64[0])), len(b.I64)*8)
+	}
+}
+
+// RawBytes returns the buffer's contents as little-endian wire bytes. On
+// little-endian hosts the returned slice aliases the buffer's storage —
+// zero copy, so the transport can stream array payloads straight from (and
+// into) the typed slices. On big-endian hosts it returns a converted copy.
+//
+// Callers must not retain the slice past mutations of the buffer.
+func (b *Buffer) RawBytes() []byte {
+	if hostLittleEndian {
+		return b.aliasBytes()
+	}
+	out := make([]byte, int(b.Bytes()))
+	es := int(b.Kind.Size())
+	for i, n := 0, b.Len(); i < n; i++ {
+		off := i * es
+		switch b.Kind {
+		case memmodel.Float32:
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(b.F32[i]))
+		case memmodel.Float64:
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(b.F64[i]))
+		case memmodel.Int32:
+			binary.LittleEndian.PutUint32(out[off:], uint32(b.I32[i]))
+		default:
+			binary.LittleEndian.PutUint64(out[off:], uint64(b.I64[i]))
+		}
+	}
+	return out
+}
+
+// RawSpan returns the little-endian wire bytes of the element range that
+// starts at byte offset off and spans n bytes; both must be multiples of
+// the element size and inside the buffer. On little-endian hosts the span
+// aliases storage (zero copy).
+func (b *Buffer) RawSpan(off, n int) ([]byte, error) {
+	if err := b.checkSpan(off, n); err != nil {
+		return nil, err
+	}
+	if hostLittleEndian {
+		return b.aliasBytes()[off : off+n], nil
+	}
+	return b.RawBytes()[off : off+n], nil
+}
+
+// SetRawBytes copies little-endian wire bytes into the buffer storage
+// starting at byte offset off. off and len(p) must be multiples of the
+// element size and the span must fit the buffer; the transport's chunked
+// receives land each chunk here, directly in place.
+func (b *Buffer) SetRawBytes(off int, p []byte) error {
+	if err := b.checkSpan(off, len(p)); err != nil {
+		return err
+	}
+	if hostLittleEndian {
+		copy(b.aliasBytes()[off:], p)
+		return nil
+	}
+	es := int(b.Kind.Size())
+	for i := 0; i < len(p); i += es {
+		elem := (off + i) / es
+		switch b.Kind {
+		case memmodel.Float32:
+			b.F32[elem] = math.Float32frombits(binary.LittleEndian.Uint32(p[i:]))
+		case memmodel.Float64:
+			b.F64[elem] = math.Float64frombits(binary.LittleEndian.Uint64(p[i:]))
+		case memmodel.Int32:
+			b.I32[elem] = int32(binary.LittleEndian.Uint32(p[i:]))
+		default:
+			b.I64[elem] = int64(binary.LittleEndian.Uint64(p[i:]))
+		}
+	}
+	return nil
+}
+
+// checkSpan validates a byte range against the buffer's extent and element
+// alignment.
+func (b *Buffer) checkSpan(off, n int) error {
+	es := int(b.Kind.Size())
+	total := int(b.Bytes())
+	if off < 0 || n < 0 || off+n > total {
+		return fmt.Errorf("kernels: byte span [%d,%d) outside buffer of %d bytes", off, off+n, total)
+	}
+	if off%es != 0 || n%es != 0 {
+		return fmt.Errorf("kernels: byte span [%d,%d) not aligned to %d-byte elements", off, off+n, es)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"grout/internal/memmodel"
+)
+
+var allKinds = []memmodel.ElemKind{
+	memmodel.Float32, memmodel.Float64, memmodel.Int32, memmodel.Int64,
+}
+
+func TestRawBytesRoundTrip(t *testing.T) {
+	for _, kind := range allKinds {
+		b := NewBuffer(kind, 16)
+		for i := 0; i < 16; i++ {
+			b.Set(i, float64(i*3-8))
+		}
+		raw := b.RawBytes()
+		if want := int(b.Bytes()); len(raw) != want {
+			t.Fatalf("%v: RawBytes len = %d, want %d", kind, len(raw), want)
+		}
+		c := NewBuffer(kind, 16)
+		if err := c.SetRawBytes(0, raw); err != nil {
+			t.Fatalf("%v: SetRawBytes: %v", kind, err)
+		}
+		for i := 0; i < 16; i++ {
+			if c.At(i) != b.At(i) {
+				t.Fatalf("%v: elem %d = %v, want %v", kind, i, c.At(i), b.At(i))
+			}
+		}
+	}
+}
+
+func TestRawSpanAliasesStorage(t *testing.T) {
+	b := NewBuffer(memmodel.Float64, 8)
+	es := int(memmodel.Float64.Size())
+	span, err := b.RawSpan(2*es, 3*es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(span) != 3*es {
+		t.Fatalf("span len = %d", len(span))
+	}
+	// Writing through the span must be visible through At on LE hosts; on
+	// BE hosts RawSpan is a copy, so only check via SetRawBytes.
+	src := NewBuffer(memmodel.Float64, 3)
+	src.Set(0, 1.5)
+	src.Set(1, -2.5)
+	src.Set(2, 42)
+	if err := b.SetRawBytes(2*es, src.RawBytes()); err != nil {
+		t.Fatal(err)
+	}
+	if b.At(2) != 1.5 || b.At(3) != -2.5 || b.At(4) != 42 {
+		t.Fatalf("SetRawBytes at offset: got %v %v %v", b.At(2), b.At(3), b.At(4))
+	}
+	if b.At(1) != 0 || b.At(5) != 0 {
+		t.Fatalf("SetRawBytes touched neighbors")
+	}
+}
+
+func TestRawSpanBounds(t *testing.T) {
+	b := NewBuffer(memmodel.Float32, 8) // 32 bytes
+	for _, tc := range []struct{ off, n int }{
+		{-4, 8},  // negative offset
+		{0, -4},  // negative length
+		{0, 36},  // past the end
+		{32, 4},  // starts past the end
+		{1, 4},   // misaligned offset
+		{0, 6},   // misaligned length
+		{30, 30}, // overflow-ish combination
+	} {
+		if _, err := b.RawSpan(tc.off, tc.n); err == nil {
+			t.Fatalf("RawSpan(%d, %d) accepted", tc.off, tc.n)
+		}
+		if tc.n >= 0 {
+			if err := b.SetRawBytes(tc.off, make([]byte, tc.n)); err == nil {
+				t.Fatalf("SetRawBytes(%d, %d bytes) accepted", tc.off, tc.n)
+			}
+		}
+	}
+	// The full span is fine.
+	if _, err := b.RawSpan(0, 32); err != nil {
+		t.Fatalf("full span rejected: %v", err)
+	}
+}
+
+func TestFillAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		b := NewBuffer(kind, 64)
+		b.Fill(7)
+		for i := 0; i < 64; i++ {
+			if b.At(i) != 7 {
+				t.Fatalf("%v: fill elem %d = %v", kind, i, b.At(i))
+			}
+		}
+		// Integer kinds truncate fractional fills the same way Set does.
+		b.Fill(2.9)
+		want := b.At(0)
+		for i := 1; i < 64; i++ {
+			if b.At(i) != want {
+				t.Fatalf("%v: inconsistent fill: %v vs %v", kind, b.At(i), want)
+			}
+		}
+	}
+}
+
+func TestMaxAbsDiffMismatchedLengthsPanics(t *testing.T) {
+	a := NewBuffer(memmodel.Float32, 8)
+	b := NewBuffer(memmodel.Float32, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("MaxAbsDiff over mismatched lengths did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "mismatched lengths") {
+			t.Fatalf("panic = %v, want mismatched-lengths message", r)
+		}
+	}()
+	_ = a.MaxAbsDiff(b)
+}
+
+func TestMaxAbsDiffMixedKinds(t *testing.T) {
+	a := NewBuffer(memmodel.Float32, 8)
+	b := NewBuffer(memmodel.Float64, 8)
+	for i := 0; i < 8; i++ {
+		a.Set(i, float64(i))
+		b.Set(i, float64(i))
+	}
+	if d := a.MaxAbsDiff(b); d != 0 {
+		t.Fatalf("mixed-kind equal buffers diff = %v", d)
+	}
+	b.Set(3, 5)
+	if d := a.MaxAbsDiff(b); d != 2 {
+		t.Fatalf("mixed-kind diff = %v, want 2", d)
+	}
+}

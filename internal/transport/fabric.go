@@ -14,62 +14,172 @@ import (
 	"grout/internal/sim"
 )
 
+// Wire selects the wire protocol a fabric speaks.
+type Wire int
+
+const (
+	// WireFramed is the length-prefixed binary protocol with the
+	// control/bulk channel split (the default).
+	WireFramed Wire = iota
+	// WireGob is the legacy reflection-driven gob codec over a single
+	// connection per worker; kept for one release behind `-wire gob`.
+	WireGob
+)
+
+// ParseWire maps a flag value to a Wire.
+func ParseWire(name string) (Wire, error) {
+	switch name {
+	case "", "framed":
+		return WireFramed, nil
+	case "gob":
+		return WireGob, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown wire protocol %q (want framed or gob)", name)
+	}
+}
+
+func (w Wire) String() string {
+	if w == WireGob {
+		return "gob"
+	}
+	return "framed"
+}
+
+// DialOptions tune a TCP fabric.
+type DialOptions struct {
+	// Wire selects the protocol (default WireFramed).
+	Wire Wire
+	// ChunkBytes is the bulk-transfer chunk size (default
+	// DefaultChunkBytes; clamped to [4 KiB, 64 MiB) and 8-byte aligned).
+	ChunkBytes int
+}
+
+// link is one worker's connection set: either a framed control+bulk pair
+// or a single legacy gob connection.
+type link struct {
+	ctrl *ctrlConn   // framed control channel
+	bulk *bulkClient // framed bulk channel
+	gob  *conn       // legacy wire (nil when framed)
+}
+
+// call performs a control round trip.
+func (l *link) call(req *Request) (*Response, error) {
+	if l.gob != nil {
+		return l.gob.call(req)
+	}
+	return l.ctrl.call(req)
+}
+
+func (l *link) close() error {
+	if l.gob != nil {
+		return l.gob.close()
+	}
+	err := l.ctrl.close()
+	if berr := l.bulk.close(); err == nil {
+		err = berr
+	}
+	return err
+}
+
 // TCPFabric implements core.Fabric over real sockets: worker i+1 is the
-// process listening at addrs[i]. Returned times are wall-clock nanoseconds
-// since Dial.
+// process listening at addrs[i]. On the framed wire each worker gets a
+// dedicated bulk channel, so array transfers — streamed in chunks and
+// interleaved by request ID — never head-of-line-block pings, launches or
+// failover probes on the control channel, and bulk operations on
+// different arrays run concurrently (the core.Fabric concurrent-bulk
+// contract). Returned times are wall-clock nanoseconds since Dial.
 type TCPFabric struct {
 	addrs   []string
-	conns   map[cluster.NodeID]*conn
+	links   map[cluster.NodeID]*link
 	started time.Time
+	wire    Wire
+	chunk   int
 	// AssumedBandwidth (bytes/s) feeds EstimateTransfer for
 	// min-transfer-time scheduling; defaults to the paper's 500 MB/s
 	// worker NICs.
 	AssumedBandwidth float64
 }
 
-// Dial connects to every worker and verifies liveness.
+// Dial connects to every worker over the framed wire and verifies
+// liveness.
 func Dial(addrs []string) (*TCPFabric, error) {
+	return DialWith(addrs, DialOptions{})
+}
+
+// DialWith is Dial with explicit wire/chunking options.
+func DialWith(addrs []string, opts DialOptions) (*TCPFabric, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("transport: no worker addresses")
 	}
 	f := &TCPFabric{
 		addrs:            addrs,
-		conns:            make(map[cluster.NodeID]*conn),
+		links:            make(map[cluster.NodeID]*link),
 		started:          time.Now(),
+		wire:             opts.Wire,
+		chunk:            normalizeChunk(opts.ChunkBytes),
 		AssumedBandwidth: 500e6,
 	}
 	for i, addr := range addrs {
-		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		l, err := f.dialWorker(addr)
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("transport: dial worker %d at %s: %w", i+1, addr, err)
+			return nil, fmt.Errorf("transport: worker %d at %s: %w", i+1, addr, err)
 		}
-		c := newConn(raw)
-		if _, err := c.call(&Request{Kind: MsgPing}); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("transport: ping worker %d: %w", i+1, err)
-		}
-		f.conns[cluster.NodeID(i+1)] = c
+		f.links[cluster.NodeID(i+1)] = l
 	}
 	return f, nil
 }
 
+// dialWorker opens one worker's connection set and pings it.
+func (f *TCPFabric) dialWorker(addr string) (*link, error) {
+	if f.wire == WireGob {
+		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("dial: %w", err)
+		}
+		l := &link{gob: newConn(raw)}
+		if _, err := l.call(&Request{Kind: MsgPing}); err != nil {
+			_ = l.close()
+			return nil, fmt.Errorf("ping: %w", err)
+		}
+		return l, nil
+	}
+	ctrlFC, err := dialFramed(addr, helloControl)
+	if err != nil {
+		return nil, err
+	}
+	bulkFC, err := dialFramed(addr, helloBulk)
+	if err != nil {
+		_ = ctrlFC.close()
+		return nil, err
+	}
+	l := &link{ctrl: newCtrlConn(ctrlFC), bulk: newBulkClient(bulkFC, f.chunk)}
+	if _, err := l.call(&Request{Kind: MsgPing}); err != nil {
+		_ = l.close()
+		return nil, fmt.Errorf("ping: %w", err)
+	}
+	return l, nil
+}
+
+// Wire reports the protocol this fabric speaks.
+func (f *TCPFabric) Wire() Wire { return f.wire }
+
 // Close closes all worker connections.
 func (f *TCPFabric) Close() error {
 	var firstErr error
-	for _, c := range f.conns {
-		if err := c.close(); err != nil && firstErr == nil {
+	for _, l := range f.links {
+		if err := l.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	f.conns = make(map[cluster.NodeID]*conn)
+	f.links = make(map[cluster.NodeID]*link)
 	return firstErr
 }
 
 // Shutdown asks every worker process to exit, then closes connections.
 func (f *TCPFabric) Shutdown() error {
-	for _, c := range f.conns {
-		_, _ = c.call(&Request{Kind: MsgShutdown})
+	for _, l := range f.links {
+		_, _ = l.call(&Request{Kind: MsgShutdown})
 	}
 	return f.Close()
 }
@@ -79,12 +189,12 @@ func (f *TCPFabric) now() sim.VirtualTime {
 	return sim.VirtualTime(time.Since(f.started).Nanoseconds())
 }
 
-func (f *TCPFabric) worker(w cluster.NodeID) (*conn, error) {
-	c, ok := f.conns[w]
+func (f *TCPFabric) worker(w cluster.NodeID) (*link, error) {
+	l, ok := f.links[w]
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown worker %v", w)
 	}
-	return c, nil
+	return l, nil
 }
 
 // Workers implements core.Fabric.
@@ -98,17 +208,18 @@ func (f *TCPFabric) Workers() []cluster.NodeID {
 
 // EnsureArray implements core.Fabric.
 func (f *TCPFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error {
-	c, err := f.worker(w)
+	l, err := f.worker(w)
 	if err != nil {
 		return err
 	}
-	_, err = c.call(&Request{Kind: MsgEnsureArray, Meta: meta})
+	_, err = l.call(&Request{Kind: MsgEnsureArray, Meta: meta})
 	return err
 }
 
 // MoveArray implements core.Fabric: controller->worker ships srcBuf,
 // worker->controller fetches into dstBuf, worker->worker triggers a direct
-// P2P push.
+// P2P push. On the framed wire all three travel the bulk channel in
+// chunks; concurrent moves of different arrays interleave.
 func (f *TCPFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 	_ sim.VirtualTime, srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error) {
 	if src == dst {
@@ -116,37 +227,60 @@ func (f *TCPFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 	}
 	switch {
 	case src == cluster.ControllerID:
-		c, err := f.worker(dst)
+		l, err := f.worker(dst)
 		if err != nil {
 			return 0, err
 		}
-		if _, err := c.call(&Request{Kind: MsgReceiveArray, ArrayID: id, Data: srcBuf}); err != nil {
+		if l.gob != nil {
+			if _, err := l.gob.call(&Request{Kind: MsgReceiveArray, ArrayID: id, Data: srcBuf}); err != nil {
+				return 0, err
+			}
+			break
+		}
+		meta := grcuda.ArrayMeta{ID: id}
+		if srcBuf != nil {
+			meta.Kind = srcBuf.Kind
+			meta.Len = int64(srcBuf.Len())
+		}
+		if err := l.bulk.receiveArray(id, meta, srcBuf); err != nil {
 			return 0, err
 		}
 	case dst == cluster.ControllerID:
-		c, err := f.worker(src)
+		l, err := f.worker(src)
 		if err != nil {
 			return 0, err
 		}
-		resp, err := c.call(&Request{Kind: MsgFetchArray, ArrayID: id})
-		if err != nil {
-			return 0, err
+		if l.gob != nil {
+			resp, err := l.gob.call(&Request{Kind: MsgFetchArray, ArrayID: id})
+			if err != nil {
+				return 0, err
+			}
+			if resp.Data != nil && dstBuf != nil {
+				n := dstBuf.Len()
+				if resp.Data.Len() < n {
+					n = resp.Data.Len()
+				}
+				for i := 0; i < n; i++ {
+					dstBuf.Set(i, resp.Data.At(i))
+				}
+			}
+			break
 		}
-		if resp.Data != nil && dstBuf != nil {
-			n := dstBuf.Len()
-			if resp.Data.Len() < n {
-				n = resp.Data.Len()
-			}
-			for i := 0; i < n; i++ {
-				dstBuf.Set(i, resp.Data.At(i))
-			}
+		if err := l.bulk.fetchArray(id, dstBuf); err != nil {
+			return 0, err
 		}
 	default: // worker -> worker P2P
-		c, err := f.worker(src)
+		l, err := f.worker(src)
 		if err != nil {
 			return 0, err
 		}
-		if _, err := c.call(&Request{Kind: MsgPushTo, ArrayID: id, PeerAddr: f.addrs[dst-1]}); err != nil {
+		if l.gob != nil {
+			if _, err := l.gob.call(&Request{Kind: MsgPushTo, ArrayID: id, PeerAddr: f.addrs[dst-1]}); err != nil {
+				return 0, err
+			}
+			break
+		}
+		if err := l.bulk.pushTo(id, f.addrs[dst-1]); err != nil {
 			return 0, err
 		}
 	}
@@ -155,21 +289,22 @@ func (f *TCPFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 
 // Launch implements core.Fabric.
 func (f *TCPFabric) Launch(w cluster.NodeID, inv core.Invocation, _ sim.VirtualTime) (sim.VirtualTime, error) {
-	c, err := f.worker(w)
+	l, err := f.worker(w)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := c.call(&Request{Kind: MsgLaunch, Inv: inv}); err != nil {
+	if _, err := l.call(&Request{Kind: MsgLaunch, Inv: inv}); err != nil {
 		return 0, err
 	}
 	return f.now(), nil
 }
 
 // ConcurrentDispatch implements core.ConcurrentDispatcher: operations are
-// real I/O over per-worker connections (each serialized by its own lock)
-// and times are wall-clock, not shared virtual timelines — so the
-// pipelined controller may dispatch to different workers concurrently
-// without the global ticket sequencer.
+// real I/O — control round trips serialize per connection, bulk transfers
+// interleave on each worker's dedicated bulk channel — and times are
+// wall-clock, not shared virtual timelines, so the pipelined controller
+// may dispatch to different workers concurrently without the global
+// ticket sequencer.
 func (f *TCPFabric) ConcurrentDispatch() bool { return true }
 
 // EstimateTransfer implements core.Fabric using the assumed NIC bandwidth.
@@ -182,22 +317,28 @@ func (f *TCPFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) 
 
 // FreeArray implements core.Fabric.
 func (f *TCPFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
-	c, err := f.worker(w)
+	l, err := f.worker(w)
 	if err != nil {
 		return err
 	}
-	_, err = c.call(&Request{Kind: MsgFreeArray, ArrayID: id})
+	_, err = l.call(&Request{Kind: MsgFreeArray, ArrayID: id})
 	return err
 }
 
 // Healthy implements core.Fabric: a liveness ping over the worker's
-// connection.
+// control connection. A worker whose bulk channel died is reported
+// unhealthy even while its control channel still answers — the data plane
+// is gone, so the Controller's failover must write the worker off and
+// reship replicas elsewhere.
 func (f *TCPFabric) Healthy(w cluster.NodeID) bool {
-	c, err := f.worker(w)
+	l, err := f.worker(w)
 	if err != nil {
 		return false
 	}
-	_, err = c.call(&Request{Kind: MsgPing})
+	if l.bulk != nil && l.bulk.broken() != nil {
+		return false
+	}
+	_, err = l.call(&Request{Kind: MsgPing})
 	return err == nil
 }
 
@@ -205,11 +346,11 @@ func (f *TCPFabric) Healthy(w cluster.NodeID) bool {
 // worker.
 func (f *TCPFabric) BuildKernel(src, signature string) error {
 	for _, id := range f.Workers() {
-		c, err := f.worker(id)
+		l, err := f.worker(id)
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(&Request{Kind: MsgBuildKernel, Src: src, Signature: signature}); err != nil {
+		if _, err := l.call(&Request{Kind: MsgBuildKernel, Src: src, Signature: signature}); err != nil {
 			return err
 		}
 	}
@@ -225,11 +366,11 @@ type WorkerStats struct {
 
 // Stats queries one worker.
 func (f *TCPFabric) Stats(w cluster.NodeID) (WorkerStats, error) {
-	c, err := f.worker(w)
+	l, err := f.worker(w)
 	if err != nil {
 		return WorkerStats{}, err
 	}
-	resp, err := c.call(&Request{Kind: MsgStats})
+	resp, err := l.call(&Request{Kind: MsgStats})
 	if err != nil {
 		return WorkerStats{}, err
 	}

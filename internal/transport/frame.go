@@ -1,0 +1,315 @@
+package transport
+
+// frame.go is the framed protocol's transport layer: length-prefixed
+// frames over TCP, preceded by a 6-byte connection hello that names the
+// channel (control or bulk). The worker sniffs the hello's magic to tell
+// framed clients from legacy gob clients, so one listener serves both
+// wires during the migration release.
+//
+// Frame layout (little-endian):
+//
+//	u32 payload length  (bounded by frameMaxPayload)
+//	u8  frame type
+//	u64 request id
+//	payload...
+//
+// Chunk frames additionally open their payload with a u64 byte offset;
+// the remaining bytes are raw array data, written straight out of (and
+// read straight into) kernels.Buffer storage. Frame writes are atomic
+// under a per-connection mutex, so chunks of concurrent transfers
+// interleave on the bulk channel instead of queuing whole-payload.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// helloMagic opens every framed connection. The first byte (0x47, "G")
+// can never open a legitimate gob stream's type definition, so sniffing
+// four bytes is unambiguous in practice.
+const helloMagic = "GRT\x01" // magic + wire version 1
+
+const (
+	// helloControl tags the low-latency request/response channel.
+	helloControl byte = 0
+	// helloBulk tags the chunked array-data channel.
+	helloBulk byte = 1
+)
+
+// helloLen is magic(4) + channel(1) + reserved(1).
+const helloLen = 6
+
+const (
+	frameRequest  byte = 1 // payload: wire-encoded Request
+	frameResponse byte = 2 // payload: wire-encoded Response
+	frameChunk    byte = 3 // payload: u64 byte offset + raw array bytes
+)
+
+// frameHeaderLen is len(4) + type(1) + reqID(8).
+const frameHeaderLen = 13
+
+// frameMaxPayload bounds a single frame; larger lengths mark a corrupt or
+// hostile stream. Bulk data always travels as chunks well below this.
+const frameMaxPayload = 64 << 20
+
+// chunkOffsetLen is the u64 byte-offset prefix of a chunk frame payload.
+const chunkOffsetLen = 8
+
+// DefaultChunkBytes is the default bulk-transfer chunk size. 256 KiB is
+// large enough to amortize per-frame overhead to <0.01% and small enough
+// that interleaved transfers get scheduled fairly.
+const DefaultChunkBytes = 256 << 10
+
+// normalizeChunk clamps a configured chunk size to a sane, 8-byte-aligned
+// value (alignment keeps chunk boundaries on element boundaries for every
+// element kind).
+func normalizeChunk(n int) int {
+	if n <= 0 {
+		n = DefaultChunkBytes
+	}
+	if n < 4<<10 {
+		n = 4 << 10
+	}
+	if n > frameMaxPayload-chunkOffsetLen {
+		n = frameMaxPayload - chunkOffsetLen
+	}
+	return n &^ 7
+}
+
+// framePool recycles frame scratch buffers (headers + encoded payloads)
+// across sends and receives.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+// framedConn is one framed channel. Writes take wmu and go out with a
+// single writev (net.Buffers), so a frame is never torn; reads are owned
+// by a single reader (the demux goroutine on clients, the serve loop on
+// workers) and need no locking.
+type framedConn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	wmu   sync.Mutex
+	w     io.Writer // == raw normally; tests substitute fault injectors
+	iov   [2][]byte // scratch backing for writev, reused under wmu
+	wbufs net.Buffers
+	whdr  [frameHeaderLen + chunkOffsetLen]byte
+
+	// rbuf is reader-side scratch for frame headers and chunk offsets; the
+	// single reader goroutine owns it. A field rather than a local because
+	// locals passed to io.ReadFull escape — one heap allocation per frame.
+	rbuf [frameHeaderLen]byte
+
+	cmu    sync.Mutex
+	closed bool
+	broken error // first fatal I/O error; the channel is dead after it
+}
+
+// newFramedConn wraps an established connection whose hello has already
+// been exchanged. r reads from the connection (possibly through the
+// worker's sniffing bufio.Reader).
+func newFramedConn(raw net.Conn, r *bufio.Reader) *framedConn {
+	if r == nil {
+		r = bufio.NewReaderSize(raw, 64<<10)
+	}
+	return &framedConn{raw: raw, r: r, w: raw}
+}
+
+// dialFramed opens a framed channel of the given kind to addr.
+func dialFramed(addr string, channel byte) (*framedConn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	var hello [helloLen]byte
+	copy(hello[:], helloMagic)
+	hello[4] = channel
+	if _, err := raw.Write(hello[:]); err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("transport: hello to %s: %w", addr, err)
+	}
+	return newFramedConn(raw, nil), nil
+}
+
+// fail records the first fatal error and tears the connection down so the
+// peer's reader unblocks.
+func (c *framedConn) fail(err error) error {
+	c.cmu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	err = c.broken
+	if !c.closed {
+		c.closed = true
+		_ = c.raw.Close()
+	}
+	c.cmu.Unlock()
+	return err
+}
+
+// brokenErr reports the recorded fatal error, if any.
+func (c *framedConn) brokenErr() error {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.broken
+}
+
+// Close implements io.Closer (the worker's connection tracking).
+func (c *framedConn) Close() error { return c.close() }
+
+func (c *framedConn) close() error {
+	c.cmu.Lock()
+	if c.closed {
+		c.cmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cmu.Unlock()
+	return c.raw.Close()
+}
+
+// writeFrame sends one frame whose payload is entirely in p.
+func (c *framedConn) writeFrame(ftype byte, reqID uint64, p []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.brokenErr(); err != nil {
+		return err
+	}
+	hdr := c.whdr[:frameHeaderLen]
+	binary.LittleEndian.PutUint32(hdr, uint32(len(p)))
+	hdr[4] = ftype
+	binary.LittleEndian.PutUint64(hdr[5:], reqID)
+	if err := c.writev(hdr, p); err != nil {
+		return c.fail(fmt.Errorf("transport: write frame: %w", err))
+	}
+	return nil
+}
+
+// writev sends hdr then p as one gather write (a single syscall on TCP
+// conns). The net.Buffers header lives on the connection — WriteTo
+// consumes the slice, so it is rebuilt from the iov backing each call
+// without allocating. Callers hold wmu.
+func (c *framedConn) writev(hdr, p []byte) error {
+	c.iov[0], c.iov[1] = hdr, p
+	c.wbufs = c.iov[:]
+	_, err := c.wbufs.WriteTo(c.w)
+	c.wbufs = nil
+	c.iov[0], c.iov[1] = nil, nil
+	return err
+}
+
+// writeChunk sends one bulk chunk: data (which aliases buffer storage —
+// zero copy) at byte offset off of the transfer reqID.
+func (c *framedConn) writeChunk(reqID, off uint64, data []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.brokenErr(); err != nil {
+		return err
+	}
+	hdr := c.whdr[:frameHeaderLen+chunkOffsetLen]
+	binary.LittleEndian.PutUint32(hdr, uint32(chunkOffsetLen+len(data)))
+	hdr[4] = frameChunk
+	binary.LittleEndian.PutUint64(hdr[5:], reqID)
+	binary.LittleEndian.PutUint64(hdr[frameHeaderLen:], off)
+	if err := c.writev(hdr, data); err != nil {
+		return c.fail(fmt.Errorf("transport: write chunk: %w", err))
+	}
+	return nil
+}
+
+// frameHeader is one decoded frame header.
+type frameHeader struct {
+	n     int
+	ftype byte
+	reqID uint64
+}
+
+// readHeader reads and validates the next frame header. The caller owns
+// consuming exactly n payload bytes afterwards (readPayload / readInto /
+// discardPayload).
+func (c *framedConn) readHeader() (frameHeader, error) {
+	hdr := c.rbuf[:frameHeaderLen]
+	if _, err := io.ReadFull(c.r, hdr); err != nil {
+		return frameHeader{}, err
+	}
+	h := frameHeader{
+		n:     int(binary.LittleEndian.Uint32(hdr)),
+		ftype: hdr[4],
+		reqID: binary.LittleEndian.Uint64(hdr[5:]),
+	}
+	if h.n > frameMaxPayload {
+		return frameHeader{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", h.n)
+	}
+	switch h.ftype {
+	case frameRequest, frameResponse, frameChunk:
+	default:
+		return frameHeader{}, fmt.Errorf("transport: unknown frame type %d", h.ftype)
+	}
+	return h, nil
+}
+
+// readPayload reads an n-byte payload into a pooled buffer. Callers must
+// putFrameBuf the result.
+func (c *framedConn) readPayload(n int) (*[]byte, error) {
+	bp := getFrameBuf()
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	if _, err := io.ReadFull(c.r, *bp); err != nil {
+		putFrameBuf(bp)
+		return nil, err
+	}
+	return bp, nil
+}
+
+// readChunkOffset reads a chunk payload's u64 byte-offset prefix.
+func (c *framedConn) readChunkOffset() (int, error) {
+	off := c.rbuf[:chunkOffsetLen]
+	if _, err := io.ReadFull(c.r, off); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint64(off)), nil
+}
+
+// readInto fills dst from the connection (chunk payloads land directly in
+// buffer storage).
+func (c *framedConn) readInto(dst []byte) error {
+	_, err := io.ReadFull(c.r, dst)
+	return err
+}
+
+// discardPayload drops n payload bytes (chunks of an aborted transfer).
+func (c *framedConn) discardPayload(n int) error {
+	_, err := c.r.Discard(n)
+	return err
+}
+
+// sendRequest encodes req and sends it as a request frame.
+func (c *framedConn) sendRequest(reqID uint64, req *Request) error {
+	bp := getFrameBuf()
+	*bp = appendRequest(*bp, req)
+	err := c.writeFrame(frameRequest, reqID, *bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// sendResponse encodes resp and sends it as a response frame.
+func (c *framedConn) sendResponse(reqID uint64, resp *Response) error {
+	bp := getFrameBuf()
+	*bp = appendResponse(*bp, resp)
+	err := c.writeFrame(frameResponse, reqID, *bp)
+	putFrameBuf(bp)
+	return err
+}

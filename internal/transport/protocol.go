@@ -1,11 +1,22 @@
 // Package transport provides GrOUT's distributed deployment: real TCP
-// sockets between the Controller and Worker processes, with gob-encoded
-// messages. It implements core.Fabric, so the same Controller code that
-// drives the in-process simulation drives genuine remote workers — array
-// payloads are actually serialized and shipped, kernels execute their
-// numeric implementations on the worker, and peer-to-peer transfers open
-// direct worker-to-worker connections, as in the paper's architecture
-// (Figure 3).
+// sockets between the Controller and Worker processes. It implements
+// core.Fabric, so the same Controller code that drives the in-process
+// simulation drives genuine remote workers — array payloads are actually
+// serialized and shipped, kernels execute their numeric implementations on
+// the worker, and peer-to-peer transfers open direct worker-to-worker
+// connections, as in the paper's architecture (Figure 3).
+//
+// Two wire protocols are supported (DESIGN.md §5.2):
+//
+//   - WireFramed (default): a length-prefixed binary protocol with
+//     explicit little-endian encoding and a per-worker channel split — a
+//     low-latency control channel for pings/launches/builds and a bulk
+//     channel that streams array payloads in fixed-size chunks, multiple
+//     transfers interleaved by request ID. A multi-GiB transfer no longer
+//     head-of-line-blocks health probes or kernel launches.
+//   - WireGob: the original reflection-driven gob codec over a single
+//     mutex-serialized connection, kept for one release behind
+//     `-wire gob`. Workers sniff the connection hello and serve both.
 //
 // In this mode time is wall-clock: the sim.VirtualTime values returned by
 // fabric operations are nanoseconds since the fabric connected. The
@@ -16,6 +27,7 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -23,6 +35,7 @@ import (
 
 	"grout/internal/core"
 	"grout/internal/dag"
+	"grout/internal/gpusim"
 	"grout/internal/grcuda"
 	"grout/internal/kernels"
 )
@@ -79,24 +92,88 @@ type Request struct {
 	PeerAddr  string // target address for MsgPushTo
 }
 
+// ErrCode classifies a remote failure so well-known error kinds survive
+// the wire as core sentinel errors rather than opaque strings.
+type ErrCode uint8
+
+const (
+	// CodeOK: no error.
+	CodeOK ErrCode = iota
+	// CodeGeneric: a failure with no sentinel mapping.
+	CodeGeneric
+	// CodeArrayNotFound maps to core.ErrArrayNotFound.
+	CodeArrayNotFound
+	// CodeKernelCompile maps to core.ErrKernelCompile.
+	CodeKernelCompile
+	// CodeOOM maps to core.ErrOOM.
+	CodeOOM
+)
+
+// codeFor classifies an error for the wire.
+func codeFor(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, core.ErrArrayNotFound):
+		return CodeArrayNotFound
+	case errors.Is(err, core.ErrKernelCompile):
+		return CodeKernelCompile
+	case errors.Is(err, core.ErrOOM), errors.Is(err, gpusim.ErrHostMemoryExhausted):
+		return CodeOOM
+	default:
+		return CodeGeneric
+	}
+}
+
+// sentinel maps a wire code back to the core sentinel, or nil.
+func (c ErrCode) sentinel() error {
+	switch c {
+	case CodeArrayNotFound:
+		return core.ErrArrayNotFound
+	case CodeKernelCompile:
+		return core.ErrKernelCompile
+	case CodeOOM:
+		return core.ErrOOM
+	default:
+		return nil
+	}
+}
+
 // Response answers a Request.
 type Response struct {
 	Err     string
+	Code    ErrCode // sentinel classification of Err
 	Data    *kernels.Buffer
 	Kernels int   // MsgStats: kernels executed
 	Arrays  int   // MsgStats: arrays resident
 	Elapsed int64 // MsgStats: worker-simulated busy nanoseconds
 }
 
-// ok reports whether the response carries no error.
-func (r *Response) ok() error {
-	if r.Err != "" {
-		return fmt.Errorf("transport: remote error: %s", r.Err)
+// setErr records err (with its wire code) on the response.
+func (r *Response) setErr(err error) {
+	if err == nil {
+		return
 	}
-	return nil
+	r.Err = err.Error()
+	r.Code = codeFor(err)
 }
 
-// conn wraps a TCP connection with gob codecs. mu serializes request/
+// ok reports whether the response carries no error; remote failures come
+// back wrapped in their sentinel (errors.Is-able) when classified.
+func (r *Response) ok() error {
+	if r.Err == "" {
+		return nil
+	}
+	if s := r.Code.sentinel(); s != nil {
+		return fmt.Errorf("transport: remote error: %s (%w)", r.Err, s)
+	}
+	return fmt.Errorf("transport: remote error: %s", r.Err)
+}
+
+// --- legacy gob wire -------------------------------------------------------
+
+// conn wraps a TCP connection with gob codecs: the legacy single-channel
+// wire, kept behind WireGob for one release. mu serializes request/
 // response round trips so the pipelined controller's per-worker dispatch
 // goroutines can share connections (a move between two workers uses the
 // source worker's conn, which that worker's own dispatcher may be using).
@@ -109,6 +186,12 @@ type conn struct {
 
 func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// newConnReader builds a gob conn reading from r (the worker's sniffing
+// buffered reader) and writing to raw.
+func newConnReader(r io.Reader, raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(r)}
 }
 
 func (c *conn) send(req *Request) error { return c.enc.Encode(req) }
@@ -136,6 +219,9 @@ func (c *conn) await() (*Response, error) {
 
 func (c *conn) close() error { return c.raw.Close() }
 
+// Close implements io.Closer (the worker's connection tracking).
+func (c *conn) Close() error { return c.close() }
+
 // call performs one request/response round trip. Round trips are atomic
 // with respect to each other; concurrent callers queue on the connection.
 func (c *conn) call(req *Request) (*Response, error) {
@@ -152,4 +238,343 @@ func (c *conn) call(req *Request) (*Response, error) {
 		return nil, err
 	}
 	return resp, nil
+}
+
+// --- framed control channel ------------------------------------------------
+
+// ctrlConn is the framed control channel: strict request/response round
+// trips for the small, latency-sensitive messages (ping, launch, build,
+// ensure, free, stats, shutdown). Round trips serialize on mu — they are
+// all sub-millisecond, and bulk payloads never travel here.
+type ctrlConn struct {
+	mu  sync.Mutex
+	fc  *framedConn
+	seq uint64
+}
+
+func newCtrlConn(fc *framedConn) *ctrlConn { return &ctrlConn{fc: fc} }
+
+func (c *ctrlConn) close() error { return c.fc.close() }
+
+// call performs one control round trip.
+func (c *ctrlConn) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := c.seq
+	if err := c.fc.sendRequest(id, req); err != nil {
+		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, err)
+	}
+	h, err := c.fc.readHeader()
+	if err != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, err))
+	}
+	if h.ftype != frameResponse || h.reqID != id {
+		// A control channel carries nothing else; anything different
+		// marks a corrupt stream.
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: unexpected frame type %d id %d",
+			req.Kind, h.ftype, h.reqID))
+	}
+	bp, err := c.fc.readPayload(h.n)
+	if err != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, err))
+	}
+	resp, perr := parseResponse(*bp)
+	putFrameBuf(bp)
+	if perr != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, perr))
+	}
+	if err := resp.ok(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- framed bulk channel ---------------------------------------------------
+
+// bulkResult resolves one bulk operation.
+type bulkResult struct {
+	resp *Response
+	err  error
+}
+
+// bulkPending is one in-flight bulk operation awaiting its response; dst,
+// when non-nil, receives incoming chunk payloads directly (zero copy into
+// the buffer's storage).
+//
+// Pendings are pooled. The invariant that makes recycling safe: every
+// registered pending is sent exactly one result — by the demux loop
+// (which removes it from the map before sending) or by failAll (which
+// fires whenever the connection dies) — and the operation consumes that
+// one result before release. The channel is therefore always empty when a
+// pending returns to the pool.
+type bulkPending struct {
+	dst  *kernels.Buffer
+	done chan bulkResult
+}
+
+var bulkPendingPool = sync.Pool{
+	New: func() any { return &bulkPending{done: make(chan bulkResult, 1)} },
+}
+
+// responsePool recycles the bulk read loop's decoded Responses — the last
+// per-operation allocation on the bulk path. Ownership: the demux hands a
+// pooled response to exactly one pending; the consumer returns it via
+// putResponse after extracting the outcome (failAll sends resp == nil, so
+// consumers guard for that).
+var responsePool = sync.Pool{New: func() any { return &Response{} }}
+
+func getResponse() *Response { return responsePool.Get().(*Response) }
+
+func putResponse(r *Response) {
+	if r == nil {
+		return
+	}
+	*r = Response{}
+	responsePool.Put(r)
+}
+
+// consume extracts a bulk result's outcome and recycles its response.
+func (res bulkResult) consume() error {
+	if res.err != nil {
+		putResponse(res.resp)
+		return res.err
+	}
+	err := res.resp.ok()
+	putResponse(res.resp)
+	return err
+}
+
+// bulkClient multiplexes concurrent bulk operations (array sends, fetches
+// and P2P push commands) over one framed channel. Writers interleave
+// chunk frames under the connection's write mutex; a reader goroutine
+// demultiplexes responses and incoming chunks by request ID.
+type bulkClient struct {
+	fc    *framedConn
+	chunk int
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*bulkPending
+	dead    error
+}
+
+func newBulkClient(fc *framedConn, chunk int) *bulkClient {
+	b := &bulkClient{fc: fc, chunk: normalizeChunk(chunk), pending: make(map[uint64]*bulkPending)}
+	go b.readLoop()
+	return b
+}
+
+func (b *bulkClient) close() error { return b.fc.close() }
+
+// broken reports the channel's fatal error, if any; the fabric's Healthy
+// folds it in so a severed bulk channel triggers failover even while the
+// control channel still answers pings. The connection-level error is
+// consulted too: a write-side failure records it synchronously, before the
+// read loop notices the teardown.
+func (b *bulkClient) broken() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead != nil {
+		return b.dead
+	}
+	return b.fc.brokenErr()
+}
+
+// register enlists a new operation and returns its request ID.
+func (b *bulkClient) register(dst *kernels.Buffer) (uint64, *bulkPending, error) {
+	p := bulkPendingPool.Get().(*bulkPending)
+	p.dst = dst
+	b.mu.Lock()
+	if b.dead != nil {
+		b.mu.Unlock()
+		bulkPendingPool.Put(p)
+		return 0, nil, b.dead
+	}
+	b.seq++
+	b.pending[b.seq] = p
+	id := b.seq
+	b.mu.Unlock()
+	return id, p, nil
+}
+
+// release recycles a pending whose one result has been consumed.
+func (b *bulkClient) release(id uint64, p *bulkPending) {
+	b.mu.Lock()
+	delete(b.pending, id)
+	b.mu.Unlock()
+	p.dst = nil
+	bulkPendingPool.Put(p)
+}
+
+// failAll marks the channel dead and resolves every in-flight operation
+// with err.
+func (b *bulkClient) failAll(err error) {
+	err = b.fc.fail(err)
+	b.mu.Lock()
+	if b.dead == nil {
+		b.dead = err
+	}
+	pend := b.pending
+	b.pending = make(map[uint64]*bulkPending)
+	b.mu.Unlock()
+	for _, p := range pend {
+		p.done <- bulkResult{err: err}
+	}
+}
+
+// readLoop demultiplexes incoming frames: responses resolve their pending
+// operation; chunk frames land directly in the operation's destination
+// buffer. Stream-level corruption kills the channel (the fabric's
+// failover handles the rest); chunks for unknown IDs — an operation that
+// already failed — are discarded.
+func (b *bulkClient) readLoop() {
+	for {
+		h, err := b.fc.readHeader()
+		if err != nil {
+			b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+			return
+		}
+		switch h.ftype {
+		case frameResponse:
+			bp, err := b.fc.readPayload(h.n)
+			if err != nil {
+				b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+				return
+			}
+			resp := getResponse()
+			perr := parseResponseInto(*bp, resp)
+			putFrameBuf(bp)
+			if perr != nil {
+				putResponse(resp)
+				b.failAll(fmt.Errorf("transport: bulk channel: %w", perr))
+				return
+			}
+			b.mu.Lock()
+			p := b.pending[h.reqID]
+			delete(b.pending, h.reqID)
+			b.mu.Unlock()
+			if p != nil {
+				p.done <- bulkResult{resp: resp}
+			} else {
+				// The operation already failed locally; nobody will consume.
+				putResponse(resp)
+			}
+		case frameChunk:
+			if err := b.readChunk(h); err != nil {
+				b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+				return
+			}
+		default:
+			b.failAll(fmt.Errorf("transport: bulk channel: unexpected frame type %d", h.ftype))
+			return
+		}
+	}
+}
+
+// readChunk lands one incoming chunk in its transfer's destination.
+func (b *bulkClient) readChunk(h frameHeader) error {
+	if h.n < chunkOffsetLen {
+		return fmt.Errorf("chunk frame of %d bytes", h.n)
+	}
+	off, err := b.fc.readChunkOffset()
+	if err != nil {
+		return err
+	}
+	n := h.n - chunkOffsetLen
+	b.mu.Lock()
+	p := b.pending[h.reqID]
+	b.mu.Unlock()
+	if p == nil || p.dst == nil {
+		return b.fc.discardPayload(n)
+	}
+	dst, err := p.dst.RawSpan(off, n)
+	if err != nil {
+		// The worker sent an out-of-range chunk: protocol violation.
+		return err
+	}
+	return b.fc.readInto(dst)
+}
+
+// receiveArray streams src's contents to the remote array id in chunks.
+// Multiple receiveArray/fetchArray calls interleave on the channel.
+//
+// Once register succeeds the pending is owed exactly one result: a send
+// failure here kills the connection, which fires failAll. Every path
+// consumes that result before releasing the pending; a local write error
+// takes precedence over the (less specific) teardown error.
+func (b *bulkClient) receiveArray(id dag.ArrayID, meta grcuda.ArrayMeta, src *kernels.Buffer) error {
+	reqID, p, err := b.register(nil)
+	if err != nil {
+		return err
+	}
+	req := &Request{Kind: MsgReceiveArray, ArrayID: id, Meta: meta}
+	var werr error
+	if err := b.fc.sendRequest(reqID, req); err != nil {
+		werr = fmt.Errorf("transport: send %v: %w", req.Kind, err)
+	} else {
+		var raw []byte
+		if src != nil {
+			raw = src.RawBytes()
+		}
+		for off := 0; off < len(raw); off += b.chunk {
+			// An early error response (unknown array, kind mismatch)
+			// aborts the stream instead of shipping the remaining chunks.
+			select {
+			case res := <-p.done:
+				b.release(reqID, p)
+				return res.consume()
+			default:
+			}
+			end := off + b.chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if err := b.fc.writeChunk(reqID, uint64(off), raw[off:end]); err != nil {
+				werr = fmt.Errorf("transport: stream %v: %w", req.Kind, err)
+				break
+			}
+		}
+	}
+	res := <-p.done
+	b.release(reqID, p)
+	if werr != nil {
+		putResponse(res.resp)
+		return werr
+	}
+	return res.consume()
+}
+
+// fetchArray pulls the remote array id into dst; incoming chunks are
+// written straight into dst's storage by the read loop.
+func (b *bulkClient) fetchArray(id dag.ArrayID, dst *kernels.Buffer) error {
+	return b.roundTrip(dst, &Request{Kind: MsgFetchArray, ArrayID: id})
+}
+
+// pushTo commands the worker to ship array id directly to the peer at
+// addr (P2P). The round trip resolves when the peer acknowledged the
+// data; concurrent pushes to different peers proceed in parallel.
+func (b *bulkClient) pushTo(id dag.ArrayID, addr string) error {
+	return b.roundTrip(nil, &Request{Kind: MsgPushTo, ArrayID: id, PeerAddr: addr})
+}
+
+// roundTrip performs one chunkless bulk operation (the payload, if any,
+// streams toward the caller). The pending's one guaranteed result is
+// always consumed before release — see receiveArray.
+func (b *bulkClient) roundTrip(dst *kernels.Buffer, req *Request) error {
+	reqID, p, err := b.register(dst)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if err := b.fc.sendRequest(reqID, req); err != nil {
+		werr = fmt.Errorf("transport: send %v: %w", req.Kind, err)
+	}
+	res := <-p.done
+	b.release(reqID, p)
+	if werr != nil {
+		putResponse(res.resp)
+		return werr
+	}
+	return res.consume()
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"math"
 	"net"
 	"strings"
@@ -181,9 +182,11 @@ func TestRemoteErrorsPropagate(t *testing.T) {
 	if err == nil {
 		t.Fatalf("unknown kernel accepted")
 	}
-	// Malformed kernel source.
+	// Malformed kernel source: the message round-trips and the sentinel
+	// classification survives the wire.
 	if err := fab.BuildKernel("garbage(", ""); err == nil ||
-		!strings.Contains(err.Error(), "remote error") {
+		!strings.Contains(err.Error(), "remote error") ||
+		!errors.Is(err, core.ErrKernelCompile) {
 		t.Fatalf("remote compile error not propagated: %v", err)
 	}
 }
@@ -454,6 +457,9 @@ func TestFailoverDataLoss(t *testing.T) {
 	// and the reroute discovers the data is gone.
 	_, err = ctl.Launch(core.Invocation{Kernel: "relu",
 		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}})
+	if !errors.Is(err, core.ErrDataLost) {
+		t.Fatalf("data loss not reported as core.ErrDataLost: %v", err)
+	}
 	if err == nil || !strings.Contains(err.Error(), "lost") {
 		t.Fatalf("data loss not reported: %v", err)
 	}

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 
+	"grout/internal/core"
 	"grout/internal/gpusim"
 	"grout/internal/grcuda"
 	"grout/internal/kernels"
@@ -16,19 +19,37 @@ import (
 // WorkerServer hosts a GrCUDA runtime behind a TCP listener: the Worker
 // half of the paper's Figure 3. It executes kernels numerically and keeps
 // its embedded UVM simulator's accounting for statistics.
+//
+// One listener serves both wires: framed connections open with the
+// protocol hello (control or bulk channel), legacy gob connections don't —
+// the server sniffs the first bytes and dispatches accordingly, so mixed
+// fleets keep working during the gob deprecation release.
 type WorkerServer struct {
-	mu       sync.Mutex
-	rt       *grcuda.Runtime
-	listener net.Listener
-	log      *log.Logger
-	done     chan struct{}
-	closed   bool
-	active   map[*conn]struct{}
+	mu        sync.Mutex
+	rt        *grcuda.Runtime
+	listener  net.Listener
+	log       *log.Logger
+	done      chan struct{}
+	closed    bool
+	active    map[io.Closer]struct{}
+	pushChunk int
+}
+
+// ServerOptions tune a WorkerServer beyond the node spec.
+type ServerOptions struct {
+	// ChunkBytes is the chunk size for outgoing bulk streams (P2P pushes
+	// and fetch responses). 0 means DefaultChunkBytes.
+	ChunkBytes int
 }
 
 // NewWorkerServer creates a worker over the given simulated node spec,
 // listening on addr ("host:0" picks a free port). logger may be nil.
 func NewWorkerServer(addr string, spec gpusim.NodeSpec, logger *log.Logger) (*WorkerServer, error) {
+	return NewWorkerServerOpts(addr, spec, logger, ServerOptions{})
+}
+
+// NewWorkerServerOpts is NewWorkerServer with explicit options.
+func NewWorkerServerOpts(addr string, spec gpusim.NodeSpec, logger *log.Logger, opts ServerOptions) (*WorkerServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -37,11 +58,12 @@ func NewWorkerServer(addr string, spec gpusim.NodeSpec, logger *log.Logger) (*Wo
 		logger = log.New(discard{}, "", 0)
 	}
 	w := &WorkerServer{
-		rt:       grcuda.NewRuntime(gpusim.NewNode(spec), kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true}),
-		listener: ln,
-		log:      logger,
-		done:     make(chan struct{}),
-		active:   make(map[*conn]struct{}),
+		rt:        grcuda.NewRuntime(gpusim.NewNode(spec), kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true}),
+		listener:  ln,
+		log:       logger,
+		done:      make(chan struct{}),
+		active:    make(map[io.Closer]struct{}),
+		pushChunk: normalizeChunk(opts.ChunkBytes),
 	}
 	go w.acceptLoop()
 	return w, nil
@@ -66,15 +88,33 @@ func (w *WorkerServer) Close() error {
 	}
 	w.closed = true
 	close(w.done)
-	conns := make([]*conn, 0, len(w.active))
+	conns := make([]io.Closer, 0, len(w.active))
 	for c := range w.active {
 		conns = append(conns, c)
 	}
 	w.mu.Unlock()
 	for _, c := range conns {
-		_ = c.close()
+		_ = c.Close()
 	}
 	return w.listener.Close()
+}
+
+// track registers a live connection for teardown on Close; it reports
+// false when the server is already closed.
+func (w *WorkerServer) track(c io.Closer) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.active[c] = struct{}{}
+	return true
+}
+
+func (w *WorkerServer) untrack(c io.Closer) {
+	w.mu.Lock()
+	delete(w.active, c)
+	w.mu.Unlock()
 }
 
 func (w *WorkerServer) acceptLoop() {
@@ -89,25 +129,52 @@ func (w *WorkerServer) acceptLoop() {
 				return
 			}
 		}
-		c := newConn(raw)
-		w.mu.Lock()
-		if w.closed {
-			w.mu.Unlock()
-			_ = c.close()
-			return
-		}
-		w.active[c] = struct{}{}
-		w.mu.Unlock()
-		go w.serve(c)
+		go w.sniffAndServe(raw)
 	}
 }
 
-// serve handles one connection until it closes.
-func (w *WorkerServer) serve(c *conn) {
+// sniffAndServe decides the wire by peeking the connection's first bytes:
+// the framed hello magic selects the framed channels, anything else falls
+// back to the legacy gob loop.
+func (w *WorkerServer) sniffAndServe(raw net.Conn) {
+	br := bufio.NewReaderSize(raw, 64<<10)
+	magic, err := br.Peek(len(helloMagic))
+	if err != nil {
+		_ = raw.Close()
+		return
+	}
+	if string(magic) != helloMagic {
+		w.serveGob(raw, br)
+		return
+	}
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		_ = raw.Close()
+		return
+	}
+	fc := newFramedConn(raw, br)
+	switch hello[4] {
+	case helloControl:
+		w.serveControl(fc)
+	case helloBulk:
+		w.serveBulk(fc)
+	default:
+		w.log.Printf("worker: unknown channel %d in hello", hello[4])
+		_ = fc.close()
+	}
+}
+
+// --- legacy gob serving ----------------------------------------------------
+
+// serveGob handles one legacy gob connection until it closes.
+func (w *WorkerServer) serveGob(raw net.Conn, br *bufio.Reader) {
+	c := newConnReader(br, raw)
+	if !w.track(c) {
+		_ = c.close()
+		return
+	}
 	defer func() {
-		w.mu.Lock()
-		delete(w.active, c)
-		w.mu.Unlock()
+		w.untrack(c)
 		_ = c.close()
 	}()
 	for {
@@ -127,6 +194,292 @@ func (w *WorkerServer) serve(c *conn) {
 	}
 }
 
+// --- framed control serving ------------------------------------------------
+
+// serveControl handles one framed control channel: strict request frame →
+// response frame, in order. Bulk kinds are rejected here — array payloads
+// belong on the bulk channel.
+func (w *WorkerServer) serveControl(fc *framedConn) {
+	if !w.track(fc) {
+		_ = fc.close()
+		return
+	}
+	defer func() {
+		w.untrack(fc)
+		_ = fc.close()
+	}()
+	// req is this connection's decode scratch: one Request reused across
+	// messages instead of an allocation per frame (parseRequestInto resets
+	// it; handling is synchronous, so nothing outlives the iteration).
+	var req Request
+	for {
+		h, err := fc.readHeader()
+		if err != nil {
+			return // connection closed (or corrupt stream)
+		}
+		if h.ftype != frameRequest {
+			w.log.Printf("worker control: unexpected frame type %d", h.ftype)
+			return
+		}
+		bp, err := fc.readPayload(h.n)
+		if err != nil {
+			return
+		}
+		perr := parseRequestInto(*bp, &req)
+		putFrameBuf(bp)
+		if perr != nil {
+			w.log.Printf("worker control: %v", perr)
+			return
+		}
+		var resp *Response
+		switch req.Kind {
+		case MsgReceiveArray, MsgFetchArray, MsgPushTo:
+			resp = &Response{}
+			resp.setErr(fmt.Errorf("bulk operation %v on control channel", req.Kind))
+		default:
+			resp = w.handle(&req)
+		}
+		if err := fc.sendResponse(h.reqID, resp); err != nil {
+			w.log.Printf("worker reply: %v", err)
+			return
+		}
+		if req.Kind == MsgShutdown {
+			_ = w.Close()
+			return
+		}
+	}
+}
+
+// --- framed bulk serving ---------------------------------------------------
+
+// inflightRecv tracks one chunked array receive on a bulk channel.
+type inflightRecv struct {
+	buf   *kernels.Buffer
+	got   int
+	total int
+}
+
+// serveBulk handles one framed bulk channel: receive streams land chunk
+// by chunk directly in array storage; fetches and P2P pushes run in their
+// own goroutines so a slow peer never stalls the channel's reader, and
+// concurrent operations interleave by request ID.
+func (w *WorkerServer) serveBulk(fc *framedConn) {
+	if !w.track(fc) {
+		_ = fc.close()
+		return
+	}
+	defer func() {
+		w.untrack(fc)
+		_ = fc.close()
+	}()
+	// recv is owned by this goroutine; no lock needed.
+	recv := make(map[uint64]*inflightRecv)
+	// req is this connection's decode scratch (see serveControl); paths
+	// that outlive the loop iteration (fetch/push goroutines) copy it.
+	var req Request
+	for {
+		h, err := fc.readHeader()
+		if err != nil {
+			return
+		}
+		switch h.ftype {
+		case frameRequest:
+			bp, err := fc.readPayload(h.n)
+			if err != nil {
+				return
+			}
+			perr := parseRequestInto(*bp, &req)
+			putFrameBuf(bp)
+			if perr != nil {
+				w.log.Printf("worker bulk: %v", perr)
+				return
+			}
+			if !w.bulkRequest(fc, h.reqID, &req, recv) {
+				return
+			}
+		case frameChunk:
+			if err := w.bulkChunk(fc, h, recv); err != nil {
+				w.log.Printf("worker bulk: %v", err)
+				return
+			}
+		default:
+			w.log.Printf("worker bulk: unexpected frame type %d", h.ftype)
+			return
+		}
+	}
+}
+
+// bulkRequest opens one bulk operation; it reports false when the channel
+// must close.
+func (w *WorkerServer) bulkRequest(fc *framedConn, reqID uint64, req *Request,
+	recv map[uint64]*inflightRecv) bool {
+	switch req.Kind {
+	case MsgReceiveArray:
+		st, err := w.beginReceive(req)
+		if err != nil {
+			resp := &Response{}
+			resp.setErr(err)
+			return fc.sendResponse(reqID, resp) == nil
+		}
+		if st.total == 0 {
+			// Zero-length array: nothing will stream.
+			return fc.sendResponse(reqID, &Response{}) == nil
+		}
+		recv[reqID] = st
+		return true
+	case MsgFetchArray:
+		// req is the serve loop's scratch and will be overwritten by the
+		// next frame; the goroutine gets its own shallow copy (safe: every
+		// parse allocates fresh slice fields, never aliases prior ones).
+		r := *req
+		go w.serveFetch(fc, reqID, &r)
+		return true
+	case MsgPushTo:
+		r := *req
+		go w.servePush(fc, reqID, &r)
+		return true
+	case MsgPing:
+		// Harmless on bulk (used by channel health probes).
+		return fc.sendResponse(reqID, &Response{}) == nil
+	default:
+		resp := &Response{}
+		resp.setErr(fmt.Errorf("request %v not valid on bulk channel", req.Kind))
+		return fc.sendResponse(reqID, resp) == nil
+	}
+}
+
+// beginReceive validates an incoming array stream and invalidates stale
+// device pages; chunks will land directly in the array's host buffer.
+func (w *WorkerServer) beginReceive(req *Request) (*inflightRecv, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	arr := w.rt.Array(req.ArrayID)
+	if arr == nil {
+		return nil, fmt.Errorf("receive of unknown array %d: %w", req.ArrayID, core.ErrArrayNotFound)
+	}
+	if err := w.rt.Node().Invalidate(arr.Alloc); err != nil {
+		return nil, err
+	}
+	// The sender names how many bytes it will stream; a mismatch against
+	// the local replica is a protocol-level bug, not data to truncate.
+	var sent int
+	if req.Meta.Len > 0 {
+		sent = int(grcuda.ArrayMeta{Kind: req.Meta.Kind, Len: req.Meta.Len}.Bytes())
+		if local := int(arr.Bytes()); sent != local {
+			return nil, fmt.Errorf("receive of array %d: %d sent bytes vs %d local", req.ArrayID, sent, local)
+		}
+	}
+	return &inflightRecv{buf: arr.Buf, total: sent}, nil
+}
+
+// bulkChunk applies one incoming chunk; unknown request IDs (an aborted
+// or rejected transfer) are discarded.
+func (w *WorkerServer) bulkChunk(fc *framedConn, h frameHeader, recv map[uint64]*inflightRecv) error {
+	if h.n < chunkOffsetLen {
+		return fmt.Errorf("chunk frame of %d bytes", h.n)
+	}
+	off, err := fc.readChunkOffset()
+	if err != nil {
+		return err
+	}
+	n := h.n - chunkOffsetLen
+	st, ok := recv[h.reqID]
+	if !ok || st.buf == nil {
+		return fc.discardPayload(n)
+	}
+	if _, err := st.buf.RawSpan(off, n); err != nil {
+		return err // protocol violation: kill the channel
+	}
+	// Pull the payload into pooled scratch without the runtime lock (the
+	// socket read may block on a slow sender), then land it under the
+	// lock: launches on other arrays interleave between chunks, and the
+	// lock edge orders the buffer write against later launches reading it.
+	bp, err := fc.readPayload(n)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	err = st.buf.SetRawBytes(off, *bp)
+	w.mu.Unlock()
+	putFrameBuf(bp)
+	if err != nil {
+		return err
+	}
+	st.got += n
+	if st.got >= st.total {
+		delete(recv, h.reqID)
+		return fc.sendResponse(h.reqID, &Response{})
+	}
+	return nil
+}
+
+// serveFetch streams an array's contents back to the requester in chunks,
+// then the response. Runs in its own goroutine; chunk writes interleave
+// with other operations under the connection's write mutex.
+func (w *WorkerServer) serveFetch(fc *framedConn, reqID uint64, req *Request) {
+	w.mu.Lock()
+	arr := w.rt.Array(req.ArrayID)
+	if arr == nil {
+		w.mu.Unlock()
+		resp := &Response{}
+		resp.setErr(fmt.Errorf("fetch of unknown array %d: %w", req.ArrayID, core.ErrArrayNotFound))
+		_ = fc.sendResponse(reqID, resp)
+		return
+	}
+	if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
+		w.mu.Unlock()
+		resp := &Response{}
+		resp.setErr(err)
+		_ = fc.sendResponse(reqID, resp)
+		return
+	}
+	buf := arr.Buf
+	total := int(buf.Bytes())
+	w.mu.Unlock()
+
+	// Each chunk is snapshotted into pooled scratch under the runtime lock
+	// (ordering the reads against concurrent launches), then written
+	// without it so a slow peer never stalls kernel execution.
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	for off := 0; off < total; off += w.pushChunk {
+		end := off + w.pushChunk
+		if end > total {
+			end = total
+		}
+		n := end - off
+		if cap(*bp) < n {
+			*bp = make([]byte, n)
+		}
+		*bp = (*bp)[:n]
+		w.mu.Lock()
+		span, err := buf.RawSpan(off, n)
+		if err == nil {
+			copy(*bp, span)
+		}
+		w.mu.Unlock()
+		if err != nil {
+			resp := &Response{}
+			resp.setErr(err)
+			_ = fc.sendResponse(reqID, resp)
+			return
+		}
+		if err := fc.writeChunk(reqID, uint64(off), *bp); err != nil {
+			return // channel dead; requester sees the broken conn
+		}
+	}
+	_ = fc.sendResponse(reqID, &Response{})
+}
+
+// servePush ships an array to a peer worker over a fresh framed bulk
+// connection (the peer sniffs the hello like any client). Pushes to
+// different peers run concurrently.
+func (w *WorkerServer) servePush(fc *framedConn, reqID uint64, req *Request) {
+	resp := &Response{}
+	resp.setErr(w.pushTo(req))
+	_ = fc.sendResponse(reqID, resp)
+}
+
 // handle executes one request under the runtime lock. P2P pushes are the
 // exception: the blocking round trip to the peer happens outside the lock
 // (a snapshot is taken under it), otherwise a cycle of concurrent pushes
@@ -135,16 +488,12 @@ func (w *WorkerServer) serve(c *conn) {
 func (w *WorkerServer) handle(req *Request) *Response {
 	resp := &Response{}
 	if req.Kind == MsgPushTo {
-		if err := w.pushTo(req); err != nil {
-			resp.Err = err.Error()
-		}
+		resp.setErr(w.pushTo(req))
 		return resp
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.apply(req, resp); err != nil {
-		resp.Err = err.Error()
-	}
+	resp.setErr(w.apply(req, resp))
 	return resp
 }
 
@@ -155,30 +504,23 @@ func (w *WorkerServer) pushTo(req *Request) error {
 	arr := w.rt.Array(req.ArrayID)
 	if arr == nil {
 		w.mu.Unlock()
-		return fmt.Errorf("push of unknown array %d", req.ArrayID)
+		return fmt.Errorf("push of unknown array %d: %w", req.ArrayID, core.ErrArrayNotFound)
 	}
 	if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
 		w.mu.Unlock()
 		return err
 	}
-	snap := kernels.NewBuffer(arr.Buf.Kind, arr.Buf.Len())
-	for i := 0; i < arr.Buf.Len(); i++ {
-		snap.Set(i, arr.Buf.At(i))
-	}
+	snap := arr.Buf.Clone()
+	meta := arr.ArrayMeta
 	w.mu.Unlock()
 
-	peer, err := net.Dial("tcp", req.PeerAddr)
+	fc, err := dialFramed(req.PeerAddr, helloBulk)
 	if err != nil {
 		return fmt.Errorf("p2p dial %s: %w", req.PeerAddr, err)
 	}
-	pc := newConn(peer)
-	defer pc.close()
-	_, err = pc.call(&Request{
-		Kind:    MsgReceiveArray,
-		ArrayID: req.ArrayID,
-		Data:    snap,
-	})
-	return err
+	bc := newBulkClient(fc, w.pushChunk)
+	defer bc.close()
+	return bc.receiveArray(req.ArrayID, meta, snap)
 }
 
 func (w *WorkerServer) apply(req *Request, resp *Response) error {
@@ -191,12 +533,16 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 			return nil
 		}
 		_, err := w.rt.NewArrayWithID(req.Meta.ID, req.Meta.Kind, req.Meta.Len)
+		if err != nil && errors.Is(err, gpusim.ErrHostMemoryExhausted) {
+			err = fmt.Errorf("%w: %v", core.ErrOOM, err)
+		}
 		return err
 
 	case MsgReceiveArray:
+		// Legacy gob path: the payload rides inline in req.Data.
 		arr := w.rt.Array(req.ArrayID)
 		if arr == nil {
-			return fmt.Errorf("receive of unknown array %d", req.ArrayID)
+			return fmt.Errorf("receive of unknown array %d: %w", req.ArrayID, core.ErrArrayNotFound)
 		}
 		if err := w.rt.Node().Invalidate(arr.Alloc); err != nil {
 			return err
@@ -215,7 +561,7 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 	case MsgFetchArray:
 		arr := w.rt.Array(req.ArrayID)
 		if arr == nil {
-			return fmt.Errorf("fetch of unknown array %d", req.ArrayID)
+			return fmt.Errorf("fetch of unknown array %d: %w", req.ArrayID, core.ErrArrayNotFound)
 		}
 		if _, err := w.rt.Node().FlushForSend(arr.Alloc, w.rt.Elapsed()); err != nil {
 			return err
@@ -229,7 +575,7 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 			if a.IsArray {
 				arr := w.rt.Array(a.Array)
 				if arr == nil {
-					return fmt.Errorf("launch references unknown array %d", a.Array)
+					return fmt.Errorf("launch references unknown array %d: %w", a.Array, core.ErrArrayNotFound)
 				}
 				vals[i] = grcuda.ArrValue(arr)
 			} else {
@@ -244,7 +590,7 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 	case MsgBuildKernel:
 		def, err := minicuda.Compile(req.Src, req.Signature)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %v", core.ErrKernelCompile, err)
 		}
 		if _, exists := w.rt.Registry().Lookup(def.Name); exists {
 			return nil

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh — run the controller/DAG micro-benchmarks and emit
-# BENCH_controller.json so future PRs can track the scheduler-throughput
-# trajectory against the recorded pre-fast-path baseline.
+# bench.sh — run the controller/DAG and transport micro-benchmarks and
+# emit BENCH_controller.json + BENCH_transport.json so future PRs can
+# track the fast-path trajectories against recorded baselines.
 #
 # Usage: ./scripts/bench.sh [benchtime]     (default 2s per benchmark)
 set -euo pipefail
@@ -10,7 +10,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 OUT=BENCH_controller.json
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+TRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TRAW"' EXIT
 
 echo "== controller benchmarks (-benchtime=$BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput' \
@@ -65,6 +66,60 @@ for name, base in baseline.items():
     if cur and cur['ns_per_op'] > 0:
         doc.setdefault('speedup_vs_baseline', {})[name] = round(
             base['ns_per_op'] / cur['ns_per_op'], 2)
+json.dump(doc, open(out, 'w'), indent=2)
+print(f'wrote {out}')
+EOF
+
+# --- transport data-plane benchmarks (DESIGN.md §5.2) ----------------------
+# Runs every wire (gob and framed) over the size ladder and records MB/s,
+# B/op and allocs/op per point, plus framed-vs-gob ratios. The largest
+# size (256MiB) is skipped here to keep the script fast; run it manually
+# for the head-of-line-blocking sweep.
+
+echo "== transport benchmarks (-benchtime=$BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/(1KiB|64KiB|1MiB|16MiB)' \
+    -benchtime="$BENCHTIME" -benchmem ./internal/bench/ | tee "$TRAW"
+
+python3 - "$TRAW" BENCH_transport.json <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+current = {}
+pat = re.compile(
+    r'^BenchmarkTransportThroughput/(\w+)/(\S+?)(?:-\d+)?\s+\d+\s+'
+    r'([\d.]+) ns/op\s+([\d.]+) MB/s\s+([\d.]+) B/op\s+(\d+) allocs/op')
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    wire, size = m.group(1), m.group(2)
+    current.setdefault(wire, {})[size] = {
+        'ns_per_op': float(m.group(3)),
+        'mb_per_s': float(m.group(4)),
+        'bytes_per_op': float(m.group(5)),
+        'allocs_per_op': int(m.group(6)),
+    }
+
+ratios = {}
+for size, fr in current.get('framed', {}).items():
+    gb = current.get('gob', {}).get(size)
+    if not gb or not gb['mb_per_s']:
+        continue
+    ratios[size] = {
+        'throughput_speedup': round(fr['mb_per_s'] / gb['mb_per_s'], 2),
+        'alloc_reduction': round(
+            gb['allocs_per_op'] / max(fr['allocs_per_op'], 1), 2),
+        'bytes_reduction': round(
+            gb['bytes_per_op'] / max(fr['bytes_per_op'], 1), 1),
+    }
+
+doc = {
+    'description': 'Data-plane wire benchmarks: one MoveArray (controller '
+                   'host -> worker) per op over a loopback TCP worker, per '
+                   'wire protocol and array size.',
+    'current': current,
+    'framed_vs_gob': ratios,
+}
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

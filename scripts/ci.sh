@@ -5,11 +5,13 @@
 #   2. go build ./...
 #   3. go test ./...                                   (full suite)
 #   4. go test -race ./internal/core/... ./internal/dag/...
-#      (the pipelined controller's determinism property test and the DAG
-#      fast path run under the race detector)
-#   5. the controller/DAG micro-benchmarks with -benchtime=1x as a smoke
-#      gate (they must still compile and complete, not regress — use
-#      scripts/bench.sh for numbers)
+#                    ./internal/transport/...
+#      (the pipelined controller's determinism property test, the DAG
+#      fast path, and the framed-wire data plane — concurrent bulk
+#      streams, failover teardown — run under the race detector)
+#   5. the controller/DAG/transport micro-benchmarks with -benchtime=1x
+#      as a smoke gate (they must still compile and complete, not
+#      regress — use scripts/bench.sh for numbers)
 #
 # Run from the repo root: ./scripts/ci.sh
 set -euo pipefail
@@ -24,12 +26,14 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag)"
-go test -race ./internal/core/... ./internal/dag/...
+echo "== go test -race (core, dag, transport)"
+go test -race ./internal/core/... ./internal/dag/... ./internal/transport/...
 
 echo "== micro-benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput|BenchmarkSchedulingOnly' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkDAGAdd' -benchtime=1x ./internal/dag/
+go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
+    -benchtime=1x ./internal/bench/
 
 echo "CI OK"
