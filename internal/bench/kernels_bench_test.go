@@ -1,0 +1,108 @@
+package bench
+
+// Kernel-execution micro-benchmarks (DESIGN.md §5.3): the tree-walking
+// reference interpreter vs the slot-compiled engine, serial and
+// block-partitioned, on the paper's Black–Scholes kernel at 1M elements.
+// scripts/bench.sh runs these and records the numbers (plus GOMAXPROCS —
+// parallel scaling is only visible on multi-core machines) in
+// BENCH_kernels.json.
+
+import (
+	"runtime"
+	"testing"
+
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+)
+
+const bsBenchSrc = `
+extern "C" __global__ void blackscholes(float *call, float *put, const float *spot, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float K = 100.0;
+        float r = 0.05;
+        float vol = 0.2;
+        float T = 1.0;
+        float s = spot[i];
+        if (s <= 0.0) {
+            call[i] = 0.0;
+            put[i] = K * expf(0.0 - r * T);
+            return;
+        }
+        float sigRt = vol * sqrtf(T);
+        float d1 = (logf(s / K) + (r + vol * vol / 2.0) * T) / sigRt;
+        float d2 = d1 - sigRt;
+        float df = K * expf(0.0 - r * T);
+        call[i] = s * 0.5 * erfcf((0.0 - d1) / sqrtf(2.0)) - df * 0.5 * erfcf((0.0 - d2) / sqrtf(2.0));
+        put[i] = df * 0.5 * erfcf(d2 / sqrtf(2.0)) - s * 0.5 * erfcf(d1 / sqrtf(2.0));
+    }
+}`
+
+const bsBenchSig = "pointer float, pointer float, const pointer float, sint32"
+
+func bsBenchArgs(n int) []kernels.Arg {
+	call := kernels.NewBuffer(memmodel.Float32, n)
+	put := kernels.NewBuffer(memmodel.Float32, n)
+	spot := kernels.NewBuffer(memmodel.Float32, n)
+	for i := 0; i < n; i++ {
+		spot.Set(i, 60+float64(i%80))
+	}
+	return []kernels.Arg{kernels.BufArg(call), kernels.BufArg(put),
+		kernels.BufArg(spot), kernels.ScalarArg(float64(n))}
+}
+
+func benchBS(b *testing.B, opts minicuda.EngineOpts) {
+	const n = 1 << 20
+	def, err := minicuda.CompileOpts(bsBenchSrc, bsBenchSig, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := bsBenchArgs(n)
+	grid, block := (n+255)/256, 256
+	b.SetBytes(int64(n) * 4 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := def.ExecuteLaunch(grid, block, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelExec(b *testing.B) {
+	b.Run("interp", func(b *testing.B) {
+		benchBS(b, minicuda.EngineOpts{Engine: minicuda.EngineInterp})
+	})
+	b.Run("compiled-1w", func(b *testing.B) {
+		benchBS(b, minicuda.EngineOpts{Engine: minicuda.EngineCompiled, Workers: 1})
+	})
+	b.Run("compiled-nw", func(b *testing.B) {
+		benchBS(b, minicuda.EngineOpts{
+			Engine: minicuda.EngineCompiled, Workers: runtime.GOMAXPROCS(0)})
+	})
+}
+
+// BenchmarkKernelBuild measures the buildkernel control path: a cold
+// compile (front end + lowering) vs a compiled-kernel cache hit.
+func BenchmarkKernelBuild(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			minicuda.FlushCompileCache()
+			if _, err := minicuda.Compile(bsBenchSrc, bsBenchSig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		minicuda.FlushCompileCache()
+		if _, err := minicuda.Compile(bsBenchSrc, bsBenchSig); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := minicuda.Compile(bsBenchSrc, bsBenchSig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1131,15 +1131,28 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 // buildkernel) and registers it with the controller and, through the
 // fabric, with every worker.
 func (c *Controller) BuildKernel(src, signature string) (*kernels.Def, error) {
-	def, err := minicuda.Compile(src, signature)
-	if err != nil {
-		return nil, err
-	}
-	if _, exists := c.reg.Lookup(def.Name); !exists {
-		if err := c.reg.Register(def); err != nil {
-			return nil, err
+	key := minicuda.CacheKey(src, signature)
+	var def *kernels.Def
+	if name, ok := c.reg.CachedSource(key); ok {
+		if d, ok := c.reg.Lookup(name); ok {
+			def = d
 		}
 	}
+	if def == nil {
+		d, err := minicuda.Compile(src, signature)
+		if err != nil {
+			return nil, err
+		}
+		if _, exists := c.reg.Lookup(d.Name); !exists {
+			if err := c.reg.Register(d); err != nil {
+				return nil, err
+			}
+		}
+		c.reg.CacheSource(key, d.Name)
+		def = d
+	}
+	// Always broadcast, cache hit or not: workers that joined after the
+	// first build still need the kernel propagated.
 	if kb, ok := c.fabric.(KernelBuilder); ok {
 		if err := kb.BuildKernel(src, signature); err != nil {
 			return nil, err

@@ -1,0 +1,54 @@
+package grcuda
+
+import (
+	"testing"
+
+	"grout/internal/minicuda"
+)
+
+// TestBuildKernelSourceCache: a repeated buildkernel of the same (source,
+// signature) must resolve entirely from the registry's source cache —
+// same Def pointer, and zero additional front-end (lex/parse/check) runs
+// in the compiler.
+func TestBuildKernelSourceCache(t *testing.T) {
+	src := `
+__global__ void scale3(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { x[i] = x[i] * 3.0; }
+}`
+	sig := "pointer float, sint32"
+	r := newRuntime(t, true)
+
+	minicuda.FlushCompileCache()
+	d1, err := r.BuildKernel(src, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _, frontend0 := minicuda.CompileStats()
+	for i := 0; i < 5; i++ {
+		d2, err := r.BuildKernel(src, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2 != d1 {
+			t.Fatalf("rebuild %d returned a different Def", i)
+		}
+	}
+	hits1, _, frontend1 := minicuda.CompileStats()
+	if frontend1 != frontend0 {
+		t.Fatalf("rebuilds re-ran the compiler front end (%d -> %d)", frontend0, frontend1)
+	}
+	// The registry's source cache must short-circuit before the compiler
+	// cache: no new compiler-cache hits either.
+	if hits1 != hits0 {
+		t.Fatalf("rebuilds fell through to the compiler cache (%d -> %d hits)", hits0, hits1)
+	}
+
+	// A different signature is a genuinely different build request.
+	if _, err := r.BuildKernel(src, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, frontend2 := minicuda.CompileStats(); frontend2 != frontend0+1 {
+		t.Fatalf("distinct signature served from source cache")
+	}
+}

@@ -404,8 +404,16 @@ func (r *Runtime) hostOp(id dag.ArrayID, mode memmodel.AccessMode, ready sim.Vir
 func (r *Runtime) CEEnd(id dag.CEID) sim.VirtualTime { return r.ceEnd[id] }
 
 // BuildKernel compiles a mini-CUDA kernel from source (the NVRTC path of
-// GrCUDA's buildkernel) and registers it with the runtime.
+// GrCUDA's buildkernel) and registers it with the runtime. Repeated builds
+// of the same source resolve through the registry's source cache — and,
+// below it, minicuda's compiled-program cache — without recompiling.
 func (r *Runtime) BuildKernel(src, signature string) (*kernels.Def, error) {
+	key := minicuda.CacheKey(src, signature)
+	if name, ok := r.reg.CachedSource(key); ok {
+		if def, ok := r.reg.Lookup(name); ok {
+			return def, nil
+		}
+	}
 	def, err := minicuda.Compile(src, signature)
 	if err != nil {
 		return nil, err
@@ -415,6 +423,7 @@ func (r *Runtime) BuildKernel(src, signature string) (*kernels.Def, error) {
 			return nil, err
 		}
 	}
+	r.reg.CacheSource(key, def.Name)
 	return def, nil
 }
 

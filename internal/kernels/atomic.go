@@ -1,0 +1,63 @@
+package kernels
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+
+	"grout/internal/memmodel"
+)
+
+// AtomicAdd atomically adds v to element i and returns the element's
+// previous value, with the same arithmetic as a non-atomic
+// At(i)/Set(i, old+v) pair: the addition happens in float64 and the sum is
+// converted back to the buffer's kind. Implemented as a compare-and-swap
+// loop on the element's machine word, so concurrent callers from the
+// parallel kernel executor never lose updates (CUDA atomicAdd semantics).
+//
+// Integer buffers accumulate exactly under any interleaving as long as the
+// operands are integral and the running value stays within ±2^53; float
+// buffers are exact per-operation but the final value depends on operand
+// order when rounding occurs, exactly like floating-point atomicAdd on
+// real hardware.
+func (b *Buffer) AtomicAdd(i int, v float64) float64 {
+	switch b.Kind {
+	case memmodel.Float32:
+		addr := (*uint32)(unsafe.Pointer(&b.F32[i]))
+		for {
+			oldBits := atomic.LoadUint32(addr)
+			old := float64(math.Float32frombits(oldBits))
+			newBits := math.Float32bits(float32(old + v))
+			if atomic.CompareAndSwapUint32(addr, oldBits, newBits) {
+				return old
+			}
+		}
+	case memmodel.Float64:
+		addr := (*uint64)(unsafe.Pointer(&b.F64[i]))
+		for {
+			oldBits := atomic.LoadUint64(addr)
+			old := math.Float64frombits(oldBits)
+			if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(old+v)) {
+				return old
+			}
+		}
+	case memmodel.Int32:
+		addr := &b.I32[i]
+		for {
+			old := atomic.LoadInt32(addr)
+			next := int32(float64(old) + v)
+			if atomic.CompareAndSwapInt32(addr, old, next) {
+				return float64(old)
+			}
+		}
+	default:
+		addr := &b.I64[i]
+		for {
+			old := atomic.LoadInt64(addr)
+			next := int64(float64(old) + v)
+			if atomic.CompareAndSwapInt64(addr, old, next) {
+				return float64(old)
+			}
+		}
+	}
+}

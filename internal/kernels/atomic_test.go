@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"grout/internal/memmodel"
+)
+
+// TestAtomicAddConcurrent hammers one element per kind from many
+// goroutines (run with -race in CI). Integer kinds must be exact; float
+// kinds accumulate an integral value so the sum is exact there too as long
+// as every CAS retains every contribution.
+func TestAtomicAddConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 2000
+	for _, kind := range []memmodel.ElemKind{
+		memmodel.Int32, memmodel.Int64, memmodel.Float32, memmodel.Float64,
+	} {
+		b := NewBuffer(kind, 3)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					b.AtomicAdd(1, 1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := b.At(1); got != goroutines*perG {
+			t.Errorf("kind %v: lost updates: got %v, want %d", kind, got, goroutines*perG)
+		}
+		if b.At(0) != 0 || b.At(2) != 0 {
+			t.Errorf("kind %v: neighbouring elements clobbered: %v %v", kind, b.At(0), b.At(2))
+		}
+	}
+}
+
+// TestAtomicAddSemantics checks the scalar arithmetic matches a plain
+// At/Set pair for each kind, including int truncation and float32
+// rounding, and that the returned value is the pre-add ("old") value as in
+// CUDA's atomicAdd.
+func TestAtomicAddSemantics(t *testing.T) {
+	cases := []struct {
+		kind       memmodel.ElemKind
+		start, add float64
+	}{
+		{memmodel.Int32, 5, 2.9},     // truncates toward zero: 5 + 2.9 -> 7
+		{memmodel.Int64, -3, -4.5},   // negative truncation: -7.5 -> -7
+		{memmodel.Float32, 0.1, 0.2}, // float32 rounding must match Set
+		{memmodel.Float64, 1e-9, 1e9},
+	}
+	for _, c := range cases {
+		atomic := NewBuffer(c.kind, 1)
+		plain := NewBuffer(c.kind, 1)
+		atomic.Set(0, c.start)
+		plain.Set(0, c.start)
+
+		old := atomic.AtomicAdd(0, c.add)
+		if want := plain.At(0); old != want {
+			t.Errorf("kind %v: old value %v, want %v", c.kind, old, want)
+		}
+		plain.Set(0, plain.At(0)+c.add)
+		if a, p := atomic.At(0), plain.At(0); math.Float64bits(a) != math.Float64bits(p) {
+			t.Errorf("kind %v: atomic %v != plain %v", c.kind, a, p)
+		}
+	}
+}

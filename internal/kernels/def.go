@@ -140,11 +140,35 @@ func (d *Def) ExecuteLaunch(grid, block int, args []Arg) error {
 type Registry struct {
 	mu   sync.RWMutex
 	defs map[string]*Def
+	// srcCache maps buildkernel cache keys (minicuda.CacheKey over source
+	// and signature) to registered kernel names, so a repeated buildkernel
+	// of the same source resolves without re-entering the compiler.
+	srcCache map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{defs: make(map[string]*Def)}
+	return &Registry{defs: make(map[string]*Def), srcCache: make(map[string]string)}
+}
+
+// CachedSource resolves a buildkernel cache key to the kernel name it
+// previously registered.
+func (r *Registry) CachedSource(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, ok := r.srcCache[key]
+	return name, ok
+}
+
+// CacheSource records that a buildkernel cache key produced the named
+// kernel.
+func (r *Registry) CacheSource(key, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.srcCache == nil {
+		r.srcCache = make(map[string]string)
+	}
+	r.srcCache[key] = name
 }
 
 // Register adds a definition; re-registering a name is an error (kernels

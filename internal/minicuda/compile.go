@@ -7,12 +7,59 @@ import (
 	"grout/internal/memmodel"
 )
 
+// Engine selects which execution engine a compiled Def uses.
+type Engine int
+
+const (
+	// EngineAuto lowers the kernel to the slot-compiled program and falls
+	// back to the reference interpreter for the (rare) kernels the lowerer
+	// cannot express. The default.
+	EngineAuto Engine = iota
+	// EngineCompiled requires the slot-compiled program; compilation fails
+	// if the kernel cannot be lowered.
+	EngineCompiled
+	// EngineInterp forces the reference tree-walking interpreter.
+	EngineInterp
+)
+
+// EngineOpts tunes kernel execution. The zero value is the default
+// configuration: auto engine, GOMAXPROCS workers for parallel-safe
+// kernels, strict (serializing) float atomics, default step budget.
+type EngineOpts struct {
+	Engine Engine
+	// Workers partitions the grid's blocks: 0 means GOMAXPROCS, 1 forces
+	// serial execution. Kernels the safety analysis cannot prove
+	// race-free always run serial regardless.
+	Workers int
+	// RelaxedAtomics allows parallel execution of kernels whose atomicAdd
+	// accumulation order affects the result (float sums); the outcome is
+	// then hardware-like: correct up to floating-point reassociation.
+	RelaxedAtomics bool
+	// MaxThreadSteps overrides the per-thread statement budget (0 uses
+	// the default).
+	MaxThreadSteps int
+}
+
 // Compile parses a kernel source string and returns the kernels.Def for
 // the (single) kernel it contains, optionally checked against an NFI
 // signature string ("pointer float, const pointer float, sint32"). An
 // empty signature accepts the parameter list as written — paper Listing 1
 // passes both the source and the signature to buildkernel.
+//
+// Results are cached by (source, signature): repeated buildkernel calls
+// return the already compiled Def without any front-end work.
 func Compile(src, signature string) (*kernels.Def, error) {
+	return cachedCompile(src, signature)
+}
+
+// CompileOpts compiles with explicit engine options, bypassing the cache
+// (cached Defs always use the default options).
+func CompileOpts(src, signature string, opts EngineOpts) (*kernels.Def, error) {
+	return compileUncached(src, signature, opts)
+}
+
+func compileUncached(src, signature string, opts EngineOpts) (*kernels.Def, error) {
+	frontendRuns.Add(1)
 	ks, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -20,19 +67,20 @@ func Compile(src, signature string) (*kernels.Def, error) {
 	if len(ks) != 1 {
 		return nil, fmt.Errorf("minicuda: source contains %d kernels; name one with CompileNamed", len(ks))
 	}
-	return buildDef(ks[0], signature)
+	return buildDef(ks[0], signature, opts)
 }
 
 // CompileNamed compiles one kernel from a source module that may define
 // several.
 func CompileNamed(src, name, signature string) (*kernels.Def, error) {
+	frontendRuns.Add(1)
 	ks, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	for _, k := range ks {
 		if k.Name == name {
-			return buildDef(k, signature)
+			return buildDef(k, signature, EngineOpts{})
 		}
 	}
 	return nil, fmt.Errorf("minicuda: kernel %q not found in source", name)
@@ -40,13 +88,14 @@ func CompileNamed(src, name, signature string) (*kernels.Def, error) {
 
 // CompileAll compiles every kernel in a source module.
 func CompileAll(src string) ([]*kernels.Def, error) {
+	frontendRuns.Add(1)
 	ks, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	defs := make([]*kernels.Def, len(ks))
 	for i, k := range ks {
-		d, err := buildDef(k, "")
+		d, err := buildDef(k, "", EngineOpts{})
 		if err != nil {
 			return nil, err
 		}
@@ -55,9 +104,9 @@ func CompileAll(src string) ([]*kernels.Def, error) {
 	return defs, nil
 }
 
-// buildDef assembles the kernels.Def from the parsed kernel and its
-// static analysis.
-func buildDef(k *Kernel, signature string) (*kernels.Def, error) {
+// buildDef assembles the kernels.Def from the parsed kernel, its static
+// analysis, and — engine permitting — its lowered program.
+func buildDef(k *Kernel, signature string, opts EngineOpts) (*kernels.Def, error) {
 	sig := signatureOf(k)
 	if signature != "" {
 		declared, err := kernels.ParseSignature(signature)
@@ -72,6 +121,20 @@ func buildDef(k *Kernel, signature string) (*kernels.Def, error) {
 
 	an := analyze(k)
 	kcopy := k // capture
+
+	var prog *program
+	if opts.Engine != EngineInterp {
+		p, perr := lowerProgram(k)
+		if perr != nil {
+			if opts.Engine == EngineCompiled {
+				return nil, perr
+			}
+			// EngineAuto: the reference interpreter handles the
+			// dynamic-scoping corner the lowerer bailed on.
+		} else {
+			prog = p
+		}
+	}
 
 	// scalarOf resolves a scalar parameter's runtime value from argument
 	// metadata, for loop-bound-dependent cost estimates.
@@ -103,7 +166,10 @@ func buildDef(k *Kernel, signature string) (*kernels.Def, error) {
 			return an.access
 		},
 		RunLaunch: func(grid, block int, args []kernels.Arg) error {
-			return runLaunch(kcopy, grid, block, args)
+			if prog != nil {
+				return prog.launch(grid, block, args, opts)
+			}
+			return runLaunch(kcopy, grid, block, args, opts.MaxThreadSteps)
 		},
 	}, nil
 }

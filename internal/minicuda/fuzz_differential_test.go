@@ -1,0 +1,47 @@
+package minicuda
+
+// FuzzDifferential feeds arbitrary source text through both execution
+// engines and asserts bit-for-bit agreement (results, error presence, and
+// error text). Inputs that fail to parse or to lower are uninteresting —
+// the parser has its own fuzz coverage — so they are skipped; everything
+// that compiles on both paths must behave identically.
+
+import "testing"
+
+func FuzzDifferential(f *testing.F) {
+	f.Add(saxpySrc)
+	f.Add(suiteGemvSrc)
+	f.Add(suiteBSSrc)
+	f.Add(suiteAxpySSrc)
+	f.Add(suiteSpmvSrc)
+	f.Add(deviceFuncSrc)
+	f.Add(contendedIntSrc)
+	f.Add(contendedFloatSrc)
+	f.Add(`
+__global__ void k(float *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = sqrtf(fabsf((float)i - 3.5)) + powf(2.0, (float)(i % 5)); }
+}`)
+	f.Add(`
+__global__ void k(int *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int s = 0;
+    for (int j = i; j > 0; j--) { s += j % 3 == 0 ? -j : j; if (s > 50) { break; } }
+    if (i < n) { y[i] = s; }
+}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		ks, err := Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		if len(ks) > 2 {
+			ks = ks[:2]
+		}
+		for _, k := range ks {
+			if len(k.Params) > 8 {
+				continue
+			}
+			runDifferential(t, k, 4, 8, 64, 50_000)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package minicuda
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -21,61 +22,98 @@ func floatVal(v float64) value { return value{f: v} }
 func (v value) truthy() bool { return v.f != 0 }
 func (v value) int() int64   { return int64(v.f) }
 
+// mathBuiltin is one callable math function: exactly one of fn1/fn2 is
+// set, matching arity. Direct typed function values (rather than a
+// []float64 thunk) let both engines call builtins without an argument
+// slice allocation per call.
+type mathBuiltin struct {
+	arity int
+	fn1   func(float64) float64
+	fn2   func(float64, float64) float64
+}
+
 // mathBuiltins maps callable math functions to implementations. Both the
 // float (suffix f) and double spellings are accepted.
-var mathBuiltins = map[string]struct {
-	arity int
-	fn    func(a []float64) float64
-}{
-	"sqrt":  {1, func(a []float64) float64 { return math.Sqrt(a[0]) }},
-	"exp":   {1, func(a []float64) float64 { return math.Exp(a[0]) }},
-	"log":   {1, func(a []float64) float64 { return math.Log(a[0]) }},
-	"fabs":  {1, func(a []float64) float64 { return math.Abs(a[0]) }},
-	"abs":   {1, func(a []float64) float64 { return math.Abs(a[0]) }},
-	"sin":   {1, func(a []float64) float64 { return math.Sin(a[0]) }},
-	"cos":   {1, func(a []float64) float64 { return math.Cos(a[0]) }},
-	"tanh":  {1, func(a []float64) float64 { return math.Tanh(a[0]) }},
-	"erfc":  {1, func(a []float64) float64 { return math.Erfc(a[0]) }},
-	"erf":   {1, func(a []float64) float64 { return math.Erf(a[0]) }},
-	"floor": {1, func(a []float64) float64 { return math.Floor(a[0]) }},
-	"ceil":  {1, func(a []float64) float64 { return math.Ceil(a[0]) }},
-	"pow":   {2, func(a []float64) float64 { return math.Pow(a[0], a[1]) }},
-	"fmin":  {2, func(a []float64) float64 { return math.Min(a[0], a[1]) }},
-	"fmax":  {2, func(a []float64) float64 { return math.Max(a[0], a[1]) }},
-	"min":   {2, func(a []float64) float64 { return math.Min(a[0], a[1]) }},
-	"max":   {2, func(a []float64) float64 { return math.Max(a[0], a[1]) }},
+var mathBuiltins = map[string]mathBuiltin{
+	"sqrt":  {arity: 1, fn1: math.Sqrt},
+	"exp":   {arity: 1, fn1: math.Exp},
+	"log":   {arity: 1, fn1: math.Log},
+	"fabs":  {arity: 1, fn1: math.Abs},
+	"abs":   {arity: 1, fn1: math.Abs},
+	"sin":   {arity: 1, fn1: math.Sin},
+	"cos":   {arity: 1, fn1: math.Cos},
+	"tanh":  {arity: 1, fn1: math.Tanh},
+	"erfc":  {arity: 1, fn1: math.Erfc},
+	"erf":   {arity: 1, fn1: math.Erf},
+	"floor": {arity: 1, fn1: math.Floor},
+	"ceil":  {arity: 1, fn1: math.Ceil},
+	"pow":   {arity: 2, fn2: math.Pow},
+	"fmin":  {arity: 2, fn2: math.Min},
+	"fmax":  {arity: 2, fn2: math.Max},
+	"min":   {arity: 2, fn2: math.Min},
+	"max":   {arity: 2, fn2: math.Max},
 }
 
 // lookupMath resolves a math builtin, accepting the CUDA "f" suffix
 // (sqrtf, expf, ...).
-func lookupMath(name string) (func(a []float64) float64, int, bool) {
+func lookupMath(name string) (mathBuiltin, bool) {
 	if b, ok := mathBuiltins[name]; ok {
-		return b.fn, b.arity, true
+		return b, true
 	}
 	if n := len(name); n > 1 && name[n-1] == 'f' {
 		if b, ok := mathBuiltins[name[:n-1]]; ok {
-			return b.fn, b.arity, true
+			return b, true
 		}
 	}
-	return nil, 0, false
+	return mathBuiltin{}, false
 }
 
 // maxThreadSteps bounds per-thread statement execution, converting
 // accidental infinite loops into errors.
 const maxThreadSteps = 5_000_000
 
+// maxLaunchThreads caps a launch's total thread count at the 32-bit-style
+// grid limit real CUDA enforces; it also keeps grid*block products away
+// from int overflow on any platform.
+const maxLaunchThreads = int64(1) << 31
+
+// ErrLaunchTooLarge reports a launch whose grid×block thread count
+// exceeds maxLaunchThreads. Matched with errors.Is.
+var ErrLaunchTooLarge = errors.New("launch exceeds the thread-count limit")
+
+// validateLaunch checks a launch configuration; shared by both engines.
+func validateLaunch(name string, grid, block int, nargs, nparams int) error {
+	if grid < 1 || block < 1 {
+		return fmt.Errorf("minicuda: %s: invalid launch configuration %dx%d", name, grid, block)
+	}
+	if total := int64(grid) * int64(block); total > maxLaunchThreads {
+		return fmt.Errorf("minicuda: %s: %dx%d launch is %d threads (limit %d): %w",
+			name, grid, block, total, maxLaunchThreads, ErrLaunchTooLarge)
+	}
+	if nargs != nparams {
+		return fmt.Errorf("minicuda: %s: got %d arguments, want %d", name, nargs, nparams)
+	}
+	return nil
+}
+
 // interp executes one kernel launch.
 type interp struct {
 	k *Kernel
 	// paramIdx maps parameter names to positions.
 	paramIdx map[string]int
-	// args are the launch arguments, indexed like Params.
+	// args are the launch arguments, indexed like Params (a private copy:
+	// scalar-parameter assignments are thread-local, as in CUDA, and must
+	// not leak into the caller's slice).
 	args []kernels.Arg
+	// scalarInit snapshots the launch's scalar arguments so each thread
+	// starts from them regardless of assignments by earlier threads.
+	scalarInit []float64
 	// locals maps local variable names to values (per thread).
 	locals map[string]value
 	// builtin thread coordinates.
 	threadIdx, blockIdx, blockDim, gridDim [3]int
 	steps                                  int
+	maxSteps                               int
 	// retVal carries a __device__ function's return value alongside
 	// ctrlReturn; depth counts nested device-function frames.
 	retVal value
@@ -93,12 +131,10 @@ const (
 )
 
 // runLaunch interprets the kernel over a 1-D grid of grid×block threads.
-func runLaunch(k *Kernel, grid, block int, args []kernels.Arg) error {
-	if grid < 1 || block < 1 {
-		return fmt.Errorf("minicuda: %s: invalid launch configuration %dx%d", k.Name, grid, block)
-	}
-	if len(args) != len(k.Params) {
-		return fmt.Errorf("minicuda: %s: got %d arguments, want %d", k.Name, len(args), len(k.Params))
+// maxSteps bounds per-thread statement execution (0 means the default).
+func runLaunch(k *Kernel, grid, block int, args []kernels.Arg, maxSteps int) error {
+	if err := validateLaunch(k.Name, grid, block, len(args), len(k.Params)); err != nil {
+		return err
 	}
 	paramIdx := make(map[string]int, len(k.Params))
 	for i, prm := range k.Params {
@@ -110,18 +146,34 @@ func runLaunch(k *Kernel, grid, block int, args []kernels.Arg) error {
 			return fmt.Errorf("minicuda: %s: parameter %s is a scalar", k.Name, prm.Name)
 		}
 	}
+	if maxSteps <= 0 {
+		maxSteps = maxThreadSteps
+	}
+	scalarInit := make([]float64, len(args))
+	for i, a := range args {
+		scalarInit[i] = a.Scalar
+	}
 	in := &interp{
-		k:        k,
-		paramIdx: paramIdx,
-		args:     args,
-		blockDim: [3]int{block, 1, 1},
-		gridDim:  [3]int{grid, 1, 1},
+		k:          k,
+		paramIdx:   paramIdx,
+		args:       append([]kernels.Arg(nil), args...),
+		scalarInit: scalarInit,
+		maxSteps:   maxSteps,
+		blockDim:   [3]int{block, 1, 1},
+		gridDim:    [3]int{grid, 1, 1},
 	}
 	for b := 0; b < grid; b++ {
 		for t := 0; t < block; t++ {
 			in.blockIdx = [3]int{b, 0, 0}
 			in.threadIdx = [3]int{t, 0, 0}
 			in.locals = make(map[string]value, 8)
+			// The step budget and scalar parameters are per thread: a long
+			// honest grid must not exhaust a launch-wide budget, and a
+			// scalar assignment must not leak into the next thread.
+			in.steps = 0
+			for i := range in.args {
+				in.args[i].Scalar = scalarInit[i]
+			}
 			if _, err := in.execStmts(k.Body); err != nil {
 				return fmt.Errorf("minicuda: %s: %w", k.Name, err)
 			}
@@ -132,8 +184,8 @@ func runLaunch(k *Kernel, grid, block int, args []kernels.Arg) error {
 
 func (in *interp) step(pos Pos) error {
 	in.steps++
-	if in.steps > maxThreadSteps {
-		return errf(pos, "execution exceeded %d steps (infinite loop?)", maxThreadSteps)
+	if in.steps > in.maxSteps {
+		return errf(pos, "execution exceeded %d steps (infinite loop?)", in.maxSteps)
 	}
 	return nil
 }
@@ -503,22 +555,25 @@ func (in *interp) evalCall(x *CallExpr) (value, error) {
 		buf.Set(idx, old+v.f)
 		return floatVal(old), nil
 	}
-	fn, arity, ok := lookupMath(x.Name)
+	b, ok := lookupMath(x.Name)
 	if !ok {
 		return value{}, errf(x.Pos, "unknown function %s", x.Name)
 	}
-	if len(x.Args) != arity {
-		return value{}, errf(x.Pos, "%s takes %d arguments, got %d", x.Name, arity, len(x.Args))
+	if len(x.Args) != b.arity {
+		return value{}, errf(x.Pos, "%s takes %d arguments, got %d", x.Name, b.arity, len(x.Args))
 	}
-	args := make([]float64, len(x.Args))
-	for i, a := range x.Args {
-		v, err := in.eval(a)
-		if err != nil {
-			return value{}, err
-		}
-		args[i] = v.f
+	a0, err := in.eval(x.Args[0])
+	if err != nil {
+		return value{}, err
 	}
-	return floatVal(fn(args)), nil
+	if b.arity == 1 {
+		return floatVal(b.fn1(a0.f)), nil
+	}
+	a1, err := in.eval(x.Args[1])
+	if err != nil {
+		return value{}, err
+	}
+	return floatVal(b.fn2(a0.f, a1.f)), nil
 }
 
 func boolVal(b bool) value {

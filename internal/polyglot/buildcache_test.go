@@ -1,0 +1,46 @@
+package polyglot
+
+import (
+	"testing"
+
+	"grout/internal/minicuda"
+)
+
+// TestRepeatedBuildHitsCache: a host program that evaluates "buildkernel"
+// and rebuilds the same source every iteration (the common pattern in
+// ported GrCUDA workloads) must only pay for compilation once, on both the
+// single-node and the scale-out language bindings.
+func TestRepeatedBuildHitsCache(t *testing.T) {
+	for _, tc := range []struct {
+		lang Language
+		ctx  *Context
+	}{
+		{GrCUDA, singleCtx(t)},
+		{GrOUT, groutCtx(t)},
+	} {
+		t.Run(string(tc.lang), func(t *testing.T) {
+			buildVal, err := tc.ctx.Eval(tc.lang, "buildkernel")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h1, err := buildVal.Build.Build(squareSrc, "pointer float, sint32")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, frontend0 := minicuda.CompileStats()
+			for i := 0; i < 4; i++ {
+				h2, err := buildVal.Build.Build(squareSrc, "pointer float, sint32")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h2.def != h1.def {
+					t.Fatalf("rebuild %d produced a different kernel definition", i)
+				}
+			}
+			if _, _, frontend1 := minicuda.CompileStats(); frontend1 != frontend0 {
+				t.Fatalf("%s: rebuilds re-ran the compiler front end (%d -> %d)",
+					tc.lang, frontend0, frontend1)
+			}
+		})
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"grout/internal/gpusim"
 	"grout/internal/grcuda"
 	"grout/internal/kernels"
-	"grout/internal/minicuda"
 )
 
 // WorkerServer hosts a GrCUDA runtime behind a TCP listener: the Worker
@@ -588,14 +587,13 @@ func (w *WorkerServer) apply(req *Request, resp *Response) error {
 		return err
 
 	case MsgBuildKernel:
-		def, err := minicuda.Compile(req.Src, req.Signature)
-		if err != nil {
+		// The runtime's BuildKernel resolves repeated sources through the
+		// registry source cache and minicuda's compiled-program cache, so
+		// per-run re-broadcasts of the same kernel do no front-end work.
+		if _, err := w.rt.BuildKernel(req.Src, req.Signature); err != nil {
 			return fmt.Errorf("%w: %v", core.ErrKernelCompile, err)
 		}
-		if _, exists := w.rt.Registry().Lookup(def.Name); exists {
-			return nil
-		}
-		return w.rt.Registry().Register(def)
+		return nil
 
 	case MsgFreeArray:
 		if w.rt.Array(req.ArrayID) == nil {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the controller/DAG and transport micro-benchmarks and
-# emit BENCH_controller.json + BENCH_transport.json so future PRs can
-# track the fast-path trajectories against recorded baselines.
+# bench.sh — run the controller/DAG, transport and kernel-engine
+# micro-benchmarks and emit BENCH_controller.json + BENCH_transport.json
+# + BENCH_kernels.json so future PRs can track the fast-path
+# trajectories against recorded baselines.
 #
 # Usage: ./scripts/bench.sh [benchtime]     (default 2s per benchmark)
 set -euo pipefail
@@ -11,7 +12,8 @@ BENCHTIME="${1:-2s}"
 OUT=BENCH_controller.json
 RAW="$(mktemp)"
 TRAW="$(mktemp)"
-trap 'rm -f "$RAW" "$TRAW"' EXIT
+KRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TRAW" "$KRAW"' EXIT
 
 echo "== controller benchmarks (-benchtime=$BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput' \
@@ -120,6 +122,65 @@ doc = {
     'current': current,
     'framed_vs_gob': ratios,
 }
+json.dump(doc, open(out, 'w'), indent=2)
+print(f'wrote {out}')
+EOF
+
+# --- kernel execution-engine benchmarks (DESIGN.md §5.3) -------------------
+# Black–Scholes at 1M elements: the tree-walking reference interpreter vs
+# the slot-compiled engine, serial and block-partitioned across
+# GOMAXPROCS workers. The interpreter takes seconds per launch, so the
+# execution benchmarks run a fixed 3 iterations rather than a time
+# budget. GOMAXPROCS is recorded alongside the numbers: parallel scaling
+# over compiled-1w is only observable when it is > 1.
+
+echo "== kernel engine benchmarks (-benchtime=3x)"
+go test -run '^$' -bench 'BenchmarkKernelExec' -benchtime=3x \
+    ./internal/bench/ | tee "$KRAW"
+go test -run '^$' -bench 'BenchmarkKernelBuild' -benchtime="$BENCHTIME" \
+    ./internal/bench/ | tee -a "$KRAW"
+
+GOMAXPROCS_NOW="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+python3 - "$KRAW" BENCH_kernels.json "$GOMAXPROCS_NOW" <<'EOF'
+import json, re, sys
+
+raw, out, nproc = sys.argv[1], sys.argv[2], int(sys.argv[3])
+current = {}
+pat = re.compile(
+    r'^Benchmark(KernelExec|KernelBuild)/(\S+?)(?:-\d+)?\s+\d+\s+'
+    r'([\d.]+) ns/op')
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    current.setdefault(m.group(1), {})[m.group(2)] = {
+        'ns_per_op': float(m.group(3))}
+
+doc = {
+    'description': 'Kernel execution-engine benchmarks: Black-Scholes over '
+                   '1M float32 elements (grid 4096 x block 256), tree-walk '
+                   'interpreter vs slot-compiled closures; plus the '
+                   'buildkernel path cold vs compiled-kernel cache hit.',
+    'gomaxprocs': nproc,
+    'current': current,
+}
+ex = current.get('KernelExec', {})
+interp = ex.get('interp', {}).get('ns_per_op')
+c1 = ex.get('compiled-1w', {}).get('ns_per_op')
+cn = ex.get('compiled-nw', {}).get('ns_per_op')
+if interp and c1:
+    doc['compiled_1w_speedup_vs_interp'] = round(interp / c1, 2)
+if c1 and cn:
+    doc['parallel_scaling_nw_vs_1w'] = round(c1 / cn, 2)
+    if nproc == 1:
+        doc['parallel_scaling_note'] = (
+            'GOMAXPROCS=1 on this machine: compiled-nw degenerates to the '
+            'serial engine, so no scaling is observable here.')
+bd = current.get('KernelBuild', {})
+cold = bd.get('cold', {}).get('ns_per_op')
+cached = bd.get('cached', {}).get('ns_per_op')
+if cold and cached:
+    doc['build_cache_speedup'] = round(cold / cached, 1)
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

@@ -5,13 +5,19 @@
 #   2. go build ./...
 #   3. go test ./...                                   (full suite)
 #   4. go test -race ./internal/core/... ./internal/dag/...
-#                    ./internal/transport/...
+#                    ./internal/transport/... ./internal/minicuda/...
+#                    ./internal/kernels/...
 #      (the pipelined controller's determinism property test, the DAG
-#      fast path, and the framed-wire data plane — concurrent bulk
-#      streams, failover teardown — run under the race detector)
-#   5. the controller/DAG/transport micro-benchmarks with -benchtime=1x
-#      as a smoke gate (they must still compile and complete, not
-#      regress — use scripts/bench.sh for numbers)
+#      fast path, the framed-wire data plane — concurrent bulk
+#      streams, failover teardown — and the parallel kernel engine's
+#      block-partitioned executor + atomicAdd CAS loop run under the
+#      race detector)
+#   5. a short differential-fuzz budget: the slot-compiled kernel
+#      engine vs the tree-walking interpreter must stay bit-for-bit
+#      identical on generated kernels (10s; the corpus persists)
+#   6. the controller/DAG/transport/kernel micro-benchmarks with
+#      -benchtime=1x as a smoke gate (they must still compile and
+#      complete, not regress — use scripts/bench.sh for numbers)
 #
 # Run from the repo root: ./scripts/ci.sh
 set -euo pipefail
@@ -26,14 +32,21 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag, transport)"
-go test -race ./internal/core/... ./internal/dag/... ./internal/transport/...
+echo "== go test -race (core, dag, transport, minicuda, kernels)"
+go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
+    ./internal/minicuda/... ./internal/kernels/...
+
+echo "== differential fuzz (compiled engine vs interpreter, 10s)"
+go test -run FuzzDifferential -fuzz FuzzDifferential -fuzztime 10s \
+    ./internal/minicuda/
 
 echo "== micro-benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput|BenchmarkSchedulingOnly' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkDAGAdd' -benchtime=1x ./internal/dag/
 go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
+    -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkKernelExec/compiled|BenchmarkKernelBuild' \
     -benchtime=1x ./internal/bench/
 
 echo "CI OK"
