@@ -25,6 +25,7 @@ package grout
 
 import (
 	"fmt"
+	"time"
 
 	"grout/internal/cluster"
 	"grout/internal/core"
@@ -91,6 +92,42 @@ type Config struct {
 	// 256 KiB; clamped to [4 KiB, 64 MiB) and 8-byte aligned). Ignored by
 	// simulated clusters.
 	ChunkBytes int
+	// Failover makes the Controller survive worker failures: failed CEs
+	// reroute to survivors, and arrays whose only copy died are
+	// recomputed from lineage (DESIGN.md §5.4). ErrDataLost only
+	// surfaces when a lineage root itself is unrecoverable.
+	Failover bool
+	// RetryAttempts is how many times a transient fabric failure (dial,
+	// timeout, severed connection) retries in place, with capped
+	// exponential backoff, before the worker is written off. Default 0
+	// (fail over immediately).
+	RetryAttempts int
+	// RetryBackoff is the base retry delay, doubling per attempt up to
+	// 40× (default 50ms when retries are enabled).
+	RetryBackoff time.Duration
+	// DialTimeout bounds TCP connection establishment for Connect (0 =
+	// 5 s default, negative disables). Ignored by simulated clusters.
+	DialTimeout time.Duration
+	// CallTimeout bounds one control round trip for Connect (0 = 30 s
+	// default, negative disables). Ignored by simulated clusters.
+	CallTimeout time.Duration
+	// ChunkTimeout bounds progress (per chunk, not total) of bulk
+	// transfers for Connect (0 = 30 s default, negative disables).
+	// Ignored by simulated clusters.
+	ChunkTimeout time.Duration
+}
+
+// coreOptions builds the controller options shared by both deployments.
+func (c Config) coreOptions(numeric bool) core.Options {
+	return core.Options{
+		Numeric:  numeric,
+		Pipeline: c.Pipeline,
+		Failover: c.Failover,
+		Retry: core.RetryPolicy{
+			Attempts: c.RetryAttempts,
+			Backoff:  c.RetryBackoff,
+		},
+	}
 }
 
 func (c Config) policy() (policy.Policy, error) {
@@ -132,7 +169,7 @@ func NewSimulatedCluster(cfg Config) (*Cluster, error) {
 	}
 	clu := cluster.New(cluster.PaperSpec(workers))
 	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), cfg.Numeric)
-	ctl := core.NewController(fab, pol, core.Options{Numeric: cfg.Numeric, Pipeline: cfg.Pipeline})
+	ctl := core.NewController(fab, pol, cfg.coreOptions(cfg.Numeric))
 	return &Cluster{
 		Controller: ctl,
 		Context:    polyglot.NewGroutContext(ctl),
@@ -174,13 +211,18 @@ func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
 		return nil, err
 	}
 	fab, err := transport.DialWith(workerAddrs, transport.DialOptions{
-		Wire:       wire,
-		ChunkBytes: cfg.ChunkBytes,
+		Wire:          wire,
+		ChunkBytes:    cfg.ChunkBytes,
+		DialTimeout:   cfg.DialTimeout,
+		CallTimeout:   cfg.CallTimeout,
+		ChunkTimeout:  cfg.ChunkTimeout,
+		RetryAttempts: cfg.RetryAttempts,
+		RetryBackoff:  cfg.RetryBackoff,
 	})
 	if err != nil {
 		return nil, err
 	}
-	ctl := core.NewController(fab, pol, core.Options{Numeric: true, Pipeline: cfg.Pipeline})
+	ctl := core.NewController(fab, pol, cfg.coreOptions(true))
 	return &Remote{
 		Controller: ctl,
 		Context:    polyglot.NewGroutContext(ctl),

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestRecoveryOverhead pins the measurement's contract: the faulted run
+// recovers, and the recovered values are bit-identical to the clean run
+// (RecoveryOverhead errors on any mismatch).
+func TestRecoveryOverhead(t *testing.T) {
+	rep, err := RecoveryOverhead(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failovers < 1 || rep.Recoveries < 1 {
+		t.Fatalf("report = %+v, want at least one failover and recovery", rep)
+	}
+	if rep.RecoveryTime <= 0 {
+		t.Fatalf("recovery time %v, want > 0", rep.RecoveryTime)
+	}
+}
+
+// BenchmarkRecovery feeds bench.sh's recovery-overhead row: the same
+// axpy chain clean vs with a mid-stream chaos kill (failover + lineage
+// replay included in the op).
+func BenchmarkRecovery(b *testing.B) {
+	const ces = 64
+	for _, tc := range []struct {
+		name   string
+		killAt int
+	}{
+		{"clean", 0},
+		{"chaos-kill", (ces + 4) / 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := recoveryRun(ces, tc.killAt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -39,6 +40,14 @@ type GlobalArray struct {
 	mask []bool
 	// gen invalidates est: it advances whenever member changes.
 	gen uint64
+	// ver is the array's write version on the scheduler's timeline: it
+	// advances when a writing CE is admitted (and on HostWrite). cver is
+	// the committed version — the version whose locations upToDate
+	// records — advancing as writers actually dispatch. Writers of one
+	// array are DAG-ordered, so cver trails ver by exactly the in-flight
+	// writes. Version 0 is the NewArray state (controller-resident).
+	// Lineage recovery (lineage.go) keys producer records by version.
+	ver, cver uint64
 	// est caches the per-worker best-source transfer estimates the
 	// informed policies consult, indexed by NodeID. The vector is valid
 	// while estAgen/estDgen match the array's location generation and
@@ -113,8 +122,14 @@ type Options struct {
 	// Failover makes the Controller survive worker failures: a CE whose
 	// worker errors is marked against that worker and rescheduled on the
 	// survivors, re-shipping inputs from a live source. Arrays whose only
-	// valid copy died surface a data-loss error instead.
+	// valid copy died are recomputed from lineage — the recorded producer
+	// chain re-executes on the survivors (lineage.go) — and only surface
+	// ErrDataLost when the chain bottoms out in an unrecoverable root.
 	Failover bool
+	// Retry bounds in-place retries of transient dispatch failures
+	// (timeouts, severed connections) before the failover machinery
+	// writes the worker off. The zero value disables retries.
+	Retry RetryPolicy
 	// Pipeline decouples the timed scheduling section from data movement
 	// and launch: Submit admits CEs while per-worker dispatch goroutines
 	// issue transfers and launches in the background. Virtual-time
@@ -133,6 +148,46 @@ type Options struct {
 	DisableTraces bool
 }
 
+// RetryPolicy shapes transient-failure retries: capped exponential
+// backoff with optional deterministic jitter.
+type RetryPolicy struct {
+	// Attempts is how many times a transiently failing operation retries
+	// in place before failover takes over (0 disables retries).
+	Attempts int
+	// Backoff is the first retry's delay; each further retry doubles it.
+	// Defaults to 50ms when Attempts > 0.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+	// Jitter subtracts a random fraction of up to Jitter (in [0,1)) from
+	// each delay, decorrelating retry storms across dispatchers.
+	Jitter float64
+	// Seed makes the jitter deterministic; 0 means seed 1.
+	Seed int64
+}
+
+// delay computes the backoff before retry attempt n (1-based).
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		d -= time.Duration(float64(d) * p.Jitter * rng.Float64())
+	}
+	return d
+}
+
 // Controller is GrOUT's front end: the component user programs talk to.
 // Scheduling methods (Submit, Launch, HostRead, HostWrite, NewArray) must
 // be called from one goroutine; with Options.Pipeline the dispatch stage
@@ -147,6 +202,19 @@ type Controller struct {
 	graph   *dag.Graph
 	arrays  map[dag.ArrayID]*GlobalArray
 	nextArr dag.ArrayID
+
+	// lineage maps (array, version) to the producer record that can
+	// recompute it (failover mode only; see lineage.go). Guarded by mu.
+	lineage map[lineageKey]*producerRec
+	// recMu serializes recoveries: concurrent dispatchers hitting the
+	// same loss queue here, and the second one finds the data restored.
+	recMu sync.Mutex
+
+	// retry is the transient-failure retry policy; retryRng jitters its
+	// backoff deterministically (guarded by retryMu).
+	retry    RetryPolicy
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 
 	// mu guards the dispatch-shared state below (ceEnd, array registry
 	// times, totals, traces, dead set, policy). cond is broadcast
@@ -187,6 +255,10 @@ type Controller struct {
 	schedTime  time.Duration
 	schedCEs   int
 	failovers  int
+	// recoveries counts arrays recomputed from lineage; recoveryTime is
+	// the wall clock spent doing it (the groutbench recovery column).
+	recoveries   int
+	recoveryTime time.Duration
 }
 
 // NewController builds a controller over a fabric with an inter-node
@@ -209,6 +281,17 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 		dead:     make(map[cluster.NodeID]bool),
 		deadGen:  1,
 		noTrace:  opts.DisableTraces,
+		retry:    opts.Retry,
+	}
+	if opts.Failover {
+		c.lineage = make(map[lineageKey]*producerRec)
+	}
+	if opts.Retry.Jitter > 0 {
+		seed := opts.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.retryRng = rand.New(rand.NewSource(seed))
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.TraceCapacity > 0 && !opts.DisableTraces {
@@ -279,7 +362,27 @@ func (c *Controller) markDead(w cluster.NodeID) {
 }
 
 // Failovers reports how many workers the controller has written off.
-func (c *Controller) Failovers() int { return c.failovers }
+// markDead mutates the counter under mu from dispatcher goroutines, so
+// the read takes the lock too.
+func (c *Controller) Failovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
+}
+
+// Recoveries reports how many arrays lineage recovery has recomputed.
+func (c *Controller) Recoveries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveries
+}
+
+// RecoveryTime reports the wall clock spent in lineage recovery.
+func (c *Controller) RecoveryTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveryTime
+}
 
 // DeadWorkers lists written-off workers.
 func (c *Controller) DeadWorkers() []cluster.NodeID {
@@ -462,7 +565,12 @@ type scheduled struct {
 	// when this CE was admitted — the dispatch stage waits for that copy
 	// instead of issuing a redundant move.
 	upAtSched []bool
-	schedDur  time.Duration
+	// outVers[j] is the version recordLineage assigned to the j-th
+	// written array argument; commit publishes these as cver so aborted
+	// CEs (which bump ver but never commit) cannot desynchronize the
+	// committed version from the lineage index.
+	outVers  []uint64
+	schedDur time.Duration
 }
 
 // validate checks an invocation against the kernel registry and returns
@@ -528,6 +636,7 @@ func (c *Controller) schedule(inv Invocation, accs []memmodel.Access, s *schedul
 	target := c.pol.Assign(req)
 
 	s.ce, s.ancestors, s.inv, s.accs, s.target = ce, ancestors, inv, accs, target
+	c.recordLineage(s)
 	c.predictMembership(s)
 
 	s.schedDur = time.Since(schedStart)
@@ -676,6 +785,7 @@ func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
 	var end, ready sim.VirtualTime
 	var moved memmodel.Bytes
 	var p2p int
+	retries, recoveries := 0, 0
 	for {
 		// A job scheduled before a failover may carry a target that has
 		// since been written off; reassign before touching the fabric.
@@ -702,7 +812,33 @@ func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
 		if err == nil {
 			break
 		}
-		if !c.failover || errorIsDataLoss(err) {
+		// Transient failures (timeouts, severed connections) retry in
+		// place with capped backoff before anyone is written off: a
+		// momentary stall should not cost a worker its replicas.
+		if retries < c.retry.Attempts && IsTransient(err) {
+			retries++
+			time.Sleep(c.retryDelay(retries))
+			firstTry = false
+			continue
+		}
+		if errorIsDataLoss(err) {
+			// Every live copy of an input died. Re-execute its recorded
+			// producer chain on the survivors (lineage.go), then retry
+			// the dispatch against the recovered registry. Bounded, in
+			// case the recovery target itself keeps dying.
+			if c.failover && recoveries < maxRecoveryRounds {
+				recoveries++
+				if rerr := c.recoverLoss(err); rerr == nil {
+					firstTry = false
+					continue
+				} else {
+					err = rerr
+				}
+			}
+			c.commitError(s, err)
+			return 0, err
+		}
+		if !c.failover {
 			c.commitError(s, err)
 			return 0, err
 		}
@@ -740,12 +876,24 @@ func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
 	return end, nil
 }
 
+// maxRecoveryRounds bounds lineage-recovery attempts per dispatched CE:
+// each round can only fail by losing another worker mid-recovery.
+const maxRecoveryRounds = 3
+
+// retryDelay computes the n-th retry's backoff under the jitter lock.
+func (c *Controller) retryDelay(n int) time.Duration {
+	c.retryMu.Lock()
+	defer c.retryMu.Unlock()
+	return c.retry.delay(n, c.retryRng)
+}
+
 // commit publishes a dispatched CE's results under mu.
 func (c *Controller) commit(s *scheduled, target cluster.NodeID, ready, end sim.VirtualTime, moved memmodel.Bytes, p2p int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	// Update the data-location registry.
+	outIdx := 0
 	for i, a := range s.inv.Args {
 		if !a.IsArray {
 			continue
@@ -761,6 +909,16 @@ func (c *Controller) commit(s *scheduled, target cluster.NodeID, ready, end sim.
 			// keep dispatch correct regardless.)
 			clear(arr.upToDate)
 			arr.upToDate[target] = end
+			// The registry now describes the version recordLineage
+			// assigned this CE at admission. Writers of one array commit
+			// in submission order (WAW dependencies serialize their
+			// dispatch), so cver moves monotonically — but via the
+			// recorded value, not an increment, because an aborted writer
+			// consumes a version number without ever committing it.
+			if outIdx < len(s.outVers) {
+				arr.cver = s.outVers[outIdx]
+			}
+			outIdx++
 		} else {
 			c.registerCopy(arr, target, end, false)
 		}
@@ -896,8 +1054,9 @@ func (c *Controller) ensureArgs(target cluster.NodeID, s *scheduled, usePredicti
 
 		c.mu.Lock()
 		if len(arr.upToDate) == 0 {
+			err := c.lossError(a.Array)
 			c.mu.Unlock()
-			return 0, 0, 0, &errDataLoss{id: a.Array}
+			return 0, 0, 0, err
 		}
 		src := c.bestSource(arr, target)
 		srcReady := arr.upToDate[src]
@@ -927,12 +1086,32 @@ func (c *Controller) ensureArgs(target cluster.NodeID, s *scheduled, usePredicti
 	return ready, moved, p2p, nil
 }
 
-// errDataLoss marks errors no failover can fix: the only valid copy of an
-// array died with its worker.
-type errDataLoss struct{ id dag.ArrayID }
+// errDataLoss marks a lost array: the only valid copy died with its
+// worker. With failover the dispatcher tries lineage recovery first; the
+// error is terminal only when the producer chain cannot be replayed.
+type errDataLoss struct {
+	id dag.ArrayID
+	// lastCE is the CE that last wrote the array per the Global DAG's
+	// lineage index (0 when the array was never kernel-written) — it
+	// names the producer a recovery would have had to replay.
+	lastCE dag.CEID
+}
 
 func (e *errDataLoss) Error() string {
+	if e.lastCE != 0 {
+		return fmt.Sprintf("core: array %d lost: its only valid copy was on a failed worker (last written by CE %d)", e.id, e.lastCE)
+	}
 	return fmt.Sprintf("core: array %d lost: its only valid copy was on a failed worker", e.id)
+}
+
+// lossError builds the data-loss error for an array, annotated with the
+// DAG's last-writer lineage hook.
+func (c *Controller) lossError(id dag.ArrayID) error {
+	e := &errDataLoss{id: id}
+	if w := c.graph.LastWriter(id); w != nil {
+		e.lastCE = w.ID
+	}
+	return e
 }
 
 // Unwrap surfaces the ErrDataLost sentinel so callers can errors.Is on it.
@@ -1057,7 +1236,14 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 	end := depReady
 	if _, up := arr.upToDate[cluster.ControllerID]; !up {
 		if len(arr.upToDate) == 0 {
-			return 0, &errDataLoss{id: id}
+			// Every live copy died with its worker. Recompute the array
+			// from its recorded lineage before giving up on the read.
+			if !c.failover {
+				return 0, c.lossError(id)
+			}
+			if rerr := c.recoverArrays([]dag.ArrayID{id}); rerr != nil {
+				return 0, rerr
+			}
 		}
 		src := c.bestSource(arr, cluster.ControllerID)
 		arrival, err := c.fabric.MoveArray(id, src, cluster.ControllerID,
@@ -1116,6 +1302,12 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 	arr.member[cluster.ControllerID] = struct{}{}
 	arr.maskSet(cluster.ControllerID)
 	arr.gen++
+	// A host write starts a new root version: host data has no producer
+	// record, but while it is current the controller always holds it, so
+	// lineage chains reaching it recover by re-shipping, not recompute.
+	// (The pipeline is drained, so ver and cver advance in lockstep.)
+	arr.ver++
+	arr.cver = arr.ver
 	c.ceEnd[ce.ID] = depReady
 	if depReady > c.elapsed {
 		c.elapsed = depReady

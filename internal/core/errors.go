@@ -21,6 +21,23 @@ var (
 	// ErrOOM: the node could not allocate host memory for an array.
 	ErrOOM = errors.New("out of memory")
 	// ErrDataLost: the only valid copy of an array died with a failed
-	// worker; no failover can recover it.
+	// worker and lineage recovery could not recompute it.
 	ErrDataLost = errors.New("array data lost")
+	// ErrTimeout: an operation exceeded its deadline (a framed call's
+	// read/write deadline, a bulk chunk's progress deadline, or a chaos
+	// fabric's modeled RPC deadline). Timeouts are transient: the
+	// Controller retries them with backoff before writing a worker off.
+	ErrTimeout = errors.New("operation timed out")
+	// ErrTransient: a failure worth retrying before failover — a dial
+	// refusal, a severed connection, an injected chaos fault. Transports
+	// wrap connection-level errors with it so the Controller can
+	// distinguish them from remote execution errors (bad kernel, OOM),
+	// which retrying cannot fix.
+	ErrTransient = errors.New("transient transport failure")
 )
+
+// IsTransient reports whether err is worth retrying in place: a timeout
+// or a connection-level failure, as opposed to a remote execution error.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTimeout)
+}

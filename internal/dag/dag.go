@@ -159,6 +159,16 @@ func (g *Graph) Edges() int { return g.edges }
 // Vertex returns the vertex for a CE ID, or nil.
 func (g *Graph) Vertex(id CEID) *Vertex { return g.vertices[id] }
 
+// LastWriter returns the CE that most recently wrote the array, or nil if
+// nothing in the graph has written it. Failover uses it to name the
+// producer of lost data in diagnostics.
+func (g *Graph) LastWriter(id ArrayID) *CE {
+	if st := g.arrays[id]; st != nil && st.lastWriter != nil {
+		return st.lastWriter.CE
+	}
+	return nil
+}
+
 // NewCE allocates a CE with the next submission ID. The CE is not yet in
 // the graph; pass it to Add.
 func (g *Graph) NewCE(label string, accesses []Access, payload any) *CE {

@@ -263,3 +263,25 @@ func TestDOTOutput(t *testing.T) {
 	_ = a
 	_ = b
 }
+
+func TestLastWriter(t *testing.T) {
+	g := New()
+	if g.LastWriter(1) != nil {
+		t.Fatal("LastWriter on empty graph should be nil")
+	}
+	first, _ := add(g, "init", wr(1))
+	if got := g.LastWriter(1); got == nil || got.ID != first.ID {
+		t.Fatalf("LastWriter = %v, want CE %d", got, first.ID)
+	}
+	add(g, "read", rd(1))
+	if got := g.LastWriter(1); got == nil || got.ID != first.ID {
+		t.Fatalf("LastWriter after read = %v, want CE %d unchanged", got, first.ID)
+	}
+	second, _ := add(g, "mutate", rw(1))
+	if got := g.LastWriter(1); got == nil || got.ID != second.ID {
+		t.Fatalf("LastWriter after rw = %v, want CE %d", got, second.ID)
+	}
+	if g.LastWriter(2) != nil {
+		t.Fatal("LastWriter of untouched array should be nil")
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"grout/internal/cluster"
@@ -45,13 +46,35 @@ func (w Wire) String() string {
 	return "framed"
 }
 
-// DialOptions tune a TCP fabric.
+// DialOptions tune a TCP fabric. For the three timeouts, zero selects the
+// package default and a negative value disables the deadline entirely —
+// so a zero-valued DialOptions behaves safely out of the box.
 type DialOptions struct {
 	// Wire selects the protocol (default WireFramed).
 	Wire Wire
 	// ChunkBytes is the bulk-transfer chunk size (default
 	// DefaultChunkBytes; clamped to [4 KiB, 64 MiB) and 8-byte aligned).
 	ChunkBytes int
+	// DialTimeout bounds connection establishment on both wires (default
+	// DefaultDialTimeout — previously the gob path hard-coded 5 s and the
+	// framed path had none).
+	DialTimeout time.Duration
+	// CallTimeout bounds one control round trip — ping, launch, ensure,
+	// build, free (default DefaultCallTimeout). A worker that accepts TCP
+	// but never answers surfaces as core.ErrTimeout instead of a hang.
+	CallTimeout time.Duration
+	// ChunkTimeout bounds *progress* on incoming bulk data: each chunk of
+	// a fetch must arrive within the window (default DefaultChunkTimeout).
+	// Total transfer time stays unbounded.
+	ChunkTimeout time.Duration
+	// RetryAttempts, when > 0, lets the fabric redial a worker whose
+	// connections broke (a transient network drop, not a dead process):
+	// an operation that finds its link broken re-establishes it up to
+	// this many times before reporting the failure.
+	RetryAttempts int
+	// RetryBackoff is the base delay between redial attempts, doubling up
+	// to 8x with each failure (default 100ms).
+	RetryBackoff time.Duration
 }
 
 // link is one worker's connection set: either a framed control+bulk pair
@@ -68,6 +91,15 @@ func (l *link) call(req *Request) (*Response, error) {
 		return l.gob.call(req)
 	}
 	return l.ctrl.call(req)
+}
+
+// broken reports whether either framed channel recorded a fatal error (the
+// gob wire tracks none; it never reports broken).
+func (l *link) broken() bool {
+	if l.gob != nil {
+		return false
+	}
+	return l.ctrl.fc.brokenErr() != nil || l.bulk.broken() != nil
 }
 
 func (l *link) close() error {
@@ -89,11 +121,20 @@ func (l *link) close() error {
 // different arrays run concurrently (the core.Fabric concurrent-bulk
 // contract). Returned times are wall-clock nanoseconds since Dial.
 type TCPFabric struct {
-	addrs   []string
+	addrs []string
+	// lmu guards links: redial (RetryAttempts > 0) replaces entries at
+	// runtime while concurrent dispatchers read them.
+	lmu     sync.RWMutex
 	links   map[cluster.NodeID]*link
 	started time.Time
 	wire    Wire
 	chunk   int
+	// Resolved timeouts/retry policy (see DialOptions).
+	dialTimeout  time.Duration
+	callTimeout  time.Duration
+	chunkTimeout time.Duration
+	retries      int
+	backoff      time.Duration
 	// AssumedBandwidth (bytes/s) feeds EstimateTransfer for
 	// min-transfer-time scheduling; defaults to the paper's 500 MB/s
 	// worker NICs.
@@ -111,12 +152,21 @@ func DialWith(addrs []string, opts DialOptions) (*TCPFabric, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("transport: no worker addresses")
 	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
 	f := &TCPFabric{
 		addrs:            addrs,
 		links:            make(map[cluster.NodeID]*link),
 		started:          time.Now(),
 		wire:             opts.Wire,
 		chunk:            normalizeChunk(opts.ChunkBytes),
+		dialTimeout:      pickTimeout(opts.DialTimeout, DefaultDialTimeout),
+		callTimeout:      pickTimeout(opts.CallTimeout, DefaultCallTimeout),
+		chunkTimeout:     pickTimeout(opts.ChunkTimeout, DefaultChunkTimeout),
+		retries:          opts.RetryAttempts,
+		backoff:          backoff,
 		AssumedBandwidth: 500e6,
 	}
 	for i, addr := range addrs {
@@ -130,30 +180,45 @@ func DialWith(addrs []string, opts DialOptions) (*TCPFabric, error) {
 	return f, nil
 }
 
-// dialWorker opens one worker's connection set and pings it.
+// dialWorker opens one worker's connection set and pings it. Both wires
+// share the fabric's dial timeout (the gob path's former hard-coded 5 s).
 func (f *TCPFabric) dialWorker(addr string) (*link, error) {
 	if f.wire == WireGob {
-		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
-			return nil, fmt.Errorf("dial: %w", err)
+		var raw net.Conn
+		var err error
+		if f.dialTimeout > 0 {
+			raw, err = net.DialTimeout("tcp", addr, f.dialTimeout)
+		} else {
+			raw, err = net.Dial("tcp", addr)
 		}
-		l := &link{gob: newConn(raw)}
+		if err != nil {
+			return nil, fmt.Errorf("dial: %w", wrapNetErr(err))
+		}
+		c := newConn(raw)
+		c.timeout = f.callTimeout
+		l := &link{gob: c}
 		if _, err := l.call(&Request{Kind: MsgPing}); err != nil {
 			_ = l.close()
 			return nil, fmt.Errorf("ping: %w", err)
 		}
 		return l, nil
 	}
-	ctrlFC, err := dialFramed(addr, helloControl)
+	ctrlFC, err := dialFramed(addr, helloControl, f.dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	bulkFC, err := dialFramed(addr, helloBulk)
+	bulkFC, err := dialFramed(addr, helloBulk, f.dialTimeout)
 	if err != nil {
 		_ = ctrlFC.close()
 		return nil, err
 	}
-	l := &link{ctrl: newCtrlConn(ctrlFC), bulk: newBulkClient(bulkFC, f.chunk)}
+	ctrlFC.writeTimeout = f.callTimeout
+	bulkFC.writeTimeout = f.chunkTimeout
+	cc := newCtrlConn(ctrlFC)
+	cc.timeout = f.callTimeout
+	bc := newBulkClient(bulkFC, f.chunk)
+	bc.chunkTimeout = f.chunkTimeout
+	l := &link{ctrl: cc, bulk: bc}
 	if _, err := l.call(&Request{Kind: MsgPing}); err != nil {
 		_ = l.close()
 		return nil, fmt.Errorf("ping: %w", err)
@@ -166,19 +231,28 @@ func (f *TCPFabric) Wire() Wire { return f.wire }
 
 // Close closes all worker connections.
 func (f *TCPFabric) Close() error {
+	f.lmu.Lock()
+	links := f.links
+	f.links = make(map[cluster.NodeID]*link)
+	f.lmu.Unlock()
 	var firstErr error
-	for _, l := range f.links {
+	for _, l := range links {
 		if err := l.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	f.links = make(map[cluster.NodeID]*link)
 	return firstErr
 }
 
 // Shutdown asks every worker process to exit, then closes connections.
 func (f *TCPFabric) Shutdown() error {
+	f.lmu.RLock()
+	links := make([]*link, 0, len(f.links))
 	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.lmu.RUnlock()
+	for _, l := range links {
 		_, _ = l.call(&Request{Kind: MsgShutdown})
 	}
 	return f.Close()
@@ -190,11 +264,61 @@ func (f *TCPFabric) now() sim.VirtualTime {
 }
 
 func (f *TCPFabric) worker(w cluster.NodeID) (*link, error) {
+	f.lmu.RLock()
 	l, ok := f.links[w]
+	f.lmu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown worker %v", w)
 	}
-	return l, nil
+	if f.retries <= 0 || !l.broken() {
+		return l, nil
+	}
+	return f.redial(w, l)
+}
+
+// redial replaces a broken link with a fresh connection set, retrying with
+// capped exponential backoff. Concurrent dispatchers race here benignly:
+// the first to swap in a healthy link wins, the rest adopt it. A worker
+// process that actually died keeps refusing and the error propagates into
+// the Controller's failover instead.
+func (f *TCPFabric) redial(w cluster.NodeID, stale *link) (*link, error) {
+	addr := f.addrs[w-1]
+	var lastErr error
+	delay := f.backoff
+	for attempt := 0; attempt < f.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			if delay < 8*f.backoff {
+				delay *= 2
+			}
+		}
+		f.lmu.RLock()
+		cur := f.links[w]
+		f.lmu.RUnlock()
+		if cur != nil && cur != stale && !cur.broken() {
+			return cur, nil // another caller already reconnected
+		}
+		nl, err := f.dialWorker(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f.lmu.Lock()
+		cur = f.links[w]
+		if cur != nil && cur != stale && !cur.broken() {
+			f.lmu.Unlock()
+			_ = nl.close()
+			return cur, nil
+		}
+		f.links[w] = nl
+		f.lmu.Unlock()
+		if cur != nil {
+			_ = cur.close()
+		}
+		return nl, nil
+	}
+	return nil, fmt.Errorf("transport: worker %v unreachable after %d redial attempts: %w",
+		w, f.retries, lastErr)
 }
 
 // Workers implements core.Fabric.

@@ -22,10 +22,14 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"grout/internal/core"
 )
 
 // helloMagic opens every framed connection. The first byte (0x47, "G")
@@ -63,6 +67,55 @@ const chunkOffsetLen = 8
 // large enough to amortize per-frame overhead to <0.01% and small enough
 // that interleaved transfers get scheduled fairly.
 const DefaultChunkBytes = 256 << 10
+
+// Default deadlines. A worker that accepts TCP but never replies must not
+// stall the controller forever; these bound every phase of a conversation
+// while staying far above any legitimate latency. All are configurable
+// (DialOptions / ServerOptions); negative disables.
+const (
+	// DefaultDialTimeout bounds connection establishment (both wires; the
+	// gob path's old hard-coded 5 s now comes from here too).
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultCallTimeout bounds one control round trip (ping, launch,
+	// build, ensure, free).
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultChunkTimeout bounds *progress* on a bulk transfer: each
+	// chunk (or the final response) must arrive within this window, so a
+	// multi-GiB transfer gets unlimited total time while a wedged peer is
+	// detected in one window.
+	DefaultChunkTimeout = 30 * time.Second
+)
+
+// pickTimeout resolves a configured timeout: zero means the default,
+// negative disables (returns 0).
+func pickTimeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
+}
+
+// wrapNetErr classifies a connection-level failure for the Controller's
+// retry logic: deadline expiries become core.ErrTimeout, everything else
+// (resets, refusals, EOF from a dying peer) core.ErrTransient. Remote
+// *execution* errors never pass through here — they arrive as clean
+// Responses and must not look retryable.
+func wrapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrTransient) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", core.ErrTimeout, err)
+	}
+	return fmt.Errorf("%w: %v", core.ErrTransient, err)
+}
 
 // normalizeChunk clamps a configured chunk size to a sane, 8-byte-aligned
 // value (alignment keeps chunk boundaries on element boundaries for every
@@ -111,6 +164,12 @@ type framedConn struct {
 	// locals passed to io.ReadFull escape — one heap allocation per frame.
 	rbuf [frameHeaderLen]byte
 
+	// writeTimeout, when > 0, arms a write deadline before every frame so
+	// a peer that stops draining its socket cannot block a sender
+	// forever. Read deadlines are the reader's business: the control
+	// channel arms per round trip, the bulk channel per progress window.
+	writeTimeout time.Duration
+
 	cmu    sync.Mutex
 	closed bool
 	broken error // first fatal I/O error; the channel is dead after it
@@ -126,20 +185,55 @@ func newFramedConn(raw net.Conn, r *bufio.Reader) *framedConn {
 	return &framedConn{raw: raw, r: r, w: raw}
 }
 
-// dialFramed opens a framed channel of the given kind to addr.
-func dialFramed(addr string, channel byte) (*framedConn, error) {
-	raw, err := net.Dial("tcp", addr)
+// dialFramed opens a framed channel of the given kind to addr. A positive
+// timeout bounds both the TCP connect and the hello write; zero dials
+// without a deadline (tests and legacy callers).
+func dialFramed(addr string, channel byte, timeout time.Duration) (*framedConn, error) {
+	var raw net.Conn
+	var err error
+	if timeout > 0 {
+		raw, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		raw, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, wrapNetErr(err))
+	}
+	if timeout > 0 {
+		_ = raw.SetWriteDeadline(time.Now().Add(timeout))
 	}
 	var hello [helloLen]byte
 	copy(hello[:], helloMagic)
 	hello[4] = channel
 	if _, err := raw.Write(hello[:]); err != nil {
 		_ = raw.Close()
-		return nil, fmt.Errorf("transport: hello to %s: %w", addr, err)
+		return nil, fmt.Errorf("transport: hello to %s: %w", addr, wrapNetErr(err))
+	}
+	if timeout > 0 {
+		_ = raw.SetWriteDeadline(time.Time{})
 	}
 	return newFramedConn(raw, nil), nil
+}
+
+// armRead sets the connection's read deadline d from now, or clears it
+// when d is zero. Safe to call while another goroutine is blocked in a
+// read — the runtime applies the new deadline to the in-flight read,
+// which is exactly what lets the control channel bound an already-pending
+// await.
+func (c *framedConn) armRead(d time.Duration) {
+	if d > 0 {
+		_ = c.raw.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = c.raw.SetReadDeadline(time.Time{})
+	}
+}
+
+// armWrite arms the per-frame write deadline, if configured. Callers hold
+// wmu.
+func (c *framedConn) armWrite() {
+	if c.writeTimeout > 0 {
+		_ = c.raw.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 }
 
 // fail records the first fatal error and tears the connection down so the
@@ -190,8 +284,9 @@ func (c *framedConn) writeFrame(ftype byte, reqID uint64, p []byte) error {
 	binary.LittleEndian.PutUint32(hdr, uint32(len(p)))
 	hdr[4] = ftype
 	binary.LittleEndian.PutUint64(hdr[5:], reqID)
+	c.armWrite()
 	if err := c.writev(hdr, p); err != nil {
-		return c.fail(fmt.Errorf("transport: write frame: %w", err))
+		return c.fail(fmt.Errorf("transport: write frame: %w", wrapNetErr(err)))
 	}
 	return nil
 }
@@ -222,8 +317,9 @@ func (c *framedConn) writeChunk(reqID, off uint64, data []byte) error {
 	hdr[4] = frameChunk
 	binary.LittleEndian.PutUint64(hdr[5:], reqID)
 	binary.LittleEndian.PutUint64(hdr[frameHeaderLen:], off)
+	c.armWrite()
 	if err := c.writev(hdr, data); err != nil {
-		return c.fail(fmt.Errorf("transport: write chunk: %w", err))
+		return c.fail(fmt.Errorf("transport: write chunk: %w", wrapNetErr(err)))
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"grout/internal/core"
 	"grout/internal/dag"
@@ -107,6 +108,12 @@ const (
 	CodeKernelCompile
 	// CodeOOM maps to core.ErrOOM.
 	CodeOOM
+	// CodeTimeout maps to core.ErrTimeout (e.g. a worker's P2P push hit
+	// its peer deadline); the controller may retry it.
+	CodeTimeout
+	// CodeTransient maps to core.ErrTransient (e.g. a worker's P2P dial
+	// was refused mid-restart); the controller may retry it.
+	CodeTransient
 )
 
 // codeFor classifies an error for the wire.
@@ -120,6 +127,10 @@ func codeFor(err error) ErrCode {
 		return CodeKernelCompile
 	case errors.Is(err, core.ErrOOM), errors.Is(err, gpusim.ErrHostMemoryExhausted):
 		return CodeOOM
+	case errors.Is(err, core.ErrTimeout):
+		return CodeTimeout
+	case errors.Is(err, core.ErrTransient):
+		return CodeTransient
 	default:
 		return CodeGeneric
 	}
@@ -134,6 +145,10 @@ func (c ErrCode) sentinel() error {
 		return core.ErrKernelCompile
 	case CodeOOM:
 		return core.ErrOOM
+	case CodeTimeout:
+		return core.ErrTimeout
+	case CodeTransient:
+		return core.ErrTransient
 	default:
 		return nil
 	}
@@ -182,6 +197,10 @@ type conn struct {
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// timeout, when > 0, bounds one call's full round trip via a
+	// connection deadline, so the legacy wire gets the same hung-worker
+	// protection as the framed one.
+	timeout time.Duration
 }
 
 func newConn(raw net.Conn) *conn {
@@ -227,12 +246,16 @@ func (c *conn) Close() error { return c.close() }
 func (c *conn) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		_ = c.raw.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
+	}
 	if err := c.send(req); err != nil {
-		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, err)
+		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, wrapNetErr(err))
 	}
 	resp, err := c.await()
 	if err != nil {
-		return nil, fmt.Errorf("transport: await %v: %w", req.Kind, err)
+		return nil, fmt.Errorf("transport: await %v: %w", req.Kind, wrapNetErr(err))
 	}
 	if err := resp.ok(); err != nil {
 		return nil, err
@@ -250,6 +273,10 @@ type ctrlConn struct {
 	mu  sync.Mutex
 	fc  *framedConn
 	seq uint64
+	// timeout, when > 0, bounds one round trip: armed as a read deadline
+	// before the await (writes carry the framedConn's own write
+	// deadline), cleared afterwards.
+	timeout time.Duration
 }
 
 func newCtrlConn(fc *framedConn) *ctrlConn { return &ctrlConn{fc: fc} }
@@ -265,9 +292,13 @@ func (c *ctrlConn) call(req *Request) (*Response, error) {
 	if err := c.fc.sendRequest(id, req); err != nil {
 		return nil, fmt.Errorf("transport: send %v: %w", req.Kind, err)
 	}
+	if c.timeout > 0 {
+		c.fc.armRead(c.timeout)
+		defer c.fc.armRead(0)
+	}
 	h, err := c.fc.readHeader()
 	if err != nil {
-		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, err))
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, wrapNetErr(err)))
 	}
 	if h.ftype != frameResponse || h.reqID != id {
 		// A control channel carries nothing else; anything different
@@ -277,7 +308,7 @@ func (c *ctrlConn) call(req *Request) (*Response, error) {
 	}
 	bp, err := c.fc.readPayload(h.n)
 	if err != nil {
-		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, err))
+		return nil, c.fc.fail(fmt.Errorf("transport: await %v: %w", req.Kind, wrapNetErr(err)))
 	}
 	resp, perr := parseResponse(*bp)
 	putFrameBuf(bp)
@@ -352,17 +383,42 @@ func (res bulkResult) consume() error {
 type bulkClient struct {
 	fc    *framedConn
 	chunk int
+	// chunkTimeout, when > 0, is the *progress* deadline for incoming
+	// data: while at least one pending has a destination buffer (a fetch
+	// expecting chunk frames), each read must complete within the window.
+	// It is never armed otherwise — a pushTo legitimately produces no
+	// frames for as long as the peer-to-peer transfer runs, and must not
+	// be mistaken for a hang.
+	chunkTimeout time.Duration
 
 	mu      sync.Mutex
 	seq     uint64
 	pending map[uint64]*bulkPending
-	dead    error
+	// fetchers counts pendings with a destination buffer; the read
+	// deadline is armed exactly while it is nonzero.
+	fetchers int
+	dead     error
 }
 
 func newBulkClient(fc *framedConn, chunk int) *bulkClient {
 	b := &bulkClient{fc: fc, chunk: normalizeChunk(chunk), pending: make(map[uint64]*bulkPending)}
 	go b.readLoop()
 	return b
+}
+
+// rearm points the read deadline at the current fetcher population:
+// armed while any fetch awaits chunks, cleared otherwise. Called with
+// b.mu held whenever fetchers changes, and by the read loop after every
+// frame (each arrival restarts the progress window).
+func (b *bulkClient) rearm() {
+	if b.chunkTimeout <= 0 {
+		return
+	}
+	if b.fetchers > 0 {
+		b.fc.armRead(b.chunkTimeout)
+	} else {
+		b.fc.armRead(0)
+	}
 }
 
 func (b *bulkClient) close() error { return b.fc.close() }
@@ -394,6 +450,10 @@ func (b *bulkClient) register(dst *kernels.Buffer) (uint64, *bulkPending, error)
 	b.seq++
 	b.pending[b.seq] = p
 	id := b.seq
+	if dst != nil {
+		b.fetchers++
+		b.rearm()
+	}
 	b.mu.Unlock()
 	return id, p, nil
 }
@@ -401,7 +461,15 @@ func (b *bulkClient) register(dst *kernels.Buffer) (uint64, *bulkPending, error)
 // release recycles a pending whose one result has been consumed.
 func (b *bulkClient) release(id uint64, p *bulkPending) {
 	b.mu.Lock()
-	delete(b.pending, id)
+	if _, still := b.pending[id]; still {
+		// Failed locally before the demux resolved it (send error): the
+		// fetcher accounting the demux would have done happens here.
+		delete(b.pending, id)
+		if p.dst != nil {
+			b.fetchers--
+			b.rearm()
+		}
+	}
 	b.mu.Unlock()
 	p.dst = nil
 	bulkPendingPool.Put(p)
@@ -417,6 +485,7 @@ func (b *bulkClient) failAll(err error) {
 	}
 	pend := b.pending
 	b.pending = make(map[uint64]*bulkPending)
+	b.fetchers = 0
 	b.mu.Unlock()
 	for _, p := range pend {
 		p.done <- bulkResult{err: err}
@@ -432,14 +501,14 @@ func (b *bulkClient) readLoop() {
 	for {
 		h, err := b.fc.readHeader()
 		if err != nil {
-			b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+			b.failAll(fmt.Errorf("transport: bulk channel: %w", wrapNetErr(err)))
 			return
 		}
 		switch h.ftype {
 		case frameResponse:
 			bp, err := b.fc.readPayload(h.n)
 			if err != nil {
-				b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+				b.failAll(fmt.Errorf("transport: bulk channel: %w", wrapNetErr(err)))
 				return
 			}
 			resp := getResponse()
@@ -453,6 +522,10 @@ func (b *bulkClient) readLoop() {
 			b.mu.Lock()
 			p := b.pending[h.reqID]
 			delete(b.pending, h.reqID)
+			if p != nil && p.dst != nil {
+				b.fetchers--
+			}
+			b.rearm()
 			b.mu.Unlock()
 			if p != nil {
 				p.done <- bulkResult{resp: resp}
@@ -462,9 +535,12 @@ func (b *bulkClient) readLoop() {
 			}
 		case frameChunk:
 			if err := b.readChunk(h); err != nil {
-				b.failAll(fmt.Errorf("transport: bulk channel: %w", err))
+				b.failAll(fmt.Errorf("transport: bulk channel: %w", wrapNetErr(err)))
 				return
 			}
+			b.mu.Lock()
+			b.rearm()
+			b.mu.Unlock()
 		default:
 			b.failAll(fmt.Errorf("transport: bulk channel: unexpected frame type %d", h.ftype))
 			return

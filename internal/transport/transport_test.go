@@ -445,16 +445,25 @@ func TestFailoverDataLoss(t *testing.T) {
 
 	const n = int64(64)
 	x, _ := ctl.NewArray(memmodel.Float32, n)
-	// fill writes x on worker 1: afterwards the ONLY valid copy is there.
-	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
-		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(7), core.ScalarRef(float64(n))}}); err != nil {
+	// Host-write x, then mutate it in place on worker 1: afterwards the
+	// ONLY valid copy of the committed version lives there, and its sole
+	// lineage input is the host version the write invalidated — lineage
+	// recovery has nothing replayable to rebuild from.
+	for i := 0; i < int(n); i++ {
+		x.Buf.Set(i, float64(-i))
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(core.Invocation{Kernel: "relu",
+		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := workers[0].Close(); err != nil {
 		t.Fatal(err)
 	}
 	// A reader cannot be salvaged: first failure marks worker 1 dead,
-	// and the reroute discovers the data is gone.
+	// and the reroute discovers the data is gone for good.
 	_, err = ctl.Launch(core.Invocation{Kernel: "relu",
 		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}})
 	if !errors.Is(err, core.ErrDataLost) {

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"grout/internal/core"
 	"grout/internal/gpusim"
@@ -32,6 +33,9 @@ type WorkerServer struct {
 	closed    bool
 	active    map[io.Closer]struct{}
 	pushChunk int
+	// P2P push deadlines (resolved from ServerOptions).
+	dialTimeout  time.Duration
+	chunkTimeout time.Duration
 }
 
 // ServerOptions tune a WorkerServer beyond the node spec.
@@ -39,6 +43,14 @@ type ServerOptions struct {
 	// ChunkBytes is the chunk size for outgoing bulk streams (P2P pushes
 	// and fetch responses). 0 means DefaultChunkBytes.
 	ChunkBytes int
+	// DialTimeout bounds the worker→worker dial a P2P push opens (zero
+	// means DefaultDialTimeout, negative disables) — previously this dial
+	// had no deadline, so a peer that died between the controller's
+	// command and the push hung the pushing worker.
+	DialTimeout time.Duration
+	// ChunkTimeout bounds each outgoing P2P chunk write (zero means
+	// DefaultChunkTimeout, negative disables).
+	ChunkTimeout time.Duration
 }
 
 // NewWorkerServer creates a worker over the given simulated node spec,
@@ -61,8 +73,10 @@ func NewWorkerServerOpts(addr string, spec gpusim.NodeSpec, logger *log.Logger, 
 		listener:  ln,
 		log:       logger,
 		done:      make(chan struct{}),
-		active:    make(map[io.Closer]struct{}),
-		pushChunk: normalizeChunk(opts.ChunkBytes),
+		active:       make(map[io.Closer]struct{}),
+		pushChunk:    normalizeChunk(opts.ChunkBytes),
+		dialTimeout:  pickTimeout(opts.DialTimeout, DefaultDialTimeout),
+		chunkTimeout: pickTimeout(opts.ChunkTimeout, DefaultChunkTimeout),
 	}
 	go w.acceptLoop()
 	return w, nil
@@ -513,10 +527,11 @@ func (w *WorkerServer) pushTo(req *Request) error {
 	meta := arr.ArrayMeta
 	w.mu.Unlock()
 
-	fc, err := dialFramed(req.PeerAddr, helloBulk)
+	fc, err := dialFramed(req.PeerAddr, helloBulk, w.dialTimeout)
 	if err != nil {
 		return fmt.Errorf("p2p dial %s: %w", req.PeerAddr, err)
 	}
+	fc.writeTimeout = w.chunkTimeout
 	bc := newBulkClient(fc, w.pushChunk)
 	defer bc.close()
 	return bc.receiveArray(req.ArrayID, meta, snap)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# bench.sh — run the controller/DAG, transport and kernel-engine
-# micro-benchmarks and emit BENCH_controller.json + BENCH_transport.json
-# + BENCH_kernels.json so future PRs can track the fast-path
-# trajectories against recorded baselines.
+# bench.sh — run the controller/DAG (including the failover/lineage
+# recovery-overhead pair), transport and kernel-engine micro-benchmarks
+# and emit BENCH_controller.json + BENCH_transport.json +
+# BENCH_kernels.json so future PRs can track the fast-path trajectories
+# against recorded baselines.
 #
 # Usage: ./scripts/bench.sh [benchtime]     (default 2s per benchmark)
 set -euo pipefail
@@ -21,6 +22,9 @@ go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput' \
 echo "== dag benchmarks"
 go test -run '^$' -bench 'BenchmarkDAGAdd' \
     -benchtime="$BENCHTIME" -benchmem ./internal/dag/ | tee -a "$RAW"
+echo "== recovery benchmarks (clean vs chaos-kill lineage replay)"
+go test -run '^$' -bench 'BenchmarkRecovery' \
+    -benchtime="$BENCHTIME" -benchmem ./internal/bench/ | tee -a "$RAW"
 
 # Parse `BenchmarkName/sub-N  iters  X ns/op  Y B/op  Z allocs/op` lines
 # into a JSON object keyed by the benchmark's sub-path.
@@ -68,6 +72,17 @@ for name, base in baseline.items():
     if cur and cur['ns_per_op'] > 0:
         doc.setdefault('speedup_vs_baseline', {})[name] = round(
             base['ns_per_op'] / cur['ns_per_op'], 2)
+
+# Recovery overhead: one 64-CE in-place chain per op, clean vs with a
+# mid-stream chaos kill that forces a failover + full lineage replay.
+rec_clean = current.get('Recovery/clean', {}).get('ns_per_op')
+rec_kill = current.get('Recovery/chaos-kill', {}).get('ns_per_op')
+if rec_clean and rec_kill:
+    doc['recovery_overhead'] = {
+        'clean_ns_per_run': rec_clean,
+        'chaos_kill_ns_per_run': rec_kill,
+        'overhead_pct': round(100 * (rec_kill - rec_clean) / rec_clean, 1),
+    }
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

@@ -11,7 +11,9 @@
 #      fast path, the framed-wire data plane — concurrent bulk
 #      streams, failover teardown — and the parallel kernel engine's
 #      block-partitioned executor + atomicAdd CAS loop run under the
-#      race detector)
+#      race detector; this sweep includes the chaos-fabric recovery
+#      suite, re-run explicitly in 4b so a rename can't silently drop
+#      it from the race gate)
 #   5. a short differential-fuzz budget: the slot-compiled kernel
 #      engine vs the tree-walking interpreter must stay bit-for-bit
 #      identical on generated kernels (10s; the corpus persists)
@@ -35,6 +37,10 @@ go test ./...
 echo "== go test -race (core, dag, transport, minicuda, kernels)"
 go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
     ./internal/minicuda/... ./internal/kernels/...
+
+echo "== go test -race chaos/recovery suite (lineage replay, deadlines, write-off)"
+go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
+    ./internal/core/ ./internal/transport/ ./internal/bench/
 
 echo "== differential fuzz (compiled engine vs interpreter, 10s)"
 go test -run FuzzDifferential -fuzz FuzzDifferential -fuzztime 10s \
