@@ -1,0 +1,122 @@
+// grout-gateway runs the multi-tenant session gateway: one controller
+// fleet shared by many concurrent client programs. Tenants connect with
+// grout.Dial (or internal/server.Dial) and get a private array
+// namespace, a weighted-fair share of the admission queue, and an
+// array-byte quota; /healthz and /metrics expose the gateway's
+// operational state.
+//
+// The fleet is either simulated in-process (-sim-workers, the default)
+// or real grout-worker processes (-workers addr,addr,...).
+//
+// Usage:
+//
+//	grout-gateway -listen :7080 -http :7081 -sim-workers 4 -policy round-robin
+//	grout-gateway -listen :7080 -workers w1:7070,w2:7070 -max-inflight 16
+//
+// Flag convention: 0 means the built-in default, negative disables.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"grout"
+	"grout/internal/core"
+	"grout/internal/memmodel"
+	"grout/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7080", "address to serve tenant sessions on")
+	httpAddr := flag.String("http", "", "address for /healthz and /metrics (empty disables)")
+	workers := flag.String("workers", "", "comma-separated grout-worker addresses (empty = simulated fleet)")
+	simWorkers := flag.Int("sim-workers", 4, "simulated workers when -workers is empty")
+	pol := flag.String("policy", "round-robin", "inter-node scheduling policy")
+	level := flag.String("level", "", "online policy exploration level: low, medium or high (empty = medium)")
+	maxInflight := flag.Int("max-inflight", 0, "per-session in-flight CE cap (0 = unlimited, negative = 1)")
+	quotaMiB := flag.Int("quota-mib", 0, "per-session array-byte quota in MiB (0 = unlimited)")
+	weight := flag.Int("weight", 1, "per-session weight in the round-robin drain")
+	queueDepth := flag.Int("queue-depth", 0, "per-session launch queue depth (0 = 64 default, negative = 1)")
+	failover := flag.Bool("failover", true, "survive worker failures via lineage recovery")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "grout-gateway: ", log.LstdFlags)
+	if *maxInflight < 0 {
+		*maxInflight = 1
+	}
+
+	cfg := grout.Config{
+		Policy:   *pol,
+		Level:    *level,
+		Numeric:  true,
+		Pipeline: true,
+		Failover: *failover,
+	}
+	var ctl *core.Controller
+	var cleanup func()
+	if *workers == "" {
+		if *simWorkers < 1 {
+			logger.Fatal("-sim-workers must be positive")
+		}
+		cfg.Workers = *simWorkers
+		clu, err := grout.NewSimulatedCluster(cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ctl = clu.Controller
+		cleanup = func() { _ = clu.Close() }
+		logger.Printf("simulated fleet of %d workers", *simWorkers)
+	} else {
+		addrs := strings.Split(*workers, ",")
+		r, err := grout.Connect(addrs, cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ctl = r.Controller
+		cleanup = func() { _ = r.Close() }
+		logger.Printf("connected to %d workers", len(addrs))
+	}
+
+	g, err := server.New(ctl, *listen, server.Options{
+		Limits: core.SessionLimits{
+			MaxInflightCEs: *maxInflight,
+			MaxArrayBytes:  memmodel.Bytes(*quotaMiB) * memmodel.MiB,
+			Weight:         *weight,
+		},
+		QueueDepth: *queueDepth,
+		Logger:     logger,
+	})
+	if err != nil {
+		cleanup()
+		logger.Fatal(err)
+	}
+	logger.Printf("serving tenant sessions on %s (policy %s)", g.Addr(), *pol)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: g.Handler()}
+		go func() {
+			logger.Printf("metrics on http://%s/metrics", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
+	if err := g.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	cleanup()
+}

@@ -34,6 +34,7 @@ import (
 	"grout/internal/kernels"
 	"grout/internal/policy"
 	"grout/internal/polyglot"
+	"grout/internal/server"
 	"grout/internal/transport"
 )
 
@@ -231,17 +232,46 @@ func Connect(workerAddrs []string, cfg Config) (*Remote, error) {
 }
 
 // Close releases the remote deployment's connections (draining the
-// dispatch pipeline first when one is running).
+// dispatch pipeline first when one is running). It is idempotent and
+// safe on a nil receiver, so `defer r.Close()` works even when Connect
+// failed and returned nil.
 func (r *Remote) Close() error {
-	err := r.Controller.Close()
-	if cerr := r.Fabric.Close(); err == nil {
-		err = cerr
+	if r == nil {
+		return nil
+	}
+	var err error
+	if r.Controller != nil {
+		err = r.Controller.Close()
+	}
+	if r.Fabric != nil {
+		if cerr := r.Fabric.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
 
 // Close drains and stops the controller's dispatch pipeline, if any.
-func (c *Cluster) Close() error { return c.Controller.Close() }
+// Idempotent and nil-receiver safe, like Remote.Close.
+func (c *Cluster) Close() error {
+	if c == nil || c.Controller == nil {
+		return nil
+	}
+	return c.Controller.Close()
+}
+
+// GatewayClient is one tenant session on a multi-tenant gateway
+// (cmd/grout-gateway). It implements the workloads.Session surface, so
+// programs written against it run unchanged in-process or remotely.
+type GatewayClient = server.Client
+
+// Dial opens a tenant session on the multi-tenant gateway at addr.
+// tenant labels the session in the gateway's /metrics; empty picks a
+// server-assigned name. Timeouts are the transport defaults; use
+// server.Dial directly to tune them.
+func Dial(addr, tenant string) (*GatewayClient, error) {
+	return server.Dial(addr, tenant, 0, 0)
+}
 
 // Policies lists the available inter-node policy names.
 func Policies() []string { return policy.Names() }

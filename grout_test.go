@@ -2,8 +2,12 @@ package grout
 
 import (
 	"testing"
+	"time"
 
+	"grout/internal/core"
 	"grout/internal/gpusim"
+	"grout/internal/memmodel"
+	"grout/internal/server"
 	"grout/internal/transport"
 )
 
@@ -117,5 +121,90 @@ func TestDefaultConfigDefaults(t *testing.T) {
 	}
 	if c.Controller.Policy().Name() != "vector-step" {
 		t.Fatalf("default policy = %s", c.Controller.Policy().Name())
+	}
+}
+
+// Close must be idempotent and safe after a failed Connect: callers
+// write `r, err := Connect(...); defer r.Close()` and only then check
+// err, so a nil receiver must not panic.
+func TestCloseIdempotentAndNilSafe(t *testing.T) {
+	r, err := Connect([]string{"127.0.0.1:1"}, Config{DialTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Connect to a dead port succeeded")
+	}
+	if cerr := r.Close(); cerr != nil {
+		t.Fatalf("Close after failed Connect: %v", cerr)
+	}
+	var nilRemote *Remote
+	if cerr := nilRemote.Close(); cerr != nil {
+		t.Fatalf("nil Remote Close: %v", cerr)
+	}
+	var nilCluster *Cluster
+	if cerr := nilCluster.Close(); cerr != nil {
+		t.Fatalf("nil Cluster Close: %v", cerr)
+	}
+	if cerr := (&Remote{}).Close(); cerr != nil {
+		t.Fatalf("zero Remote Close: %v", cerr)
+	}
+
+	c, err := NewSimulatedCluster(Config{Pipeline: true, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if cerr := c.Close(); cerr != nil {
+			t.Fatalf("Cluster Close #%d: %v", i+1, cerr)
+		}
+	}
+
+	w, err := transport.NewWorkerServer("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r2, err := Connect([]string{w.Addr()}, Config{Policy: "round-robin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if cerr := r2.Close(); cerr != nil {
+			t.Fatalf("Remote Close #%d: %v", i+1, cerr)
+		}
+	}
+}
+
+// Dial gives a workloads.Session view onto a multi-tenant gateway.
+func TestDialGateway(t *testing.T) {
+	c, err := NewSimulatedCluster(Config{Workers: 2, Policy: "round-robin", Numeric: true, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g, err := server.New(c.Controller, "127.0.0.1:0", server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sess, err := Dial(g.Addr(), "quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	id, err := sess.NewArray(memmodel.Float32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Buffer(id).Fill(-2)
+	if err := sess.HostWrite(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch("relu", 0, 0, core.ArrRef(id), core.ScalarRef(32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.HostRead(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Buffer(id).At(7); got != 0 {
+		t.Fatalf("relu result = %v, want 0", got)
 	}
 }

@@ -1,0 +1,105 @@
+package bench
+
+// Gateway tenant-scaling benchmark: N concurrent client sessions over
+// real loopback TCP against one shared 4-worker controller. ns/op is
+// the per-tenant per-launch cost (round trip + weighted admission);
+// the reported metrics add aggregate throughput (ce_per_s across all
+// tenants) and the worst per-tenant p99 admission wait (p99adm_us),
+// scraped from the gateway's session counters — the same numbers
+// /metrics exports. Cost-only controller: the point is the admission
+// path, not kernel arithmetic.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/server"
+)
+
+const gwBenchElems = int64(memmodel.MiB / 4)
+
+func gatewayBenchSystem(b *testing.B) (*server.Gateway, func()) {
+	b.Helper()
+	clu := cluster.New(cluster.PaperSpec(4))
+	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	ctl := core.NewController(fab, policy.NewRoundRobin(), core.Options{Pipeline: true})
+	g, err := server.New(ctl, "127.0.0.1:0", server.Options{
+		Limits: core.SessionLimits{MaxInflightCEs: 32},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, func() { g.Close(); ctl.Close() }
+}
+
+func BenchmarkGatewayTenants(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dx", tenants), func(b *testing.B) {
+			g, stop := gatewayBenchSystem(b)
+			defer stop()
+			clients := make([]*server.Client, tenants)
+			arrays := make([][]dag.ArrayID, tenants)
+			for k := range clients {
+				c, err := server.Dial(g.Addr(), fmt.Sprintf("t%02d", k), 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[k] = c
+				for a := 0; a < 4; a++ {
+					id, err := c.NewArray(memmodel.Float32, gwBenchElems)
+					if err != nil {
+						b.Fatal(err)
+					}
+					arrays[k] = append(arrays[k], id)
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, tenants)
+			for k, c := range clients {
+				wg.Add(1)
+				go func(k int, c *server.Client) {
+					defer wg.Done()
+					nArg := core.ScalarRef(float64(gwBenchElems))
+					for i := 0; i < b.N; i++ {
+						id := arrays[k][i%len(arrays[k])]
+						if err := c.Launch("relu", 1024, 256,
+							core.ArrRef(id), nArg); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- c.Sync()
+				}(k, c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			totalCEs := float64(tenants) * float64(b.N)
+			b.ReportMetric(totalCEs/elapsed.Seconds(), "ce_per_s")
+			var p99 time.Duration
+			for _, t := range g.Snapshot().Tenants {
+				if t.AdmissionWaitP99 > p99 {
+					p99 = t.AdmissionWaitP99
+				}
+			}
+			b.ReportMetric(float64(p99.Microseconds()), "p99adm_us")
+		})
+	}
+}

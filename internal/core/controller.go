@@ -48,6 +48,12 @@ type GlobalArray struct {
 	// writes. Version 0 is the NewArray state (controller-resident).
 	// Lineage recovery (lineage.go) keys producer records by version.
 	ver, cver uint64
+	// hostVer is the version Buf holds: workers mutate their own copies,
+	// so the controller's buffer keeps a host-written (or host-read)
+	// version's bytes even after in-place overwrites commit elsewhere.
+	// Lineage recovery re-ships it when a chain bottoms out there.
+	// Version 0 (the zeroed NewArray state) is the zero value.
+	hostVer uint64
 	// est caches the per-worker best-source transfer estimates the
 	// informed policies consult, indexed by NodeID. The vector is valid
 	// while estAgen/estDgen match the array's location generation and
@@ -189,9 +195,19 @@ func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
 }
 
 // Controller is GrOUT's front end: the component user programs talk to.
-// Scheduling methods (Submit, Launch, HostRead, HostWrite, NewArray) must
-// be called from one goroutine; with Options.Pipeline the dispatch stage
-// runs concurrently behind them.
+//
+// Concurrency contract: every submission-side method (Submit, Launch,
+// NewArray, FreeArray, HostRead, HostWrite, BuildKernel, SetPolicy, and
+// the drained metric readers Elapsed/MovedBytes/P2PMoves/Traces) is safe
+// to call from multiple goroutines — they serialize on subMu, so
+// interleaved submissions from concurrent clients observe a single total
+// submission order (the order that defines the schedule). Dispatch-side
+// state is guarded separately by mu; with Options.Pipeline the dispatch
+// stage runs concurrently behind the submission lock. Synchronizing
+// operations (HostRead, HostWrite, FreeArray, SetPolicy, BuildKernel)
+// drain the pipeline and therefore act as global barriers across all
+// submitting goroutines. TestConcurrentSubmitters exercises this contract
+// under the race detector.
 type Controller struct {
 	fabric   Fabric
 	pol      policy.Policy
@@ -216,9 +232,16 @@ type Controller struct {
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
 
+	// subMu serializes the submission side: Submit/Launch admissions,
+	// array allocation and release, host reads/writes, policy swaps and
+	// kernel builds. It establishes the total submission order the
+	// schedule is defined by. Lock order: subMu before mu; dispatchers
+	// take only mu.
+	subMu sync.Mutex
+
 	// mu guards the dispatch-shared state below (ceEnd, array registry
-	// times, totals, traces, dead set, policy). cond is broadcast
-	// whenever a dispatch commit publishes new state.
+	// times, totals, traces, dead set, policy, the arrays map). cond is
+	// broadcast whenever a dispatch commit publishes new state.
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -398,10 +421,15 @@ func (c *Controller) DeadWorkers() []cluster.NodeID {
 // Policy returns the active inter-node policy.
 func (c *Controller) Policy() policy.Policy { return c.pol }
 
-// SetPolicy swaps the inter-node policy (between workloads).
+// SetPolicy swaps the inter-node policy (between workloads). It drains
+// the pipeline, so no in-flight CE sees the swap.
 func (c *Controller) SetPolicy(p policy.Policy) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
+	c.mu.Lock()
 	c.pol = p
+	c.mu.Unlock()
 }
 
 // Graph exposes the Global DAG.
@@ -412,24 +440,32 @@ func (c *Controller) Registry() *kernels.Registry { return c.reg }
 
 // Traces returns the per-CE schedule trace (nil with DisableTraces).
 func (c *Controller) Traces() []CETrace {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
 	return c.traces
 }
 
 // Elapsed reports the workload makespan in virtual time.
 func (c *Controller) Elapsed() sim.VirtualTime {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
 	return c.elapsed
 }
 
 // MovedBytes reports total bytes shipped over the network.
 func (c *Controller) MovedBytes() memmodel.Bytes {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
 	return c.movedBytes
 }
 
 // P2PMoves reports how many worker-to-worker transfers were issued.
 func (c *Controller) P2PMoves() int {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
 	return c.p2pMoves
 }
@@ -437,6 +473,8 @@ func (c *Controller) P2PMoves() int {
 // MeanSchedulingOverhead reports the mean wall-clock time the Controller
 // spent deciding placement per CE — the quantity of the paper's Figure 9.
 func (c *Controller) MeanSchedulingOverhead() time.Duration {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	if c.schedCEs == 0 {
 		return 0
 	}
@@ -449,6 +487,8 @@ func (c *Controller) NewArray(kind memmodel.ElemKind, n int64) (*GlobalArray, er
 	if n <= 0 {
 		return nil, fmt.Errorf("core: invalid array length %d", n)
 	}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	id := c.nextArr
 	c.nextArr++
 	arr := &GlobalArray{
@@ -462,17 +502,31 @@ func (c *Controller) NewArray(kind memmodel.ElemKind, n int64) (*GlobalArray, er
 	if c.numeric {
 		arr.Buf = kernels.NewBuffer(kind, int(n))
 	}
+	// The map write takes mu too: dispatch-side readers (commit,
+	// markDead, lineage) hold mu but not subMu.
+	c.mu.Lock()
 	c.arrays[id] = arr
+	c.mu.Unlock()
 	return arr, nil
 }
 
-// Array returns a global array by ID, or nil.
-func (c *Controller) Array(id dag.ArrayID) *GlobalArray { return c.arrays[id] }
+// Array returns a global array by ID, or nil. Safe from any goroutine.
+func (c *Controller) Array(id dag.ArrayID) *GlobalArray {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.arrays[id]
+}
 
-// FreeArray releases a global array everywhere.
+// FreeArray releases a global array everywhere. Like HostRead/HostWrite
+// it drains the dispatch pipeline first.
 func (c *Controller) FreeArray(id dag.ArrayID) error {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.Drain()
-	if _, ok := c.arrays[id]; !ok {
+	c.mu.Lock()
+	_, ok := c.arrays[id]
+	c.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("core: free of unknown array %d", id)
 	}
 	for _, w := range c.fabric.Workers() {
@@ -480,7 +534,9 @@ func (c *Controller) FreeArray(id dag.ArrayID) error {
 			return err
 		}
 	}
+	c.mu.Lock()
 	delete(c.arrays, id)
+	c.mu.Unlock()
 	return nil
 }
 
@@ -571,6 +627,10 @@ type scheduled struct {
 	// committed version from the lineage index.
 	outVers  []uint64
 	schedDur time.Duration
+	// arrs[i] is the resolved GlobalArray of array argument i (nil for
+	// scalars), captured at admission under mu so the dispatch stage
+	// never reads the arrays map unlocked.
+	arrs []*GlobalArray
 }
 
 // validate checks an invocation against the kernel registry and returns
@@ -652,14 +712,20 @@ func (c *Controller) predictMembership(s *scheduled) {
 	if cap(s.upAtSched) < len(s.inv.Args) {
 		s.upAtSched = make([]bool, len(s.inv.Args))
 	}
+	if cap(s.arrs) < len(s.inv.Args) {
+		s.arrs = make([]*GlobalArray, len(s.inv.Args))
+	}
 	// Only array-argument slots are written and read; stale scratch in
 	// scalar slots is never consulted.
 	s.upAtSched = s.upAtSched[:len(s.inv.Args)]
+	s.arrs = s.arrs[:len(s.inv.Args)]
 	for i, a := range s.inv.Args {
 		if !a.IsArray {
+			s.arrs[i] = nil
 			continue
 		}
 		arr := c.arrays[a.Array]
+		s.arrs[i] = arr
 		_, up := arr.member[s.target]
 		s.upAtSched[i] = up
 		if !up && !skipOldBytes(s.accs, i) {
@@ -668,15 +734,27 @@ func (c *Controller) predictMembership(s *scheduled) {
 			arr.gen++
 		}
 	}
+	evicted := false
 	for i, a := range s.inv.Args {
 		if a.IsArray && s.accs[i].Mode.Writes() {
 			arr := c.arrays[a.Array]
+			if _, only := arr.member[s.target]; !only || len(arr.member) > 1 {
+				evicted = true
+			}
 			clear(arr.member)
 			arr.maskClearAll()
 			arr.member[s.target] = struct{}{}
 			arr.maskSet(s.target)
 			arr.gen++
 		}
+	}
+	// A write collapse can void an earlier CE's admission-time expectation:
+	// a waitLocalCopy waiter sleeping on a node this collapse just evicted
+	// would otherwise only be woken by a commit, and in sequenced dispatch
+	// no later ticket can commit past it. Wake waiters so they recheck
+	// membership and fall back to a fresh move.
+	if evicted {
+		c.cond.Broadcast()
 	}
 }
 
@@ -690,14 +768,19 @@ func (c *Controller) predictMembership(s *scheduled) {
 func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
 	if c.pipe == nil {
 		// Serial fast path: reuse the controller's scheduled record,
-		// skip the Pending.
+		// skip the Pending. The whole admit+dispatch runs under the
+		// submission lock, so concurrent callers interleave whole CEs.
+		c.subMu.Lock()
+		defer c.subMu.Unlock()
 		s, err := c.admit(inv, &c.schedBuf)
 		if err != nil {
 			return 0, err
 		}
 		return c.dispatch(s)
 	}
-	p, err := c.Submit(inv)
+	c.subMu.Lock()
+	p, err := c.submitLocked(inv)
+	c.subMu.Unlock()
 	if err != nil {
 		return 0, err
 	}
@@ -710,6 +793,14 @@ func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
 // per-worker dispatchers. Validation errors surface here; dispatch errors
 // surface on the returned Pending (and on Drain).
 func (c *Controller) Submit(inv Invocation) (*Pending, error) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	return c.submitLocked(inv)
+}
+
+// submitLocked is Submit under subMu (Launch shares it without
+// re-locking).
+func (c *Controller) submitLocked(inv Invocation) (*Pending, error) {
 	s, err := c.admit(inv, nil)
 	if err != nil {
 		return nil, err
@@ -1011,6 +1102,14 @@ func (c *Controller) waitLocalCopy(arr *GlobalArray, target cluster.NodeID, expe
 			// Serial mode keeps member and upToDate in lockstep.
 			return 0, false, nil
 		}
+		if c.pipe.sequenced {
+			// Sequenced dispatch: every earlier ticket has fully
+			// committed before this dispatch runs, so a predicted copy
+			// that is absent now can never arrive — the delivery was
+			// rerouted by a dead-worker redispatch or lineage recovery.
+			// Fall back to a fresh move from the survivors.
+			return 0, false, nil
+		}
 		if err := c.pipe.err; err != nil {
 			return 0, false, err
 		}
@@ -1033,7 +1132,7 @@ func (c *Controller) ensureArgs(target cluster.NodeID, s *scheduled, usePredicti
 		if !a.IsArray {
 			continue
 		}
-		arr := c.arrays[a.Array]
+		arr := s.arrs[i] // resolved at admission; no unlocked map read
 		if err := c.fabric.EnsureArray(target, arr.ArrayMeta); err != nil {
 			return 0, 0, 0, err
 		}
@@ -1216,8 +1315,13 @@ func (c *Controller) bestSource(arr *GlobalArray, target cluster.NodeID) cluster
 // HostRead makes the controller's copy of an array consistent (the user
 // reading results, paper Listing 1's print(x)): a read CE that may pull
 // the array back from the worker that last wrote it. It drains the
-// dispatch pipeline first: a host read is a synchronization point.
+// dispatch pipeline first: a host read is a synchronization point — a
+// global one, barriering every concurrently submitting goroutine.
 func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	// After the drain the dispatchers are quiescent and subMu excludes
+	// new submissions, so the body below owns every structure it touches.
 	if err := c.Drain(); err != nil {
 		return 0, err
 	}
@@ -1254,6 +1358,7 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 		// The pipeline is drained here, so the membership view is in
 		// lockstep with the authoritative one and gains the copy too.
 		c.registerCopy(arr, cluster.ControllerID, arrival, true)
+		arr.hostVer = arr.cver
 		if _, ok := arr.member[cluster.ControllerID]; !ok {
 			arr.member[cluster.ControllerID] = struct{}{}
 			arr.maskSet(cluster.ControllerID)
@@ -1277,9 +1382,13 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 
 // HostWrite marks an array as (re)initialized by the controller's host
 // code: the controller copy becomes the only valid one. In numeric mode
-// the caller mutates arr.Buf directly around this call. Like HostRead it
-// drains the dispatch pipeline first.
+// the caller mutates arr.Buf directly around this call (serialize those
+// mutations against Submit yourself — a buffer being overwritten must not
+// be mid-shipment; draining first via Drain or HostRead suffices). Like
+// HostRead it drains the dispatch pipeline first.
 func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	if err := c.Drain(); err != nil {
 		return 0, err
 	}
@@ -1303,11 +1412,13 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 	arr.maskSet(cluster.ControllerID)
 	arr.gen++
 	// A host write starts a new root version: host data has no producer
-	// record, but while it is current the controller always holds it, so
-	// lineage chains reaching it recover by re-shipping, not recompute.
-	// (The pipeline is drained, so ver and cver advance in lockstep.)
+	// record, but the controller's buffer keeps holding it even after
+	// in-place overwrites commit on workers, so lineage chains reaching
+	// it recover by re-shipping, not recompute. (The pipeline is
+	// drained, so ver and cver advance in lockstep.)
 	arr.ver++
 	arr.cver = arr.ver
+	arr.hostVer = arr.ver
 	c.ceEnd[ce.ID] = depReady
 	if depReady > c.elapsed {
 		c.elapsed = depReady
@@ -1321,8 +1432,14 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 
 // BuildKernel compiles a mini-CUDA kernel from source (the NVRTC path of
 // buildkernel) and registers it with the controller and, through the
-// fabric, with every worker.
+// fabric, with every worker. It drains the pipeline before broadcasting,
+// so the fabric-wide registration never races in-flight dispatches.
 func (c *Controller) BuildKernel(src, signature string) (*kernels.Def, error) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
 	key := minicuda.CacheKey(src, signature)
 	var def *kernels.Def
 	if name, ok := c.reg.CachedSource(key); ok {

@@ -34,6 +34,10 @@ var (
 	// distinguish them from remote execution errors (bad kernel, OOM),
 	// which retrying cannot fix.
 	ErrTransient = errors.New("transient transport failure")
+	// ErrQuotaExceeded: a tenant session asked for more array bytes than
+	// its quota allows (gateway multi-tenancy). Not transient: the tenant
+	// must free arrays or negotiate a bigger quota.
+	ErrQuotaExceeded = errors.New("array-byte quota exceeded")
 )
 
 // IsTransient reports whether err is worth retrying in place: a timeout

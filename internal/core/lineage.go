@@ -176,6 +176,9 @@ func (c *Controller) planRecovery(ids []dag.ArrayID) (*recoveryPlan, error) {
 			if k.ver == arr.cver {
 				return nil // live at the needed version: ship, don't replay
 			}
+			if k.ver == arr.hostVer {
+				return nil // superseded, but the host buffer still holds it
+			}
 			// A newer committed version is live somewhere; replaying the
 			// older one would clobber it. Conservatively unrecoverable.
 			return fmt.Errorf("core: array %d lost at version %d but version %d is live: %w",
@@ -183,8 +186,13 @@ func (c *Controller) planRecovery(ids []dag.ArrayID) (*recoveryPlan, error) {
 		}
 		rec := c.lineage[k]
 		if rec == nil {
-			// A root with no producer record: host-initialized data whose
-			// version is no longer what the controller holds.
+			if k.ver == arr.hostVer {
+				// Host-initialized root: the controller's buffer still
+				// holds exactly this version; replayStep re-ships it.
+				return nil
+			}
+			// A root with no producer record whose bytes the controller
+			// no longer holds either.
 			return fmt.Errorf("core: array %d version %d has no replayable producer: %w",
 				k.id, k.ver, ErrDataLost)
 		}
@@ -316,6 +324,12 @@ func (c *Controller) replayStep(rec *producerRec, locs map[dag.ArrayID]planLoc) 
 				continue
 			}
 			if arr.cver != k.ver || len(arr.upToDate) == 0 {
+				if arr.hostVer == k.ver {
+					// Host-written root the planner approved: the
+					// controller's buffer holds these exact bytes.
+					moves = append(moves, pendingMove{a.Array, cluster.ControllerID, 0, arr.Buf, arr.size})
+					continue
+				}
 				ierr = fmt.Errorf("core: replay input array %d version %d no longer available: %w",
 					a.Array, k.ver, ErrDataLost)
 				break

@@ -193,29 +193,93 @@ func TestChaosUnrecoverableRoot(t *testing.T) {
 	if _, err := ctl.HostWrite(x.ID); err != nil {
 		t.Fatal(err)
 	}
-	// relu mutates x in place on worker 1: x's committed version now has
-	// the invalidated host write as its only lineage input.
-	if _, err := ctl.Launch(Invocation{Kernel: "relu", Args: []ArgRef{ArrRef(x.ID), n}}); err != nil {
+	// y is derived from x's first host version on worker 1. A second
+	// host write then overwrites the controller's buffer: y's lineage
+	// root x@1 is now neither live anywhere nor host-held.
+	if _, err := ctl.Launch(Invocation{Kernel: "axpy",
+		Args: []ArgRef{ArrRef(y.ID), ArrRef(x.ID), ScalarRef(1), n}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(y.ID), ScalarRef(3), n}}); err != nil {
+	x.Buf.Fill(1)
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(z.ID), ScalarRef(3), n}}); err != nil {
 		t.Fatal(err)
 	}
 	// Worker 1's second launch kills it; the write-only fill reroutes.
 	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(z.ID), ScalarRef(9), n}}); err != nil {
 		t.Fatalf("write-only fill should survive the kill via reroute: %v", err)
 	}
-	// A reader of x cannot: its sole copy died and the root is gone.
-	_, err = ctl.Launch(Invocation{Kernel: "relu", Args: []ArgRef{ArrRef(x.ID), n}})
+	// A reader of y cannot: its sole copy died with worker 1, and the
+	// replay bottoms out in the superseded host root.
+	_, err = ctl.Launch(Invocation{Kernel: "relu", Args: []ArgRef{ArrRef(y.ID), n}})
 	if !errors.Is(err, ErrDataLost) {
 		t.Fatalf("unrecoverable loss reported as %v, want ErrDataLost", err)
 	}
 	// The surviving worker's data is intact and readable.
-	if _, err := ctl.HostRead(y.ID); err != nil {
+	if _, err := ctl.HostRead(z.ID); err != nil {
 		t.Fatal(err)
 	}
-	if y.Buf.At(0) != 3 {
-		t.Fatalf("y[0] = %v, want 3", y.Buf.At(0))
+	if z.Buf.At(0) != 9 {
+		t.Fatalf("z[0] = %v, want 9", z.Buf.At(0))
+	}
+}
+
+// TestChaosHostRootRecovered: a chain rooted in a host write is
+// replayable as long as the controller's buffer still holds that
+// version — the recovery plan re-ships it instead of bottoming out.
+func TestChaosHostRootRecovered(t *testing.T) {
+	chaos := NewChaosFabric(numericFabric(2), ChaosOptions{
+		KillAtLaunch: map[cluster.NodeID]int{1: 2},
+	})
+	ctl := NewController(chaos, policy.NewRoundRobin(), Options{Numeric: true, Failover: true})
+	defer ctl.Close()
+
+	x, err := ctl.NewArray(memmodel.Float32, recElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := ctl.NewArray(memmodel.Float32, recElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ScalarRef(float64(recElems))
+	for i := 0; i < recElems; i++ {
+		x.Buf.Set(i, float64(i%5)-2)
+	}
+	if _, err := ctl.HostWrite(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	// relu mutates x in place on worker 1: the committed version's only
+	// lineage input is the host write, whose bytes the controller still
+	// holds.
+	if _, err := ctl.Launch(Invocation{Kernel: "relu", Args: []ArgRef{ArrRef(x.ID), n}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(y.ID), ScalarRef(3), n}}); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1's second launch kills it, taking x's only copy along.
+	if _, err := ctl.Launch(Invocation{Kernel: "fill", Args: []ArgRef{ArrRef(y.ID), ScalarRef(9), n}}); err != nil {
+		t.Fatalf("write-only fill should survive the kill via reroute: %v", err)
+	}
+	// The reader triggers recovery: re-ship the host root, replay the
+	// relu on the survivor, then run.
+	if _, err := ctl.Launch(Invocation{Kernel: "relu", Args: []ArgRef{ArrRef(x.ID), n}}); err != nil {
+		t.Fatalf("host-rooted chain should recover: %v", err)
+	}
+	if _, err := ctl.HostRead(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < recElems; i++ {
+		want := float64(i%5) - 2
+		if want < 0 {
+			want = 0
+		}
+		if x.Buf.At(i) != want {
+			t.Fatalf("x[%d] = %v, want %v", i, x.Buf.At(i), want)
+		}
 	}
 }
 

@@ -1,0 +1,409 @@
+package core
+
+// Multi-tenant session layer. A ControllerSession gives one client
+// program (a "tenant") a private view of a shared Controller:
+//
+//   - Namespace isolation: the tenant names arrays by session-local IDs
+//     that this layer maps onto global ones. A session can only ever
+//     resolve IDs it allocated itself, so CEs from different sessions
+//     can never share an array — and since DAG dependencies are
+//     array-based, the global DAG never links CEs across tenants.
+//   - Admission accounting: per-session in-flight CE count (the gateway
+//     enforces MaxInflightCEs against it), cumulative admitted /
+//     completed / aborted counters, and summed admission wait.
+//   - Resource quota: a per-tenant array-byte budget; NewArray beyond it
+//     fails with ErrQuotaExceeded.
+//   - Clean teardown: Close waits out in-flight CEs, then frees every
+//     array the session still holds — other sessions are undisturbed.
+//
+// Concurrency: one session's methods are NOT safe for concurrent use
+// with each other — the owner (the gateway's per-session serve
+// goroutine) serializes them. Different sessions over one Controller
+// are safe concurrently; that is the Controller's documented submission
+// contract. The internal mutex exists because Submit's completion
+// watchers fire from dispatcher goroutines.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"grout/internal/dag"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+// SessionLimits bounds one tenant session. Zero values mean unlimited;
+// the gateway applies its own defaults before constructing the session.
+type SessionLimits struct {
+	// MaxInflightCEs caps how many of the session's CEs may be admitted
+	// but not yet dispatched. Enforced by the gateway's drain loop, not
+	// by Submit itself.
+	MaxInflightCEs int
+	// MaxArrayBytes caps the sum of the session's live array sizes.
+	MaxArrayBytes memmodel.Bytes
+	// Weight is the session's share in the gateway's weighted
+	// round-robin drain; values < 1 are treated as 1.
+	Weight int
+}
+
+// SessionStats is a point-in-time snapshot of one session's counters.
+type SessionStats struct {
+	Admitted   int64 // CEs handed to the controller
+	Completed  int64 // CEs whose dispatch finished cleanly
+	Aborted    int64 // CEs whose dispatch ended in error
+	Inflight   int   // admitted minus finished, right now
+	Arrays     int   // live arrays
+	ArrayBytes memmodel.Bytes
+	// AdmissionWait sums the time the session's launches spent queued
+	// before Submit (recorded by the gateway via NoteAdmissionWait).
+	AdmissionWait time.Duration
+	// AdmissionWaitP99 is the 99th-percentile wait over the session's
+	// first admSampleCap recorded waits.
+	AdmissionWaitP99 time.Duration
+}
+
+// admSampleCap bounds the per-session admission-wait reservoir; beyond
+// it only the running sum keeps growing.
+const admSampleCap = 8192
+
+// ControllerSession is one tenant's isolated handle on a shared
+// Controller. Construct with NewControllerSession.
+type ControllerSession struct {
+	ctl  *Controller
+	name string
+	lim  SessionLimits
+
+	mu        sync.Mutex
+	idle      sync.Cond // signaled when inflight drops to zero
+	arrays    map[dag.ArrayID]*GlobalArray
+	nextLocal dag.ArrayID
+	bytes     memmodel.Bytes
+	inflight  int
+	admitted   int64
+	completed  int64
+	aborted    int64
+	admWait    time.Duration
+	admSamples []time.Duration
+	closed     bool
+}
+
+// NewControllerSession opens a tenant session on ctl. The name is used
+// only for diagnostics and metrics labels.
+func NewControllerSession(ctl *Controller, name string, lim SessionLimits) *ControllerSession {
+	if lim.Weight < 1 {
+		lim.Weight = 1
+	}
+	s := &ControllerSession{
+		ctl:    ctl,
+		name:   name,
+		lim:    lim,
+		arrays: make(map[dag.ArrayID]*GlobalArray),
+	}
+	s.idle.L = &s.mu
+	return s
+}
+
+// Name reports the tenant name given at session open.
+func (s *ControllerSession) Name() string { return s.name }
+
+// Limits reports the session's (defaulted) limits.
+func (s *ControllerSession) Limits() SessionLimits { return s.lim }
+
+// Controller exposes the shared controller (for metric readers).
+func (s *ControllerSession) Controller() *Controller { return s.ctl }
+
+func (s *ControllerSession) checkOpen() error {
+	if s.closed {
+		return fmt.Errorf("core: session %q is closed", s.name)
+	}
+	return nil
+}
+
+// NewArray allocates an array charged against the session's byte quota
+// and returns its session-local ID.
+func (s *ControllerSession) NewArray(kind memmodel.ElemKind, n int64) (dag.ArrayID, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	size := memmodel.Bytes(n) * kind.Size()
+	if s.lim.MaxArrayBytes > 0 && s.bytes+size > s.lim.MaxArrayBytes {
+		return 0, fmt.Errorf("%w: session %q holds %d B, requested %d B of a %d B quota",
+			ErrQuotaExceeded, s.name, s.bytes, size, s.lim.MaxArrayBytes)
+	}
+	arr, err := s.ctl.NewArray(kind, n)
+	if err != nil {
+		return 0, err
+	}
+	s.nextLocal++
+	local := s.nextLocal
+	s.mu.Lock()
+	s.arrays[local] = arr
+	s.bytes += size
+	s.mu.Unlock()
+	return local, nil
+}
+
+// resolve maps a session-local array ID to its global array. Unknown
+// IDs — including every other tenant's — are errors, not panics: they
+// arrive straight off the wire.
+func (s *ControllerSession) resolve(local dag.ArrayID) (*GlobalArray, error) {
+	s.mu.Lock()
+	arr := s.arrays[local]
+	s.mu.Unlock()
+	if arr == nil {
+		return nil, fmt.Errorf("core: session %q: unknown array %d", s.name, local)
+	}
+	return arr, nil
+}
+
+// Array returns the session's array by local ID, or nil.
+func (s *ControllerSession) Array(local dag.ArrayID) *GlobalArray {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arrays[local]
+}
+
+// translate rewrites an invocation's array references from the session
+// namespace to the global one.
+func (s *ControllerSession) translate(inv Invocation) (Invocation, error) {
+	out := inv
+	out.Args = make([]ArgRef, len(inv.Args))
+	for i, a := range inv.Args {
+		if !a.IsArray {
+			out.Args[i] = a
+			continue
+		}
+		arr, err := s.resolve(a.Array)
+		if err != nil {
+			return Invocation{}, err
+		}
+		out.Args[i] = ArrRef(arr.ID)
+	}
+	return out, nil
+}
+
+// Submit translates and submits one CE on the tenant's behalf and
+// tracks it until its dispatch finishes. The returned Pending reports
+// the CE's completion exactly as Controller.Submit's does.
+func (s *ControllerSession) Submit(inv Invocation) (*Pending, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	tinv, err := s.translate(inv)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.ctl.Submit(tinv)
+	if err != nil {
+		s.mu.Lock()
+		s.admitted++
+		s.aborted++
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.admitted++
+	s.inflight++
+	s.mu.Unlock()
+	go func() {
+		_, werr := p.Wait()
+		s.mu.Lock()
+		s.inflight--
+		if werr != nil {
+			s.aborted++
+		} else {
+			s.completed++
+		}
+		if s.inflight == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// NoteAdmissionWait records time a launch spent queued before Submit.
+func (s *ControllerSession) NoteAdmissionWait(d time.Duration) {
+	s.mu.Lock()
+	s.admWait += d
+	if len(s.admSamples) < admSampleCap {
+		s.admSamples = append(s.admSamples, d)
+	}
+	s.mu.Unlock()
+}
+
+// Inflight reports the session's currently in-flight CE count.
+func (s *ControllerSession) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// WaitIdle blocks until none of the session's CEs are in flight.
+func (s *ControllerSession) WaitIdle() {
+	s.mu.Lock()
+	for s.inflight > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the session's counters.
+func (s *ControllerSession) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Admitted:         s.admitted,
+		Completed:        s.completed,
+		Aborted:          s.aborted,
+		Inflight:         s.inflight,
+		Arrays:           len(s.arrays),
+		ArrayBytes:       s.bytes,
+		AdmissionWait:    s.admWait,
+		AdmissionWaitP99: quantileLocked(s.admSamples, 0.99),
+	}
+}
+
+// quantileLocked computes the q-quantile (nearest-rank) of the samples.
+func quantileLocked(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// HostWrite overwrites the array's contents with data and marks the
+// controller copy authoritative. It drains first so no in-flight CE is
+// mid-shipment from the buffer being overwritten; no other tenant can
+// reference this array, so nothing new can touch it before the copy
+// lands (this session's owner is right here).
+func (s *ControllerSession) HostWrite(local dag.ArrayID, data *kernels.Buffer) (sim.VirtualTime, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	arr, err := s.resolve(local)
+	if err != nil {
+		return 0, err
+	}
+	if data == nil {
+		return 0, fmt.Errorf("core: session %q: host write of array %d without data", s.name, local)
+	}
+	if data.Kind != arr.Kind || int64(data.Len()) != arr.Len {
+		return 0, fmt.Errorf("core: session %q: host write of array %d: got %d×%v, want %d×%v",
+			s.name, local, data.Len(), data.Kind, arr.Len, arr.Kind)
+	}
+	if err := s.ctl.Drain(); err != nil {
+		return 0, err
+	}
+	if arr.Buf != nil {
+		if err := arr.Buf.SetRawBytes(0, data.RawBytes()); err != nil {
+			return 0, err
+		}
+	}
+	return s.ctl.HostWrite(arr.ID)
+}
+
+// HostRead synchronizes the array back to the controller and returns a
+// private copy of its contents (nil in cost-only mode). The tenant's
+// copy never aliases controller state.
+func (s *ControllerSession) HostRead(local dag.ArrayID) (*kernels.Buffer, sim.VirtualTime, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, 0, err
+	}
+	arr, err := s.resolve(local)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := s.ctl.HostRead(arr.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	if arr.Buf == nil {
+		return nil, t, nil
+	}
+	return arr.Buf.Clone(), t, nil
+}
+
+// Free releases the array and refunds its bytes against the quota.
+func (s *ControllerSession) Free(local dag.ArrayID) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	arr, err := s.resolve(local)
+	if err != nil {
+		return err
+	}
+	if err := s.ctl.FreeArray(arr.ID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.arrays, local)
+	s.bytes -= arr.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// BuildKernel compiles and registers a kernel fleet-wide. Kernel names
+// are global — sessions share the registry — so the compiled name is
+// returned for the tenant to launch by.
+func (s *ControllerSession) BuildKernel(src, signature string) (*kernels.Def, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	return s.ctl.BuildKernel(src, signature)
+}
+
+// Elapsed reports the shared cluster's virtual clock (a global barrier,
+// like Controller.Elapsed).
+func (s *ControllerSession) Elapsed() sim.VirtualTime {
+	return s.ctl.Elapsed()
+}
+
+// Close tears the session down: waits out in-flight CEs, then frees
+// every array it still holds. Idempotent; safe after partial failure.
+// Other sessions on the same controller are untouched.
+func (s *ControllerSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.WaitIdle()
+	s.mu.Lock()
+	locals := make([]dag.ArrayID, 0, len(s.arrays))
+	for id := range s.arrays {
+		locals = append(locals, id)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, local := range locals {
+		s.mu.Lock()
+		arr := s.arrays[local]
+		delete(s.arrays, local)
+		if arr != nil {
+			s.bytes -= arr.Bytes()
+		}
+		s.mu.Unlock()
+		if arr == nil {
+			continue
+		}
+		if err := s.ctl.FreeArray(arr.ID); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

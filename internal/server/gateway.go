@@ -1,0 +1,514 @@
+// Package server implements the multi-tenant session gateway: one TCP
+// listener multiplexing many concurrent client programs ("tenants")
+// onto a single shared core.Controller and its worker fleet.
+//
+// Each connection gets a core.ControllerSession — a private array
+// namespace, an array-byte quota, and per-tenant counters. Launches are
+// not submitted inline: the serve goroutine enqueues them on the
+// tenant's bounded queue and a single weighted-round-robin drain
+// goroutine feeds the controller, so one chatty tenant cannot starve
+// the rest, and a tenant at its in-flight cap simply waits its turn.
+// Synchronous operations (allocate, read, write, free, build, elapsed)
+// run on the serve goroutine after the tenant's queue has flushed, so
+// each session observes its own program order.
+//
+// Error model: launch submission is asynchronous, so a launch that
+// fails after its enqueue turns into a per-session sticky error — every
+// later operation of that session reports it, like a poisoned CUDA
+// stream. Other sessions never see it.
+package server
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"grout/internal/core"
+	"grout/internal/transport"
+)
+
+// DefaultQueueDepth bounds a tenant's launch queue when Options doesn't.
+const DefaultQueueDepth = 64
+
+// Options tune a Gateway. The zero value is serviceable.
+type Options struct {
+	// Limits apply to every session (Weight < 1 becomes 1; zero fields
+	// mean unlimited, per core.SessionLimits).
+	Limits core.SessionLimits
+	// QueueDepth bounds each session's launch queue; a tenant that
+	// outruns the drain loop blocks on its own socket, nobody else's.
+	// 0 means DefaultQueueDepth, negative means 1.
+	QueueDepth int
+	// HandshakeTimeout bounds the protocol hello on accept. 0 means
+	// transport.DefaultDialTimeout, negative disables.
+	HandshakeTimeout time.Duration
+	// Logger, optional.
+	Logger *log.Logger
+}
+
+// queuedLaunch is one launch waiting in a tenant's queue.
+type queuedLaunch struct {
+	inv core.Invocation
+	at  time.Time
+}
+
+// tenant is the gateway's per-connection state around a controller
+// session.
+type tenant struct {
+	id   uint64
+	name string
+	sess *core.ControllerSession
+	conn *transport.SessionConn
+
+	queue chan queuedLaunch
+
+	mu       sync.Mutex
+	flushed  sync.Cond // signaled when queued drops to 0
+	queued   int       // enqueued but not yet handed to the controller
+	inflight int       // submitted but not yet dispatched (drain-loop view)
+	sticky   error     // first asynchronous launch failure; poisons the session
+	dropped  int64     // launches discarded (teardown or poisoned session)
+	gone     bool      // torn down; the drain loop must not submit for it
+}
+
+// setSticky records the session's first asynchronous failure.
+func (t *tenant) setSticky(err error) {
+	t.mu.Lock()
+	if t.sticky == nil {
+		t.sticky = err
+	}
+	t.mu.Unlock()
+}
+
+// flush blocks until every queued launch has been handed to the
+// controller, then reports the session's sticky error, if any. Sync ops
+// call it first so each session observes its own program order.
+func (t *tenant) flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.queued > 0 {
+		t.flushed.Wait()
+	}
+	return t.sticky
+}
+
+// Gateway serves tenant sessions over TCP against one shared
+// controller. The controller stays owned by the caller: Close tears
+// down sessions and the listener, not the fleet.
+type Gateway struct {
+	ctl *core.Controller
+	opt Options
+	ln  net.Listener
+	log *log.Logger
+
+	mu        sync.Mutex
+	drainCond sync.Cond // wakes the drain loop: enqueue, completion, teardown
+	sessions  map[uint64]*tenant
+	nextID    uint64
+	total     int64 // sessions ever opened
+	rr        int   // round-robin rotation cursor
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New starts a gateway for ctl listening on addr ("host:0" picks a
+// free port).
+func New(ctl *core.Controller, addr string, opt Options) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	if opt.QueueDepth == 0 {
+		opt.QueueDepth = DefaultQueueDepth
+	} else if opt.QueueDepth < 0 {
+		opt.QueueDepth = 1
+	}
+	logger := opt.Logger
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	g := &Gateway{
+		ctl:      ctl,
+		opt:      opt,
+		ln:       ln,
+		log:      logger,
+		sessions: make(map[uint64]*tenant),
+		done:     make(chan struct{}),
+	}
+	g.drainCond.L = &g.mu
+	g.wg.Add(2)
+	go g.acceptLoop()
+	go g.drainLoop()
+	return g, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr reports the gateway's listening address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops accepting, disconnects every session (their arrays are
+// freed, their queued launches dropped), and waits for the serve and
+// drain goroutines. The controller is left running.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	close(g.done)
+	conns := make([]*transport.SessionConn, 0, len(g.sessions))
+	for _, t := range g.sessions {
+		conns = append(conns, t.conn)
+	}
+	g.drainCond.Broadcast()
+	g.mu.Unlock()
+	err := g.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		raw, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			conn, err := transport.AcceptSession(raw, g.opt.HandshakeTimeout)
+			if err != nil {
+				g.log.Printf("server: handshake from %s: %v", raw.RemoteAddr(), err)
+				return
+			}
+			g.serve(conn)
+		}()
+	}
+}
+
+// register opens a session for conn under the given tenant name.
+func (g *Gateway) register(conn *transport.SessionConn, name string) (*tenant, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("server: gateway is shut down")
+	}
+	g.nextID++
+	g.total++
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", g.nextID)
+	}
+	t := &tenant{
+		id:    g.nextID,
+		name:  name,
+		sess:  core.NewControllerSession(g.ctl, name, g.opt.Limits),
+		conn:  conn,
+		queue: make(chan queuedLaunch, g.opt.QueueDepth),
+	}
+	t.flushed.L = &t.mu
+	g.sessions[t.id] = t
+	return t, nil
+}
+
+// teardown disconnects a tenant: drop its queued launches, wait out the
+// ones already handed to the controller, then free its arrays. Runs on
+// the tenant's own serve goroutine, so no session method races it.
+func (g *Gateway) teardown(t *tenant) {
+	g.mu.Lock()
+	delete(g.sessions, t.id)
+	g.drainCond.Broadcast()
+	g.mu.Unlock()
+	t.mu.Lock()
+	t.gone = true
+	t.mu.Unlock()
+	// Drain the queue ourselves; the drain loop may race us for items,
+	// but it drops a gone tenant's pops, so either way nothing more is
+	// submitted. Then wait for pops still mid-flight in the drain loop.
+	for {
+		select {
+		case <-t.queue:
+			t.mu.Lock()
+			t.queued--
+			t.dropped++
+			if t.queued == 0 {
+				t.flushed.Broadcast()
+			}
+			t.mu.Unlock()
+			continue
+		default:
+		}
+		break
+	}
+	t.mu.Lock()
+	for t.queued > 0 {
+		t.flushed.Wait()
+	}
+	t.mu.Unlock()
+	if err := t.sess.Close(); err != nil {
+		g.log.Printf("server: teardown of %q: %v", t.name, err)
+	}
+}
+
+// serve runs one tenant's request loop. The first frame must be
+// SessOpen; every later frame is answered in order.
+func (g *Gateway) serve(conn *transport.SessionConn) {
+	req := &transport.SessionRequest{}
+	reqID, err := conn.ReadRequest(req)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	resp := &transport.SessionResponse{}
+	if req.Kind != transport.SessOpen {
+		resp.SetErr(fmt.Errorf("server: expected open, got %v", req.Kind))
+		_ = conn.Reply(reqID, resp)
+		_ = conn.Close()
+		return
+	}
+	t, err := g.register(conn, req.Name)
+	if err != nil {
+		resp.SetErr(err)
+		_ = conn.Reply(reqID, resp)
+		_ = conn.Close()
+		return
+	}
+	resp.Name = t.name
+	if err := conn.Reply(reqID, resp); err != nil {
+		g.teardown(t)
+		_ = conn.Close()
+		return
+	}
+	g.log.Printf("server: session %q open from %s", t.name, conn.RemoteAddr())
+	for {
+		reqID, err := conn.ReadRequest(req)
+		if err != nil {
+			break // disconnect: tear the session down below
+		}
+		resp := &transport.SessionResponse{}
+		stop := false
+		switch req.Kind {
+		case transport.SessPing:
+			// nothing: the empty OK response is the answer
+		case transport.SessLaunch:
+			g.handleLaunch(t, req, resp)
+		case transport.SessNewArray:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			id, err := t.sess.NewArray(req.Elem, req.Len)
+			resp.Array = id
+			resp.SetErr(err)
+		case transport.SessHostWrite:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			_, err := t.sess.HostWrite(req.Array, req.Data)
+			resp.SetErr(err)
+		case transport.SessHostRead:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			buf, _, err := t.sess.HostRead(req.Array)
+			resp.Data = buf
+			resp.SetErr(err)
+		case transport.SessFree:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			resp.SetErr(t.sess.Free(req.Array))
+		case transport.SessBuildKernel:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			def, err := t.sess.BuildKernel(req.Src, req.Signature)
+			if err == nil {
+				resp.Name = def.Name
+			}
+			resp.SetErr(err)
+		case transport.SessElapsed:
+			if err := t.flush(); err != nil {
+				resp.SetErr(err)
+				break
+			}
+			resp.Elapsed = int64(t.sess.Elapsed())
+		case transport.SessClose:
+			stop = true
+		case transport.SessOpen:
+			resp.SetErr(fmt.Errorf("server: session %q is already open", t.name))
+		default:
+			resp.SetErr(fmt.Errorf("server: unknown request %v", req.Kind))
+		}
+		if err := conn.Reply(reqID, resp); err != nil || stop {
+			break
+		}
+	}
+	g.teardown(t)
+	_ = conn.Close()
+	g.log.Printf("server: session %q closed", t.name)
+}
+
+// handleLaunch enqueues one launch on the tenant's queue. The reply
+// acknowledges the enqueue; submission failures surface as the
+// session's sticky error.
+func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *transport.SessionResponse) {
+	t.mu.Lock()
+	if t.sticky != nil {
+		err := t.sticky
+		t.mu.Unlock()
+		resp.SetErr(err)
+		return
+	}
+	t.queued++
+	t.mu.Unlock()
+	q := queuedLaunch{inv: req.Inv, at: time.Now()}
+	select {
+	case t.queue <- q:
+		g.mu.Lock()
+		g.drainCond.Broadcast()
+		g.mu.Unlock()
+	case <-g.done:
+		t.mu.Lock()
+		t.queued--
+		t.dropped++
+		if t.queued == 0 {
+			t.flushed.Broadcast()
+		}
+		t.mu.Unlock()
+		resp.SetErr(fmt.Errorf("server: gateway is shut down"))
+	}
+}
+
+// drainLoop is the gateway's single admission goroutine: it feeds the
+// controller from the per-tenant queues by weighted round-robin,
+// honoring each session's in-flight cap. Weight-w tenants get up to w
+// submissions per pass; a capped or empty tenant just loses its turn.
+func (g *Gateway) drainLoop() {
+	defer g.wg.Done()
+	for {
+		g.mu.Lock()
+		for !g.closed && !g.workReadyLocked() {
+			g.drainCond.Wait()
+		}
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		roster := make([]*tenant, 0, len(g.sessions))
+		for _, t := range g.sessions {
+			roster = append(roster, t)
+		}
+		// Rotate the starting tenant so map-order ties don't favor
+		// anyone across rounds.
+		if n := len(roster); n > 1 {
+			g.rr = (g.rr + 1) % n
+			roster = append(roster[g.rr:], roster[:g.rr]...)
+		}
+		g.mu.Unlock()
+		g.drainRound(roster)
+	}
+}
+
+// workReadyLocked reports whether any tenant has a submittable launch.
+func (g *Gateway) workReadyLocked() bool {
+	for _, t := range g.sessions {
+		t.mu.Lock()
+		ready := t.queued > 0 && !t.gone && t.capRoomLocked()
+		t.mu.Unlock()
+		if ready {
+			return true
+		}
+	}
+	return false
+}
+
+// capRoomLocked reports whether the tenant is under its in-flight cap.
+func (t *tenant) capRoomLocked() bool {
+	cap := t.sess.Limits().MaxInflightCEs
+	return cap <= 0 || t.inflight < cap
+}
+
+// drainRound makes weighted passes over the roster until no tenant can
+// submit anything more right now.
+func (g *Gateway) drainRound(roster []*tenant) {
+	for progress := true; progress; {
+		progress = false
+		for _, t := range roster {
+			for credits := t.sess.Limits().Weight; credits > 0; credits-- {
+				t.mu.Lock()
+				room := !t.gone && t.capRoomLocked()
+				t.mu.Unlock()
+				if !room {
+					break
+				}
+				select {
+				case q := <-t.queue:
+					g.submitOne(t, q)
+					progress = true
+				default:
+					credits = 0
+				}
+			}
+		}
+	}
+}
+
+// submitOne hands one queued launch to the controller on the tenant's
+// behalf and watches its dispatch.
+func (g *Gateway) submitOne(t *tenant, q queuedLaunch) {
+	t.mu.Lock()
+	if t.gone || t.sticky != nil {
+		t.queued--
+		t.dropped++
+		if t.queued == 0 {
+			t.flushed.Broadcast()
+		}
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.sess.NoteAdmissionWait(time.Since(q.at))
+	p, err := t.sess.Submit(q.inv)
+	t.mu.Lock()
+	t.queued--
+	if err != nil && t.sticky == nil {
+		t.sticky = err
+	}
+	if err == nil {
+		t.inflight++
+	}
+	if t.queued == 0 {
+		t.flushed.Broadcast()
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return
+	}
+	go func() {
+		_, werr := p.Wait()
+		if werr != nil {
+			t.setSticky(werr)
+		}
+		t.mu.Lock()
+		t.inflight--
+		t.mu.Unlock()
+		g.mu.Lock()
+		g.drainCond.Broadcast()
+		g.mu.Unlock()
+	}()
+}

@@ -1,0 +1,125 @@
+package server
+
+// Operational surface: /healthz and a Prometheus-text /metrics, fed by
+// the per-session counters the core session layer keeps. Hand-rolled
+// exposition — the container has no Prometheus client library, and the
+// text format is trivial to emit.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"grout/internal/core"
+)
+
+// TenantStats is one session's public counter snapshot.
+type TenantStats struct {
+	Name string
+	core.SessionStats
+	// Queued counts launches sitting in the gateway queue right now.
+	Queued int
+	// Dropped counts launches discarded (teardown / poisoned session).
+	Dropped int64
+}
+
+// Stats is a point-in-time snapshot of the whole gateway.
+type Stats struct {
+	Active    int   // sessions currently open
+	Total     int64 // sessions ever opened
+	Failovers int   // workers the shared controller has written off
+	Tenants   []TenantStats
+}
+
+// Snapshot collects the gateway's current stats, tenants sorted by name.
+func (g *Gateway) Snapshot() Stats {
+	g.mu.Lock()
+	tenants := make([]*tenant, 0, len(g.sessions))
+	for _, t := range g.sessions {
+		tenants = append(tenants, t)
+	}
+	st := Stats{Active: len(tenants), Total: g.total}
+	g.mu.Unlock()
+	st.Failovers = g.ctl.Failovers()
+	for _, t := range tenants {
+		ts := TenantStats{Name: t.name, SessionStats: t.sess.Stats()}
+		t.mu.Lock()
+		ts.Queued = t.queued
+		ts.Dropped = t.dropped
+		t.mu.Unlock()
+		st.Tenants = append(st.Tenants, ts)
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	return st
+}
+
+// Handler returns the gateway's HTTP surface: GET /healthz and
+// GET /metrics (Prometheus text exposition).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		g.mu.Lock()
+		closed := g.closed
+		g.mu.Unlock()
+		if closed {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, g.Snapshot())
+	})
+	return mux
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func writeMetrics(w http.ResponseWriter, st Stats) {
+	fmt.Fprintln(w, "# HELP grout_gateway_sessions_active Tenant sessions currently open.")
+	fmt.Fprintln(w, "# TYPE grout_gateway_sessions_active gauge")
+	fmt.Fprintf(w, "grout_gateway_sessions_active %d\n", st.Active)
+	fmt.Fprintln(w, "# HELP grout_gateway_sessions_total Tenant sessions ever opened.")
+	fmt.Fprintln(w, "# TYPE grout_gateway_sessions_total counter")
+	fmt.Fprintf(w, "grout_gateway_sessions_total %d\n", st.Total)
+	fmt.Fprintln(w, "# HELP grout_gateway_failovers_total Workers the shared controller wrote off.")
+	fmt.Fprintln(w, "# TYPE grout_gateway_failovers_total counter")
+	fmt.Fprintf(w, "grout_gateway_failovers_total %d\n", st.Failovers)
+
+	perTenant := []struct {
+		name, help, typ string
+		val             func(TenantStats) string
+	}{
+		{"grout_gateway_ces_admitted_total", "CEs handed to the controller.", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Admitted) }},
+		{"grout_gateway_ces_completed_total", "CEs whose dispatch finished cleanly.", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Completed) }},
+		{"grout_gateway_ces_aborted_total", "CEs whose dispatch failed.", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Aborted) }},
+		{"grout_gateway_launches_dropped_total", "Launches discarded before submission.", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Dropped) }},
+		{"grout_gateway_launch_queue_depth", "Launches waiting in the admission queue.", "gauge",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Queued) }},
+		{"grout_gateway_inflight_ces", "CEs submitted but not yet dispatched.", "gauge",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.Inflight) }},
+		{"grout_gateway_array_bytes", "Live framework-managed array bytes.", "gauge",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.ArrayBytes) }},
+		{"grout_gateway_admission_wait_seconds_total", "Time launches spent queued before admission.", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%g", t.AdmissionWait.Seconds()) }},
+		{"grout_gateway_admission_wait_p99_seconds", "99th-percentile admission wait.", "gauge",
+			func(t TenantStats) string { return fmt.Sprintf("%g", t.AdmissionWaitP99.Seconds()) }},
+	}
+	for _, m := range perTenant {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, t := range st.Tenants {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %s\n", m.name, escapeLabel(t.Name), m.val(t))
+		}
+	}
+}

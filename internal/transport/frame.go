@@ -42,6 +42,10 @@ const (
 	helloControl byte = 0
 	// helloBulk tags the chunked array-data channel.
 	helloBulk byte = 1
+	// helloSession tags a tenant session channel: a client program
+	// talking to the multi-tenant gateway (internal/server) rather than
+	// a controller talking to a worker.
+	helloSession byte = 2
 )
 
 // helloLen is magic(4) + channel(1) + reserved(1).

@@ -114,6 +114,9 @@ const (
 	// CodeTransient maps to core.ErrTransient (e.g. a worker's P2P dial
 	// was refused mid-restart); the controller may retry it.
 	CodeTransient
+	// CodeQuotaExceeded maps to core.ErrQuotaExceeded: the gateway
+	// refused a tenant allocation over its array-byte quota.
+	CodeQuotaExceeded
 )
 
 // codeFor classifies an error for the wire.
@@ -131,6 +134,8 @@ func codeFor(err error) ErrCode {
 		return CodeTimeout
 	case errors.Is(err, core.ErrTransient):
 		return CodeTransient
+	case errors.Is(err, core.ErrQuotaExceeded):
+		return CodeQuotaExceeded
 	default:
 		return CodeGeneric
 	}
@@ -149,6 +154,8 @@ func (c ErrCode) sentinel() error {
 		return core.ErrTimeout
 	case CodeTransient:
 		return core.ErrTransient
+	case CodeQuotaExceeded:
+		return core.ErrQuotaExceeded
 	default:
 		return nil
 	}

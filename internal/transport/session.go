@@ -1,0 +1,376 @@
+package transport
+
+// session.go is the tenant-facing wire: the frames a client program
+// exchanges with the multi-tenant gateway (internal/server). It rides the
+// same framed transport as the controller↔worker protocol — 6-byte hello
+// (channel helloSession), length-prefixed frames, little-endian payloads
+// encoded with wire.go's append helpers and decoded with the sticky-error
+// wireReader — but carries session-scoped operations: every array ID in a
+// SessionRequest is local to the tenant's namespace, and the gateway maps
+// it onto the global DAG. Decoders are bounds-checked against adversarial
+// input like the controller wire's (see FuzzSessionRequest /
+// FuzzSessionResponse).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+// SessKind enumerates tenant-session requests.
+type SessKind uint8
+
+const (
+	// SessOpen introduces the session: Name labels the tenant in metrics.
+	SessOpen SessKind = iota
+	// SessPing checks gateway liveness.
+	SessPing
+	// SessNewArray allocates a session-scoped array (Elem, Len); the
+	// response carries the assigned session-local ID.
+	SessNewArray
+	// SessLaunch submits a kernel CE (Inv with session-local array IDs).
+	// The gateway acknowledges admission; dispatch errors surface on the
+	// next synchronizing operation.
+	SessLaunch
+	// SessHostRead synchronizes an array and returns its contents.
+	SessHostRead
+	// SessHostWrite replaces an array's contents with Data.
+	SessHostWrite
+	// SessFree releases a session-scoped array.
+	SessFree
+	// SessBuildKernel compiles mini-CUDA source cluster-wide; the
+	// response names the registered kernel.
+	SessBuildKernel
+	// SessElapsed returns the session's observed makespan (virtual ns).
+	SessElapsed
+	// SessClose ends the session cleanly (arrays freed server-side).
+	SessClose
+)
+
+var sessNames = [...]string{
+	"open", "ping", "new-array", "launch", "host-read", "host-write",
+	"free", "build-kernel", "elapsed", "close",
+}
+
+func (k SessKind) String() string {
+	if int(k) < len(sessNames) {
+		return sessNames[k]
+	}
+	return fmt.Sprintf("SessKind(%d)", int(k))
+}
+
+// SessionRequest is one client→gateway message. Array IDs are
+// session-scoped: the gateway translates them, so a tenant can never name
+// another tenant's data.
+type SessionRequest struct {
+	Kind SessKind
+	// Name labels the tenant (SessOpen); shows up in /metrics.
+	Name string
+	// Elem and Len describe a SessNewArray allocation.
+	Elem memmodel.ElemKind
+	Len  int64
+	// Array is the session-local target of read/write/free.
+	Array dag.ArrayID
+	// Inv is a SessLaunch invocation (session-local array refs).
+	Inv core.Invocation
+	// Src and Signature carry SessBuildKernel source.
+	Src, Signature string
+	// Data is the SessHostWrite payload.
+	Data *kernels.Buffer
+}
+
+// SessionResponse answers a SessionRequest.
+type SessionResponse struct {
+	Code ErrCode
+	Err  string
+	// Array is the ID assigned by SessNewArray.
+	Array dag.ArrayID
+	// Elapsed is SessElapsed's virtual nanoseconds.
+	Elapsed int64
+	// Name is the kernel registered by SessBuildKernel.
+	Name string
+	// Data is the SessHostRead payload.
+	Data *kernels.Buffer
+}
+
+// SetErr records err (with its wire code) on the response.
+func (r *SessionResponse) SetErr(err error) {
+	if err == nil {
+		return
+	}
+	r.Err = err.Error()
+	r.Code = codeFor(err)
+}
+
+// Ok reports the response's error, if any, rewrapped around its core
+// sentinel so errors.Is works across the socket.
+func (r *SessionResponse) Ok() error {
+	if r.Err == "" {
+		return nil
+	}
+	if s := r.Code.sentinel(); s != nil {
+		return fmt.Errorf("grout: remote error: %s (%w)", r.Err, s)
+	}
+	return fmt.Errorf("grout: remote error: %s", r.Err)
+}
+
+// appendSessionRequest encodes req after dst. Layout (little-endian):
+//
+//	u8  kind
+//	str name
+//	u8  elem   i64 len   i64 arrayID
+//	str inv.kernel  i64 grid  i64 block  u32 nargs
+//	  per arg: u8 isArray  i64 array  f64 scalar
+//	str src    str signature
+//	buffer data
+func appendSessionRequest(dst []byte, req *SessionRequest) []byte {
+	dst = appendU8(dst, uint8(req.Kind))
+	dst = appendString(dst, req.Name)
+	dst = appendU8(dst, uint8(req.Elem))
+	dst = appendI64(dst, req.Len)
+	dst = appendI64(dst, int64(req.Array))
+	dst = appendString(dst, req.Inv.Kernel)
+	dst = appendI64(dst, int64(req.Inv.Grid))
+	dst = appendI64(dst, int64(req.Inv.Block))
+	dst = appendU32(dst, uint32(len(req.Inv.Args)))
+	for _, a := range req.Inv.Args {
+		var isArr uint8
+		if a.IsArray {
+			isArr = 1
+		}
+		dst = appendU8(dst, isArr)
+		dst = appendI64(dst, int64(a.Array))
+		dst = appendF64(dst, a.Scalar)
+	}
+	dst = appendString(dst, req.Src)
+	dst = appendString(dst, req.Signature)
+	return appendBuffer(dst, req.Data)
+}
+
+// parseSessionRequestInto decodes into a caller-owned request, resetting
+// it first; decoded slices and buffers never alias the payload.
+func parseSessionRequestInto(p []byte, req *SessionRequest) error {
+	r := wireReader{p: p}
+	*req = SessionRequest{}
+	req.Kind = SessKind(r.u8())
+	req.Name = r.str()
+	req.Elem = memmodel.ElemKind(r.u8())
+	req.Len = r.i64()
+	req.Array = dag.ArrayID(r.i64())
+	req.Inv.Kernel = r.str()
+	req.Inv.Grid = int(r.i64())
+	req.Inv.Block = int(r.i64())
+	nargs := r.u32()
+	if r.bad || nargs > wireMaxArgs {
+		return errMalformed
+	}
+	if nargs > 0 {
+		req.Inv.Args = make([]core.ArgRef, nargs)
+		for i := range req.Inv.Args {
+			req.Inv.Args[i] = core.ArgRef{
+				IsArray: r.u8() != 0,
+				Array:   dag.ArrayID(r.i64()),
+				Scalar:  r.f64(),
+			}
+		}
+	}
+	req.Src = r.str()
+	req.Signature = r.str()
+	req.Data = r.buffer()
+	if !r.done() {
+		return errMalformed
+	}
+	return nil
+}
+
+// appendSessionResponse encodes resp after dst:
+//
+//	u8 code   str err
+//	i64 arrayID   i64 elapsed   str name
+//	buffer data
+func appendSessionResponse(dst []byte, resp *SessionResponse) []byte {
+	dst = appendU8(dst, uint8(resp.Code))
+	dst = appendString(dst, resp.Err)
+	dst = appendI64(dst, int64(resp.Array))
+	dst = appendI64(dst, resp.Elapsed)
+	dst = appendString(dst, resp.Name)
+	return appendBuffer(dst, resp.Data)
+}
+
+// parseSessionResponseInto decodes into a caller-owned response,
+// resetting it first.
+func parseSessionResponseInto(p []byte, resp *SessionResponse) error {
+	r := wireReader{p: p}
+	*resp = SessionResponse{}
+	resp.Code = ErrCode(r.u8())
+	resp.Err = r.str()
+	resp.Array = dag.ArrayID(r.i64())
+	resp.Elapsed = r.i64()
+	resp.Name = r.str()
+	resp.Data = r.buffer()
+	if !r.done() {
+		return errMalformed
+	}
+	return nil
+}
+
+// --- session channel ---------------------------------------------------------
+
+// SessionConn is one tenant channel: the client side performs strict
+// request/response round trips (Call); the gateway side reads requests and
+// replies by ID (ReadRequest / Reply). Both ends share the framed
+// transport's atomic frame writes.
+type SessionConn struct {
+	fc *framedConn
+
+	// mu serializes client round trips; the session protocol is strictly
+	// sequential per connection.
+	mu  sync.Mutex
+	seq uint64
+	// timeout, when > 0, bounds one client round trip.
+	timeout time.Duration
+}
+
+// DialSession opens a session channel to a gateway. dialTimeout bounds
+// the TCP connect + hello (0 = 5s default, negative disables);
+// callTimeout bounds each round trip (0 disables — session operations
+// like HostRead legitimately wait on global synchronization).
+func DialSession(addr string, dialTimeout, callTimeout time.Duration) (*SessionConn, error) {
+	fc, err := dialFramed(addr, helloSession, pickTimeout(dialTimeout, DefaultDialTimeout))
+	if err != nil {
+		return nil, err
+	}
+	c := &SessionConn{fc: fc}
+	if callTimeout > 0 {
+		c.timeout = callTimeout
+	}
+	return c, nil
+}
+
+// AcceptSession validates the hello on an accepted gateway connection and
+// wraps it. hsTimeout bounds the hello read (0 disables).
+func AcceptSession(raw net.Conn, hsTimeout time.Duration) (*SessionConn, error) {
+	if hsTimeout > 0 {
+		_ = raw.SetReadDeadline(time.Now().Add(hsTimeout))
+	}
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(raw, hello[:]); err != nil {
+		return nil, fmt.Errorf("transport: session hello: %w", wrapNetErr(err))
+	}
+	if string(hello[:4]) != helloMagic || hello[4] != helloSession {
+		return nil, fmt.Errorf("transport: not a session hello")
+	}
+	if hsTimeout > 0 {
+		_ = raw.SetReadDeadline(time.Time{})
+	}
+	return &SessionConn{fc: newFramedConn(raw, nil)}, nil
+}
+
+// Close tears the channel down; safe to call twice.
+func (c *SessionConn) Close() error { return c.fc.close() }
+
+// RemoteAddr names the peer (gateway logs).
+func (c *SessionConn) RemoteAddr() net.Addr { return c.fc.raw.RemoteAddr() }
+
+// Call performs one client round trip. Remote errors come back via
+// SessionResponse.Ok (sentinel-wrapped); transport errors kill the
+// connection.
+func (c *SessionConn) Call(req *SessionRequest) (*SessionResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := c.seq
+	bp := getFrameBuf()
+	*bp = appendSessionRequest(*bp, req)
+	err := c.fc.writeFrame(frameRequest, id, *bp)
+	putFrameBuf(bp)
+	if err != nil {
+		return nil, fmt.Errorf("transport: send session %v: %w", req.Kind, err)
+	}
+	if c.timeout > 0 {
+		c.fc.armRead(c.timeout)
+		defer c.fc.armRead(0)
+	}
+	h, err := c.fc.readHeader()
+	if err != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await session %v: %w", req.Kind, wrapNetErr(err)))
+	}
+	if h.ftype != frameResponse || h.reqID != id {
+		return nil, c.fc.fail(fmt.Errorf("transport: await session %v: unexpected frame type %d id %d",
+			req.Kind, h.ftype, h.reqID))
+	}
+	pb, err := c.fc.readPayload(h.n)
+	if err != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await session %v: %w", req.Kind, wrapNetErr(err)))
+	}
+	resp := &SessionResponse{}
+	perr := parseSessionResponseInto(*pb, resp)
+	putFrameBuf(pb)
+	if perr != nil {
+		return nil, c.fc.fail(fmt.Errorf("transport: await session %v: %w", req.Kind, perr))
+	}
+	return resp, nil
+}
+
+// ReadRequest reads the next client request into req (gateway serve
+// loop), returning its frame ID for the Reply.
+func (c *SessionConn) ReadRequest(req *SessionRequest) (uint64, error) {
+	h, err := c.fc.readHeader()
+	if err != nil {
+		return 0, err
+	}
+	if h.ftype != frameRequest {
+		return 0, fmt.Errorf("transport: session channel: unexpected frame type %d", h.ftype)
+	}
+	bp, err := c.fc.readPayload(h.n)
+	if err != nil {
+		return 0, err
+	}
+	perr := parseSessionRequestInto(*bp, req)
+	putFrameBuf(bp)
+	if perr != nil {
+		return 0, perr
+	}
+	return h.reqID, nil
+}
+
+// Reply answers one request (gateway serve loop).
+func (c *SessionConn) Reply(reqID uint64, resp *SessionResponse) error {
+	bp := getFrameBuf()
+	*bp = appendSessionResponse(*bp, resp)
+	err := c.fc.writeFrame(frameResponse, reqID, *bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// sessionRequestEq reports deep equality (fuzz round trips; floats
+// compare bit-exactly).
+func sessionRequestEq(a, b *SessionRequest) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || a.Elem != b.Elem || a.Len != b.Len ||
+		a.Array != b.Array || a.Src != b.Src || a.Signature != b.Signature ||
+		a.Inv.Kernel != b.Inv.Kernel || a.Inv.Grid != b.Inv.Grid || a.Inv.Block != b.Inv.Block ||
+		len(a.Inv.Args) != len(b.Inv.Args) {
+		return false
+	}
+	for i := range a.Inv.Args {
+		x, y := a.Inv.Args[i], b.Inv.Args[i]
+		if x.IsArray != y.IsArray || x.Array != y.Array ||
+			math.Float64bits(x.Scalar) != math.Float64bits(y.Scalar) {
+			return false
+		}
+	}
+	return bufferEq(a.Data, b.Data)
+}
+
+func sessionResponseEq(a, b *SessionResponse) bool {
+	return a.Code == b.Code && a.Err == b.Err && a.Array == b.Array &&
+		a.Elapsed == b.Elapsed && a.Name == b.Name && bufferEq(a.Data, b.Data)
+}

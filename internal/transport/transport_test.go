@@ -445,18 +445,23 @@ func TestFailoverDataLoss(t *testing.T) {
 
 	const n = int64(64)
 	x, _ := ctl.NewArray(memmodel.Float32, n)
-	// Host-write x, then mutate it in place on worker 1: afterwards the
-	// ONLY valid copy of the committed version lives there, and its sole
-	// lineage input is the host version the write invalidated — lineage
-	// recovery has nothing replayable to rebuild from.
+	y, _ := ctl.NewArray(memmodel.Float32, n)
+	// y is derived from x's first host version on worker 1; a second
+	// host write to x then overwrites the controller's buffer. After the
+	// kill, y's ONLY copy is gone and its lineage root x@1 is neither
+	// live anywhere nor host-held — recovery has nothing to rebuild from.
 	for i := 0; i < int(n); i++ {
 		x.Buf.Set(i, float64(-i))
 	}
 	if _, err := ctl.HostWrite(x.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Launch(core.Invocation{Kernel: "relu",
-		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}}); err != nil {
+	if _, err := ctl.Launch(core.Invocation{Kernel: "axpy",
+		Args: []core.ArgRef{core.ArrRef(y.ID), core.ArrRef(x.ID), core.ScalarRef(1), core.ScalarRef(float64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	x.Buf.Fill(1)
+	if _, err := ctl.HostWrite(x.ID); err != nil {
 		t.Fatal(err)
 	}
 	if err := workers[0].Close(); err != nil {
@@ -465,7 +470,7 @@ func TestFailoverDataLoss(t *testing.T) {
 	// A reader cannot be salvaged: first failure marks worker 1 dead,
 	// and the reroute discovers the data is gone for good.
 	_, err = ctl.Launch(core.Invocation{Kernel: "relu",
-		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(float64(n))}})
+		Args: []core.ArgRef{core.ArrRef(y.ID), core.ScalarRef(float64(n))}})
 	if !errors.Is(err, core.ErrDataLost) {
 		t.Fatalf("data loss not reported as core.ErrDataLost: %v", err)
 	}
@@ -474,14 +479,14 @@ func TestFailoverDataLoss(t *testing.T) {
 	}
 	// A full-overwrite writer is fine: old contents don't matter.
 	if _, err := ctl.Launch(core.Invocation{Kernel: "fill",
-		Args: []core.ArgRef{core.ArrRef(x.ID), core.ScalarRef(9), core.ScalarRef(float64(n))}}); err != nil {
+		Args: []core.ArgRef{core.ArrRef(y.ID), core.ScalarRef(9), core.ScalarRef(float64(n))}}); err != nil {
 		t.Fatalf("overwrite after data loss failed: %v", err)
 	}
-	if _, err := ctl.HostRead(x.ID); err != nil {
+	if _, err := ctl.HostRead(y.ID); err != nil {
 		t.Fatal(err)
 	}
-	if x.Buf.At(0) != 9 {
-		t.Fatalf("x[0] = %v, want 9", x.Buf.At(0))
+	if y.Buf.At(0) != 9 {
+		t.Fatalf("y[0] = %v, want 9", y.Buf.At(0))
 	}
 }
 

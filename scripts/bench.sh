@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the controller/DAG (including the failover/lineage
-# recovery-overhead pair), transport and kernel-engine micro-benchmarks
-# and emit BENCH_controller.json + BENCH_transport.json +
-# BENCH_kernels.json so future PRs can track the fast-path trajectories
-# against recorded baselines.
+# recovery-overhead pair), transport, kernel-engine and gateway
+# tenant-scaling micro-benchmarks and emit BENCH_controller.json +
+# BENCH_transport.json + BENCH_kernels.json + BENCH_server.json so
+# future PRs can track the fast-path trajectories against recorded
+# baselines.
 #
 # Usage: ./scripts/bench.sh [benchtime]     (default 2s per benchmark)
 set -euo pipefail
@@ -14,7 +15,8 @@ OUT=BENCH_controller.json
 RAW="$(mktemp)"
 TRAW="$(mktemp)"
 KRAW="$(mktemp)"
-trap 'rm -f "$RAW" "$TRAW" "$KRAW"' EXIT
+SRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TRAW" "$KRAW" "$SRAW"' EXIT
 
 echo "== controller benchmarks (-benchtime=$BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput' \
@@ -196,6 +198,52 @@ cold = bd.get('cold', {}).get('ns_per_op')
 cached = bd.get('cached', {}).get('ns_per_op')
 if cold and cached:
     doc['build_cache_speedup'] = round(cold / cached, 1)
+json.dump(doc, open(out, 'w'), indent=2)
+print(f'wrote {out}')
+EOF
+
+# --- gateway tenant-scaling benchmarks (DESIGN.md §5.5) --------------------
+# N concurrent client sessions over loopback TCP against one shared
+# 4-worker controller. ns/op is the per-tenant per-launch round trip;
+# ce_per_s is aggregate admitted throughput across all tenants and
+# p99adm_us the worst per-tenant 99th-percentile admission wait, both
+# scraped from the same session counters /metrics exports.
+
+echo "== gateway tenant-scaling benchmarks (-benchtime=$BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkGatewayTenants' \
+    -benchtime="$BENCHTIME" ./internal/bench/ | tee "$SRAW"
+
+python3 - "$SRAW" BENCH_server.json <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+current = {}
+pat = re.compile(
+    r'^BenchmarkGatewayTenants/(\d+)x(?:-\d+)?\s+\d+\s+([\d.]+) ns/op'
+    r'\s+([\d.]+) ce_per_s\s+([\d.]+) p99adm_us')
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    current[m.group(1) + 'x'] = {
+        'tenants': int(m.group(1)),
+        'ns_per_launch': float(m.group(2)),
+        'ce_per_s_aggregate': float(m.group(3)),
+        'p99_admission_wait_us': float(m.group(4)),
+    }
+
+doc = {
+    'description': 'Gateway tenant-scaling: N concurrent sessions over '
+                   'loopback TCP sharing one 4-worker controller; relu '
+                   'launches on 256Ki-element arrays, cost-only fleet so '
+                   'the admission path dominates.',
+    'current': current,
+}
+one = current.get('1x', {}).get('ce_per_s_aggregate')
+for name, row in sorted(current.items()):
+    if one and row['tenants'] > 1:
+        doc.setdefault('aggregate_scaling_vs_1x', {})[name] = round(
+            row['ce_per_s_aggregate'] / one, 2)
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

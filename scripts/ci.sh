@@ -6,17 +6,21 @@
 #   3. go test ./...                                   (full suite)
 #   4. go test -race ./internal/core/... ./internal/dag/...
 #                    ./internal/transport/... ./internal/minicuda/...
-#                    ./internal/kernels/...
+#                    ./internal/kernels/... ./internal/server/...
 #      (the pipelined controller's determinism property test, the DAG
 #      fast path, the framed-wire data plane — concurrent bulk
 #      streams, failover teardown — and the parallel kernel engine's
 #      block-partitioned executor + atomicAdd CAS loop run under the
 #      race detector; this sweep includes the chaos-fabric recovery
 #      suite, re-run explicitly in 4b so a rename can't silently drop
-#      it from the race gate)
-#   5. a short differential-fuzz budget: the slot-compiled kernel
-#      engine vs the tree-walking interpreter must stay bit-for-bit
-#      identical on generated kernels (10s; the corpus persists)
+#      it from the race gate; the multi-tenant gateway suite —
+#      concurrent tenants over real TCP, chaos failover, disconnect
+#      teardown — rides in the same sweep via internal/server)
+#   5. a short fuzz budget: the slot-compiled kernel engine vs the
+#      tree-walking interpreter must stay bit-for-bit identical on
+#      generated kernels (10s), and the session-frame codec must
+#      round-trip and never panic on adversarial payloads (5s each
+#      direction; corpora persist)
 #   6. the controller/DAG/transport/kernel micro-benchmarks with
 #      -benchtime=1x as a smoke gate (they must still compile and
 #      complete, not regress — use scripts/bench.sh for numbers)
@@ -34,9 +38,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag, transport, minicuda, kernels)"
+echo "== go test -race (core, dag, transport, minicuda, kernels, server)"
 go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
-    ./internal/minicuda/... ./internal/kernels/...
+    ./internal/minicuda/... ./internal/kernels/... ./internal/server/...
 
 echo "== go test -race chaos/recovery suite (lineage replay, deadlines, write-off)"
 go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
@@ -46,6 +50,10 @@ echo "== differential fuzz (compiled engine vs interpreter, 10s)"
 go test -run FuzzDifferential -fuzz FuzzDifferential -fuzztime 10s \
     ./internal/minicuda/
 
+echo "== session-frame codec fuzz (5s per direction)"
+go test -run '^$' -fuzz FuzzSessionRequest -fuzztime 5s ./internal/transport/
+go test -run '^$' -fuzz FuzzSessionResponse -fuzztime 5s ./internal/transport/
+
 echo "== micro-benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput|BenchmarkSchedulingOnly' \
     -benchtime=1x ./internal/bench/
@@ -54,5 +62,6 @@ go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkKernelExec/compiled|BenchmarkKernelBuild' \
     -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkGatewayTenants/4x' -benchtime=1x ./internal/bench/
 
 echo "CI OK"
