@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -484,7 +485,13 @@ func (c *Controller) MeanSchedulingOverhead() time.Duration {
 // NewArray allocates a global array, initially up to date on the
 // controller only (time 0).
 func (c *Controller) NewArray(kind memmodel.ElemKind, n int64) (*GlobalArray, error) {
-	if n <= 0 {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("core: invalid element kind %d", int(kind))
+	}
+	// The upper bound rejects lengths whose byte size would overflow
+	// int64 (Size is a power of two, so the division is exact); without
+	// it a huge n slips past byte-based quota checks and panics make.
+	if n <= 0 || n > math.MaxInt64/int64(kind.Size()) {
 		return nil, fmt.Errorf("core: invalid array length %d", n)
 	}
 	c.subMu.Lock()

@@ -122,11 +122,32 @@ func (s *ControllerSession) checkOpen() error {
 	return nil
 }
 
+// MaxSessionArrayBytes is the absolute ceiling on a single array
+// allocated through a session, independent of the tenant quota. Session
+// lengths arrive straight off the wire, and a quota-free session must
+// still not be able to drive make() into a multi-exabyte request (or an
+// int64 byte-size overflow that slips past the quota check) and panic
+// the shared gateway process. 1 TiB is far beyond anything the
+// simulated fleet hosts while leaving local quota-free sessions
+// unconstrained in practice.
+const MaxSessionArrayBytes = memmodel.Bytes(1) << 40
+
 // NewArray allocates an array charged against the session's byte quota
-// and returns its session-local ID.
+// and returns its session-local ID. Both kind and n come straight off
+// the wire in gateway use, so they are validated here — rejected, never
+// panicked on — before any size arithmetic or allocation.
 func (s *ControllerSession) NewArray(kind memmodel.ElemKind, n int64) (dag.ArrayID, error) {
 	if err := s.checkOpen(); err != nil {
 		return 0, err
+	}
+	if !kind.Valid() {
+		return 0, fmt.Errorf("core: session %q: invalid element kind %d", s.name, int(kind))
+	}
+	// Bounding n by the byte ceiling first makes the multiplication
+	// below overflow-free (the ceiling is far under MaxInt64).
+	if n <= 0 || n > int64(MaxSessionArrayBytes/kind.Size()) {
+		return 0, fmt.Errorf("core: session %q: invalid array length %d (max %d B per array)",
+			s.name, n, MaxSessionArrayBytes)
 	}
 	size := memmodel.Bytes(n) * kind.Size()
 	if s.lim.MaxArrayBytes > 0 && s.bytes+size > s.lim.MaxArrayBytes {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"grout/internal/cluster"
@@ -105,6 +106,51 @@ func TestSessionQuota(t *testing.T) {
 	}
 	if _, err := s.NewArray(memmodel.Float32, 256); err != nil {
 		t.Fatalf("NewArray after refund: %v", err)
+	}
+}
+
+// Kind and length reach NewArray straight off the wire: unknown kinds,
+// overflowing lengths and over-ceiling lengths must be rejected before
+// any size arithmetic or allocation — never panicked on — and must not
+// consume quota or poison the session.
+func TestSessionNewArrayValidation(t *testing.T) {
+	ctl := sessSystem(t)
+	s := NewControllerSession(ctl, "wire", SessionLimits{MaxArrayBytes: 4096})
+
+	if _, err := s.NewArray(memmodel.ElemKind(200), 8); err == nil {
+		t.Fatal("NewArray with an unknown element kind succeeded")
+	}
+	// n=1<<61 with an 8-byte kind wraps the byte size negative, which
+	// would slip past the quota check and panic make().
+	if _, err := s.NewArray(memmodel.Float64, 1<<61); err == nil {
+		t.Fatal("NewArray with an int64-overflowing length succeeded")
+	}
+	if _, err := s.NewArray(memmodel.Float64, int64(MaxSessionArrayBytes/8)+1); err == nil {
+		t.Fatal("NewArray above the absolute byte ceiling succeeded")
+	}
+	if _, err := s.NewArray(memmodel.Float32, 0); err == nil {
+		t.Fatal("NewArray of zero length succeeded")
+	}
+	if st := s.Stats(); st.Arrays != 0 || st.ArrayBytes != 0 {
+		t.Fatalf("rejected allocations left residue: %+v", st)
+	}
+	if _, err := s.NewArray(memmodel.Float32, 256); err != nil {
+		t.Fatalf("valid NewArray after rejections: %v", err)
+	}
+}
+
+// The controller itself guards the same admission edge (sessions are
+// not the only callers).
+func TestControllerNewArrayValidation(t *testing.T) {
+	ctl := sessSystem(t)
+	if _, err := ctl.NewArray(memmodel.ElemKind(-1), 8); err == nil {
+		t.Fatal("controller NewArray with an invalid kind succeeded")
+	}
+	if _, err := ctl.NewArray(memmodel.Float64, math.MaxInt64/8+1); err == nil {
+		t.Fatal("controller NewArray with an overflowing length succeeded")
+	}
+	if _, err := ctl.NewArray(memmodel.Float64, -1); err == nil {
+		t.Fatal("controller NewArray with a negative length succeeded")
 	}
 }
 

@@ -209,6 +209,12 @@ func (k ElemKind) Size() Bytes {
 	return kindSizes[k]
 }
 
+// Valid reports whether k is one of the defined element kinds. Kinds
+// decoded off the wire must be checked before they reach an allocator.
+func (k ElemKind) Valid() bool {
+	return k >= 0 && int(k) < len(kindSizes)
+}
+
 // KindFromName parses a mini-CUDA type name into an ElemKind.
 func KindFromName(name string) (ElemKind, bool) {
 	switch name {

@@ -170,6 +170,12 @@ func TestElemKind(t *testing.T) {
 	if _, ok := KindFromName("quaternion"); ok {
 		t.Fatalf("unknown kind accepted")
 	}
+	if !Float32.Valid() || !Int64.Valid() {
+		t.Fatalf("defined kinds reported invalid")
+	}
+	if ElemKind(-1).Valid() || ElemKind(4).Valid() || ElemKind(200).Valid() {
+		t.Fatalf("out-of-range kinds reported valid")
+	}
 }
 
 func TestParseBytes(t *testing.T) {

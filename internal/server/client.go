@@ -33,7 +33,10 @@ type Client struct {
 	conn    *transport.SessionConn
 	name    string
 	mirrors map[dag.ArrayID]*kernels.Buffer
-	closed  bool
+	// deferred holds an error a non-fallible call (Elapsed) had to
+	// swallow; the next Sync reports it instead of silently losing it.
+	deferred error
+	closed   bool
 }
 
 // Dial opens a tenant session on the gateway at addr. name labels the
@@ -136,18 +139,30 @@ func (c *Client) Free(id dag.ArrayID) error {
 // Elapsed implements workloads.Session. It is a synchronization point:
 // the gateway flushes the session's queue and drains the controller to
 // time-stamp it, so an error-free return also means every prior launch
-// dispatched cleanly.
+// dispatched cleanly. The interface gives Elapsed no error return, so a
+// failed round trip (sticky session poison, transport loss) yields 0 —
+// but the error is retained and reported by the next Sync. Callers
+// recording makespans must pair Elapsed with Sync to tell a genuine
+// zero from a failed session.
 func (c *Client) Elapsed() sim.VirtualTime {
 	resp, err := c.call(&transport.SessionRequest{Kind: transport.SessElapsed})
 	if err != nil {
+		if c.deferred == nil {
+			c.deferred = err
+		}
 		return 0
 	}
 	return sim.VirtualTime(resp.Elapsed)
 }
 
 // Sync waits until every launch the session submitted has dispatched,
-// reporting the session's sticky error, if any.
+// reporting the session's sticky error, if any — including one a prior
+// Elapsed had to swallow.
 func (c *Client) Sync() error {
+	if err := c.deferred; err != nil {
+		c.deferred = nil
+		return err
+	}
 	_, err := c.call(&transport.SessionRequest{Kind: transport.SessElapsed})
 	return err
 }

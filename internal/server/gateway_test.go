@@ -295,6 +295,52 @@ func TestGatewayQuota(t *testing.T) {
 	}
 }
 
+// Malformed allocation requests off the wire — an unknown element kind,
+// an int64-overflowing length, a negative length — must come back as
+// error responses; one bad frame must never crash the shared gateway.
+func TestGatewayRejectsMalformedNewArray(t *testing.T) {
+	g := gwStart(t, gwSystem(t, nil), Options{})
+	evil := gwDial(t, g, "evil")
+	if _, err := evil.NewArray(memmodel.ElemKind(200), 8); err == nil {
+		t.Fatal("alloc with an unknown element kind succeeded")
+	}
+	if _, err := evil.NewArray(memmodel.Float64, 1<<61); err == nil {
+		t.Fatal("alloc with an int64-overflowing length succeeded")
+	}
+	if _, err := evil.NewArray(memmodel.Float64, -4); err == nil {
+		t.Fatal("alloc with a negative length succeeded")
+	}
+	// The rejections are not sticky, and the gateway still serves both
+	// this session and fresh ones.
+	if _, err := evil.NewArray(memmodel.Float32, 16); err != nil {
+		t.Fatalf("valid alloc after rejections: %v", err)
+	}
+	if err := gwDial(t, g, "bystander").Ping(); err != nil {
+		t.Fatalf("gateway unhealthy after malformed frames: %v", err)
+	}
+}
+
+// Elapsed has no error return, so a failed sync there reports 0 — but
+// the swallowed error must surface on the next Sync instead of the run
+// being silently recorded as a zero makespan.
+func TestGatewayElapsedDefersError(t *testing.T) {
+	g := gwStart(t, gwSystem(t, nil), Options{})
+	c := gwDial(t, g, "timed")
+	a, err := c.NewArray(memmodel.Float32, gwElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Launch("no-such-kernel", 0, 0, core.ArrRef(a), core.ScalarRef(gwElems)); err != nil {
+		t.Fatalf("launch enqueue: %v", err)
+	}
+	if d := c.Elapsed(); d != 0 {
+		t.Fatalf("Elapsed over a poisoned session = %v, want 0", d)
+	}
+	if err := c.Sync(); err == nil {
+		t.Fatal("Sync after a failed Elapsed reported no error")
+	}
+}
+
 // A launch that fails on submission poisons only its own session, like
 // a CUDA stream error: reported on the next sync point, sticky after,
 // invisible to neighbors.
