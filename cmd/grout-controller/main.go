@@ -54,6 +54,7 @@ func main() {
 	partitions := flag.Int("partitions", 4, "portfolio partitions (CEs)")
 	elems := flag.Int("elems", 4096, "options per partition")
 	pipeline := flag.Bool("pipeline", false, "overlap CE dispatch with scheduling (DESIGN.md §5.1)")
+	optWindow := flag.Int("optimize-window", 0, "lookahead optimizer window in CEs (0 = 32 default, negative disables; DESIGN.md §5.6)")
 	wire := flag.String("wire", "framed", "wire protocol: framed (binary, dedicated bulk channel) or gob (legacy, one release)")
 	chunk := flag.Int("chunk", 0, "bulk-transfer chunk bytes (0 = 256 KiB default; clamped to [4 KiB, 64 MiB))")
 	failover := flag.Bool("failover", false, "survive worker failures: reroute CEs and replay lost arrays from lineage (DESIGN.md §5.4)")
@@ -67,7 +68,8 @@ func main() {
 	addrs := strings.Split(*workers, ",")
 	remote, err := grout.Connect(addrs, grout.Config{
 		Policy: *policyName, Level: *level, Pipeline: *pipeline,
-		Wire: *wire, ChunkBytes: *chunk,
+		OptimizeWindow: *optWindow,
+		Wire:           *wire, ChunkBytes: *chunk,
 		Failover: *failover, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
 		DialTimeout: *dialTimeout, CallTimeout: *callTimeout, ChunkTimeout: *chunkTimeout,
 	})

@@ -43,6 +43,7 @@ func main() {
 	weight := flag.Int("weight", 1, "per-session weight in the round-robin drain")
 	queueDepth := flag.Int("queue-depth", 0, "per-session launch queue depth (0 = 64 default, negative = 1)")
 	failover := flag.Bool("failover", true, "survive worker failures via lineage recovery")
+	optWindow := flag.Int("optimize-window", 0, "lookahead optimizer window in CEs (0 = 32 default, negative disables; DESIGN.md §5.6)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "grout-gateway: ", log.LstdFlags)
@@ -51,11 +52,12 @@ func main() {
 	}
 
 	cfg := grout.Config{
-		Policy:   *pol,
-		Level:    *level,
-		Numeric:  true,
-		Pipeline: true,
-		Failover: *failover,
+		Policy:         *pol,
+		Level:          *level,
+		Numeric:        true,
+		Pipeline:       true,
+		Failover:       *failover,
+		OptimizeWindow: *optWindow,
 	}
 	var ctl *core.Controller
 	var cleanup func()

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, ablation, scaling, whatif, recovery or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, recovery or all")
 	ces := flag.Int("ces", 512, "CE stream length for Fig 9's overhead measurement and the recovery figure's chain")
 	runWL := flag.String("run", "", "run one workload instead of a figure: bs, mle, cg, mv, images, deep")
 	size := flag.String("size", "32GiB", "footprint for -run")
@@ -108,9 +108,12 @@ func main() {
 			bench.PrintSeries(os.Stdout,
 				"Fig 9: controller scheduling overhead per CE (wall-clock µs) vs node count",
 				"nodes ->", "%.1f", bench.Fig9(*ces))
-			fmt.Println()
+		})
+	}
+	if sel("fusion") {
+		run("fusion", func() {
 			bench.PrintSeries(os.Stdout,
-				"Fig 9 companion: caller-blocked wall-clock per CE (µs), serial vs pipelined dispatch",
+				"Optimizer window: caller-blocked wall-clock per CE (µs) — serial vs pipelined vs pipelined+opt",
 				"nodes ->", "%.1f", bench.Fig9Compare(*ces))
 		})
 	}
@@ -169,7 +172,7 @@ func main() {
 		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, ablation, scaling, whatif, recovery or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, recovery or all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -84,6 +84,14 @@ type Config struct {
 	// serial schedule; see DESIGN.md §5.1). Launch/HostRead/HostWrite
 	// still synchronize where required.
 	Pipeline bool
+	// OptimizeWindow sizes the controller's lookahead optimizer window
+	// (DESIGN.md §5.6): submissions park until the window fills (or a
+	// synchronization point flushes it), then the whole batch runs
+	// through kernel fusion, transfer coalescing, redundant-move
+	// elimination, and one batched policy evaluation. 0 picks the
+	// default (DefaultOptimizeWindow); negative disables the window,
+	// restoring per-CE admission.
+	OptimizeWindow int
 	// Wire selects the TCP wire protocol for Connect: "framed" (default —
 	// binary frames with a dedicated bulk channel per worker, DESIGN.md
 	// §5.2) or "gob" (the legacy codec, kept for one release). Ignored by
@@ -118,12 +126,32 @@ type Config struct {
 	ChunkTimeout time.Duration
 }
 
+// DefaultOptimizeWindow is the lookahead window size used when
+// Config.OptimizeWindow is zero: large enough to amortize the batched
+// policy evaluation and find fusion chains, small enough that parked
+// work never waits long for a synchronization point.
+const DefaultOptimizeWindow = 32
+
+// optimizeWindow maps the Config convention (0 = default, negative =
+// disabled) onto core.Options' (positive = on, else off).
+func (c Config) optimizeWindow() int {
+	switch {
+	case c.OptimizeWindow < 0:
+		return 0
+	case c.OptimizeWindow == 0:
+		return DefaultOptimizeWindow
+	default:
+		return c.OptimizeWindow
+	}
+}
+
 // coreOptions builds the controller options shared by both deployments.
 func (c Config) coreOptions(numeric bool) core.Options {
 	return core.Options{
-		Numeric:  numeric,
-		Pipeline: c.Pipeline,
-		Failover: c.Failover,
+		Numeric:        numeric,
+		Pipeline:       c.Pipeline,
+		OptimizeWindow: c.optimizeWindow(),
+		Failover:       c.Failover,
 		Retry: core.RetryPolicy{
 			Attempts: c.RetryAttempts,
 			Backoff:  c.RetryBackoff,

@@ -316,13 +316,15 @@ func Fig9(cesPerRun int) []Series {
 	return out
 }
 
-// Fig9Compare contrasts the serial and pipelined submission paths on the
-// Figure 9 synthetic stream: for each policy and node count, the
-// wall-clock time the CE stream is blocked per submission — Launch for the
-// serial path (scheduling + dispatch inline), Submit for the pipelined one
-// (scheduling only; dispatch overlaps with later admissions). Two series
-// per policy — "<policy>/serial" and "<policy>/pipelined" — in
-// microseconds per CE.
+// Fig9Compare contrasts the submission paths on the Figure 9 synthetic
+// stream: for each policy and node count, the wall-clock time the CE
+// stream is blocked per submission — Launch for the serial path
+// (scheduling + dispatch inline), Submit for the pipelined one
+// (scheduling only; dispatch overlaps with later admissions), and Submit
+// behind the lookahead optimizer window (batched scheduling, fusion,
+// transfer coalescing). Three series per policy — "<policy>/serial",
+// "<policy>/pipelined" and "<policy>/pipelined+opt" — in microseconds
+// per CE.
 func Fig9Compare(cesPerRun int) []Series {
 	if cesPerRun <= 0 {
 		cesPerRun = 512
@@ -335,17 +337,24 @@ func Fig9Compare(cesPerRun int) []Series {
 		}
 		return p
 	}
+	modes := []struct {
+		suffix string
+		opts   core.Options
+	}{
+		{"/serial", core.Options{}},
+		{"/pipelined", core.Options{Pipeline: true}},
+		{"/pipelined+opt", core.Options{Pipeline: true, OptimizeWindow: 32}},
+	}
 	var out []Series
 	for _, name := range names {
-		serial := Series{Name: name + "/serial"}
-		piped := Series{Name: name + "/pipelined"}
-		for _, nodes := range Fig9NodeCounts {
-			us := submitWallClockProbe(nodes, cesPerRun, mk(name), false)
-			serial.Points = append(serial.Points, Point{X: float64(nodes), Value: us})
-			us = submitWallClockProbe(nodes, cesPerRun, mk(name), true)
-			piped.Points = append(piped.Points, Point{X: float64(nodes), Value: us})
+		for _, mode := range modes {
+			s := Series{Name: name + mode.suffix}
+			for _, nodes := range Fig9NodeCounts {
+				us := submitWallClockProbe(nodes, cesPerRun, mk(name), mode.opts)
+				s.Points = append(s.Points, Point{X: float64(nodes), Value: us})
+			}
+			out = append(out, s)
 		}
-		out = append(out, serial, piped)
 	}
 	return out
 }
@@ -353,10 +362,10 @@ func Fig9Compare(cesPerRun int) []Series {
 // submitWallClockProbe measures the wall-clock microseconds per CE the
 // caller is blocked submitting the Fig. 9 stream (the final drain is not
 // part of the per-CE admission cost and is excluded).
-func submitWallClockProbe(nodes, ces int, pol policy.Policy, pipelined bool) float64 {
+func submitWallClockProbe(nodes, ces int, pol policy.Policy, opts core.Options) float64 {
 	clu := cluster.New(cluster.PaperSpec(nodes))
 	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
-	ctl := core.NewController(fab, pol, core.Options{Pipeline: pipelined})
+	ctl := core.NewController(fab, pol, opts)
 	defer ctl.Close()
 	const arrays = 16
 	ids := make([]core.ArgRef, arrays)
@@ -375,7 +384,7 @@ func submitWallClockProbe(nodes, ces int, pol policy.Policy, pipelined bool) flo
 			Args:   []core.ArgRef{ids[i%arrays], core.ScalarRef(float64(elems))},
 		}
 		var err error
-		if pipelined {
+		if opts.Pipeline || opts.OptimizeWindow > 0 {
 			_, err = ctl.Submit(inv)
 		} else {
 			_, err = ctl.Launch(inv)

@@ -81,31 +81,43 @@ func BenchmarkControllerSubmitThroughput(b *testing.B) {
 				}
 			}
 		})
-		b.Run(tc.name+"/pipelined", func(b *testing.B) {
-			b.ReportAllocs()
-			ctl, ids := streamControllerOpts(tc.nodes, tc.pol(), core.Options{Pipeline: true})
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i > 0 && i%resetEvery == 0 {
-					b.StopTimer()
-					if err := ctl.Close(); err != nil {
+		// pipelined admission alone, and pipelined admission behind the
+		// lookahead optimizer window (fusion, coalescing, batched policy).
+		pipeOpts := []struct {
+			name string
+			opts core.Options
+		}{
+			{"pipelined", core.Options{Pipeline: true}},
+			{"pipelined+opt", core.Options{Pipeline: true, OptimizeWindow: 32}},
+		}
+		for _, po := range pipeOpts {
+			opts := po.opts
+			b.Run(tc.name+"/"+po.name, func(b *testing.B) {
+				b.ReportAllocs()
+				ctl, ids := streamControllerOpts(tc.nodes, tc.pol(), opts)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i > 0 && i%resetEvery == 0 {
+						b.StopTimer()
+						if err := ctl.Close(); err != nil {
+							b.Fatal(err)
+						}
+						ctl, ids = streamControllerOpts(tc.nodes, tc.pol(), opts)
+						b.StartTimer()
+					}
+					if _, err := ctl.Submit(fig9Invocation(ids, i)); err != nil {
 						b.Fatal(err)
 					}
-					ctl, ids = streamControllerOpts(tc.nodes, tc.pol(), core.Options{Pipeline: true})
-					b.StartTimer()
 				}
-				if _, err := ctl.Submit(fig9Invocation(ids, i)); err != nil {
+				if err := ctl.Drain(); err != nil {
 					b.Fatal(err)
 				}
-			}
-			if err := ctl.Drain(); err != nil {
-				b.Fatal(err)
-			}
-			b.StopTimer()
-			if err := ctl.Close(); err != nil {
-				b.Fatal(err)
-			}
-		})
+				b.StopTimer()
+				if err := ctl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }
 

@@ -169,6 +169,37 @@ func (f *ChaosFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 	return f.inner.MoveArray(id, src, dst, srcReady, srcBuf, dstBuf)
 }
 
+// MoveArrays implements BulkMover when the inner fabric does: the bulk
+// frame counts as one move against the sever schedule and one SlowLink
+// delay, like the single wire operation it models. With a plain inner
+// fabric the assertion fails and the controller never sees a BulkMover,
+// so coalescing silently degrades to per-array moves.
+func (f *ChaosFabric) MoveArrays(dst cluster.NodeID, ids []dag.ArrayID,
+	srcReady sim.VirtualTime, bufs []*kernels.Buffer) (sim.VirtualTime, error) {
+	bm, ok := f.inner.(BulkMover)
+	if !ok {
+		return 0, fmt.Errorf("chaos: inner fabric cannot bulk-move arrays")
+	}
+	if f.opt.SlowLink > 0 {
+		time.Sleep(f.opt.SlowLink)
+	}
+	f.mu.Lock()
+	f.moves++
+	severed := f.sever[f.moves]
+	if severed {
+		delete(f.sever, f.moves)
+		f.injected++
+	}
+	f.mu.Unlock()
+	if severed {
+		return 0, fmt.Errorf("chaos: bulk transfer of %d arrays severed mid-chunk: %w", len(ids), ErrTransient)
+	}
+	if err := f.checkWorker(dst); err != nil {
+		return 0, err
+	}
+	return bm.MoveArrays(dst, ids, srcReady, bufs)
+}
+
 // Launch implements Fabric and is where kill/hang schedules trigger.
 func (f *ChaosFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.VirtualTime) (sim.VirtualTime, error) {
 	f.mu.Lock()

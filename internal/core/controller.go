@@ -14,6 +14,7 @@ import (
 	"grout/internal/kernels"
 	"grout/internal/memmodel"
 	"grout/internal/minicuda"
+	"grout/internal/optimizer"
 	"grout/internal/policy"
 	"grout/internal/sim"
 )
@@ -145,6 +146,15 @@ type Options struct {
 	Pipeline bool
 	// PipelineDepth bounds each worker's dispatch queue (default 64).
 	PipelineDepth int
+	// OptimizeWindow, when positive, parks up to that many admitted CEs
+	// in a lookahead window and runs the optimizer passes — kernel
+	// fusion, transfer coalescing, redundant-move elimination, batched
+	// policy evaluation — over the whole batch before dispatch (see
+	// window.go and DESIGN.md §5.6). Zero or negative disables the
+	// window. Synchronization points (Drain, HostRead/HostWrite,
+	// FreeArray, SetPolicy, BuildKernel, Close, FlushWindow) flush a
+	// partial window.
+	OptimizeWindow int
 	// TraceCapacity preallocates the per-CE trace buffer for long
 	// streams (a hint; the buffer still grows past it).
 	TraceCapacity int
@@ -273,6 +283,33 @@ type Controller struct {
 	// pipe is the pipelined dispatch engine (nil in serial mode).
 	pipe *pipeline
 
+	// Lookahead optimizer window (window.go). optWindow > 0 enables it;
+	// win holds parked entries and winErr the sticky flush error, both
+	// guarded by subMu. bulkMover caches the fabric's optional coalescing
+	// interface; optStats aggregates controller-wide optimizer counters.
+	optWindow int
+	win       []*winEntry
+	winErr    error
+	bulkMover BulkMover
+	optStats  OptCounters
+	// winReqs/winNodes are the batched policy evaluation's scratch —
+	// every request of a window alive at once, reused across windows
+	// (guarded by mu; policies may not retain them past AssignBatch).
+	winReqs  []policy.Request
+	winNodes []policy.NodeInfo
+	// winPlaced is planPrefetchLocked's reusable op scratch (guarded by
+	// mu; PlanPrefetch copies what it keeps).
+	winPlaced []optimizer.PlacedOp
+	// winViews dedupes identical data views within one window's batched
+	// policy evaluation: view-key → first window index (guarded by mu).
+	winViews map[uint64]int
+	// schedSlabs recycles the window's scheduled slabs: the batch
+	// dispatcher (or the serial flush path) returns a slab once its whole
+	// window has dispatched. Own mutex — recycling must not contend with
+	// the scheduling stage's locks.
+	schedSlabMu sync.Mutex
+	schedSlabs  [][]scheduled
+
 	// totals
 	movedBytes memmodel.Bytes
 	p2pMoves   int
@@ -310,6 +347,10 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 	if opts.Failover {
 		c.lineage = make(map[lineageKey]*producerRec)
 	}
+	if opts.OptimizeWindow > 0 {
+		c.optWindow = opts.OptimizeWindow
+	}
+	c.bulkMover, _ = fabric.(BulkMover)
 	if opts.Retry.Jitter > 0 {
 		seed := opts.Retry.Seed
 		if seed == 0 {
@@ -327,22 +368,28 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 	return c
 }
 
-// Close stops the pipelined dispatchers after draining in-flight CEs. It
-// is a no-op for serial controllers and is idempotent.
+// Close stops the pipelined dispatchers after draining in-flight CEs
+// (flushing the optimizer window first, so parked CEs still run). It is
+// a no-op for serial controllers without a window and is idempotent.
 func (c *Controller) Close() error {
+	c.subMu.Lock()
+	ferr := c.flushWindowLocked()
+	c.subMu.Unlock()
 	if c.pipe == nil {
-		return nil
+		return ferr
 	}
-	return c.pipe.close()
+	if err := c.pipe.close(); err != nil {
+		return err
+	}
+	return ferr
 }
 
-// Drain waits until every submitted CE has dispatched and reports the
-// first terminal error, if any. A no-op in serial mode.
+// Drain flushes the optimizer window, waits until every submitted CE has
+// dispatched, and reports the first terminal error, if any.
 func (c *Controller) Drain() error {
-	if c.pipe == nil {
-		return nil
-	}
-	return c.pipe.drain()
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	return c.drainLocked()
 }
 
 // aliveWorkers returns the live worker list, maintained incrementally:
@@ -427,7 +474,7 @@ func (c *Controller) Policy() policy.Policy { return c.pol }
 func (c *Controller) SetPolicy(p policy.Policy) {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	c.mu.Lock()
 	c.pol = p
 	c.mu.Unlock()
@@ -443,7 +490,7 @@ func (c *Controller) Registry() *kernels.Registry { return c.reg }
 func (c *Controller) Traces() []CETrace {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	return c.traces
 }
 
@@ -451,7 +498,7 @@ func (c *Controller) Traces() []CETrace {
 func (c *Controller) Elapsed() sim.VirtualTime {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	return c.elapsed
 }
 
@@ -459,7 +506,7 @@ func (c *Controller) Elapsed() sim.VirtualTime {
 func (c *Controller) MovedBytes() memmodel.Bytes {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	return c.movedBytes
 }
 
@@ -467,7 +514,7 @@ func (c *Controller) MovedBytes() memmodel.Bytes {
 func (c *Controller) P2PMoves() int {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	return c.p2pMoves
 }
 
@@ -529,7 +576,7 @@ func (c *Controller) Array(id dag.ArrayID) *GlobalArray {
 func (c *Controller) FreeArray(id dag.ArrayID) error {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	c.Drain()
+	c.drainLocked()
 	c.mu.Lock()
 	_, ok := c.arrays[id]
 	c.mu.Unlock()
@@ -638,6 +685,14 @@ type scheduled struct {
 	// scalars), captured at admission under mu so the dispatch stage
 	// never reads the arrays map unlocked.
 	arrs []*GlobalArray
+	// windowed marks CEs admitted through the optimizer window: their
+	// membership predictions are trusted for the pass-3 replica check.
+	windowed bool
+	// stats is the submitting session's optimizer counter block (nil for
+	// the direct client); prefetch, if set, is the transfer-coalescing
+	// plan this CE leads (window.go).
+	stats    *OptCounters
+	prefetch *prefetchPlan
 }
 
 // validate checks an invocation against the kernel registry and returns
@@ -773,6 +828,20 @@ func (c *Controller) predictMembership(s *scheduled) {
 // With Options.Pipeline, Launch still blocks until the CE completes; use
 // Submit to overlap scheduling with dispatch.
 func (c *Controller) Launch(inv Invocation) (sim.VirtualTime, error) {
+	if c.optWindow > 0 {
+		// Window mode: park, then flush immediately — Launch is a
+		// synchronous call, so there is nothing to look ahead at.
+		c.subMu.Lock()
+		p, err := c.parkLocked(inv, nil, nil)
+		if err == nil {
+			c.flushWindowLocked()
+		}
+		c.subMu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return p.Wait()
+	}
 	if c.pipe == nil {
 		// Serial fast path: reuse the controller's scheduled record,
 		// skip the Pending. The whole admit+dispatch runs under the
@@ -808,6 +877,9 @@ func (c *Controller) Submit(inv Invocation) (*Pending, error) {
 // submitLocked is Submit under subMu (Launch shares it without
 // re-locking).
 func (c *Controller) submitLocked(inv Invocation) (*Pending, error) {
+	if c.optWindow > 0 {
+		return c.parkLocked(inv, nil, nil)
+	}
 	s, err := c.admit(inv, nil)
 	if err != nil {
 		return nil, err
@@ -884,6 +956,14 @@ func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
 	var moved memmodel.Bytes
 	var p2p int
 	retries, recoveries := 0, 0
+
+	// Pass 2: this CE leads a coalesced bulk move — ship the run's
+	// controller-resident inputs in one fabric operation before the
+	// per-argument path walks them.
+	var pfMoved memmodel.Bytes
+	if s.prefetch != nil {
+		pfMoved = c.bulkPrefetch(s)
+	}
 	for {
 		// A job scheduled before a failover may carry a target that has
 		// since been written off; reassign before touching the fabric.
@@ -970,7 +1050,7 @@ func (c *Controller) dispatch(s *scheduled) (sim.VirtualTime, error) {
 		firstTry = false
 	}
 
-	c.commit(s, target, ready, end, moved, p2p)
+	c.commit(s, target, ready, end, moved+pfMoved, p2p)
 	return end, nil
 }
 
@@ -1140,10 +1220,27 @@ func (c *Controller) ensureArgs(target cluster.NodeID, s *scheduled, usePredicti
 			continue
 		}
 		arr := s.arrs[i] // resolved at admission; no unlocked map read
+		expected := usePrediction && s.upAtSched[i]
+		if s.windowed && expected && target == s.target {
+			// Pass 3: the window predicted a fresh replica here; when the
+			// authoritative registry confirms it, the whole per-argument
+			// fabric round trip (EnsureArray + move) is redundant. A
+			// worker only ever appears in upToDate after an EnsureArray
+			// reached it, so skipping the allocation call is safe.
+			c.mu.Lock()
+			t, up := arr.upToDate[target]
+			c.mu.Unlock()
+			if up {
+				if t > ready {
+					ready = t
+				}
+				c.countEliminatedMove(s)
+				continue
+			}
+		}
 		if err := c.fabric.EnsureArray(target, arr.ArrayMeta); err != nil {
 			return 0, 0, 0, err
 		}
-		expected := usePrediction && s.upAtSched[i]
 		t, ok, werr := c.waitLocalCopy(arr, target, expected)
 		if werr != nil {
 			return 0, 0, 0, werr
@@ -1238,7 +1335,15 @@ func (c *Controller) buildRequest(ce *dag.CE, args []ArgRef, accs []memmodel.Acc
 	if cap(c.reqNodes) < len(workers) {
 		c.reqNodes = make([]policy.NodeInfo, len(workers))
 	}
-	nodes := c.reqNodes[:len(workers)]
+	return c.buildRequestInto(ce, args, accs, c.reqNodes[:len(workers)], workers)
+}
+
+// buildRequestInto is buildRequest writing into caller-owned node
+// storage, so the window's batched policy evaluation can hold every
+// request of a window alive at once (the scratch-based path cannot).
+// Caller holds mu; len(nodes) == len(workers).
+func (c *Controller) buildRequestInto(ce *dag.CE, args []ArgRef, accs []memmodel.Access,
+	nodes []policy.NodeInfo, workers []cluster.NodeID) policy.Request {
 	req := policy.Request{CE: ce, Nodes: nodes}
 	if !c.pol.NeedsDataView() {
 		// Static policies only need the candidate list.
@@ -1329,7 +1434,7 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 	defer c.subMu.Unlock()
 	// After the drain the dispatchers are quiescent and subMu excludes
 	// new submissions, so the body below owns every structure it touches.
-	if err := c.Drain(); err != nil {
+	if err := c.drainLocked(); err != nil {
 		return 0, err
 	}
 	arr, ok := c.arrays[id]
@@ -1396,7 +1501,7 @@ func (c *Controller) HostRead(id dag.ArrayID) (sim.VirtualTime, error) {
 func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	if err := c.Drain(); err != nil {
+	if err := c.drainLocked(); err != nil {
 		return 0, err
 	}
 	arr, ok := c.arrays[id]
@@ -1444,7 +1549,7 @@ func (c *Controller) HostWrite(id dag.ArrayID) (sim.VirtualTime, error) {
 func (c *Controller) BuildKernel(src, signature string) (*kernels.Def, error) {
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	if err := c.Drain(); err != nil {
+	if err := c.drainLocked(); err != nil {
 		return nil, err
 	}
 	key := minicuda.CacheKey(src, signature)

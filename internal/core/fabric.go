@@ -90,6 +90,20 @@ type BulkEstimator interface {
 	EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes, dsts []cluster.NodeID, out []sim.VirtualTime)
 }
 
+// BulkMover is an optional Fabric fast path for the window optimizer's
+// transfer coalescing (DESIGN.md §5.6): ship several controller-resident
+// arrays to one worker as a single bulk operation instead of len(ids)
+// individual moves. bufs[i] is the controller payload for ids[i] (nil in
+// cost-only mode). Every array must already be ensured on dst. The move
+// may not start before srcReady; the returned time is when the whole
+// bulk frame has arrived. Fabrics that cannot do better than a per-array
+// loop should not implement this — the controller falls back to
+// MoveArray and loses nothing.
+type BulkMover interface {
+	MoveArrays(dst cluster.NodeID, ids []dag.ArrayID, srcReady sim.VirtualTime,
+		bufs []*kernels.Buffer) (sim.VirtualTime, error)
+}
+
 // LocalFabric runs workers in-process over the cluster simulator.
 // Operations mutate shared virtual timelines and must not be issued
 // concurrently; the controller's pipelined mode sequences them (it does
@@ -206,6 +220,37 @@ func (f *LocalFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
 	iv := f.clu.Transfer(src, dst, size, ready)
 	if f.numeric && payload != nil && dstBuf != nil {
 		copyBuffer(dstBuf, payload)
+	}
+	return iv.End, nil
+}
+
+// MoveArrays implements BulkMover: one cluster transfer of the summed
+// size carries every array, so the per-transfer fixed cost (latency,
+// scheduling slot) is paid once per bulk frame instead of once per
+// array — the coalescing win the window optimizer plans for.
+func (f *LocalFabric) MoveArrays(dst cluster.NodeID, ids []dag.ArrayID,
+	srcReady sim.VirtualTime, bufs []*kernels.Buffer) (sim.VirtualTime, error) {
+	rt, ok := f.workers[dst]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown destination worker %v", dst)
+	}
+	var total memmodel.Bytes
+	for _, id := range ids {
+		arr := rt.Array(id)
+		if arr == nil {
+			return 0, fmt.Errorf("core: array %d not ensured on %v before move: %w", id, dst, ErrArrayNotFound)
+		}
+		total += arr.Bytes()
+	}
+	iv := f.clu.Transfer(cluster.ControllerID, dst, total, srcReady)
+	for k, id := range ids {
+		arr := rt.Array(id)
+		if err := rt.Node().Invalidate(arr.Alloc); err != nil {
+			return 0, err
+		}
+		if f.numeric && k < len(bufs) && bufs[k] != nil && arr.Buf != nil {
+			copyBuffer(arr.Buf, bufs[k])
+		}
 	}
 	return iv.End, nil
 }

@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"grout/internal/cluster"
+	"grout/internal/sim"
 )
 
 // ConcurrentDispatcher is implemented by fabrics whose operations are
@@ -60,6 +61,29 @@ type job struct {
 	s   *scheduled
 	seq uint64
 	p   *Pending
+	// followers are the Pendings of CEs the window optimizer fused into
+	// this one; they resolve with the same end time and error.
+	followers []*Pending
+}
+
+// finish resolves the job's Pending and every follower.
+func (j *job) finish(end sim.VirtualTime, err error) {
+	j.p.end, j.p.err = end, err
+	close(j.p.done)
+	for _, f := range j.followers {
+		f.end, f.err = end, err
+		close(f.done)
+	}
+}
+
+// jobBatch is one flushed optimizer window in flight to the batch
+// dispatcher. scheds is the jobs' backing slab; the dispatcher recycles
+// it once the whole window has dispatched (nothing retains a *scheduled
+// past dispatch — the serial path's schedBuf reuse relies on the same
+// contract).
+type jobBatch struct {
+	jobs   []job
+	scheds []scheduled
 }
 
 // pipeline is the dispatch engine behind Options.Pipeline.
@@ -68,6 +92,14 @@ type pipeline struct {
 	queues    map[cluster.NodeID]chan *job
 	wg        sync.WaitGroup
 	sequenced bool
+
+	// batch feeds whole optimizer windows to a single dispatcher
+	// goroutine: one channel handoff per window instead of one ticket
+	// hand-over per CE, which is where the pipelined submit path loses
+	// against serial on scheduler-bound streams. Jobs inside a batch run
+	// FIFO on that one goroutine; the ticket sequencer still orders them
+	// against any per-worker queue traffic.
+	batch chan jobBatch
 
 	// mu guards the submission/completion counters and closed flag.
 	mu        sync.Mutex
@@ -106,6 +138,9 @@ func newPipeline(c *Controller, depth int) *pipeline {
 		pl.wg.Add(1)
 		go pl.dispatcher(q)
 	}
+	pl.batch = make(chan jobBatch, depth)
+	pl.wg.Add(1)
+	go pl.batchDispatcher()
 	return pl
 }
 
@@ -131,26 +166,36 @@ func (pl *pipeline) enqueue(s *scheduled) (*Pending, error) {
 	return j.p, nil
 }
 
+// enqueueBatch hands a flushed optimizer window to the batch dispatcher
+// in one operation. Jobs arrive with their Pendings already made (Submit
+// returned them while the CEs were parked); tickets are issued here, in
+// window order, so the sequencer interleaves the batch correctly with
+// any directly enqueued CEs.
+func (pl *pipeline) enqueueBatch(b jobBatch) error {
+	if len(b.jobs) == 0 {
+		return nil
+	}
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return fmt.Errorf("core: controller closed")
+	}
+	for i := range b.jobs {
+		b.jobs[i].seq = pl.submitted
+		pl.submitted++
+	}
+	pl.mu.Unlock()
+	pl.batch <- b
+	return nil
+}
+
 func (pl *pipeline) dispatcher(q chan *job) {
 	defer pl.wg.Done()
 	for j := range q {
 		if pl.sequenced {
 			pl.waitTurn(j.seq)
 		}
-		err := pl.sticky()
-		var end = j.p.end
-		if err == nil {
-			end, err = pl.c.dispatch(j.s)
-			if err != nil {
-				pl.fail(err)
-			}
-		} else {
-			// A prior CE failed terminally; record this one as failed
-			// too so dependents stop waiting on it.
-			pl.c.commitError(j.s, err)
-		}
-		j.p.end, j.p.err = end, err
-		close(j.p.done)
+		pl.runJob(j)
 		if pl.sequenced {
 			pl.advance()
 		}
@@ -159,6 +204,48 @@ func (pl *pipeline) dispatcher(q chan *job) {
 		pl.drainCond.Broadcast()
 		pl.mu.Unlock()
 	}
+}
+
+// batchDispatcher drains whole optimizer windows. The jobs of one batch
+// carry consecutive tickets, so in sequenced mode waitTurn degenerates
+// to a cheap check after the first job.
+func (pl *pipeline) batchDispatcher() {
+	defer pl.wg.Done()
+	for b := range pl.batch {
+		for i := range b.jobs {
+			j := &b.jobs[i]
+			if pl.sequenced {
+				pl.waitTurn(j.seq)
+			}
+			pl.runJob(j)
+			if pl.sequenced {
+				pl.advance()
+			}
+		}
+		pl.mu.Lock()
+		pl.completed += uint64(len(b.jobs))
+		pl.drainCond.Broadcast()
+		pl.mu.Unlock()
+		pl.c.putSchedSlab(b.scheds)
+	}
+}
+
+// runJob dispatches one CE (or records the sticky failure) and resolves
+// its Pending and any fusion followers.
+func (pl *pipeline) runJob(j *job) {
+	err := pl.sticky()
+	var end = j.p.end
+	if err == nil {
+		end, err = pl.c.dispatch(j.s)
+		if err != nil {
+			pl.fail(err)
+		}
+	} else {
+		// A prior CE failed terminally; record this one as failed
+		// too so dependents stop waiting on it.
+		pl.c.commitError(j.s, err)
+	}
+	j.finish(end, err)
 }
 
 // sticky reads the first terminal error under the controller lock.
@@ -220,6 +307,7 @@ func (pl *pipeline) close() error {
 	for _, q := range pl.queues {
 		close(q)
 	}
+	close(pl.batch)
 	pl.wg.Wait()
 	return err
 }

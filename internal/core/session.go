@@ -63,6 +63,13 @@ type SessionStats struct {
 	// AdmissionWaitP99 is the 99th-percentile wait over the session's
 	// first admSampleCap recorded waits.
 	AdmissionWaitP99 time.Duration
+	// Optimizer-window counters (window.go): producer CEs fused away,
+	// transfers coalesced into bulk frames, and moves skipped because the
+	// target already held a fresh replica. All zero while the
+	// controller's OptimizeWindow is off.
+	FusedCEs           int64
+	CoalescedTransfers int64
+	EliminatedMoves    int64
 }
 
 // admSampleCap bounds the per-session admission-wait reservoir; beyond
@@ -76,18 +83,24 @@ type ControllerSession struct {
 	name string
 	lim  SessionLimits
 
-	mu        sync.Mutex
-	idle      sync.Cond // signaled when inflight drops to zero
-	arrays    map[dag.ArrayID]*GlobalArray
-	nextLocal dag.ArrayID
-	bytes     memmodel.Bytes
-	inflight  int
+	mu         sync.Mutex
+	idle       sync.Cond // signaled when inflight drops to zero
+	arrays     map[dag.ArrayID]*GlobalArray
+	nextLocal  dag.ArrayID
+	bytes      memmodel.Bytes
+	inflight   int
 	admitted   int64
 	completed  int64
 	aborted    int64
 	admWait    time.Duration
 	admSamples []time.Duration
 	closed     bool
+
+	// opt aggregates the optimizer window's per-tenant counters; the
+	// session pointer doubles as the tenant tag fusion isolates on. Not
+	// under mu — the counters are atomics bumped from dispatcher
+	// goroutines.
+	opt OptCounters
 }
 
 // NewControllerSession opens a tenant session on ctl. The name is used
@@ -217,7 +230,7 @@ func (s *ControllerSession) Submit(inv Invocation) (*Pending, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.ctl.Submit(tinv)
+	p, err := s.ctl.SubmitTagged(tinv, &s.opt, s)
 	if err != nil {
 		s.mu.Lock()
 		s.admitted++
@@ -274,17 +287,21 @@ func (s *ControllerSession) WaitIdle() {
 
 // Stats snapshots the session's counters.
 func (s *ControllerSession) Stats() SessionStats {
+	opt := s.opt.Snapshot()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionStats{
-		Admitted:         s.admitted,
-		Completed:        s.completed,
-		Aborted:          s.aborted,
-		Inflight:         s.inflight,
-		Arrays:           len(s.arrays),
-		ArrayBytes:       s.bytes,
-		AdmissionWait:    s.admWait,
-		AdmissionWaitP99: quantileLocked(s.admSamples, 0.99),
+		Admitted:           s.admitted,
+		Completed:          s.completed,
+		Aborted:            s.aborted,
+		Inflight:           s.inflight,
+		Arrays:             len(s.arrays),
+		ArrayBytes:         s.bytes,
+		AdmissionWait:      s.admWait,
+		AdmissionWaitP99:   quantileLocked(s.admSamples, 0.99),
+		FusedCEs:           opt.FusedCEs,
+		CoalescedTransfers: opt.CoalescedTransfers,
+		EliminatedMoves:    opt.EliminatedMoves,
 	}
 }
 
@@ -403,6 +420,10 @@ func (s *ControllerSession) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Flush the optimizer window first: CEs of this session still parked
+	// there haven't started dispatching, and WaitIdle would sleep on them
+	// forever.
+	s.ctl.FlushWindow()
 	s.WaitIdle()
 	s.mu.Lock()
 	locals := make([]dag.ArrayID, 0, len(s.arrays))

@@ -27,8 +27,11 @@ func (b *Buffer) AtomicAdd(i int, v float64) float64 {
 		for {
 			oldBits := atomic.LoadUint32(addr)
 			old := float64(math.Float32frombits(oldBits))
-			newBits := math.Float32bits(float32(old + v))
-			if atomic.CompareAndSwapUint32(addr, oldBits, newBits) {
+			sum := float32(old + v)
+			if sum != sum {
+				sum = canonNaN32 // same canonical quiet NaN as Buffer.Set
+			}
+			if atomic.CompareAndSwapUint32(addr, oldBits, math.Float32bits(sum)) {
 				return old
 			}
 		}
@@ -37,7 +40,11 @@ func (b *Buffer) AtomicAdd(i int, v float64) float64 {
 		for {
 			oldBits := atomic.LoadUint64(addr)
 			old := math.Float64frombits(oldBits)
-			if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(old+v)) {
+			sum := old + v
+			if sum != sum {
+				sum = canonNaN64
+			}
+			if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(sum)) {
 				return old
 			}
 		}

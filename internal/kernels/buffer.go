@@ -74,8 +74,33 @@ func (b *Buffer) At(i int) float64 {
 	}
 }
 
+// CUDA never lets NaN payloads escape an arithmetic unit: a
+// single-precision op with a NaN input returns the quiet NaN 0x7fffffff,
+// and double precision its 64-bit analogue. Go gives no such guarantee —
+// the register allocator may commute ADDSD operands, so which operand's
+// sign/payload propagates through `NaN + NaN` is codegen-dependent, and
+// the same source expression can yield different NaN bits in different
+// closures. Canonicalizing at the store boundary restores CUDA's
+// determinism: it is what lets the fusion fuzzer and the optimizer
+// differential gate compare buffers bit-for-bit. RawBytes paths stay
+// untouched — transfers are memcpys and must preserve bytes exactly.
+var (
+	canonNaN32 = math.Float32frombits(0x7fffffff)
+	canonNaN64 = math.Float64frombits(0x7fffffffffffffff)
+)
+
 // Set stores v into element i, converting to the buffer's kind.
 func (b *Buffer) Set(i int, v float64) {
+	if v != v {
+		switch b.Kind {
+		case memmodel.Float32:
+			b.F32[i] = canonNaN32
+			return
+		case memmodel.Float64:
+			b.F64[i] = canonNaN64
+			return
+		}
+	}
 	switch b.Kind {
 	case memmodel.Float32:
 		b.F32[i] = float32(v)
@@ -92,6 +117,15 @@ func (b *Buffer) Set(i int, v float64) {
 // loop: each arm is a tight fill over the typed slice rather than a
 // per-element Set dispatch.
 func (b *Buffer) Fill(v float64) {
+	if v != v {
+		v = canonNaN64
+		if b.Kind == memmodel.Float32 {
+			for i := range b.F32 {
+				b.F32[i] = canonNaN32
+			}
+			return
+		}
+	}
 	switch b.Kind {
 	case memmodel.Float32:
 		f := float32(v)

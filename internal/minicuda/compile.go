@@ -149,7 +149,7 @@ func buildDef(k *Kernel, signature string, opts EngineOpts) (*kernels.Def, error
 		}
 	}
 
-	return &kernels.Def{
+	def := &kernels.Def{
 		Name: k.Name,
 		Sig:  sig,
 		CostOfLaunch: func(grid, block int, meta []kernels.ArgMeta) kernels.Cost {
@@ -171,7 +171,13 @@ func buildDef(k *Kernel, signature string, opts EngineOpts) (*kernels.Def, error
 			}
 			return runLaunch(kcopy, grid, block, args, opts.MaxThreadSteps)
 		},
-	}, nil
+	}
+	// A non-nil check before assigning keeps Fusion a clean nil interface
+	// for non-elementwise kernels (a typed nil would read as "fusable").
+	if ew := ElementwiseOf(k); ew != nil {
+		def.Fusion = ew
+	}
+	return def, nil
 }
 
 // signatureOf derives the NFI signature from the parameter list.

@@ -1,0 +1,503 @@
+package minicuda
+
+// AST-level elementwise kernel fusion.
+//
+// The optimizer's fusion pass (internal/optimizer) combines a
+// producer→consumer pair of elementwise kernels into one launch,
+// eliminating the intermediate array's materialization and its
+// controller→worker transfer. This file holds the compiler half of the
+// pass: recognizing the canonical elementwise shape at compile time
+// (ElementwiseOf, surfaced through kernels.Def.Fusion) and constructing
+// the fused kernel's source (FuseElementwise). The fused source goes
+// back through Compile, so it hits the same source-hash compile cache,
+// the same analysis, and the same lowering as any hand-written kernel —
+// fusion introduces no second execution path.
+//
+// Race analysis / serial-equivalence argument. A kernel passing
+// ElementwiseOf touches arrays only at the canonical global thread index
+//
+//	int i = blockIdx.x * blockDim.x + threadIdx.x;
+//	if (i < n) { ... base[i] ... }
+//
+// with no loops, no atomics, no device-function calls and no reads of
+// any stored array. Every memory access of thread t therefore lands on
+// element t, so threads are fully isolated. Fusing producer P and
+// consumer C (same grid, block, and guard bound) makes thread t execute
+// exactly the statements thread t of P then thread t of C would have
+// executed, in that order; since no other thread's statements can touch
+// element t under either schedule, the fused launch is equivalent to
+// running P then C — for any argument aliasing, including in-place
+// chains. Consumer reads of a producer-stored element go through a
+// scalar temporary of the stored array's element kind, whose declaration
+// coerces exactly like the array store would (float32 rounding
+// included), so results stay bit-identical. TestFuseElementwise and
+// FuzzFusion check this equivalence numerically.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grout/internal/memmodel"
+)
+
+// Elementwise is the compile-time fusion descriptor of a kernel with the
+// canonical elementwise shape. It is attached to kernels.Def.Fusion by
+// Compile; the AST stays private to this package.
+type Elementwise struct {
+	k *Kernel
+	// Idx is the name of the global-thread-index local.
+	Idx string
+	// Guard is the index of the scalar parameter bounding the guard
+	// (the n of "if (i < n)").
+	Guard int
+	// Stores lists, in body order, the indices of the pointer parameters
+	// the kernel writes. Each is stored exactly once and never read.
+	Stores []int
+}
+
+// NumParams reports the kernel's parameter count.
+func (e *Elementwise) NumParams() int { return len(e.k.Params) }
+
+// IsStore reports whether parameter i is one of the kernel's stores.
+func (e *Elementwise) IsStore(i int) bool {
+	for _, s := range e.Stores {
+		if s == i {
+			return true
+		}
+	}
+	return false
+}
+
+// ElementwiseOf recognizes the canonical elementwise shape and returns
+// its descriptor, or nil when the kernel does not qualify. The shape is
+// deliberately strict — a thread-index declaration, a single guard
+// against a scalar parameter, and a straight-line body of scalar
+// declarations and element stores, all indexed by the thread index:
+//
+//	__global__ void axpy(float *y, const float *x, float a, int n) {
+//	    int i = blockIdx.x * blockDim.x + threadIdx.x;
+//	    if (i < n) { y[i] = a * x[i] + y[i]; }    // rejected: stores y, reads y
+//	}
+//
+// (the example is rejected; "out[i] = a * x[i] + y[i]" qualifies).
+// Loops, atomics, device-function calls, reads of stored parameters,
+// and any index other than the plain thread index all disqualify.
+func ElementwiseOf(k *Kernel) *Elementwise {
+	if len(k.Body) != 2 {
+		return nil
+	}
+	decl, ok := k.Body[0].(*DeclStmt)
+	if !ok || decl.Kind != memmodel.Int32 || decl.Init == nil || !isGidExpr(decl.Init) {
+		return nil
+	}
+	guard, ok := k.Body[1].(*IfStmt)
+	if !ok || guard.Else != nil {
+		return nil
+	}
+	cond, ok := guard.Cond.(*BinaryExpr)
+	if !ok || cond.Op != "<" {
+		return nil
+	}
+	lhs, ok := cond.L.(*IdentExpr)
+	if !ok || lhs.Name != decl.Name {
+		return nil
+	}
+	rhs, ok := cond.R.(*IdentExpr)
+	if !ok {
+		return nil
+	}
+	guardIdx := paramIndex(k, rhs.Name)
+	if guardIdx < 0 || k.Params[guardIdx].Pointer {
+		return nil
+	}
+
+	e := &Elementwise{k: k, Idx: decl.Name, Guard: guardIdx}
+	stored := map[string]bool{}
+	locals := map[string]bool{}
+	var exprs []Expr
+	for _, st := range guard.Then {
+		switch s := st.(type) {
+		case *DeclStmt:
+			if s.Init == nil || s.Name == decl.Name || paramIndex(k, s.Name) >= 0 || locals[s.Name] {
+				return nil
+			}
+			locals[s.Name] = true
+			exprs = append(exprs, s.Init)
+		case *AssignStmt:
+			if s.Op != "=" {
+				return nil
+			}
+			target, ok := s.Target.(*IndexExpr)
+			if !ok || !isIdent(target.Idx, decl.Name) {
+				return nil
+			}
+			pi := paramIndex(k, target.Base)
+			if pi < 0 || !k.Params[pi].Pointer || stored[target.Base] {
+				return nil
+			}
+			stored[target.Base] = true
+			e.Stores = append(e.Stores, pi)
+			exprs = append(exprs, s.Value)
+		default:
+			return nil
+		}
+	}
+	if len(e.Stores) == 0 {
+		return nil
+	}
+	for _, x := range exprs {
+		if !e.okExpr(x, locals, stored) {
+			return nil
+		}
+	}
+	return e
+}
+
+// okExpr admits the expressions fusable bodies may contain: scalars,
+// locals, the thread index, builtin vectors, math builtins, and element
+// reads of non-stored pointer parameters at the thread index.
+func (e *Elementwise) okExpr(x Expr, locals, stored map[string]bool) bool {
+	switch v := x.(type) {
+	case *NumberExpr:
+		return true
+	case *IdentExpr:
+		if v.Name == e.Idx || locals[v.Name] {
+			return true
+		}
+		pi := paramIndex(e.k, v.Name)
+		return pi >= 0 && !e.k.Params[pi].Pointer
+	case *IndexExpr:
+		pi := paramIndex(e.k, v.Base)
+		return pi >= 0 && e.k.Params[pi].Pointer && !stored[v.Base] && isIdent(v.Idx, e.Idx)
+	case *MemberExpr:
+		return true // threadIdx/blockIdx/blockDim/gridDim: per-thread pure
+	case *BinaryExpr:
+		return e.okExpr(v.L, locals, stored) && e.okExpr(v.R, locals, stored)
+	case *UnaryExpr:
+		return e.okExpr(v.X, locals, stored)
+	case *CastExpr:
+		return e.okExpr(v.X, locals, stored)
+	case *CondExpr:
+		return e.okExpr(v.C, locals, stored) && e.okExpr(v.T, locals, stored) && e.okExpr(v.F, locals, stored)
+	case *CallExpr:
+		if _, device := e.k.funcs[v.Name]; device {
+			return false // helper bodies would need re-emission; keep the pass simple
+		}
+		for _, a := range v.Args {
+			if !e.okExpr(a, locals, stored) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false // AddrExpr (atomics) and anything new
+	}
+}
+
+func isIdent(x Expr, name string) bool {
+	id, ok := x.(*IdentExpr)
+	return ok && id.Name == name
+}
+
+// paramDecl prints a renamed parameter declaration.
+func paramDecl(p Param, name string) string {
+	var b strings.Builder
+	if p.Const {
+		b.WriteString("const ")
+	}
+	b.WriteString(p.Kind.String())
+	b.WriteString(" ")
+	if p.Pointer {
+		b.WriteString("*")
+	}
+	b.WriteString(name)
+	return b.String()
+}
+
+func paramIndex(k *Kernel, name string) int {
+	for i, p := range k.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FusedParam maps one fused-kernel parameter back to the original pair.
+type FusedParam struct {
+	// FromConsumer selects which original kernel Index refers to.
+	FromConsumer bool
+	// Index is the parameter index in that kernel.
+	Index int
+}
+
+// FusedKernel is the output of FuseElementwise: compilable source plus
+// the argument mapping the optimizer uses to build the fused invocation.
+type FusedKernel struct {
+	// Name is the fused kernel's deterministic, content-derived name.
+	Name string
+	// Src is the complete __global__ source; compile it with Compile to
+	// hit the source-hash cache.
+	Src string
+	// Params maps each fused parameter to its origin.
+	Params []FusedParam
+}
+
+// FuseSpec directs a fusion. The optimizer fills it from the window's
+// array bindings; FuseElementwise validates it structurally.
+type FuseSpec struct {
+	// Link maps consumer parameter indices to the producer store
+	// parameter whose element value they read (both sides bound to the
+	// same array in the window). Linked consumer parameters disappear
+	// from the fused signature; their reads become the store's scalar
+	// temporary. Must be non-empty, and linked consumer parameters must
+	// not themselves be stores.
+	Link map[int]int
+	// Drop marks producer store parameters whose array store is elided
+	// entirely (the optimizer proved the intermediate dead: no reader
+	// before a full overwrite inside the lookahead window). A dropped
+	// parameter must be linked by at least one consumer parameter and
+	// disappears from the fused signature.
+	Drop map[int]bool
+}
+
+// FuseElementwise builds the fused kernel for a producer→consumer pair.
+// The caller (the optimizer) is responsible for the schedule-level
+// legality: equal grid/block, equal guard argument values, no CE between
+// the pair touching the producer's arrays, and tenant isolation. This
+// function owns the AST-level construction and its structural checks.
+func FuseElementwise(p, c *Elementwise, spec FuseSpec) (*FusedKernel, error) {
+	if len(spec.Link) == 0 {
+		return nil, fmt.Errorf("minicuda: fuse of %s into %s links nothing", p.k.Name, c.k.Name)
+	}
+	linkedStores := map[int]bool{}
+	for ci, pi := range spec.Link {
+		if ci < 0 || ci >= len(c.k.Params) || !c.k.Params[ci].Pointer || c.IsStore(ci) {
+			return nil, fmt.Errorf("minicuda: fuse link target %d is not a read-only pointer of %s", ci, c.k.Name)
+		}
+		if !p.IsStore(pi) {
+			return nil, fmt.Errorf("minicuda: fuse link source %d is not a store of %s", pi, p.k.Name)
+		}
+		linkedStores[pi] = true
+	}
+	for pi := range spec.Drop {
+		if !linkedStores[pi] {
+			return nil, fmt.Errorf("minicuda: dropped store %d of %s is not linked", pi, p.k.Name)
+		}
+	}
+
+	// Fused parameter list: producer parameters (minus dropped stores),
+	// then consumer parameters (minus linked reads). Renaming with side
+	// prefixes makes cross-kernel collisions impossible, chains included.
+	var params []FusedParam
+	var sig []string
+	pName := make([]string, len(p.k.Params))
+	for i, prm := range p.k.Params {
+		pName[i] = "p_" + prm.Name
+		if spec.Drop[i] {
+			continue
+		}
+		params = append(params, FusedParam{Index: i})
+		sig = append(sig, paramDecl(prm, pName[i]))
+	}
+	cName := make([]string, len(c.k.Params))
+	for i, prm := range c.k.Params {
+		cName[i] = "c_" + prm.Name
+		if _, linked := spec.Link[i]; linked {
+			continue
+		}
+		params = append(params, FusedParam{FromConsumer: true, Index: i})
+		sig = append(sig, paramDecl(prm, cName[i]))
+	}
+
+	// Scalar temporaries carrying linked store values, one per linked
+	// producer store, declared with the store's element kind so the
+	// coercion matches the array store it replaces.
+	temp := map[int]string{}
+	tempOrder := make([]int, 0, len(linkedStores))
+	for pi := range linkedStores {
+		tempOrder = append(tempOrder, pi)
+	}
+	sort.Ints(tempOrder)
+	for n, pi := range tempOrder {
+		temp[pi] = fmt.Sprintf("_t%d", n)
+	}
+
+	var body strings.Builder
+	body.WriteString("  int _gi = blockIdx.x * blockDim.x + threadIdx.x;\n")
+	fmt.Fprintf(&body, "  if (_gi < %s) {\n", pName[p.Guard])
+	if err := emitSide(&body, p, pName, func(storeParam int) (string, bool) {
+		return temp[storeParam], spec.Drop[storeParam]
+	}, nil); err != nil {
+		return nil, err
+	}
+	consumerElem := map[string]string{}
+	for ci, pi := range spec.Link {
+		consumerElem[c.k.Params[ci].Name] = temp[pi]
+	}
+	if err := emitSide(&body, c, cName, func(int) (string, bool) { return "", false }, consumerElem); err != nil {
+		return nil, err
+	}
+	body.WriteString("  }\n")
+
+	name := "fused_" + CacheKey(body.String()+"|"+strings.Join(sig, ","), "")[:12]
+	src := fmt.Sprintf("__global__ void %s(%s) {\n%s}\n", name, strings.Join(sig, ", "), body.String())
+	return &FusedKernel{Name: name, Src: src, Params: params}, nil
+}
+
+// emitSide prints one kernel's guarded body with renamed identifiers.
+// storeTemp reports, for a store parameter, the temporary carrying its
+// value (empty for none) and whether the array store itself is elided.
+// elemSub substitutes whole element reads base[idx] by a temporary.
+func emitSide(w *strings.Builder, e *Elementwise, name []string,
+	storeTemp func(int) (string, bool), elemSub map[string]string) error {
+	pr := &printer{
+		k:     e.k,
+		idx:   e.Idx,
+		param: name,
+		local: map[string]string{},
+		elem:  elemSub,
+	}
+	guard := e.k.Body[1].(*IfStmt)
+	for _, st := range guard.Then {
+		switch s := st.(type) {
+		case *DeclStmt:
+			// Side-prefix locals like parameters: "p_"/"c_" never clash
+			// with "_gi"/"_tN" or the other side's names.
+			pr.local[s.Name] = name[0][:2] + s.Name
+			init, err := pr.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "    %s %s = %s;\n", s.Kind, pr.local[s.Name], init)
+		case *AssignStmt:
+			target := s.Target.(*IndexExpr)
+			pi := paramIndex(e.k, target.Base)
+			val, err := pr.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			tmp, drop := storeTemp(pi)
+			if tmp != "" {
+				fmt.Fprintf(w, "    %s %s = %s;\n", e.k.Params[pi].Kind, tmp, val)
+				val = tmp
+			}
+			if !drop {
+				fmt.Fprintf(w, "    %s[_gi] = %s;\n", name[pi], val)
+			}
+		default:
+			return fmt.Errorf("minicuda: unexpected statement in elementwise body of %s", e.k.Name)
+		}
+	}
+	return nil
+}
+
+// printer renders elementwise-body expressions back to source with
+// renamed identifiers. It only handles the node set okExpr admits.
+type printer struct {
+	k     *Kernel
+	idx   string
+	param []string
+	local map[string]string
+	elem  map[string]string // element reads substituted by temporaries
+}
+
+func (pr *printer) expr(x Expr) (string, error) {
+	switch v := x.(type) {
+	case *NumberExpr:
+		return formatNumber(v), nil
+	case *IdentExpr:
+		if v.Name == pr.idx {
+			return "_gi", nil
+		}
+		if n, ok := pr.local[v.Name]; ok {
+			return n, nil
+		}
+		if pi := paramIndex(pr.k, v.Name); pi >= 0 {
+			return pr.param[pi], nil
+		}
+		return "", fmt.Errorf("minicuda: fuse: unknown identifier %s", v.Name)
+	case *IndexExpr:
+		if t, ok := pr.elem[v.Base]; ok {
+			return t, nil
+		}
+		pi := paramIndex(pr.k, v.Base)
+		if pi < 0 {
+			return "", fmt.Errorf("minicuda: fuse: unknown array %s", v.Base)
+		}
+		return pr.param[pi] + "[_gi]", nil
+	case *MemberExpr:
+		return v.Base + "." + v.Field, nil
+	case *BinaryExpr:
+		l, err := pr.expr(v.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := pr.expr(v.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + v.Op + " " + r + ")", nil
+	case *UnaryExpr:
+		s, err := pr.expr(v.X)
+		if err != nil {
+			return "", err
+		}
+		return v.Op + "(" + s + ")", nil
+	case *CastExpr:
+		s, err := pr.expr(v.X)
+		if err != nil {
+			return "", err
+		}
+		return "(" + v.Kind.String() + ")(" + s + ")", nil
+	case *CondExpr:
+		cs, err := pr.expr(v.C)
+		if err != nil {
+			return "", err
+		}
+		ts, err := pr.expr(v.T)
+		if err != nil {
+			return "", err
+		}
+		fs, err := pr.expr(v.F)
+		if err != nil {
+			return "", err
+		}
+		return "(" + cs + " ? " + ts + " : " + fs + ")", nil
+	case *CallExpr:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			s, err := pr.expr(a)
+			if err != nil {
+				return "", err
+			}
+			args[i] = s
+		}
+		return v.Name + "(" + strings.Join(args, ", ") + ")", nil
+	default:
+		return "", fmt.Errorf("minicuda: fuse: unprintable expression %T", x)
+	}
+}
+
+// formatNumber round-trips a literal, preserving its int/float spelling:
+// "2" parses as an integer (integer division semantics) while "2.0"
+// parses as a float, so the distinction must survive printing.
+func formatNumber(v *NumberExpr) string {
+	if v.IsInt {
+		if v.Val < 0 {
+			return "(0 - " + strconv.FormatInt(-int64(v.Val), 10) + ")"
+		}
+		return strconv.FormatInt(int64(v.Val), 10)
+	}
+	s := strconv.FormatFloat(v.Val, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	if strings.HasPrefix(s, "-") {
+		// The lexer has no negative literals; re-parse as a negation.
+		s = "(0.0 - " + s[1:] + ")"
+	}
+	return s
+}

@@ -1,0 +1,450 @@
+package minicuda
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+)
+
+func compileEW(t *testing.T, src string) (*kernels.Def, *Elementwise) {
+	t.Helper()
+	def, err := Compile(src, "")
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	ew, _ := def.Fusion.(*Elementwise)
+	return def, ew
+}
+
+func TestElementwiseOfAccepts(t *testing.T) {
+	for name, src := range map[string]string{
+		"scale": `__global__ void scale(float *y, const float *x, float a, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] = a * x[i]; }
+		}`,
+		"two-stores": `__global__ void pair(float *s, double *d, const float *x, int n) {
+			int i = threadIdx.x + blockDim.x * blockIdx.x;
+			if (i < n) { s[i] = x[i] + 1.0; d[i] = (double)(x[i]) * 0.5; }
+		}`,
+		"locals-builtins-cond": `__global__ void lbc(float *y, const float *x, float a, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) {
+				float t = sqrtf(fabsf(x[i]));
+				y[i] = t > a ? t : a + (float)(i);
+			}
+		}`,
+	} {
+		def, ew := compileEW(t, src)
+		if ew == nil {
+			t.Errorf("%s: expected fusable, got Fusion=nil", name)
+			continue
+		}
+		if ew.Guard < 0 || len(ew.Stores) == 0 {
+			t.Errorf("%s: bad descriptor %+v", name, ew)
+		}
+		if def.Fusion != any(ew) {
+			t.Errorf("%s: Def.Fusion not the descriptor", name)
+		}
+	}
+}
+
+func TestElementwiseOfRejects(t *testing.T) {
+	for name, src := range map[string]string{
+		"loop": `__global__ void k(float *y, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { for (int j = 0; j < 3; j++) { y[i] = (float)(j); } }
+		}`,
+		"atomic": `__global__ void k(float *y, const float *x, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { atomicAdd(&y[0], x[i]); }
+		}`,
+		"read-after-store": `__global__ void k(float *y, const float *x, float a, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] = a * x[i] + y[i]; }
+		}`,
+		"shifted-index": `__global__ void k(float *y, const float *x, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] = x[i + 1]; }
+		}`,
+		"compound-assign": `__global__ void k(float *y, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] += 1.0; }
+		}`,
+		"else-branch": `__global__ void k(float *y, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] = 1.0; } else { y[0] = 0.0; }
+		}`,
+		"guard-not-param": `__global__ void k(float *y, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			int m = n - 1;
+			if (i < m) { y[i] = 1.0; }
+		}`,
+		"device-call": `
+		__device__ float dbl(float v) { return v + v; }
+		__global__ void k(float *y, const float *x, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { y[i] = dbl(x[i]); }
+		}`,
+		"no-store": `__global__ void k(const float *x, int n) {
+			int i = blockIdx.x * blockDim.x + threadIdx.x;
+			if (i < n) { float t = x[i]; }
+		}`,
+	} {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			def, err := Compile(src, "")
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if def.Fusion != nil {
+				t.Fatalf("expected Fusion=nil, got %#v", def.Fusion)
+			}
+		})
+	}
+}
+
+const fuseProducerSrc = `__global__ void scale(float *s, const float *x, float a, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { s[i] = a * x[i]; }
+}`
+
+const fuseConsumerSrc = `__global__ void shift(float *o, const float *u, const float *v, float b, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { o[i] = u[i] + v[i] * b; }
+}`
+
+// runFusedPair compiles the pair, fuses with consumer param 1 (u) linked
+// to producer store 0 (s), runs producer-then-consumer and the fused
+// kernel on identical inputs, and compares bit-for-bit.
+func runFusedPair(t *testing.T, drop bool) *FusedKernel {
+	t.Helper()
+	pd, p := compileEW(t, fuseProducerSrc)
+	cd, c := compileEW(t, fuseConsumerSrc)
+	if p == nil || c == nil {
+		t.Fatal("pair not fusable")
+	}
+	spec := FuseSpec{Link: map[int]int{1: 0}}
+	if drop {
+		spec.Drop = map[int]bool{0: true}
+	}
+	fk, err := FuseElementwise(p, c, spec)
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	fd, err := Compile(fk.Src, "")
+	if err != nil {
+		t.Fatalf("fused source does not compile: %v\n%s", err, fk.Src)
+	}
+	if fd.Fusion == nil {
+		t.Errorf("fused kernel lost the elementwise shape:\n%s", fk.Src)
+	}
+
+	const grid, block, n = 4, 8, 25
+	mk := func(seed float64) *kernels.Buffer {
+		b := kernels.NewBuffer(memmodel.Float32, n+7) // guard tail stays untouched
+		for i := 0; i < b.Len(); i++ {
+			b.Set(i, math.Sin(seed+float64(i)*0.7)*3)
+		}
+		return b
+	}
+	x, v := mk(1), mk(2)
+	sSeq, oSeq := mk(9), mk(10)
+	sFus, oFus := mk(9), mk(10)
+	a, bscal := 1.25, -0.75
+
+	if err := pd.ExecuteLaunch(grid, block, []kernels.Arg{
+		kernels.BufArg(sSeq), kernels.BufArg(x), kernels.ScalarArg(a), kernels.ScalarArg(n)}); err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if err := cd.ExecuteLaunch(grid, block, []kernels.Arg{
+		kernels.BufArg(oSeq), kernels.BufArg(sSeq), kernels.BufArg(v),
+		kernels.ScalarArg(bscal), kernels.ScalarArg(n)}); err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+
+	pArgs := []kernels.Arg{kernels.BufArg(sFus), kernels.BufArg(x),
+		kernels.ScalarArg(a), kernels.ScalarArg(n)}
+	cArgs := []kernels.Arg{kernels.BufArg(oFus), {}, kernels.BufArg(v),
+		kernels.ScalarArg(bscal), kernels.ScalarArg(n)}
+	var fArgs []kernels.Arg
+	for _, fp := range fk.Params {
+		if fp.FromConsumer {
+			fArgs = append(fArgs, cArgs[fp.Index])
+		} else {
+			fArgs = append(fArgs, pArgs[fp.Index])
+		}
+	}
+	if err := fd.ExecuteLaunch(grid, block, fArgs); err != nil {
+		t.Fatalf("fused: %v", err)
+	}
+
+	for i := 0; i < oSeq.Len(); i++ {
+		if math.Float64bits(oSeq.At(i)) != math.Float64bits(oFus.At(i)) {
+			t.Fatalf("output diverges at %d: seq %v fused %v (drop=%v)\n%s",
+				i, oSeq.At(i), oFus.At(i), drop, fk.Src)
+		}
+	}
+	for i := 0; i < sSeq.Len(); i++ {
+		want := sSeq.At(i)
+		if drop && i < n {
+			want = mk(9).At(i) // elided store leaves the intermediate alone
+		}
+		if math.Float64bits(want) != math.Float64bits(sFus.At(i)) {
+			t.Fatalf("intermediate diverges at %d: want %v got %v (drop=%v)", i, want, sFus.At(i), drop)
+		}
+	}
+	return fk
+}
+
+func TestFuseElementwise(t *testing.T) {
+	fk := runFusedPair(t, false)
+	if len(fk.Params) != 8 { // 4 producer + 5 consumer - 1 linked
+		t.Fatalf("param count %d, want 8: %+v", len(fk.Params), fk.Params)
+	}
+	if !strings.Contains(fk.Src, "p_s[_gi] =") {
+		t.Fatalf("kept store missing:\n%s", fk.Src)
+	}
+}
+
+func TestFuseElementwiseDropStore(t *testing.T) {
+	fk := runFusedPair(t, true)
+	if len(fk.Params) != 7 { // dropped store also leaves the signature
+		t.Fatalf("param count %d, want 7: %+v", len(fk.Params), fk.Params)
+	}
+	if strings.Contains(fk.Src, "p_s[_gi]") {
+		t.Fatalf("dropped store still materialized:\n%s", fk.Src)
+	}
+}
+
+func TestFuseNameDeterministic(t *testing.T) {
+	_, p := compileEW(t, fuseProducerSrc)
+	_, c := compileEW(t, fuseConsumerSrc)
+	a, err := FuseElementwise(p, c, FuseSpec{Link: map[int]int{1: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FuseElementwise(p, c, FuseSpec{Link: map[int]int{1: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || a.Src != b.Src {
+		t.Fatalf("fusion not deterministic: %q vs %q", a.Name, b.Name)
+	}
+	d, err := FuseElementwise(p, c, FuseSpec{Link: map[int]int{1: 0}, Drop: map[int]bool{0: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name == a.Name {
+		t.Fatal("distinct fusions share a name")
+	}
+}
+
+func TestFuseSpecValidation(t *testing.T) {
+	_, p := compileEW(t, fuseProducerSrc)
+	_, c := compileEW(t, fuseConsumerSrc)
+	for name, spec := range map[string]FuseSpec{
+		"empty-link":         {},
+		"link-to-store":      {Link: map[int]int{0: 0}}, // consumer's o is a store
+		"link-to-scalar":     {Link: map[int]int{3: 0}}, // b is not a pointer
+		"link-from-nonstore": {Link: map[int]int{1: 1}}, // producer's x is read-only
+		"drop-unlinked":      {Link: map[int]int{1: 0}, Drop: map[int]bool{1: true}},
+	} {
+		if _, err := FuseElementwise(p, c, spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// FuzzFusion generates elementwise producer→consumer chains from the fuzz
+// input, fuses them (optionally twice, collapsing a three-kernel chain),
+// and asserts the fused launch is bit-identical to running the chain
+// kernel by kernel — including when the consumer aliases the
+// intermediate, and when the elided store drops the intermediate write.
+func FuzzFusion(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add([]byte{255, 128, 64, 32, 16, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		next := func() byte {
+			b := data[0]
+			data = append(data[1:], b)
+			return b
+		}
+		// Random elementwise expression over reads r0[i]/r1[i], scalar a,
+		// the index, and literals; depth-bounded.
+		var gen func(depth int) string
+		ops := []string{"+", "-", "*"}
+		funcs := []string{"sqrtf", "fabsf", "expf"}
+		gen = func(depth int) string {
+			if depth <= 0 {
+				switch next() % 5 {
+				case 0:
+					return "r0[i]"
+				case 1:
+					return "r1[i]"
+				case 2:
+					return "a"
+				case 3:
+					return "(float)(i)"
+				default:
+					return fmt.Sprintf("%d.%d", next()%8, next()%10)
+				}
+			}
+			switch next() % 4 {
+			case 0:
+				return fmt.Sprintf("(%s %s %s)", gen(depth-1), ops[next()%3], gen(depth-1))
+			case 1:
+				return fmt.Sprintf("%s(%s)", funcs[next()%3], gen(depth-1))
+			case 2:
+				return fmt.Sprintf("(%s > 0.0 ? %s : %s)", gen(depth-1), gen(depth-1), gen(depth-1))
+			default:
+				return gen(depth - 1)
+			}
+		}
+		mkSrc := func(name string) string {
+			body := gen(int(next())%3 + 1)
+			return fmt.Sprintf(`__global__ void %s(float *w, const float *r0, const float *r1, float a, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { float t = %s; w[i] = t %s %s; }
+}`, name, body, ops[next()%3], gen(1))
+		}
+
+		chain := 2 + int(next())%2 // 2 or 3 kernels
+		srcs := make([]string, chain)
+		defs := make([]*kernels.Def, chain)
+		ews := make([]*Elementwise, chain)
+		for k := 0; k < chain; k++ {
+			srcs[k] = mkSrc(fmt.Sprintf("k%d", k))
+			def, err := Compile(srcs[k], "")
+			if err != nil {
+				t.Fatalf("generated source does not compile: %v\n%s", err, srcs[k])
+			}
+			defs[k] = def
+			ew, _ := def.Fusion.(*Elementwise)
+			if ew == nil {
+				t.Fatalf("generated kernel not fusable:\n%s", srcs[k])
+			}
+			ews[k] = ew
+		}
+
+		const grid, block, n = 3, 7, 17
+		mk := func(seed int) *kernels.Buffer {
+			b := kernels.NewBuffer(memmodel.Float32, n+3)
+			for i := 0; i < b.Len(); i++ {
+				b.Set(i, math.Sin(float64(seed)+float64(i))*2)
+			}
+			return b
+		}
+		// Chain wiring: k0(w0, x, y) → k1(w1, w0, y) [→ k2(w2, w1, w0)].
+		// Scalars vary per kernel; the guard n is shared (a fusion
+		// precondition the optimizer enforces).
+		x, y := mk(1), mk(2)
+		scal := []float64{1.5, -0.5, 2.25}
+		bufArgs := func(w, r0, r1 *kernels.Buffer, k int) []kernels.Arg {
+			return []kernels.Arg{kernels.BufArg(w), kernels.BufArg(r0),
+				kernels.BufArg(r1), kernels.ScalarArg(scal[k]), kernels.ScalarArg(n)}
+		}
+
+		// Sequential reference.
+		wSeq := []*kernels.Buffer{mk(10), mk(11), mk(12)}
+		seqIn := func(k int) (r0, r1 *kernels.Buffer) {
+			switch k {
+			case 0:
+				return x, y
+			case 1:
+				return wSeq[0], y
+			default:
+				return wSeq[1], wSeq[0]
+			}
+		}
+		for k := 0; k < chain; k++ {
+			r0, r1 := seqIn(k)
+			if err := defs[k].ExecuteLaunch(grid, block, bufArgs(wSeq[k], r0, r1, k)); err != nil {
+				t.Fatalf("seq k%d: %v", k, err)
+			}
+		}
+
+		// Fused: collapse k0→k1 (link r0), then optionally (fused)→k2,
+		// which links both of k2's reads (r0=w1, r1=w0).
+		drop01 := chain == 2 && next()%2 == 0 // w0 dead only in the 2-chain
+		spec := FuseSpec{Link: map[int]int{1: 0}}
+		if drop01 {
+			spec.Drop = map[int]bool{0: true}
+		}
+		f01, err := FuseElementwise(ews[0], ews[1], spec)
+		if err != nil {
+			t.Fatalf("fuse 0→1: %v", err)
+		}
+		fd, err := Compile(f01.Src, "")
+		if err != nil {
+			t.Fatalf("fused 0→1 does not compile: %v\n%s", err, f01.Src)
+		}
+		wFus := []*kernels.Buffer{mk(10), mk(11), mk(12)}
+		kArgs := [][]kernels.Arg{
+			bufArgs(wFus[0], x, y, 0),
+			bufArgs(wFus[1], nil, y, 1),
+			bufArgs(wFus[2], wFus[1], wFus[0], 2),
+		}
+		resolve := func(fk *FusedKernel, prod, cons []kernels.Arg) []kernels.Arg {
+			out := make([]kernels.Arg, len(fk.Params))
+			for i, fp := range fk.Params {
+				if fp.FromConsumer {
+					out[i] = cons[fp.Index]
+				} else {
+					out[i] = prod[fp.Index]
+				}
+			}
+			return out
+		}
+		fArgs := resolve(f01, kArgs[0], kArgs[1])
+		if chain == 3 {
+			few, _ := fd.Fusion.(*Elementwise)
+			if few == nil {
+				t.Fatalf("fused 0→1 lost elementwise shape:\n%s", f01.Src)
+			}
+			// k2 reads r0=w1 (store of the fused kernel) and r1=w0 (also a
+			// store of the fused kernel): link both.
+			w1Store, w0Store := -1, -1
+			for fi, fp := range f01.Params {
+				if !fp.FromConsumer && fp.Index == 0 {
+					w0Store = fi
+				}
+				if fp.FromConsumer && fp.Index == 0 {
+					w1Store = fi
+				}
+			}
+			f012, err := FuseElementwise(few, ews[2],
+				FuseSpec{Link: map[int]int{1: w1Store, 2: w0Store}})
+			if err != nil {
+				t.Fatalf("fuse (01)→2: %v", err)
+			}
+			fd2, err := Compile(f012.Src, "")
+			if err != nil {
+				t.Fatalf("fused (01)→2 does not compile: %v\n%s", err, f012.Src)
+			}
+			fd, fArgs = fd2, resolve(f012, fArgs, kArgs[2])
+		}
+		if err := fd.ExecuteLaunch(grid, block, fArgs); err != nil {
+			t.Fatalf("fused exec: %v", err)
+		}
+
+		for k := 0; k < chain; k++ {
+			if drop01 && k == 0 {
+				continue // elided intermediate intentionally diverges
+			}
+			for i := 0; i < wSeq[k].Len(); i++ {
+				a, b := wSeq[k].At(i), wFus[k].At(i)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("w%d[%d]: seq %v fused %v\nchain=%d drop=%v", k, i, a, b, chain, drop01)
+				}
+			}
+		}
+	})
+}

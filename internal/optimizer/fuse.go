@@ -1,0 +1,249 @@
+package optimizer
+
+import (
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+)
+
+// FuseResult is the outcome of FusePass.
+type FuseResult struct {
+	// Ops is the rewritten window, in order. Fused consumers keep their
+	// position; absorbed producers are removed.
+	Ops []*Op
+	// Fused counts absorbed producers (CEs eliminated from the window).
+	Fused int
+}
+
+// FusePass greedily fuses elementwise producer→consumer pairs inside one
+// tenant. A pair (P at i, C at j, i<j) fuses when:
+//
+//   - both kernels carry the compiler's Elementwise descriptor;
+//   - same tenant tag, grid, block, and guard argument value (fusion
+//     equates the two launches' thread sets);
+//   - C reads at least one array P stores, and every C parameter bound
+//     to a P-stored array is read-only in C;
+//   - no op between them touches any array P binds (P's effects move
+//     from slot i to slot j).
+//
+// The store of an intermediate is elided ("dropped") when the window
+// proves it dead: P is its only binding, and the next op after C that
+// touches it overwrites it fully before anything reads it. An
+// intermediate the window stops tracking (no later toucher) stays
+// materialized — a host read or a CE beyond the window may still want
+// it.
+//
+// Compilation of the fused source goes through compile; a compile
+// failure skips that pair (the window stays correct, just unfused).
+// Rounds repeat until a fixpoint so chains collapse: fusing A→B yields a
+// kernel that itself carries an Elementwise descriptor and can absorb
+// into C next round.
+func FusePass(ops []*Op, compile Compiler) FuseResult {
+	res := FuseResult{Ops: ops}
+	if compile == nil {
+		return res
+	}
+	for round := 0; round < len(ops); round++ {
+		if !fuseOne(&res, compile) {
+			break
+		}
+	}
+	return res
+}
+
+// fuseOne applies the first legal fusion and reports whether one fired.
+func fuseOne(res *FuseResult, compile Compiler) bool {
+	ops := res.Ops
+	for j := 1; j < len(ops); j++ {
+		c := ops[j]
+		cEw := c.elementwise()
+		if cEw == nil {
+			continue
+		}
+		for i := j - 1; i >= 0; i-- {
+			fused := tryFuse(ops, i, j, compile)
+			if fused == nil {
+				continue
+			}
+			// Producer i is absorbed into slot j.
+			out := make([]*Op, 0, len(ops)-1)
+			out = append(out, ops[:i]...)
+			out = append(out, ops[i+1:j]...)
+			out = append(out, fused)
+			out = append(out, ops[j+1:]...)
+			res.Ops = out
+			res.Fused++
+			return true
+		}
+	}
+	return false
+}
+
+// touchesAnyOf reports whether o binds any array the other op binds.
+func (o *Op) touchesAnyOf(other *Op) bool {
+	for _, a := range other.Args {
+		if a.Array != 0 && o.touches(a.Array) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryFuse checks the full legality of fusing producer i into consumer j
+// and returns the rewritten op, or nil.
+func tryFuse(ops []*Op, i, j int, compile Compiler) *Op {
+	p, c := ops[i], ops[j]
+	pEw, cEw := p.elementwise(), c.elementwise()
+	if pEw == nil || cEw == nil || p.Tenant != c.Tenant {
+		return nil
+	}
+	if p.Grid != c.Grid || p.Block != c.Block {
+		return nil
+	}
+	if len(p.Args) != pEw.NumParams() || len(c.Args) != cEw.NumParams() {
+		return nil // cost-only metas or mismatched binding; be safe
+	}
+	if p.Args[pEw.Guard].Meta.Scalar != c.Args[cEw.Guard].Meta.Scalar {
+		return nil
+	}
+
+	// Producer stores by array ID; the last store to an array wins, so a
+	// consumer read links to the final value.
+	storeOf := map[uint64]int{}
+	for _, si := range pEw.Stores {
+		if id := p.Args[si].Array; id != 0 {
+			storeOf[id] = si
+		}
+	}
+	link := map[int]int{}
+	for ci, ca := range c.Args {
+		si, stored := storeOf[ca.Array]
+		if ca.Array == 0 || !stored {
+			continue
+		}
+		if cEw.IsStore(ci) {
+			return nil // consumer overwrites the intermediate: order matters
+		}
+		link[ci] = si
+	}
+	if len(link) == 0 {
+		return nil
+	}
+
+	// Moving P's execution to slot j must not reorder it around anything
+	// touching its arrays.
+	for k := i + 1; k < j; k++ {
+		if ops[k].touchesAnyOf(p) {
+			return nil
+		}
+	}
+
+	// Dead-intermediate analysis: elide stores whose value nothing can
+	// observe before a full overwrite inside the window.
+	drop := map[int]bool{}
+	var dropped []uint64
+	for _, si := range deduped(link) {
+		id := p.Args[si].Array
+		if bindings(p, id)+bindings(c, id) > len(linkedTo(link, si))+1 {
+			continue // aliased elsewhere in the pair; keep the store
+		}
+		if overwrittenUnread(ops, j, id) {
+			drop[si] = true
+			dropped = append(dropped, id)
+		}
+	}
+
+	fk, err := minicuda.FuseElementwise(pEw, cEw, minicuda.FuseSpec{Link: link, Drop: drop})
+	if err != nil {
+		return nil
+	}
+	def, err := compile(fk.Src)
+	if err != nil || def == nil {
+		return nil
+	}
+
+	args := make([]Arg, len(fk.Params))
+	for n, fp := range fk.Params {
+		if fp.FromConsumer {
+			args[n] = c.Args[fp.Index]
+		} else {
+			args[n] = p.Args[fp.Index]
+		}
+	}
+	absorbed := make([]any, 0, len(p.Absorbed)+1+len(c.Absorbed))
+	absorbed = append(absorbed, c.Absorbed...)
+	absorbed = append(absorbed, p.Absorbed...)
+	absorbed = append(absorbed, p.Ref)
+	return &Op{
+		Def:           def,
+		Grid:          c.Grid,
+		Block:         c.Block,
+		Args:          args,
+		Tenant:        c.Tenant,
+		Ref:           c.Ref,
+		Absorbed:      absorbed,
+		DroppedArrays: append(append(append([]uint64(nil), c.DroppedArrays...), p.DroppedArrays...), dropped...),
+	}
+}
+
+// deduped returns the distinct producer store params of a link map.
+func deduped(link map[int]int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, si := range link {
+		if !seen[si] {
+			seen[si] = true
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// linkedTo returns the consumer params linked to a producer store.
+func linkedTo(link map[int]int, si int) []int {
+	var out []int
+	for ci, s := range link {
+		if s == si {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// bindings counts how many of the op's args bind the array.
+func bindings(o *Op, id uint64) int {
+	n := 0
+	for _, a := range o.Args {
+		if a.Array == id {
+			n++
+		}
+	}
+	return n
+}
+
+// overwrittenUnread reports whether, after index j, the first window op
+// touching the array overwrites all of it without reading it. False when
+// nothing later touches it (the value may escape the window).
+func overwrittenUnread(ops []*Op, j int, id uint64) bool {
+	for m := j + 1; m < len(ops); m++ {
+		o := ops[m]
+		if !o.touches(id) {
+			continue
+		}
+		accs := o.Def.Access(o.metas())
+		full := false
+		for ai, a := range o.Args {
+			if a.Array != id || ai >= len(accs) {
+				continue
+			}
+			acc := accs[ai].Normalize()
+			if acc.Mode.Reads() || acc.Fraction < 1 {
+				return false
+			}
+			if acc.Mode == memmodel.Write {
+				full = true
+			}
+		}
+		return full
+	}
+	return false
+}

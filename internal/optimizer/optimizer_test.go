@@ -1,0 +1,251 @@
+package optimizer
+
+import (
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+)
+
+const producerSrc = `__global__ void scale(float *s, const float *x, float a, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { s[i] = a * x[i]; }
+}`
+
+const consumerSrc = `__global__ void addv(float *o, const float *u, const float *v, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { o[i] = u[i] + v[i]; }
+}`
+
+func compileDef(t *testing.T, src string) *kernels.Def {
+	t.Helper()
+	def, err := minicuda.Compile(src, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if def.Fusion == nil {
+		t.Fatalf("kernel not elementwise:\n%s", src)
+	}
+	return def
+}
+
+func testCompiler(t *testing.T) Compiler {
+	return func(src string) (*kernels.Def, error) { return minicuda.Compile(src, "") }
+}
+
+func arr(id uint64, n int64) Arg {
+	return Arg{Array: id, Meta: kernels.ArgMeta{IsBuffer: true, Len: n}}
+}
+func scal(v float64) Arg { return Arg{Meta: kernels.ArgMeta{Scalar: v}} }
+func refs(ops []*Op) (out []any) {
+	for _, o := range ops {
+		out = append(out, o.Ref)
+	}
+	return
+}
+
+// scaleOp builds "scale(s, x, a, n)": s ← a*x.
+func scaleOp(t *testing.T, dst, src uint64, ref any) *Op {
+	return &Op{
+		Def: compileDef(t, producerSrc), Grid: 4, Block: 8,
+		Args: []Arg{arr(dst, 32), arr(src, 32), scal(2), scal(32)},
+		Ref:  ref,
+	}
+}
+
+// addOp builds "addv(o, u, v, n)": o ← u+v.
+func addOp(t *testing.T, dst, u, v uint64, ref any) *Op {
+	return &Op{
+		Def: compileDef(t, consumerSrc), Grid: 4, Block: 8,
+		Args: []Arg{arr(dst, 32), arr(u, 32), arr(v, 32), scal(32)},
+		Ref:  ref,
+	}
+}
+
+func TestFusePassPair(t *testing.T) {
+	ops := []*Op{
+		scaleOp(t, 10, 11, "p"),   // 10 ← 2*11
+		addOp(t, 12, 10, 13, "c"), // 12 ← 10+13: reads the intermediate
+	}
+	res := FusePass(ops, testCompiler(t))
+	if res.Fused != 1 || len(res.Ops) != 1 {
+		t.Fatalf("fused=%d ops=%d, want 1/1", res.Fused, len(res.Ops))
+	}
+	f := res.Ops[0]
+	if f.Ref != "c" || len(f.Absorbed) != 1 || f.Absorbed[0] != "p" {
+		t.Fatalf("refs wrong: ref=%v absorbed=%v", f.Ref, f.Absorbed)
+	}
+	if f.Def.Fusion == nil {
+		t.Fatal("fused def lost elementwise shape")
+	}
+	// Nothing downstream touches array 10, so its store must survive.
+	if len(f.DroppedArrays) != 0 {
+		t.Fatalf("unexpected drop: %v", f.DroppedArrays)
+	}
+	// Args: producer keeps s,x,a,n; consumer keeps o,v,n (u linked away).
+	want := []uint64{10, 11, 0, 0, 12, 13, 0}
+	if len(f.Args) != len(want) {
+		t.Fatalf("args %v", f.Args)
+	}
+	for i, w := range want {
+		if f.Args[i].Array != w {
+			t.Fatalf("arg %d: got array %d want %d", i, f.Args[i].Array, w)
+		}
+	}
+}
+
+func TestFusePassChainCollapses(t *testing.T) {
+	ops := []*Op{
+		scaleOp(t, 10, 11, "a"),
+		scaleOp(t, 12, 10, "b"),   // reads 10
+		addOp(t, 13, 12, 10, "c"), // reads both intermediates
+	}
+	res := FusePass(ops, testCompiler(t))
+	if res.Fused != 2 || len(res.Ops) != 1 {
+		t.Fatalf("fused=%d ops=%d, want 2/1", res.Fused, len(res.Ops))
+	}
+	if got := res.Ops[0].Absorbed; len(got) != 2 {
+		t.Fatalf("absorbed %v", got)
+	}
+}
+
+func TestFusePassTenantBoundary(t *testing.T) {
+	p := scaleOp(t, 10, 11, "p")
+	c := addOp(t, 12, 10, 13, "c")
+	p.Tenant, c.Tenant = "t1", "t2"
+	if res := FusePass([]*Op{p, c}, testCompiler(t)); res.Fused != 0 {
+		t.Fatalf("fused across tenants: %+v", res)
+	}
+	c.Tenant = "t1"
+	if res := FusePass([]*Op{p, c}, testCompiler(t)); res.Fused != 1 {
+		t.Fatal("same tenant should fuse")
+	}
+}
+
+func TestFusePassLaunchMismatch(t *testing.T) {
+	p := scaleOp(t, 10, 11, "p")
+	c := addOp(t, 12, 10, 13, "c")
+	c.Grid = 5
+	if res := FusePass([]*Op{p, c}, testCompiler(t)); res.Fused != 0 {
+		t.Fatal("fused across grid mismatch")
+	}
+	c.Grid = 4
+	c.Args[3] = scal(16) // different guard value
+	if res := FusePass([]*Op{p, c}, testCompiler(t)); res.Fused != 0 {
+		t.Fatal("fused across guard mismatch")
+	}
+}
+
+func TestFusePassInterference(t *testing.T) {
+	ops := []*Op{
+		scaleOp(t, 10, 11, "p"),
+		scaleOp(t, 11, 14, "w"), // overwrites the producer's input
+		addOp(t, 12, 10, 13, "c"),
+	}
+	res := FusePass(ops, testCompiler(t))
+	if res.Fused != 0 {
+		t.Fatalf("fused across an interfering writer: %+v", res.Ops)
+	}
+	// An unrelated op between them is fine.
+	ops = []*Op{
+		scaleOp(t, 10, 11, "p"),
+		scaleOp(t, 20, 21, "w"),
+		addOp(t, 12, 10, 13, "c"),
+	}
+	res = FusePass(ops, testCompiler(t))
+	if res.Fused != 1 || len(res.Ops) != 2 {
+		t.Fatalf("unrelated op blocked fusion: fused=%d", res.Fused)
+	}
+	if res.Ops[0].Ref != "w" || res.Ops[1].Ref != "c" {
+		t.Fatalf("order wrong: %v", refs(res.Ops))
+	}
+}
+
+func TestFusePassConsumerStoresLinked(t *testing.T) {
+	ops := []*Op{
+		scaleOp(t, 10, 11, "p"),
+		scaleOp(t, 10, 10, "c"), // in-place consumer of the intermediate
+	}
+	if res := FusePass(ops, testCompiler(t)); res.Fused != 0 {
+		t.Fatal("fused a consumer that overwrites the intermediate")
+	}
+}
+
+// fakeToucher builds a non-elementwise op with explicit access modes so
+// the dead-intermediate analysis sees exactly the given use.
+func fakeToucher(id uint64, mode memmodel.AccessMode, fraction float64) *Op {
+	def := &kernels.Def{
+		Name: "touch",
+		Sig:  kernels.Signature{Params: []kernels.Param{{Name: "b", Pointer: true}}},
+		AccessOf: func(meta []kernels.ArgMeta) []memmodel.Access {
+			return []memmodel.Access{{Param: 0, Mode: mode, Fraction: fraction, Passes: 1}}
+		},
+	}
+	return &Op{Def: def, Grid: 4, Block: 8, Args: []Arg{arr(id, 32)}}
+}
+
+func TestFusePassDropStore(t *testing.T) {
+	mk := func(later *Op) FuseResult {
+		ops := []*Op{
+			scaleOp(t, 10, 11, "p"),
+			addOp(t, 12, 10, 13, "c"),
+		}
+		if later != nil {
+			ops = append(ops, later)
+		}
+		return FusePass(ops, testCompiler(t))
+	}
+
+	// Fully overwritten before any read: the store is dead.
+	res := mk(fakeToucher(10, memmodel.Write, 1))
+	if res.Fused != 1 || len(res.Ops[len(res.Ops)-2].DroppedArrays) != 1 ||
+		res.Ops[len(res.Ops)-2].DroppedArrays[0] != 10 {
+		t.Fatalf("expected drop of 10: %+v", res.Ops[0])
+	}
+
+	// Read first: keep.
+	if res := mk(fakeToucher(10, memmodel.Read, 1)); res.Fused != 1 &&
+		len(res.Ops[0].DroppedArrays) != 0 {
+		t.Fatal("dropped a live intermediate (read)")
+	}
+	// Partial write still needs old bytes: keep.
+	if res := mk(fakeToucher(10, memmodel.Write, 0.5)); len(res.Ops[0].DroppedArrays) != 0 {
+		t.Fatal("dropped a live intermediate (partial write)")
+	}
+	// Untouched for the rest of the window: keep (may escape).
+	if res := mk(nil); len(res.Ops[0].DroppedArrays) != 0 {
+		t.Fatal("dropped an escaping intermediate")
+	}
+}
+
+func TestPlanPrefetch(t *testing.T) {
+	w1, w2 := cluster.NodeID(1), cluster.NodeID(2)
+	plans := PlanPrefetch([]PlacedOp{
+		{Target: w1, Needs: []uint64{10, 11}},
+		{Target: w1, Needs: []uint64{11, 12}, Writes: []uint64{20}},
+		{Target: w1, Needs: []uint64{20, 13}}, // 20 written above: excluded
+		{Target: w2, Needs: []uint64{14}},     // run of one array: no plan
+		{Target: w1, Needs: []uint64{15, 16}},
+	})
+	if len(plans) != 2 {
+		t.Fatalf("plans: %+v", plans)
+	}
+	p0 := plans[0]
+	if p0.Leader != 0 || p0.Target != w1 {
+		t.Fatalf("leader/target: %+v", p0)
+	}
+	want := []uint64{10, 11, 12, 13}
+	if len(p0.Arrays) != len(want) {
+		t.Fatalf("arrays: %v want %v", p0.Arrays, want)
+	}
+	for i, id := range want {
+		if p0.Arrays[i] != id {
+			t.Fatalf("arrays: %v want %v", p0.Arrays, want)
+		}
+	}
+	if plans[1].Leader != 4 || len(plans[1].Arrays) != 2 {
+		t.Fatalf("second run: %+v", plans[1])
+	}
+}

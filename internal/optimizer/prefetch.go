@@ -1,0 +1,70 @@
+package optimizer
+
+import "grout/internal/cluster"
+
+// PlacedOp is the post-placement view of one window op, as the
+// controller sees it after the batched policy evaluation: where it will
+// run and which array arguments will need their old bytes moved there
+// (reads, or partial writes, of arrays whose fresh replica the target is
+// not predicted to hold).
+type PlacedOp struct {
+	Target cluster.NodeID
+	// Needs lists array IDs this op must pull to Target before running.
+	Needs []uint64
+	// Writes lists array IDs this op writes (any fraction): a write
+	// invalidates other replicas, so later ops in the window must fetch
+	// from the writer, not ride an earlier bulk move.
+	Writes []uint64
+}
+
+// Prefetch is one planned bulk transfer: when the leader op dispatches,
+// the controller ships every listed array to the target in a single
+// bulk-channel operation instead of len(Arrays) individual moves.
+type Prefetch struct {
+	// Leader is the window index whose dispatch performs the move.
+	Leader int
+	Target cluster.NodeID
+	// Arrays is deduplicated, in first-need order; always ≥ 2 (a single
+	// move gains nothing from coalescing).
+	Arrays []uint64
+}
+
+// PlanPrefetch coalesces the moves of maximal consecutive same-target
+// runs of window ops. Within a run, each array is shipped once (the run
+// leader carries it); an array written by an earlier op of the same
+// window is excluded — its bytes are not final until that op commits, so
+// the regular per-op move path handles it. Runs needing fewer than two
+// arrays yield no plan.
+//
+// The plan is a hint, not a promise: dispatch re-validates every array
+// against authoritative replica state (and skips ones already present or
+// since-invalidated), and a failover that reassigns the leader simply
+// drops the bulk move — followers fall back to their own moves.
+func PlanPrefetch(ops []PlacedOp) []Prefetch {
+	var plans []Prefetch
+	written := map[uint64]bool{}
+	for start := 0; start < len(ops); {
+		end := start + 1
+		for end < len(ops) && ops[end].Target == ops[start].Target {
+			end++
+		}
+		seen := map[uint64]bool{}
+		var arrs []uint64
+		for k := start; k < end; k++ {
+			for _, id := range ops[k].Needs {
+				if !seen[id] && !written[id] {
+					seen[id] = true
+					arrs = append(arrs, id)
+				}
+			}
+			for _, id := range ops[k].Writes {
+				written[id] = true
+			}
+		}
+		if len(arrs) >= 2 {
+			plans = append(plans, Prefetch{Leader: start, Target: ops[start].Target, Arrays: arrs})
+		}
+		start = end
+	}
+	return plans
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/sim"
+)
+
+// batchReqs builds a mixed window: some requests with clear locality,
+// some with none (forcing the round-robin exploration fallback, whose
+// cursor must advance identically under batch and per-CE assignment).
+func batchReqs() []Request {
+	mk := func(infos ...NodeInfo) Request {
+		return Request{Nodes: infos}
+	}
+	return []Request{
+		mk(NodeInfo{ID: 1, UpToDate: 100, TransferTime: 5},
+			NodeInfo{ID: 2, UpToDate: 10, Transfer: 90, TransferTime: 9}),
+		mk(NodeInfo{ID: 1}, NodeInfo{ID: 2}), // no data anywhere: explore
+		mk(NodeInfo{ID: 1}, NodeInfo{ID: 2}), // explore again
+		mk(NodeInfo{ID: 1, UpToDate: 10, Transfer: 90, TransferTime: sim.VirtualTime(9)},
+			NodeInfo{ID: 2, UpToDate: 100, TransferTime: 2}),
+	}
+}
+
+func TestAssignBatchMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		batch func() (BatchAssigner, Policy)
+	}{
+		{"min-transfer-time", func() (BatchAssigner, Policy) {
+			return NewMinTransferTime(Medium), NewMinTransferTime(Medium)
+		}},
+		{"min-transfer-size", func() (BatchAssigner, Policy) {
+			return NewMinTransferSize(Medium), NewMinTransferSize(Medium)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ba, seq := tc.batch()
+			reqs := batchReqs()
+			got := ba.AssignBatch(reqs)
+			if len(got) != len(reqs) {
+				t.Fatalf("batch returned %d placements for %d requests", len(got), len(reqs))
+			}
+			for i, req := range reqs {
+				want := seq.Assign(req)
+				if got[i] != want {
+					t.Errorf("request %d: batch %v, sequential %v", i, got[i], want)
+				}
+			}
+			// The exploration cursor advanced with the batch: a further
+			// no-data request must continue the round-robin, not restart.
+			after := Request{Nodes: []NodeInfo{{ID: 1}, {ID: 2}}}
+			if g, w := ba.(Policy).Assign(after), seq.Assign(after); g != w {
+				t.Errorf("cursor diverged after batch: %v vs %v", g, w)
+			}
+		})
+	}
+}
+
+func TestRoundRobinHasNoBatchPath(t *testing.T) {
+	// Static policies skip the data view entirely; the controller's
+	// per-CE fallback is already the cheap path for them.
+	var p Policy = NewRoundRobin()
+	if _, ok := p.(BatchAssigner); ok {
+		t.Fatal("round-robin unexpectedly implements BatchAssigner")
+	}
+	_ = cluster.NodeID(0)
+}

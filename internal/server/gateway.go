@@ -421,6 +421,12 @@ func (g *Gateway) drainLoop() {
 		}
 		g.mu.Unlock()
 		g.drainRound(roster)
+		// The round's submissions are the controller's cross-tenant
+		// optimizer batch: flush so tenant streams shorter than the
+		// lookahead window dispatch now instead of waiting for an
+		// unrelated synchronization point (or, at an in-flight cap,
+		// forever). Errors surface on the launches' Pendings.
+		_ = g.ctl.FlushWindow()
 	}
 }
 

@@ -32,12 +32,20 @@ import (
 const gwElems = 96
 
 // gwSystem builds a pipelined numeric controller over a simulated
-// 4-worker cluster, optionally behind a chaos fabric.
+// 4-worker cluster, optionally behind a chaos fabric. The optimizer
+// window is on, as in the production gateway default, so every test
+// here also exercises the park/flush admission path under multitenancy.
 func gwSystem(t testing.TB, chaos *core.ChaosOptions) *core.Controller {
 	t.Helper()
-	clu := cluster.New(cluster.PaperSpec(4))
+	return gwSystemN(t, 4, chaos)
+}
+
+// gwSystemN is gwSystem with a worker count.
+func gwSystemN(t testing.TB, workers int, chaos *core.ChaosOptions) *core.Controller {
+	t.Helper()
+	clu := cluster.New(cluster.PaperSpec(workers))
 	var fab core.Fabric = core.NewLocalFabric(clu, kernels.StdRegistry(), true)
-	opts := core.Options{Numeric: true, Pipeline: true}
+	opts := core.Options{Numeric: true, Pipeline: true, OptimizeWindow: 32}
 	if chaos != nil {
 		fab = core.NewChaosFabric(fab, *chaos)
 		opts.Failover = true
@@ -465,6 +473,161 @@ func TestGatewayMetrics(t *testing.T) {
 			t.Fatal("metrics never showed the session closed")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// tenantSession digs a tenant's controller session out of the gateway.
+func tenantSession(t *testing.T, g *Gateway, name string) *core.ControllerSession {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, tn := range g.sessions {
+		if tn.name == name {
+			return tn.sess
+		}
+	}
+	t.Fatalf("no tenant %q", name)
+	return nil
+}
+
+const gwProdSrc = `__global__ void gwmul(float *s, const float *x, float a, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { s[i] = a * x[i]; }
+}`
+
+const gwConsSrc = `__global__ void gwmadd(float *o, const float *u, const float *v, float b, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { o[i] = u[i] + v[i] * b; }
+}`
+
+// The optimizer window's per-tenant counters reach the metrics surface:
+// two tenants' interleaved elementwise chains fuse within their own
+// tenant (never across), their operand moves coalesce into one bulk
+// frame, and re-reads of placed arrays skip their transfers — and each
+// effect shows up under the right tenant label.
+func TestGatewayOptimizerMetrics(t *testing.T) {
+	// One worker makes every placement (and so the coalescing run
+	// structure and counter values) deterministic.
+	g := gwStart(t, gwSystemN(t, 1, nil), Options{})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	gwDial(t, g, "opt-a")
+	gwDial(t, g, "opt-b")
+	sa := tenantSession(t, g, "opt-a")
+	sb := tenantSession(t, g, "opt-b")
+
+	type tenantArrays struct{ x, s, o dag.ArrayID }
+	setup := func(s *core.ControllerSession, bias float64) tenantArrays {
+		t.Helper()
+		var ta tenantArrays
+		var err error
+		if ta.x, err = s.NewArray(memmodel.Float32, gwElems); err != nil {
+			t.Fatal(err)
+		}
+		if ta.s, err = s.NewArray(memmodel.Float32, gwElems); err != nil {
+			t.Fatal(err)
+		}
+		if ta.o, err = s.NewArray(memmodel.Float32, gwElems); err != nil {
+			t.Fatal(err)
+		}
+		buf := kernels.NewBuffer(memmodel.Float32, gwElems)
+		for j := 0; j < gwElems; j++ {
+			buf.Set(j, float64(j%13)+bias)
+		}
+		if _, err := s.HostWrite(ta.x, buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []string{gwProdSrc, gwConsSrc} {
+			if _, err := s.BuildKernel(src, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ta
+	}
+	aa, ab := setup(sa, 1), setup(sb, 2)
+
+	// One shared window, tenants interleaved: a.mul, b.mul, a.madd,
+	// b.madd. Fusion must pair within each tenant only.
+	nArg := core.ScalarRef(float64(gwElems))
+	submit := func(s *core.ControllerSession, inv core.Invocation) {
+		t.Helper()
+		if _, err := s.Submit(inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mul := func(ta tenantArrays) core.Invocation {
+		return core.Invocation{Kernel: "gwmul", Grid: 1, Block: gwElems,
+			Args: []core.ArgRef{core.ArrRef(ta.s), core.ArrRef(ta.x), core.ScalarRef(2.5), nArg}}
+	}
+	madd := func(ta tenantArrays) core.Invocation {
+		return core.Invocation{Kernel: "gwmadd", Grid: 1, Block: gwElems,
+			Args: []core.ArgRef{core.ArrRef(ta.o), core.ArrRef(ta.s), core.ArrRef(ta.x), core.ScalarRef(0.75), nArg}}
+	}
+	submit(sa, mul(aa))
+	submit(sb, mul(ab))
+	submit(sa, madd(aa))
+	submit(sb, madd(ab))
+	if err := g.ctl.FlushWindow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second window: each tenant re-reads its own freshly placed output,
+	// so the predicted-and-confirmed replica skips the transfer.
+	relu := func(ta tenantArrays) core.Invocation {
+		return core.Invocation{Kernel: "relu",
+			Args: []core.ArgRef{core.ArrRef(ta.o), nArg}}
+	}
+	submit(sa, relu(aa))
+	submit(sb, relu(ab))
+	if err := g.ctl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The arithmetic survived: o = relu(2.5*x + 0.75*x), x > 0.
+	got, _, err := sa.HostRead(aa.o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa, _, err := sa.HostRead(aa.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < gwElems; j++ {
+		want := 3.25 * xa.At(j)
+		f32 := kernels.NewBuffer(memmodel.Float32, 1)
+		f32.Set(0, want)
+		if got.At(j) != f32.At(0) {
+			t.Fatalf("o[%d] = %v, want %v", j, got.At(j), f32.At(0))
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		// One producer absorbed per tenant — and only within the tenant.
+		`grout_gateway_fused_ces_total{tenant="opt-a"} 1`,
+		`grout_gateway_fused_ces_total{tenant="opt-b"} 1`,
+		// Both tenants' inputs rode one bulk frame; the run leader's
+		// session carries the credit.
+		`grout_gateway_coalesced_transfers_total{tenant="opt-a"} 2`,
+		// Two per tenant: the fused kernel binds x through both the
+		// producer's and the consumer's parameter slot, and the second
+		// slot's transfer is skipped once the bulk move lands — plus the
+		// relu re-read of the placed output.
+		`grout_gateway_eliminated_moves_total{tenant="opt-a"} 2`,
+		`grout_gateway_eliminated_moves_total{tenant="opt-b"} 2`,
+	} {
+		if !strings.Contains(string(body), line) {
+			t.Fatalf("metrics missing %q in:\n%s", line, body)
+		}
 	}
 }
 

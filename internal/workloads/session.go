@@ -145,3 +145,111 @@ func (g *Grout) Free(id dag.ArrayID) error { return g.Ctl.FreeArray(id) }
 
 // Elapsed implements Session.
 func (g *Grout) Elapsed() sim.VirtualTime { return g.Ctl.Elapsed() }
+
+// AsyncGrout adapts a core.Controller to Session through Submit instead
+// of the blocking Launch, so consecutive launches actually reach the
+// controller's pipeline and lookahead optimizer window as a stream — the
+// Grout adapter's Launch-per-CE synchronization would cap every window
+// at one entry. Dispatch failures behave like a poisoned stream: the
+// first one is sticky and reported by every later call and by Wait.
+// Not safe for concurrent use, like the sessions it adapts.
+type AsyncGrout struct {
+	Ctl *core.Controller
+
+	pending []*core.Pending
+	err     error
+}
+
+// settle reaps resolved pendings without blocking; sync points call
+// reap(true) to wait them all out. The first error sticks.
+func (g *AsyncGrout) reap(wait bool) error {
+	if wait {
+		// Flush parked window entries first or their Pendings never
+		// resolve; Drain also surfaces pipeline errors.
+		if err := g.Ctl.Drain(); err != nil && g.err == nil {
+			g.err = err
+		}
+		for _, p := range g.pending {
+			if _, err := p.Wait(); err != nil && g.err == nil {
+				g.err = err
+			}
+		}
+		g.pending = g.pending[:0]
+	}
+	return g.err
+}
+
+// Wait blocks until every submitted CE has dispatched and reports the
+// session's sticky error, if any.
+func (g *AsyncGrout) Wait() error { return g.reap(true) }
+
+// NewArray implements Session.
+func (g *AsyncGrout) NewArray(kind memmodel.ElemKind, n int64) (dag.ArrayID, error) {
+	if err := g.err; err != nil {
+		return 0, err
+	}
+	arr, err := g.Ctl.NewArray(kind, n)
+	if err != nil {
+		return 0, err
+	}
+	return arr.ID, nil
+}
+
+// Launch implements Session: submission only; completion is observed at
+// the next synchronization point.
+func (g *AsyncGrout) Launch(kernel string, grid, block int, args ...core.ArgRef) error {
+	if err := g.err; err != nil {
+		return err
+	}
+	p, err := g.Ctl.Submit(core.Invocation{Kernel: kernel, Grid: grid, Block: block, Args: args})
+	if err != nil {
+		g.err = err
+		return err
+	}
+	g.pending = append(g.pending, p)
+	return nil
+}
+
+// HostRead implements Session; it is a synchronization point.
+func (g *AsyncGrout) HostRead(id dag.ArrayID) error {
+	if err := g.reap(true); err != nil {
+		return err
+	}
+	_, err := g.Ctl.HostRead(id)
+	return err
+}
+
+// HostWrite implements Session; it is a synchronization point.
+func (g *AsyncGrout) HostWrite(id dag.ArrayID) error {
+	if err := g.reap(true); err != nil {
+		return err
+	}
+	_, err := g.Ctl.HostWrite(id)
+	return err
+}
+
+// Buffer implements Session.
+func (g *AsyncGrout) Buffer(id dag.ArrayID) BufferLike {
+	arr := g.Ctl.Array(id)
+	if arr == nil || arr.Buf == nil {
+		return nil
+	}
+	return arr.Buf
+}
+
+// Free implements Session; it is a synchronization point.
+func (g *AsyncGrout) Free(id dag.ArrayID) error {
+	if err := g.reap(true); err != nil {
+		return err
+	}
+	return g.Ctl.FreeArray(id)
+}
+
+// Elapsed implements Session; it is a synchronization point (the
+// controller drains to time-stamp the makespan).
+func (g *AsyncGrout) Elapsed() sim.VirtualTime {
+	if g.reap(true) != nil {
+		return 0
+	}
+	return g.Ctl.Elapsed()
+}

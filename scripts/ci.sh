@@ -7,6 +7,7 @@
 #   4. go test -race ./internal/core/... ./internal/dag/...
 #                    ./internal/transport/... ./internal/minicuda/...
 #                    ./internal/kernels/... ./internal/server/...
+#                    ./internal/optimizer/...
 #      (the pipelined controller's determinism property test, the DAG
 #      fast path, the framed-wire data plane — concurrent bulk
 #      streams, failover teardown — and the parallel kernel engine's
@@ -18,9 +19,10 @@
 #      teardown — rides in the same sweep via internal/server)
 #   5. a short fuzz budget: the slot-compiled kernel engine vs the
 #      tree-walking interpreter must stay bit-for-bit identical on
-#      generated kernels (10s), and the session-frame codec must
-#      round-trip and never panic on adversarial payloads (5s each
-#      direction; corpora persist)
+#      generated kernels (10s), fused elementwise kernels must match
+#      the separate producer/consumer launches bit-for-bit (10s), and
+#      the session-frame codec must round-trip and never panic on
+#      adversarial payloads (5s each direction; corpora persist)
 #   6. the controller/DAG/transport/kernel micro-benchmarks with
 #      -benchtime=1x as a smoke gate (they must still compile and
 #      complete, not regress — use scripts/bench.sh for numbers)
@@ -38,9 +40,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag, transport, minicuda, kernels, server)"
+echo "== go test -race (core, dag, transport, minicuda, kernels, server, optimizer)"
 go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
-    ./internal/minicuda/... ./internal/kernels/... ./internal/server/...
+    ./internal/minicuda/... ./internal/kernels/... ./internal/server/... \
+    ./internal/optimizer/...
 
 echo "== go test -race chaos/recovery suite (lineage replay, deadlines, write-off)"
 go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
@@ -48,6 +51,10 @@ go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
 
 echo "== differential fuzz (compiled engine vs interpreter, 10s)"
 go test -run FuzzDifferential -fuzz FuzzDifferential -fuzztime 10s \
+    ./internal/minicuda/
+
+echo "== fusion fuzz (fused kernel vs separate launches, 10s)"
+go test -run FuzzFusion -fuzz FuzzFusion -fuzztime 10s \
     ./internal/minicuda/
 
 echo "== session-frame codec fuzz (5s per direction)"
