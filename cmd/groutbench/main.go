@@ -19,6 +19,7 @@ import (
 	"grout/internal/bench"
 	"grout/internal/cluster"
 	"grout/internal/core"
+	"grout/internal/gpusim"
 	"grout/internal/kernels"
 	"grout/internal/memmodel"
 	"grout/internal/policy"
@@ -26,19 +27,21 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, recovery or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, recovery or all")
 	ces := flag.Int("ces", 512, "CE stream length for Fig 9's overhead measurement and the recovery figure's chain")
 	runWL := flag.String("run", "", "run one workload instead of a figure: bs, mle, cg, mv, images, deep")
 	size := flag.String("size", "32GiB", "footprint for -run")
 	workers := flag.Int("workers", 2, "worker count for -run (0 = single-node baseline)")
 	polName := flag.String("policy", "vector-step", "policy for -run: "+strings.Join(policy.Names(), ", "))
 	level := flag.String("level", "medium", "exploration level for -run online policies")
+	prefetch := flag.String("prefetch", "", "UVM prefetch policy for -run workers: "+strings.Join(gpusim.PrefetchPolicyNames(), ", "))
+	evict := flag.String("evict", "", "UVM eviction policy for -run workers: "+strings.Join(gpusim.EvictionPolicyNames(), ", "))
 	chromeTrace := flag.String("chrome-trace", "", "write the -run CE schedule as Chrome trace JSON to this file")
 	gantt := flag.Bool("gantt", false, "print the -run CE schedule as an ASCII Gantt chart")
 	flag.Parse()
 
 	if *runWL != "" {
-		if err := runOne(*runWL, *size, *workers, *polName, *level, *chromeTrace, *gantt); err != nil {
+		if err := runOne(*runWL, *size, *workers, *polName, *level, *prefetch, *evict, *chromeTrace, *gantt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -149,6 +152,23 @@ func main() {
 				"nodes ->", "%.1f", series)
 		})
 	}
+	if sel("oversub") {
+		run("oversubscription cliff", func() {
+			for _, pattern := range workloads.AllPatterns() {
+				series, pts, err := bench.FigOversub(pattern)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				bench.PrintSeries(os.Stdout, fmt.Sprintf(
+					"Oversubscription sweep (%s): modeled seconds per launch per prefetch+evict combo",
+					pattern), "factor ->", "%.2f", series)
+				factors := workloads.DefaultSweepFactors()
+				fmt.Printf("Cliff per combo (%s):\n%s\n", pattern,
+					bench.FmtOversubCliffs(pts, factors[len(factors)-1]))
+			}
+		})
+	}
 	if sel("recovery") {
 		run("recovery overhead", func() {
 			rep, err := bench.RecoveryOverhead(*ces)
@@ -172,14 +192,14 @@ func main() {
 		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, recovery or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, recovery or all)\n", *fig)
 		os.Exit(2)
 	}
 }
 
 // runOne executes a single workload configuration and reports its
 // schedule, optionally exporting a Chrome trace.
-func runOne(workload, sizeStr string, workers int, polName, levelName, tracePath string, gantt bool) error {
+func runOne(workload, sizeStr string, workers int, polName, levelName, prefetch, evict, tracePath string, gantt bool) error {
 	foot, err := memmodel.ParseBytes(sizeStr)
 	if err != nil {
 		return err
@@ -191,6 +211,9 @@ func runOne(workload, sizeStr string, workers int, polName, levelName, tracePath
 	p := workloads.Params{Footprint: foot}
 
 	if workers <= 0 {
+		if prefetch != "" || evict != "" {
+			return fmt.Errorf("-prefetch/-evict need a worker fleet (-workers >= 1)")
+		}
 		r := bench.RunSingle(workload, p)
 		if r.Err != nil {
 			return r.Err
@@ -210,6 +233,13 @@ func runOne(workload, sizeStr string, workers int, polName, levelName, tracePath
 	}
 	clu := cluster.New(cluster.PaperSpec(workers))
 	fab := core.NewLocalFabric(clu, kernels.StdRegistry(), false)
+	if prefetch != "" || evict != "" {
+		for _, id := range fab.Workers() {
+			if err := fab.Runtime(id).Node().UseMemoryPolicies(prefetch, evict); err != nil {
+				return err
+			}
+		}
+	}
 	ctl := core.NewController(fab, pol, core.Options{})
 	s := &workloads.Grout{Ctl: ctl}
 	if err := w.Build(s, p); err != nil {

@@ -106,7 +106,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestPoliciesListed(t *testing.T) {
 	ps := Policies()
-	if len(ps) != 5 {
+	if len(ps) != 6 {
 		t.Fatalf("policies = %v", ps)
 	}
 }

@@ -1,0 +1,90 @@
+package bench
+
+// The oversubscription-cliff figure (DESIGN.md §5.7): the sweep driver in
+// internal/workloads measured per-launch time across the footprint ladder
+// for every prefetch/eviction policy combination; this file turns those
+// points into printable series and the per-combo cliff summary behind
+// `groutbench -fig oversub`.
+
+import (
+	"fmt"
+	"sort"
+
+	"grout/internal/memmodel"
+	"grout/internal/workloads"
+)
+
+// FigOversub runs the oversubscription sweep for one access pattern and
+// returns one series per prefetch+evict combination (X = footprint over
+// device memory, Value = modeled seconds per launch), plus the raw sweep
+// points for regime and cliff reporting.
+func FigOversub(pattern memmodel.Pattern) ([]Series, []workloads.SweepPoint, error) {
+	pts, err := workloads.OversubscriptionSweep(workloads.SweepConfig{
+		Patterns: []memmodel.Pattern{pattern},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bySeries := make(map[string]*Series)
+	var order []string
+	for _, p := range pts {
+		name := p.Prefetch + "+" + p.Evict
+		s, ok := bySeries[name]
+		if !ok {
+			s = &Series{Name: name}
+			bySeries[name] = s
+			order = append(order, name)
+		}
+		s.Points = append(s.Points, Point{
+			X:     p.Factor,
+			Value: float64(p.NsPerLaunch) / 1e9,
+		})
+	}
+	series := make([]Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, *bySeries[name])
+	}
+	return series, pts, nil
+}
+
+// OversubCliffs returns, per "prefetch+evict" combination, the lowest
+// oversubscription factor at which any launch of that combo entered the
+// storm regime. Combos that never collapsed within the swept ladder are
+// absent from the map — the cliff sits past the last rung.
+func OversubCliffs(pts []workloads.SweepPoint) map[string]float64 {
+	cliffs := make(map[string]float64)
+	for _, p := range pts {
+		if p.Regimes["storm"] == 0 {
+			continue
+		}
+		name := p.Prefetch + "+" + p.Evict
+		if c, ok := cliffs[name]; !ok || p.Factor < c {
+			cliffs[name] = p.Factor
+		}
+	}
+	return cliffs
+}
+
+// FmtOversubCliffs renders the cliff summary as aligned text lines,
+// sorted so the baseline reads first and shifts are easy to eyeball.
+func FmtOversubCliffs(pts []workloads.SweepPoint, maxFactor float64) string {
+	cliffs := OversubCliffs(pts)
+	names := make(map[string]bool)
+	for _, p := range pts {
+		names[p.Prefetch+"+"+p.Evict] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	out := ""
+	for _, n := range sorted {
+		if c, ok := cliffs[n]; ok {
+			out += fmt.Sprintf("  %-24s storm cliff at %.1fx\n", n, c)
+		} else {
+			out += fmt.Sprintf("  %-24s no storm within %.1fx\n", n, maxFactor)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package bench
+
+// Oversubscription sweep benchmark: one sub-benchmark per (pattern,
+// policy combo, factor) cell of the UVM simulator's footprint ladder.
+// ns/op is harness wall time (the simulator itself); the modeled numbers
+// ride along as reported metrics — ns_per_launch, mb_migrated, and the
+// per-regime launch counts — which scripts/bench.sh scrapes into
+// BENCH_gpusim.json. The combos cover the LRU/eager baseline, the
+// stride-aware prefetcher (the cliff-shift acceptance row compares its
+// 1.5x sequential cell against the baseline's) and the fully adaptive
+// pair.
+
+import (
+	"fmt"
+	"testing"
+
+	"grout/internal/memmodel"
+	"grout/internal/workloads"
+)
+
+func BenchmarkOversubSweep(b *testing.B) {
+	patterns := []memmodel.Pattern{
+		memmodel.Sequential, memmodel.Strided, memmodel.Random,
+	}
+	combos := [][2]string{
+		{"eager", "lru"},
+		{"stride", "lru"},
+		{"adaptive", "working-set"},
+	}
+	for _, pattern := range patterns {
+		for _, combo := range combos {
+			for _, factor := range workloads.DefaultSweepFactors() {
+				name := fmt.Sprintf("%s/%s+%s/x%.1f",
+					pattern, combo[0], combo[1], factor)
+				b.Run(name, func(b *testing.B) {
+					var last workloads.SweepPoint
+					for i := 0; i < b.N; i++ {
+						pts, err := workloads.OversubscriptionSweep(workloads.SweepConfig{
+							Factors:  []float64{factor},
+							Patterns: []memmodel.Pattern{pattern},
+							Combos:   [][2]string{combo},
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = pts[0]
+					}
+					b.ReportMetric(float64(last.NsPerLaunch), "ns_per_launch")
+					b.ReportMetric(float64(last.BytesMigrated)/1e6, "mb_migrated")
+					for _, regime := range []string{"resident", "streaming", "storm"} {
+						b.ReportMetric(float64(last.Regimes[regime]), regime+"_launches")
+					}
+				})
+			}
+		}
+	}
+}

@@ -291,6 +291,10 @@ type Controller struct {
 	win       []*winEntry
 	winErr    error
 	bulkMover BulkMover
+	// stallPred caches the fabric's optional oversubscription predictor;
+	// nil when the fabric cannot see into worker memory (TCP transport),
+	// which degrades stall-aware policies to transfer-time ranking.
+	stallPred StallPredictor
 	optStats  OptCounters
 	// winReqs/winNodes are the batched policy evaluation's scratch —
 	// every request of a window alive at once, reused across windows
@@ -351,6 +355,7 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 		c.optWindow = opts.OptimizeWindow
 	}
 	c.bulkMover, _ = fabric.(BulkMover)
+	c.stallPred, _ = fabric.(StallPredictor)
 	if opts.Retry.Jitter > 0 {
 		seed := opts.Retry.Seed
 		if seed == 0 {
@@ -1390,7 +1395,44 @@ func (c *Controller) buildRequestInto(ce *dag.CE, args []ArgRef, accs []memmodel
 			req.MaxUp = nodes[wi].UpToDate
 		}
 	}
+	c.fillStallView(args, accs, nodes)
 	return req
+}
+
+// fillStallView adds the predicted-fault-rate cost term to the candidate
+// view: per worker, what UVM oversubscription would do to this CE's
+// kernel once its data landed there. Only policies that request the view
+// (policy.StallAware) pay for the fabric queries, and only on fabrics
+// that can see into worker memory (StallPredictor). The working set is
+// the CE's full parameter footprint — write-only overwrites skip the data
+// move, but their pages still occupy device memory — under the CE's
+// worst (least batchable) access pattern. Caller holds mu.
+func (c *Controller) fillStallView(args []ArgRef, accs []memmodel.Access, nodes []policy.NodeInfo) {
+	if c.stallPred == nil {
+		return
+	}
+	sa, ok := c.pol.(policy.StallAware)
+	if !ok || !sa.NeedsStallView() {
+		return
+	}
+	var working memmodel.Bytes
+	pattern := memmodel.Sequential
+	for i, a := range args {
+		if !a.IsArray {
+			continue
+		}
+		working += c.arrays[a.Array].size
+		if i < len(accs) && accs[i].Pattern.BatchFactor() < pattern.BatchFactor() {
+			pattern = accs[i].Pattern
+		}
+	}
+	if working == 0 {
+		return
+	}
+	for wi := range nodes {
+		nodes[wi].PredictedStall = c.stallPred.PredictStall(
+			nodes[wi].ID, nodes[wi].Transfer, working, pattern)
+	}
 }
 
 // bestSource picks where to pull a stale array from: the up-to-date node

@@ -90,6 +90,18 @@ type BulkEstimator interface {
 	EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes, dsts []cluster.NodeID, out []sim.VirtualTime)
 }
 
+// StallPredictor is an optional Fabric extension: predict the UVM
+// migration stall a kernel with the given working-set size and dominant
+// access pattern would pay on worker w after add more bytes landed there.
+// The controller only queries it for policies that request the stall view
+// (policy.StallAware), and treats fabrics without the extension — or
+// workers it cannot see into — as stall-free, which degrades gracefully
+// to pure transfer-time ranking.
+type StallPredictor interface {
+	PredictStall(w cluster.NodeID, add, working memmodel.Bytes,
+		pattern memmodel.Pattern) sim.VirtualTime
+}
+
 // BulkMover is an optional Fabric fast path for the window optimizer's
 // transfer coalescing (DESIGN.md §5.6): ship several controller-resident
 // arrays to one worker as a single bulk operation instead of len(ids)
@@ -296,6 +308,18 @@ func (f *LocalFabric) Launch(w cluster.NodeID, inv Invocation, ready sim.Virtual
 // EstimateTransfer implements Fabric.
 func (f *LocalFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
 	return f.clu.EstimateTransfer(src, dst, n)
+}
+
+// PredictStall implements StallPredictor by asking the worker's simulated
+// node directly — the in-process fabric can see real allocation pressure
+// and the installed prefetch policy.
+func (f *LocalFabric) PredictStall(w cluster.NodeID, add, working memmodel.Bytes,
+	pattern memmodel.Pattern) sim.VirtualTime {
+	rt, ok := f.workers[w]
+	if !ok {
+		return 0
+	}
+	return rt.Node().PredictStall(add, working, pattern)
 }
 
 // EstimateTransferAll implements BulkEstimator.

@@ -1,0 +1,189 @@
+package gpusim
+
+import (
+	"fmt"
+	"testing"
+
+	"grout/internal/memmodel"
+)
+
+// goldenRows holds the launch-by-launch results of the golden scenario as
+// captured from the simulator BEFORE prefetch/eviction became pluggable.
+// The baseline policies (eager prefetch + LRU eviction) must reproduce
+// these bit-for-bit: policies move time, never semantics, and the default
+// configuration must not move time either.
+var goldenRows = []goldenRow{
+	{"resident-seq-read", 0, 357932426, 18485, 357913941, 4294967296, 0, "resident"},
+	{"resident-rerun-rw", 357932426, 357950911, 18485, 0, 0, 0, "resident"},
+	{"resident-readmostly", 357950911, 1252754249, 18485, 894784853, 6442450944, 0, "resident"},
+	{"streaming-seq-rw2", 1252754249, 12706018856, 18485, 11453246122, 25769803776, 8589934592, "streaming"},
+	{"streaming-strided", 12706018856, 14751259862, 18485, 2045222521, 4294967296, 0, "streaming"},
+	{"storm-random-rw", 14751259862, 1524700718347, 18485, 1509949440000, 64424509440, 32212254720, "storm"},
+	{"storm-seq-read2", 1524700718347, 20883026890678, 18485, 19358326153846, 128849018880, 0, "storm"},
+	{"peer-pull-gpu1", 20883026890678, 21361607750188, 18485, 478580841025, 4294967296, 0, "storm"},
+	{"mixed-pressure", 21361607750188, 24059983287757, 18485, 2698375519084, 25769803776, 2147483648, "storm"},
+	{"post-hosttouch", 24059983287757, 25017144988293, 18485, 957161682051, 21474836480, 10737418240, "storm"},
+	{"stats-gpu0", 87723, 19797, 19797, 9, 9216, 0, "stats"},
+	{"stats-gpu1", 2048, 0, 0, 1, 683, 0, "stats"},
+}
+
+// TestGoldenBitCompatible locks the baseline simulator arithmetic: the
+// default node and an explicitly configured eager+lru node must both
+// reproduce the pre-refactor capture exactly.
+func TestGoldenBitCompatible(t *testing.T) {
+	cases := []struct {
+		name      string
+		configure func(*Node)
+	}{
+		{"default-policies", nil},
+		{"explicit-eager-lru", func(n *Node) {
+			if err := n.UseMemoryPolicies("eager", "lru"); err != nil {
+				t.Fatalf("UseMemoryPolicies: %v", err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runGoldenScenario(tc.configure)
+			if len(got) != len(goldenRows) {
+				t.Fatalf("got %d rows, want %d", len(got), len(goldenRows))
+			}
+			for i, want := range goldenRows {
+				if got[i] != want {
+					t.Errorf("row %d (%s):\n got  %+v\n want %+v", i, want.label, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+type goldenRow struct {
+	label                        string
+	start, end, compute, memTime int64
+	migrated, evicted            int64
+	regime                       string
+}
+
+// runGoldenScenario drives a fixed launch sequence through every regime,
+// advise mode and miss path of the simulator and records each result.
+func runGoldenScenario(configure func(*Node)) []goldenRow {
+	var rows []goldenRow
+	rec := func(label string, res LaunchResult) {
+		rows = append(rows, goldenRow{
+			label:    label,
+			start:    int64(res.Interval.Start),
+			end:      int64(res.Interval.End),
+			compute:  int64(res.Compute),
+			memTime:  int64(res.MemTime),
+			migrated: int64(res.BytesMigrated),
+			evicted:  int64(res.BytesEvicted),
+			regime:   res.Regime.String(),
+		})
+	}
+
+	spec := NodeSpec{
+		Name:       "golden",
+		Devices:    []DeviceSpec{V100Spec("golden/gpu0"), V100Spec("golden/gpu1")},
+		HostMemory: 180 * memmodel.GiB,
+	}
+	n := NewNode(spec)
+	if configure != nil {
+		configure(n)
+	}
+
+	small, _ := n.Alloc(4 * memmodel.GiB)  // resident working set
+	big, _ := n.Alloc(20 * memmodel.GiB)   // streaming on one 16 GiB GPU
+	pinned, _ := n.Alloc(2 * memmodel.GiB) // preferred-location ballast
+	rom, _ := n.Alloc(3 * memmodel.GiB)    // read-mostly operand
+
+	n.SetAdvise(pinned, AdvisePreferredLocation, 0)
+	n.SetAdvise(rom, AdviseReadMostly, 0)
+
+	kc := KernelCost{Name: "k", Elements: 1 << 20, OpsPerElement: 4}
+	acc := func(m memmodel.AccessMode, p memmodel.Pattern, passes int) memmodel.Access {
+		return memmodel.Access{Mode: m, Pattern: p, Fraction: 1, Passes: passes}
+	}
+
+	// Warm the pinned ballast onto device 0.
+	n.Prefetch(pinned, 0, 0)
+
+	// 1. Resident sequential read of the small array.
+	res, _ := n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: small, Access: acc(memmodel.Read, memmodel.Sequential, 1)},
+	}, 0)
+	rec("resident-seq-read", res)
+
+	// 2. Resident re-run: everything hits.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: small, Access: acc(memmodel.ReadWrite, memmodel.Sequential, 1)},
+	}, res.Interval.End)
+	rec("resident-rerun-rw", res)
+
+	// 3. Read-mostly operand alongside the small array.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: small, Access: acc(memmodel.Read, memmodel.Strided, 1)},
+		{Alloc: rom, Access: acc(memmodel.Read, memmodel.Broadcast, 2)},
+	}, res.Interval.End)
+	rec("resident-readmostly", res)
+
+	// 4. Streaming: the big array oversubscribes one GPU, two passes.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: big, Access: acc(memmodel.ReadWrite, memmodel.Sequential, 2)},
+	}, res.Interval.End)
+	rec("streaming-seq-rw2", res)
+
+	// 5. Streaming strided read.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: big, Access: acc(memmodel.Read, memmodel.Strided, 1)},
+	}, res.Interval.End)
+	rec("streaming-strided", res)
+
+	// 6. Storm: allocate the pressure driver, then a huge random launch.
+	huge, _ := n.Alloc(60 * memmodel.GiB)
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: huge, Access: acc(memmodel.ReadWrite, memmodel.Random, 1)},
+	}, res.Interval.End)
+	rec("storm-random-rw", res)
+
+	// 7. Storm sequential sweep over the huge array, two passes.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: huge, Access: acc(memmodel.Read, memmodel.Sequential, 2)},
+	}, res.Interval.End)
+	rec("storm-seq-read2", res)
+
+	// 8. Peer path: small array now lives on gpu0; launch on gpu1.
+	res, _ = n.Launch(1, 0, kc, []ArgBinding{
+		{Alloc: small, Access: acc(memmodel.Read, memmodel.Sequential, 1)},
+	}, res.Interval.End)
+	rec("peer-pull-gpu1", res)
+
+	// 9. Mixed-pattern launch under pressure back on gpu0.
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: big, Access: acc(memmodel.Read, memmodel.Sequential, 1)},
+		{Alloc: small, Access: acc(memmodel.Write, memmodel.Random, 1)},
+	}, res.Interval.End)
+	rec("mixed-pressure", res)
+
+	// 10. Host touch of the big array, then a relaunch that refaults.
+	n.HostTouch(big, memmodel.ReadWrite, 0.5, res.Interval.End)
+	res, _ = n.Launch(0, 0, kc, []ArgBinding{
+		{Alloc: big, Access: acc(memmodel.ReadWrite, memmodel.Broadcast, 1)},
+	}, res.Interval.End)
+	rec("post-hosttouch", res)
+
+	// Final stats rows: encode device counters as pseudo-results.
+	for i, d := range n.Devices() {
+		st := d.Stats()
+		rows = append(rows, goldenRow{
+			label:    fmt.Sprintf("stats-gpu%d", i),
+			start:    st.PagesMigratedIn,
+			end:      st.PagesEvicted,
+			compute:  st.PagesWrittenBack,
+			memTime:  st.KernelsRun,
+			migrated: st.ResidentPages,
+			evicted:  0,
+			regime:   "stats",
+		})
+	}
+	return rows
+}

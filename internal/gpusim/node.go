@@ -67,19 +67,69 @@ type Node struct {
 	allocs    map[AllocID]*alloc
 	allocated memmodel.Bytes
 	nextID    AllocID
+	// prefetch and evict are the node's memory-management policies; the
+	// defaults reproduce the pre-policy simulator bit for bit.
+	prefetch PrefetchPolicy
+	evict    EvictionPolicy
 }
 
-// NewNode builds a node from its specification.
+// NewNode builds a node from its specification, with the baseline
+// (eager/LRU) memory policies.
 func NewNode(spec NodeSpec) *Node {
 	n := &Node{
-		spec:   spec,
-		allocs: make(map[AllocID]*alloc),
-		nextID: 1,
+		spec:     spec,
+		allocs:   make(map[AllocID]*alloc),
+		nextID:   1,
+		prefetch: eagerPrefetch{},
+		evict:    lruEviction{},
 	}
 	for i, ds := range spec.Devices {
 		n.devices = append(n.devices, newDevice(ds, i))
 	}
 	return n
+}
+
+// SetMemoryPolicies installs prefetch and eviction policies; nil keeps
+// the current one.
+func (n *Node) SetMemoryPolicies(p PrefetchPolicy, e EvictionPolicy) {
+	if p != nil {
+		n.prefetch = p
+	}
+	if e != nil {
+		n.evict = e
+	}
+}
+
+// UseMemoryPolicies installs policies by registry name; empty names keep
+// the baselines. Unknown names are a typed error, never a silent
+// fallback.
+func (n *Node) UseMemoryPolicies(prefetchName, evictName string) error {
+	p, err := NewPrefetchPolicy(prefetchName)
+	if err != nil {
+		return err
+	}
+	e, err := NewEvictionPolicy(evictName)
+	if err != nil {
+		return err
+	}
+	n.SetMemoryPolicies(p, e)
+	return nil
+}
+
+// MemoryPolicies reports the installed policy names.
+func (n *Node) MemoryPolicies() (prefetch, evict string) {
+	return n.prefetch.Name(), n.evict.Name()
+}
+
+// History returns the fault/reuse history ring of an allocation, or nil
+// for an unknown ID. The ring stays owned by the node; callers must not
+// retain it past the allocation's Free.
+func (n *Node) History(id AllocID) *AllocHistory {
+	a, ok := n.allocs[id]
+	if !ok {
+		return nil
+	}
+	return &a.hist
 }
 
 // Spec returns the node's static specification.
@@ -165,11 +215,21 @@ func (n *Node) AllocSize(id AllocID) (memmodel.Bytes, error) {
 }
 
 // SetAdvise applies a cudaMemAdvise-style hint to an allocation.
-// preferredDevice is only meaningful for AdvisePreferredLocation.
+// preferredDevice is only meaningful for AdvisePreferredLocation. Unknown
+// advise values and out-of-range preferred devices are rejected with
+// typed errors — hints arrive over the wire, and a value the enum does
+// not know must not silently become a no-op hint.
 func (n *Node) SetAdvise(id AllocID, adv Advise, preferredDevice int) error {
 	a, ok := n.allocs[id]
 	if !ok {
 		return fmt.Errorf("gpusim: advise on unknown allocation %d", id)
+	}
+	if !adv.Valid() {
+		return fmt.Errorf("%w: %d", ErrUnknownAdvise, int(adv))
+	}
+	if adv == AdvisePreferredLocation && (preferredDevice < 0 || preferredDevice >= len(n.devices)) {
+		return fmt.Errorf("%w: preferred device %d out of range [0,%d)",
+			ErrBadPreferredDevice, preferredDevice, len(n.devices))
 	}
 	a.advise = adv
 	a.preferred = preferredDevice
@@ -194,6 +254,25 @@ type argPlan struct {
 	missHost int64 // misses served from host
 	missPeer int64 // misses served from a peer device
 	peerDev  int
+	// dec is the prefetch policy's decision for this plan.
+	dec PrefetchDecision
+}
+
+// view builds the policy-facing projection of the plan.
+func (p *argPlan) view(pressure float64) PlanView {
+	return PlanView{
+		Alloc:    p.a.id,
+		Pattern:  p.access.Pattern,
+		Mode:     p.access.Mode,
+		Fraction: p.access.Fraction,
+		Passes:   p.access.Passes,
+		Touched:  p.touched,
+		Hits:     p.hits,
+		MissHost: p.missHost,
+		MissPeer: p.missPeer,
+		Pressure: pressure,
+		Hist:     &p.a.hist,
+	}
 }
 
 // Launch simulates one kernel launch on device dev, stream streamIdx. The
@@ -233,8 +312,15 @@ func (n *Node) Launch(dev, streamIdx int, k KernelCost, args []ArgBinding, ready
 		}
 	}
 
+	// Ask the prefetch policy what share of each plan's traffic it moves
+	// ahead of the access front, and how far that shifts the collapse
+	// threshold. Decisions see the allocation's online fault history.
+	for _, p := range plans {
+		p.dec = n.prefetch.Decide(p.view(pressure)).normalize()
+	}
+
 	regime := n.classify(plans, pressure)
-	memTime, migrated, evicted := n.memoryCost(d, plans, regime, working, capacity, pressure)
+	memTime, overlap, migrated, prefetched, evicted := n.memoryCost(d, plans, regime, working, capacity, pressure)
 
 	compute := d.spec.LaunchLatency
 	if k.Elements > 0 && k.OpsPerElement > 0 && d.spec.Throughput > 0 {
@@ -242,38 +328,61 @@ func (n *Node) Launch(dev, streamIdx int, k KernelCost, args []ArgBinding, ready
 	}
 
 	// Demand-paged migration traffic serializes on the device's single
-	// fault path, shared by all streams; the SMs then compute. With
-	// every argument prefetched to its preferred location the copy
-	// engines overlap the kernel instead.
+	// fault path, shared by all streams; the SMs then compute. Traffic
+	// the prefetch policy moves ahead of the front — and, with every
+	// argument advised to its preferred location, all of it — rides the
+	// copy engines overlapping the kernel instead.
 	start := sim.Max(ready, stream.FreeAt())
 	var end sim.VirtualTime
 	if regime == Resident && n.allPreferredHere(plans, dev) {
-		end = start + sim.Max(compute, memTime)
-	} else if memTime > 0 {
-		faultIv := d.faultEngine.Reserve(start, memTime)
-		end = faultIv.End + compute
+		end = start + sim.Max(compute, memTime+overlap)
 	} else {
-		end = start + compute
+		end = start
+		if memTime > 0 {
+			end = d.faultEngine.Reserve(start, memTime).End
+		}
+		end += compute
+		if overlap > 0 {
+			if oiv := d.h2d.Reserve(start, overlap); oiv.End > end {
+				end = oiv.End
+			}
+		}
 	}
 	interval := stream.Reserve(start, end-start)
 
 	// Keep the copy engines accounted for (other explicit transfers queue
-	// behind kernel-driven migration traffic).
-	if migrated > 0 {
-		d.h2d.Reserve(interval.Start, xferTime(migrated, d.spec.BulkBW))
+	// behind kernel-driven migration traffic). The prefetched share was
+	// already reserved above as overlap; booking it again would double-
+	// charge the H2D engine.
+	if rem := migrated - prefetched; rem > 0 {
+		d.h2d.Reserve(interval.Start, xferTime(rem, d.spec.BulkBW))
 	}
 	if evicted > 0 {
 		d.d2h.Reserve(interval.Start, xferTime(evicted, d.spec.BulkBW))
 	}
 
-	n.applyResidency(d, plans, working, capacity, interval.End)
+	n.applyResidency(d, plans, working, capacity, regime, pressure, interval.End)
 	d.kernelsRun++
+
+	// Feed the online history ring: what each allocation's launch looked
+	// like to the fault engine. Recorded under every policy — the ring is
+	// observability; it never changes baseline costs.
+	for _, p := range plans {
+		p.a.hist.record(FaultRecord{
+			Time:    interval.End,
+			Device:  dev,
+			Pattern: p.access.Pattern,
+			Regime:  regime,
+			Touched: p.touched,
+			Missed:  p.missHost + p.missPeer,
+		})
+	}
 
 	return LaunchResult{
 		Interval:      interval,
 		Regime:        regime,
 		Compute:       compute,
-		MemTime:       memTime,
+		MemTime:       memTime + overlap,
 		BytesMigrated: migrated,
 		BytesEvicted:  evicted,
 		Pressure:      pressure,
@@ -375,12 +484,13 @@ func (n *Node) classify(plans []*argPlan, pressure float64) Regime {
 }
 
 // weightedThreshold is the byte-weighted mean of the per-pattern collapse
-// thresholds over the kernel's arguments.
+// thresholds over the kernel's arguments, each scaled by the prefetch
+// policy's threshold shift (1 under the baseline).
 func weightedThreshold(plans []*argPlan) float64 {
 	var weighted, total float64
 	for _, p := range plans {
 		w := float64(p.touched)
-		weighted += w * collapseThreshold(p.access.Pattern)
+		weighted += w * collapseThreshold(p.access.Pattern) * p.dec.ThresholdScale
 		total += w
 	}
 	if total == 0 {
@@ -389,9 +499,13 @@ func weightedThreshold(plans []*argPlan) float64 {
 	return weighted / total
 }
 
-// memoryCost computes the serialized migration time and traffic volumes of
-// a launch under the chosen regime.
-func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, capacity int64, pressure float64) (memTime sim.VirtualTime, migrated, evicted memmodel.Bytes) {
+// memoryCost computes the migration time and traffic volumes of a launch
+// under the chosen regime. memTime is serialized on the fault engine;
+// overlap is traffic the prefetch policy moves at bulk rate concurrently
+// with compute (zero under the baseline, whose demand paging serializes
+// everything); prefetched is the byte share of migrated carried by that
+// overlap, so the caller does not book it on the copy engine twice.
+func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, capacity int64, pressure float64) (memTime, overlap sim.VirtualTime, migrated, prefetched, evicted memmodel.Bytes) {
 	overflow := working - capacity
 	if overflow < 0 {
 		overflow = 0
@@ -408,6 +522,7 @@ func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, c
 		eff := batchEfficiency(p.access.Pattern)
 		passes := int64(p.access.Passes)
 		writes := p.access.Mode.Writes()
+		bf := p.dec.BulkFraction
 
 		if p.a.advise == AdviseReadMostly && !writes {
 			// Read-duplicated pages stream from host copies each pass at
@@ -420,23 +535,34 @@ func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, c
 
 		switch regime {
 		case Resident:
-			hostB := bytesOf(p.missHost)
-			peerB := bytesOf(p.missPeer)
-			memTime += xferTime(hostB, d.spec.BulkBW*eff)
-			memTime += xferTime(peerB, d.spec.PeerBW*eff)
-			migrated += hostB + peerB
+			// Misses already coalesce at bulk rate; the prefetch policy's
+			// share moves ahead of the front, overlapping compute instead
+			// of stalling it.
+			aheadHost := int64(bf * float64(p.missHost))
+			aheadPeer := int64(bf * float64(p.missPeer))
+			memTime += xferTime(bytesOf(p.missHost-aheadHost), d.spec.BulkBW*eff)
+			memTime += xferTime(bytesOf(p.missPeer-aheadPeer), d.spec.PeerBW*eff)
+			overlap += xferTime(bytesOf(aheadHost), d.spec.BulkBW*eff)
+			overlap += xferTime(bytesOf(aheadPeer), d.spec.PeerBW*eff)
+			migrated += bytesOf(p.missHost) + bytesOf(p.missPeer)
+			prefetched += bytesOf(aheadHost + aheadPeer)
 
 		case Streaming:
 			// First pass faults every miss; each further pass re-faults
 			// this allocation's share of the overflow (LRU cycled it out).
+			// The prefetched share of that traffic coalesces at bulk rate
+			// and overlaps compute — the streaming-regime re-migration
+			// turns into overlap instead of stall.
 			share := int64(0)
 			if working > 0 {
 				share = overflow * p.touched / working
 			}
 			cycled := p.missHost + p.missPeer + (passes-1)*share
-			traffic := bytesOf(cycled)
-			memTime += xferTime(traffic, d.spec.FaultBW*eff)
-			migrated += traffic
+			ahead := int64(bf * float64(cycled))
+			memTime += xferTime(bytesOf(cycled-ahead), d.spec.FaultBW*eff)
+			overlap += xferTime(bytesOf(ahead), d.spec.BulkBW*eff)
+			migrated += bytesOf(cycled)
+			prefetched += bytesOf(ahead)
 			if writes && share > 0 {
 				wb := bytesOf(share * passes)
 				memTime += xferTime(wb, d.spec.FaultBW*eff)
@@ -446,7 +572,9 @@ func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, c
 		case Storm:
 			// Fault batching has collapsed: every pass re-migrates the
 			// full touched set in splintered chunks, and dirty pages
-			// ping-pong back.
+			// ping-pong back. Prefetching is defeated here — a policy's
+			// lever against the storm is its threshold shift, not its
+			// bulk fraction.
 			bw := d.spec.StormBW * stormEfficiency(p.access.Pattern) / stormPenalty
 			traffic := bytesOf(p.touched * passes)
 			memTime += xferTime(traffic, bw)
@@ -458,7 +586,7 @@ func (n *Node) memoryCost(d *Device, plans []*argPlan, regime Regime, working, c
 			}
 		}
 	}
-	return memTime, migrated, evicted
+	return memTime, overlap, migrated, prefetched, evicted
 }
 
 // allPreferredHere reports whether every argument allocation is advised to
@@ -473,9 +601,11 @@ func (n *Node) allPreferredHere(plans []*argPlan, dev int) bool {
 }
 
 // applyResidency updates page accounting after a launch: argument pages
-// become resident on the device (bounded by capacity, evicting LRU
-// bystander allocations first), dirty bits reflect write accesses.
-func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int64, now sim.VirtualTime) {
+// become resident on the device (bounded by capacity, evicting bystander
+// allocations in the eviction policy's victim order first), dirty bits
+// reflect write accesses, and the policy's retention decision governs how
+// much of its share each plan keeps behind the access front.
+func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int64, regime Regime, pressure float64, now sim.VirtualTime) {
 	dev := d.index
 	inPlan := make(map[AllocID]bool, len(plans))
 	var planned int64
@@ -487,7 +617,7 @@ func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int
 		planned += p.touched
 	}
 
-	// Evict bystanders (LRU) until the plan's resident target fits.
+	// Evict bystanders until the plan's resident target fits.
 	target := planned
 	if target > capacity {
 		target = capacity
@@ -496,12 +626,13 @@ func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int
 	free := capacity - bystanders - n.residentOfPlans(dev, inPlan)
 	need := target - n.residentOfPlans(dev, inPlan)
 	if need > free {
-		n.evictLRU(d, inPlan, need-free, now)
+		n.evictVictims(d, inPlan, need-free, now)
 	}
 
 	// Distribute residency among plan allocations. If everything fits
 	// each keeps its touched set; otherwise they share capacity
-	// proportionally (the cycling steady state).
+	// proportionally (the cycling steady state). The eviction policy may
+	// scale a plan's share down — self-eviction behind a dense front.
 	for _, p := range plans {
 		if p.a.advise == AdviseReadMostly && !p.access.Mode.Writes() {
 			p.a.lastUse[dev] = now
@@ -510,6 +641,9 @@ func (n *Node) applyResidency(d *Device, plans []*argPlan, working, capacity int
 		newResident := p.touched
 		if planned > target && planned > 0 {
 			newResident = target * p.touched / planned
+		}
+		if r := clampRetention(n.evict.Retention(p.view(pressure), regime)); r < 1 {
+			newResident = int64(r * float64(newResident))
 		}
 		n.setResident(d, p.a, newResident)
 		if p.access.Mode.Writes() {
@@ -586,13 +720,17 @@ func (n *Node) setResident(d *Device, a *alloc, pages int64) {
 	d.residentPages += moved
 }
 
-// evictLRU evicts up to need pages of bystander allocations (not in the
-// current plan), oldest last-use first. Dirty pages count as write-backs.
-func (n *Node) evictLRU(d *Device, inPlan map[AllocID]bool, need int64, now sim.VirtualTime) {
+// evictVictims evicts up to need pages of bystander allocations (not in
+// the current plan), in the eviction policy's victim order — least
+// recently used first under the baseline. Pinned allocations
+// (AdvisePreferredLocation on this device) and plan members are never
+// victims regardless of policy: the node enforces that invariant here so
+// a buggy policy cannot break it. Dirty pages count as write-backs.
+func (n *Node) evictVictims(d *Device, inPlan map[AllocID]bool, need int64, now sim.VirtualTime) {
 	dev := d.index
 	type victim struct {
 		a    *alloc
-		used sim.VirtualTime
+		view VictimView
 	}
 	var victims []victim
 	for _, a := range n.allocs {
@@ -602,13 +740,16 @@ func (n *Node) evictLRU(d *Device, inPlan map[AllocID]bool, need int64, now sim.
 		if a.advise == AdvisePreferredLocation && a.preferred == dev {
 			continue // pinned
 		}
-		victims = append(victims, victim{a: a, used: a.lastUse[dev]})
+		victims = append(victims, victim{a: a, view: VictimView{
+			Alloc:    a.id,
+			LastUse:  a.lastUse[dev],
+			Resident: a.residentOn[dev],
+			Dirty:    a.dirtyOn[dev],
+			Hist:     &a.hist,
+		}})
 	}
 	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].used != victims[j].used {
-			return victims[i].used < victims[j].used
-		}
-		return victims[i].a.id < victims[j].a.id
+		return n.evict.Less(victims[i].view, victims[j].view)
 	})
 	for _, v := range victims {
 		if need <= 0 {
@@ -742,6 +883,70 @@ func (n *Node) Invalidate(id AllocID) error {
 	}
 	a.checkInvariants()
 	return nil
+}
+
+// PredictStall estimates the serialized migration stall a kernel whose
+// arguments total working bytes, with the given dominant access pattern,
+// would pay if launched on this node after add more bytes were allocated
+// here. This is the predicted-fault-rate cost term consumed by
+// fault-aware placement: transfer time prices getting the data to a
+// node; this prices what UVM oversubscription does to the kernel once it
+// is there. The prediction mirrors Launch's regime model — including the
+// installed prefetch policy's threshold shift and overlap — so a node
+// whose prefetcher tolerates deep oversubscription predicts cheaper than
+// one on pure demand paging.
+func (n *Node) PredictStall(add, working memmodel.Bytes, pattern memmodel.Pattern) sim.VirtualTime {
+	if working <= 0 || len(n.devices) == 0 {
+		return 0
+	}
+	total := n.spec.TotalDeviceMemory()
+	if total <= 0 {
+		return 0
+	}
+	d := n.devices[0]
+	capacity := d.CapacityPages()
+	if capacity <= 0 {
+		return 0
+	}
+	wp := working.Pages()
+	// Mirror Launch's pressure rule: the kernel's own working set over
+	// one device's capacity, escalated to the node-level allocation
+	// factor once the working set is substantial.
+	pressure := float64(wp) / float64(capacity)
+	if wp*4 >= capacity {
+		if ap := float64(n.allocated+add) / float64(total); ap > pressure {
+			pressure = ap
+		}
+	}
+	dec := n.prefetch.Decide(PlanView{
+		Pattern:  pattern,
+		Mode:     memmodel.Read,
+		Fraction: 1,
+		Passes:   1,
+		Touched:  wp,
+		Pressure: pressure,
+	}).normalize()
+	threshold := collapseThreshold(pattern) * dec.ThresholdScale
+	eff := batchEfficiency(pattern)
+	switch {
+	case pressure <= residentTolerance:
+		// Fits: first-touch migration coalesces at bulk rate and is
+		// already priced as transfer time by the placement layer.
+		return 0
+	case pressure <= threshold:
+		// Streaming: the demand-faulted share of the working set stalls
+		// the fault engine; the prefetched share overlaps compute.
+		stall := xferTime(working, d.spec.FaultBW*eff)
+		return sim.VirtualTime((1 - dec.BulkFraction) * float64(stall))
+	default:
+		// Storm: the full working set re-migrates at collapsed bandwidth,
+		// super-linearly worse with pressure.
+		penalty := 1.0
+		if threshold > 0 && pressure > threshold {
+			penalty = pressure / threshold
+		}
+		return xferTime(working, d.spec.StormBW*stormEfficiency(pattern)/penalty)
+	}
 }
 
 // CheckInvariants verifies global page accounting; tests call it after

@@ -1,11 +1,21 @@
 package gpusim
 
 import (
+	"errors"
 	"fmt"
 
 	"grout/internal/memmodel"
 	"grout/internal/sim"
 )
+
+// ErrUnknownAdvise is returned (wrapped) by SetAdvise for values outside
+// the defined Advise enum; hostile or stale wire input must not silently
+// become AdviseNone.
+var ErrUnknownAdvise = errors.New("gpusim: unknown advise value")
+
+// ErrBadPreferredDevice is returned (wrapped) by SetAdvise when
+// AdvisePreferredLocation names a device the node does not have.
+var ErrBadPreferredDevice = errors.New("gpusim: bad preferred device")
 
 // AllocID identifies a UVM allocation within a node. GrOUT's data registry
 // keys global arrays by the same ID on every node that holds a replica.
@@ -24,6 +34,11 @@ const (
 	// migrating them, defusing FALL-page ping-pong for broadcast data.
 	AdviseReadMostly
 )
+
+// Valid reports whether a is a defined Advise value.
+func (a Advise) Valid() bool {
+	return a >= AdviseNone && a <= AdviseReadMostly
+}
 
 func (a Advise) String() string {
 	switch a {
@@ -60,6 +75,9 @@ type alloc struct {
 	advise  Advise
 	// preferred is the device index for AdvisePreferredLocation.
 	preferred int
+	// hist is the online fault/reuse history ring feeding adaptive
+	// prefetch and eviction policies.
+	hist AllocHistory
 }
 
 func newAlloc(id AllocID, size memmodel.Bytes, devices int) *alloc {

@@ -33,6 +33,12 @@ type NodeInfo struct {
 	// TransferTime is the estimated time to move the missing bytes,
 	// from the interconnection matrix (min-transfer-time only).
 	TransferTime sim.VirtualTime
+	// PredictedStall is the worker's predicted UVM migration stall for
+	// the CE's working set — the fault-rate cost term from the gpusim
+	// oversubscription model. Zero when the working set fits the worker's
+	// device memory, or when the policy did not ask for it (only policies
+	// implementing StallAware with NeedsStallView() true get it filled).
+	PredictedStall sim.VirtualTime
 }
 
 // Request is one scheduling decision.
@@ -295,6 +301,8 @@ func New(name string, vector []int, level ExplorationLevel) (Policy, error) {
 		return NewMinTransferSize(level), nil
 	case "min-transfer-time", "mtt":
 		return NewMinTransferTime(level), nil
+	case "min-stall-time", "mst":
+		return NewMinStallTime(), nil
 	case "uvm-aware", "uvm":
 		// Default cap: 2x one paper node's device memory — the dense
 		// sweep collapse threshold.
@@ -306,7 +314,7 @@ func New(name string, vector []int, level ExplorationLevel) (Policy, error) {
 // Names lists the available policy names.
 func Names() []string {
 	names := []string{"round-robin", "vector-step", "min-transfer-size",
-		"min-transfer-time", "uvm-aware"}
+		"min-transfer-time", "min-stall-time", "uvm-aware"}
 	sort.Strings(names)
 	return names
 }

@@ -233,7 +233,7 @@ func TestLevelFromName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("names = %v", names)
 	}
 }
@@ -256,6 +256,7 @@ func TestPoliciesAlwaysReturnCandidate(t *testing.T) {
 		policies := []Policy{
 			NewRoundRobin(), vs,
 			NewMinTransferSize(Medium), NewMinTransferTime(Medium),
+			NewMinStallTime(),
 		}
 		for _, p := range policies {
 			got := p.Assign(req(ns, total))
@@ -331,7 +332,7 @@ func TestUVMAwareRegistered(t *testing.T) {
 	if !p.NeedsDataView() {
 		t.Fatalf("uvm-aware must need the data view")
 	}
-	if len(Names()) != 5 {
+	if len(Names()) != 6 {
 		t.Fatalf("names = %v", Names())
 	}
 }

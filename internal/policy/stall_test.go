@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"testing"
+
+	"grout/internal/memmodel"
+	"grout/internal/sim"
+)
+
+func TestMinStallTimeSteersAwayFromStall(t *testing.T) {
+	p := NewMinStallTime()
+	// Node 1 holds all the data (zero transfer) but is oversubscribed:
+	// its predicted migration stall dwarfs shipping the data to idle
+	// node 2. Pure transfer-time cost would pick node 1.
+	ns := []NodeInfo{
+		{ID: 1, UpToDate: 8 * memmodel.GiB, TransferTime: 0,
+			PredictedStall: sim.VirtualTime(900e9)},
+		{ID: 2, UpToDate: 0, Transfer: 8 * memmodel.GiB,
+			TransferTime: sim.VirtualTime(7e9), PredictedStall: 0},
+	}
+	if got := p.Assign(req(ns, 8*memmodel.GiB)); got != 2 {
+		t.Fatalf("Assign = %v, want steering to node 2", got)
+	}
+	if mtt := NewMinTransferTime(Medium).Assign(req(ns, 8*memmodel.GiB)); mtt != 1 {
+		t.Fatalf("min-transfer-time control pick = %v, want 1", mtt)
+	}
+}
+
+func TestMinStallTimeBreaksTiesByTransferAndID(t *testing.T) {
+	p := NewMinStallTime()
+	// With no stall anywhere, it degrades to transfer-time ranking.
+	ns := []NodeInfo{
+		{ID: 1, TransferTime: sim.VirtualTime(5e9)},
+		{ID: 2, TransferTime: sim.VirtualTime(2e9)},
+		{ID: 3, TransferTime: sim.VirtualTime(2e9)},
+	}
+	if got := p.Assign(req(ns, memmodel.GiB)); got != 2 {
+		t.Fatalf("Assign = %v, want lowest cost with ID tiebreak", got)
+	}
+}
+
+func TestMinStallTimeBatchMatchesSequential(t *testing.T) {
+	p := NewMinStallTime()
+	mk := func(stall1 int64) Request {
+		return req([]NodeInfo{
+			{ID: 1, TransferTime: 0, PredictedStall: sim.VirtualTime(stall1)},
+			{ID: 2, TransferTime: sim.VirtualTime(10e9)},
+		}, memmodel.GiB)
+	}
+	reqs := []Request{mk(0), mk(100e9), mk(5e9)}
+	batch := p.AssignBatch(reqs)
+	for i, r := range reqs {
+		if got := p.Assign(r); got != batch[i] {
+			t.Fatalf("batch[%d] = %v, sequential = %v", i, batch[i], got)
+		}
+	}
+}
+
+func TestMinStallTimeRegistered(t *testing.T) {
+	for _, name := range []string{"min-stall-time", "mst"} {
+		p, err := New(name, nil, Medium)
+		if err != nil || p.Name() != "min-stall-time" {
+			t.Fatalf("New(%q) = %v, %v", name, p, err)
+		}
+		if !p.NeedsDataView() {
+			t.Fatal("min-stall-time must need the data view")
+		}
+		sa, ok := p.(StallAware)
+		if !ok || !sa.NeedsStallView() {
+			t.Fatal("min-stall-time must request the stall view")
+		}
+		if _, ok := p.(BatchAssigner); !ok {
+			t.Fatal("min-stall-time must support batched assignment")
+		}
+	}
+	// The established policies must NOT request the expensive stall view.
+	for _, p := range []Policy{NewMinTransferTime(Medium), NewMinTransferSize(Medium)} {
+		if sa, ok := p.(StallAware); ok && sa.NeedsStallView() {
+			t.Fatalf("%s unexpectedly requests stall view", p.Name())
+		}
+	}
+}

@@ -51,6 +51,12 @@ type ServerOptions struct {
 	// ChunkTimeout bounds each outgoing P2P chunk write (zero means
 	// DefaultChunkTimeout, negative disables).
 	ChunkTimeout time.Duration
+	// Prefetch and Evict select the node's UVM memory policies by name
+	// (gpusim.PrefetchPolicyNames / EvictionPolicyNames). Empty keeps the
+	// defaults; unknown names fail server construction rather than
+	// silently falling back to the baseline.
+	Prefetch string
+	Evict    string
 }
 
 // NewWorkerServer creates a worker over the given simulated node spec,
@@ -68,11 +74,18 @@ func NewWorkerServerOpts(addr string, spec gpusim.NodeSpec, logger *log.Logger, 
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
+	node := gpusim.NewNode(spec)
+	if opts.Prefetch != "" || opts.Evict != "" {
+		if err := node.UseMemoryPolicies(opts.Prefetch, opts.Evict); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+	}
 	w := &WorkerServer{
-		rt:        grcuda.NewRuntime(gpusim.NewNode(spec), kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true}),
-		listener:  ln,
-		log:       logger,
-		done:      make(chan struct{}),
+		rt:           grcuda.NewRuntime(node, kernels.StdRegistry(), grcuda.Options{ExecuteNumeric: true}),
+		listener:     ln,
+		log:          logger,
+		done:         make(chan struct{}),
 		active:       make(map[io.Closer]struct{}),
 		pushChunk:    normalizeChunk(opts.ChunkBytes),
 		dialTimeout:  pickTimeout(opts.DialTimeout, DefaultDialTimeout),

@@ -1,0 +1,32 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"grout/internal/gpusim"
+)
+
+// TestServerOptionsMemoryPolicies covers the -prefetch/-evict worker
+// flags' plumbing: valid names reach the node, unknown names fail
+// construction instead of silently running the baseline.
+func TestServerOptionsMemoryPolicies(t *testing.T) {
+	w, err := NewWorkerServerOpts("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil,
+		ServerOptions{Prefetch: "stride", Evict: "working-set"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if p, e := w.Runtime().Node().MemoryPolicies(); p != "stride" || e != "working-set" {
+		t.Fatalf("policies = %q+%q, want stride+working-set", p, e)
+	}
+
+	if _, err := NewWorkerServerOpts("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil,
+		ServerOptions{Prefetch: "bogus"}); !errors.Is(err, gpusim.ErrUnknownPrefetchPolicy) {
+		t.Fatalf("bogus prefetch err = %v, want ErrUnknownPrefetchPolicy", err)
+	}
+	if _, err := NewWorkerServerOpts("127.0.0.1:0", gpusim.OCIWorkerSpec("w"), nil,
+		ServerOptions{Evict: "bogus"}); !errors.Is(err, gpusim.ErrUnknownEvictionPolicy) {
+		t.Fatalf("bogus evict err = %v, want ErrUnknownEvictionPolicy", err)
+	}
+}

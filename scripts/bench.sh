@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the controller/DAG (including the failover/lineage
-# recovery-overhead pair), transport, kernel-engine and gateway
-# tenant-scaling micro-benchmarks and emit BENCH_controller.json +
-# BENCH_transport.json + BENCH_kernels.json + BENCH_server.json so
-# future PRs can track the fast-path trajectories against recorded
-# baselines.
+# recovery-overhead pair), transport, kernel-engine, gateway
+# tenant-scaling and UVM oversubscription-sweep micro-benchmarks and
+# emit BENCH_controller.json + BENCH_transport.json + BENCH_kernels.json
+# + BENCH_server.json + BENCH_gpusim.json so future PRs can track the
+# fast-path trajectories against recorded baselines.
 #
 # Usage: ./scripts/bench.sh [benchtime]     (default 2s per benchmark)
 set -euo pipefail
@@ -16,7 +16,8 @@ RAW="$(mktemp)"
 TRAW="$(mktemp)"
 KRAW="$(mktemp)"
 SRAW="$(mktemp)"
-trap 'rm -f "$RAW" "$TRAW" "$KRAW" "$SRAW"' EXIT
+GRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TRAW" "$KRAW" "$SRAW" "$GRAW"' EXIT
 
 echo "== controller benchmarks (-benchtime=$BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput' \
@@ -254,6 +255,74 @@ for name, row in sorted(current.items()):
     if one and row['tenants'] > 1:
         doc.setdefault('aggregate_scaling_vs_1x', {})[name] = round(
             row['ce_per_s_aggregate'] / one, 2)
+json.dump(doc, open(out, 'w'), indent=2)
+print(f'wrote {out}')
+EOF
+
+# --- UVM oversubscription sweep (DESIGN.md §5.7) ---------------------------
+# One cell per (pattern, prefetch+evict combo, oversubscription factor):
+# the modeled ns per kernel launch, total migration traffic and the
+# per-regime launch histogram, all deterministic simulator output (the
+# sweep is exact, so -benchtime=1x is enough). The derived summary
+# records each combo's storm cliff and the stride-aware prefetcher's
+# speedup over the eager/LRU baseline at 1.5x — the cliff-shift row the
+# adaptive-oversubscription work is gated on.
+
+echo "== UVM oversubscription sweep (-benchtime=1x)"
+go test -run '^$' -bench 'BenchmarkOversubSweep' -benchtime=1x \
+    ./internal/bench/ | tee "$GRAW"
+
+python3 - "$GRAW" BENCH_gpusim.json <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+current = {}
+pat = re.compile(
+    r'^BenchmarkOversubSweep/(\w+)/([\w+-]+)/x([\d.]+)(?:-\d+)?\s+\d+\s+'
+    r'[\d.]+ ns/op\s+(.*)$')
+metric = re.compile(r'([\d.e+]+) (\w+)')
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    pattern, combo, factor = m.group(1), m.group(2), float(m.group(3))
+    mets = {name: float(v) for v, name in metric.findall(m.group(4))}
+    cell = {
+        'ns_per_launch': mets.get('ns_per_launch'),
+        'mb_migrated': mets.get('mb_migrated'),
+        'regimes': {r: int(mets.get(r + '_launches', 0))
+                    for r in ('resident', 'streaming', 'storm')},
+    }
+    current.setdefault(pattern, {}).setdefault(combo, {})[f'{factor}x'] = cell
+
+doc = {
+    'description': 'UVM oversubscription sweep: modeled ns per launch, MB '
+                   'migrated and regime histogram per (access pattern, '
+                   'prefetch+evict policy, footprint/device-memory factor) '
+                   'on one simulated V100; deterministic simulator output.',
+    'current': current,
+}
+
+# Storm cliff per pattern/combo: the lowest factor where any launch hit
+# the storm regime (null = no storm within the swept ladder).
+cliffs = {}
+for pattern, combos in current.items():
+    for combo, cells in combos.items():
+        cliff = None
+        for fname, cell in sorted(cells.items(), key=lambda kv: float(kv[0][:-1])):
+            if cell['regimes']['storm'] > 0:
+                cliff = float(fname[:-1])
+                break
+        cliffs.setdefault(pattern, {})[combo] = cliff
+doc['storm_cliff_factor'] = cliffs
+
+# The acceptance row: stride-aware prefetch vs the eager/LRU baseline on
+# the sequential sweep at >=1.5x oversubscription (want >= 2x).
+seq = current.get('sequential', {})
+base = seq.get('eager+lru', {}).get('1.5x', {}).get('ns_per_launch')
+stride = seq.get('stride+lru', {}).get('1.5x', {}).get('ns_per_launch')
+if base and stride:
+    doc['stride_speedup_at_1.5x_sequential'] = round(base / stride, 2)
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

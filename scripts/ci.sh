@@ -7,7 +7,8 @@
 #   4. go test -race ./internal/core/... ./internal/dag/...
 #                    ./internal/transport/... ./internal/minicuda/...
 #                    ./internal/kernels/... ./internal/server/...
-#                    ./internal/optimizer/...
+#                    ./internal/optimizer/... ./internal/gpusim/...
+#                    ./internal/policy/...
 #      (the pipelined controller's determinism property test, the DAG
 #      fast path, the framed-wire data plane — concurrent bulk
 #      streams, failover teardown — and the parallel kernel engine's
@@ -23,9 +24,10 @@
 #      the separate producer/consumer launches bit-for-bit (10s), and
 #      the session-frame codec must round-trip and never panic on
 #      adversarial payloads (5s each direction; corpora persist)
-#   6. the controller/DAG/transport/kernel micro-benchmarks with
-#      -benchtime=1x as a smoke gate (they must still compile and
-#      complete, not regress — use scripts/bench.sh for numbers)
+#   6. the controller/DAG/transport/kernel/oversubscription
+#      micro-benchmarks with -benchtime=1x as a smoke gate (they must
+#      still compile and complete, not regress — use scripts/bench.sh
+#      for numbers)
 #
 # Run from the repo root: ./scripts/ci.sh
 set -euo pipefail
@@ -40,10 +42,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag, transport, minicuda, kernels, server, optimizer)"
+echo "== go test -race (core, dag, transport, minicuda, kernels, server, optimizer, gpusim, policy)"
 go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
     ./internal/minicuda/... ./internal/kernels/... ./internal/server/... \
-    ./internal/optimizer/...
+    ./internal/optimizer/... ./internal/gpusim/... ./internal/policy/...
 
 echo "== go test -race chaos/recovery suite (lineage replay, deadlines, write-off)"
 go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
@@ -70,5 +72,7 @@ go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
 go test -run '^$' -bench 'BenchmarkKernelExec/compiled|BenchmarkKernelBuild' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkGatewayTenants/4x' -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkOversubSweep/sequential/(eager\+lru|stride\+lru)/x1.5' \
+    -benchtime=1x ./internal/bench/
 
 echo "CI OK"
