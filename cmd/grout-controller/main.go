@@ -4,11 +4,17 @@
 // the deployment counterpart of the simulated experiments — the same
 // Controller code over real sockets.
 //
+// With -shards N the worker list is split into N contiguous partitions,
+// one independent controller shard per partition (DESIGN.md §5.8); the
+// portfolio partitions are dealt round-robin across the shards, and
+// statistics are reported per shard.
+//
 // Usage:
 //
 //	grout-worker -listen :7070 &   # on each worker machine
 //	grout-worker -listen :7071 &
 //	grout-controller -workers localhost:7070,localhost:7071 -policy round-robin
+//	grout-controller -workers w1:7070,w2:7070,w3:7070,w4:7070 -shards 2
 package main
 
 import (
@@ -48,6 +54,7 @@ extern "C" __global__ void bs_price(float *call, float *put, const float *spot, 
 
 func main() {
 	workers := flag.String("workers", "localhost:7070", "comma-separated worker addresses")
+	shards := flag.Int("shards", 1, "controller shards; the worker list is split contiguously across them")
 	policyName := flag.String("policy", "round-robin",
 		"inter-node policy: "+strings.Join(grout.Policies(), ", "))
 	level := flag.String("level", "medium", "exploration level for online policies")
@@ -66,34 +73,63 @@ func main() {
 	flag.Parse()
 
 	addrs := strings.Split(*workers, ",")
-	remote, err := grout.Connect(addrs, grout.Config{
+	if *shards < 1 || *shards > len(addrs) {
+		log.Fatalf("-shards %d needs between 1 and %d (the worker count)", *shards, len(addrs))
+	}
+	cfg := grout.Config{
 		Policy: *policyName, Level: *level, Pipeline: *pipeline,
 		OptimizeWindow: *optWindow,
 		Wire:           *wire, ChunkBytes: *chunk,
 		Failover: *failover, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
 		DialTimeout: *dialTimeout, CallTimeout: *callTimeout, ChunkTimeout: *chunkTimeout,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	defer remote.Close()
-	ctx := remote.Context
-	fmt.Printf("connected to %d worker(s); policy %s\n", len(addrs), *policyName)
 
-	build, err := ctx.Eval(grout.GrOUT, "buildkernel")
-	if err != nil {
-		log.Fatal(err)
+	// One Remote (controller + TCP fabric) per shard, over a contiguous
+	// slice of the worker list; shard 0 gets any remainder.
+	remotes := make([]*grout.Remote, *shards)
+	per := len(addrs) / *shards
+	extra := len(addrs) % *shards
+	lo := 0
+	for s := range remotes {
+		n := per
+		if s < extra {
+			n++
+		}
+		r, err := grout.Connect(addrs[lo:lo+n], cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		remotes[s] = r
+		lo += n
 	}
-	price, err := build.Build.Build(bsKernel,
-		"pointer float, pointer float, const pointer float, sint32")
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("connected to %d worker(s) across %d shard(s); policy %s\n",
+		len(addrs), *shards, *policyName)
+
+	// Build the kernel on every shard: each controller compiles for its
+	// own partition's workers.
+	kerns := make([]*grout.Kernel, *shards)
+	for s, r := range remotes {
+		build, err := r.Context.Eval(grout.GrOUT, "buildkernel")
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := build.Build.Build(bsKernel,
+			"pointer float, pointer float, const pointer float, sint32")
+		if err != nil {
+			log.Fatal(err)
+		}
+		kerns[s] = k
 	}
 
 	start := time.Now()
 	type part struct{ spot, call, put *grout.DeviceArray }
 	parts := make([]part, *partitions)
 	for p := range parts {
+		// Portfolio partitions are dealt round-robin across shards; each
+		// partition's arrays and launch stay on its shard's controller.
+		s := p % *shards
+		ctx := remotes[s].Context
 		mk := func() *grout.DeviceArray {
 			v, err := ctx.Eval(grout.GrOUT, fmt.Sprintf("float[%d]", *elems))
 			if err != nil {
@@ -108,7 +144,7 @@ func main() {
 			}
 		}
 		grid := (*elems + 255) / 256
-		if err := price.Configure(grid, 256).Launch(
+		if err := kerns[s].Configure(grid, 256).Launch(
 			parts[p].call, parts[p].put, parts[p].spot, *elems); err != nil {
 			log.Fatal(err)
 		}
@@ -129,12 +165,17 @@ func main() {
 	fmt.Printf("priced %d options in %v (wall clock); worst parity error %.2e\n",
 		*partitions**elems, time.Since(start).Round(time.Millisecond), worst)
 
-	for _, id := range remote.Fabric.Workers() {
-		st, err := remote.Fabric.Stats(id)
-		if err != nil {
-			log.Fatal(err)
+	for s, r := range remotes {
+		if *shards > 1 {
+			fmt.Printf("shard %d:\n", s)
 		}
-		fmt.Printf("  %v: %d kernels executed, %d arrays resident\n", id, st.Kernels, st.Arrays)
+		for _, id := range r.Fabric.Workers() {
+			st, err := r.Fabric.Stats(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %v: %d kernels executed, %d arrays resident\n", id, st.Kernels, st.Arrays)
+		}
+		fmt.Printf("  scheduling overhead per CE: %v\n", r.Controller.MeanSchedulingOverhead())
 	}
-	fmt.Printf("scheduling overhead per CE: %v\n", remote.Controller.MeanSchedulingOverhead())
 }

@@ -6,11 +6,16 @@
 // operational state.
 //
 // The fleet is either simulated in-process (-sim-workers, the default)
-// or real grout-worker processes (-workers addr,addr,...).
+// or real grout-worker processes (-workers addr,addr,...). With
+// -shards N (simulated fleets only) the control plane is split into N
+// controller shards behind the same gateway address: each shard owns a
+// static partition of the workers and its own drain goroutine, and
+// tenants are routed to shards by consistent hash (DESIGN.md §5.8).
 //
 // Usage:
 //
 //	grout-gateway -listen :7080 -http :7081 -sim-workers 4 -policy round-robin
+//	grout-gateway -listen :7080 -sim-workers 16 -shards 4
 //	grout-gateway -listen :7080 -workers w1:7070,w2:7070 -max-inflight 16
 //
 // Flag convention: 0 means the built-in default, negative disables.
@@ -36,6 +41,7 @@ func main() {
 	httpAddr := flag.String("http", "", "address for /healthz and /metrics (empty disables)")
 	workers := flag.String("workers", "", "comma-separated grout-worker addresses (empty = simulated fleet)")
 	simWorkers := flag.Int("sim-workers", 4, "simulated workers when -workers is empty")
+	shards := flag.Int("shards", 1, "controller shards over the simulated fleet (1 = classic single controller)")
 	pol := flag.String("policy", "round-robin", "inter-node scheduling policy")
 	level := flag.String("level", "", "online policy exploration level: low, medium or high (empty = medium)")
 	maxInflight := flag.Int("max-inflight", 0, "per-session in-flight CE cap (0 = unlimited, negative = 1)")
@@ -59,9 +65,57 @@ func main() {
 		Failover:       *failover,
 		OptimizeWindow: *optWindow,
 	}
-	var ctl *core.Controller
+	if *shards < 1 {
+		logger.Fatal("-shards must be positive")
+	}
+	if *shards > 1 && *workers != "" {
+		logger.Fatal("-shards requires a simulated fleet; remote fleets run one controller")
+	}
+
+	serverOpts := server.Options{
+		Limits: core.SessionLimits{
+			MaxInflightCEs: *maxInflight,
+			MaxArrayBytes:  memmodel.Bytes(*quotaMiB) * memmodel.MiB,
+			Weight:         *weight,
+		},
+		QueueDepth: *queueDepth,
+		Logger:     logger,
+	}
+	var g *server.Gateway
 	var cleanup func()
-	if *workers == "" {
+	switch {
+	case *workers != "":
+		addrs := strings.Split(*workers, ",")
+		r, err := grout.Connect(addrs, cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cleanup = func() { _ = r.Close() }
+		logger.Printf("connected to %d workers", len(addrs))
+		g, err = server.New(r.Controller, *listen, serverOpts)
+		if err != nil {
+			cleanup()
+			logger.Fatal(err)
+		}
+	case *shards > 1:
+		if *simWorkers < *shards {
+			logger.Fatalf("-shards %d needs at least %d simulated workers", *shards, *shards)
+		}
+		cfg.Workers = *simWorkers
+		cfg.Shards = *shards
+		sc, err := grout.NewShardedCluster(cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cleanup = func() { _ = sc.Close() }
+		logger.Printf("simulated fleet of %d workers across %d controller shards",
+			*simWorkers, *shards)
+		g, err = server.NewSharded(sc.Plane.Controllers, sc.Plane.Route, *listen, serverOpts)
+		if err != nil {
+			cleanup()
+			logger.Fatal(err)
+		}
+	default:
 		if *simWorkers < 1 {
 			logger.Fatal("-sim-workers must be positive")
 		}
@@ -70,32 +124,13 @@ func main() {
 		if err != nil {
 			logger.Fatal(err)
 		}
-		ctl = clu.Controller
 		cleanup = func() { _ = clu.Close() }
 		logger.Printf("simulated fleet of %d workers", *simWorkers)
-	} else {
-		addrs := strings.Split(*workers, ",")
-		r, err := grout.Connect(addrs, cfg)
+		g, err = server.New(clu.Controller, *listen, serverOpts)
 		if err != nil {
+			cleanup()
 			logger.Fatal(err)
 		}
-		ctl = r.Controller
-		cleanup = func() { _ = r.Close() }
-		logger.Printf("connected to %d workers", len(addrs))
-	}
-
-	g, err := server.New(ctl, *listen, server.Options{
-		Limits: core.SessionLimits{
-			MaxInflightCEs: *maxInflight,
-			MaxArrayBytes:  memmodel.Bytes(*quotaMiB) * memmodel.MiB,
-			Weight:         *weight,
-		},
-		QueueDepth: *queueDepth,
-		Logger:     logger,
-	})
-	if err != nil {
-		cleanup()
-		logger.Fatal(err)
 	}
 	logger.Printf("serving tenant sessions on %s (policy %s)", g.Addr(), *pol)
 

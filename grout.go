@@ -35,6 +35,7 @@ import (
 	"grout/internal/policy"
 	"grout/internal/polyglot"
 	"grout/internal/server"
+	"grout/internal/shard"
 	"grout/internal/transport"
 )
 
@@ -46,6 +47,8 @@ type (
 	Context = polyglot.Context
 	// DeviceArray is a framework-managed UVM array.
 	DeviceArray = polyglot.DeviceArray
+	// Kernel is a runtime-built kernel handle (Eval "buildkernel").
+	Kernel = polyglot.KernelHandle
 	// Language selects GrCUDA (single node) or GrOUT (distributed).
 	Language = polyglot.Language
 	// Policy is an inter-node scheduling policy (paper §IV-D).
@@ -65,6 +68,13 @@ type Config struct {
 	// Workers is the number of GPU nodes (each the paper's 2×V100
 	// 16 GiB OCI shape). Default 2, as in the paper's main evaluation.
 	Workers int
+	// Shards splits the simulated controller fleet into N independent
+	// shards behind one logical plane (DESIGN.md §5.8): each shard
+	// controller owns a static partition of the workers and its own
+	// array-ID namespace, and tenants are routed to shards by
+	// consistent hash. 0 or 1 means the classic single controller.
+	// Only NewShardedCluster consults this field.
+	Shards int
 	// Policy is the inter-node scheduling policy name: "round-robin",
 	// "vector-step", "min-transfer-size" or "min-transfer-time".
 	// Default "vector-step" (the paper's offline roofline).
@@ -206,6 +216,56 @@ func NewSimulatedCluster(cfg Config) (*Cluster, error) {
 	}, nil
 }
 
+// ShardedCluster is a simulated GrOUT deployment whose control plane is
+// split into Config.Shards independent controller shards over one
+// worker fleet (DESIGN.md §5.8). Pass Plane.Controllers and Plane.Route
+// to server.NewSharded to serve it as one logical gateway.
+type ShardedCluster struct {
+	// Plane owns the shard controllers, the consistent-hash ring and
+	// the shared fabric.
+	Plane *shard.Plane
+	// Contexts expose the polyglot API per shard, index-aligned with
+	// Plane.Controllers.
+	Contexts []*polyglot.Context
+}
+
+// NewShardedCluster builds cfg.Shards controller shards over cfg.Workers
+// in-process simulated GPU nodes. Each shard schedules only its own
+// worker partition; cross-shard reads ride the worker P2P lease path.
+func NewShardedCluster(cfg Config) (*ShardedCluster, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	p, err := shard.New(shard.Options{
+		Shards:    shards,
+		Workers:   workers,
+		NewPolicy: func(int) (policy.Policy, error) { return cfg.policy() },
+		Core:      cfg.coreOptions(cfg.Numeric),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardedCluster{Plane: p}
+	for _, ctl := range p.Controllers {
+		sc.Contexts = append(sc.Contexts, polyglot.NewGroutContext(ctl))
+	}
+	return sc, nil
+}
+
+// Close drains and stops every shard controller. Idempotent and
+// nil-receiver safe, like Cluster.Close.
+func (s *ShardedCluster) Close() error {
+	if s == nil || s.Plane == nil {
+		return nil
+	}
+	return s.Plane.Close()
+}
+
 // SingleNode is the GrCUDA baseline: one simulated two-GPU node.
 type SingleNode struct {
 	// Runtime is the GrCUDA engine.
@@ -308,6 +368,13 @@ func Policies() []string { return policy.Names() }
 func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("grout: negative worker count %d", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("grout: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 0 && c.Workers > 0 && c.Shards > c.Workers {
+		return fmt.Errorf("grout: %d shards need at least %d workers, have %d",
+			c.Shards, c.Shards, c.Workers)
 	}
 	if _, err := transport.ParseWire(c.Wire); err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 	"grout/internal/memmodel"
 	"grout/internal/policy"
 	"grout/internal/server"
+	"grout/internal/shard"
 )
 
 const gwBenchElems = int64(memmodel.MiB / 4)
@@ -45,6 +46,96 @@ func BenchmarkGatewayTenants(b *testing.B) {
 		b.Run(fmt.Sprintf("%dx", tenants), func(b *testing.B) {
 			g, stop := gatewayBenchSystem(b)
 			defer stop()
+			clients := make([]*server.Client, tenants)
+			arrays := make([][]dag.ArrayID, tenants)
+			for k := range clients {
+				c, err := server.Dial(g.Addr(), fmt.Sprintf("t%02d", k), 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[k] = c
+				for a := 0; a < 4; a++ {
+					id, err := c.NewArray(memmodel.Float32, gwBenchElems)
+					if err != nil {
+						b.Fatal(err)
+					}
+					arrays[k] = append(arrays[k], id)
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, tenants)
+			for k, c := range clients {
+				wg.Add(1)
+				go func(k int, c *server.Client) {
+					defer wg.Done()
+					nArg := core.ScalarRef(float64(gwBenchElems))
+					for i := 0; i < b.N; i++ {
+						id := arrays[k][i%len(arrays[k])]
+						if err := c.Launch("relu", 1024, 256,
+							core.ArrRef(id), nArg); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- c.Sync()
+				}(k, c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			totalCEs := float64(tenants) * float64(b.N)
+			b.ReportMetric(totalCEs/elapsed.Seconds(), "ce_per_s")
+			var p99 time.Duration
+			for _, t := range g.Snapshot().Tenants {
+				if t.AdmissionWaitP99 > p99 {
+					p99 = t.AdmissionWaitP99
+				}
+			}
+			b.ReportMetric(float64(p99.Microseconds()), "p99adm_us")
+		})
+	}
+}
+
+// BenchmarkGatewayShards is the control-plane scale-out sweep: 16
+// concurrent tenants over a 16-worker fleet, with the controller fleet
+// sharded 1/4/8/16 ways behind one gateway (consistent-hash routing,
+// per-shard drain goroutines). ce_per_s is aggregate admission
+// throughput across all tenants; p99adm_us is the worst tenant's p99
+// admission wait. The simulated fleet's data path is one shared lock (a
+// virtual-time constraint), so on a single-core box the sweep measures
+// contention relief in the admission/scheduling sections, not CPU
+// parallelism — scripts/bench.sh records gomaxprocs alongside the
+// numbers.
+func BenchmarkGatewayShards(b *testing.B) {
+	const tenants = 16
+	for _, shards := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			p, err := shard.New(shard.Options{
+				Shards:  shards,
+				Workers: 16,
+				Core:    core.Options{Pipeline: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			g, err := server.NewSharded(p.Controllers, p.Route, "127.0.0.1:0", server.Options{
+				Limits: core.SessionLimits{MaxInflightCEs: 32},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+
 			clients := make([]*server.Client, tenants)
 			arrays := make([][]dag.ArrayID, tenants)
 			for k := range clients {

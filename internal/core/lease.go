@@ -1,0 +1,98 @@
+package core
+
+// Cross-shard lease roots (DESIGN.md §5.8). In a sharded control plane
+// (internal/shard) every controller owns a static partition of the
+// worker fleet; its policies, registry and failover machinery only ever
+// see those workers. A lease exports one quiescent array version to a
+// worker *outside* the partition — bytes travel over the shared fabric,
+// worker→worker when a worker holds a valid copy, so they never bounce
+// through either controller host — and records that replica on the
+// GlobalArray as a recovery root. Lineage recovery (lineage.go) then
+// treats the foreign copy exactly like a host-written root: if every
+// local copy of the leased version dies, the replay chain bottoms out at
+// the lease and re-ships from the foreign worker instead of surfacing
+// ErrDataLost.
+//
+// The replica is deliberately kept out of upToDate/member: placement
+// must never read from (or schedule onto) a node the shard does not own,
+// so the lease is invisible to policies until a loss republishes it.
+
+import (
+	"fmt"
+
+	"grout/internal/cluster"
+	"grout/internal/dag"
+	"grout/internal/kernels"
+)
+
+// LeaseArray exports a copy of array id to dst, a worker that need not
+// be in this controller's fabric view, and records the replica as a
+// lineage recovery root. full is the fabric to move bytes over — the
+// unpartitioned fleet view in sharded deployments (nil falls back to
+// the controller's own fabric). The controller drains first so the
+// leased version is the committed tip at the time of the export; the
+// leased version is returned. A later lease of the same array replaces
+// the previous root (one lease per array).
+func (c *Controller) LeaseArray(full Fabric, id dag.ArrayID, dst cluster.NodeID) (uint64, error) {
+	if full == nil {
+		full = c.fabric
+	}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if err := c.drainLocked(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	arr, ok := c.arrays[id]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("core: lease of unknown array %d", id)
+	}
+	if len(arr.upToDate) == 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("core: lease of array %d with no live copy: %w", id, ErrDataLost)
+	}
+	src := c.bestSource(arr, dst)
+	srcReady := arr.upToDate[src]
+	var buf *kernels.Buffer
+	if src == cluster.ControllerID {
+		buf = arr.Buf
+	}
+	meta := arr.ArrayMeta
+	size := arr.size
+	c.mu.Unlock()
+
+	if err := full.EnsureArray(dst, meta); err != nil {
+		return 0, err
+	}
+	at, err := full.MoveArray(id, src, dst, srcReady, buf, nil)
+	if err != nil {
+		return 0, err
+	}
+
+	c.mu.Lock()
+	arr.leased = true
+	arr.leaseNode = dst
+	arr.leaseVer = arr.cver
+	arr.leaseAt = at
+	ver := arr.leaseVer
+	c.movedBytes += size
+	if src.IsWorker() {
+		c.p2pMoves++
+	}
+	c.mu.Unlock()
+	return ver, nil
+}
+
+// Lease reports the array's current lease root: the foreign worker
+// holding the replica and the version it holds. ok is false when the
+// array has never been leased (or does not exist).
+func (c *Controller) Lease(id dag.ArrayID) (node cluster.NodeID, ver uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	arr := c.arrays[id]
+	if arr == nil || !arr.leased {
+		return 0, 0, false
+	}
+	return arr.leaseNode, arr.leaseVer, true
+}

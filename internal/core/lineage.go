@@ -134,9 +134,28 @@ func (c *Controller) recoverArrays(ids []dag.ArrayID) error {
 	c.mu.Lock()
 	lost := make([]dag.ArrayID, 0, len(ids))
 	for _, id := range ids {
-		if arr := c.arrays[id]; arr != nil && len(arr.upToDate) == 0 {
-			lost = append(lost, id)
+		arr := c.arrays[id]
+		if arr == nil || len(arr.upToDate) != 0 {
+			continue
 		}
+		if arr.leased && arr.leaseVer == arr.cver && !c.dead[arr.leaseNode] &&
+			c.fabric.Healthy(arr.leaseNode) {
+			// Lease-at-tip fast path: the cross-shard replica already
+			// holds the committed version, so republish it instead of
+			// replaying the producer chain. Subsequent dispatches pull
+			// it worker→worker; no controller bounce, no replay.
+			arr.upToDate[arr.leaseNode] = arr.leaseAt
+			if len(arr.member) == 0 {
+				arr.member[arr.leaseNode] = struct{}{}
+				arr.maskSet(arr.leaseNode)
+				arr.gen++
+			}
+			c.recoveries++
+			// Waiters blocked on the array's registry state must re-check.
+			c.cond.Broadcast()
+			continue
+		}
+		lost = append(lost, id)
 	}
 	if len(lost) == 0 {
 		c.mu.Unlock()
@@ -179,6 +198,9 @@ func (c *Controller) planRecovery(ids []dag.ArrayID) (*recoveryPlan, error) {
 			if k.ver == arr.hostVer {
 				return nil // superseded, but the host buffer still holds it
 			}
+			if arr.leased && k.ver == arr.leaseVer && !c.dead[arr.leaseNode] {
+				return nil // superseded, but a cross-shard lease replica holds it
+			}
 			// A newer committed version is live somewhere; replaying the
 			// older one would clobber it. Conservatively unrecoverable.
 			return fmt.Errorf("core: array %d lost at version %d but version %d is live: %w",
@@ -189,6 +211,12 @@ func (c *Controller) planRecovery(ids []dag.ArrayID) (*recoveryPlan, error) {
 			if k.ver == arr.hostVer {
 				// Host-initialized root: the controller's buffer still
 				// holds exactly this version; replayStep re-ships it.
+				return nil
+			}
+			if arr.leased && k.ver == arr.leaseVer && !c.dead[arr.leaseNode] {
+				// Cross-shard lease root: the replica exported to a
+				// foreign worker holds exactly this version; replayStep
+				// pulls it worker→worker over the shared fabric.
 				return nil
 			}
 			// A root with no producer record whose bytes the controller
@@ -328,6 +356,12 @@ func (c *Controller) replayStep(rec *producerRec, locs map[dag.ArrayID]planLoc) 
 					// Host-written root the planner approved: the
 					// controller's buffer holds these exact bytes.
 					moves = append(moves, pendingMove{a.Array, cluster.ControllerID, 0, arr.Buf, arr.size})
+					continue
+				}
+				if arr.leased && arr.leaseVer == k.ver && !c.dead[arr.leaseNode] {
+					// Cross-shard lease root: pull the replica from the
+					// foreign worker (P2P over the shared fabric).
+					moves = append(moves, pendingMove{a.Array, arr.leaseNode, arr.leaseAt, nil, arr.size})
 					continue
 				}
 				ierr = fmt.Errorf("core: replay input array %d version %d no longer available: %w",

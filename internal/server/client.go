@@ -177,6 +177,16 @@ func (c *Client) BuildKernel(src, signature string) (string, error) {
 	return resp.Name, nil
 }
 
+// ShardInfo reports which controller shard serves this tenant and the
+// gateway's shard count (0 of 1 on an unsharded gateway).
+func (c *Client) ShardInfo() (shard, count int, err error) {
+	resp, err := c.call(&transport.SessionRequest{Kind: transport.SessShardInfo})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Shard, resp.ShardCount, nil
+}
+
 // Ping round-trips an empty frame (liveness checks).
 func (c *Client) Ping() error {
 	_, err := c.call(&transport.SessionRequest{Kind: transport.SessPing})

@@ -1,16 +1,22 @@
 // Package server implements the multi-tenant session gateway: one TCP
 // listener multiplexing many concurrent client programs ("tenants")
-// onto a single shared core.Controller and its worker fleet.
+// onto a control plane of one or more core.Controller shards sharing a
+// worker fleet (DESIGN.md §5.8).
 //
-// Each connection gets a core.ControllerSession — a private array
-// namespace, an array-byte quota, and per-tenant counters. Launches are
-// not submitted inline: the serve goroutine enqueues them on the
-// tenant's bounded queue and a single weighted-round-robin drain
-// goroutine feeds the controller, so one chatty tenant cannot starve
-// the rest, and a tenant at its in-flight cap simply waits its turn.
-// Synchronous operations (allocate, read, write, free, build, elapsed)
-// run on the serve goroutine after the tenant's queue has flushed, so
-// each session observes its own program order.
+// Each connection gets a core.ControllerSession on exactly one shard —
+// a private array namespace, an array-byte quota, and per-tenant
+// counters. Routing is pluggable (RouteFunc); the sharded plane
+// (internal/shard) supplies a seeded consistent-hash ring so a
+// restarted gateway routes identically. Launches are not submitted
+// inline: the serve goroutine enqueues them on the tenant's bounded
+// queue and the owning shard's weighted-round-robin drain goroutine
+// feeds that shard's controller, so one chatty tenant cannot starve the
+// rest, and a tenant at its in-flight cap simply waits its turn. Each
+// shard drains independently — no lock, condvar or credit pool is
+// shared between drains, which is what makes aggregate admission scale
+// with the shard count. Synchronous operations (allocate, read, write,
+// free, build, elapsed) run on the serve goroutine after the tenant's
+// queue has flushed, so each session observes its own program order.
 //
 // Error model: launch submission is asynchronous, so a launch that
 // fails after its enqueue turns into a per-session sticky error — every
@@ -48,6 +54,13 @@ type Options struct {
 	Logger *log.Logger
 }
 
+// RouteFunc picks the shard for a new tenant session: loads[s] is shard
+// s's current session count. Implementations must be safe for
+// concurrent calls and deterministic given (tenant, loads) — the
+// sharded plane's bounded-load consistent-hash ring qualifies
+// (shard.Plane.Route).
+type RouteFunc func(tenant string, loads []int) int
+
 // queuedLaunch is one launch waiting in a tenant's queue.
 type queuedLaunch struct {
 	inv core.Invocation
@@ -57,10 +70,11 @@ type queuedLaunch struct {
 // tenant is the gateway's per-connection state around a controller
 // session.
 type tenant struct {
-	id   uint64
-	name string
-	sess *core.ControllerSession
-	conn *transport.SessionConn
+	id    uint64
+	name  string
+	sess  *core.ControllerSession
+	conn  *transport.SessionConn
+	shard *shardState
 
 	queue chan queuedLaunch
 
@@ -94,29 +108,55 @@ func (t *tenant) flush() error {
 	return t.sticky
 }
 
-// Gateway serves tenant sessions over TCP against one shared
-// controller. The controller stays owned by the caller: Close tears
-// down sessions and the listener, not the fleet.
-type Gateway struct {
+// shardState is one controller shard's slice of the gateway: its
+// sessions, its drain goroutine's condvar and rotation cursor, and its
+// admission counter. Every field is guarded by the shard's own mu —
+// drains of different shards never touch a shared lock.
+type shardState struct {
+	idx int
 	ctl *core.Controller
-	opt Options
-	ln  net.Listener
-	log *log.Logger
 
 	mu        sync.Mutex
-	drainCond sync.Cond // wakes the drain loop: enqueue, completion, teardown
+	drainCond sync.Cond // wakes this shard's drain loop: enqueue, completion, teardown
 	sessions  map[uint64]*tenant
-	nextID    uint64
-	total     int64 // sessions ever opened
 	rr        int   // round-robin rotation cursor
-	closed    bool
-	done      chan struct{}
-	wg        sync.WaitGroup
+	ces       int64 // launches this shard's drain handed to its controller
 }
 
-// New starts a gateway for ctl listening on addr ("host:0" picks a
-// free port).
+// Gateway serves tenant sessions over TCP against a sharded control
+// plane. The controllers stay owned by the caller: Close tears down
+// sessions and the listener, not the fleet.
+type Gateway struct {
+	shards []*shardState
+	route  RouteFunc
+	opt    Options
+	ln     net.Listener
+	log    *log.Logger
+
+	mu     sync.Mutex
+	nextID uint64
+	total  int64 // sessions ever opened
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a single-shard gateway for ctl listening on addr
+// ("host:0" picks a free port) — the one-controller deployment is just
+// the sharded gateway with N=1.
 func New(ctl *core.Controller, addr string, opt Options) (*Gateway, error) {
+	return NewSharded([]*core.Controller{ctl}, nil, addr, opt)
+}
+
+// NewSharded starts a gateway over one controller shard per entry of
+// ctls. route picks each new tenant's shard; nil defaults to an FNV
+// hash of the tenant name modulo the shard count (deterministic across
+// restarts, but without the bounded-load and minimal-remap properties
+// of the consistent-hash ring — pass shard.Plane.Route for those).
+func NewSharded(ctls []*core.Controller, route RouteFunc, addr string, opt Options) (*Gateway, error) {
+	if len(ctls) == 0 {
+		return nil, fmt.Errorf("server: gateway needs at least one controller shard")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -130,19 +170,39 @@ func New(ctl *core.Controller, addr string, opt Options) (*Gateway, error) {
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
-	g := &Gateway{
-		ctl:      ctl,
-		opt:      opt,
-		ln:       ln,
-		log:      logger,
-		sessions: make(map[uint64]*tenant),
-		done:     make(chan struct{}),
+	if route == nil {
+		route = hashRoute
 	}
-	g.drainCond.L = &g.mu
-	g.wg.Add(2)
+	g := &Gateway{
+		route: route,
+		opt:   opt,
+		ln:    ln,
+		log:   logger,
+		done:  make(chan struct{}),
+	}
+	for i, ctl := range ctls {
+		sh := &shardState{idx: i, ctl: ctl, sessions: make(map[uint64]*tenant)}
+		sh.drainCond.L = &sh.mu
+		g.shards = append(g.shards, sh)
+	}
+	g.wg.Add(1 + len(g.shards))
 	go g.acceptLoop()
-	go g.drainLoop()
+	for _, sh := range g.shards {
+		go g.drainLoop(sh)
+	}
 	return g, nil
+}
+
+// hashRoute is the default RouteFunc: FNV-1a of the tenant name modulo
+// the shard count. Deterministic, load-blind.
+func hashRoute(tenant string, loads []int) int {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime
+	}
+	return int(h % uint64(len(loads)))
 }
 
 type discard struct{}
@@ -152,9 +212,12 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 // Addr reports the gateway's listening address.
 func (g *Gateway) Addr() string { return g.ln.Addr().String() }
 
+// Shards reports the gateway's controller shard count.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
 // Close stops accepting, disconnects every session (their arrays are
 // freed, their queued launches dropped), and waits for the serve and
-// drain goroutines. The controller is left running.
+// drain goroutines. The controllers are left running.
 func (g *Gateway) Close() error {
 	g.mu.Lock()
 	if g.closed {
@@ -163,12 +226,16 @@ func (g *Gateway) Close() error {
 	}
 	g.closed = true
 	close(g.done)
-	conns := make([]*transport.SessionConn, 0, len(g.sessions))
-	for _, t := range g.sessions {
-		conns = append(conns, t.conn)
-	}
-	g.drainCond.Broadcast()
 	g.mu.Unlock()
+	var conns []*transport.SessionConn
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for _, t := range sh.sessions {
+			conns = append(conns, t.conn)
+		}
+		sh.drainCond.Broadcast()
+		sh.mu.Unlock()
+	}
 	err := g.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
@@ -197,27 +264,49 @@ func (g *Gateway) acceptLoop() {
 	}
 }
 
-// register opens a session for conn under the given tenant name.
+// loads snapshots every shard's current session count, indexed by shard.
+func (g *Gateway) loads() []int {
+	out := make([]int, len(g.shards))
+	for i, sh := range g.shards {
+		sh.mu.Lock()
+		out[i] = len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// register opens a session for conn under the given tenant name,
+// routing it to a shard.
 func (g *Gateway) register(conn *transport.SessionConn, name string) (*tenant, error) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.closed {
+		g.mu.Unlock()
 		return nil, fmt.Errorf("server: gateway is shut down")
 	}
 	g.nextID++
 	g.total++
+	id := g.nextID
+	g.mu.Unlock()
 	if name == "" {
-		name = fmt.Sprintf("tenant-%d", g.nextID)
+		name = fmt.Sprintf("tenant-%d", id)
 	}
+	s := g.route(name, g.loads())
+	if s < 0 || s >= len(g.shards) {
+		return nil, fmt.Errorf("server: route sent tenant %q to shard %d of %d", name, s, len(g.shards))
+	}
+	sh := g.shards[s]
 	t := &tenant{
-		id:    g.nextID,
+		id:    id,
 		name:  name,
-		sess:  core.NewControllerSession(g.ctl, name, g.opt.Limits),
+		sess:  core.NewControllerSession(sh.ctl, name, g.opt.Limits),
 		conn:  conn,
+		shard: sh,
 		queue: make(chan queuedLaunch, g.opt.QueueDepth),
 	}
 	t.flushed.L = &t.mu
-	g.sessions[t.id] = t
+	sh.mu.Lock()
+	sh.sessions[t.id] = t
+	sh.mu.Unlock()
 	return t, nil
 }
 
@@ -225,10 +314,11 @@ func (g *Gateway) register(conn *transport.SessionConn, name string) (*tenant, e
 // ones already handed to the controller, then free its arrays. Runs on
 // the tenant's own serve goroutine, so no session method races it.
 func (g *Gateway) teardown(t *tenant) {
-	g.mu.Lock()
-	delete(g.sessions, t.id)
-	g.drainCond.Broadcast()
-	g.mu.Unlock()
+	sh := t.shard
+	sh.mu.Lock()
+	delete(sh.sessions, t.id)
+	sh.drainCond.Broadcast()
+	sh.mu.Unlock()
 	t.mu.Lock()
 	t.gone = true
 	t.mu.Unlock()
@@ -284,12 +374,14 @@ func (g *Gateway) serve(conn *transport.SessionConn) {
 		return
 	}
 	resp.Name = t.name
+	resp.Shard = t.shard.idx
+	resp.ShardCount = len(g.shards)
 	if err := conn.Reply(reqID, resp); err != nil {
 		g.teardown(t)
 		_ = conn.Close()
 		return
 	}
-	g.log.Printf("server: session %q open from %s", t.name, conn.RemoteAddr())
+	g.log.Printf("server: session %q open from %s on shard %d", t.name, conn.RemoteAddr(), t.shard.idx)
 	for {
 		reqID, err := conn.ReadRequest(req)
 		if err != nil {
@@ -300,6 +392,9 @@ func (g *Gateway) serve(conn *transport.SessionConn) {
 		switch req.Kind {
 		case transport.SessPing:
 			// nothing: the empty OK response is the answer
+		case transport.SessShardInfo:
+			resp.Shard = t.shard.idx
+			resp.ShardCount = len(g.shards)
 		case transport.SessLaunch:
 			g.handleLaunch(t, req, resp)
 		case transport.SessNewArray:
@@ -379,9 +474,10 @@ func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *t
 	q := queuedLaunch{inv: req.Inv, at: time.Now()}
 	select {
 	case t.queue <- q:
-		g.mu.Lock()
-		g.drainCond.Broadcast()
-		g.mu.Unlock()
+		sh := t.shard
+		sh.mu.Lock()
+		sh.drainCond.Broadcast()
+		sh.mu.Unlock()
 	case <-g.done:
 		t.mu.Lock()
 		t.queued--
@@ -394,45 +490,59 @@ func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *t
 	}
 }
 
-// drainLoop is the gateway's single admission goroutine: it feeds the
-// controller from the per-tenant queues by weighted round-robin,
-// honoring each session's in-flight cap. Weight-w tenants get up to w
+// drainLoop is one shard's admission goroutine: it feeds the shard's
+// controller from its tenants' queues by weighted round-robin, honoring
+// each session's in-flight cap. Weight-w tenants get up to w
 // submissions per pass; a capped or empty tenant just loses its turn.
-func (g *Gateway) drainLoop() {
+// Credits are scoped per shard — each loop owns its condvar, cursor and
+// roster, so shards admit concurrently without sharing a lock.
+func (g *Gateway) drainLoop(sh *shardState) {
 	defer g.wg.Done()
 	for {
-		g.mu.Lock()
-		for !g.closed && !g.workReadyLocked() {
-			g.drainCond.Wait()
+		sh.mu.Lock()
+		for !g.isClosed() && !sh.workReadyLocked() {
+			sh.drainCond.Wait()
 		}
-		if g.closed {
-			g.mu.Unlock()
+		if g.isClosed() {
+			sh.mu.Unlock()
 			return
 		}
-		roster := make([]*tenant, 0, len(g.sessions))
-		for _, t := range g.sessions {
+		roster := make([]*tenant, 0, len(sh.sessions))
+		for _, t := range sh.sessions {
 			roster = append(roster, t)
 		}
 		// Rotate the starting tenant so map-order ties don't favor
 		// anyone across rounds.
 		if n := len(roster); n > 1 {
-			g.rr = (g.rr + 1) % n
-			roster = append(roster[g.rr:], roster[:g.rr]...)
+			sh.rr = (sh.rr + 1) % n
+			roster = append(roster[sh.rr:], roster[:sh.rr]...)
 		}
-		g.mu.Unlock()
-		g.drainRound(roster)
-		// The round's submissions are the controller's cross-tenant
+		sh.mu.Unlock()
+		sh.drainRound(roster)
+		// The round's submissions are this shard's cross-tenant
 		// optimizer batch: flush so tenant streams shorter than the
 		// lookahead window dispatch now instead of waiting for an
 		// unrelated synchronization point (or, at an in-flight cap,
 		// forever). Errors surface on the launches' Pendings.
-		_ = g.ctl.FlushWindow()
+		_ = sh.ctl.FlushWindow()
 	}
 }
 
-// workReadyLocked reports whether any tenant has a submittable launch.
-func (g *Gateway) workReadyLocked() bool {
-	for _, t := range g.sessions {
+// isClosed reports the gateway-wide shutdown flag; the per-shard drain
+// loops poll it between rounds.
+func (g *Gateway) isClosed() bool {
+	select {
+	case <-g.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// workReadyLocked reports whether any of the shard's tenants has a
+// submittable launch. Caller holds sh.mu.
+func (sh *shardState) workReadyLocked() bool {
+	for _, t := range sh.sessions {
 		t.mu.Lock()
 		ready := t.queued > 0 && !t.gone && t.capRoomLocked()
 		t.mu.Unlock()
@@ -449,9 +559,9 @@ func (t *tenant) capRoomLocked() bool {
 	return cap <= 0 || t.inflight < cap
 }
 
-// drainRound makes weighted passes over the roster until no tenant can
-// submit anything more right now.
-func (g *Gateway) drainRound(roster []*tenant) {
+// drainRound makes weighted passes over the shard's roster until no
+// tenant can submit anything more right now.
+func (sh *shardState) drainRound(roster []*tenant) {
 	for progress := true; progress; {
 		progress = false
 		for _, t := range roster {
@@ -464,7 +574,7 @@ func (g *Gateway) drainRound(roster []*tenant) {
 				}
 				select {
 				case q := <-t.queue:
-					g.submitOne(t, q)
+					sh.submitOne(t, q)
 					progress = true
 				default:
 					credits = 0
@@ -474,9 +584,9 @@ func (g *Gateway) drainRound(roster []*tenant) {
 	}
 }
 
-// submitOne hands one queued launch to the controller on the tenant's
-// behalf and watches its dispatch.
-func (g *Gateway) submitOne(t *tenant, q queuedLaunch) {
+// submitOne hands one queued launch to the shard's controller on the
+// tenant's behalf and watches its dispatch.
+func (sh *shardState) submitOne(t *tenant, q queuedLaunch) {
 	t.mu.Lock()
 	if t.gone || t.sticky != nil {
 		t.queued--
@@ -505,6 +615,9 @@ func (g *Gateway) submitOne(t *tenant, q queuedLaunch) {
 	if err != nil {
 		return
 	}
+	sh.mu.Lock()
+	sh.ces++
+	sh.mu.Unlock()
 	go func() {
 		_, werr := p.Wait()
 		if werr != nil {
@@ -513,8 +626,8 @@ func (g *Gateway) submitOne(t *tenant, q queuedLaunch) {
 		t.mu.Lock()
 		t.inflight--
 		t.mu.Unlock()
-		g.mu.Lock()
-		g.drainCond.Broadcast()
-		g.mu.Unlock()
+		sh.mu.Lock()
+		sh.drainCond.Broadcast()
+		sh.mu.Unlock()
 	}()
 }

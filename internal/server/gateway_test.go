@@ -447,10 +447,10 @@ func TestGatewayMetrics(t *testing.T) {
 		"grout_gateway_sessions_active 1",
 		"grout_gateway_sessions_total 1",
 		"grout_gateway_failovers_total 0",
-		`grout_gateway_ces_admitted_total{tenant="metered"}`,
-		`grout_gateway_ces_completed_total{tenant="metered"}`,
-		`grout_gateway_array_bytes{tenant="metered"} 768`,
-		`grout_gateway_admission_wait_seconds_total{tenant="metered"}`,
+		`grout_gateway_ces_admitted_total{tenant="metered",shard="0"}`,
+		`grout_gateway_ces_completed_total{tenant="metered",shard="0"}`,
+		`grout_gateway_array_bytes{tenant="metered",shard="0"} 768`,
+		`grout_gateway_admission_wait_seconds_total{tenant="metered",shard="0"}`,
 	} {
 		if !strings.Contains(body, line) {
 			t.Fatalf("metrics missing %q in:\n%s", line, body)
@@ -479,12 +479,15 @@ func TestGatewayMetrics(t *testing.T) {
 // tenantSession digs a tenant's controller session out of the gateway.
 func tenantSession(t *testing.T, g *Gateway, name string) *core.ControllerSession {
 	t.Helper()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for _, tn := range g.sessions {
-		if tn.name == name {
-			return tn.sess
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for _, tn := range sh.sessions {
+			if tn.name == name {
+				sh.mu.Unlock()
+				return tn.sess
+			}
 		}
+		sh.mu.Unlock()
 	}
 	t.Fatalf("no tenant %q", name)
 	return nil
@@ -568,7 +571,7 @@ func TestGatewayOptimizerMetrics(t *testing.T) {
 	submit(sb, mul(ab))
 	submit(sa, madd(aa))
 	submit(sb, madd(ab))
-	if err := g.ctl.FlushWindow(); err != nil {
+	if err := g.shards[0].ctl.FlushWindow(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -580,7 +583,7 @@ func TestGatewayOptimizerMetrics(t *testing.T) {
 	}
 	submit(sa, relu(aa))
 	submit(sb, relu(ab))
-	if err := g.ctl.Drain(); err != nil {
+	if err := g.shards[0].ctl.Drain(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -613,17 +616,17 @@ func TestGatewayOptimizerMetrics(t *testing.T) {
 	}
 	for _, line := range []string{
 		// One producer absorbed per tenant — and only within the tenant.
-		`grout_gateway_fused_ces_total{tenant="opt-a"} 1`,
-		`grout_gateway_fused_ces_total{tenant="opt-b"} 1`,
+		`grout_gateway_fused_ces_total{tenant="opt-a",shard="0"} 1`,
+		`grout_gateway_fused_ces_total{tenant="opt-b",shard="0"} 1`,
 		// Both tenants' inputs rode one bulk frame; the run leader's
 		// session carries the credit.
-		`grout_gateway_coalesced_transfers_total{tenant="opt-a"} 2`,
+		`grout_gateway_coalesced_transfers_total{tenant="opt-a",shard="0"} 2`,
 		// Two per tenant: the fused kernel binds x through both the
 		// producer's and the consumer's parameter slot, and the second
 		// slot's transfer is skipped once the bulk move lands — plus the
 		// relu re-read of the placed output.
-		`grout_gateway_eliminated_moves_total{tenant="opt-a"} 2`,
-		`grout_gateway_eliminated_moves_total{tenant="opt-b"} 2`,
+		`grout_gateway_eliminated_moves_total{tenant="opt-a",shard="0"} 2`,
+		`grout_gateway_eliminated_moves_total{tenant="opt-b",shard="0"} 2`,
 	} {
 		if !strings.Contains(string(body), line) {
 			t.Fatalf("metrics missing %q in:\n%s", line, body)

@@ -4,6 +4,13 @@ package server
 // the per-session counters the core session layer keeps. Hand-rolled
 // exposition — the container has no Prometheus client library, and the
 // text format is trivial to emit.
+//
+// Label cardinality: per-tenant series carry exactly two labels, tenant
+// and shard, and shard is a function of tenant (one session, one
+// shard), so the series count stays O(tenants) — the sharded plane adds
+// the shard dimension without multiplying series. Per-shard series
+// (grout_shard_*) are O(shards). TestMetricsLabelCardinality enforces
+// both bounds.
 
 import (
 	"fmt"
@@ -17,6 +24,8 @@ import (
 // TenantStats is one session's public counter snapshot.
 type TenantStats struct {
 	Name string
+	// Shard is the controller shard serving this session.
+	Shard int
 	core.SessionStats
 	// Queued counts launches sitting in the gateway queue right now.
 	Queued int
@@ -24,31 +33,55 @@ type TenantStats struct {
 	Dropped int64
 }
 
+// ShardStats is one controller shard's aggregate snapshot.
+type ShardStats struct {
+	Shard int
+	// Sessions currently routed to this shard.
+	Sessions int
+	// CEs this shard's drain handed to its controller.
+	CEs int64
+	// QueueDepth is the shard's aggregate admission backlog: launches
+	// enqueued by its tenants and not yet submitted.
+	QueueDepth int
+	// Failovers counts workers this shard's controller wrote off.
+	Failovers int
+}
+
 // Stats is a point-in-time snapshot of the whole gateway.
 type Stats struct {
 	Active    int   // sessions currently open
 	Total     int64 // sessions ever opened
-	Failovers int   // workers the shared controller has written off
+	Failovers int   // workers written off, summed over shards
+	Shards    []ShardStats
 	Tenants   []TenantStats
 }
 
 // Snapshot collects the gateway's current stats, tenants sorted by name.
 func (g *Gateway) Snapshot() Stats {
 	g.mu.Lock()
-	tenants := make([]*tenant, 0, len(g.sessions))
-	for _, t := range g.sessions {
-		tenants = append(tenants, t)
-	}
-	st := Stats{Active: len(tenants), Total: g.total}
+	st := Stats{Total: g.total}
 	g.mu.Unlock()
-	st.Failovers = g.ctl.Failovers()
-	for _, t := range tenants {
-		ts := TenantStats{Name: t.name, SessionStats: t.sess.Stats()}
-		t.mu.Lock()
-		ts.Queued = t.queued
-		ts.Dropped = t.dropped
-		t.mu.Unlock()
-		st.Tenants = append(st.Tenants, ts)
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		tenants := make([]*tenant, 0, len(sh.sessions))
+		for _, t := range sh.sessions {
+			tenants = append(tenants, t)
+		}
+		ss := ShardStats{Shard: sh.idx, Sessions: len(tenants), CEs: sh.ces}
+		sh.mu.Unlock()
+		ss.Failovers = sh.ctl.Failovers()
+		for _, t := range tenants {
+			ts := TenantStats{Name: t.name, Shard: sh.idx, SessionStats: t.sess.Stats()}
+			t.mu.Lock()
+			ts.Queued = t.queued
+			ts.Dropped = t.dropped
+			t.mu.Unlock()
+			ss.QueueDepth += ts.Queued
+			st.Tenants = append(st.Tenants, ts)
+		}
+		st.Active += ss.Sessions
+		st.Failovers += ss.Failovers
+		st.Shards = append(st.Shards, ss)
 	}
 	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
 	return st
@@ -59,10 +92,7 @@ func (g *Gateway) Snapshot() Stats {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		g.mu.Lock()
-		closed := g.closed
-		g.mu.Unlock()
-		if closed {
+		if g.isClosed() {
 			http.Error(w, "shutting down", http.StatusServiceUnavailable)
 			return
 		}
@@ -89,9 +119,20 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	fmt.Fprintln(w, "# HELP grout_gateway_sessions_total Tenant sessions ever opened.")
 	fmt.Fprintln(w, "# TYPE grout_gateway_sessions_total counter")
 	fmt.Fprintf(w, "grout_gateway_sessions_total %d\n", st.Total)
-	fmt.Fprintln(w, "# HELP grout_gateway_failovers_total Workers the shared controller wrote off.")
+	fmt.Fprintln(w, "# HELP grout_gateway_failovers_total Workers written off, summed over shards.")
 	fmt.Fprintln(w, "# TYPE grout_gateway_failovers_total counter")
 	fmt.Fprintf(w, "grout_gateway_failovers_total %d\n", st.Failovers)
+
+	fmt.Fprintln(w, "# HELP grout_shard_ce_total Launches each shard's drain handed to its controller.")
+	fmt.Fprintln(w, "# TYPE grout_shard_ce_total counter")
+	for _, s := range st.Shards {
+		fmt.Fprintf(w, "grout_shard_ce_total{shard=\"%d\"} %d\n", s.Shard, s.CEs)
+	}
+	fmt.Fprintln(w, "# HELP grout_shard_queue_depth Launches waiting in each shard's admission queues.")
+	fmt.Fprintln(w, "# TYPE grout_shard_queue_depth gauge")
+	for _, s := range st.Shards {
+		fmt.Fprintf(w, "grout_shard_queue_depth{shard=\"%d\"} %d\n", s.Shard, s.QueueDepth)
+	}
 
 	perTenant := []struct {
 		name, help, typ string
@@ -125,7 +166,7 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	for _, m := range perTenant {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
 		for _, t := range st.Tenants {
-			fmt.Fprintf(w, "%s{tenant=\"%s\"} %s\n", m.name, escapeLabel(t.Name), m.val(t))
+			fmt.Fprintf(w, "%s{tenant=\"%s\",shard=\"%d\"} %s\n", m.name, escapeLabel(t.Name), t.Shard, m.val(t))
 		}
 	}
 }

@@ -1,0 +1,427 @@
+package shard
+
+// plane.go assembles the sharded control plane: one simulated worker
+// fleet, N core.Controller shards each scheduling over a static
+// contiguous partition of it, and the lease plumbing that lets a shard
+// export an array replica to a foreign shard's worker over the shared
+// fabric (core.Controller.LeaseArray). The gateway (internal/server)
+// holds a Plane and routes tenants with Route; everything here is also
+// usable directly from tests and benchmarks.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/grcuda"
+	"grout/internal/kernels"
+	"grout/internal/memmodel"
+	"grout/internal/policy"
+	"grout/internal/sim"
+	"grout/internal/transport"
+)
+
+// IDStride separates shard array-ID namespaces: shard s allocates IDs in
+// (s·IDStride, (s+1)·IDStride]. 2^40 IDs per shard is unreachable in
+// practice and keeps cross-shard lease replicas collision-free on the
+// shared worker runtimes (core.Options.ArrayIDBase).
+const IDStride dag.ArrayID = 1 << 40
+
+// Options configures a Plane.
+type Options struct {
+	// Shards is the controller shard count (≥1).
+	Shards int
+	// Workers is the total fleet size, split contiguously across shards
+	// (the first Workers mod Shards partitions get one extra worker).
+	// Every shard must own at least one worker.
+	Workers int
+	// NewPolicy builds shard s's scheduling policy. Policies keep
+	// internal state, so each shard needs its own instance. nil defaults
+	// to round-robin.
+	NewPolicy func(s int) (policy.Policy, error)
+	// Core configures every shard controller. Registry defaults to one
+	// shared kernels.StdRegistry; ArrayIDBase is overwritten per shard.
+	Core core.Options
+	// Wrap, when non-nil, wraps the full-fleet fabric before
+	// partitioning — fault-injection tests hand in core.NewChaosFabric
+	// here so every shard (and the cross-shard lease path) sees the
+	// same fault schedule.
+	Wrap func(core.Fabric) core.Fabric
+	// Seed, VNodes and Epsilon configure the routing ring (zero values
+	// take the ring defaults).
+	Seed   uint64
+	VNodes int
+	// Epsilon is the bounded-load slack (DefaultEpsilon when zero).
+	Epsilon float64
+}
+
+// Plane is a sharded control plane over one worker fleet.
+type Plane struct {
+	ring *Ring
+	// Cluster is the shared simulated fleet.
+	Cluster *cluster.Cluster
+	// Fabric is the unpartitioned full-fleet fabric (wrapped, when
+	// Options.Wrap was set); cross-shard lease bytes move over it.
+	Fabric core.Fabric
+	// Controllers holds one controller per shard.
+	Controllers []*core.Controller
+	parts       [][]cluster.NodeID
+}
+
+// New builds a sharded plane: the fleet, the per-shard partition
+// fabrics, and one controller per shard with a disjoint array-ID base
+// and a placement policy clamped to its partition.
+func New(opts Options) (*Plane, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Workers < opts.Shards {
+		return nil, fmt.Errorf("shard: %d workers cannot cover %d shards", opts.Workers, opts.Shards)
+	}
+	ring, err := NewRing(opts.Shards, opts.VNodes, opts.Epsilon, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Core.Registry
+	if reg == nil {
+		reg = kernels.StdRegistry()
+	}
+	clu := cluster.New(cluster.PaperSpec(opts.Workers))
+	var full core.Fabric = core.NewLocalFabric(clu, reg, opts.Core.Numeric)
+	if opts.Wrap != nil {
+		full = opts.Wrap(full)
+	}
+	// The shards schedule and admit concurrently, but the simulated
+	// fleet's virtual timelines are shared mutable state (LocalFabric
+	// must not see concurrent operations), so data-path calls from all
+	// shards serialize on one fabric lock — the model of one shared
+	// physical interconnect under a scaled-out control plane.
+	full = &lockedFabric{inner: full}
+	workers := append([]cluster.NodeID(nil), full.Workers()...)
+	sort.Slice(workers, func(i, j int) bool { return workers[i] < workers[j] })
+
+	p := &Plane{
+		ring:    ring,
+		Cluster: clu,
+		Fabric:  full,
+		parts:   make([][]cluster.NodeID, opts.Shards),
+	}
+	per, extra := len(workers)/opts.Shards, len(workers)%opts.Shards
+	lo := 0
+	for s := 0; s < opts.Shards; s++ {
+		hi := lo + per
+		if s < extra {
+			hi++
+		}
+		p.parts[s] = workers[lo:hi:hi]
+		lo = hi
+	}
+	for s := 0; s < opts.Shards; s++ {
+		var pol policy.Policy
+		if opts.NewPolicy != nil {
+			pol, err = opts.NewPolicy(s)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d policy: %w", s, err)
+			}
+		} else {
+			pol = policy.NewRoundRobin()
+		}
+		co := opts.Core
+		co.Registry = reg
+		co.ArrayIDBase = dag.ArrayID(s) * IDStride
+		pf := NewPartitionFabric(full, p.parts[s])
+		p.Controllers = append(p.Controllers,
+			core.NewController(pf, policy.Restrict(pol, p.parts[s]), co))
+	}
+	return p, nil
+}
+
+// Shards reports the shard count.
+func (p *Plane) Shards() int { return len(p.Controllers) }
+
+// Partition reports shard s's worker partition (shared slice; do not
+// mutate).
+func (p *Plane) Partition(s int) []cluster.NodeID { return p.parts[s] }
+
+// Home reports tenant's natural shard, ignoring load: deterministic for
+// a given ring seed, so a restarted gateway routes identically.
+func (p *Plane) Home(tenant string) int { return p.ring.Shard(tenant) }
+
+// Route routes tenant with bounded loads (loads[s] = shard s's current
+// tenant count). Matches server.RouteFunc.
+func (p *Plane) Route(tenant string, loads []int) int { return p.ring.Assign(tenant, loads) }
+
+// Replicate exports array id from shard src to a worker owned by shard
+// dst over the full-fleet fabric — the worker P2P path, never a
+// controller host — and returns the lease grant. The replica is a valid
+// lineage recovery root for shard src (core lease.go).
+func (p *Plane) Replicate(src, dst int, id dag.ArrayID) (transport.LeaseGrant, error) {
+	if src < 0 || src >= len(p.Controllers) || dst < 0 || dst >= len(p.Controllers) {
+		return transport.LeaseGrant{}, fmt.Errorf("shard: replicate %d→%d out of range", src, dst)
+	}
+	if src == dst {
+		return transport.LeaseGrant{}, fmt.Errorf("shard: replicate %d→%d is a no-op", src, dst)
+	}
+	part := p.parts[dst]
+	node := part[int(uint64(id)%uint64(len(part)))]
+	ver, err := p.Controllers[src].LeaseArray(p.Fabric, id, node)
+	if err != nil {
+		return transport.LeaseGrant{}, err
+	}
+	return transport.LeaseGrant{
+		Array:   id,
+		Version: ver,
+		Node:    node,
+		Owner:   int32(src),
+		Holder:  int32(dst),
+	}, nil
+}
+
+// Close drains and stops every shard controller, reporting the first
+// error. Idempotent and nil-receiver safe.
+func (p *Plane) Close() error {
+	if p == nil {
+		return nil
+	}
+	var err error
+	for _, c := range p.Controllers {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// lockedFabric serializes every operation on an inner fabric with one
+// mutex, making a virtual-time fabric safe to share between shard
+// controllers. The optional fast paths are forwarded (with fallbacks)
+// like PartitionFabric's, and ConcurrentDispatch answers false
+// unconditionally: operation order on the shared timelines is
+// observable, so dispatch must stay serial per controller.
+type lockedFabric struct {
+	mu    sync.Mutex
+	inner core.Fabric
+}
+
+func (f *lockedFabric) Workers() []cluster.NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.Workers()
+}
+
+func (f *lockedFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.EnsureArray(w, meta)
+}
+
+func (f *lockedFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
+	srcReady sim.VirtualTime, srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.MoveArray(id, src, dst, srcReady, srcBuf, dstBuf)
+}
+
+func (f *lockedFabric) Launch(w cluster.NodeID, inv core.Invocation,
+	ready sim.VirtualTime) (sim.VirtualTime, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.Launch(w, inv, ready)
+}
+
+func (f *lockedFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.EstimateTransfer(src, dst, n)
+}
+
+func (f *lockedFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.FreeArray(w, id)
+}
+
+func (f *lockedFabric) Healthy(w cluster.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.Healthy(w)
+}
+
+func (f *lockedFabric) EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes,
+	dsts []cluster.NodeID, out []sim.VirtualTime) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if be, ok := f.inner.(core.BulkEstimator); ok {
+		be.EstimateTransferAll(src, n, dsts, out)
+		return
+	}
+	for _, d := range dsts {
+		out[d] = f.inner.EstimateTransfer(src, d, n)
+	}
+}
+
+func (f *lockedFabric) PredictStall(w cluster.NodeID, add, working memmodel.Bytes,
+	pattern memmodel.Pattern) sim.VirtualTime {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if sp, ok := f.inner.(core.StallPredictor); ok {
+		return sp.PredictStall(w, add, working, pattern)
+	}
+	return 0
+}
+
+func (f *lockedFabric) MoveArrays(dst cluster.NodeID, ids []dag.ArrayID,
+	srcReady sim.VirtualTime, bufs []*kernels.Buffer) (sim.VirtualTime, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if bm, ok := f.inner.(core.BulkMover); ok {
+		return bm.MoveArrays(dst, ids, srcReady, bufs)
+	}
+	var at sim.VirtualTime
+	for i, id := range ids {
+		t, err := f.inner.MoveArray(id, cluster.ControllerID, dst, srcReady, bufs[i], nil)
+		if err != nil {
+			return 0, err
+		}
+		if t > at {
+			at = t
+		}
+	}
+	return at, nil
+}
+
+func (f *lockedFabric) BuildKernel(src, signature string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if kb, ok := f.inner.(core.KernelBuilder); ok {
+		return kb.BuildKernel(src, signature)
+	}
+	return fmt.Errorf("shard: inner fabric cannot build kernels")
+}
+
+// PartitionFabric restricts a full-fleet fabric to one shard's worker
+// partition: Workers (the placement universe) reports only the
+// partition, while data-path operations delegate to the inner fabric —
+// a lease replica lives on a foreign worker, and recovery re-ships from
+// it over the same wires. The optional fast-path interfaces are
+// implemented unconditionally with graceful fallbacks, because
+// embedding would hide them from the controller's type assertions.
+type PartitionFabric struct {
+	inner   core.Fabric
+	workers []cluster.NodeID
+
+	bulkEst core.BulkEstimator
+	stall   core.StallPredictor
+	bulk    core.BulkMover
+	kb      core.KernelBuilder
+	cd      core.ConcurrentDispatcher
+}
+
+// NewPartitionFabric wraps inner, exposing only workers as the
+// placement universe.
+func NewPartitionFabric(inner core.Fabric, workers []cluster.NodeID) *PartitionFabric {
+	f := &PartitionFabric{
+		inner:   inner,
+		workers: append([]cluster.NodeID(nil), workers...),
+	}
+	f.bulkEst, _ = inner.(core.BulkEstimator)
+	f.stall, _ = inner.(core.StallPredictor)
+	f.bulk, _ = inner.(core.BulkMover)
+	f.kb, _ = inner.(core.KernelBuilder)
+	f.cd, _ = inner.(core.ConcurrentDispatcher)
+	return f
+}
+
+// Workers implements core.Fabric: the shard's partition only.
+func (f *PartitionFabric) Workers() []cluster.NodeID { return f.workers }
+
+// EnsureArray implements core.Fabric.
+func (f *PartitionFabric) EnsureArray(w cluster.NodeID, meta grcuda.ArrayMeta) error {
+	return f.inner.EnsureArray(w, meta)
+}
+
+// MoveArray implements core.Fabric.
+func (f *PartitionFabric) MoveArray(id dag.ArrayID, src, dst cluster.NodeID,
+	srcReady sim.VirtualTime, srcBuf, dstBuf *kernels.Buffer) (sim.VirtualTime, error) {
+	return f.inner.MoveArray(id, src, dst, srcReady, srcBuf, dstBuf)
+}
+
+// Launch implements core.Fabric.
+func (f *PartitionFabric) Launch(w cluster.NodeID, inv core.Invocation,
+	ready sim.VirtualTime) (sim.VirtualTime, error) {
+	return f.inner.Launch(w, inv, ready)
+}
+
+// EstimateTransfer implements core.Fabric.
+func (f *PartitionFabric) EstimateTransfer(src, dst cluster.NodeID, n memmodel.Bytes) sim.VirtualTime {
+	return f.inner.EstimateTransfer(src, dst, n)
+}
+
+// FreeArray implements core.Fabric.
+func (f *PartitionFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
+	return f.inner.FreeArray(w, id)
+}
+
+// Healthy implements core.Fabric. It answers for any fleet node, not
+// just the partition: lineage recovery probes the lease node's health.
+func (f *PartitionFabric) Healthy(w cluster.NodeID) bool { return f.inner.Healthy(w) }
+
+// EstimateTransferAll implements core.BulkEstimator, looping over
+// EstimateTransfer when the inner fabric lacks the fast path.
+func (f *PartitionFabric) EstimateTransferAll(src cluster.NodeID, n memmodel.Bytes,
+	dsts []cluster.NodeID, out []sim.VirtualTime) {
+	if f.bulkEst != nil {
+		f.bulkEst.EstimateTransferAll(src, n, dsts, out)
+		return
+	}
+	for _, d := range dsts {
+		out[d] = f.inner.EstimateTransfer(src, d, n)
+	}
+}
+
+// PredictStall implements core.StallPredictor; fabrics without the
+// extension are stall-free.
+func (f *PartitionFabric) PredictStall(w cluster.NodeID, add, working memmodel.Bytes,
+	pattern memmodel.Pattern) sim.VirtualTime {
+	if f.stall != nil {
+		return f.stall.PredictStall(w, add, working, pattern)
+	}
+	return 0
+}
+
+// MoveArrays implements core.BulkMover, degrading to per-array moves
+// when the inner fabric lacks coalescing.
+func (f *PartitionFabric) MoveArrays(dst cluster.NodeID, ids []dag.ArrayID,
+	srcReady sim.VirtualTime, bufs []*kernels.Buffer) (sim.VirtualTime, error) {
+	if f.bulk != nil {
+		return f.bulk.MoveArrays(dst, ids, srcReady, bufs)
+	}
+	var at sim.VirtualTime
+	for i, id := range ids {
+		t, err := f.inner.MoveArray(id, cluster.ControllerID, dst, srcReady, bufs[i], nil)
+		if err != nil {
+			return 0, err
+		}
+		if t > at {
+			at = t
+		}
+	}
+	return at, nil
+}
+
+// BuildKernel implements core.KernelBuilder when the inner fabric does.
+func (f *PartitionFabric) BuildKernel(src, signature string) error {
+	if f.kb != nil {
+		return f.kb.BuildKernel(src, signature)
+	}
+	return fmt.Errorf("shard: inner fabric cannot build kernels")
+}
+
+// ConcurrentDispatch implements core.ConcurrentDispatcher, forwarding
+// the inner fabric's answer (false for virtual-time fabrics).
+func (f *PartitionFabric) ConcurrentDispatch() bool {
+	return f.cd != nil && f.cd.ConcurrentDispatch()
+}

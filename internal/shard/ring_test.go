@@ -1,0 +1,129 @@
+package shard
+
+// Consistent-hash ring properties the sharded gateway depends on:
+// minimal remapping when the shard count grows, determinism across
+// rebuilds (a restarted gateway must route identically), and the
+// bounded-load cap.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringTenants(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	return out
+}
+
+// Growing N→N+1 must remap at most about 1/(N+1) of the tenants — the
+// consistent-hashing guarantee a modulo router has no hope of meeting.
+func TestRingGrowthRemapsBoundedFraction(t *testing.T) {
+	const tenants = 1000
+	keys := ringTenants(tenants)
+	for _, n := range []int{2, 4, 8} {
+		before, err := NewRing(n, 200, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(n+1, 200, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if before.Shard(k) != after.Shard(k) {
+				moved++
+			}
+		}
+		// Expectation is tenants/(n+1); allow 50% slack for hash
+		// variance at 200 vnodes before calling the ring broken.
+		bound := tenants/(n+1) + tenants/(2*(n+1))
+		if moved > bound {
+			t.Errorf("%d→%d shards remapped %d of %d tenants (bound %d)",
+				n, n+1, moved, tenants, bound)
+		}
+		if moved == 0 {
+			t.Errorf("%d→%d shards remapped nothing; ring is not spreading", n, n+1)
+		}
+	}
+}
+
+// Two rings with the same parameters — a gateway restart — route every
+// tenant identically, and a different seed routes differently.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	keys := ringTenants(500)
+	a, _ := NewRing(8, 0, 0, 0)
+	b, _ := NewRing(8, 0, 0, 0)
+	other, _ := NewRing(8, 0, 0, 12345)
+	same := 0
+	for _, k := range keys {
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("rebuilt ring routed %q differently: %d vs %d", k, a.Shard(k), b.Shard(k))
+		}
+		if a.Shard(k) == other.Shard(k) {
+			same++
+		}
+	}
+	if same == len(keys) {
+		t.Fatal("seed has no effect on routing")
+	}
+}
+
+// Every shard must receive a reasonable share of the keyspace.
+func TestRingSpreadsLoad(t *testing.T) {
+	const tenants, shards = 2000, 8
+	r, _ := NewRing(shards, 0, 0, 0)
+	counts := make([]int, shards)
+	for _, k := range ringTenants(tenants) {
+		counts[r.Shard(k)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no tenants: %v", s, counts)
+		}
+		if c > 2*tenants/shards {
+			t.Errorf("shard %d overloaded: %d of %d (counts %v)", s, c, tenants, counts)
+		}
+	}
+}
+
+// Assign never exceeds the bounded-load cap, even for adversarially
+// identical keys, and agrees with Shard when loads are balanced.
+func TestRingAssignBoundsLoad(t *testing.T) {
+	const shards = 4
+	r, _ := NewRing(shards, 0, 0.25, 0)
+	loads := make([]int, shards)
+	// 100 sessions all named the same thing hash to the same natural
+	// shard; the cap must spill them across the fleet.
+	for i := 0; i < 100; i++ {
+		s := r.Assign("hot-tenant", loads)
+		loads[s]++
+	}
+	total := 0
+	max := 0
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total != 100 {
+		t.Fatalf("lost sessions: %v", loads)
+	}
+	// cap at the final step: ceil((99+1)/4)·1.25 = 31.25 → every shard
+	// must stay well under half the sessions.
+	if max > 32 {
+		t.Errorf("bounded-load cap violated: %v", loads)
+	}
+
+	// With all-zero loads, Assign is just Shard.
+	empty := make([]int, shards)
+	for _, k := range ringTenants(50) {
+		if r.Assign(k, empty) != r.Shard(k) {
+			t.Fatalf("Assign(%q) with empty loads diverged from Shard", k)
+		}
+	}
+}

@@ -53,11 +53,15 @@ const (
 	SessElapsed
 	// SessClose ends the session cleanly (arrays freed server-side).
 	SessClose
+	// SessShardInfo asks which controller shard serves this tenant; the
+	// response carries the shard index and the plane's shard count
+	// (DESIGN.md §5.8). Single-controller gateways answer shard 0 of 1.
+	SessShardInfo
 )
 
 var sessNames = [...]string{
 	"open", "ping", "new-array", "launch", "host-read", "host-write",
-	"free", "build-kernel", "elapsed", "close",
+	"free", "build-kernel", "elapsed", "close", "shard-info",
 }
 
 func (k SessKind) String() string {
@@ -97,6 +101,9 @@ type SessionResponse struct {
 	Elapsed int64
 	// Name is the kernel registered by SessBuildKernel.
 	Name string
+	// Shard and ShardCount answer SessShardInfo: the controller shard
+	// serving this tenant and the plane's shard count.
+	Shard, ShardCount int
 	// Data is the SessHostRead payload.
 	Data *kernels.Buffer
 }
@@ -195,6 +202,7 @@ func parseSessionRequestInto(p []byte, req *SessionRequest) error {
 //
 //	u8 code   str err
 //	i64 arrayID   i64 elapsed   str name
+//	i64 shard   i64 shardCount
 //	buffer data
 func appendSessionResponse(dst []byte, resp *SessionResponse) []byte {
 	dst = appendU8(dst, uint8(resp.Code))
@@ -202,6 +210,8 @@ func appendSessionResponse(dst []byte, resp *SessionResponse) []byte {
 	dst = appendI64(dst, int64(resp.Array))
 	dst = appendI64(dst, resp.Elapsed)
 	dst = appendString(dst, resp.Name)
+	dst = appendI64(dst, int64(resp.Shard))
+	dst = appendI64(dst, int64(resp.ShardCount))
 	return appendBuffer(dst, resp.Data)
 }
 
@@ -215,6 +225,8 @@ func parseSessionResponseInto(p []byte, resp *SessionResponse) error {
 	resp.Array = dag.ArrayID(r.i64())
 	resp.Elapsed = r.i64()
 	resp.Name = r.str()
+	resp.Shard = int(r.i64())
+	resp.ShardCount = int(r.i64())
 	resp.Data = r.buffer()
 	if !r.done() {
 		return errMalformed
@@ -372,5 +384,7 @@ func sessionRequestEq(a, b *SessionRequest) bool {
 
 func sessionResponseEq(a, b *SessionResponse) bool {
 	return a.Code == b.Code && a.Err == b.Err && a.Array == b.Array &&
-		a.Elapsed == b.Elapsed && a.Name == b.Name && bufferEq(a.Data, b.Data)
+		a.Elapsed == b.Elapsed && a.Name == b.Name &&
+		a.Shard == b.Shard && a.ShardCount == b.ShardCount &&
+		bufferEq(a.Data, b.Data)
 }

@@ -1,0 +1,63 @@
+package transport
+
+// Shard-lease frames (DESIGN.md §5.8). When a sharded control plane
+// exports an array replica across shards, the grant — which array, at
+// which committed version, parked on which worker, owned by which
+// shard — is the control-plane record both sides keep. In-process
+// planes (internal/shard) hand the grant around as a struct; a
+// multi-process plane ships it over the framed wire, so the encoding
+// lives here next to the other codecs, little-endian and
+// bounds-checked against adversarial input like the rest
+// (FuzzLeaseGrant).
+
+import (
+	"grout/internal/cluster"
+	"grout/internal/dag"
+)
+
+// LeaseGrant records one cross-shard array lease: the owning shard
+// exported array Array at committed version Version to worker Node of
+// shard Shard. The replica is a lineage recovery root for the owner
+// (core.Controller.LeaseArray).
+type LeaseGrant struct {
+	// Array is the global array ID (already shard-disjoint via
+	// core.Options.ArrayIDBase).
+	Array dag.ArrayID
+	// Version is the committed version the replica holds.
+	Version uint64
+	// Node is the worker holding the replica.
+	Node cluster.NodeID
+	// Owner and Holder are the granting and hosting shard indices.
+	Owner, Holder int32
+}
+
+// AppendLeaseGrant encodes g after dst. Layout (little-endian):
+//
+//	i64 array   u64 version   i64 node   u32 owner   u32 holder
+func AppendLeaseGrant(dst []byte, g *LeaseGrant) []byte {
+	dst = appendI64(dst, int64(g.Array))
+	dst = appendU64(dst, g.Version)
+	dst = appendI64(dst, int64(g.Node))
+	dst = appendU32(dst, uint32(g.Owner))
+	dst = appendU32(dst, uint32(g.Holder))
+	return dst
+}
+
+// ParseLeaseGrant decodes a lease grant, rejecting truncated or
+// oversized payloads.
+func ParseLeaseGrant(p []byte, g *LeaseGrant) error {
+	r := wireReader{p: p}
+	*g = LeaseGrant{}
+	g.Array = dag.ArrayID(r.i64())
+	g.Version = r.u64()
+	g.Node = cluster.NodeID(r.i64())
+	g.Owner = int32(r.u32())
+	g.Holder = int32(r.u32())
+	if !r.done() {
+		return errMalformed
+	}
+	return nil
+}
+
+// leaseGrantEq reports deep equality (fuzz round trips).
+func leaseGrantEq(a, b *LeaseGrant) bool { return *a == *b }

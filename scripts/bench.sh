@@ -213,48 +213,84 @@ json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF
 
-# --- gateway tenant-scaling benchmarks (DESIGN.md §5.5) --------------------
-# N concurrent client sessions over loopback TCP against one shared
-# 4-worker controller. ns/op is the per-tenant per-launch round trip;
-# ce_per_s is aggregate admitted throughput across all tenants and
+# --- gateway tenant-scaling + shard sweep benchmarks (DESIGN.md §5.5, §5.8)
+# Tenants: N concurrent client sessions over loopback TCP against one
+# shared 4-worker controller. ns/op is the per-tenant per-launch round
+# trip; ce_per_s is aggregate admitted throughput across all tenants and
 # p99adm_us the worst per-tenant 99th-percentile admission wait, both
 # scraped from the same session counters /metrics exports.
+# Shards: 16 tenants over a 16-worker fleet, controller fleet sharded
+# 1/4/8/16 ways behind one gateway. GOMAXPROCS is recorded alongside:
+# the shard speedup is contention relief in the admission/scheduling
+# sections, and on a 1-core box no CPU parallelism is observable.
 
 echo "== gateway tenant-scaling benchmarks (-benchtime=$BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkGatewayTenants' \
     -benchtime="$BENCHTIME" ./internal/bench/ | tee "$SRAW"
+echo "== gateway shard-sweep benchmarks (-benchtime=$BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkGatewayShards' \
+    -benchtime="$BENCHTIME" ./internal/bench/ | tee -a "$SRAW"
 
-python3 - "$SRAW" BENCH_server.json <<'EOF'
+GOMAXPROCS_NOW="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+python3 - "$SRAW" BENCH_server.json "$GOMAXPROCS_NOW" <<'EOF'
 import json, re, sys
 
-raw, out = sys.argv[1], sys.argv[2]
+raw, out, nproc = sys.argv[1], sys.argv[2], int(sys.argv[3])
 current = {}
-pat = re.compile(
+shards = {}
+tpat = re.compile(
     r'^BenchmarkGatewayTenants/(\d+)x(?:-\d+)?\s+\d+\s+([\d.]+) ns/op'
     r'\s+([\d.]+) ce_per_s\s+([\d.]+) p99adm_us')
+spat = re.compile(
+    r'^BenchmarkGatewayShards/(\d+)shards(?:-\d+)?\s+\d+\s+([\d.]+) ns/op'
+    r'\s+([\d.]+) ce_per_s\s+([\d.]+) p99adm_us')
 for line in open(raw):
-    m = pat.match(line)
-    if not m:
+    m = tpat.match(line)
+    if m:
+        current[m.group(1) + 'x'] = {
+            'tenants': int(m.group(1)),
+            'ns_per_launch': float(m.group(2)),
+            'ce_per_s_aggregate': float(m.group(3)),
+            'p99_admission_wait_us': float(m.group(4)),
+        }
         continue
-    current[m.group(1) + 'x'] = {
-        'tenants': int(m.group(1)),
-        'ns_per_launch': float(m.group(2)),
-        'ce_per_s_aggregate': float(m.group(3)),
-        'p99_admission_wait_us': float(m.group(4)),
-    }
+    m = spat.match(line)
+    if m:
+        shards[m.group(1) + 'shards'] = {
+            'shards': int(m.group(1)),
+            'ns_per_launch': float(m.group(2)),
+            'ce_per_s_aggregate': float(m.group(3)),
+            'p99_admission_wait_us': float(m.group(4)),
+        }
 
 doc = {
     'description': 'Gateway tenant-scaling: N concurrent sessions over '
                    'loopback TCP sharing one 4-worker controller; relu '
                    'launches on 256Ki-element arrays, cost-only fleet so '
-                   'the admission path dominates.',
+                   'the admission path dominates. Shard sweep: 16 tenants '
+                   'over a 16-worker fleet, controller fleet sharded '
+                   '1/4/8/16 ways behind one gateway.',
+    'gomaxprocs': nproc,
     'current': current,
+    'shard_sweep': shards,
 }
 one = current.get('1x', {}).get('ce_per_s_aggregate')
 for name, row in sorted(current.items()):
     if one and row['tenants'] > 1:
         doc.setdefault('aggregate_scaling_vs_1x', {})[name] = round(
             row['ce_per_s_aggregate'] / one, 2)
+sone = shards.get('1shards', {}).get('ce_per_s_aggregate')
+for name, row in sorted(shards.items(), key=lambda kv: kv[1]['shards']):
+    if sone and row['shards'] > 1:
+        doc.setdefault('shard_scaling_vs_1shard', {})[name] = round(
+            row['ce_per_s_aggregate'] / sone, 2)
+if sone and nproc == 1:
+    doc['shard_scaling_note'] = (
+        'GOMAXPROCS=1 on this machine: all shard drain goroutines '
+        'time-slice one core and the simulated data path is a single '
+        'shared lock, so only admission-contention relief is '
+        'observable, not CPU parallelism. The >=3x aggregate target '
+        'for 8 shards requires a multi-core run.')
 json.dump(doc, open(out, 'w'), indent=2)
 print(f'wrote {out}')
 EOF

@@ -17,7 +17,11 @@
 #      suite, re-run explicitly in 4b so a rename can't silently drop
 #      it from the race gate; the multi-tenant gateway suite —
 #      concurrent tenants over real TCP, chaos failover, disconnect
-#      teardown — rides in the same sweep via internal/server)
+#      teardown — rides in the same sweep via internal/server; the
+#      sharded control plane — per-shard drain goroutines, the
+#      consistent-hash ring, cross-shard lease recovery — rides via
+#      internal/shard plus the 4-shard differential in
+#      internal/workloads)
 #   5. a short fuzz budget: the slot-compiled kernel engine vs the
 #      tree-walking interpreter must stay bit-for-bit identical on
 #      generated kernels (10s), fused elementwise kernels must match
@@ -42,10 +46,14 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, dag, transport, minicuda, kernels, server, optimizer, gpusim, policy)"
+echo "== go test -race (core, dag, transport, minicuda, kernels, server, optimizer, gpusim, policy, shard)"
 go test -race ./internal/core/... ./internal/dag/... ./internal/transport/... \
     ./internal/minicuda/... ./internal/kernels/... ./internal/server/... \
-    ./internal/optimizer/... ./internal/gpusim/... ./internal/policy/...
+    ./internal/optimizer/... ./internal/gpusim/... ./internal/policy/... \
+    ./internal/shard/...
+
+echo "== go test -race sharded-plane differential (4 shards vs 1, incl. chaos)"
+go test -race -run 'TestShardDifferential' ./internal/workloads/
 
 echo "== go test -race chaos/recovery suite (lineage replay, deadlines, write-off)"
 go test -race -run 'Chaos|Recovery|Failover|HungWorker|DialTimeout' \
@@ -63,6 +71,9 @@ echo "== session-frame codec fuzz (5s per direction)"
 go test -run '^$' -fuzz FuzzSessionRequest -fuzztime 5s ./internal/transport/
 go test -run '^$' -fuzz FuzzSessionResponse -fuzztime 5s ./internal/transport/
 
+echo "== shard-lease frame fuzz (5s)"
+go test -run '^$' -fuzz FuzzLeaseGrant -fuzztime 5s ./internal/transport/
+
 echo "== micro-benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkControllerSubmitThroughput|BenchmarkSchedulingOnly' \
     -benchtime=1x ./internal/bench/
@@ -72,6 +83,7 @@ go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
 go test -run '^$' -bench 'BenchmarkKernelExec/compiled|BenchmarkKernelBuild' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkGatewayTenants/4x' -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkGatewayShards/4shards' -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkOversubSweep/sequential/(eager\+lru|stride\+lru)/x1.5' \
     -benchtime=1x ./internal/bench/
 
