@@ -17,6 +17,14 @@
 //	grout-gateway -listen :7080 -http :7081 -sim-workers 4 -policy round-robin
 //	grout-gateway -listen :7080 -sim-workers 16 -shards 4
 //	grout-gateway -listen :7080 -workers w1:7070,w2:7070 -max-inflight 16
+//	grout-gateway -listen :7080 -sim-workers 8 -rate 500 -burst 32 -shed-depth 256
+//
+// Production-traffic knobs (DESIGN.md §5.9): -rate/-burst shape each
+// session's admission with a lazily refilled token bucket, -class sets
+// the load-shedding priority class, and -shed-depth arms class-based
+// shedding when a shard's admission backlog saturates. Clients dialed
+// with grout.Dial additionally honor the gateway's backpressure
+// advisories, pacing themselves as queues run hot.
 //
 // Flag convention: 0 means the built-in default, negative disables.
 package main
@@ -47,6 +55,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "per-session in-flight CE cap (0 = unlimited, negative = 1)")
 	quotaMiB := flag.Int("quota-mib", 0, "per-session array-byte quota in MiB (0 = unlimited)")
 	weight := flag.Int("weight", 1, "per-session weight in the round-robin drain")
+	rate := flag.Float64("rate", 0, "per-session admission rate limit in launches/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "token-bucket burst allowance when -rate is set (0 = 16 default)")
+	class := flag.Int("class", 0, "session priority class for load shedding (higher classes shed later)")
+	shedDepth := flag.Int("shed-depth", 0, "class-0 shed threshold in queued launches per shard (0 disables shedding)")
 	queueDepth := flag.Int("queue-depth", 0, "per-session launch queue depth (0 = 64 default, negative = 1)")
 	failover := flag.Bool("failover", true, "survive worker failures via lineage recovery")
 	optWindow := flag.Int("optimize-window", 0, "lookahead optimizer window in CEs (0 = 32 default, negative disables; DESIGN.md §5.6)")
@@ -55,6 +67,9 @@ func main() {
 	logger := log.New(os.Stderr, "grout-gateway: ", log.LstdFlags)
 	if *maxInflight < 0 {
 		*maxInflight = 1
+	}
+	if *rate > 0 && *burst == 0 {
+		*burst = 16
 	}
 
 	cfg := grout.Config{
@@ -77,8 +92,12 @@ func main() {
 			MaxInflightCEs: *maxInflight,
 			MaxArrayBytes:  memmodel.Bytes(*quotaMiB) * memmodel.MiB,
 			Weight:         *weight,
+			RatePerSec:     *rate,
+			Burst:          *burst,
+			Class:          *class,
 		},
 		QueueDepth: *queueDepth,
+		ShedDepth:  *shedDepth,
 		Logger:     logger,
 	}
 	var g *server.Gateway

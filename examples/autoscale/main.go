@@ -1,58 +1,188 @@
-// Autoscaling sketch — the paper's §V-F discussion: "a heuristical model
-// could be built to autonomously allocate more resources at runtime after
-// reaching the steep increase in execution time". This example implements
-// that KPI-driven loop over the simulator: given a target execution time,
-// it grows the cluster until either the knee of the oversubscription
-// curve is escaped and the KPI is met, or adding nodes stops helping
-// (Amdahl's wall on the workload's serial fraction).
+// Autoscaling — the paper's §V-F discussion: "a heuristical model could
+// be built to autonomously allocate more resources at runtime after
+// reaching the steep increase in execution time". Earlier revisions of
+// this example approximated that by restarting a fresh cluster at each
+// size; this one exercises the real mechanism (DESIGN.md §5.9): ONE
+// deployment is provisioned with the maximum fleet, only one node is
+// rostered active (grout.Config.ActiveWorkers), and a KPI loop calls
+// Controller.AddWorker on the RUNNING controller — arrays stay where
+// they are, in-flight work keeps streaming, and each new node becomes a
+// scheduling candidate for the CEs admitted after the call.
+//
+// The second act demonstrates the other direction: RetireWorker drains
+// and MIGRATES a node's sole-copy arrays to the survivors (failover
+// counter untouched), so scaling back in mid-workload is bit-identical
+// to never having scaled at all.
 package main
 
 import (
 	"fmt"
 
-	"grout/internal/bench"
+	"grout"
+	"grout/internal/cluster"
+	"grout/internal/core"
+	"grout/internal/kernels"
 	"grout/internal/memmodel"
-	"grout/internal/policy"
-	"grout/internal/workloads"
+	"grout/internal/sim"
+)
+
+const (
+	maxFleet   = 8
+	arrays     = 40
+	arrayBytes = 2 * memmodel.GiB // 80 GiB total: 2.5x one 2x16 GiB node
+	kpiSeconds = 35.0             // per-round KPI
 )
 
 func main() {
-	const footprint = 128 * memmodel.GiB // 4x oversubscription on one node
-	const targetSeconds = 60.0           // the KPI
+	scaleOut()
+	scaleIn()
+}
 
-	fmt.Printf("workload: MV, footprint %v (%.2gx oversubscription per node)\n",
-		footprint, bench.OversubscriptionFactor(footprint))
-	fmt.Printf("KPI: complete in under %.0fs of simulated time\n\n", targetSeconds)
+// scaleOut is the KPI loop: start on one node of a provisioned-but-idle
+// fleet and AddWorker live until a round over the working set meets the
+// KPI or the standby pool runs dry. Cost-model-only data (Numeric
+// false) keeps the 48 GiB working set free.
+func scaleOut() {
+	clu, err := grout.NewSimulatedCluster(grout.Config{
+		Workers:       maxFleet,
+		ActiveWorkers: 1,
+		Policy:        "round-robin",
+		Pipeline:      true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer clu.Close()
+	ctl := clu.Controller
 
-	single := bench.RunSingle("mv", workloads.Params{Footprint: footprint})
-	fmt.Printf("%8s %14s %14s\n", "nodes", "time (s)", "vs KPI")
-	fmt.Printf("%8d %14.2f %14s\n", 1, single.Seconds(), verdict(single.Seconds(), targetSeconds))
+	fmt.Printf("fleet: %d nodes provisioned, %d active; working set %v (%.1fx one node's GPU memory)\n",
+		maxFleet, len(ctl.Members()), arrays*arrayBytes,
+		float64(arrays*arrayBytes)/float64(2*16*memmodel.GiB))
+	fmt.Printf("KPI: one round over the working set under %.0fs of simulated time\n\n", kpiSeconds)
 
-	prev := single.Seconds()
-	for nodes := 2; nodes <= 16; nodes *= 2 {
-		vs, err := policy.NewVectorStep([]int{1})
+	ids := make([]*core.GlobalArray, arrays)
+	for i := range ids {
+		a, err := ctl.NewArray(memmodel.Float32, int64(arrayBytes/memmodel.Float32.Size()))
 		if err != nil {
 			panic(err)
 		}
-		r := bench.RunGrout("mv", workloads.Params{Footprint: footprint, Blocks: 2 * nodes}, nodes, vs)
-		if r.Err != nil {
-			panic(r.Err)
-		}
-		fmt.Printf("%8d %14.2f %14s\n", nodes, r.Seconds(), verdict(r.Seconds(), targetSeconds))
-		if r.Seconds() <= targetSeconds {
-			fmt.Printf("\nKPI met with %d nodes: the oversubscription knee "+
-				"(factor %.2g per node) is below the storm threshold.\n",
-				nodes, bench.OversubscriptionFactor(footprint)/float64(nodes))
-			return
-		}
-		if r.Seconds() > prev*0.9 {
-			fmt.Printf("\nscaling stopped helping at %d nodes "+
-				"(network-bound); KPI unreachable for this workload shape.\n", nodes)
-			return
-		}
-		prev = r.Seconds()
+		ids[i] = a
 	}
-	fmt.Println("\nKPI not met within 16 nodes.")
+	n := core.ScalarRef(float64(arrayBytes / memmodel.Float32.Size()))
+
+	// One round streams an independent kernel over every block of the
+	// working set — the paper's partitioned-workload shape, so extra
+	// nodes shrink both each node's share of the compute and its
+	// resident footprint (escaping the UVM paging knee).
+	round := func() sim.VirtualTime {
+		before := ctl.Elapsed()
+		for _, a := range ids {
+			if _, err := ctl.Submit(core.Invocation{Kernel: "relu",
+				Args: []core.ArgRef{core.ArrRef(a.ID), n}}); err != nil {
+				panic(err)
+			}
+		}
+		if err := ctl.Drain(); err != nil {
+			panic(err)
+		}
+		return ctl.Elapsed() - before
+	}
+
+	fmt.Printf("%8s %14s %14s\n", "nodes", "round (s)", "vs KPI")
+	next := cluster.NodeID(2) // node 1 is the seed roster
+	for {
+		dt := round().Seconds()
+		nodes := len(ctl.Members())
+		fmt.Printf("%8d %14.2f %14s\n", nodes, dt, verdict(dt, kpiSeconds))
+		if dt <= kpiSeconds {
+			fmt.Printf("\nKPI met with %d nodes — scaled out live, zero restarts, %d P2P moves so far.\n\n",
+				nodes, ctl.P2PMoves())
+			return
+		}
+		if int(next) > maxFleet {
+			fmt.Printf("\nstandby pool exhausted at %d nodes; KPI unreachable for this working set.\n\n", nodes)
+			return
+		}
+		// The paper's heuristic: past the oversubscription knee, add a
+		// node. The controller keeps running; the next round's CEs see
+		// the larger fleet.
+		if err := ctl.AddWorker(next); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8s scaling out: activated standby node %v\n", "", next)
+		next++
+		// One unmeasured settle round: the first round on the larger
+		// fleet pays the data redistribution; the KPI judges steady
+		// state.
+		round()
+	}
+}
+
+// scaleIn goes the other way: a numeric run with a mid-workload
+// RetireWorker must be bit-identical to the static-fleet run, because
+// retirement migrates sole copies instead of recomputing (or losing)
+// them.
+func scaleIn() {
+	const elems = 1 << 16
+	run := func(retireMid bool) *kernels.Buffer {
+		clu, err := grout.NewSimulatedCluster(grout.Config{
+			Workers: 4, Policy: "round-robin", Numeric: true, Pipeline: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer clu.Close()
+		ctl := clu.Controller
+		a, err := ctl.NewArray(memmodel.Float32, elems)
+		if err != nil {
+			panic(err)
+		}
+		b, err := ctl.NewArray(memmodel.Float32, elems)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < elems; i++ {
+			a.Buf.Set(i, float64(i%13)-6)
+			b.Buf.Set(i, float64(i%7)-3)
+		}
+		if _, err := ctl.HostWrite(a.ID); err != nil {
+			panic(err)
+		}
+		if _, err := ctl.HostWrite(b.ID); err != nil {
+			panic(err)
+		}
+		n := core.ScalarRef(float64(elems))
+		for i := 0; i < 12; i++ {
+			if retireMid && i == 6 {
+				if err := ctl.RetireWorker(3); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := ctl.Submit(core.Invocation{Kernel: "axpy",
+				Args: []core.ArgRef{core.ArrRef(a.ID), core.ArrRef(b.ID),
+					core.ScalarRef(0.25), n}}); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := ctl.HostRead(a.ID); err != nil {
+			panic(err)
+		}
+		if f := ctl.Failovers(); f != 0 {
+			panic(fmt.Sprintf("retirement is not a death: failovers = %d", f))
+		}
+		out := kernels.NewBuffer(memmodel.Float32, elems)
+		for i := 0; i < elems; i++ {
+			out.Set(i, a.Buf.At(i))
+		}
+		return out
+	}
+	static := run(false)
+	elastic := run(true)
+	fmt.Printf("scale-in: node 3 retired mid-workload; max |static - elastic| = %g (bit-identical: %v)\n",
+		elastic.MaxAbsDiff(static), elastic.MaxAbsDiff(static) == 0)
+	if elastic.MaxAbsDiff(static) != 0 {
+		panic("retire-mid-workload run diverged from the static fleet")
+	}
 }
 
 func verdict(got, target float64) string {

@@ -68,6 +68,13 @@ type Config struct {
 	// Workers is the number of GPU nodes (each the paper's 2×V100
 	// 16 GiB OCI shape). Default 2, as in the paper's main evaluation.
 	Workers int
+	// ActiveWorkers, when positive and below Workers, rosters only the
+	// first ActiveWorkers nodes as scheduling members at start; the
+	// rest idle as a provisioned standby pool that
+	// Controller.AddWorker activates live (and RetireWorker returns
+	// nodes to) — fleet elasticity without restarting the deployment
+	// (DESIGN.md §5.9). 0 activates the whole fleet.
+	ActiveWorkers int
 	// Shards splits the simulated controller fleet into N independent
 	// shards behind one logical plane (DESIGN.md §5.8): each shard
 	// controller owns a static partition of the workers and its own
@@ -157,7 +164,7 @@ func (c Config) optimizeWindow() int {
 
 // coreOptions builds the controller options shared by both deployments.
 func (c Config) coreOptions(numeric bool) core.Options {
-	return core.Options{
+	opts := core.Options{
 		Numeric:        numeric,
 		Pipeline:       c.Pipeline,
 		OptimizeWindow: c.optimizeWindow(),
@@ -167,6 +174,13 @@ func (c Config) coreOptions(numeric bool) core.Options {
 			Backoff:  c.RetryBackoff,
 		},
 	}
+	if c.ActiveWorkers > 0 {
+		// Worker node IDs are 1-based; roster the first ActiveWorkers.
+		for i := 1; i <= c.ActiveWorkers; i++ {
+			opts.Workers = append(opts.Workers, cluster.NodeID(i))
+		}
+	}
+	return opts
 }
 
 func (c Config) policy() (policy.Policy, error) {
@@ -353,10 +367,18 @@ func (c *Cluster) Close() error {
 // programs written against it run unchanged in-process or remotely.
 type GatewayClient = server.Client
 
+// Backpressure is the gateway's per-tenant flow-control advisory: queue
+// fill plus a suggested pause. Dialed clients honor advisories by
+// default, adaptively pacing their launches instead of filling the
+// bounded queue and blocking on the socket;
+// GatewayClient.SetHonorBackpressure(false) opts out.
+type Backpressure = transport.Backpressure
+
 // Dial opens a tenant session on the multi-tenant gateway at addr.
 // tenant labels the session in the gateway's /metrics; empty picks a
 // server-assigned name. Timeouts are the transport defaults; use
-// server.Dial directly to tune them.
+// server.Dial directly to tune them. The session honors the gateway's
+// backpressure advisories (see Backpressure).
 func Dial(addr, tenant string) (*GatewayClient, error) {
 	return server.Dial(addr, tenant, 0, 0)
 }

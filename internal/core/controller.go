@@ -166,6 +166,12 @@ type Options struct {
 	// FreeArray, SetPolicy, BuildKernel, Close, FlushWindow) flush a
 	// partial window.
 	OptimizeWindow int
+	// Workers, when non-nil, restricts the controller's initial scheduling
+	// membership to this subset of the fabric's fleet; the rest of the
+	// fleet is a standby pool AddWorker can activate later (elastic.go).
+	// nil (the default) makes every fabric worker a member, preserving the
+	// fixed-fleet behavior.
+	Workers []cluster.NodeID
 	// ArrayIDBase offsets the controller's array-ID namespace: NewArray
 	// assigns IDs starting at ArrayIDBase+1. A sharded control plane
 	// (internal/shard) gives every shard controller a disjoint base so a
@@ -283,6 +289,12 @@ type Controller struct {
 	// deadGen advances on every change, invalidating estimate caches.
 	dead    map[cluster.NodeID]bool
 	deadGen uint64
+	// roster is the elastic membership overlay: the subset of fabric
+	// workers the controller currently schedules on (elastic.go). nil
+	// means every fabric worker is a member. Guarded by mu; deadGen
+	// advances on every roster change too, since membership edits
+	// invalidate the same caches a death does.
+	roster map[cluster.NodeID]bool
 	// alive caches the live worker list; nil means rebuild.
 	alive []cluster.NodeID
 
@@ -369,6 +381,12 @@ func NewController(fabric Fabric, pol policy.Policy, opts Options) *Controller {
 	if opts.ArrayIDBase > 0 {
 		c.nextArr = opts.ArrayIDBase + 1
 	}
+	if opts.Workers != nil {
+		c.roster = make(map[cluster.NodeID]bool, len(opts.Workers))
+		for _, w := range opts.Workers {
+			c.roster[w] = true
+		}
+	}
 	if opts.Failover {
 		c.lineage = make(map[lineageKey]*producerRec)
 	}
@@ -420,15 +438,17 @@ func (c *Controller) Drain() error {
 
 // aliveWorkers returns the live worker list, maintained incrementally:
 // the fabric's worker set is fixed, so the list only changes when a
-// worker is written off.
+// worker is written off or the elastic roster changes (AddWorker /
+// RetireWorker in elastic.go).
 func (c *Controller) aliveWorkers() []cluster.NodeID {
 	if c.alive == nil {
 		all := c.fabric.Workers()
 		alive := make([]cluster.NodeID, 0, len(all))
 		for _, w := range all {
-			if !c.dead[w] {
-				alive = append(alive, w)
+			if c.dead[w] || (c.roster != nil && !c.roster[w]) {
+				continue
 			}
+			alive = append(alive, w)
 		}
 		c.alive = alive
 	}

@@ -38,6 +38,12 @@ var (
 	// its quota allows (gateway multi-tenancy). Not transient: the tenant
 	// must free arrays or negotiate a bigger quota.
 	ErrQuotaExceeded = errors.New("array-byte quota exceeded")
+	// ErrShedded: the gateway refused a launch because the shard's
+	// admission backlog crossed the shed threshold for the tenant's
+	// priority class. Unlike a poisoned stream this is retryable overload,
+	// not a sticky session error: the tenant may back off and resubmit the
+	// same launch.
+	ErrShedded = errors.New("launch shed: gateway overloaded")
 )
 
 // IsTransient reports whether err is worth retrying in place: a timeout

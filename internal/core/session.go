@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -47,6 +48,19 @@ type SessionLimits struct {
 	// Weight is the session's share in the gateway's weighted
 	// round-robin drain; values < 1 are treated as 1.
 	Weight int
+	// RatePerSec caps the session's sustained admission rate in launches
+	// per second via a token bucket the gateway's drain loop consults
+	// (refilled lazily from the wall clock — no timer goroutine). Zero or
+	// negative means unlimited.
+	RatePerSec float64
+	// Burst is the token bucket's capacity: how many launches the session
+	// may admit back-to-back after idling. Values < 1 are treated as 1.
+	// Ignored when RatePerSec is unlimited.
+	Burst int
+	// Class is the session's priority class for load shedding: when a
+	// shard's admission backlog saturates, the gateway sheds class 0
+	// first, class 1 next, and so on (ErrShedded).
+	Class int
 }
 
 // SessionStats is a point-in-time snapshot of one session's counters.
@@ -60,9 +74,14 @@ type SessionStats struct {
 	// AdmissionWait sums the time the session's launches spent queued
 	// before Submit (recorded by the gateway via NoteAdmissionWait).
 	AdmissionWait time.Duration
-	// AdmissionWaitP99 is the 99th-percentile wait over the session's
-	// first admSampleCap recorded waits.
+	// AdmissionWaitP99 is the 99th-percentile wait over a uniform
+	// reservoir sample (Algorithm R, admSampleCap entries) of every wait
+	// recorded so far, so it keeps tracking current behavior past the
+	// first admSampleCap admissions.
 	AdmissionWaitP99 time.Duration
+	// LaunchesShed counts launches the gateway refused with ErrShedded
+	// (recorded via NoteShed; they never reach the controller).
+	LaunchesShed int64
 	// Optimizer-window counters (window.go): producer CEs fused away,
 	// transfers coalesced into bulk frames, and moves skipped because the
 	// target already held a fresh replica. All zero while the
@@ -72,8 +91,10 @@ type SessionStats struct {
 	EliminatedMoves    int64
 }
 
-// admSampleCap bounds the per-session admission-wait reservoir; beyond
-// it only the running sum keeps growing.
+// admSampleCap bounds the per-session admission-wait reservoir. Beyond
+// it NoteAdmissionWait keeps sampling uniformly (Algorithm R) instead of
+// freezing, so the p99 reflects the whole stream, late overload
+// included.
 const admSampleCap = 8192
 
 // ControllerSession is one tenant's isolated handle on a shared
@@ -94,6 +115,9 @@ type ControllerSession struct {
 	aborted    int64
 	admWait    time.Duration
 	admSamples []time.Duration
+	admSeen    int64
+	admRng     *rand.Rand
+	shed       int64
 	closed     bool
 
 	// opt aggregates the optimizer window's per-tenant counters; the
@@ -114,9 +138,24 @@ func NewControllerSession(ctl *Controller, name string, lim SessionLimits) *Cont
 		name:   name,
 		lim:    lim,
 		arrays: make(map[dag.ArrayID]*GlobalArray),
+		admRng: rand.New(rand.NewSource(admSeed(name))),
 	}
 	s.idle.L = &s.mu
 	return s
+}
+
+// admSeed derives the admission reservoir's deterministic seed from the
+// tenant name (FNV-1a), so repeated runs sample identically.
+func admSeed(name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return int64(h & (1<<63 - 1))
 }
 
 // Name reports the tenant name given at session open.
@@ -260,12 +299,28 @@ func (s *ControllerSession) Submit(inv Invocation) (*Pending, error) {
 }
 
 // NoteAdmissionWait records time a launch spent queued before Submit.
+// Sampling is a uniform reservoir (Algorithm R): the first admSampleCap
+// waits fill it, and every later wait replaces a random slot with
+// probability cap/seen — so the p99 stays an unbiased view of the whole
+// stream instead of freezing on the first 8192 admissions. The RNG is
+// seeded deterministically per session (admSeed).
 func (s *ControllerSession) NoteAdmissionWait(d time.Duration) {
 	s.mu.Lock()
 	s.admWait += d
+	s.admSeen++
 	if len(s.admSamples) < admSampleCap {
 		s.admSamples = append(s.admSamples, d)
+	} else if j := s.admRng.Int63n(s.admSeen); j < admSampleCap {
+		s.admSamples[j] = d
 	}
+	s.mu.Unlock()
+}
+
+// NoteShed records a launch the gateway refused with ErrShedded before
+// it ever reached the controller.
+func (s *ControllerSession) NoteShed() {
+	s.mu.Lock()
+	s.shed++
 	s.mu.Unlock()
 }
 
@@ -299,6 +354,7 @@ func (s *ControllerSession) Stats() SessionStats {
 		ArrayBytes:         s.bytes,
 		AdmissionWait:      s.admWait,
 		AdmissionWaitP99:   quantileLocked(s.admSamples, 0.99),
+		LaunchesShed:       s.shed,
 		FusedCEs:           opt.FusedCEs,
 		CoalescedTransfers: opt.CoalescedTransfers,
 		EliminatedMoves:    opt.EliminatedMoves,

@@ -37,6 +37,65 @@ type Client struct {
 	// swallow; the next Sync reports it instead of silently losing it.
 	deferred error
 	closed   bool
+
+	// pace is the client's adaptive launch pacing from the gateway's
+	// backpressure advisories: it tracks the latest suggested pause and
+	// halves whenever a launch ack arrives without one, so the client
+	// slows while the gateway runs hot and speeds back up as the backlog
+	// clears. ignoreBP (SetHonorBackpressure) disables the slowdown —
+	// the behavior of a hostile or legacy client, which instead fills
+	// its bounded queue and blocks on its own socket.
+	pace     time.Duration
+	ignoreBP bool
+}
+
+// minPace is the decay floor: a pace below it snaps to zero.
+const minPace = 50 * time.Microsecond
+
+// SetHonorBackpressure chooses whether Launch honors the gateway's
+// backpressure advisories by pacing itself (the default). Passing false
+// models a hostile over-limit tenant: launches go out full tilt and the
+// gateway's queue bound plus token bucket do all the throttling.
+func (c *Client) SetHonorBackpressure(honor bool) {
+	c.ignoreBP = !honor
+	if c.ignoreBP {
+		c.pace = 0
+	}
+}
+
+// Pace reports the client's current backpressure pacing (0 = full
+// speed); mostly for tests and diagnostics.
+func (c *Client) Pace() time.Duration { return c.pace }
+
+// Backpressure polls the gateway's flow-control advisory for this
+// tenant and folds it into the client's pacing.
+func (c *Client) Backpressure() (*transport.Backpressure, error) {
+	resp, err := c.call(&transport.SessionRequest{Kind: transport.SessBackpressure})
+	if err != nil {
+		return nil, err
+	}
+	c.observeBP(resp.BP)
+	return resp.BP, nil
+}
+
+// observeBP folds one ack's advisory (or its absence) into the pace.
+func (c *Client) observeBP(bp *transport.Backpressure) {
+	if c.ignoreBP {
+		return
+	}
+	if bp != nil && bp.Pause > 0 {
+		// Move halfway toward the gateway's suggestion — adaptive, so a
+		// single outlier advisory doesn't park the client.
+		c.pace = (c.pace + bp.Pause) / 2
+		if c.pace < bp.Pause/2 {
+			c.pace = bp.Pause / 2
+		}
+		return
+	}
+	c.pace /= 2
+	if c.pace < minPace {
+		c.pace = 0
+	}
 }
 
 // Dial opens a tenant session on the gateway at addr. name labels the
@@ -86,11 +145,21 @@ func (c *Client) NewArray(kind memmodel.ElemKind, n int64) (dag.ArrayID, error) 
 
 // Launch implements workloads.Session. The gateway acknowledges the
 // enqueue; a failure after that poisons the session and surfaces on the
-// next operation.
+// next operation. When the ack carries a backpressure advisory the
+// client paces itself before returning (unless SetHonorBackpressure
+// turned that off), adaptively slowing instead of filling its queue and
+// blocking on the socket.
 func (c *Client) Launch(kernel string, grid, block int, args ...core.ArgRef) error {
-	_, err := c.call(&transport.SessionRequest{Kind: transport.SessLaunch,
+	resp, err := c.call(&transport.SessionRequest{Kind: transport.SessLaunch,
 		Inv: core.Invocation{Kernel: kernel, Grid: grid, Block: block, Args: args}})
-	return err
+	if err != nil {
+		return err
+	}
+	c.observeBP(resp.BP)
+	if c.pace > 0 {
+		time.Sleep(c.pace)
+	}
+	return nil
 }
 
 // HostRead implements workloads.Session: it synchronizes the array on

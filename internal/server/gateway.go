@@ -43,10 +43,22 @@ type Options struct {
 	// Limits apply to every session (Weight < 1 becomes 1; zero fields
 	// mean unlimited, per core.SessionLimits).
 	Limits core.SessionLimits
+	// LimitsFor, when non-nil, overrides Limits per tenant: it is called
+	// with the tenant name at session open and its result is used when
+	// the second return is true. Lets one gateway give different rate,
+	// quota, weight or class to different tenants.
+	LimitsFor func(tenant string) (core.SessionLimits, bool)
 	// QueueDepth bounds each session's launch queue; a tenant that
 	// outruns the drain loop blocks on its own socket, nobody else's.
 	// 0 means DefaultQueueDepth, negative means 1.
 	QueueDepth int
+	// ShedDepth enables class-based load shedding: when a shard's
+	// aggregate queued-launch backlog reaches ShedDepth*(class+1), new
+	// launches from tenants of that priority class are refused with
+	// core.ErrShedded instead of enqueued — lowest class first, each
+	// higher class tolerating one more ShedDepth of backlog. Shedding is
+	// retryable overload, not a sticky error. 0 disables shedding.
+	ShedDepth int
 	// HandshakeTimeout bounds the protocol hello on accept. 0 means
 	// transport.DefaultDialTimeout, negative disables.
 	HandshakeTimeout time.Duration
@@ -85,6 +97,81 @@ type tenant struct {
 	sticky   error     // first asynchronous launch failure; poisons the session
 	dropped  int64     // launches discarded (teardown or poisoned session)
 	gone     bool      // torn down; the drain loop must not submit for it
+
+	// Token bucket (SessionLimits.RatePerSec/Burst): tokens is the
+	// current allowance, refilled lazily from the wall clock at each
+	// check — no timer goroutine per tenant. Guarded by mu.
+	tokens     float64
+	lastRefill time.Time
+}
+
+// rateRoomLocked refills the token bucket from the wall clock and
+// reports whether an admission token is available; when not, the second
+// return is how long until one refills. Caller holds t.mu. Unlimited
+// sessions (RatePerSec <= 0) always have room.
+func (t *tenant) rateRoomLocked(now time.Time) (bool, time.Duration) {
+	lim := t.sess.Limits()
+	if lim.RatePerSec <= 0 {
+		return true, 0
+	}
+	burst := float64(lim.Burst)
+	if burst < 1 {
+		burst = 1
+	}
+	t.tokens += now.Sub(t.lastRefill).Seconds() * lim.RatePerSec
+	t.lastRefill = now
+	if t.tokens > burst {
+		t.tokens = burst
+	}
+	if t.tokens >= 1 {
+		return true, 0
+	}
+	return false, time.Duration((1 - t.tokens) / lim.RatePerSec * float64(time.Second))
+}
+
+// takeTokenLocked charges one admission against the bucket. Caller
+// holds t.mu and has seen rateRoomLocked return true this round.
+func (t *tenant) takeTokenLocked() {
+	if t.sess.Limits().RatePerSec > 0 {
+		t.tokens--
+	}
+}
+
+// fillPauseMax scales the queue-fill component of a backpressure
+// advisory: a completely full queue suggests this much pause.
+const fillPauseMax = 5 * time.Millisecond
+
+// maxAdvisoryPause caps any single suggested pause so a stale advisory
+// cannot park a well-behaved client for long.
+const maxAdvisoryPause = time.Second
+
+// advisoryLocked builds the tenant's backpressure advisory, or nil when
+// the tenant needs none (shallow queue, no token deficit). The pause is
+// the larger of two estimates: how long the token bucket needs to cover
+// the current backlog, and a queue-fill ramp that reaches fillPauseMax
+// at a full queue. Caller holds t.mu.
+func (t *tenant) advisoryLocked(qcap int, now time.Time) *transport.Backpressure {
+	var pause time.Duration
+	if lim := t.sess.Limits(); lim.RatePerSec > 0 {
+		// Refill first so the deficit reflects this instant.
+		t.rateRoomLocked(now)
+		if deficit := float64(t.queued) - t.tokens; deficit > 0 {
+			pause = time.Duration(deficit / lim.RatePerSec * float64(time.Second))
+		}
+	}
+	if qcap > 0 && 2*t.queued >= qcap {
+		fill := time.Duration(float64(fillPauseMax) * (2*float64(t.queued)/float64(qcap) - 1))
+		if fill > pause {
+			pause = fill
+		}
+	}
+	if pause <= 0 {
+		return nil
+	}
+	if pause > maxAdvisoryPause {
+		pause = maxAdvisoryPause
+	}
+	return &transport.Backpressure{Queued: t.queued, QueueCap: qcap, Pause: pause}
 }
 
 // setSticky records the session's first asynchronous failure.
@@ -119,8 +206,9 @@ type shardState struct {
 	mu        sync.Mutex
 	drainCond sync.Cond // wakes this shard's drain loop: enqueue, completion, teardown
 	sessions  map[uint64]*tenant
-	rr        int   // round-robin rotation cursor
-	ces       int64 // launches this shard's drain handed to its controller
+	rr        int           // round-robin rotation cursor
+	ces       int64         // launches this shard's drain handed to its controller
+	sheds     map[int]int64 // launches refused with ErrShedded, by priority class
 }
 
 // Gateway serves tenant sessions over TCP against a sharded control
@@ -295,15 +383,29 @@ func (g *Gateway) register(conn *transport.SessionConn, name string) (*tenant, e
 		return nil, fmt.Errorf("server: route sent tenant %q to shard %d of %d", name, s, len(g.shards))
 	}
 	sh := g.shards[s]
+	lim := g.opt.Limits
+	if g.opt.LimitsFor != nil {
+		if l, ok := g.opt.LimitsFor(name); ok {
+			lim = l
+		}
+	}
 	t := &tenant{
 		id:    id,
 		name:  name,
-		sess:  core.NewControllerSession(sh.ctl, name, g.opt.Limits),
+		sess:  core.NewControllerSession(sh.ctl, name, lim),
 		conn:  conn,
 		shard: sh,
 		queue: make(chan queuedLaunch, g.opt.QueueDepth),
 	}
 	t.flushed.L = &t.mu
+	if lim.RatePerSec > 0 {
+		// Start with a full bucket: a fresh session may burst.
+		t.tokens = float64(lim.Burst)
+		if t.tokens < 1 {
+			t.tokens = 1
+		}
+		t.lastRefill = time.Now()
+	}
 	sh.mu.Lock()
 	sh.sessions[t.id] = t
 	sh.mu.Unlock()
@@ -395,6 +497,14 @@ func (g *Gateway) serve(conn *transport.SessionConn) {
 		case transport.SessShardInfo:
 			resp.Shard = t.shard.idx
 			resp.ShardCount = len(g.shards)
+		case transport.SessBackpressure:
+			t.mu.Lock()
+			resp.BP = t.advisoryLocked(g.opt.QueueDepth, time.Now())
+			if resp.BP == nil {
+				// A poll always gets a frame, even when all is calm.
+				resp.BP = &transport.Backpressure{Queued: t.queued, QueueCap: g.opt.QueueDepth}
+			}
+			t.mu.Unlock()
 		case transport.SessLaunch:
 			g.handleLaunch(t, req, resp)
 		case transport.SessNewArray:
@@ -459,8 +569,12 @@ func (g *Gateway) serve(conn *transport.SessionConn) {
 }
 
 // handleLaunch enqueues one launch on the tenant's queue. The reply
-// acknowledges the enqueue; submission failures surface as the
-// session's sticky error.
+// acknowledges the enqueue and, when the tenant's backlog runs hot,
+// piggybacks a backpressure advisory; submission failures surface as
+// the session's sticky error. With shedding enabled, a launch that
+// finds the shard's aggregate backlog over the tenant class's threshold
+// is refused with core.ErrShedded instead of enqueued — a retryable
+// refusal, not a sticky one.
 func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *transport.SessionResponse) {
 	t.mu.Lock()
 	if t.sticky != nil {
@@ -469,6 +583,21 @@ func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *t
 		resp.SetErr(err)
 		return
 	}
+	t.mu.Unlock()
+	if g.opt.ShedDepth > 0 {
+		class := t.sess.Limits().Class
+		if class < 0 {
+			class = 0
+		}
+		if backlog := t.shard.queuedTotal(); backlog >= g.opt.ShedDepth*(class+1) {
+			t.sess.NoteShed()
+			t.shard.noteShed(class)
+			resp.SetErr(fmt.Errorf("%w: shard %d backlog %d over class-%d threshold %d",
+				core.ErrShedded, t.shard.idx, backlog, class, g.opt.ShedDepth*(class+1)))
+			return
+		}
+	}
+	t.mu.Lock()
 	t.queued++
 	t.mu.Unlock()
 	q := queuedLaunch{inv: req.Inv, at: time.Now()}
@@ -478,6 +607,9 @@ func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *t
 		sh.mu.Lock()
 		sh.drainCond.Broadcast()
 		sh.mu.Unlock()
+		t.mu.Lock()
+		resp.BP = t.advisoryLocked(g.opt.QueueDepth, time.Now())
+		t.mu.Unlock()
 	case <-g.done:
 		t.mu.Lock()
 		t.queued--
@@ -490,6 +622,30 @@ func (g *Gateway) handleLaunch(t *tenant, req *transport.SessionRequest, resp *t
 	}
 }
 
+// queuedTotal sums the shard's tenants' queued launches: the aggregate
+// admission backlog the shed thresholds compare against.
+func (sh *shardState) queuedTotal() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	total := 0
+	for _, t := range sh.sessions {
+		t.mu.Lock()
+		total += t.queued
+		t.mu.Unlock()
+	}
+	return total
+}
+
+// noteShed bumps the shard's per-class shed counter.
+func (sh *shardState) noteShed(class int) {
+	sh.mu.Lock()
+	if sh.sheds == nil {
+		sh.sheds = make(map[int]int64)
+	}
+	sh.sheds[class]++
+	sh.mu.Unlock()
+}
+
 // drainLoop is one shard's admission goroutine: it feeds the shard's
 // controller from its tenants' queues by weighted round-robin, honoring
 // each session's in-flight cap. Weight-w tenants get up to w
@@ -500,7 +656,24 @@ func (g *Gateway) drainLoop(sh *shardState) {
 	defer g.wg.Done()
 	for {
 		sh.mu.Lock()
-		for !g.isClosed() && !sh.workReadyLocked() {
+		for !g.isClosed() {
+			ready, retry := sh.workReadyLocked(time.Now())
+			if ready {
+				break
+			}
+			if retry > 0 {
+				// Every submittable tenant is only waiting on its token
+				// bucket: nothing will signal the condvar when it refills,
+				// so sleep until the earliest refill (bounded, so shutdown
+				// stays snappy) and re-check.
+				sh.mu.Unlock()
+				if retry > maxRateSleep {
+					retry = maxRateSleep
+				}
+				time.Sleep(retry)
+				sh.mu.Lock()
+				continue
+			}
 			sh.drainCond.Wait()
 		}
 		if g.isClosed() {
@@ -539,18 +712,32 @@ func (g *Gateway) isClosed() bool {
 	}
 }
 
+// maxRateSleep bounds one rate-limited drain nap so the loop re-checks
+// the shutdown flag (and newly signaled work) promptly.
+const maxRateSleep = 25 * time.Millisecond
+
 // workReadyLocked reports whether any of the shard's tenants has a
-// submittable launch. Caller holds sh.mu.
-func (sh *shardState) workReadyLocked() bool {
+// submittable launch. When none has but at least one is blocked only on
+// its token bucket, the second return is the earliest refill delay —
+// the drain loop sleeps that long instead of waiting on the condvar,
+// which nothing would signal. Caller holds sh.mu.
+func (sh *shardState) workReadyLocked(now time.Time) (bool, time.Duration) {
+	var retry time.Duration
 	for _, t := range sh.sessions {
 		t.mu.Lock()
 		ready := t.queued > 0 && !t.gone && t.capRoomLocked()
+		if ready {
+			var wait time.Duration
+			if ready, wait = t.rateRoomLocked(now); !ready && (retry == 0 || wait < retry) {
+				retry = wait
+			}
+		}
 		t.mu.Unlock()
 		if ready {
-			return true
+			return true, 0
 		}
 	}
-	return false
+	return false, retry
 }
 
 // capRoomLocked reports whether the tenant is under its in-flight cap.
@@ -567,13 +754,20 @@ func (sh *shardState) drainRound(roster []*tenant) {
 		for _, t := range roster {
 			for credits := t.sess.Limits().Weight; credits > 0; credits-- {
 				t.mu.Lock()
-				room := !t.gone && t.capRoomLocked()
+				rateOK, _ := t.rateRoomLocked(time.Now())
+				room := !t.gone && t.capRoomLocked() && rateOK
 				t.mu.Unlock()
 				if !room {
+					// Capped or out of tokens: the tenant loses its turn
+					// (the drain loop naps on the refill when every
+					// submittable tenant is rate-blocked).
 					break
 				}
 				select {
 				case q := <-t.queue:
+					t.mu.Lock()
+					t.takeTokenLocked()
+					t.mu.Unlock()
 					sh.submitOne(t, q)
 					progress = true
 				default:

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"grout/internal/core"
 )
@@ -26,6 +27,8 @@ type TenantStats struct {
 	Name string
 	// Shard is the controller shard serving this session.
 	Shard int
+	// Class is the session's load-shedding priority class.
+	Class int
 	core.SessionStats
 	// Queued counts launches sitting in the gateway queue right now.
 	Queued int
@@ -47,6 +50,16 @@ type ShardStats struct {
 	Failovers int
 }
 
+// ClassStats aggregates one load-shedding priority class across the
+// gateway: the series stay O(classes), far below O(tenants).
+type ClassStats struct {
+	Class int
+	// Shed counts launches of this class refused with ErrShedded.
+	Shed int64
+	// WaitP99 is the worst per-tenant p99 admission wait in the class.
+	WaitP99 time.Duration
+}
+
 // Stats is a point-in-time snapshot of the whole gateway.
 type Stats struct {
 	Active    int   // sessions currently open
@@ -54,13 +67,26 @@ type Stats struct {
 	Failovers int   // workers written off, summed over shards
 	Shards    []ShardStats
 	Tenants   []TenantStats
+	// Classes aggregates shed rate and latency per priority class,
+	// sorted by class.
+	Classes []ClassStats
 }
 
-// Snapshot collects the gateway's current stats, tenants sorted by name.
+// Snapshot collects the gateway's current stats, tenants sorted by name
+// and classes by class.
 func (g *Gateway) Snapshot() Stats {
 	g.mu.Lock()
 	st := Stats{Total: g.total}
 	g.mu.Unlock()
+	classes := map[int]*ClassStats{}
+	class := func(c int) *ClassStats {
+		if cs := classes[c]; cs != nil {
+			return cs
+		}
+		cs := &ClassStats{Class: c}
+		classes[c] = cs
+		return cs
+	}
 	for _, sh := range g.shards {
 		sh.mu.Lock()
 		tenants := make([]*tenant, 0, len(sh.sessions))
@@ -68,15 +94,22 @@ func (g *Gateway) Snapshot() Stats {
 			tenants = append(tenants, t)
 		}
 		ss := ShardStats{Shard: sh.idx, Sessions: len(tenants), CEs: sh.ces}
+		for c, n := range sh.sheds {
+			class(c).Shed += n
+		}
 		sh.mu.Unlock()
 		ss.Failovers = sh.ctl.Failovers()
 		for _, t := range tenants {
-			ts := TenantStats{Name: t.name, Shard: sh.idx, SessionStats: t.sess.Stats()}
+			ts := TenantStats{Name: t.name, Shard: sh.idx,
+				Class: t.sess.Limits().Class, SessionStats: t.sess.Stats()}
 			t.mu.Lock()
 			ts.Queued = t.queued
 			ts.Dropped = t.dropped
 			t.mu.Unlock()
 			ss.QueueDepth += ts.Queued
+			if cs := class(ts.Class); ts.AdmissionWaitP99 > cs.WaitP99 {
+				cs.WaitP99 = ts.AdmissionWaitP99
+			}
 			st.Tenants = append(st.Tenants, ts)
 		}
 		st.Active += ss.Sessions
@@ -84,6 +117,10 @@ func (g *Gateway) Snapshot() Stats {
 		st.Shards = append(st.Shards, ss)
 	}
 	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	for _, cs := range classes {
+		st.Classes = append(st.Classes, *cs)
+	}
+	sort.Slice(st.Classes, func(i, j int) bool { return st.Classes[i].Class < st.Classes[j].Class })
 	return st
 }
 
@@ -146,6 +183,8 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 			func(t TenantStats) string { return fmt.Sprintf("%d", t.Aborted) }},
 		{"grout_gateway_launches_dropped_total", "Launches discarded before submission.", "counter",
 			func(t TenantStats) string { return fmt.Sprintf("%d", t.Dropped) }},
+		{"grout_gateway_launches_shed_total", "Launches refused with ErrShedded (class-based load shedding).", "counter",
+			func(t TenantStats) string { return fmt.Sprintf("%d", t.LaunchesShed) }},
 		{"grout_gateway_launch_queue_depth", "Launches waiting in the admission queue.", "gauge",
 			func(t TenantStats) string { return fmt.Sprintf("%d", t.Queued) }},
 		{"grout_gateway_inflight_ces", "CEs submitted but not yet dispatched.", "gauge",
@@ -168,5 +207,17 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 		for _, t := range st.Tenants {
 			fmt.Fprintf(w, "%s{tenant=\"%s\",shard=\"%d\"} %s\n", m.name, escapeLabel(t.Name), t.Shard, m.val(t))
 		}
+	}
+
+	// Per-class overload series: O(classes) cardinality, one label.
+	fmt.Fprintln(w, "# HELP grout_class_shed_total Launches refused with ErrShedded, by priority class.")
+	fmt.Fprintln(w, "# TYPE grout_class_shed_total counter")
+	for _, c := range st.Classes {
+		fmt.Fprintf(w, "grout_class_shed_total{class=\"%d\"} %d\n", c.Class, c.Shed)
+	}
+	fmt.Fprintln(w, "# HELP grout_class_admission_wait_p99_seconds Worst per-tenant p99 admission wait, by priority class.")
+	fmt.Fprintln(w, "# TYPE grout_class_admission_wait_p99_seconds gauge")
+	for _, c := range st.Classes {
+		fmt.Fprintf(w, "grout_class_admission_wait_p99_seconds{class=\"%d\"} %g\n", c.Class, c.WaitP99.Seconds())
 	}
 }

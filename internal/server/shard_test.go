@@ -159,7 +159,8 @@ func TestShardInfoAndRouting(t *testing.T) {
 
 // The cardinality guard: per-tenant families carry exactly the tenant
 // and shard labels — series count O(tenants), never O(tenants×shards) —
-// and per-shard families carry exactly one shard series each.
+// per-shard families carry exactly one shard series each, and per-class
+// overload families carry exactly the class label, O(classes) series.
 func TestMetricsLabelCardinality(t *testing.T) {
 	const shards, tenants = 2, 6
 	mk := func() *core.Controller { return gwSystemN(t, 2, nil) }
@@ -200,8 +201,13 @@ func TestMetricsLabelCardinality(t *testing.T) {
 			if !regexp.MustCompile(`^tenant="[^"]*",shard="\d+"$`).MatchString(labels) {
 				t.Fatalf("per-tenant family %s has labels %q, want exactly tenant+shard", family, labels)
 			}
+		case strings.HasPrefix(family, "grout_class_"):
+			if !regexp.MustCompile(`^class="\d+"$`).MatchString(labels) {
+				t.Fatalf("per-class family %s has labels %q, want exactly class", family, labels)
+			}
 		}
 	}
+	sawClass := false
 	for family, n := range perFamily {
 		if strings.HasPrefix(family, "grout_shard_") && n != shards {
 			t.Fatalf("family %s has %d series, want %d (one per shard)", family, n, shards)
@@ -209,6 +215,17 @@ func TestMetricsLabelCardinality(t *testing.T) {
 		if strings.HasPrefix(family, "grout_gateway_") && n != tenants {
 			t.Fatalf("family %s has %d series, want %d (one per tenant)", family, n, tenants)
 		}
+		if strings.HasPrefix(family, "grout_class_") {
+			sawClass = true
+			// Every tenant here runs in the default class: exactly one
+			// series, NOT one per tenant.
+			if n != 1 {
+				t.Fatalf("family %s has %d series, want 1 (one per class)", family, n)
+			}
+		}
+	}
+	if !sawClass {
+		t.Fatal("no per-class series scraped; the class guard tested nothing")
 	}
 	if len(perFamily) == 0 {
 		t.Fatal("no labeled series scraped; the guard tested nothing")

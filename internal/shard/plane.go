@@ -69,6 +69,43 @@ type Plane struct {
 	// Controllers holds one controller per shard.
 	Controllers []*core.Controller
 	parts       [][]cluster.NodeID
+	// retired is the plane-wide set of drained workers, shared by every
+	// shard's PartitionFabric so Healthy answers consistently fleet-wide:
+	// after one shard retires a node, no other shard's lease probing or
+	// failover may treat it as schedulable (the Healthy/Workers
+	// inconsistency regression, TestPartitionFabricHealthyAfterRetire).
+	retired *retiredSet
+	// pfs keeps each shard's partition fabric for the retire plumbing
+	// (and the regression test).
+	pfs []*PartitionFabric
+}
+
+// retiredSet is a concurrency-safe set of retired workers.
+type retiredSet struct {
+	mu sync.RWMutex
+	m  map[cluster.NodeID]bool
+}
+
+func (r *retiredSet) has(w cluster.NodeID) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[w]
+}
+
+func (r *retiredSet) set(w cluster.NodeID, retired bool) {
+	r.mu.Lock()
+	if r.m == nil {
+		r.m = make(map[cluster.NodeID]bool)
+	}
+	if retired {
+		r.m[w] = true
+	} else {
+		delete(r.m, w)
+	}
+	r.mu.Unlock()
 }
 
 // New builds a sharded plane: the fleet, the per-shard partition
@@ -108,6 +145,7 @@ func New(opts Options) (*Plane, error) {
 		Cluster: clu,
 		Fabric:  full,
 		parts:   make([][]cluster.NodeID, opts.Shards),
+		retired: &retiredSet{},
 	}
 	per, extra := len(workers)/opts.Shards, len(workers)%opts.Shards
 	lo := 0
@@ -133,10 +171,59 @@ func New(opts Options) (*Plane, error) {
 		co.Registry = reg
 		co.ArrayIDBase = dag.ArrayID(s) * IDStride
 		pf := NewPartitionFabric(full, p.parts[s])
+		pf.retired = p.retired
+		p.pfs = append(p.pfs, pf)
 		p.Controllers = append(p.Controllers,
 			core.NewController(pf, policy.Restrict(pol, p.parts[s]), co))
 	}
 	return p, nil
+}
+
+// shardOf validates s and reports whether w belongs to its partition.
+func (p *Plane) shardOf(s int, w cluster.NodeID) error {
+	if s < 0 || s >= len(p.Controllers) {
+		return fmt.Errorf("shard: shard %d out of range (%d shards)", s, len(p.Controllers))
+	}
+	for _, n := range p.parts[s] {
+		if n == w {
+			return nil
+		}
+	}
+	return fmt.Errorf("shard: worker %v is not in shard %d's partition", w, s)
+}
+
+// RetireWorker gracefully drains worker w out of shard s
+// (core.Controller.RetireWorker: migrate sole-copy arrays, free
+// replicas, shrink the roster) and marks it retired plane-wide, so every
+// shard's fabric — not just shard s's — reports it unhealthy and no
+// other shard schedules lease traffic against the drained node. Lease
+// replicas other shards already exported onto w stay resident and remain
+// valid lineage roots (replayStep pulls bytes without a health probe).
+func (p *Plane) RetireWorker(s int, w cluster.NodeID) error {
+	if err := p.shardOf(s, w); err != nil {
+		return err
+	}
+	if err := p.Controllers[s].RetireWorker(w); err != nil {
+		return err
+	}
+	p.retired.set(w, true)
+	return nil
+}
+
+// AddWorker re-activates a previously retired worker on shard s: the
+// plane-wide retired mark is lifted first so the controller's health
+// probe sees the node alive again.
+func (p *Plane) AddWorker(s int, w cluster.NodeID) error {
+	if err := p.shardOf(s, w); err != nil {
+		return err
+	}
+	was := p.retired.has(w)
+	p.retired.set(w, false)
+	if err := p.Controllers[s].AddWorker(w); err != nil {
+		p.retired.set(w, was)
+		return err
+	}
+	return nil
 }
 
 // Shards reports the shard count.
@@ -312,6 +399,11 @@ func (f *lockedFabric) BuildKernel(src, signature string) error {
 type PartitionFabric struct {
 	inner   core.Fabric
 	workers []cluster.NodeID
+	// retired, when set (sharded planes), is the plane-wide drained-
+	// worker set: Healthy must answer false for a retired node even
+	// though the node's runtime still responds, or a shard could
+	// schedule lease traffic against a worker another shard drained.
+	retired *retiredSet
 
 	bulkEst core.BulkEstimator
 	stall   core.StallPredictor
@@ -366,8 +458,14 @@ func (f *PartitionFabric) FreeArray(w cluster.NodeID, id dag.ArrayID) error {
 }
 
 // Healthy implements core.Fabric. It answers for any fleet node, not
-// just the partition: lineage recovery probes the lease node's health.
-func (f *PartitionFabric) Healthy(w cluster.NodeID) bool { return f.inner.Healthy(w) }
+// just the partition — lineage recovery probes the lease node's health —
+// but a node the plane has retired reads unhealthy everywhere, keeping
+// the answer consistent with the partitions' post-retirement view: a
+// drained node's runtime still responds, yet no shard may schedule
+// against it.
+func (f *PartitionFabric) Healthy(w cluster.NodeID) bool {
+	return !f.retired.has(w) && f.inner.Healthy(w)
+}
 
 // EstimateTransferAll implements core.BulkEstimator, looping over
 // EstimateTransfer when the inner fabric lacks the fast path.

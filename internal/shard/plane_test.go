@@ -249,6 +249,56 @@ func TestPlaneReplicateRejectsBadArgs(t *testing.T) {
 	}
 }
 
+// Satellite regression: PartitionFabric.Healthy used to answer from the
+// full fleet while Workers() was partition-narrowed, so after shard 0
+// retired a worker, shard 1's fabric still reported it healthy and
+// cross-shard machinery could schedule against a drained node. The
+// plane-wide retired set makes every shard's Healthy answer agree.
+func TestPartitionFabricHealthyAfterRetire(t *testing.T) {
+	p := newTestPlane(t, 2, 4, nil)
+	w := p.Partition(0)[0]
+	// Run a chain first so the retire path has real replicas to walk.
+	planeChain(t, p.Controllers[0])
+	if !p.pfs[0].Healthy(w) || !p.pfs[1].Healthy(w) {
+		t.Fatalf("worker %v unhealthy before retire", w)
+	}
+	if err := p.RetireWorker(0, w); err != nil {
+		t.Fatal(err)
+	}
+	// EVERY shard's fabric must agree the node is out...
+	for s, pf := range p.pfs {
+		if pf.Healthy(w) {
+			t.Fatalf("shard %d still reports retired worker %v healthy", s, w)
+		}
+	}
+	// ...while the partition view is unchanged: retirement is
+	// membership, not re-partitioning.
+	if got := p.pfs[0].Workers(); len(got) != len(p.Partition(0)) {
+		t.Fatalf("retire changed the partition view: %v", got)
+	}
+	// Retiring through the wrong shard is rejected.
+	if err := p.RetireWorker(1, w); err == nil {
+		t.Fatal("retiring a foreign shard's worker succeeded")
+	}
+	// Re-activation restores health everywhere.
+	if err := p.AddWorker(0, w); err != nil {
+		t.Fatal(err)
+	}
+	for s, pf := range p.pfs {
+		if !pf.Healthy(w) {
+			t.Fatalf("shard %d reports re-added worker %v unhealthy", s, w)
+		}
+	}
+	// A failed controller-side add must not flip the plane-wide mark:
+	// double-adding errors and w stays healthy.
+	if err := p.AddWorker(0, w); err == nil {
+		t.Fatal("double add succeeded")
+	}
+	if !p.pfs[0].Healthy(w) {
+		t.Fatal("failed add rolled back the health mark of an active worker")
+	}
+}
+
 // The Restricted policy clamp (defense in depth behind the partition
 // fabric) filters foreign candidates and keeps batch/stall forwarding.
 func TestRestrictedPolicyClamps(t *testing.T) {

@@ -117,6 +117,10 @@ const (
 	// CodeQuotaExceeded maps to core.ErrQuotaExceeded: the gateway
 	// refused a tenant allocation over its array-byte quota.
 	CodeQuotaExceeded
+	// CodeShedded maps to core.ErrShedded: the gateway refused a launch
+	// because the shard's admission backlog crossed the tenant class's
+	// shed threshold. Retryable overload, not a sticky stream error.
+	CodeShedded
 )
 
 // codeFor classifies an error for the wire.
@@ -136,6 +140,8 @@ func codeFor(err error) ErrCode {
 		return CodeTransient
 	case errors.Is(err, core.ErrQuotaExceeded):
 		return CodeQuotaExceeded
+	case errors.Is(err, core.ErrShedded):
+		return CodeShedded
 	default:
 		return CodeGeneric
 	}
@@ -156,6 +162,8 @@ func (c ErrCode) sentinel() error {
 		return core.ErrTransient
 	case CodeQuotaExceeded:
 		return core.ErrQuotaExceeded
+	case CodeShedded:
+		return core.ErrShedded
 	default:
 		return nil
 	}

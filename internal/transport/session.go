@@ -57,11 +57,18 @@ const (
 	// response carries the shard index and the plane's shard count
 	// (DESIGN.md §5.8). Single-controller gateways answer shard 0 of 1.
 	SessShardInfo
+	// SessBackpressure polls the gateway's flow-control advisory for this
+	// tenant: the response's BP frame carries the launch-queue fill and a
+	// suggested pause. The gateway also piggybacks the same frame on
+	// SessLaunch acks when the queue runs hot, so a steadily launching
+	// client rarely needs to poll (DESIGN.md §5.9).
+	SessBackpressure
 )
 
 var sessNames = [...]string{
 	"open", "ping", "new-array", "launch", "host-read", "host-write",
 	"free", "build-kernel", "elapsed", "close", "shard-info",
+	"backpressure",
 }
 
 func (k SessKind) String() string {
@@ -104,8 +111,49 @@ type SessionResponse struct {
 	// Shard and ShardCount answer SessShardInfo: the controller shard
 	// serving this tenant and the plane's shard count.
 	Shard, ShardCount int
+	// BP is the gateway's flow-control advisory: always present on a
+	// SessBackpressure answer, piggybacked on SessLaunch acks when the
+	// tenant's queue runs hot, nil otherwise.
+	BP *Backpressure
 	// Data is the SessHostRead payload.
 	Data *kernels.Buffer
+}
+
+// Backpressure is the gateway's per-tenant flow-control advisory
+// (DESIGN.md §5.9). It is advisory, not a protocol obligation: a client
+// that ignores it still makes progress, but fills its bounded launch
+// queue and ends up blocking on its own socket instead.
+type Backpressure struct {
+	// Queued and QueueCap report the tenant's launch-queue fill at the
+	// moment the advisory was built.
+	Queued, QueueCap int
+	// Pause is the suggested client-side pause before the next launch:
+	// the gateway's estimate of how long the tenant's backlog (token
+	// deficit plus queue fill) takes to clear.
+	Pause time.Duration
+}
+
+// appendBackpressure encodes bp after dst:
+//
+//	i64 queued   i64 queueCap   i64 pause(ns)
+func appendBackpressure(dst []byte, bp *Backpressure) []byte {
+	dst = appendI64(dst, int64(bp.Queued))
+	dst = appendI64(dst, int64(bp.QueueCap))
+	return appendI64(dst, int64(bp.Pause))
+}
+
+// parseBackpressureInto decodes into a caller-owned advisory, resetting
+// it first. The payload must be exactly one advisory.
+func parseBackpressureInto(p []byte, bp *Backpressure) error {
+	r := wireReader{p: p}
+	*bp = Backpressure{}
+	bp.Queued = int(r.i64())
+	bp.QueueCap = int(r.i64())
+	bp.Pause = time.Duration(r.i64())
+	if !r.done() {
+		return errMalformed
+	}
+	return nil
 }
 
 // SetErr records err (with its wire code) on the response.
@@ -203,6 +251,7 @@ func parseSessionRequestInto(p []byte, req *SessionRequest) error {
 //	u8 code   str err
 //	i64 arrayID   i64 elapsed   str name
 //	i64 shard   i64 shardCount
+//	u8 hasBP  [i64 queued  i64 queueCap  i64 pause]
 //	buffer data
 func appendSessionResponse(dst []byte, resp *SessionResponse) []byte {
 	dst = appendU8(dst, uint8(resp.Code))
@@ -212,6 +261,12 @@ func appendSessionResponse(dst []byte, resp *SessionResponse) []byte {
 	dst = appendString(dst, resp.Name)
 	dst = appendI64(dst, int64(resp.Shard))
 	dst = appendI64(dst, int64(resp.ShardCount))
+	if resp.BP != nil {
+		dst = appendU8(dst, 1)
+		dst = appendBackpressure(dst, resp.BP)
+	} else {
+		dst = appendU8(dst, 0)
+	}
 	return appendBuffer(dst, resp.Data)
 }
 
@@ -227,6 +282,23 @@ func parseSessionResponseInto(p []byte, resp *SessionResponse) error {
 	resp.Name = r.str()
 	resp.Shard = int(r.i64())
 	resp.ShardCount = int(r.i64())
+	switch r.u8() {
+	case 0:
+	case 1:
+		resp.BP = &Backpressure{
+			Queued:   int(r.i64()),
+			QueueCap: int(r.i64()),
+			Pause:    time.Duration(r.i64()),
+		}
+	default:
+		return errMalformed
+	}
+	if r.bad {
+		// The presence flag (or the advisory behind it) was truncated;
+		// drop the partially built BP so a bad frame parses to nothing.
+		resp.BP = nil
+		return errMalformed
+	}
 	resp.Data = r.buffer()
 	if !r.done() {
 		return errMalformed
@@ -386,5 +458,13 @@ func sessionResponseEq(a, b *SessionResponse) bool {
 	return a.Code == b.Code && a.Err == b.Err && a.Array == b.Array &&
 		a.Elapsed == b.Elapsed && a.Name == b.Name &&
 		a.Shard == b.Shard && a.ShardCount == b.ShardCount &&
+		backpressureEq(a.BP, b.BP) &&
 		bufferEq(a.Data, b.Data)
+}
+
+func backpressureEq(a, b *Backpressure) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
 }

@@ -7,6 +7,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -52,11 +53,28 @@ func sampleSessionResponses() []*SessionResponse {
 		{},
 		{Err: "boom", Code: CodeGeneric},
 		{Err: "over quota", Code: CodeQuotaExceeded},
+		{Err: "shed", Code: CodeShedded},
 		{Array: 12},
 		{Elapsed: 1 << 42},
 		{Name: "k_generated_3"},
 		{Shard: 2, ShardCount: 8},
 		{Data: buf},
+		// Backpressure advisories ride launch acks; covering them here
+		// feeds the round-trip, truncation and fuzz suites automatically.
+		{BP: &Backpressure{}},
+		{BP: &Backpressure{Queued: 48, QueueCap: 64, Pause: 5 * 1000 * 1000}},
+		{Shard: 1, ShardCount: 4, BP: &Backpressure{Queued: 1, QueueCap: 1, Pause: 1 << 40}},
+		{Data: buf, BP: &Backpressure{Queued: 63, QueueCap: 64}},
+	}
+}
+
+// sampleBackpressures covers the standalone advisory layout.
+func sampleBackpressures() []*Backpressure {
+	return []*Backpressure{
+		{},
+		{Queued: 7, QueueCap: 64, Pause: 250 * 1000},
+		{Queued: 1 << 30, QueueCap: 1 << 31, Pause: 1 << 50},
+		{Queued: -1, QueueCap: -1, Pause: -1}, // decoder is not a validator
 	}
 }
 
@@ -182,6 +200,70 @@ func TestSessionQuotaCodeSurvivesWire(t *testing.T) {
 	if err := got.Ok(); !errors.Is(err, core.ErrQuotaExceeded) {
 		t.Fatalf("quota error did not survive the wire: %v", err)
 	}
+}
+
+// The shed sentinel must survive the wire errors.Is-ably too — clients
+// retry shed launches, so the typed identity is load-bearing.
+func TestSessionShedCodeSurvivesWire(t *testing.T) {
+	resp := &SessionResponse{}
+	resp.SetErr(fmt.Errorf("shard 2 saturated: %w", core.ErrShedded))
+	p := appendSessionResponse(nil, resp)
+	got := &SessionResponse{}
+	if err := parseSessionResponseInto(p, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Ok(); !errors.Is(err, core.ErrShedded) {
+		t.Fatalf("shed error did not survive the wire: %v", err)
+	}
+}
+
+func TestBackpressureRoundTrip(t *testing.T) {
+	for i, bp := range sampleBackpressures() {
+		p := appendBackpressure(nil, bp)
+		got := &Backpressure{}
+		if err := parseBackpressureInto(p, got); err != nil {
+			t.Fatalf("advisory %d: decode: %v", i, err)
+		}
+		if !backpressureEq(bp, got) {
+			t.Fatalf("advisory %d: round trip mismatch: %+v vs %+v", i, bp, got)
+		}
+	}
+}
+
+func TestBackpressureRejectsTruncatedPayloads(t *testing.T) {
+	for _, bp := range sampleBackpressures() {
+		p := appendBackpressure(nil, bp)
+		for cut := 0; cut < len(p); cut++ {
+			if err := parseBackpressureInto(p[:cut], &Backpressure{}); err == nil {
+				t.Fatalf("advisory truncation to %d of %d bytes accepted", cut, len(p))
+			}
+		}
+		if err := parseBackpressureInto(append(append([]byte{}, p...), 0x7f), &Backpressure{}); err == nil {
+			t.Fatal("advisory trailing garbage accepted")
+		}
+	}
+}
+
+func FuzzSessionBackpressure(f *testing.F) {
+	for _, bp := range sampleBackpressures() {
+		f.Add(appendBackpressure(nil, bp))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bp := &Backpressure{}
+		if err := parseBackpressureInto(data, bp); err != nil {
+			return
+		}
+		p := appendBackpressure(nil, bp)
+		got := &Backpressure{}
+		if err := parseBackpressureInto(p, got); err != nil {
+			t.Fatalf("re-decode of re-encoded advisory failed: %v", err)
+		}
+		if !backpressureEq(bp, got) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", bp, got)
+		}
+	})
 }
 
 func FuzzSessionRequest(f *testing.F) {

@@ -27,7 +27,8 @@
 #      generated kernels (10s), fused elementwise kernels must match
 #      the separate producer/consumer launches bit-for-bit (10s), and
 #      the session-frame codec must round-trip and never panic on
-#      adversarial payloads (5s each direction; corpora persist)
+#      adversarial payloads (5s each direction, plus 5s on the
+#      backpressure-frame payload codec; corpora persist)
 #   6. the controller/DAG/transport/kernel/oversubscription
 #      micro-benchmarks with -benchtime=1x as a smoke gate (they must
 #      still compile and complete, not regress — use scripts/bench.sh
@@ -70,6 +71,7 @@ go test -run FuzzFusion -fuzz FuzzFusion -fuzztime 10s \
 echo "== session-frame codec fuzz (5s per direction)"
 go test -run '^$' -fuzz FuzzSessionRequest -fuzztime 5s ./internal/transport/
 go test -run '^$' -fuzz FuzzSessionResponse -fuzztime 5s ./internal/transport/
+go test -run '^$' -fuzz FuzzSessionBackpressure -fuzztime 5s ./internal/transport/
 
 echo "== shard-lease frame fuzz (5s)"
 go test -run '^$' -fuzz FuzzLeaseGrant -fuzztime 5s ./internal/transport/
@@ -83,6 +85,10 @@ go test -run '^$' -bench 'BenchmarkTransportThroughput/(gob|framed)/1MiB' \
 go test -run '^$' -bench 'BenchmarkKernelExec/compiled|BenchmarkKernelBuild' \
     -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkGatewayTenants/4x' -benchtime=1x ./internal/bench/
+# The unanchored 64x filter deliberately matches both 64x and 64x-hostile:
+# the production-traffic row (rate limits + one backpressure-ignoring
+# tenant) must keep compiling and completing.
+go test -run '^$' -bench 'BenchmarkGatewayTenants/64x' -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkGatewayShards/4shards' -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkOversubSweep/sequential/(eager\+lru|stride\+lru)/x1.5' \
     -benchtime=1x ./internal/bench/
