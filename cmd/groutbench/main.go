@@ -27,9 +27,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, recovery or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, uvmbench, recovery or all")
 	ces := flag.Int("ces", 512, "CE stream length for Fig 9's overhead measurement and the recovery figure's chain")
-	runWL := flag.String("run", "", "run one workload instead of a figure: bs, mle, cg, mv, images, deep")
+	runWL := flag.String("run", "", "run one workload instead of a figure: bs, mle, cg, mv, images, deep, or a UVMBench one (kmeans, logreg, conv, bfs, pagerank, spmv, triad, stencil2d)")
 	size := flag.String("size", "32GiB", "footprint for -run")
 	workers := flag.Int("workers", 2, "worker count for -run (0 = single-node baseline)")
 	polName := flag.String("policy", "vector-step", "policy for -run: "+strings.Join(policy.Names(), ", "))
@@ -169,6 +169,23 @@ func main() {
 			}
 		})
 	}
+	if sel("uvmbench") {
+		run("uvmbench scale-out", func() {
+			factors := workloads.DefaultSweepFactors()
+			for _, name := range []string{"spmv", "bfs", "pagerank", "triad", "kmeans"} {
+				series, pts, err := bench.FigUVMBench(name, workloads.UVMSweepConfig{})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				bench.PrintSeries(os.Stdout, fmt.Sprintf(
+					"UVMBench %s: modeled makespan (s) vs footprint over one worker's device memory",
+					name), "factor ->", "%.2f", series)
+				fmt.Printf("Cliff per fleet size (%s):\n%s\n", name,
+					bench.FmtUVMCliffs(pts, factors[len(factors)-1]))
+			}
+		})
+	}
 	if sel("recovery") {
 		run("recovery overhead", func() {
 			rep, err := bench.RecoveryOverhead(*ces)
@@ -192,7 +209,7 @@ func main() {
 		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, recovery or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1, 5, 6a, 6b, 7, 8, 9, fusion, ablation, scaling, whatif, oversub, uvmbench, recovery or all)\n", *fig)
 		os.Exit(2)
 	}
 }
@@ -204,7 +221,7 @@ func runOne(workload, sizeStr string, workers int, polName, levelName, prefetch,
 	if err != nil {
 		return err
 	}
-	w, ok := workloads.ExtendedSuite()[workload]
+	w, ok := workloads.FullSuite()[workload]
 	if !ok {
 		return fmt.Errorf("unknown workload %q", workload)
 	}

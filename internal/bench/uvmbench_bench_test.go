@@ -1,0 +1,52 @@
+package bench
+
+// Workload-level oversubscription benchmark: one sub-benchmark per
+// (workload, policy combo, fleet size, factor) cell. ns/op is harness
+// wall time (cost-only simulation); the modeled numbers ride along as
+// reported metrics — makespan_ms and the CE count — which
+// scripts/bench.sh scrapes into BENCH_workloads.json. The acceptance
+// rows compare each irregular workload's 1-worker cells against its 2-
+// and 4-worker cells: the cliff a single node falls off shifts right or
+// flattens as min-transfer-time spreads the partitions.
+
+import (
+	"fmt"
+	"testing"
+
+	"grout/internal/workloads"
+)
+
+func BenchmarkUVMBench(b *testing.B) {
+	names := []string{"spmv", "bfs", "pagerank", "triad", "kmeans"}
+	combos := [][2]string{
+		{"eager", "lru"},
+		{"adaptive", "working-set"},
+	}
+	for _, name := range names {
+		for _, combo := range combos {
+			for _, workers := range workloads.DefaultSweepWorkers() {
+				for _, factor := range workloads.DefaultSweepFactors() {
+					bname := fmt.Sprintf("%s/%s+%s/%dw/x%.1f",
+						name, combo[0], combo[1], workers, factor)
+					b.Run(bname, func(b *testing.B) {
+						var last workloads.UVMSweepPoint
+						for i := 0; i < b.N; i++ {
+							pts, err := workloads.UVMBenchSweep(workloads.UVMSweepConfig{
+								Workloads: []string{name},
+								Factors:   []float64{factor},
+								Workers:   []int{workers},
+								Combos:    [][2]string{combo},
+							})
+							if err != nil {
+								b.Fatal(err)
+							}
+							last = pts[0]
+						}
+						b.ReportMetric(float64(last.MakespanNs)/1e6, "makespan_ms")
+						b.ReportMetric(float64(last.CEs), "ces")
+					})
+				}
+			}
+		}
+	}
+}

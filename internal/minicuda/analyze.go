@@ -154,13 +154,20 @@ func (a *analyzer) setVarClass(name string, c idxClass) {
 
 func (a *analyzer) walkStmts(stmts []Stmt, record bool) {
 	for _, s := range stmts {
-		a.walkStmt(s, record, false)
+		a.walkStmt(s, record, false, false)
 	}
 }
 
 // walkStmt traverses a statement; inLoop marks loop bodies so counters
-// assigned there keep their loop character.
-func (a *analyzer) walkStmt(s Stmt, record, inLoop bool) {
+// assigned there keep their loop character. condLoad marks statements
+// guarded by a data-dependent branch (a condition that loads from an
+// array): a store there is a *partial* overwrite — threads whose branch
+// folds the other way keep the array's old bytes — so the parameter must
+// read as well as write, or the runtime would treat the launch as a full
+// overwrite and skip shipping the bytes the kernel preserves. The
+// canonical thread guard (i < n, tid and scalars only) stays a full
+// overwrite, as every kernel carries it.
+func (a *analyzer) walkStmt(s Stmt, record, inLoop, condLoad bool) {
 	switch st := s.(type) {
 	case *DeclStmt:
 		if st.Init != nil {
@@ -183,7 +190,7 @@ func (a *analyzer) walkStmt(s Stmt, record, inLoop bool) {
 			a.walkExpr(ix.Idx, record)
 			if record {
 				a.writes[ix.Base] = true
-				if st.Op != "=" {
+				if st.Op != "=" || condLoad {
 					a.reads[ix.Base] = true
 				}
 				a.recordPattern(ix.Base, a.classify(ix.Idx).pattern())
@@ -203,15 +210,16 @@ func (a *analyzer) walkStmt(s Stmt, record, inLoop bool) {
 		}
 	case *IfStmt:
 		a.walkExpr(st.Cond, record)
+		branch := condLoad || a.classify(st.Cond).hasLoad
 		for _, t := range st.Then {
-			a.walkStmt(t, record, inLoop)
+			a.walkStmt(t, record, inLoop, branch)
 		}
 		for _, e := range st.Else {
-			a.walkStmt(e, record, inLoop)
+			a.walkStmt(e, record, inLoop, branch)
 		}
 	case *ForStmt:
 		if st.Init != nil {
-			a.walkStmt(st.Init, record, inLoop)
+			a.walkStmt(st.Init, record, inLoop, condLoad)
 			// The induction variable is a loop counter.
 			if d, ok := st.Init.(*DeclStmt); ok {
 				a.setVarClass(d.Name, a.varClass[d.Name].merge(idxClass{hasLoop: true}))
@@ -222,17 +230,24 @@ func (a *analyzer) walkStmt(s Stmt, record, inLoop bool) {
 				}
 			}
 		}
-		a.walkExpr(st.Cond, record)
+		body := condLoad
+		if st.Cond != nil {
+			a.walkExpr(st.Cond, record)
+			// A data-dependent trip count gates the body's stores the same
+			// way a branch does: zero iterations preserve the old bytes.
+			body = body || a.classify(st.Cond).hasLoad
+		}
 		if st.Post != nil {
-			a.walkStmt(st.Post, record, true)
+			a.walkStmt(st.Post, record, true, body)
 		}
 		for _, b := range st.Body {
-			a.walkStmt(b, record, true)
+			a.walkStmt(b, record, true, body)
 		}
 	case *WhileStmt:
 		a.walkExpr(st.Cond, record)
+		body := condLoad || a.classify(st.Cond).hasLoad
 		for _, b := range st.Body {
-			a.walkStmt(b, record, true)
+			a.walkStmt(b, record, true, body)
 		}
 	case *ExprStmt:
 		a.walkExpr(st.X, record)

@@ -58,6 +58,31 @@ func CompileOpts(src, signature string, opts EngineOpts) (*kernels.Def, error) {
 	return compileUncached(src, signature, opts)
 }
 
+// RaceAnalysis reports the engine's static verdicts for the (single)
+// kernel in src. parallelSafe is the race analysis: every written buffer
+// is touched only at the thread's own global id (or through atomicAdd),
+// so block partitions may execute concurrently. orderSensitive reports
+// an atomicAdd accumulation whose interleaving changes the result (a
+// non-integer added value), which also forces serial execution unless
+// RelaxedAtomics is set. A kernel failing either check still executes
+// correctly — it runs on the deterministic serial path, never
+// miscompiled. Workload tests use this probe to pin which path each
+// kernel takes.
+func RaceAnalysis(src string) (parallelSafe, orderSensitive bool, err error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return false, false, err
+	}
+	if len(ks) != 1 {
+		return false, false, fmt.Errorf("minicuda: source contains %d kernels; RaceAnalysis takes one", len(ks))
+	}
+	p, err := lowerProgram(ks[0])
+	if err != nil {
+		return false, false, err
+	}
+	return p.parallelSafe, p.hasAtomic && !p.atomicValInt, nil
+}
+
 func compileUncached(src, signature string, opts EngineOpts) (*kernels.Def, error) {
 	frontendRuns.Add(1)
 	ks, err := Parse(src)

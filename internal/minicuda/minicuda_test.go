@@ -181,6 +181,71 @@ func TestAccessAnalysisSaxpy(t *testing.T) {
 	}
 }
 
+// condWriteSrc stores out[i] only when a loaded value allows it. Threads
+// whose branch folds the other way keep the array's old bytes, so the
+// analysis must report ReadWrite: declaring a full overwrite would let
+// the runtime skip shipping the bytes this kernel preserves.
+const condWriteSrc = `
+__global__ void cond_write(float *out, const float *gate, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float g = gate[i];
+        if (g > 0.0) {
+            out[i] = g * 2.0;
+        }
+    }
+}`
+
+func TestAccessAnalysisConditionalWrite(t *testing.T) {
+	def := compile(t, condWriteSrc, "")
+	accs := def.Access(nil)
+	if accs[0].Mode != memmodel.ReadWrite {
+		t.Fatalf("out mode = %v, want rw (data-dependent branch makes the store partial)", accs[0].Mode)
+	}
+	if accs[1].Mode != memmodel.Read {
+		t.Fatalf("gate mode = %v, want r", accs[1].Mode)
+	}
+}
+
+// The canonical thread guard alone stays a full overwrite — it is how
+// every kernel bounds its grid, not a data-dependent store.
+const guardOnlySrc = `
+__global__ void guard_only(float *out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        out[i] = 1.0;
+    }
+}`
+
+func TestAccessAnalysisGuardStaysFullWrite(t *testing.T) {
+	def := compile(t, guardOnlySrc, "")
+	accs := def.Access(nil)
+	if accs[0].Mode != memmodel.Write {
+		t.Fatalf("out mode = %v, want w (thread guard is not a partial store)", accs[0].Mode)
+	}
+}
+
+// A data-dependent trip count gates the body's stores like a branch:
+// zero iterations preserve old bytes.
+const condLoopSrc = `
+__global__ void cond_loop(float *out, const float *len, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int m = (int)len[i];
+        for (int j = 0; j < m; j++) {
+            out[i] = (float)j;
+        }
+    }
+}`
+
+func TestAccessAnalysisConditionalLoopWrite(t *testing.T) {
+	def := compile(t, condLoopSrc, "")
+	accs := def.Access(nil)
+	if accs[0].Mode != memmodel.ReadWrite {
+		t.Fatalf("out mode = %v, want rw (data-dependent trip count makes the store partial)", accs[0].Mode)
+	}
+}
+
 const gemvSrc = `
 __global__ void gemv(float *y, const float *A, const float *x, int rows, int cols) {
     int row = blockIdx.x * blockDim.x + threadIdx.x;

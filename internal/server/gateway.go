@@ -62,6 +62,15 @@ type Options struct {
 	// HandshakeTimeout bounds the protocol hello on accept. 0 means
 	// transport.DefaultDialTimeout, negative disables.
 	HandshakeTimeout time.Duration
+	// AcceptLoops is the number of goroutines blocked in Accept on the
+	// shared listener. One loop serializes the accept+handshake
+	// hand-off, so a dial burst (a fleet of clients reconnecting after a
+	// gateway restart) queues behind the kernel's accept backlog; N
+	// loops pull from it concurrently, the accept-side analog of the
+	// per-shard drains. 0 or 1 means one loop; values above the shard
+	// count are fine — loops are cheap (a goroutine apiece) and the
+	// kernel serializes Accept itself.
+	AcceptLoops int
 	// Logger, optional.
 	Logger *log.Logger
 }
@@ -273,8 +282,14 @@ func NewSharded(ctls []*core.Controller, route RouteFunc, addr string, opt Optio
 		sh.drainCond.L = &sh.mu
 		g.shards = append(g.shards, sh)
 	}
-	g.wg.Add(1 + len(g.shards))
-	go g.acceptLoop()
+	accepts := opt.AcceptLoops
+	if accepts < 1 {
+		accepts = 1
+	}
+	g.wg.Add(accepts + len(g.shards))
+	for i := 0; i < accepts; i++ {
+		go g.acceptLoop()
+	}
 	for _, sh := range g.shards {
 		go g.drainLoop(sh)
 	}

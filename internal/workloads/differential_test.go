@@ -64,7 +64,7 @@ func runDifferential(t *testing.T, w *Workload, optimize bool) ([][]byte, string
 	s := &AsyncGrout{Ctl: ctl}
 	rec := &recorder{Session: s, live: make(map[dag.ArrayID]bool)}
 	errText := ""
-	if err := w.Build(rec, Params{Footprint: 4 * memmodel.MiB, Blocks: 2}); err != nil {
+	if err := w.Build(rec, gateParams(w.Name)); err != nil {
 		errText = err.Error()
 	}
 	if err := s.Wait(); err != nil && errText == "" {
@@ -89,7 +89,7 @@ func runDifferential(t *testing.T, w *Workload, optimize bool) ([][]byte, string
 }
 
 func TestOptimizerDifferentialSuite(t *testing.T) {
-	suite := ExtendedSuite()
+	suite := FullSuite()
 	names := make([]string, 0, len(suite))
 	for name := range suite {
 		names = append(names, name)

@@ -40,7 +40,7 @@ func runPolicyDifferential(t *testing.T, w *Workload, prefetch, evict string) ([
 	s := &AsyncGrout{Ctl: ctl}
 	rec := &recorder{Session: s, live: make(map[dag.ArrayID]bool)}
 	errText := ""
-	if err := w.Build(rec, Params{Footprint: 4 * memmodel.MiB, Blocks: 2}); err != nil {
+	if err := w.Build(rec, gateParams(w.Name)); err != nil {
 		errText = err.Error()
 	}
 	if err := s.Wait(); err != nil && errText == "" {
@@ -65,7 +65,7 @@ func runPolicyDifferential(t *testing.T, w *Workload, prefetch, evict string) ([
 }
 
 func TestMemoryPolicyDifferentialSuite(t *testing.T) {
-	suite := ExtendedSuite()
+	suite := FullSuite()
 	names := make([]string, 0, len(suite))
 	for name := range suite {
 		names = append(names, name)

@@ -30,6 +30,11 @@ type Session interface {
 	Buffer(id dag.ArrayID) BufferLike
 	// Free releases a framework-managed array everywhere.
 	Free(id dag.ArrayID) error
+	// BuildKernel compiles a mini-CUDA kernel from source (paper
+	// Listing 1's buildkernel) and returns its registered name for
+	// Launch. Building an already-registered kernel is a cheap cache
+	// hit on every backend.
+	BuildKernel(src, signature string) (string, error)
 	// Elapsed reports the workload makespan so far.
 	Elapsed() sim.VirtualTime
 }
@@ -96,6 +101,15 @@ func (s *SingleNode) Buffer(id dag.ArrayID) BufferLike {
 // Free implements Session.
 func (s *SingleNode) Free(id dag.ArrayID) error { return s.RT.FreeArray(id) }
 
+// BuildKernel implements Session.
+func (s *SingleNode) BuildKernel(src, signature string) (string, error) {
+	def, err := s.RT.BuildKernel(src, signature)
+	if err != nil {
+		return "", err
+	}
+	return def.Name, nil
+}
+
 // Elapsed implements Session.
 func (s *SingleNode) Elapsed() sim.VirtualTime { return s.RT.Elapsed() }
 
@@ -142,6 +156,16 @@ func (g *Grout) Buffer(id dag.ArrayID) BufferLike {
 
 // Free implements Session.
 func (g *Grout) Free(id dag.ArrayID) error { return g.Ctl.FreeArray(id) }
+
+// BuildKernel implements Session: the controller compiles once and
+// broadcasts the kernel to every worker.
+func (g *Grout) BuildKernel(src, signature string) (string, error) {
+	def, err := g.Ctl.BuildKernel(src, signature)
+	if err != nil {
+		return "", err
+	}
+	return def.Name, nil
+}
 
 // Elapsed implements Session.
 func (g *Grout) Elapsed() sim.VirtualTime { return g.Ctl.Elapsed() }
@@ -235,6 +259,20 @@ func (g *AsyncGrout) Buffer(id dag.ArrayID) BufferLike {
 		return nil
 	}
 	return arr.Buf
+}
+
+// BuildKernel implements Session; it is a synchronization point (the
+// controller drains its pipeline before registering, and the sticky
+// error must win over any compile error).
+func (g *AsyncGrout) BuildKernel(src, signature string) (string, error) {
+	if err := g.reap(true); err != nil {
+		return "", err
+	}
+	def, err := g.Ctl.BuildKernel(src, signature)
+	if err != nil {
+		return "", err
+	}
+	return def.Name, nil
 }
 
 // Free implements Session; it is a synchronization point.

@@ -18,7 +18,6 @@ import (
 	"grout/internal/cluster"
 	"grout/internal/core"
 	"grout/internal/dag"
-	"grout/internal/memmodel"
 	"grout/internal/policy"
 	"grout/internal/shard"
 )
@@ -56,7 +55,7 @@ func runOnShard(ctl *core.Controller, w *Workload) ([][]byte, string) {
 	s := &AsyncGrout{Ctl: ctl}
 	rec := &recorder{Session: s, live: make(map[dag.ArrayID]bool)}
 	errText := ""
-	if err := w.Build(rec, Params{Footprint: 4 * memmodel.MiB, Blocks: 2}); err != nil {
+	if err := w.Build(rec, gateParams(w.Name)); err != nil {
 		errText = err.Error()
 	}
 	if err := s.Wait(); err != nil && errText == "" {
@@ -82,7 +81,7 @@ func runOnShard(ctl *core.Controller, w *Workload) ([][]byte, string) {
 
 func shardDifferential(t *testing.T, chaos func() *core.ChaosOptions) {
 	t.Helper()
-	suite := ExtendedSuite()
+	suite := FullSuite()
 	names := make([]string, 0, len(suite))
 	for name := range suite {
 		names = append(names, name)

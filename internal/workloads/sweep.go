@@ -43,6 +43,12 @@ type SweepConfig struct {
 	Combos [][2]string
 	// Launches is the number of kernel launches per cell (default 8).
 	Launches int
+	// Device overrides the swept GPU (default a V100). CI boxes point
+	// this at a scaled-down spec so the ladder stays cheap.
+	Device *gpusim.DeviceSpec
+	// HostMemory overrides the node's host memory (default 512 GiB); it
+	// bounds how deep the eviction target can spill.
+	HostMemory memmodel.Bytes
 }
 
 // DefaultSweepFactors is the footprint ladder of the oversubscription
@@ -83,6 +89,13 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	if c.Launches <= 0 {
 		c.Launches = 8
 	}
+	if c.Device == nil {
+		d := gpusim.V100Spec("sweep/gpu0")
+		c.Device = &d
+	}
+	if c.HostMemory <= 0 {
+		c.HostMemory = 512 * memmodel.GiB
+	}
 	return c
 }
 
@@ -96,7 +109,7 @@ func OversubscriptionSweep(cfg SweepConfig) ([]SweepPoint, error) {
 	for _, combo := range cfg.Combos {
 		for _, pattern := range cfg.Patterns {
 			for _, factor := range cfg.Factors {
-				pt, err := sweepCell(factor, pattern, combo, cfg.Launches)
+				pt, err := sweepCell(cfg, factor, pattern, combo)
 				if err != nil {
 					return nil, err
 				}
@@ -107,11 +120,12 @@ func OversubscriptionSweep(cfg SweepConfig) ([]SweepPoint, error) {
 	return out, nil
 }
 
-func sweepCell(factor float64, pattern memmodel.Pattern, combo [2]string, launches int) (SweepPoint, error) {
+func sweepCell(cfg SweepConfig, factor float64, pattern memmodel.Pattern, combo [2]string) (SweepPoint, error) {
+	launches := cfg.Launches
 	spec := gpusim.NodeSpec{
 		Name:       "sweep",
-		Devices:    []gpusim.DeviceSpec{gpusim.V100Spec("sweep/gpu0")},
-		HostMemory: 512 * memmodel.GiB,
+		Devices:    []gpusim.DeviceSpec{*cfg.Device},
+		HostMemory: cfg.HostMemory,
 	}
 	n := gpusim.NewNode(spec)
 	if err := n.UseMemoryPolicies(combo[0], combo[1]); err != nil {

@@ -1,0 +1,1073 @@
+package workloads
+
+// The UVMBench-style workload suite (ROADMAP item 4): ML, graph, linear
+// algebra and streaming workloads written in mini-CUDA against the
+// Session interface, so every entry runs unmodified embedded (core
+// controller), over a solo TCP fleet, or through the multi-tenant
+// gateway — the three deployment modes of the system.
+//
+// The irregular members are the point of the suite:
+//
+//   - spmv and pagerank gather through CSR column indices
+//     (x[colidx[j]]): the static analyzer classifies those loads as
+//     Random, which blinds the pattern-based prefetchers and forces the
+//     gpusim policies onto the online AllocHistory fault signal.
+//   - bfs writes dist[v] at a *loaded* index and kmeans/logreg
+//     accumulate through float atomicAdd: the race analysis cannot
+//     prove block partitions independent, so those kernels fall back to
+//     serial execution — deterministic, never miscompiled — while the
+//     rest of the suite keeps the parallel engine.
+//
+// Every workload generates its large operands on the GPU with small
+// deterministic kernels (like cg_matgen): the sweep's cost-only runs
+// never ship giant buffers from the controller, placement policies see
+// write-only producer CEs they are free to spread, and numeric runs
+// stay bit-identical across engines and deployments.
+//
+// Generator launches are ordered array-major (every partition's rowptr,
+// then every partition's colidx, ...), not partition-major. Input-free
+// CEs are placed by the online policies' round-robin exploration, so
+// each pass of exactly `blocks` launches advances the explorer one full
+// lap: when blocks is a multiple of the fleet size (the sweep default,
+// 8 over 1/2/4 workers), partition b's arrays all land on the same
+// worker and the partition's compute CEs exploit instead of bouncing.
+// Partition-major generation would deal one partition's arrays across
+// the fleet and leave no node above the viability threshold — every
+// node then accretes replicas of everything, which is exactly the
+// oversubscription pathology the sweep is trying to isolate.
+
+import (
+	"fmt"
+
+	"grout/internal/core"
+	"grout/internal/dag"
+	"grout/internal/memmodel"
+)
+
+// UVMSuite returns the UVMBench-style workloads keyed by name:
+// ML (kmeans, logreg, conv), graph (bfs, pagerank), linear algebra
+// (spmv) and streaming (triad, stencil2d).
+func UVMSuite() map[string]*Workload {
+	return map[string]*Workload{
+		"kmeans":    KMeans(),
+		"logreg":    LogReg(),
+		"conv":      Conv(),
+		"bfs":       BFS(),
+		"pagerank":  PageRank(),
+		"spmv":      SpMV(),
+		"triad":     Triad(),
+		"stencil2d": Stencil2D(),
+	}
+}
+
+// FullSuite returns every workload: the paper's suite, the extension
+// workloads, and the UVMBench-style suite. The differential gates run
+// over this set.
+func FullSuite() map[string]*Workload {
+	s := ExtendedSuite()
+	for name, w := range UVMSuite() {
+		s[name] = w
+	}
+	return s
+}
+
+// ---- shared mini-CUDA building blocks ----
+
+// uvmGenFSrc fills a float array from a deterministic integer lattice:
+// x[i] = ((i*mul + off) % md) * scale. With mul=0 it zeroes.
+const uvmGenFSrc = `
+extern "C" __global__ void uvm_genf(float *x, int mul, int off, int md, float scale, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        x[i] = (float)((i * mul + off) % md) * scale;
+    }
+}`
+
+const uvmGenFSig = "pointer float, sint32, sint32, sint32, float, sint32"
+
+// uvmGenISrc is the integer-array twin of uvm_genf.
+const uvmGenISrc = `
+extern "C" __global__ void uvm_geni(int *x, int mul, int off, int md, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        x[i] = (i * mul + off) % md;
+    }
+}`
+
+const uvmGenISig = "pointer int, sint32, sint32, sint32, sint32"
+
+// csrGenSrc generates a fixed-degree CSR adjacency deterministically:
+// rowptr[i] = i*deg and, per edge slot, a column scattered over [0, cols)
+// by a small affine lattice — data-dependent enough that consumers must
+// gather through it, deterministic enough to verify on the host.
+const csrRowGenSrc = `
+extern "C" __global__ void csr_rowgen(int *rowptr, int deg, int rows) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i <= rows) {
+        rowptr[i] = i * deg;
+    }
+}`
+
+const csrRowGenSig = "pointer int, sint32, sint32"
+
+const csrColGenSrc = `
+extern "C" __global__ void csr_colgen(int *colidx, int deg, int cols, int seed, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int r = i / deg;
+        int k = i % deg;
+        colidx[i] = (r * 7 + k * 461 + seed * 97 + 1) % cols;
+    }
+}`
+
+const csrColGenSig = "pointer int, sint32, sint32, sint32, sint32"
+
+// kernelSrc is one mini-CUDA kernel a workload builds at session start.
+type kernelSrc struct {
+	src, sig string
+}
+
+// buildAll compiles each kernel through the session's buildkernel path;
+// repeat builds are compile-cache hits on every backend.
+func buildAll(s Session, ks ...kernelSrc) error {
+	for _, k := range ks {
+		if _, err := s.BuildKernel(k.src, k.sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grid1d sizes a 1-D launch covering n threads at the given block size,
+// with no excess blocks: race-safe kernels index exactly [0, n).
+func grid1d(n int64, block int) int {
+	g := (n + int64(block) - 1) / int64(block)
+	if g < 1 {
+		g = 1
+	}
+	return int(g)
+}
+
+const uvmBlock = 256
+
+// launchN launches kernel over n threads (block size 256).
+func launchN(s Session, kernel string, n int64, args ...any) error {
+	refs := make([]core.ArgRef, 0, len(args))
+	for _, a := range args {
+		switch v := a.(type) {
+		case dag.ArrayID:
+			refs = append(refs, arr(v))
+		case int:
+			refs = append(refs, num(float64(v)))
+		case int64:
+			refs = append(refs, num(float64(v)))
+		case float64:
+			refs = append(refs, num(v))
+		default:
+			return fmt.Errorf("launchN: bad arg %T", a)
+		}
+	}
+	return s.Launch(kernel, grid1d(n, uvmBlock), uvmBlock, refs...)
+}
+
+// ---- streaming: stream triad ----
+
+const triadSrc = `
+extern "C" __global__ void triad3(float *a, const float *b, const float *c, float s, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        a[i] = b[i] + s * c[i];
+    }
+}`
+
+const triadSig = "pointer float, const pointer float, const pointer float, float, sint32"
+
+// Triad is the STREAM triad: a = b + s*c over independent partitions.
+// Pure sequential bandwidth — the workload whose oversubscription cliff
+// the stride prefetcher flattens hardest.
+func Triad() *Workload {
+	return &Workload{
+		Name:        "triad",
+		Description: "STREAM triad a=b+s*c (UVMBench streaming)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			iters := p.iterations(4)
+			per := int64(p.Footprint) / int64(3*blocks) / 4
+			if per < 1 {
+				return fmt.Errorf("triad: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{triadSrc, triadSig}); err != nil {
+				return err
+			}
+			as := make([]dag.ArrayID, blocks)
+			bs := make([]dag.ArrayID, blocks)
+			cs := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if as[b], err = s.NewArray(memmodel.Float32, per); err != nil {
+					return err
+				}
+				if bs[b], err = s.NewArray(memmodel.Float32, per); err != nil {
+					return err
+				}
+				if cs[b], err = s.NewArray(memmodel.Float32, per); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", per, bs[b], 3, b, 251, 0.5, per); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", per, cs[b], 7, b+1, 127, 0.25, per); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for it := 0; it < iters; it++ {
+					if err := launchN(s, "triad3", per, as[b], bs[b], cs[b], 2.0, per); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(as[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- streaming: 2-D 5-point stencil ----
+
+const stencil5Src = `
+extern "C" __global__ void stencil5(float *out, const float *in, int w, int h) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int n = w * h;
+    if (i < n) {
+        int x = i % w;
+        int y = i / w;
+        float acc = in[i];
+        if (x > 0) { acc += in[i - 1]; }
+        if (x < w - 1) { acc += in[i + 1]; }
+        if (y > 0) { acc += in[i - w]; }
+        if (y < h - 1) { acc += in[i + w]; }
+        out[i] = 0.2 * acc;
+    }
+}`
+
+const stencil5Sig = "pointer float, const pointer float, sint32, sint32"
+
+// Stencil2D iterates a 5-point Jacobi stencil over a 2-D plate,
+// ping-ponging between two buffers per partition.
+func Stencil2D() *Workload {
+	const width = int64(1024)
+	return &Workload{
+		Name:        "stencil2d",
+		Description: "2-D 5-point Jacobi stencil, ping-pong buffers (UVMBench streaming)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			iters := p.iterations(4)
+			per := int64(p.Footprint) / int64(2*blocks) / 4
+			w := width
+			if per < 2*w {
+				w = 16 // keep tiny test footprints 2-D
+			}
+			h := per / w
+			if h < 2 {
+				return fmt.Errorf("stencil2d: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			n := w * h
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{stencil5Src, stencil5Sig}); err != nil {
+				return err
+			}
+			cur := make([]dag.ArrayID, blocks)
+			nxt := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if cur[b], err = s.NewArray(memmodel.Float32, n); err != nil {
+					return err
+				}
+				if nxt[b], err = s.NewArray(memmodel.Float32, n); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", n, cur[b], 13, b, 255, 1.0, n); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				c, x := cur[b], nxt[b]
+				for it := 0; it < iters; it++ {
+					if err := launchN(s, "stencil5", n, x, c, w, h); err != nil {
+						return err
+					}
+					c, x = x, c
+				}
+				if err := s.HostRead(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- linear algebra: SpMV over CSR ----
+
+const spmvRowsSrc = `
+extern "C" __global__ void spmv_rows(float *y, const int *rowptr, const int *colidx, const float *vals, const float *x, int rows) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < rows) {
+        float sum = 0.0;
+        int e0 = rowptr[i];
+        int e1 = rowptr[i + 1];
+        for (int j = e0; j < e1; j++) {
+            sum += vals[j] * x[colidx[j]];
+        }
+        y[i] = sum;
+    }
+}`
+
+const spmvRowsSig = "pointer float, const pointer int, const pointer int, const pointer float, const pointer float, sint32"
+
+// spmvDegree is the fixed row degree of the synthetic CSR matrices.
+const spmvDegree = 8
+
+// SpMV is a row-partitioned sparse matrix-vector product over CSR: each
+// row block owns its rowptr/colidx/vals and gathers the shared dense x
+// through data-dependent column indices — the Random-pattern access the
+// static analyzer cannot see past, so prefetch policies must learn from
+// the online fault history.
+func SpMV() *Workload {
+	return &Workload{
+		Name:        "spmv",
+		Description: "CSR sparse matrix-vector product, indexed gather (UVMBench linear algebra)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			iters := p.iterations(4)
+			// Footprint per column: deg*(col+val) + y + rowptr + x share.
+			cols := int64(p.Footprint) / int64(spmvDegree*8+12)
+			rowsB := cols / int64(blocks)
+			if rowsB < 1 {
+				return fmt.Errorf("spmv: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			cols = rowsB * int64(blocks)
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{csrRowGenSrc, csrRowGenSig},
+				kernelSrc{csrColGenSrc, csrColGenSig},
+				kernelSrc{spmvRowsSrc, spmvRowsSig}); err != nil {
+				return err
+			}
+			x, err := s.NewArray(memmodel.Float32, cols)
+			if err != nil {
+				return err
+			}
+			if err := launchN(s, "uvm_genf", cols, x, 5, 1, 64, 0.125, cols); err != nil {
+				return err
+			}
+			edges := rowsB * spmvDegree
+			rowptr := make([]dag.ArrayID, blocks)
+			colidx := make([]dag.ArrayID, blocks)
+			vals := make([]dag.ArrayID, blocks)
+			ys := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if rowptr[b], err = s.NewArray(memmodel.Int32, rowsB+1); err != nil {
+					return err
+				}
+				if colidx[b], err = s.NewArray(memmodel.Int32, edges); err != nil {
+					return err
+				}
+				if vals[b], err = s.NewArray(memmodel.Float32, edges); err != nil {
+					return err
+				}
+				if ys[b], err = s.NewArray(memmodel.Float32, rowsB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_rowgen", rowsB+1, rowptr[b], spmvDegree, rowsB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_colgen", edges, colidx[b], spmvDegree, cols, b, edges); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", edges, vals[b], 11, b, 32, 0.0625, edges); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for it := 0; it < iters; it++ {
+					if err := launchN(s, "spmv_rows", rowsB, ys[b], rowptr[b], colidx[b], vals[b], x, rowsB); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(ys[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- graph: BFS ----
+
+const bfsInitSrc = `
+extern "C" __global__ void bfs_init(int *dist, int src, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        if (i == src) {
+            dist[i] = 0;
+        } else {
+            dist[i] = -1;
+        }
+    }
+}`
+
+const bfsInitSig = "pointer int, sint32, sint32"
+
+// bfs_step relaxes one frontier level: threads whose vertex sits on the
+// current frontier (dist == depth) scatter depth+1 into unvisited
+// neighbors. The writes land at *loaded* indices (dist[v]), so the race
+// analysis refuses to parallelize the grid and the kernel runs serial —
+// the correct, deterministic fallback for an indirect scatter.
+const bfsStepSrc = `
+extern "C" __global__ void bfs_step(int *dist, int *frontier, const int *rowptr, const int *colidx, int depth, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        if (dist[i] == depth) {
+            int e0 = rowptr[i];
+            int e1 = rowptr[i + 1];
+            for (int j = e0; j < e1; j++) {
+                int v = colidx[j];
+                if (dist[v] < 0) {
+                    dist[v] = depth + 1;
+                    frontier[depth] = frontier[depth] + 1;
+                }
+            }
+        }
+    }
+}`
+
+const bfsStepSig = "pointer int, pointer int, const pointer int, const pointer int, sint32, sint32"
+
+// bfsDegree is the fixed out-degree of the synthetic graphs.
+const bfsDegree = 8
+
+// BFS is level-synchronous breadth-first search over fixed-degree CSR
+// graphs, one independent graph per partition (batched multi-source
+// BFS). The frontier scatter is the suite's serial-fallback showcase.
+func BFS() *Workload {
+	return &Workload{
+		Name:        "bfs",
+		Description: "level-synchronous BFS, CSR frontier scatter (UVMBench graph)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			levels := p.iterations(8)
+			// Per vertex: dist + rowptr + deg columns + frontier share.
+			nB := int64(p.Footprint) / int64(blocks) / int64(bfsDegree*4+12)
+			if nB < 2 {
+				return fmt.Errorf("bfs: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			if err := buildAll(s,
+				kernelSrc{uvmGenISrc, uvmGenISig},
+				kernelSrc{csrRowGenSrc, csrRowGenSig},
+				kernelSrc{csrColGenSrc, csrColGenSig},
+				kernelSrc{bfsInitSrc, bfsInitSig},
+				kernelSrc{bfsStepSrc, bfsStepSig}); err != nil {
+				return err
+			}
+			edges := nB * bfsDegree
+			rowptr := make([]dag.ArrayID, blocks)
+			colidx := make([]dag.ArrayID, blocks)
+			dist := make([]dag.ArrayID, blocks)
+			frontier := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if rowptr[b], err = s.NewArray(memmodel.Int32, nB+1); err != nil {
+					return err
+				}
+				if colidx[b], err = s.NewArray(memmodel.Int32, edges); err != nil {
+					return err
+				}
+				if dist[b], err = s.NewArray(memmodel.Int32, nB); err != nil {
+					return err
+				}
+				if frontier[b], err = s.NewArray(memmodel.Int32, int64(levels)); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_rowgen", nB+1, rowptr[b], bfsDegree, nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_colgen", edges, colidx[b], bfsDegree, nB, b, edges); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_geni", int64(levels), frontier[b], 0, 0, 1, levels); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "bfs_init", nB, dist[b], 0, nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for depth := 0; depth < levels; depth++ {
+					if err := launchN(s, "bfs_step", nB, dist[b], frontier[b], rowptr[b], colidx[b], depth, nB); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(dist[b]); err != nil {
+					return err
+				}
+				if err := s.HostRead(frontier[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- graph: PageRank ----
+
+// pr_gather pulls rank mass along in-edges: a pure gather through the
+// CSR column indices (Random pattern), race-free because every thread
+// writes only next[i] at its own global id — the parallel counterpoint
+// to bfs_step's serial scatter.
+const prGatherSrc = `
+extern "C" __global__ void pr_gather(float *next, const int *rowptr, const int *colidx, const float *rank, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float sum = 0.0;
+        int e0 = rowptr[i];
+        int e1 = rowptr[i + 1];
+        for (int j = e0; j < e1; j++) {
+            sum += rank[colidx[j]];
+        }
+        next[i] = sum;
+    }
+}`
+
+const prGatherSig = "pointer float, const pointer int, const pointer int, const pointer float, sint32"
+
+const prApplySrc = `
+extern "C" __global__ void pr_apply(float *rank, const float *next, float damp, float base, float invdeg, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        rank[i] = base + damp * next[i] * invdeg;
+    }
+}`
+
+const prApplySig = "pointer float, const pointer float, float, float, float, sint32"
+
+// prDegree is the fixed (in- and out-) degree of the rank graphs.
+const prDegree = 8
+
+// PageRank is pull-style PageRank over a fixed-degree graph partitioned
+// into row blocks: each iteration reassembles the global rank vector
+// from its blocks (gather tree, as in CG), gathers along in-edges, and
+// applies the damped update per block.
+func PageRank() *Workload {
+	return &Workload{
+		Name:        "pagerank",
+		Description: "pull-based PageRank, CSR indexed gather (UVMBench graph)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			iters := p.iterations(4)
+			// Per vertex: rank + next + rowptr + deg columns (+ gather
+			// temporaries of about one rank vector).
+			nB := int64(p.Footprint) / int64(blocks) / int64(prDegree*4+16)
+			if nB < 1 {
+				return fmt.Errorf("pagerank: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			n := nB * int64(blocks)
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{csrRowGenSrc, csrRowGenSig},
+				kernelSrc{csrColGenSrc, csrColGenSig},
+				kernelSrc{prGatherSrc, prGatherSig},
+				kernelSrc{prApplySrc, prApplySig}); err != nil {
+				return err
+			}
+			rank := make([]dag.ArrayID, blocks)
+			next := make([]dag.ArrayID, blocks)
+			rowptr := make([]dag.ArrayID, blocks)
+			colidx := make([]dag.ArrayID, blocks)
+			lens := make([]int64, blocks)
+			edges := nB * prDegree
+			for b := 0; b < blocks; b++ {
+				lens[b] = nB
+				var err error
+				if rank[b], err = s.NewArray(memmodel.Float32, nB); err != nil {
+					return err
+				}
+				if next[b], err = s.NewArray(memmodel.Float32, nB); err != nil {
+					return err
+				}
+				if rowptr[b], err = s.NewArray(memmodel.Int32, nB+1); err != nil {
+					return err
+				}
+				if colidx[b], err = s.NewArray(memmodel.Int32, edges); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				// rank starts uniform 1/n: (i*0+1)%2 * (1/n).
+				if err := launchN(s, "uvm_genf", nB, rank[b], 0, 1, 2, 1.0/float64(n), nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_rowgen", nB+1, rowptr[b], prDegree, nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "csr_colgen", edges, colidx[b], prDegree, n, b, edges); err != nil {
+					return err
+				}
+			}
+			gather, err := newGatherTree(s, rank, lens)
+			if err != nil {
+				return err
+			}
+			const damp = 0.85
+			base := (1 - damp) / float64(n)
+			for it := 0; it < iters; it++ {
+				if err := gather.run(s); err != nil {
+					return err
+				}
+				for b := 0; b < blocks; b++ {
+					if err := launchN(s, "pr_gather", nB, next[b], rowptr[b], colidx[b], gather.root, nB); err != nil {
+						return err
+					}
+				}
+				for b := 0; b < blocks; b++ {
+					if err := launchN(s, "pr_apply", nB, rank[b], next[b], damp, base, 1.0/float64(prDegree), nB); err != nil {
+						return err
+					}
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := s.HostRead(rank[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- ML: k-means ----
+
+const kmAssignSrc = `
+extern "C" __global__ void km_assign(int *assign, const float *x, const float *cent, int k, int d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int best = 0;
+        float bestd = 0.0;
+        for (int c = 0; c < k; c++) {
+            float dist = 0.0;
+            for (int j = 0; j < d; j++) {
+                float diff = x[i * d + j] - cent[c * d + j];
+                dist += diff * diff;
+            }
+            if (c == 0 || dist < bestd) {
+                bestd = dist;
+                best = c;
+            }
+        }
+        assign[i] = best;
+    }
+}`
+
+const kmAssignSig = "pointer int, const pointer float, const pointer float, sint32, sint32, sint32"
+
+// km_accum scatters every point into its cluster's running sum through
+// float atomicAdd: accumulation order changes float results, so the
+// engine serializes the kernel (deterministic) rather than miscompile.
+const kmAccumSrc = `
+extern "C" __global__ void km_accum(float *sums, int *counts, const float *x, const int *assign, int d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int c = assign[i];
+        for (int j = 0; j < d; j++) {
+            atomicAdd(&sums[c * d + j], x[i * d + j]);
+        }
+        atomicAdd(&counts[c], 1);
+    }
+}`
+
+const kmAccumSig = "pointer float, pointer int, const pointer float, const pointer int, sint32, sint32"
+
+const kmRecenterSrc = `
+extern "C" __global__ void km_recenter(float *cent, const float *sums, const int *counts, int d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int c = i / d;
+        float cnt = (float)counts[c];
+        if (cnt > 0.0) {
+            cent[i] = sums[i] / cnt;
+        }
+    }
+}`
+
+const kmRecenterSig = "pointer float, const pointer float, const pointer int, sint32, sint32"
+
+// kmK and kmDims shape the k-means problem.
+const (
+	kmK    = 8
+	kmDims = 16
+)
+
+// KMeans is Lloyd's algorithm over row-partitioned points with
+// per-partition centroid replicas: assign (parallel), accumulate
+// (serial — float atomic scatter), recenter (parallel), iterated.
+func KMeans() *Workload {
+	return &Workload{
+		Name:        "kmeans",
+		Description: "k-means clustering, atomic scatter accumulate (UVMBench ML)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			iters := p.iterations(3)
+			nB := int64(p.Footprint) / int64(blocks) / int64(kmDims*4+4)
+			if nB < 1 {
+				return fmt.Errorf("kmeans: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{uvmGenISrc, uvmGenISig},
+				kernelSrc{kmAssignSrc, kmAssignSig},
+				kernelSrc{kmAccumSrc, kmAccumSig},
+				kernelSrc{kmRecenterSrc, kmRecenterSig}); err != nil {
+				return err
+			}
+			const kd = int64(kmK * kmDims)
+			xs := make([]dag.ArrayID, blocks)
+			cent := make([]dag.ArrayID, blocks)
+			sums := make([]dag.ArrayID, blocks)
+			counts := make([]dag.ArrayID, blocks)
+			assign := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if xs[b], err = s.NewArray(memmodel.Float32, nB*kmDims); err != nil {
+					return err
+				}
+				if cent[b], err = s.NewArray(memmodel.Float32, kd); err != nil {
+					return err
+				}
+				if sums[b], err = s.NewArray(memmodel.Float32, kd); err != nil {
+					return err
+				}
+				if counts[b], err = s.NewArray(memmodel.Int32, kmK); err != nil {
+					return err
+				}
+				if assign[b], err = s.NewArray(memmodel.Int32, nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", nB*kmDims, xs[b], 29, b*3+1, 101, 0.01, nB*kmDims); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", kd, cent[b], 17, b, 101, 0.01, kd); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for it := 0; it < iters; it++ {
+					if err := launchN(s, "km_assign", nB, assign[b], xs[b], cent[b], kmK, kmDims, nB); err != nil {
+						return err
+					}
+					if err := launchN(s, "uvm_genf", kd, sums[b], 0, 0, 1, 0.0, kd); err != nil {
+						return err
+					}
+					if err := launchN(s, "uvm_geni", kmK, counts[b], 0, 0, 1, kmK); err != nil {
+						return err
+					}
+					if err := launchN(s, "km_accum", nB, sums[b], counts[b], xs[b], assign[b], kmDims, nB); err != nil {
+						return err
+					}
+					if err := launchN(s, "km_recenter", kd, cent[b], sums[b], counts[b], kmDims, kd); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(cent[b]); err != nil {
+					return err
+				}
+				if err := s.HostRead(assign[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- ML: logistic regression ----
+
+const lrFwdSrc = `
+extern "C" __global__ void lr_fwd(float *p, const float *x, const float *w, int d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float z = 0.0;
+        for (int j = 0; j < d; j++) {
+            z += x[i * d + j] * w[j];
+        }
+        p[i] = 1.0 / (1.0 + expf(-z));
+    }
+}`
+
+const lrFwdSig = "pointer float, const pointer float, const pointer float, sint32, sint32"
+
+// lr_grad accumulates the batch gradient through float atomicAdd — like
+// km_accum, proven order-sensitive and executed serially.
+const lrGradSrc = `
+extern "C" __global__ void lr_grad(float *grad, const float *x, const float *p, const float *y, int d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float e = p[i] - y[i];
+        for (int j = 0; j < d; j++) {
+            atomicAdd(&grad[j], e * x[i * d + j]);
+        }
+    }
+}`
+
+const lrGradSig = "pointer float, const pointer float, const pointer float, const pointer float, sint32, sint32"
+
+const lrStepSrc = `
+extern "C" __global__ void lr_step(float *w, const float *grad, float lr, int d) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < d) {
+        w[i] = w[i] - lr * grad[i];
+    }
+}`
+
+const lrStepSig = "pointer float, const pointer float, float, sint32"
+
+// lrDims is the logistic-regression feature width.
+const lrDims = 32
+
+// LogReg is batch-gradient logistic regression over row-partitioned
+// examples with per-partition weight replicas: forward (parallel),
+// gradient (serial — float atomic accumulate), step (parallel).
+func LogReg() *Workload {
+	return &Workload{
+		Name:        "logreg",
+		Description: "logistic regression, batch gradient descent (UVMBench ML)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			epochs := p.iterations(3)
+			nB := int64(p.Footprint) / int64(blocks) / int64(lrDims*4+8)
+			if nB < 1 {
+				return fmt.Errorf("logreg: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{lrFwdSrc, lrFwdSig},
+				kernelSrc{lrGradSrc, lrGradSig},
+				kernelSrc{lrStepSrc, lrStepSig}); err != nil {
+				return err
+			}
+			xs := make([]dag.ArrayID, blocks)
+			ys := make([]dag.ArrayID, blocks)
+			ws := make([]dag.ArrayID, blocks)
+			prs := make([]dag.ArrayID, blocks)
+			grads := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if xs[b], err = s.NewArray(memmodel.Float32, nB*lrDims); err != nil {
+					return err
+				}
+				if ys[b], err = s.NewArray(memmodel.Float32, nB); err != nil {
+					return err
+				}
+				if ws[b], err = s.NewArray(memmodel.Float32, lrDims); err != nil {
+					return err
+				}
+				if prs[b], err = s.NewArray(memmodel.Float32, nB); err != nil {
+					return err
+				}
+				if grads[b], err = s.NewArray(memmodel.Float32, lrDims); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", nB*lrDims, xs[b], 31, b*7+3, 97, 0.01, nB*lrDims); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", nB, ys[b], 1, b, 2, 1.0, nB); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", lrDims, ws[b], 0, 0, 1, 0.0, lrDims); err != nil {
+					return err
+				}
+			}
+			lr := 0.1 / float64(nB)
+			for b := 0; b < blocks; b++ {
+				for e := 0; e < epochs; e++ {
+					if err := launchN(s, "lr_fwd", nB, prs[b], xs[b], ws[b], lrDims, nB); err != nil {
+						return err
+					}
+					if err := launchN(s, "uvm_genf", lrDims, grads[b], 0, 0, 1, 0.0, lrDims); err != nil {
+						return err
+					}
+					if err := launchN(s, "lr_grad", nB, grads[b], xs[b], prs[b], ys[b], lrDims, nB); err != nil {
+						return err
+					}
+					if err := launchN(s, "lr_step", lrDims, ws[b], grads[b], lr, lrDims); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(ws[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- ML: CNN convolution layer ----
+
+const conv3x3Src = `
+extern "C" __global__ void conv3x3(float *out, const float *in, const float *wgt, float bias, int w, int h, int f) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int hw = w * h;
+    int n = hw * f;
+    if (i < n) {
+        int ff = i / hw;
+        int p = i % hw;
+        int x = p % w;
+        int y = p / w;
+        float acc = bias;
+        for (int ky = 0; ky < 3; ky++) {
+            for (int kx = 0; kx < 3; kx++) {
+                int xx = x + kx - 1;
+                int yy = y + ky - 1;
+                if (xx >= 0 && xx < w && yy >= 0 && yy < h) {
+                    acc += in[yy * w + xx] * wgt[ff * 9 + ky * 3 + kx];
+                }
+            }
+        }
+        if (acc < 0.0) { acc = 0.0; }
+        out[i] = acc;
+    }
+}`
+
+const conv3x3Sig = "pointer float, const pointer float, const pointer float, float, sint32, sint32, sint32"
+
+const convCombineSrc = `
+extern "C" __global__ void conv_combine(float *img, const float *out, int hw, int f) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < hw) {
+        float acc = 0.0;
+        for (int c = 0; c < f; c++) {
+            acc += out[c * hw + i];
+        }
+        img[i] = acc / (float)f;
+    }
+}`
+
+const convCombineSig = "pointer float, const pointer float, sint32, sint32"
+
+// convFilters is the conv layer's output-channel count.
+const convFilters = 8
+
+// Conv is a CNN convolution layer: per partition, a 3x3 multi-filter
+// convolution with fused bias+ReLU, channel-averaged back into the
+// image and iterated — the deep-learning layer shape of UVMBench.
+func Conv() *Workload {
+	const width = int64(512)
+	return &Workload{
+		Name:        "conv",
+		Description: "CNN 3x3 conv layer, multi-filter + fused ReLU (UVMBench ML)",
+		Build: func(s Session, p Params) error {
+			blocks := p.blocks(4)
+			layers := p.iterations(2)
+			// Per pixel: image + f output planes + combined image.
+			hw := int64(p.Footprint) / int64(blocks) / int64((convFilters+2)*4)
+			w := width
+			if hw < 2*w {
+				w = 8
+			}
+			h := hw / w
+			if h < 2 {
+				return fmt.Errorf("conv: footprint %v too small for %d blocks", p.Footprint, blocks)
+			}
+			hw = w * h
+			n := hw * convFilters
+			if err := buildAll(s,
+				kernelSrc{uvmGenFSrc, uvmGenFSig},
+				kernelSrc{conv3x3Src, conv3x3Sig},
+				kernelSrc{convCombineSrc, convCombineSig}); err != nil {
+				return err
+			}
+			imgs := make([]dag.ArrayID, blocks)
+			outs := make([]dag.ArrayID, blocks)
+			wgts := make([]dag.ArrayID, blocks)
+			for b := 0; b < blocks; b++ {
+				var err error
+				if imgs[b], err = s.NewArray(memmodel.Float32, hw); err != nil {
+					return err
+				}
+				if outs[b], err = s.NewArray(memmodel.Float32, n); err != nil {
+					return err
+				}
+				if wgts[b], err = s.NewArray(memmodel.Float32, convFilters*9); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", hw, imgs[b], 19, b, 255, 0.0625, hw); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				if err := launchN(s, "uvm_genf", convFilters*9, wgts[b], 13, b+2, 37, 0.05, convFilters*9); err != nil {
+					return err
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for l := 0; l < layers; l++ {
+					if err := launchN(s, "conv3x3", n, outs[b], imgs[b], wgts[b], 0.01, w, h, convFilters); err != nil {
+						return err
+					}
+					if err := launchN(s, "conv_combine", hw, imgs[b], outs[b], hw, convFilters); err != nil {
+						return err
+					}
+				}
+				if err := s.HostRead(imgs[b]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,530 @@
+package workloads
+
+// Tests for the UVMBench-style suite: static race-analysis verdicts for
+// every kernel (which engine path each takes), cost-only DAG builds on
+// both backends, and numeric correctness against host-side references
+// that mirror the engine's arithmetic (float64 compute, float32
+// truncation at buffer stores, serial thread order for the kernels the
+// analysis refuses to parallelize).
+
+import (
+	"math"
+	"testing"
+
+	"grout/internal/cluster"
+	"grout/internal/dag"
+	"grout/internal/memmodel"
+	"grout/internal/minicuda"
+	"grout/internal/policy"
+)
+
+// gateParams sizes one workload for the differential gates: big enough
+// to exercise multi-partition scheduling, small enough that running the
+// whole suite across every policy combo under -race stays fast. The
+// bit-identical properties the gates prove are footprint-independent.
+func gateParams(name string) Params {
+	foot := 4 * memmodel.MiB
+	switch name {
+	case "triad", "stencil2d":
+		foot = memmodel.MiB
+	case "spmv", "pagerank", "conv":
+		foot = 512 * memmodel.KiB
+	case "bfs", "kmeans", "logreg":
+		foot = 256 * memmodel.KiB
+	}
+	return Params{Footprint: foot, Blocks: 2}
+}
+
+func TestUVMSuiteComplete(t *testing.T) {
+	suite := UVMSuite()
+	want := []string{"kmeans", "logreg", "conv", "bfs", "pagerank", "spmv", "triad", "stencil2d"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d entries, want %d", len(suite), len(want))
+	}
+	for _, name := range want {
+		w, ok := suite[name]
+		if !ok || w.Build == nil || w.Name != name || w.Description == "" {
+			t.Fatalf("suite entry %q malformed: %+v", name, w)
+		}
+	}
+	full := FullSuite()
+	for name := range ExtendedSuite() {
+		if full[name] == nil {
+			t.Errorf("FullSuite missing extended workload %q", name)
+		}
+	}
+	for _, name := range want {
+		if full[name] == nil {
+			t.Errorf("FullSuite missing UVM workload %q", name)
+		}
+	}
+}
+
+// TestUVMKernelRaceAnalysis pins the engine path of every suite kernel:
+// the irregular writers must fall to the serial path (never miscompile),
+// everything else must keep the parallel engine.
+func TestUVMKernelRaceAnalysis(t *testing.T) {
+	cases := []struct {
+		name          string
+		src           string
+		parallel      bool
+		orderSensitve bool
+	}{
+		{"uvm_genf", uvmGenFSrc, true, false},
+		{"uvm_geni", uvmGenISrc, true, false},
+		{"csr_rowgen", csrRowGenSrc, true, false},
+		{"csr_colgen", csrColGenSrc, true, false},
+		{"triad3", triadSrc, true, false},
+		{"stencil5", stencil5Src, true, false},
+		{"spmv_rows", spmvRowsSrc, true, false},
+		{"bfs_init", bfsInitSrc, true, false},
+		// bfs_step scatters dist[v] at a loaded index: unprovable.
+		{"bfs_step", bfsStepSrc, false, false},
+		{"pr_gather", prGatherSrc, true, false},
+		{"pr_apply", prApplySrc, true, false},
+		{"km_assign", kmAssignSrc, true, false},
+		// km_accum/lr_grad write only through atomicAdd (race-free) but
+		// accumulate floats, whose ordering changes results: serial.
+		{"km_accum", kmAccumSrc, true, true},
+		{"km_recenter", kmRecenterSrc, true, false},
+		{"lr_fwd", lrFwdSrc, true, false},
+		{"lr_grad", lrGradSrc, true, true},
+		{"lr_step", lrStepSrc, true, false},
+		{"conv3x3", conv3x3Src, true, false},
+		{"conv_combine", convCombineSrc, true, false},
+	}
+	for _, c := range cases {
+		par, os, err := minicuda.RaceAnalysis(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if par != c.parallel || os != c.orderSensitve {
+			t.Errorf("%s: (parallel, orderSensitive) = (%v, %v), want (%v, %v)",
+				c.name, par, os, c.parallel, c.orderSensitve)
+		}
+	}
+}
+
+// TestUVMWorkloadsCostOnly builds every workload in cost-only mode on
+// both backends — the mode the oversubscription sweep runs in.
+func TestUVMWorkloadsCostOnly(t *testing.T) {
+	for name, w := range UVMSuite() {
+		s := singleNode(t, false)
+		if err := w.Build(s, Params{Footprint: 32 * memmodel.MiB}); err != nil {
+			t.Fatalf("%s single-node: %v", name, err)
+		}
+		if s.RT.Graph().Size() == 0 {
+			t.Fatalf("%s built an empty DAG", name)
+		}
+		g := groutSystem(t, 4, policy.NewMinTransferTime(policy.Medium), false)
+		if err := w.Build(g, Params{Footprint: 32 * memmodel.MiB}); err != nil {
+			t.Fatalf("%s grout: %v", name, err)
+		}
+	}
+}
+
+func TestUVMWorkloadsRejectTinyFootprints(t *testing.T) {
+	for name, w := range UVMSuite() {
+		s := singleNode(t, false)
+		if err := w.Build(s, Params{Footprint: 16}); err == nil {
+			t.Errorf("%s accepted a 16-byte footprint", name)
+		}
+	}
+}
+
+// vals reads an array's buffer into a float64 slice.
+func vals(t *testing.T, s Session, id dag.ArrayID) []float64 {
+	t.Helper()
+	buf := s.Buffer(id)
+	if buf == nil {
+		t.Fatalf("array %d has no buffer", id)
+	}
+	out := make([]float64, buf.Len())
+	for i := range out {
+		out[i] = buf.At(i)
+	}
+	return out
+}
+
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestTriadNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	if err := Triad().Build(s, Params{Footprint: 96 * memmodel.KiB, Blocks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := vals(t, s, 1), vals(t, s, 2), vals(t, s, 3)
+	// Generator: b[i] = ((3i+0)%251)*0.5.
+	for i := 0; i < 8; i++ {
+		if want := float64(float32(float64((i*3)%251) * 0.5)); b[i] != want {
+			t.Fatalf("b[%d] = %v, want %v", i, b[i], want)
+		}
+	}
+	for i := range a {
+		if want := float64(float32(b[i] + 2*c[i])); a[i] != want {
+			t.Fatalf("a[%d] = %v, want %v", i, a[i], want)
+		}
+	}
+}
+
+func TestStencil2DNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	if err := Stencil2D().Build(s, Params{Footprint: 96 * memmodel.KiB, Blocks: 1, Iterations: 4}); err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 1024, 12
+	n := w * h
+	// Reference: init then 4 Jacobi sweeps with float32 stores.
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = float64(float32(float64((i*13)%255) * 1.0))
+	}
+	nxt := make([]float64, n)
+	for it := 0; it < 4; it++ {
+		for i := 0; i < n; i++ {
+			x, y := i%w, i/w
+			acc := cur[i]
+			if x > 0 {
+				acc += cur[i-1]
+			}
+			if x < w-1 {
+				acc += cur[i+1]
+			}
+			if y > 0 {
+				acc += cur[i-w]
+			}
+			if y < h-1 {
+				acc += cur[i+w]
+			}
+			nxt[i] = float64(float32(0.2 * acc))
+		}
+		cur, nxt = nxt, cur
+	}
+	// 4 iterations of ping-pong leave the final state in array 1.
+	got := vals(t, s, 1)
+	if len(got) != n {
+		t.Fatalf("stencil array len = %d, want %d", len(got), n)
+	}
+	if d := maxDiff(got, cur); d > 0 {
+		t.Fatalf("stencil diverged from reference by %v", d)
+	}
+}
+
+func TestSpMVNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	if err := SpMV().Build(s, Params{Footprint: 128 * memmodel.KiB, Blocks: 1, Iterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	x, rowptr, colidx, v, y := vals(t, s, 1), vals(t, s, 2), vals(t, s, 3), vals(t, s, 4), vals(t, s, 5)
+	rows := len(y)
+	cols := len(x)
+	for i := 0; i <= rows; i++ {
+		if rowptr[i] != float64(i*spmvDegree) {
+			t.Fatalf("rowptr[%d] = %v", i, rowptr[i])
+		}
+	}
+	for e := 0; e < 16; e++ {
+		r, k := e/spmvDegree, e%spmvDegree
+		if want := float64((r*7 + k*461 + 1) % cols); colidx[e] != want {
+			t.Fatalf("colidx[%d] = %v, want %v", e, colidx[e], want)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		sum := 0.0
+		for j := i * spmvDegree; j < (i+1)*spmvDegree; j++ {
+			sum += v[j] * x[int(colidx[j])]
+		}
+		if got, want := y[i], float64(float32(sum)); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBFSNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	const levels = 6
+	if err := BFS().Build(s, Params{Footprint: 128 * memmodel.KiB, Blocks: 1, Iterations: levels}); err != nil {
+		t.Fatal(err)
+	}
+	rowptr, colidx, dist, frontier := vals(t, s, 1), vals(t, s, 2), vals(t, s, 3), vals(t, s, 4)
+	n := len(dist)
+	// Reference BFS replicating the kernel's serial thread order.
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = -1
+	}
+	ref[0] = 0
+	refFront := make([]int, levels)
+	for depth := 0; depth < levels; depth++ {
+		for i := 0; i < n; i++ {
+			if ref[i] != depth {
+				continue
+			}
+			for j := int(rowptr[i]); j < int(rowptr[i+1]); j++ {
+				v := int(colidx[j])
+				if ref[v] < 0 {
+					ref[v] = depth + 1
+					refFront[depth]++
+				}
+			}
+		}
+	}
+	reached := 0
+	for i := 0; i < n; i++ {
+		if dist[i] != float64(ref[i]) {
+			t.Fatalf("dist[%d] = %v, want %d", i, dist[i], ref[i])
+		}
+		if ref[i] >= 0 {
+			reached++
+		}
+	}
+	for d := 0; d < levels; d++ {
+		if frontier[d] != float64(refFront[d]) {
+			t.Fatalf("frontier[%d] = %v, want %d", d, frontier[d], refFront[d])
+		}
+	}
+	// The traversal must actually expand: several levels, many vertices.
+	if frontier[0] == 0 || frontier[1] == 0 || reached < n/10 {
+		t.Fatalf("degenerate traversal: frontier=%v reached=%d/%d", frontier, reached, n)
+	}
+}
+
+func TestPageRankNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	const iters = 3
+	if err := PageRank().Build(s, Params{Footprint: 128 * memmodel.KiB, Blocks: 2, Iterations: iters}); err != nil {
+		t.Fatal(err)
+	}
+	// Allocation order: per block rank, next, rowptr, colidx; then the
+	// gather destination.
+	rank0, rowptr0, colidx0 := vals(t, s, 1), vals(t, s, 3), vals(t, s, 4)
+	rank1, rowptr1, colidx1 := vals(t, s, 5), vals(t, s, 7), vals(t, s, 8)
+	nB := len(rank0)
+	n := 2 * nB
+	const damp = 0.85
+	base := (1 - damp) / float64(n)
+	// Reference: uniform start, then pull iterations over both blocks.
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(float32(1.0 / float64(n)))
+	}
+	rp := [][]float64{rowptr0, rowptr1}
+	ci := [][]float64{colidx0, colidx1}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		for b := 0; b < 2; b++ {
+			for i := 0; i < nB; i++ {
+				sum := 0.0
+				for j := int(rp[b][i]); j < int(rp[b][i+1]); j++ {
+					sum += ref[int(ci[b][j])]
+				}
+				next[b*nB+i] = float64(float32(sum))
+			}
+		}
+		for i := range ref {
+			ref[i] = float64(float32(base + damp*next[i]*(1.0/float64(prDegree))))
+		}
+	}
+	got := append(append([]float64(nil), rank0...), rank1...)
+	if d := maxDiff(got, ref); d > 1e-7 {
+		t.Fatalf("pagerank diverged from reference by %v", d)
+	}
+	// Rank mass stays near 1 (uniform-degree graph, no dangling nodes).
+	mass := 0.0
+	for _, r := range got {
+		mass += r
+	}
+	if math.Abs(mass-1) > 0.05 {
+		t.Fatalf("rank mass = %v, want ~1", mass)
+	}
+}
+
+func TestKMeansNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	const iters = 2
+	if err := KMeans().Build(s, Params{Footprint: 64 * memmodel.KiB, Blocks: 1, Iterations: iters}); err != nil {
+		t.Fatal(err)
+	}
+	x, cent, assign := vals(t, s, 1), vals(t, s, 2), vals(t, s, 5)
+	nB := len(assign)
+	// Reference Lloyd iterations: float64 distances, float32 stores, and
+	// the kernel's serial accumulation order for sums.
+	refCent := make([]float64, kmK*kmDims)
+	for i := range refCent {
+		refCent[i] = float64(float32(float64((i*17)%101) * 0.01))
+	}
+	refAssign := make([]int, nB)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < nB; i++ {
+			best, bestd := 0, 0.0
+			for c := 0; c < kmK; c++ {
+				d := 0.0
+				for j := 0; j < kmDims; j++ {
+					diff := x[i*kmDims+j] - refCent[c*kmDims+j]
+					d += diff * diff
+				}
+				if c == 0 || d < bestd {
+					best, bestd = c, d
+				}
+			}
+			refAssign[i] = best
+		}
+		sums := make([]float64, kmK*kmDims)
+		counts := make([]int, kmK)
+		for i := 0; i < nB; i++ {
+			c := refAssign[i]
+			for j := 0; j < kmDims; j++ {
+				sums[c*kmDims+j] = float64(float32(sums[c*kmDims+j] + x[i*kmDims+j]))
+			}
+			counts[c]++
+		}
+		for i := range refCent {
+			if cnt := counts[i/kmDims]; cnt > 0 {
+				refCent[i] = float64(float32(sums[i] / float64(cnt)))
+			}
+		}
+	}
+	for i := range refAssign {
+		if assign[i] != float64(refAssign[i]) {
+			t.Fatalf("assign[%d] = %v, want %d", i, assign[i], refAssign[i])
+		}
+	}
+	if d := maxDiff(cent, refCent); d > 1e-6 {
+		t.Fatalf("centroids diverged from reference by %v", d)
+	}
+	// Clustering must be non-trivial: more than one cluster in use.
+	used := map[int]bool{}
+	for _, a := range refAssign {
+		used[a] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all points in one cluster")
+	}
+}
+
+func TestLogRegNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	const epochs = 2
+	if err := LogReg().Build(s, Params{Footprint: 64 * memmodel.KiB, Blocks: 1, Iterations: epochs}); err != nil {
+		t.Fatal(err)
+	}
+	x, y, w := vals(t, s, 1), vals(t, s, 2), vals(t, s, 3)
+	nB := len(y)
+	lr := 0.1 / float64(nB)
+	refW := make([]float64, lrDims)
+	for e := 0; e < epochs; e++ {
+		p := make([]float64, nB)
+		for i := 0; i < nB; i++ {
+			z := 0.0
+			for j := 0; j < lrDims; j++ {
+				z += x[i*lrDims+j] * refW[j]
+			}
+			p[i] = float64(float32(1.0 / (1.0 + math.Exp(-z))))
+		}
+		grad := make([]float64, lrDims)
+		for i := 0; i < nB; i++ {
+			e := p[i] - y[i]
+			for j := 0; j < lrDims; j++ {
+				grad[j] = float64(float32(grad[j] + e*x[i*lrDims+j]))
+			}
+		}
+		for j := 0; j < lrDims; j++ {
+			refW[j] = float64(float32(refW[j] - lr*grad[j]))
+		}
+	}
+	if d := maxDiff(w, refW); d > 1e-6 {
+		t.Fatalf("weights diverged from reference by %v", d)
+	}
+	moved := 0.0
+	for _, v := range refW {
+		moved += math.Abs(v)
+	}
+	if moved == 0 {
+		t.Fatalf("weights never moved")
+	}
+}
+
+func TestConvNumeric(t *testing.T) {
+	s := singleNode(t, true)
+	if err := Conv().Build(s, Params{Footprint: 64 * memmodel.KiB, Blocks: 1, Iterations: 1}); err != nil {
+		t.Fatal(err)
+	}
+	img, wgt := vals(t, s, 1), vals(t, s, 3)
+	const w = 512
+	hw := len(img)
+	h := hw / w
+	// Reference: the initial image, one conv layer, channel average.
+	ref := make([]float64, hw)
+	for i := range ref {
+		ref[i] = float64(float32(float64((i*19)%255) * 0.0625))
+	}
+	out := make([]float64, hw*convFilters)
+	for f := 0; f < convFilters; f++ {
+		for p := 0; p < hw; p++ {
+			x, y := p%w, p/w
+			acc := 0.01
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					xx, yy := x+kx-1, y+ky-1
+					if xx >= 0 && xx < w && yy >= 0 && yy < h {
+						acc += ref[yy*w+xx] * wgt[f*9+ky*3+kx]
+					}
+				}
+			}
+			if acc < 0 {
+				acc = 0
+			}
+			out[f*hw+p] = float64(float32(acc))
+		}
+	}
+	comb := make([]float64, hw)
+	for p := 0; p < hw; p++ {
+		acc := 0.0
+		for f := 0; f < convFilters; f++ {
+			acc += out[f*hw+p]
+		}
+		comb[p] = float64(float32(acc / convFilters))
+	}
+	if d := maxDiff(img, comb); d > 1e-6 {
+		t.Fatalf("conv diverged from reference by %v", d)
+	}
+}
+
+// TestUVMPortability proves bit-identical results between the single-node
+// runtime and a 2-worker GrOUT fleet for every new workload (the in-
+// package leg of the tri-modal identity; the TCP and gateway legs live in
+// the root package's tests).
+func TestUVMPortability(t *testing.T) {
+	for name, w := range UVMSuite() {
+		p := gateParams(name)
+		sn := singleNode(t, true)
+		if err := w.Build(sn, p); err != nil {
+			t.Fatalf("%s single: %v", name, err)
+		}
+		gr := groutSystem(t, 2, policy.NewRoundRobin(), true)
+		if err := w.Build(gr, p); err != nil {
+			t.Fatalf("%s grout: %v", name, err)
+		}
+		for id := int64(1); id < 256; id++ {
+			a := sn.RT.Array(dagArrayID(id))
+			b := gr.Ctl.Array(dagArrayID(id))
+			if a == nil || b == nil || a.Buf == nil || b.Buf == nil {
+				continue
+			}
+			if !b.UpToDateOn(cluster.ControllerID) {
+				continue
+			}
+			if d := a.Buf.MaxAbsDiff(b.Buf); d != 0 {
+				t.Fatalf("%s array %d differs by %v between runtimes", name, id, d)
+			}
+		}
+	}
+}

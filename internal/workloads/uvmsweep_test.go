@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"testing"
+
+	"grout/internal/gpusim"
+	"grout/internal/memmodel"
+)
+
+// sweepTestConfig scales the sweep down to a 64 MiB device so the full
+// footprint ladder stays cheap while preserving the cliff shape: the
+// oversubscription regime depends on factor, not on absolute bytes.
+func sweepTestConfig(workloads ...string) UVMSweepConfig {
+	dev := gpusim.V100Spec("uvmtest/gpu")
+	dev.Memory = 64 * memmodel.MiB
+	return UVMSweepConfig{
+		Workloads: workloads,
+		Device:    &dev,
+	}
+}
+
+func TestUVMBenchSweepShape(t *testing.T) {
+	pts, err := UVMBenchSweep(sweepTestConfig("triad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(DefaultSweepFactors()) * len(DefaultSweepWorkers())
+	if len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	ces := pts[0].CEs
+	for _, p := range pts {
+		if p.Workload != "triad" || p.Prefetch != "eager" || p.Evict != "lru" {
+			t.Fatalf("unexpected cell identity: %+v", p)
+		}
+		if p.MakespanNs <= 0 {
+			t.Fatalf("non-positive makespan: %+v", p)
+		}
+		// The DAG a workload submits is a function of (footprint, blocks)
+		// only — fleet size must not change what work exists, just where
+		// it runs.
+		if p.Workers == pts[0].Workers && p.CEs != ces {
+			t.Fatalf("CE count varies within a fleet size: %+v", p)
+		}
+	}
+}
+
+func TestUVMBenchSweepUnknownWorkload(t *testing.T) {
+	if _, err := UVMBenchSweep(sweepTestConfig("nope")); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+// TestUVMSweepScaleOutFlattensCliffs is the paper's headline result at
+// workload level: each irregular workload falls off a 1-worker
+// oversubscription cliff, and adding workers moves the cliff right (or
+// off the ladder entirely) because min-transfer-time keeps each
+// partition's arrays co-resident and per-node pressure drops to
+// factor/workers.
+func TestUVMSweepScaleOutFlattensCliffs(t *testing.T) {
+	pts, err := UVMBenchSweep(sweepTestConfig("spmv", "bfs", "pagerank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliffs := UVMCliffs(pts)
+	last := DefaultSweepFactors()[len(DefaultSweepFactors())-1]
+	at := func(wl string, workers int) float64 {
+		k := UVMCliffKey{Workload: wl, Prefetch: "eager", Evict: "lru", Workers: workers}
+		if f, ok := cliffs[k]; ok {
+			return f
+		}
+		// No cliff within the ladder: treat it as past the last rung.
+		return last + 1
+	}
+	for _, wl := range []string{"spmv", "bfs", "pagerank"} {
+		c1, c2, c4 := at(wl, 1), at(wl, 2), at(wl, 4)
+		if c1 > 2.0 {
+			t.Errorf("%s: 1-worker cliff at %.1fx, want <= 2.0x (the Figure-1 slowdown)", wl, c1)
+		}
+		if c2 <= c1 {
+			t.Errorf("%s: 2-worker cliff at %.1fx did not move right of 1-worker cliff %.1fx", wl, c2, c1)
+		}
+		if c4 <= c1 {
+			t.Errorf("%s: 4-worker cliff at %.1fx did not move right of 1-worker cliff %.1fx", wl, c4, c1)
+		}
+		t.Logf("%s cliffs: 1w=%.1fx 2w=%.1fx 4w=%.1fx (>%0.1fx = off ladder)", wl, c1, c2, c4, last)
+	}
+}
+
+// TestUVMSweepStreamingStaysCheap pins the contrast case: the regular
+// streaming workload has no 4-worker cliff at all on the default ladder.
+func TestUVMSweepStreamingStaysCheap(t *testing.T) {
+	cfg := sweepTestConfig("triad")
+	cfg.Workers = []int{4}
+	pts, err := UVMBenchSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cliffs := UVMCliffs(pts); len(cliffs) != 0 {
+		t.Fatalf("triad at 4 workers should stay flat on the default ladder, got cliffs %v", cliffs)
+	}
+}

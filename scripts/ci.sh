@@ -30,9 +30,11 @@
 #      adversarial payloads (5s each direction, plus 5s on the
 #      backpressure-frame payload codec; corpora persist)
 #   6. the controller/DAG/transport/kernel/oversubscription
-#      micro-benchmarks with -benchtime=1x as a smoke gate (they must
-#      still compile and complete, not regress — use scripts/bench.sh
-#      for numbers)
+#      micro-benchmarks with -benchtime=1x as a smoke gate, plus a
+#      UVMBench workload-sweep smoke row (spmv + kmeans at 0.5x/2x per
+#      fleet size) and the gateway dial-churn pair (they must still
+#      compile and complete, not regress — use scripts/bench.sh for
+#      numbers)
 #
 # Run from the repo root: ./scripts/ci.sh
 set -euo pipefail
@@ -90,7 +92,13 @@ go test -run '^$' -bench 'BenchmarkGatewayTenants/4x' -benchtime=1x ./internal/b
 # tenant) must keep compiling and completing.
 go test -run '^$' -bench 'BenchmarkGatewayTenants/64x' -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkGatewayShards/4shards' -benchtime=1x ./internal/bench/
+go test -run '^$' -bench 'BenchmarkGatewayDialChurn' -benchtime=1x ./internal/bench/
 go test -run '^$' -bench 'BenchmarkOversubSweep/sequential/(eager\+lru|stride\+lru)/x1.5' \
+    -benchtime=1x ./internal/bench/
+# UVMBench workload smoke: one irregular workload (spmv) and one ML
+# workload (kmeans) at in-core 0.5x and oversubscribed 2x, per fleet
+# size — the full sweep lives in scripts/bench.sh.
+go test -run '^$' -bench 'BenchmarkUVMBench/(spmv|kmeans)/eager\+lru/(1|2|4)w/x(0.5|2.0)' \
     -benchtime=1x ./internal/bench/
 
 echo "CI OK"
